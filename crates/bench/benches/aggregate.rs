@@ -1,0 +1,94 @@
+//! Ablation: §4.2 event aggregation vs plain sample-and-hold, and the
+//! cost of each aggregation function.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gel::TimeDelta;
+use gscope::{Aggregation, EventAccumulator};
+
+/// Raw accumulator cost: push a burst of events and close the interval.
+fn bench_aggregation_functions(c: &mut Criterion) {
+    const EVENTS: usize = 1000;
+    let period = TimeDelta::from_millis(50);
+    let values: Vec<f64> = (0..EVENTS).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
+    let mut group = c.benchmark_group("aggregate/interval_1000_events");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for agg in Aggregation::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(agg.name()), &agg, |b, &agg| {
+            let mut acc = EventAccumulator::new(agg);
+            b.iter(|| {
+                for &v in &values {
+                    acc.push(v);
+                }
+                criterion::black_box(acc.finish_interval(period))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end: a scope tick over an event-driven signal at varying
+/// event rates, versus the polled (sample-and-hold) baseline.
+fn bench_event_signal_tick(c: &mut Criterion) {
+    use gel::{TickInfo, TimeStamp};
+    use gscope::{IntVar, Scope, SigConfig, SigSource};
+    use std::sync::Arc;
+    let period = TimeDelta::from_millis(50);
+    let mut group = c.benchmark_group("aggregate/tick");
+    group.bench_function("polled_baseline", |b| {
+        let clock = gel::VirtualClock::new();
+        let mut scope = Scope::new("p", 640, 100, Arc::new(clock));
+        scope
+            .add_signal("s", IntVar::new(1).into(), SigConfig::default())
+            .unwrap();
+        scope.set_polling_mode(period).unwrap();
+        scope.start();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let now = TimeStamp::ZERO + period.saturating_mul(k);
+            scope.tick(&TickInfo {
+                now,
+                scheduled: now,
+                missed: 0,
+            });
+        });
+    });
+    for events_per_tick in [10usize, 100, 1000] {
+        group.throughput(Throughput::Elements(events_per_tick as u64));
+        group.bench_with_input(
+            BenchmarkId::new("events_per_tick", events_per_tick),
+            &events_per_tick,
+            |b, &n| {
+                let clock = gel::VirtualClock::new();
+                let mut scope = Scope::new("e", 640, 100, Arc::new(clock));
+                scope
+                    .add_signal(
+                        "s",
+                        SigSource::Events,
+                        SigConfig::default().with_aggregation(Aggregation::Rate),
+                    )
+                    .unwrap();
+                let sink = scope.event_sink("s").unwrap();
+                scope.set_polling_mode(period).unwrap();
+                scope.start();
+                let mut k = 0u64;
+                b.iter(|| {
+                    k += 1;
+                    for i in 0..n {
+                        sink.push(i as f64);
+                    }
+                    let now = TimeStamp::ZERO + period.saturating_mul(k);
+                    scope.tick(&TickInfo {
+                        now,
+                        scheduled: now,
+                        missed: 0,
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation_functions, bench_event_signal_tick);
+criterion_main!(benches);

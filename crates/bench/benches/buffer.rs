@@ -1,0 +1,85 @@
+//! Ablation: buffered vs unbuffered acquisition (§3.1) — the cost of
+//! pushing timestamped samples through the scope-wide buffer and
+//! draining them with a delay, including the multi-producer case.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gel::{Clock, TimeDelta, TimeStamp, VirtualClock};
+use gscope::ScopeBuffer;
+
+fn make_buffer(delay_ms: u64) -> (ScopeBuffer, VirtualClock) {
+    let clock = VirtualClock::new();
+    let buf = ScopeBuffer::new(
+        Arc::new(clock.clone()) as Arc<dyn Clock>,
+        TimeDelta::from_millis(delay_ms),
+    );
+    (buf, clock)
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/push");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single_producer", |b| {
+        let (buf, _clock) = make_buffer(1_000_000);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            buf.push_sample("s", TimeStamp::from_micros(t), t as f64)
+        });
+    });
+    group.bench_function("push_then_late_drop", |b| {
+        // Every sample is late: measures the rejection path (§4.4).
+        let (buf, clock) = make_buffer(1);
+        clock.advance(TimeDelta::from_secs(100));
+        b.iter(|| buf.push_sample("s", TimeStamp::from_millis(1), 1.0));
+    });
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/drain");
+    for n in [100usize, 1000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (buf, _clock) = make_buffer(1_000_000);
+            b.iter_with_setup(
+                || {
+                    for i in 0..n {
+                        buf.push_sample("s", TimeStamp::from_micros(i as u64), i as f64);
+                    }
+                },
+                |_| buf.drain_until(TimeStamp::from_secs(3600)),
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/contended_push");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("4_threads_x_250", |b| {
+        let (buf, _clock) = make_buffer(1_000_000);
+        b.iter(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|tid| {
+                    let bb = buf.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..250u64 {
+                            bb.push_sample("s", TimeStamp::from_micros(tid * 1000 + i), i as f64);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            buf.drain_until(TimeStamp::from_secs(3600)).len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_push, bench_drain, bench_contended);
+criterion_main!(benches);

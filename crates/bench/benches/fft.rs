@@ -1,0 +1,68 @@
+//! Frequency-view cost (§3.1): FFT size sweep and the FFT-vs-naive-DFT
+//! speedup that justifies implementing Cooley–Tukey at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdsp::{dft_naive, fft_real, power_spectrum, Complex, SpectrumConfig, Window};
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            (2.0 * std::f64::consts::PI * 13.0 * t).sin()
+                + 0.5 * (2.0 * std::f64::consts::PI * 31.0 * t).cos()
+        })
+        .collect()
+}
+
+fn bench_fft_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft/sizes");
+    for log_n in [6u32, 8, 10, 12] {
+        let n = 1usize << log_n;
+        let xs = signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| fft_real(xs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_vs_naive(c: &mut Criterion) {
+    let n = 256;
+    let xs: Vec<Complex> = signal(n).iter().map(|&v| Complex::from_real(v)).collect();
+    let mut group = c.benchmark_group("fft/vs_naive_256");
+    group.bench_function("fft", |b| {
+        b.iter(|| {
+            let mut buf = xs.clone();
+            gdsp::fft(&mut buf).unwrap();
+            buf
+        });
+    });
+    group.bench_function("naive_dft", |b| {
+        b.iter(|| dft_naive(&xs));
+    });
+    group.finish();
+}
+
+fn bench_spectrum_pipeline(c: &mut Criterion) {
+    let xs = signal(512);
+    let mut group = c.benchmark_group("fft/spectrum_512");
+    for window in Window::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window.name()),
+            &window,
+            |b, &window| {
+                let cfg = SpectrumConfig {
+                    window,
+                    remove_dc: true,
+                    ..Default::default()
+                };
+                b.iter(|| power_spectrum(&xs, cfg).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_sizes, bench_fft_vs_naive, bench_spectrum_pipeline);
+criterion_main!(benches);

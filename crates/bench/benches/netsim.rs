@@ -1,0 +1,74 @@
+//! Network-simulator throughput: simulated seconds (and packet events)
+//! per wall second, across queue disciplines and flow counts — the
+//! substrate cost behind the Figures 4–5 experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gel::{TimeDelta, TimeStamp};
+use netsim::{NetConfig, Network, QueueKind};
+
+fn run_sim(queue: QueueKind, flows: usize, ecn: bool, secs: u64) -> u64 {
+    let mut net = Network::new(NetConfig {
+        queue,
+        ..NetConfig::default()
+    });
+    for i in 0..flows {
+        let f = net.add_tcp_flow(ecn);
+        net.start_flow_at(f, TimeStamp::from_millis(50 * i as u64));
+    }
+    net.run_until(TimeStamp::from_secs(secs));
+    net.events_processed()
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim/simulate_2s");
+    group.sample_size(10);
+    for flows in [1usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("droptail_flows", flows),
+            &flows,
+            |b, &flows| {
+                b.iter(|| run_sim(QueueKind::DropTail { capacity: 50 }, flows, false, 2));
+            },
+        );
+    }
+    group.bench_function("red_ecn_flows_16", |b| {
+        b.iter(|| run_sim(QueueKind::red_default(100), 16, true, 2));
+    });
+    group.finish();
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    // Report one representative configuration with event throughput.
+    let events = run_sim(QueueKind::DropTail { capacity: 50 }, 8, false, 2);
+    let mut group = c.benchmark_group("netsim/event_rate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("droptail_8_flows_2s", |b| {
+        b.iter(|| run_sim(QueueKind::DropTail { capacity: 50 }, 8, false, 2));
+    });
+    group.finish();
+}
+
+fn bench_udp_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim/udp_mix_2s");
+    group.sample_size(10);
+    group.bench_function("4_tcp_plus_2_udp", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NetConfig::default());
+            for i in 0..4 {
+                let f = net.add_tcp_flow(false);
+                net.start_flow_at(f, TimeStamp::from_millis(50 * i));
+            }
+            for _ in 0..2 {
+                let u = net.add_udp_flow(TimeDelta::from_millis(5));
+                net.start_udp(u);
+            }
+            net.run_until(TimeStamp::from_secs(2));
+            net.events_processed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows, bench_event_rate, bench_udp_mix);
+criterion_main!(benches);

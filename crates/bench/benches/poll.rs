@@ -1,0 +1,148 @@
+//! Per-tick polling cost: the microbenchmark under §4.6's overhead
+//! numbers, plus ablations over signal type and filter α.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gel::{TickInfo, TimeDelta, TimeStamp};
+use gscope_bench::scope_with_int_signals;
+use std::sync::Arc;
+
+fn tick_at(n: u64, period: TimeDelta) -> TickInfo {
+    let now = TimeStamp::ZERO + period.saturating_mul(n + 1);
+    TickInfo {
+        now,
+        scheduled: now,
+        missed: 0,
+    }
+}
+
+/// Tick cost as the number of displayed signals grows (the paper's
+/// "0.02 to 0.05 percent per signal" dimension).
+fn bench_tick_vs_signals(c: &mut Criterion) {
+    let period = TimeDelta::from_millis(10);
+    let mut group = c.benchmark_group("poll_tick/signals");
+    for n in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mut scope, vars, _clock) = scope_with_int_signals(n, 640, period);
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                for v in &vars {
+                    v.set(k as i64);
+                }
+                scope.tick(&tick_at(k, period));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Tick cost per signal type (INTEGER vs FLOAT vs FUNC vs BOOLEAN).
+fn bench_tick_vs_source_type(c: &mut Criterion) {
+    use gscope::{BoolVar, FloatVar, IntVar, Scope, SigConfig, SigSource};
+    let period = TimeDelta::from_millis(10);
+    let mut group = c.benchmark_group("poll_tick/source_type");
+    let make_scope = || {
+        let clock = gel::VirtualClock::new();
+        let mut s = Scope::new("t", 640, 100, Arc::new(clock));
+        s.set_polling_mode(period).unwrap();
+        s.start();
+        s
+    };
+    group.bench_function("integer", |b| {
+        let mut scope = make_scope();
+        scope
+            .add_signal("s", IntVar::new(1).into(), SigConfig::default())
+            .unwrap();
+        let mut k = 0;
+        b.iter(|| {
+            k += 1;
+            scope.tick(&tick_at(k, period));
+        });
+    });
+    group.bench_function("float", |b| {
+        let mut scope = make_scope();
+        scope
+            .add_signal("s", FloatVar::new(1.0).into(), SigConfig::default())
+            .unwrap();
+        let mut k = 0;
+        b.iter(|| {
+            k += 1;
+            scope.tick(&tick_at(k, period));
+        });
+    });
+    group.bench_function("boolean", |b| {
+        let mut scope = make_scope();
+        scope
+            .add_signal("s", BoolVar::new(true).into(), SigConfig::default())
+            .unwrap();
+        let mut k = 0;
+        b.iter(|| {
+            k += 1;
+            scope.tick(&tick_at(k, period));
+        });
+    });
+    group.bench_function("func", |b| {
+        let mut scope = make_scope();
+        let mut x = 0.0f64;
+        scope
+            .add_signal(
+                "s",
+                SigSource::func(move || {
+                    x += 0.1;
+                    x.sin()
+                }),
+                SigConfig::default(),
+            )
+            .unwrap();
+        let mut k = 0;
+        b.iter(|| {
+            k += 1;
+            scope.tick(&tick_at(k, period));
+        });
+    });
+    group.finish();
+}
+
+/// Ablation: does the per-signal low-pass filter cost anything
+/// measurable? (§3.1's α parameter.)
+fn bench_tick_vs_filter(c: &mut Criterion) {
+    use gscope::{IntVar, Scope, SigConfig};
+    let period = TimeDelta::from_millis(10);
+    let mut group = c.benchmark_group("poll_tick/filter_alpha");
+    for alpha in [0.0f64, 0.5, 0.99] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alpha),
+            &alpha,
+            |b, &alpha| {
+                let clock = gel::VirtualClock::new();
+                let mut scope = Scope::new("f", 640, 100, Arc::new(clock));
+                let v = IntVar::new(0);
+                scope
+                    .add_signal(
+                        "s",
+                        v.clone().into(),
+                        SigConfig::default().with_filter(alpha),
+                    )
+                    .unwrap();
+                scope.set_polling_mode(period).unwrap();
+                scope.start();
+                let mut k = 0i64;
+                b.iter(|| {
+                    k += 1;
+                    v.set(k % 100);
+                    scope.tick(&tick_at(k as u64, period));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tick_vs_signals,
+    bench_tick_vs_source_type,
+    bench_tick_vs_filter
+);
+criterion_main!(benches);

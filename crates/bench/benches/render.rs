@@ -1,0 +1,101 @@
+//! Rendering cost: full-widget redraw versus canvas width, signal
+//! count, and line mode — the display half of the §4.6 overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{IntVar, LineMode, Scope, SigConfig};
+
+fn full_scope(width: usize, signals: usize, line: LineMode) -> Scope {
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("render", width, 150, Arc::new(clock));
+    let vars: Vec<IntVar> = (0..signals)
+        .map(|i| {
+            let v = IntVar::new(0);
+            scope
+                .add_signal(
+                    format!("s{i}"),
+                    v.clone().into(),
+                    SigConfig::default().with_line(line),
+                )
+                .unwrap();
+            v
+        })
+        .collect();
+    let period = TimeDelta::from_millis(10);
+    scope.set_polling_mode(period).unwrap();
+    scope.start();
+    // Fill the whole history so the render draws a full trace.
+    for k in 0..width as u64 + 8 {
+        for (i, v) in vars.iter().enumerate() {
+            v.set((((k + i as u64) * 13) % 100) as i64);
+        }
+        let now = TimeStamp::ZERO + period.saturating_mul(k + 1);
+        scope.tick(&TickInfo {
+            now,
+            scheduled: now,
+            missed: 0,
+        });
+    }
+    scope
+}
+
+fn bench_render_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render/width");
+    for width in [160usize, 640, 1280] {
+        let scope = full_scope(width, 2, LineMode::Line);
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &scope, |b, scope| {
+            b.iter(|| grender::render_scope(scope));
+        });
+    }
+    group.finish();
+}
+
+fn bench_render_signals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render/signals");
+    for n in [1usize, 4, 16] {
+        let scope = full_scope(640, n, LineMode::Line);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scope, |b, scope| {
+            b.iter(|| grender::render_scope(scope));
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render/line_mode");
+    for mode in LineMode::ALL {
+        let scope = full_scope(640, 2, mode);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &scope,
+            |b, scope| {
+                b.iter(|| grender::render_scope(scope));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_svg_vs_raster(c: &mut Criterion) {
+    let scope = full_scope(640, 2, LineMode::Line);
+    let mut group = c.benchmark_group("render/backend");
+    group.bench_function("raster_ppm", |b| {
+        b.iter(|| grender::render_scope(&scope).to_ppm().len());
+    });
+    group.bench_function("svg", |b| {
+        b.iter(|| grender::render_scope_svg(&scope).len());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_render_width,
+    bench_render_signals,
+    bench_line_modes,
+    bench_svg_vs_raster
+);
+criterion_main!(benches);

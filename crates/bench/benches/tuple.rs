@@ -1,0 +1,71 @@
+//! Tuple text format (§3.3) parse/format throughput — the cost floor
+//! for recording, replay, and network streaming.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gel::TimeStamp;
+use gscope::{Tuple, TupleReader, TupleWriter};
+
+fn sample_tuples(n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                TimeStamp::from_micros(i as u64 * 1_250),
+                (i as f64 * 0.731).sin() * 1000.0,
+                format!("signal{}", i % 8),
+            )
+        })
+        .collect()
+}
+
+fn bench_format(c: &mut Criterion) {
+    let tuples = sample_tuples(1000);
+    let mut group = c.benchmark_group("tuple/format");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("to_line_x1000", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for t in &tuples {
+                total += t.to_line().len();
+            }
+            total
+        });
+    });
+    group.bench_function("writer_x1000", |b| {
+        b.iter(|| {
+            let mut w = TupleWriter::new(Vec::with_capacity(64 * 1024));
+            for t in &tuples {
+                w.write_tuple(t).unwrap();
+            }
+            w.into_inner().len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let tuples = sample_tuples(1000);
+    let mut w = TupleWriter::new(Vec::new());
+    for t in &tuples {
+        w.write_tuple(t).unwrap();
+    }
+    let bytes = w.into_inner();
+    let one_line = tuples[0].to_line();
+    let mut group = c.benchmark_group("tuple/parse");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("parse_line", |b| {
+        b.iter(|| Tuple::parse_line(&one_line, 1).unwrap());
+    });
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("reader_1000_lines", |b| {
+        b.iter(|| {
+            TupleReader::new(bytes.as_slice())
+                .read_all()
+                .unwrap()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_format, bench_parse);
+criterion_main!(benches);

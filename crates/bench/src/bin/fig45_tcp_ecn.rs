@@ -1,0 +1,173 @@
+//! Figures 4 & 5, as numbers: the TCP-vs-ECN congestion-window series
+//! the paper plots, printed as per-interval rows plus summary verdicts.
+//!
+//! The paper's reading of its figures:
+//!
+//! * "The elephants signal shows the number of long-lived flows over
+//!   time. This number is changed from 8 to 16 roughly half way
+//!   through the x-axis."
+//! * "Both TCP and ECN reduce the congestion window to one upon a
+//!   timeout. The lowest value of the CWND signal in the graphs
+//!   corresponds to a CWND value of one. The graphs show that while
+//!   ECN does not hit this value, TCP hits it several times."
+//! * "there is a timeout each time CWND reaches one."
+//!
+//! Run with `cargo run --release -p gscope-bench --bin fig45_tcp_ecn`.
+//! (The rendered figures come from `cargo run --example tcp_ecn`.)
+
+use gel::{TimeDelta, TimeStamp};
+use gscope_bench::row;
+use netsim::{Mxtraf, MxtrafConfig, NetConfig, QueueKind};
+
+/// Total simulated seconds (after warm-up).
+const DURATION_S: u64 = 60;
+/// Elephant count switches 8 → 16 here.
+const SWITCH_S: u64 = 30;
+/// Row-bucket width in seconds.
+const BUCKET_S: u64 = 5;
+/// Fine-grained CWND sampling period.
+const SAMPLE_MS: u64 = 10;
+/// Warm-up excluded from the series.
+const WARMUP_S: u64 = 5;
+
+struct Series {
+    /// (bucket start s, elephants, mean cwnd, min cwnd, cumulative timeouts).
+    rows: Vec<(u64, usize, f64, f64, u64)>,
+    min_cwnd: f64,
+    cwnd_one_touches: u64,
+    timeouts: u64,
+    drops: u64,
+    marks: u64,
+}
+
+fn run(ecn: bool) -> Series {
+    let mut traffic = Mxtraf::new(MxtrafConfig {
+        ecn,
+        net: NetConfig {
+            queue: if ecn {
+                QueueKind::red_default(100)
+            } else {
+                QueueKind::DropTail { capacity: 50 }
+            },
+            ..NetConfig::default()
+        },
+        initial_elephants: 8,
+        max_elephants: 16,
+        ..MxtrafConfig::default()
+    });
+    let probe = traffic.elephant_flow(0);
+    let warmup = TimeDelta::from_secs(WARMUP_S);
+    traffic.run_until(TimeStamp::ZERO + warmup);
+
+    let mut rows = Vec::new();
+    let mut min_cwnd = f64::INFINITY;
+    let mut touches = 0u64;
+    let mut was_at_one = false;
+    let mut t = TimeStamp::ZERO;
+    for bucket in 0..(DURATION_S / BUCKET_S) {
+        let bucket_start = bucket * BUCKET_S;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        let mut bucket_min = f64::INFINITY;
+        let bucket_end = TimeStamp::from_secs(bucket_start + BUCKET_S);
+        while t < bucket_end {
+            t += TimeDelta::from_millis(SAMPLE_MS);
+            traffic.run_until(t + warmup);
+            if t == TimeStamp::from_secs(SWITCH_S) {
+                traffic.set_elephants(16);
+            }
+            let cwnd = traffic.net().cwnd(probe);
+            sum += cwnd;
+            n += 1;
+            bucket_min = bucket_min.min(cwnd);
+            min_cwnd = min_cwnd.min(cwnd);
+            let at_one = cwnd <= 1.0;
+            if at_one && !was_at_one {
+                touches += 1;
+            }
+            was_at_one = at_one;
+        }
+        rows.push((
+            bucket_start,
+            traffic.elephants(),
+            sum / n as f64,
+            bucket_min,
+            traffic.total_timeouts(),
+        ));
+    }
+    Series {
+        rows,
+        min_cwnd,
+        cwnd_one_touches: touches,
+        timeouts: traffic.total_timeouts(),
+        drops: traffic.net().queue_stats().dropped,
+        marks: traffic.net().queue_stats().marked,
+    }
+}
+
+fn print_series(label: &str, s: &Series) {
+    println!("-- {label} --");
+    row(&[
+        "t (s)".into(),
+        "elephants".into(),
+        "mean CWND".into(),
+        "min CWND".into(),
+        "timeouts".into(),
+    ]);
+    for (start, elephants, mean, min, timeouts) in &s.rows {
+        row(&[
+            format!("{start}-{}", start + BUCKET_S),
+            format!("{elephants}"),
+            format!("{mean:.1}"),
+            format!("{min:.1}"),
+            format!("{timeouts}"),
+        ]);
+    }
+    println!(
+        "probe CWND floor {:.1}; CWND=1 touches {}; router drops {}; CE marks {}\n",
+        s.min_cwnd, s.cwnd_one_touches, s.drops, s.marks
+    );
+}
+
+fn main() {
+    println!("== Figures 4 & 5: TCP vs ECN congestion windows ==");
+    println!("(8 elephants -> 16 at t={SWITCH_S}s; probe = elephant 0; {SAMPLE_MS} ms sampling)\n");
+
+    let tcp = run(false);
+    print_series("Figure 4: TCP through a DropTail router", &tcp);
+    let ecn = run(true);
+    print_series("Figure 5: ECN through a RED router", &ecn);
+
+    println!("== verdicts vs the paper ==");
+    println!(
+        "TCP hits CWND=1 several times: {} touches            {}",
+        tcp.cwnd_one_touches,
+        if tcp.cwnd_one_touches >= 2 { "OK" } else { "DIFFERS" }
+    );
+    println!(
+        "every CWND=1 touch is a timeout: {} touches <= {} timeouts {}",
+        tcp.cwnd_one_touches,
+        tcp.timeouts,
+        if tcp.cwnd_one_touches <= tcp.timeouts { "OK" } else { "DIFFERS" }
+    );
+    println!(
+        "ECN never hits CWND=1: floor {:.1}                    {}",
+        ecn.min_cwnd,
+        if ecn.min_cwnd > 1.0 { "OK" } else { "DIFFERS" }
+    );
+    println!(
+        "ECN suffers no timeouts: {}                           {}",
+        ecn.timeouts,
+        if ecn.timeouts == 0 { "OK" } else { "DIFFERS" }
+    );
+    let tcp_mean_before: f64 = tcp.rows[..6].iter().map(|r| r.2).sum::<f64>() / 6.0;
+    let tcp_mean_after: f64 = tcp.rows[6..].iter().map(|r| r.2).sum::<f64>() / 6.0;
+    println!(
+        "doubling elephants shrinks the window: {tcp_mean_before:.1} -> {tcp_mean_after:.1}    {}",
+        if tcp_mean_after < tcp_mean_before { "OK" } else { "DIFFERS" }
+    );
+    assert!(tcp.cwnd_one_touches >= 2);
+    assert!(ecn.min_cwnd > 1.0);
+    assert_eq!(ecn.timeouts, 0);
+    assert!(tcp_mean_after < tcp_mean_before);
+}

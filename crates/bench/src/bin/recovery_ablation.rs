@@ -1,0 +1,97 @@
+//! Loss-recovery ablation: Reno go-back-N vs SACK/FACK scoreboard
+//! recovery under the Figure 4 congestion level.
+//!
+//! §2 of the paper recounts using gscope to debug "a TCP variant that
+//! we have implemented for low-latency TCP streaming [which] initially
+//! showed significant unexpected timeouts that we finally traced to an
+//! interaction with the SACK implementation" — timeouts are the
+//! observable, and the recovery mechanism is the knob. This harness
+//! quantifies exactly that relationship on the simulator: identical
+//! DropTail congestion, Reno vs SACK senders.
+//!
+//! Run with `cargo run --release -p gscope-bench --bin recovery_ablation`.
+
+use gel::TimeStamp;
+use gscope_bench::row;
+use netsim::{NetConfig, Network, QueueKind};
+
+struct Outcome {
+    timeouts: u64,
+    fast_retransmits: u64,
+    retransmits: u64,
+    acked: u64,
+    drops: u64,
+}
+
+fn run(sack: bool, flows: usize, secs: u64) -> Outcome {
+    let mut net = Network::new(NetConfig {
+        queue: QueueKind::DropTail { capacity: 50 },
+        ..NetConfig::default()
+    });
+    let ids: Vec<usize> = (0..flows).map(|_| net.add_tcp_flow_with(false, sack)).collect();
+    for (i, &f) in ids.iter().enumerate() {
+        net.start_flow_at(f, TimeStamp::from_millis(50 * i as u64));
+    }
+    net.run_until(TimeStamp::from_secs(secs));
+    let mut o = Outcome {
+        timeouts: 0,
+        fast_retransmits: 0,
+        retransmits: 0,
+        acked: 0,
+        drops: net.queue_stats().dropped,
+    };
+    for &f in &ids {
+        let s = net.flow_stats(f);
+        o.timeouts += s.timeouts;
+        o.fast_retransmits += s.fast_retransmits;
+        o.retransmits += s.retransmits;
+        o.acked += s.packets_acked;
+    }
+    o
+}
+
+fn main() {
+    println!("== recovery ablation: Reno vs SACK under DropTail congestion ==\n");
+    const SECS: u64 = 30;
+    for flows in [8usize, 16] {
+        println!("-- {flows} flows, {SECS}s --");
+        row(&[
+            "recovery".into(),
+            "timeouts".into(),
+            "fast rexmit".into(),
+            "rexmit".into(),
+            "acked".into(),
+            "drops".into(),
+        ]);
+        let reno = run(false, flows, SECS);
+        row(&[
+            "Reno (GBN)".into(),
+            format!("{}", reno.timeouts),
+            format!("{}", reno.fast_retransmits),
+            format!("{}", reno.retransmits),
+            format!("{}", reno.acked),
+            format!("{}", reno.drops),
+        ]);
+        let sack = run(true, flows, SECS);
+        row(&[
+            "SACK (FACK)".into(),
+            format!("{}", sack.timeouts),
+            format!("{}", sack.fast_retransmits),
+            format!("{}", sack.retransmits),
+            format!("{}", sack.acked),
+            format!("{}", sack.drops),
+        ]);
+        println!();
+        assert!(
+            sack.timeouts < reno.timeouts,
+            "SACK must reduce timeouts ({} vs {})",
+            sack.timeouts,
+            reno.timeouts
+        );
+        assert!(sack.acked >= reno.acked * 95 / 100);
+    }
+    println!("== verdict ==");
+    println!("SACK scoreboard recovery repairs multi-loss windows that force Reno");
+    println!("onto the RTO path: fewer timeouts, fewer (spurious) retransmissions,");
+    println!("equal-or-better goodput. OK");
+}

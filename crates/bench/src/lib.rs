@@ -1,0 +1,58 @@
+//! Shared helpers for the experiment binaries and benches.
+
+use std::sync::Arc;
+
+use gel::{Clock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{IntVar, Scope, SigConfig};
+
+/// Builds a polling scope with `n` INTEGER signals on a virtual clock,
+/// the §4.6 benchmark workload ("a simple application that polls and
+/// displays several different integer values").
+pub fn scope_with_int_signals(
+    n: usize,
+    width: usize,
+    period: TimeDelta,
+) -> (Scope, Vec<IntVar>, VirtualClock) {
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("bench", width, 100, Arc::new(clock.clone()) as Arc<dyn Clock>);
+    let vars: Vec<IntVar> = (0..n)
+        .map(|i| {
+            let v = IntVar::new(i as i64);
+            scope
+                .add_signal(format!("sig{i}"), v.clone().into(), SigConfig::default())
+                .expect("unique signal names");
+            v
+        })
+        .collect();
+    scope.set_polling_mode(period).expect("non-zero period");
+    scope.start();
+    (scope, vars, clock)
+}
+
+/// Drives `ticks` scope ticks at `period`, mutating the variables so
+/// every tick does real sampling work.
+pub fn drive_ticks(scope: &mut Scope, vars: &[IntVar], period: TimeDelta, ticks: u64) {
+    let mut t = TimeStamp::ZERO;
+    for k in 0..ticks {
+        t += period;
+        for (i, v) in vars.iter().enumerate() {
+            v.set((k as i64).wrapping_add(i as i64));
+        }
+        scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+    }
+}
+
+/// Prints one row of a fixed-width report table.
+pub fn row(cols: &[String]) {
+    let widths = [14usize, 12, 14, 14, 14, 14];
+    let mut line = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        line.push_str(&format!("{c:<w$}"));
+    }
+    println!("{}", line.trim_end());
+}

@@ -1,0 +1,87 @@
+/*
+ * gscope.h — C bindings for the gscope software-oscilloscope library.
+ *
+ * Rust reproduction of "Gscope: A Visualization Tool for Time-Sensitive
+ * Software" (Goel & Walpole, USENIX FREENIX 2002). Link against the
+ * staticlib/cdylib produced by `cargo build -p gscope-capi`.
+ *
+ * All functions return GSCOPE_OK (0) on success or a negative status;
+ * gscope_error_message() describes the most recent error on the calling
+ * thread. Handles are not thread-safe: confine each to one thread or
+ * lock externally.
+ */
+
+#ifndef GSCOPE_H
+#define GSCOPE_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define GSCOPE_OK                   0
+#define GSCOPE_ERR_NULL            -1
+#define GSCOPE_ERR_UTF8            -2
+#define GSCOPE_ERR_SCOPE           -3
+#define GSCOPE_ERR_RANGE           -4
+#define GSCOPE_ERR_UNKNOWN_SIGNAL  -5
+#define GSCOPE_ERR_IO              -6
+
+/* Event aggregation codes for gscope_add_event_signal (paper §4.2). */
+#define GSCOPE_AGG_HOLD     0u
+#define GSCOPE_AGG_MAX      1u
+#define GSCOPE_AGG_MIN      2u
+#define GSCOPE_AGG_SUM      3u
+#define GSCOPE_AGG_RATE     4u
+#define GSCOPE_AGG_AVERAGE  5u
+#define GSCOPE_AGG_EVENTS   6u
+#define GSCOPE_AGG_ANY      7u
+
+typedef struct GscopeHandle GscopeHandle;
+
+/* Lifecycle. `use_virtual_clock` selects a manually advanced clock
+ * (drive with gscope_tick_at) vs the system clock (gscope_tick). */
+GscopeHandle *gscope_new(const char *name, uint32_t width, uint32_t height,
+                         int32_t use_virtual_clock);
+void gscope_free(GscopeHandle *handle);
+
+/* Signals. Value signals are written with gscope_set_value; event
+ * signals accumulate gscope_push_event per polling interval. */
+int32_t gscope_add_signal(GscopeHandle *handle, const char *name,
+                          double min, double max);
+int32_t gscope_add_event_signal(GscopeHandle *handle, const char *name,
+                                double min, double max, uint32_t aggregation);
+int32_t gscope_set_value(GscopeHandle *handle, const char *name, double value);
+int32_t gscope_push_event(GscopeHandle *handle, const char *name, double value);
+
+/* Acquisition. */
+int32_t gscope_set_period_ms(GscopeHandle *handle, uint64_t period_ms);
+int32_t gscope_tick(GscopeHandle *handle);                    /* system clock */
+int32_t gscope_tick_at(GscopeHandle *handle, uint64_t now_ms); /* virtual clock */
+
+/* Readout (the Value button). */
+int32_t gscope_value(GscopeHandle *handle, const char *name, double *out);
+
+/* Rendering: binary PPM (P6). Free the buffer with gscope_buffer_free. */
+uint8_t *gscope_render_ppm(GscopeHandle *handle, size_t *out_len);
+void gscope_buffer_free(uint8_t *ptr, size_t len);
+
+/* Display transform (the zoom/bias widgets). */
+int32_t gscope_set_zoom(GscopeHandle *handle, double zoom);  /* [0.01, 100] */
+int32_t gscope_set_bias(GscopeHandle *handle, double bias);  /* [-1, 1] */
+
+/* Recording to the paper's §3.3 tuple text format. */
+int32_t gscope_record_start(GscopeHandle *handle, const char *path);
+int32_t gscope_record_stop(GscopeHandle *handle);
+int32_t gscope_dump_tuples(GscopeHandle *handle, const char *path);
+
+/* Most recent error on this thread (valid until the next failure). */
+const char *gscope_error_message(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* GSCOPE_H */

@@ -1,0 +1,780 @@
+//! `gscope-capi` — a C ABI for the gscope library.
+//!
+//! §6 of the paper lists missing "bindings for languages other than C"
+//! as future work; since this reproduction's native language is Rust,
+//! the binding that unlocks other languages is the C ABI below. It
+//! wraps a scope, its signals, and rendering behind an opaque handle
+//! with integer status codes, so C, Python (ctypes/cffi), or anything
+//! else with an FFI can embed a scope.
+//!
+//! # Conventions
+//!
+//! * All functions return [`GSCOPE_OK`] (0) on success or a negative
+//!   status; [`gscope_error_message`] describes the most recent error
+//!   on the calling thread.
+//! * Strings are NUL-terminated UTF-8; the library copies them, never
+//!   retains caller pointers.
+//! * The handle is **not** thread-safe from C: confine each handle to
+//!   one thread or lock externally (the Rust API offers `SharedScope`
+//!   for multi-threaded use).
+//!
+//! # Safety
+//!
+//! Every `unsafe` block here trusts only the documented contracts of
+//! the C caller: valid, NUL-terminated string pointers; handle
+//! pointers previously returned by [`gscope_new`] and not yet freed;
+//! out-pointers valid for a single write.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ffi::{c_char, CStr, CString};
+use std::sync::Arc;
+
+use gel::{Clock, SystemClock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{Aggregation, FloatVar, Scope, SigConfig, SigSource};
+
+/// Success.
+pub const GSCOPE_OK: i32 = 0;
+/// A pointer argument was null.
+pub const GSCOPE_ERR_NULL: i32 = -1;
+/// A string argument was not valid UTF-8.
+pub const GSCOPE_ERR_UTF8: i32 = -2;
+/// The gscope library rejected the operation (see the error message).
+pub const GSCOPE_ERR_SCOPE: i32 = -3;
+/// An argument was out of range.
+pub const GSCOPE_ERR_RANGE: i32 = -4;
+/// The named signal does not exist on this handle.
+pub const GSCOPE_ERR_UNKNOWN_SIGNAL: i32 = -5;
+/// I/O failure (recording).
+pub const GSCOPE_ERR_IO: i32 = -6;
+
+thread_local! {
+    static LAST_ERROR: RefCell<CString> = RefCell::new(CString::default());
+}
+
+fn set_error(msg: impl std::fmt::Display) {
+    let text = format!("{msg}").replace('\0', " ");
+    LAST_ERROR.with(|e| {
+        *e.borrow_mut() = CString::new(text).unwrap_or_default();
+    });
+}
+
+/// Returns a pointer to a NUL-terminated description of the calling
+/// thread's most recent error. Valid until the next failing call on
+/// this thread.
+#[no_mangle]
+pub extern "C" fn gscope_error_message() -> *const c_char {
+    LAST_ERROR.with(|e| e.borrow().as_ptr())
+}
+
+enum SignalBacking {
+    Value(FloatVar),
+    Events(gscope::EventSink),
+}
+
+/// The opaque scope handle behind the C API.
+pub struct GscopeHandle {
+    scope: Scope,
+    clock: ClockKind,
+    backings: HashMap<String, SignalBacking>,
+}
+
+enum ClockKind {
+    System(Arc<SystemClock>),
+    Virtual(VirtualClock),
+}
+
+impl ClockKind {
+    fn now(&self) -> TimeStamp {
+        match self {
+            ClockKind::System(c) => c.now(),
+            ClockKind::Virtual(c) => c.now(),
+        }
+    }
+}
+
+/// # Safety
+///
+/// `ptr` must be non-null and NUL-terminated.
+unsafe fn cstr<'a>(ptr: *const c_char) -> Result<&'a str, i32> {
+    if ptr.is_null() {
+        set_error("null string pointer");
+        return Err(GSCOPE_ERR_NULL);
+    }
+    // SAFETY: non-null, NUL-terminated per this function's contract.
+    unsafe { CStr::from_ptr(ptr) }.to_str().map_err(|_| {
+        set_error("string is not valid UTF-8");
+        GSCOPE_ERR_UTF8
+    })
+}
+
+/// # Safety
+///
+/// `handle` must be a live pointer from [`gscope_new`].
+unsafe fn deref<'a>(handle: *mut GscopeHandle) -> Result<&'a mut GscopeHandle, i32> {
+    if handle.is_null() {
+        set_error("null scope handle");
+        return Err(GSCOPE_ERR_NULL);
+    }
+    // SAFETY: live handle per this function's contract.
+    Ok(unsafe { &mut *handle })
+}
+
+/// Creates a scope. `use_virtual_clock != 0` selects a manually
+/// advanced clock (drive it with [`gscope_tick_at`]); otherwise the
+/// system clock is used (drive with [`gscope_tick`]).
+///
+/// Returns null on failure.
+///
+/// # Safety
+///
+/// `name` must be a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_new(
+    name: *const c_char,
+    width: u32,
+    height: u32,
+    use_virtual_clock: i32,
+) -> *mut GscopeHandle {
+    // SAFETY: forwarded caller contract.
+    let Ok(name) = (unsafe { cstr(name) }) else {
+        return std::ptr::null_mut();
+    };
+    if width == 0 || height == 0 {
+        set_error("width and height must be non-zero");
+        return std::ptr::null_mut();
+    }
+    let (clock, clock_arc): (ClockKind, Arc<dyn Clock>) = if use_virtual_clock != 0 {
+        let v = VirtualClock::new();
+        (ClockKind::Virtual(v.clone()), Arc::new(v))
+    } else {
+        let s = Arc::new(SystemClock::new());
+        (ClockKind::System(Arc::clone(&s)), s)
+    };
+    let mut scope = Scope::new(name, width as usize, height as usize, clock_arc);
+    if scope.set_polling_mode(TimeDelta::from_millis(50)).is_err() {
+        set_error("default polling mode rejected");
+        return std::ptr::null_mut();
+    }
+    scope.start();
+    Box::into_raw(Box::new(GscopeHandle {
+        scope,
+        clock,
+        backings: HashMap::new(),
+    }))
+}
+
+/// Destroys a handle from [`gscope_new`]. Null is ignored.
+///
+/// # Safety
+///
+/// `handle` must be null or a live pointer from [`gscope_new`]; it must
+/// not be used afterwards.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_free(handle: *mut GscopeHandle) {
+    if !handle.is_null() {
+        // SAFETY: ownership returns to Rust exactly once per contract.
+        drop(unsafe { Box::from_raw(handle) });
+    }
+}
+
+/// Adds a value-backed signal displayed over `[min, max]`. Write it
+/// with [`gscope_set_value`].
+///
+/// # Safety
+///
+/// `handle` live; `name` a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_add_signal(
+    handle: *mut GscopeHandle,
+    name: *const c_char,
+    min: f64,
+    max: f64,
+) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    // SAFETY: forwarded caller contract.
+    let name = match unsafe { cstr(name) } {
+        Ok(s) => s.to_owned(),
+        Err(e) => return e,
+    };
+    let var = FloatVar::new(0.0);
+    let config = SigConfig::default().with_range(min, max);
+    match h.scope.add_signal(name.clone(), var.clone().into(), config) {
+        Ok(()) => {
+            h.backings.insert(name, SignalBacking::Value(var));
+            GSCOPE_OK
+        }
+        Err(e) => {
+            set_error(e);
+            GSCOPE_ERR_SCOPE
+        }
+    }
+}
+
+/// Adds an event-driven signal (§4.2). `aggregation`: 0 hold, 1 max,
+/// 2 min, 3 sum, 4 rate, 5 average, 6 events, 7 any-event. Feed it
+/// with [`gscope_push_event`].
+///
+/// # Safety
+///
+/// `handle` live; `name` a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_add_event_signal(
+    handle: *mut GscopeHandle,
+    name: *const c_char,
+    min: f64,
+    max: f64,
+    aggregation: u32,
+) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    // SAFETY: forwarded caller contract.
+    let name = match unsafe { cstr(name) } {
+        Ok(s) => s.to_owned(),
+        Err(e) => return e,
+    };
+    let Some(&agg) = Aggregation::ALL.get(aggregation as usize) else {
+        set_error(format!("aggregation code {aggregation} out of range"));
+        return GSCOPE_ERR_RANGE;
+    };
+    let config = SigConfig::default()
+        .with_range(min, max)
+        .with_aggregation(agg);
+    match h.scope.add_signal(name.clone(), SigSource::Events, config) {
+        Ok(()) => {
+            let sink = h.scope.event_sink(&name).expect("just added");
+            h.backings.insert(name, SignalBacking::Events(sink));
+            GSCOPE_OK
+        }
+        Err(e) => {
+            set_error(e);
+            GSCOPE_ERR_SCOPE
+        }
+    }
+}
+
+/// Sets a value-backed signal's current value.
+///
+/// # Safety
+///
+/// `handle` live; `name` a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_set_value(
+    handle: *mut GscopeHandle,
+    name: *const c_char,
+    value: f64,
+) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    // SAFETY: forwarded caller contract.
+    let name = match unsafe { cstr(name) } {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    match h.backings.get(name) {
+        Some(SignalBacking::Value(var)) => {
+            var.set(value);
+            GSCOPE_OK
+        }
+        Some(SignalBacking::Events(_)) => {
+            set_error(format!("{name} is an event signal; use gscope_push_event"));
+            GSCOPE_ERR_SCOPE
+        }
+        None => {
+            set_error(format!("no signal named {name}"));
+            GSCOPE_ERR_UNKNOWN_SIGNAL
+        }
+    }
+}
+
+/// Pushes one event into an event-driven signal.
+///
+/// # Safety
+///
+/// `handle` live; `name` a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_push_event(
+    handle: *mut GscopeHandle,
+    name: *const c_char,
+    value: f64,
+) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    // SAFETY: forwarded caller contract.
+    let name = match unsafe { cstr(name) } {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    match h.backings.get(name) {
+        Some(SignalBacking::Events(sink)) => {
+            sink.push(value);
+            GSCOPE_OK
+        }
+        Some(SignalBacking::Value(_)) => {
+            set_error(format!("{name} is a value signal; use gscope_set_value"));
+            GSCOPE_ERR_SCOPE
+        }
+        None => {
+            set_error(format!("no signal named {name}"));
+            GSCOPE_ERR_UNKNOWN_SIGNAL
+        }
+    }
+}
+
+/// Sets the polling period in milliseconds.
+///
+/// # Safety
+///
+/// `handle` live.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_set_period_ms(handle: *mut GscopeHandle, period_ms: u64) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    match h.scope.set_period(TimeDelta::from_millis(period_ms)) {
+        Ok(()) => GSCOPE_OK,
+        Err(e) => {
+            set_error(e);
+            GSCOPE_ERR_RANGE
+        }
+    }
+}
+
+/// Polls once at the clock's current time (system-clock handles).
+///
+/// # Safety
+///
+/// `handle` live.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_tick(handle: *mut GscopeHandle) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    let now = h.clock.now();
+    h.scope.tick(&TickInfo {
+        now,
+        scheduled: now,
+        missed: 0,
+    });
+    GSCOPE_OK
+}
+
+/// Advances a virtual-clock handle to `now_ms` and polls once.
+///
+/// # Safety
+///
+/// `handle` live.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_tick_at(handle: *mut GscopeHandle, now_ms: u64) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    let t = TimeStamp::from_millis(now_ms);
+    match &h.clock {
+        ClockKind::Virtual(v) => {
+            if t < v.now() {
+                set_error("time must not go backwards");
+                return GSCOPE_ERR_RANGE;
+            }
+            v.set(t);
+        }
+        ClockKind::System(_) => {
+            set_error("gscope_tick_at requires a virtual-clock handle");
+            return GSCOPE_ERR_SCOPE;
+        }
+    }
+    h.scope.tick(&TickInfo {
+        now: t,
+        scheduled: t,
+        missed: 0,
+    });
+    GSCOPE_OK
+}
+
+/// Reads a signal's most recent raw value into `out`. Returns
+/// [`GSCOPE_ERR_SCOPE`] if the signal has no value yet.
+///
+/// # Safety
+///
+/// `handle` live; `name` valid string; `out` valid for one `f64` write.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_value(
+    handle: *mut GscopeHandle,
+    name: *const c_char,
+    out: *mut f64,
+) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    // SAFETY: forwarded caller contract.
+    let name = match unsafe { cstr(name) } {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    if out.is_null() {
+        set_error("null out pointer");
+        return GSCOPE_ERR_NULL;
+    }
+    match h.scope.value_readout(name) {
+        Ok(Some(v)) => {
+            // SAFETY: `out` is valid for one write per contract.
+            unsafe { *out = v };
+            GSCOPE_OK
+        }
+        Ok(None) => {
+            set_error(format!("{name} has no samples yet"));
+            GSCOPE_ERR_SCOPE
+        }
+        Err(e) => {
+            set_error(e);
+            GSCOPE_ERR_UNKNOWN_SIGNAL
+        }
+    }
+}
+
+/// Renders the widget as binary PPM into a freshly allocated buffer.
+/// Writes the buffer length to `out_len`; free with
+/// [`gscope_buffer_free`]. Returns null on failure.
+///
+/// # Safety
+///
+/// `handle` live; `out_len` valid for one write.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_render_ppm(
+    handle: *mut GscopeHandle,
+    out_len: *mut usize,
+) -> *mut u8 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(_) => return std::ptr::null_mut(),
+    };
+    if out_len.is_null() {
+        set_error("null out_len pointer");
+        return std::ptr::null_mut();
+    }
+    let ppm = grender::render_scope(&h.scope).to_ppm().into_boxed_slice();
+    // SAFETY: `out_len` is valid for one write per contract.
+    unsafe { *out_len = ppm.len() };
+    Box::into_raw(ppm) as *mut u8
+}
+
+/// Frees a buffer returned by [`gscope_render_ppm`].
+///
+/// # Safety
+///
+/// `(ptr, len)` must come from [`gscope_render_ppm`], freed only once.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_buffer_free(ptr: *mut u8, len: usize) {
+    if !ptr.is_null() {
+        // SAFETY: reconstructs the exact boxed slice allocated above.
+        drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)) });
+    }
+}
+
+/// Sets the zoom factor (legal in `[0.01, 100]`).
+///
+/// # Safety
+///
+/// `handle` live.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_set_zoom(handle: *mut GscopeHandle, zoom: f64) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    match h.scope.set_zoom(zoom) {
+        Ok(()) => GSCOPE_OK,
+        Err(e) => {
+            set_error(e);
+            GSCOPE_ERR_RANGE
+        }
+    }
+}
+
+/// Sets the bias (legal in `[-1, 1]`).
+///
+/// # Safety
+///
+/// `handle` live.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_set_bias(handle: *mut GscopeHandle, bias: f64) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    match h.scope.set_bias(bias) {
+        Ok(()) => GSCOPE_OK,
+        Err(e) => {
+            set_error(e);
+            GSCOPE_ERR_RANGE
+        }
+    }
+}
+
+/// Writes the currently displayed histories to `path` as §3.3 tuples
+/// (the "print what's on screen" export).
+///
+/// # Safety
+///
+/// `handle` live; `path` a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_dump_tuples(
+    handle: *mut GscopeHandle,
+    path: *const c_char,
+) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    // SAFETY: forwarded caller contract.
+    let path = match unsafe { cstr(path) } {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            set_error(format!("cannot create {path}: {e}"));
+            return GSCOPE_ERR_IO;
+        }
+    };
+    match h.scope.dump_tuples(std::io::BufWriter::new(file)) {
+        Ok(_) => GSCOPE_OK,
+        Err(e) => {
+            set_error(e);
+            GSCOPE_ERR_IO
+        }
+    }
+}
+
+/// Starts recording sampled tuples to `path` (§3.3 text format).
+///
+/// # Safety
+///
+/// `handle` live; `path` a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_record_start(
+    handle: *mut GscopeHandle,
+    path: *const c_char,
+) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    // SAFETY: forwarded caller contract.
+    let path = match unsafe { cstr(path) } {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    match std::fs::File::create(path) {
+        Ok(f) => {
+            h.scope.start_recording(std::io::BufWriter::new(f));
+            GSCOPE_OK
+        }
+        Err(e) => {
+            set_error(format!("cannot create {path}: {e}"));
+            GSCOPE_ERR_IO
+        }
+    }
+}
+
+/// Stops recording, flushing the file.
+///
+/// # Safety
+///
+/// `handle` live.
+#[no_mangle]
+pub unsafe extern "C" fn gscope_record_stop(handle: *mut GscopeHandle) -> i32 {
+    // SAFETY: forwarded caller contract.
+    let h = match unsafe { deref(handle) } {
+        Ok(h) => h,
+        Err(e) => return e,
+    };
+    if let Some(mut sink) = h.scope.stop_recording() {
+        use std::io::Write as _;
+        let _ = sink.flush();
+    }
+    GSCOPE_OK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ffi::CString;
+
+    fn c(s: &str) -> CString {
+        CString::new(s).unwrap()
+    }
+
+    #[test]
+    fn lifecycle_through_the_c_abi() {
+        // SAFETY: test passes valid pointers throughout.
+        unsafe {
+            let h = gscope_new(c("capi").as_ptr(), 64, 48, 1);
+            assert!(!h.is_null());
+            assert_eq!(gscope_add_signal(h, c("temp").as_ptr(), 0.0, 100.0), GSCOPE_OK);
+            assert_eq!(gscope_set_period_ms(h, 50), GSCOPE_OK);
+            for i in 1..=20u64 {
+                assert_eq!(gscope_set_value(h, c("temp").as_ptr(), i as f64), GSCOPE_OK);
+                assert_eq!(gscope_tick_at(h, i * 50), GSCOPE_OK);
+            }
+            let mut v = 0.0;
+            assert_eq!(gscope_value(h, c("temp").as_ptr(), &mut v), GSCOPE_OK);
+            assert_eq!(v, 20.0);
+            let mut len = 0usize;
+            let buf = gscope_render_ppm(h, &mut len);
+            assert!(!buf.is_null());
+            assert!(len > 100);
+            assert_eq!(std::slice::from_raw_parts(buf, 2), b"P6");
+            gscope_buffer_free(buf, len);
+            gscope_free(h);
+        }
+    }
+
+    #[test]
+    fn event_signals_aggregate() {
+        // SAFETY: valid pointers throughout.
+        unsafe {
+            let h = gscope_new(c("ev").as_ptr(), 32, 32, 1);
+            // Aggregation 3 = Sum.
+            assert_eq!(
+                gscope_add_event_signal(h, c("bytes").as_ptr(), 0.0, 1e6, 3),
+                GSCOPE_OK
+            );
+            assert_eq!(gscope_push_event(h, c("bytes").as_ptr(), 100.0), GSCOPE_OK);
+            assert_eq!(gscope_push_event(h, c("bytes").as_ptr(), 250.0), GSCOPE_OK);
+            assert_eq!(gscope_tick_at(h, 50), GSCOPE_OK);
+            let mut v = 0.0;
+            assert_eq!(gscope_value(h, c("bytes").as_ptr(), &mut v), GSCOPE_OK);
+            assert_eq!(v, 350.0);
+            // Wrong API for the signal kind is a clean error.
+            assert_eq!(
+                gscope_set_value(h, c("bytes").as_ptr(), 1.0),
+                GSCOPE_ERR_SCOPE
+            );
+            gscope_free(h);
+        }
+    }
+
+    #[test]
+    fn error_paths_set_messages() {
+        // SAFETY: deliberately passes nulls where the API must catch
+        // them, and valid pointers elsewhere.
+        unsafe {
+            assert!(gscope_new(std::ptr::null(), 10, 10, 1).is_null());
+            let h = gscope_new(c("err").as_ptr(), 10, 10, 1);
+            assert_eq!(
+                gscope_set_value(h, c("nope").as_ptr(), 1.0),
+                GSCOPE_ERR_UNKNOWN_SIGNAL
+            );
+            let msg = CStr::from_ptr(gscope_error_message());
+            assert!(msg.to_string_lossy().contains("nope"));
+            assert_eq!(gscope_set_period_ms(h, 0), GSCOPE_ERR_RANGE);
+            assert_eq!(
+                gscope_add_event_signal(h, c("x").as_ptr(), 0.0, 1.0, 99),
+                GSCOPE_ERR_RANGE
+            );
+            // Duplicate signal name.
+            assert_eq!(gscope_add_signal(h, c("a").as_ptr(), 0.0, 1.0), GSCOPE_OK);
+            assert_eq!(
+                gscope_add_signal(h, c("a").as_ptr(), 0.0, 1.0),
+                GSCOPE_ERR_SCOPE
+            );
+            // Time must be monotone.
+            assert_eq!(gscope_tick_at(h, 100), GSCOPE_OK);
+            assert_eq!(gscope_tick_at(h, 50), GSCOPE_ERR_RANGE);
+            gscope_free(h);
+            // Freeing null is a no-op.
+            gscope_free(std::ptr::null_mut());
+        }
+    }
+
+    #[test]
+    fn recording_through_the_c_abi() {
+        let path = std::env::temp_dir().join("gscope_capi_test.tuples");
+        let path_c = c(path.to_str().unwrap());
+        // SAFETY: valid pointers throughout.
+        unsafe {
+            let h = gscope_new(c("rec").as_ptr(), 32, 32, 1);
+            gscope_add_signal(h, c("v").as_ptr(), 0.0, 10.0);
+            assert_eq!(gscope_record_start(h, path_c.as_ptr()), GSCOPE_OK);
+            for i in 1..=4u64 {
+                gscope_set_value(h, c("v").as_ptr(), i as f64);
+                gscope_tick_at(h, i * 50);
+            }
+            assert_eq!(gscope_record_stop(h), GSCOPE_OK);
+            gscope_free(h);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains(" v"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn zoom_bias_and_dump_via_c_abi() {
+        let path = std::env::temp_dir().join("gscope_capi_dump.tuples");
+        let path_c = c(path.to_str().unwrap());
+        // SAFETY: valid pointers throughout.
+        unsafe {
+            let h = gscope_new(c("zb").as_ptr(), 32, 32, 1);
+            gscope_add_signal(h, c("v").as_ptr(), 0.0, 10.0);
+            assert_eq!(gscope_set_zoom(h, 2.0), GSCOPE_OK);
+            assert_eq!(gscope_set_zoom(h, 0.0), GSCOPE_ERR_RANGE);
+            assert_eq!(gscope_set_bias(h, -0.5), GSCOPE_OK);
+            assert_eq!(gscope_set_bias(h, 3.0), GSCOPE_ERR_RANGE);
+            for i in 1..=3u64 {
+                gscope_set_value(h, c("v").as_ptr(), i as f64);
+                gscope_tick_at(h, i * 50);
+            }
+            assert_eq!(gscope_dump_tuples(h, path_c.as_ptr()), GSCOPE_OK);
+            gscope_free(h);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn system_clock_handle_ticks_in_real_time() {
+        // SAFETY: valid pointers throughout.
+        unsafe {
+            let h = gscope_new(c("rt").as_ptr(), 32, 32, 0);
+            gscope_add_signal(h, c("v").as_ptr(), 0.0, 10.0);
+            gscope_set_value(h, c("v").as_ptr(), 7.0);
+            assert_eq!(gscope_tick(h), GSCOPE_OK);
+            let mut v = 0.0;
+            assert_eq!(gscope_value(h, c("v").as_ptr(), &mut v), GSCOPE_OK);
+            assert_eq!(v, 7.0);
+            // tick_at is rejected on a system-clock handle.
+            assert_eq!(gscope_tick_at(h, 1), GSCOPE_ERR_SCOPE);
+            gscope_free(h);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Event aggregation between polling intervals (§4.2).
+//!
+//! Event-driven signals (packet arrivals, connection errors, ...) can
+//! fire many times — or not at all — between two scope ticks. Gscope
+//! aggregates the events of each polling interval with one of the
+//! functions below, each motivated in the paper with a network example:
+//!
+//! * **Maximum / Minimum** — e.g. max/min packet latency in the interval,
+//! * **Sum** — e.g. bytes received,
+//! * **Rate** — sum ÷ polling period, e.g. bandwidth in bytes/second,
+//! * **Average** — sum ÷ number of events, e.g. bytes per packet,
+//! * **Events** — number of events, e.g. packets,
+//! * **AnyEvent** — did anything arrive at all,
+//! * **SampleHold** — the last event value, held between events (§4.2's
+//!   "Sample and Hold" technique).
+
+use gel::TimeDelta;
+
+/// How events within one polling interval reduce to a displayed sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Display the last event's value; hold it while no events arrive.
+    #[default]
+    SampleHold,
+    /// Largest event value in the interval; holds when empty.
+    Maximum,
+    /// Smallest event value in the interval; holds when empty.
+    Minimum,
+    /// Sum of event values; 0 when empty.
+    Sum,
+    /// Sum divided by the polling period in seconds; 0 when empty.
+    Rate,
+    /// Sum divided by the event count; holds when empty.
+    Average,
+    /// Number of events; 0 when empty.
+    Events,
+    /// 1 if any event arrived, else 0.
+    AnyEvent,
+}
+
+impl Aggregation {
+    /// All aggregation modes, for UIs and sweeps.
+    pub const ALL: [Aggregation; 8] = [
+        Aggregation::SampleHold,
+        Aggregation::Maximum,
+        Aggregation::Minimum,
+        Aggregation::Sum,
+        Aggregation::Rate,
+        Aggregation::Average,
+        Aggregation::Events,
+        Aggregation::AnyEvent,
+    ];
+
+    /// A short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregation::SampleHold => "hold",
+            Aggregation::Maximum => "max",
+            Aggregation::Minimum => "min",
+            Aggregation::Sum => "sum",
+            Aggregation::Rate => "rate",
+            Aggregation::Average => "avg",
+            Aggregation::Events => "events",
+            Aggregation::AnyEvent => "any",
+        }
+    }
+
+    /// True if empty intervals hold the previous output rather than
+    /// reporting zero.
+    pub fn holds_when_empty(self) -> bool {
+        matches!(
+            self,
+            Aggregation::SampleHold
+                | Aggregation::Maximum
+                | Aggregation::Minimum
+                | Aggregation::Average
+        )
+    }
+}
+
+/// Accumulates events for one polling interval and produces the
+/// aggregated display sample at each tick.
+///
+/// # Examples
+///
+/// ```
+/// use gel::TimeDelta;
+/// use gscope::{Aggregation, EventAccumulator};
+///
+/// // §4.2's bandwidth example: Rate = bytes per second.
+/// let mut acc = EventAccumulator::new(Aggregation::Rate);
+/// acc.push(700.0);
+/// acc.push(300.0);
+/// let sample = acc.finish_interval(TimeDelta::from_millis(50)).unwrap();
+/// assert_eq!(sample, 20_000.0, "1000 bytes / 50 ms = 20 kB/s");
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventAccumulator {
+    aggregation: Aggregation,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+    /// Output of the previous non-empty interval, for hold semantics.
+    held: Option<f64>,
+    /// Total events ever pushed (statistics).
+    total_events: u64,
+}
+
+impl EventAccumulator {
+    /// Creates an accumulator with the given aggregation mode.
+    pub fn new(aggregation: Aggregation) -> Self {
+        EventAccumulator {
+            aggregation,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: 0.0,
+            held: None,
+            total_events: 0,
+        }
+    }
+
+    /// Returns the aggregation mode.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// Changes the aggregation mode, clearing held state.
+    pub fn set_aggregation(&mut self, aggregation: Aggregation) {
+        self.aggregation = aggregation;
+        self.held = None;
+        self.clear_interval();
+    }
+
+    /// Number of events pushed in the current (unfinished) interval.
+    pub fn pending_events(&self) -> u64 {
+        self.count
+    }
+
+    /// Total events pushed over the accumulator's lifetime.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    fn clear_interval(&mut self) {
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
+    /// Records one event value.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.total_events += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.last = value;
+    }
+
+    /// Closes the current interval and returns the display sample.
+    ///
+    /// `period` is the polling period (used by [`Aggregation::Rate`]).
+    /// Returns `None` when a holding aggregation has never seen an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero and the aggregation is `Rate`.
+    pub fn finish_interval(&mut self, period: TimeDelta) -> Option<f64> {
+        let out = if self.count == 0 {
+            match self.aggregation {
+                a if a.holds_when_empty() => self.held,
+                Aggregation::Sum | Aggregation::Rate | Aggregation::Events => Some(0.0),
+                Aggregation::AnyEvent => Some(0.0),
+                _ => unreachable!(),
+            }
+        } else {
+            let v = match self.aggregation {
+                Aggregation::SampleHold => self.last,
+                Aggregation::Maximum => self.max,
+                Aggregation::Minimum => self.min,
+                Aggregation::Sum => self.sum,
+                Aggregation::Rate => {
+                    assert!(
+                        !period.is_zero(),
+                        "Rate aggregation requires a non-zero period"
+                    );
+                    self.sum / period.as_secs_f64()
+                }
+                Aggregation::Average => self.sum / self.count as f64,
+                Aggregation::Events => self.count as f64,
+                Aggregation::AnyEvent => 1.0,
+            };
+            self.held = Some(v);
+            Some(v)
+        };
+        self.clear_interval();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERIOD: TimeDelta = TimeDelta::from_millis(50);
+
+    fn run(agg: Aggregation, events: &[f64]) -> Option<f64> {
+        let mut acc = EventAccumulator::new(agg);
+        for &e in events {
+            acc.push(e);
+        }
+        acc.finish_interval(PERIOD)
+    }
+
+    #[test]
+    fn aggregation_functions_match_paper_examples() {
+        let events = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(run(Aggregation::Maximum, &events), Some(5.0));
+        assert_eq!(run(Aggregation::Minimum, &events), Some(1.0));
+        assert_eq!(run(Aggregation::Sum, &events), Some(14.0));
+        assert_eq!(run(Aggregation::Average, &events), Some(2.8));
+        assert_eq!(run(Aggregation::Events, &events), Some(5.0));
+        assert_eq!(run(Aggregation::AnyEvent, &events), Some(1.0));
+        assert_eq!(run(Aggregation::SampleHold, &events), Some(5.0));
+        // Rate: 14 units per 50 ms interval = 280 units/second.
+        assert_eq!(run(Aggregation::Rate, &events), Some(280.0));
+    }
+
+    #[test]
+    fn empty_interval_zero_vs_hold() {
+        assert_eq!(run(Aggregation::Sum, &[]), Some(0.0));
+        assert_eq!(run(Aggregation::Rate, &[]), Some(0.0));
+        assert_eq!(run(Aggregation::Events, &[]), Some(0.0));
+        assert_eq!(run(Aggregation::AnyEvent, &[]), Some(0.0));
+        assert_eq!(run(Aggregation::Maximum, &[]), None);
+        assert_eq!(run(Aggregation::Minimum, &[]), None);
+        assert_eq!(run(Aggregation::Average, &[]), None);
+        assert_eq!(run(Aggregation::SampleHold, &[]), None);
+    }
+
+    #[test]
+    fn holding_aggregations_hold_across_empty_intervals() {
+        let mut acc = EventAccumulator::new(Aggregation::Maximum);
+        acc.push(9.0);
+        acc.push(2.0);
+        assert_eq!(acc.finish_interval(PERIOD), Some(9.0));
+        // Two quiet intervals: the max holds.
+        assert_eq!(acc.finish_interval(PERIOD), Some(9.0));
+        assert_eq!(acc.finish_interval(PERIOD), Some(9.0));
+        acc.push(1.0);
+        assert_eq!(acc.finish_interval(PERIOD), Some(1.0));
+    }
+
+    #[test]
+    fn counting_aggregations_reset_each_interval() {
+        let mut acc = EventAccumulator::new(Aggregation::Events);
+        acc.push(1.0);
+        acc.push(1.0);
+        assert_eq!(acc.finish_interval(PERIOD), Some(2.0));
+        assert_eq!(acc.finish_interval(PERIOD), Some(0.0));
+        acc.push(1.0);
+        assert_eq!(acc.finish_interval(PERIOD), Some(1.0));
+    }
+
+    #[test]
+    fn sample_hold_tracks_last_event() {
+        let mut acc = EventAccumulator::new(Aggregation::SampleHold);
+        acc.push(10.0);
+        acc.push(20.0);
+        assert_eq!(acc.finish_interval(PERIOD), Some(20.0));
+        assert_eq!(acc.finish_interval(PERIOD), Some(20.0), "held");
+    }
+
+    #[test]
+    fn rate_scales_with_period() {
+        let mut acc = EventAccumulator::new(Aggregation::Rate);
+        acc.push(100.0);
+        assert_eq!(
+            acc.finish_interval(TimeDelta::from_millis(100)),
+            Some(1000.0)
+        );
+        acc.push(100.0);
+        assert_eq!(acc.finish_interval(TimeDelta::from_secs(1)), Some(100.0));
+    }
+
+    #[test]
+    fn algebraic_relations() {
+        // Sum = Average * Events, Rate * period = Sum, Max >= Min.
+        let events = [2.5, -1.0, 7.75, 0.0, 3.25, 3.25];
+        let sum = run(Aggregation::Sum, &events).unwrap();
+        let avg = run(Aggregation::Average, &events).unwrap();
+        let n = run(Aggregation::Events, &events).unwrap();
+        let rate = run(Aggregation::Rate, &events).unwrap();
+        let max = run(Aggregation::Maximum, &events).unwrap();
+        let min = run(Aggregation::Minimum, &events).unwrap();
+        assert!((sum - avg * n).abs() < 1e-12);
+        assert!((rate * PERIOD.as_secs_f64() - sum).abs() < 1e-12);
+        assert!(max >= min);
+    }
+
+    #[test]
+    fn set_aggregation_clears_state() {
+        let mut acc = EventAccumulator::new(Aggregation::Maximum);
+        acc.push(100.0);
+        acc.finish_interval(PERIOD);
+        acc.set_aggregation(Aggregation::Minimum);
+        assert_eq!(acc.finish_interval(PERIOD), None, "held state cleared");
+        assert_eq!(acc.total_events(), 1, "lifetime stats survive");
+    }
+
+    #[test]
+    fn pending_and_total_counts() {
+        let mut acc = EventAccumulator::new(Aggregation::Sum);
+        acc.push(1.0);
+        acc.push(1.0);
+        assert_eq!(acc.pending_events(), 2);
+        acc.finish_interval(PERIOD);
+        assert_eq!(acc.pending_events(), 0);
+        assert_eq!(acc.total_events(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! The scope-wide buffer behind `BUFFER` signals (§3.1, §4.4).
+//!
+//! Applications (or remote clients) *push* timestamped samples into the
+//! buffer from any thread; the scope *polls* the buffer each tick and
+//! displays samples "with a user-specified delay". The delay gives
+//! in-flight data time to arrive; a sample that shows up after its
+//! display deadline has already passed "is not buffered but dropped
+//! immediately" (§4.4) and counted.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gel::{Clock, TimeDelta, TimeStamp};
+use parking_lot::Mutex;
+
+use crate::tuple::Tuple;
+
+#[derive(Debug)]
+struct Entry {
+    time: TimeStamp,
+    seq: u64,
+    value: f64,
+    name: Option<String>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    late_drops: u64,
+    inserted: u64,
+}
+
+/// Thread-safe timestamped sample queue shared by a scope and its data
+/// producers.
+///
+/// Clones share the same queue, so a clone can be handed to producer
+/// threads, device drivers (§4.2 "Buffering"), or the network server
+/// (§4.4) while the scope keeps draining it.
+#[derive(Clone)]
+pub struct ScopeBuffer {
+    inner: Arc<Mutex<Inner>>,
+    delay_us: Arc<AtomicU64>,
+    clock: Arc<dyn Clock>,
+}
+
+impl ScopeBuffer {
+    /// Creates an empty buffer with the given display delay.
+    pub fn new(clock: Arc<dyn Clock>, delay: TimeDelta) -> Self {
+        ScopeBuffer {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            delay_us: Arc::new(AtomicU64::new(delay.as_micros())),
+            clock,
+        }
+    }
+
+    /// Returns the display delay.
+    pub fn delay(&self) -> TimeDelta {
+        TimeDelta::from_micros(self.delay_us.load(Ordering::Relaxed))
+    }
+
+    /// Changes the display delay (the GUI's delay widget).
+    pub fn set_delay(&self, delay: TimeDelta) {
+        self.delay_us.store(delay.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Enqueues one sample.
+    ///
+    /// Returns false (and counts a late drop) if the sample's display
+    /// deadline `time + delay` has already passed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use gel::{TimeDelta, TimeStamp, VirtualClock};
+    /// use gscope::{ScopeBuffer, Tuple};
+    ///
+    /// let clock = Arc::new(VirtualClock::new());
+    /// let buf = ScopeBuffer::new(clock, TimeDelta::from_millis(500));
+    /// assert!(buf.push(Tuple::new(TimeStamp::from_millis(10), 1.0, "rtt")));
+    /// assert_eq!(buf.drain_until(TimeStamp::from_millis(10)).len(), 1);
+    /// ```
+    pub fn push(&self, tuple: Tuple) -> bool {
+        let deadline = tuple.time.saturating_add(self.delay());
+        let mut inner = self.inner.lock();
+        if deadline < self.clock.now() {
+            inner.late_drops += 1;
+            return false;
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.inserted += 1;
+        inner.heap.push(Reverse(Entry {
+            time: tuple.time,
+            seq,
+            value: tuple.value,
+            name: tuple.name,
+        }));
+        true
+    }
+
+    /// Convenience: enqueue a named sample.
+    pub fn push_sample(&self, name: impl Into<String>, time: TimeStamp, value: f64) -> bool {
+        self.push(Tuple::new(time, value, name))
+    }
+
+    /// Removes and returns all samples with `time ≤ cutoff`, in time
+    /// order (ties in insertion order).
+    ///
+    /// The scope calls this each tick with `cutoff = now − delay`.
+    pub fn drain_until(&self, cutoff: TimeStamp) -> Vec<Tuple> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = inner.heap.peek() {
+            if head.time > cutoff {
+                break;
+            }
+            let Reverse(e) = inner.heap.pop().expect("peeked entry exists");
+            out.push(Tuple {
+                time: e.time,
+                value: e.value,
+                name: e.name,
+            });
+        }
+        out
+    }
+
+    /// Number of samples waiting in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// Returns true if no samples are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples rejected because they arrived after their deadline.
+    pub fn late_drops(&self) -> u64 {
+        self.inner.lock().late_drops
+    }
+
+    /// Samples accepted over the buffer's lifetime.
+    pub fn total_inserted(&self) -> u64 {
+        self.inner.lock().inserted
+    }
+
+    /// Discards everything queued.
+    pub fn clear(&self) {
+        self.inner.lock().heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel::VirtualClock;
+
+    fn buffer_at(delay_ms: u64) -> (ScopeBuffer, VirtualClock) {
+        let clock = VirtualClock::new();
+        let buf = ScopeBuffer::new(
+            Arc::new(clock.clone()),
+            TimeDelta::from_millis(delay_ms),
+        );
+        (buf, clock)
+    }
+
+    #[test]
+    fn drain_returns_time_ordered() {
+        let (buf, _clock) = buffer_at(1_000);
+        assert!(buf.push_sample("a", TimeStamp::from_millis(30), 3.0));
+        assert!(buf.push_sample("a", TimeStamp::from_millis(10), 1.0));
+        assert!(buf.push_sample("b", TimeStamp::from_millis(20), 2.0));
+        let got = buf.drain_until(TimeStamp::from_millis(25));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].value, 1.0);
+        assert_eq!(got[1].value, 2.0);
+        assert_eq!(buf.len(), 1, "the 30 ms sample stays queued");
+    }
+
+    #[test]
+    fn equal_times_keep_insertion_order() {
+        let (buf, _clock) = buffer_at(1_000);
+        for i in 0..5 {
+            buf.push_sample("s", TimeStamp::from_millis(10), i as f64);
+        }
+        let got = buf.drain_until(TimeStamp::from_millis(10));
+        let values: Vec<f64> = got.iter().map(|t| t.value).collect();
+        assert_eq!(values, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn late_sample_is_dropped_and_counted() {
+        let (buf, clock) = buffer_at(50);
+        clock.advance(TimeDelta::from_millis(200));
+        // Sample from t=100 with 50 ms delay: deadline 150 < now 200.
+        assert!(!buf.push_sample("a", TimeStamp::from_millis(100), 1.0));
+        assert_eq!(buf.late_drops(), 1);
+        assert_eq!(buf.len(), 0);
+        // Sample from t=160: deadline 210 >= 200, accepted.
+        assert!(buf.push_sample("a", TimeStamp::from_millis(160), 2.0));
+        assert_eq!(buf.total_inserted(), 1);
+    }
+
+    #[test]
+    fn raising_delay_rescues_stragglers() {
+        let (buf, clock) = buffer_at(10);
+        clock.advance(TimeDelta::from_millis(100));
+        assert!(!buf.push_sample("a", TimeStamp::from_millis(50), 1.0));
+        buf.set_delay(TimeDelta::from_millis(500));
+        assert!(buf.push_sample("a", TimeStamp::from_millis(50), 1.0));
+        assert_eq!(buf.delay(), TimeDelta::from_millis(500));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (buf, _clock) = buffer_at(1_000);
+        let other = buf.clone();
+        other.push_sample("x", TimeStamp::from_millis(1), 9.0);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers() {
+        let (buf, _clock) = buffer_at(10_000);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = buf.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    b.push_sample(format!("s{t}"), TimeStamp::from_millis(i), i as f64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(buf.len(), 1000);
+        let drained = buf.drain_until(TimeStamp::from_millis(300));
+        assert_eq!(drained.len(), 1000);
+        // Verify global time ordering of the drain.
+        for w in drained.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-signal display configuration — the optional fields of
+//! `GtkScopeSig` (§3.1): "the color of the signal, the minimum and
+//! maximum value of the signal displayed (for default zoom and bias
+//! values), the line mode in which the signal is displayed, whether the
+//! signal is hidden or visible, and a parameter α for low-pass filtering
+//! the signal."
+
+use crate::aggregate::Aggregation;
+use crate::error::{Result, ScopeError};
+
+/// An RGB color (the canvas is 24-bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red component.
+    pub r: u8,
+    /// Green component.
+    pub g: u8,
+    /// Blue component.
+    pub b: u8,
+}
+
+impl Color {
+    /// Creates a color from components.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// Canvas background.
+    pub const BLACK: Color = Color::new(0, 0, 0);
+    /// Grid and text.
+    pub const WHITE: Color = Color::new(255, 255, 255);
+    /// Default trace palette entry 0.
+    pub const GREEN: Color = Color::new(0, 230, 64);
+    /// Default trace palette entry 1.
+    pub const YELLOW: Color = Color::new(240, 220, 40);
+    /// Default trace palette entry 2.
+    pub const CYAN: Color = Color::new(60, 200, 230);
+    /// Default trace palette entry 3.
+    pub const MAGENTA: Color = Color::new(230, 80, 230);
+    /// Default trace palette entry 4.
+    pub const RED: Color = Color::new(235, 60, 60);
+    /// Default trace palette entry 5.
+    pub const ORANGE: Color = Color::new(245, 150, 40);
+    /// Default trace palette entry 6.
+    pub const BLUE: Color = Color::new(90, 120, 250);
+    /// Default trace palette entry 7.
+    pub const GRAY: Color = Color::new(160, 160, 160);
+
+    /// The default signal color cycle, indexed modulo its length — an
+    /// oscilloscope-phosphor-inspired palette on black.
+    pub const PALETTE: [Color; 8] = [
+        Color::GREEN,
+        Color::YELLOW,
+        Color::CYAN,
+        Color::MAGENTA,
+        Color::RED,
+        Color::ORANGE,
+        Color::BLUE,
+        Color::GRAY,
+    ];
+
+    /// Returns palette entry `i` (wrapping).
+    pub const fn palette(i: usize) -> Color {
+        Color::PALETTE[i % Color::PALETTE.len()]
+    }
+}
+
+/// How a trace is drawn.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LineMode {
+    /// Connect successive samples with line segments.
+    #[default]
+    Line,
+    /// One dot per sample.
+    Points,
+    /// Horizontal run then vertical step (sample-and-hold shape).
+    Step,
+    /// Vertical bar from 0 to the sample (event counts).
+    Bars,
+}
+
+impl LineMode {
+    /// All line modes, for UIs.
+    pub const ALL: [LineMode; 4] = [
+        LineMode::Line,
+        LineMode::Points,
+        LineMode::Step,
+        LineMode::Bars,
+    ];
+
+    /// A short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LineMode::Line => "line",
+            LineMode::Points => "points",
+            LineMode::Step => "step",
+            LineMode::Bars => "bars",
+        }
+    }
+}
+
+/// Display configuration for one signal (the optional `GtkScopeSig`
+/// fields, §3.1, plus the §4.2 aggregation choice).
+#[derive(Clone, Debug)]
+pub struct SigConfig {
+    /// Trace color; `None` picks the next palette entry automatically.
+    pub color: Option<Color>,
+    /// Value displayed at the bottom of the canvas at default zoom/bias.
+    pub min: f64,
+    /// Value displayed at the top of the canvas at default zoom/bias.
+    pub max: f64,
+    /// Trace drawing style.
+    pub line: LineMode,
+    /// Hidden signals are sampled but not drawn (left-click on the
+    /// signal name toggles this, §2).
+    pub hidden: bool,
+    /// Low-pass filter coefficient α ∈ [0, 1]; 0 disables (§3.1).
+    pub filter_alpha: f64,
+    /// Event aggregation between polling intervals (§4.2).
+    pub aggregation: Aggregation,
+    /// The Value button: continuously display the numeric value (§2).
+    pub show_value: bool,
+}
+
+impl Default for SigConfig {
+    /// Paper defaults: y range matches the 0–100 y ruler, unfiltered,
+    /// visible, line mode.
+    fn default() -> Self {
+        SigConfig {
+            color: None,
+            min: 0.0,
+            max: 100.0,
+            line: LineMode::Line,
+            hidden: false,
+            filter_alpha: 0.0,
+            aggregation: Aggregation::SampleHold,
+            show_value: false,
+        }
+    }
+}
+
+impl SigConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::OutOfRange`] if α is outside `[0, 1]` or
+    /// the min/max range is empty or not finite.
+    pub fn validate(&self) -> Result<()> {
+        if !self.filter_alpha.is_finite() || !(0.0..=1.0).contains(&self.filter_alpha) {
+            return Err(ScopeError::OutOfRange {
+                what: "filter alpha",
+                value: self.filter_alpha,
+            });
+        }
+        if !self.min.is_finite() || !self.max.is_finite() || self.min >= self.max {
+            return Err(ScopeError::OutOfRange {
+                what: "signal min/max",
+                value: self.min,
+            });
+        }
+        Ok(())
+    }
+
+    /// Sets the color.
+    pub fn with_color(mut self, c: Color) -> Self {
+        self.color = Some(c);
+        self
+    }
+
+    /// Sets the displayed range.
+    pub fn with_range(mut self, min: f64, max: f64) -> Self {
+        self.min = min;
+        self.max = max;
+        self
+    }
+
+    /// Sets the line mode.
+    pub fn with_line(mut self, line: LineMode) -> Self {
+        self.line = line;
+        self
+    }
+
+    /// Sets hidden.
+    pub fn with_hidden(mut self, hidden: bool) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Sets the filter α.
+    pub fn with_filter(mut self, alpha: f64) -> Self {
+        self.filter_alpha = alpha;
+        self
+    }
+
+    /// Sets the aggregation mode.
+    pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Sets the Value-button state.
+    pub fn with_show_value(mut self, show: bool) -> Self {
+        self.show_value = show;
+        self
+    }
+
+    /// Maps a raw value to the normalized display fraction in `[0, 1]`
+    /// before zoom/bias (0 = bottom of canvas, 1 = top), clamped.
+    pub fn normalize(&self, v: f64) -> f64 {
+        ((v - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SigConfig::default();
+        assert_eq!(c.min, 0.0);
+        assert_eq!(c.max, 100.0);
+        assert_eq!(c.filter_alpha, 0.0, "default alpha is zero (§3.1)");
+        assert!(!c.hidden);
+        assert_eq!(c.line, LineMode::Line);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SigConfig::default()
+            .with_color(Color::RED)
+            .with_range(-1.0, 1.0)
+            .with_line(LineMode::Step)
+            .with_filter(0.5)
+            .with_aggregation(Aggregation::Rate)
+            .with_show_value(true)
+            .with_hidden(true);
+        assert_eq!(c.color, Some(Color::RED));
+        assert_eq!((c.min, c.max), (-1.0, 1.0));
+        assert!(c.hidden && c.show_value);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(SigConfig::default().with_filter(1.5).validate().is_err());
+        assert!(SigConfig::default().with_filter(-0.1).validate().is_err());
+        assert!(SigConfig::default().with_range(5.0, 5.0).validate().is_err());
+        assert!(SigConfig::default()
+            .with_range(10.0, -10.0)
+            .validate()
+            .is_err());
+        assert!(SigConfig::default()
+            .with_range(f64::NEG_INFINITY, 0.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn normalize_clamps() {
+        let c = SigConfig::default().with_range(0.0, 40.0);
+        assert_eq!(c.normalize(0.0), 0.0);
+        assert_eq!(c.normalize(40.0), 1.0);
+        assert_eq!(c.normalize(20.0), 0.5);
+        assert_eq!(c.normalize(-10.0), 0.0);
+        assert_eq!(c.normalize(100.0), 1.0);
+    }
+
+    #[test]
+    fn palette_wraps() {
+        assert_eq!(Color::palette(0), Color::GREEN);
+        assert_eq!(Color::palette(8), Color::GREEN);
+        assert_eq!(Color::palette(9), Color::YELLOW);
+    }
+}

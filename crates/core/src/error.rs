@@ -1,0 +1,130 @@
+//! Error types for the gscope library.
+
+use std::fmt;
+
+/// Errors returned by the gscope public API.
+#[derive(Debug)]
+pub enum ScopeError {
+    /// A signal with this name is already registered on the scope.
+    DuplicateSignal(String),
+    /// No signal with this name exists on the scope.
+    UnknownSignal(String),
+    /// A parameter with this name is already registered.
+    DuplicateParameter(String),
+    /// No parameter with this name exists.
+    UnknownParameter(String),
+    /// A numeric argument was outside its legal range.
+    OutOfRange {
+        /// What was being set.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A tuple line could not be parsed.
+    TupleParse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Tuples were not in non-decreasing time order (§3.3).
+    TupleOrder {
+        /// 1-based line number of the out-of-order tuple.
+        line: usize,
+        /// Previous timestamp in milliseconds.
+        previous_ms: f64,
+        /// Offending timestamp in milliseconds.
+        found_ms: f64,
+    },
+    /// The operation requires a mode the scope is not in.
+    WrongMode {
+        /// The operation attempted.
+        operation: &'static str,
+        /// The mode the scope is in.
+        mode: &'static str,
+    },
+    /// Setting a parameter to an incompatible value type.
+    TypeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Expected type name.
+        expected: &'static str,
+    },
+    /// Underlying I/O failure (recording, playback).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ScopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeError::DuplicateSignal(n) => write!(f, "signal {n:?} already exists"),
+            ScopeError::UnknownSignal(n) => write!(f, "no signal named {n:?}"),
+            ScopeError::DuplicateParameter(n) => write!(f, "parameter {n:?} already exists"),
+            ScopeError::UnknownParameter(n) => write!(f, "no parameter named {n:?}"),
+            ScopeError::OutOfRange { what, value } => {
+                write!(f, "{what} value {value} out of range")
+            }
+            ScopeError::TupleParse { line, reason } => {
+                write!(f, "tuple parse error at line {line}: {reason}")
+            }
+            ScopeError::TupleOrder {
+                line,
+                previous_ms,
+                found_ms,
+            } => write!(
+                f,
+                "tuple at line {line} goes back in time ({found_ms} ms after {previous_ms} ms)"
+            ),
+            ScopeError::WrongMode { operation, mode } => {
+                write!(f, "cannot {operation} while in {mode} mode")
+            }
+            ScopeError::TypeMismatch { name, expected } => {
+                write!(f, "parameter {name:?} expects a {expected} value")
+            }
+            ScopeError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScopeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScopeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ScopeError {
+    fn from(e: std::io::Error) -> Self {
+        ScopeError::Io(e)
+    }
+}
+
+/// Convenience alias for gscope results.
+pub type Result<T> = std::result::Result<T, ScopeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ScopeError::UnknownSignal("CWND".into());
+        assert!(e.to_string().contains("CWND"));
+        let e = ScopeError::TupleOrder {
+            line: 7,
+            previous_ms: 100.0,
+            found_ms: 50.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7") && s.contains("100") && s.contains("50"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: ScopeError = ioe.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-signal display history.
+//!
+//! In both polling and playback mode "data is displayed one pixel apart
+//! each polling period (for the default zoom value)" (§3.1) — so the
+//! scope keeps, per signal, a ring of one sample per pixel column.
+//! Columns with no data yet (a holding aggregation before its first
+//! event, a gap in playback) are `None` and render as blank.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring of display samples, one per pixel column.
+#[derive(Clone, Debug)]
+pub struct History {
+    slots: VecDeque<Option<f64>>,
+    capacity: usize,
+    /// Total samples ever pushed (including `None`), i.e. the x-axis
+    /// position of the newest column in ticks since the sweep began.
+    pushed: u64,
+}
+
+impl History {
+    /// Creates an empty history holding up to `capacity` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be non-zero");
+        History {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+            pushed: 0,
+        }
+    }
+
+    /// Returns the capacity in columns.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of stored columns (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns true if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total columns pushed since creation or [`History::clear`].
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Appends one column, evicting the oldest if full.
+    pub fn push(&mut self, v: Option<f64>) {
+        if self.slots.len() == self.capacity {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(v);
+        self.pushed += 1;
+    }
+
+    /// Returns the newest column, if any.
+    pub fn latest(&self) -> Option<Option<f64>> {
+        self.slots.back().copied()
+    }
+
+    /// Returns the newest non-empty value, if any.
+    pub fn latest_value(&self) -> Option<f64> {
+        self.slots.iter().rev().find_map(|v| *v)
+    }
+
+    /// Returns column `i`, oldest first.
+    pub fn get(&self, i: usize) -> Option<Option<f64>> {
+        self.slots.get(i).copied()
+    }
+
+    /// Copies the stored columns oldest-first.
+    pub fn to_vec(&self) -> Vec<Option<f64>> {
+        self.slots.iter().copied().collect()
+    }
+
+    /// Returns the newest `n` *values* (skipping empty columns),
+    /// oldest-first — the FFT input for the frequency view.
+    pub fn last_values(&self, n: usize) -> Vec<f64> {
+        let vals: Vec<f64> = self.slots.iter().filter_map(|v| *v).collect();
+        let start = vals.len().saturating_sub(n);
+        vals[start..].to_vec()
+    }
+
+    /// Iterates stored columns oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Changes the capacity (canvas resize), dropping oldest columns if
+    /// shrinking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "history capacity must be non-zero");
+        while self.slots.len() > capacity {
+            self.slots.pop_front();
+        }
+        self.capacity = capacity;
+    }
+
+    /// Removes all columns and resets the push counter.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.pushed = 0;
+    }
+
+    /// Minimum and maximum over stored values, ignoring empty columns.
+    ///
+    /// Returns `None` if no values are stored.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.slots.iter().filter_map(|v| *v);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_evict_oldest() {
+        let mut h = History::new(3);
+        for i in 0..5 {
+            h.push(Some(i as f64));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.to_vec(), vec![Some(2.0), Some(3.0), Some(4.0)]);
+        assert_eq!(h.total_pushed(), 5);
+        assert_eq!(h.latest(), Some(Some(4.0)));
+    }
+
+    #[test]
+    fn empty_columns_are_preserved() {
+        let mut h = History::new(4);
+        h.push(Some(1.0));
+        h.push(None);
+        h.push(Some(3.0));
+        assert_eq!(h.to_vec(), vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(h.latest_value(), Some(3.0));
+        h.push(None);
+        assert_eq!(h.latest(), Some(None));
+        assert_eq!(h.latest_value(), Some(3.0));
+    }
+
+    #[test]
+    fn last_values_skips_gaps() {
+        let mut h = History::new(8);
+        for v in [Some(1.0), None, Some(2.0), Some(3.0), None, Some(4.0)] {
+            h.push(v);
+        }
+        assert_eq!(h.last_values(3), vec![2.0, 3.0, 4.0]);
+        assert_eq!(h.last_values(100), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(h.last_values(0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn shrink_capacity_keeps_newest() {
+        let mut h = History::new(5);
+        for i in 0..5 {
+            h.push(Some(i as f64));
+        }
+        h.set_capacity(2);
+        assert_eq!(h.to_vec(), vec![Some(3.0), Some(4.0)]);
+        assert_eq!(h.capacity(), 2);
+        h.set_capacity(10);
+        h.push(Some(9.0));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn value_range_ignores_gaps() {
+        let mut h = History::new(8);
+        assert_eq!(h.value_range(), None);
+        h.push(None);
+        assert_eq!(h.value_range(), None);
+        h.push(Some(-2.0));
+        h.push(Some(7.0));
+        h.push(None);
+        assert_eq!(h.value_range(), Some((-2.0, 7.0)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = History::new(3);
+        h.push(Some(1.0));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.total_pushed(), 0);
+        assert_eq!(h.latest(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = History::new(0);
+    }
+}

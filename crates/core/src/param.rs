@@ -1,0 +1,439 @@
+//! Application/control parameters (§3.2, Figure 3).
+//!
+//! Signals can only be read; control parameters "can be read and written
+//! also" — they let the person at the scope *modify system behaviour in
+//! real time* (one of the paper's design goals). A [`Parameter`] binds a
+//! name and legal range to a shared variable the application reads; a
+//! [`ParamSet`] is the application-wide registry shown in the control
+//! parameters window.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, ScopeError};
+use crate::value::{BoolVar, FloatVar, IntVar};
+
+/// A typed parameter value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ParamValue {
+    /// Integer parameter value.
+    Int(i64),
+    /// Floating-point parameter value.
+    Float(f64),
+    /// Boolean parameter value.
+    Bool(bool),
+}
+
+impl ParamValue {
+    /// Converts to `f64` (booleans become 0/1).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            ParamValue::Int(v) => v as f64,
+            ParamValue::Float(v) => v,
+            ParamValue::Bool(v) => {
+                if v {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The type name, for error messages and UIs.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            ParamValue::Int(_) => "int",
+            ParamValue::Float(_) => "float",
+            ParamValue::Bool(_) => "bool",
+        }
+    }
+}
+
+/// The shared variable a parameter reads and writes.
+#[derive(Clone, Debug)]
+pub enum ParamBinding {
+    /// Bound to an [`IntVar`].
+    Int(IntVar),
+    /// Bound to a [`FloatVar`].
+    Float(FloatVar),
+    /// Bound to a [`BoolVar`].
+    Bool(BoolVar),
+}
+
+impl ParamBinding {
+    fn type_name(&self) -> &'static str {
+        match self {
+            ParamBinding::Int(_) => "int",
+            ParamBinding::Float(_) => "float",
+            ParamBinding::Bool(_) => "bool",
+        }
+    }
+}
+
+/// One named, range-checked, read/write control parameter.
+///
+/// # Examples
+///
+/// ```
+/// use gscope::{IntVar, Parameter, ParamValue};
+///
+/// // The paper's elephants knob: writable from the scope window,
+/// // readable by the application.
+/// let elephants = IntVar::new(8);
+/// let p = Parameter::int("elephants", elephants.clone(), 0, 40);
+/// p.set(ParamValue::Int(16)).unwrap();
+/// assert_eq!(elephants.get(), 16);
+/// assert!(p.set(ParamValue::Int(99)).is_err(), "out of range");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Parameter {
+    name: String,
+    binding: ParamBinding,
+    min: f64,
+    max: f64,
+    /// GUI spinner increment.
+    step: f64,
+}
+
+impl Parameter {
+    /// Creates an integer parameter bound to `var`, legal in
+    /// `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn int(name: impl Into<String>, var: IntVar, min: i64, max: i64) -> Self {
+        assert!(min <= max, "parameter range inverted");
+        Parameter {
+            name: name.into(),
+            binding: ParamBinding::Int(var),
+            min: min as f64,
+            max: max as f64,
+            step: 1.0,
+        }
+    }
+
+    /// Creates a float parameter bound to `var`, legal in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or the bounds are not finite.
+    pub fn float(name: impl Into<String>, var: FloatVar, min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min <= max,
+            "parameter range invalid"
+        );
+        Parameter {
+            name: name.into(),
+            binding: ParamBinding::Float(var),
+            min,
+            max,
+            step: (max - min) / 100.0,
+        }
+    }
+
+    /// Creates a boolean parameter bound to `var`.
+    pub fn bool(name: impl Into<String>, var: BoolVar) -> Self {
+        Parameter {
+            name: name.into(),
+            binding: ParamBinding::Bool(var),
+            min: 0.0,
+            max: 1.0,
+            step: 1.0,
+        }
+    }
+
+    /// Sets the GUI spinner increment.
+    pub fn with_step(mut self, step: f64) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Returns the parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns `(min, max)` as floats.
+    pub fn range(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Returns the spinner increment.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> ParamValue {
+        match &self.binding {
+            ParamBinding::Int(v) => ParamValue::Int(v.get()),
+            ParamBinding::Float(v) => ParamValue::Float(v.get()),
+            ParamBinding::Bool(v) => ParamValue::Bool(v.get()),
+        }
+    }
+
+    /// Writes a new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::TypeMismatch`] if the value's type does not
+    /// match the binding, or [`ScopeError::OutOfRange`] if it is outside
+    /// the parameter's range.
+    pub fn set(&self, value: ParamValue) -> Result<()> {
+        let f = value.as_f64();
+        if !(self.min..=self.max).contains(&f) {
+            return Err(ScopeError::OutOfRange {
+                what: "parameter",
+                value: f,
+            });
+        }
+        match (&self.binding, value) {
+            (ParamBinding::Int(var), ParamValue::Int(v)) => var.set(v),
+            (ParamBinding::Float(var), ParamValue::Float(v)) => var.set(v),
+            (ParamBinding::Bool(var), ParamValue::Bool(v)) => var.set(v),
+            (binding, _) => {
+                return Err(ScopeError::TypeMismatch {
+                    name: self.name.clone(),
+                    expected: binding.type_name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes from an `f64`, coercing to the bound type (rounding for
+    /// ints, `>= 0.5` for bools) — how a GUI slider would set it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::OutOfRange`] if outside the range.
+    pub fn set_f64(&self, value: f64) -> Result<()> {
+        if !value.is_finite() || !(self.min..=self.max).contains(&value) {
+            return Err(ScopeError::OutOfRange {
+                what: "parameter",
+                value,
+            });
+        }
+        match &self.binding {
+            ParamBinding::Int(var) => var.set(value.round() as i64),
+            ParamBinding::Float(var) => var.set(value),
+            ParamBinding::Bool(var) => var.set(value >= 0.5),
+        }
+        Ok(())
+    }
+}
+
+type ChangeListener = Box<dyn FnMut(&str, ParamValue) + Send>;
+
+/// The application-wide registry of control parameters (Figure 3).
+///
+/// Cloneable and thread-safe; the scope GUI and the application share
+/// one set.
+#[derive(Clone, Default)]
+pub struct ParamSet {
+    inner: Arc<Mutex<ParamSetInner>>,
+}
+
+#[derive(Default)]
+struct ParamSetInner {
+    params: Vec<Parameter>,
+    listeners: Vec<ChangeListener>,
+}
+
+impl ParamSet {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::DuplicateParameter`] if the name is taken.
+    pub fn add(&self, param: Parameter) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.params.iter().any(|p| p.name() == param.name()) {
+            return Err(ScopeError::DuplicateParameter(param.name().into()));
+        }
+        inner.params.push(param);
+        Ok(())
+    }
+
+    /// Removes a parameter by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::UnknownParameter`] if absent.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let before = inner.params.len();
+        inner.params.retain(|p| p.name() != name);
+        if inner.params.len() == before {
+            return Err(ScopeError::UnknownParameter(name.into()));
+        }
+        Ok(())
+    }
+
+    /// Returns the number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.inner.lock().params.len()
+    }
+
+    /// Returns true if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads a parameter by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::UnknownParameter`] if absent.
+    pub fn get(&self, name: &str) -> Result<ParamValue> {
+        let inner = self.inner.lock();
+        inner
+            .params
+            .iter()
+            .find(|p| p.name() == name)
+            .map(|p| p.get())
+            .ok_or_else(|| ScopeError::UnknownParameter(name.into()))
+    }
+
+    /// Writes a parameter by name, notifying change listeners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::UnknownParameter`] if absent, or the errors
+    /// of [`Parameter::set`].
+    pub fn set(&self, name: &str, value: ParamValue) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let param = inner
+            .params
+            .iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| ScopeError::UnknownParameter(name.into()))?
+            .clone();
+        param.set(value)?;
+        for l in &mut inner.listeners {
+            l(name, value);
+        }
+        Ok(())
+    }
+
+    /// Registers a callback invoked after every successful
+    /// [`ParamSet::set`].
+    pub fn on_change<F>(&self, f: F)
+    where
+        F: FnMut(&str, ParamValue) + Send + 'static,
+    {
+        self.inner.lock().listeners.push(Box::new(f));
+    }
+
+    /// Snapshot of `(name, value, (min, max), step)` rows for display
+    /// (the Figure 3 window contents).
+    pub fn snapshot(&self) -> Vec<(String, ParamValue, (f64, f64), f64)> {
+        self.inner
+            .lock()
+            .params
+            .iter()
+            .map(|p| (p.name().to_owned(), p.get(), p.range(), p.step()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_parameter_read_write() {
+        let elephants = IntVar::new(8);
+        let p = Parameter::int("elephants", elephants.clone(), 0, 40);
+        assert_eq!(p.get(), ParamValue::Int(8));
+        p.set(ParamValue::Int(16)).unwrap();
+        assert_eq!(elephants.get(), 16, "write reaches the application");
+        elephants.set(20);
+        assert_eq!(p.get(), ParamValue::Int(20), "application writes visible");
+    }
+
+    #[test]
+    fn range_is_enforced() {
+        let p = Parameter::int("n", IntVar::new(0), 0, 10);
+        assert!(p.set(ParamValue::Int(11)).is_err());
+        assert!(p.set(ParamValue::Int(-1)).is_err());
+        assert!(p.set_f64(9.6).is_ok(), "rounds to 10, inside range");
+        assert!(p.set_f64(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let p = Parameter::float("gain", FloatVar::new(1.0), 0.0, 2.0);
+        let err = p.set(ParamValue::Int(1)).unwrap_err();
+        assert!(matches!(err, ScopeError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn set_f64_coerces() {
+        let iv = IntVar::new(0);
+        Parameter::int("i", iv.clone(), 0, 100).set_f64(41.7).unwrap();
+        assert_eq!(iv.get(), 42);
+        let bv = BoolVar::new(false);
+        Parameter::bool("b", bv.clone()).set_f64(0.9).unwrap();
+        assert!(bv.get());
+    }
+
+    #[test]
+    fn param_set_registry() {
+        let set = ParamSet::new();
+        set.add(Parameter::int("elephants", IntVar::new(8), 0, 40))
+            .unwrap();
+        set.add(Parameter::bool("ecn", BoolVar::new(false))).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.add(Parameter::int("elephants", IntVar::new(0), 0, 1)).is_err());
+        assert_eq!(set.get("elephants").unwrap(), ParamValue::Int(8));
+        set.set("elephants", ParamValue::Int(16)).unwrap();
+        assert_eq!(set.get("elephants").unwrap(), ParamValue::Int(16));
+        assert!(set.get("nope").is_err());
+        set.remove("ecn").unwrap();
+        assert!(set.remove("ecn").is_err());
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn change_listener_fires_on_set() {
+        let set = ParamSet::new();
+        set.add(Parameter::int("n", IntVar::new(0), 0, 9)).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        set.on_change(move |name, v| {
+            seen2.lock().push((name.to_owned(), v.as_f64()));
+        });
+        set.set("n", ParamValue::Int(3)).unwrap();
+        set.set("n", ParamValue::Int(5)).unwrap();
+        let _ = set.set("n", ParamValue::Int(99)); // out of range, no event
+        assert_eq!(
+            *seen.lock(),
+            vec![("n".to_owned(), 3.0), ("n".to_owned(), 5.0)]
+        );
+    }
+
+    #[test]
+    fn snapshot_rows_match_figure3_shape() {
+        let set = ParamSet::new();
+        set.add(Parameter::int("elephants", IntVar::new(8), 0, 40))
+            .unwrap();
+        set.add(
+            Parameter::float("alpha", FloatVar::new(0.5), 0.0, 1.0).with_step(0.05),
+        )
+        .unwrap();
+        let rows = set.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "elephants");
+        assert_eq!(rows[1].2, (0.0, 1.0));
+        assert_eq!(rows[1].3, 0.05);
+    }
+}

@@ -1,0 +1,169 @@
+//! Signal data sources — the `GtkScopeSigData` union (§3.1).
+//!
+//! A signal's type "determines how signals are sampled": the scalar
+//! types poll a shared variable, `FUNC` invokes an application function,
+//! and `BUFFER` marks the signal as fed from the scope-wide buffer
+//! (timestamped samples pushed by the application, displayed with a
+//! delay).
+
+use std::fmt;
+
+use crate::value::{BoolVar, FloatVar, IntVar, ShortVar};
+
+/// Where a signal's samples come from.
+pub enum SigSource {
+    /// Poll an [`IntVar`] (`INTEGER`).
+    Int(IntVar),
+    /// Poll a [`ShortVar`] (`SHORT`).
+    Short(ShortVar),
+    /// Poll a [`BoolVar`] (`BOOLEAN`), displayed as 0/1.
+    Bool(BoolVar),
+    /// Poll a [`FloatVar`] (`FLOAT`).
+    Float(FloatVar),
+    /// Call a function each tick (`FUNC`).
+    ///
+    /// The paper's `FUNC` takes two user arguments; a Rust closure
+    /// captures them instead (e.g. the `get_cwnd(fd)` example becomes a
+    /// closure capturing the socket handle).
+    Func(Box<dyn FnMut() -> f64 + Send>),
+    /// Samples arrive through the scope-wide buffer with timestamps
+    /// (`BUFFER`); the scope drains them with a display delay.
+    Buffer,
+    /// Samples arrive as untimestamped events pushed through an
+    /// [`EventSink`](crate::signal::EventSink) and are reduced by the
+    /// signal's aggregation each polling interval (§4.2 "Event
+    /// Aggregation").
+    Events,
+}
+
+impl SigSource {
+    /// Builds a `FUNC` source from a closure.
+    pub fn func<F>(f: F) -> Self
+    where
+        F: FnMut() -> f64 + Send + 'static,
+    {
+        SigSource::Func(Box::new(f))
+    }
+
+    /// Samples the source once.
+    ///
+    /// Returns `None` for [`SigSource::Buffer`] and [`SigSource::Events`],
+    /// whose data does not come from polling.
+    pub fn sample(&mut self) -> Option<f64> {
+        match self {
+            SigSource::Int(v) => Some(v.get() as f64),
+            SigSource::Short(v) => Some(f64::from(v.get())),
+            SigSource::Bool(v) => Some(if v.get() { 1.0 } else { 0.0 }),
+            SigSource::Float(v) => Some(v.get()),
+            SigSource::Func(f) => Some(f()),
+            SigSource::Buffer | SigSource::Events => None,
+        }
+    }
+
+    /// True if this is a buffered source.
+    pub fn is_buffered(&self) -> bool {
+        matches!(self, SigSource::Buffer)
+    }
+
+    /// The paper's type-tag name (`Events` is this implementation's
+    /// extension).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SigSource::Int(_) => "INTEGER",
+            SigSource::Short(_) => "SHORT",
+            SigSource::Bool(_) => "BOOLEAN",
+            SigSource::Float(_) => "FLOAT",
+            SigSource::Func(_) => "FUNC",
+            SigSource::Buffer => "BUFFER",
+            SigSource::Events => "EVENTS",
+        }
+    }
+}
+
+impl fmt::Debug for SigSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SigSource::{}", self.type_name())
+    }
+}
+
+impl From<IntVar> for SigSource {
+    fn from(v: IntVar) -> Self {
+        SigSource::Int(v)
+    }
+}
+
+impl From<ShortVar> for SigSource {
+    fn from(v: ShortVar) -> Self {
+        SigSource::Short(v)
+    }
+}
+
+impl From<BoolVar> for SigSource {
+    fn from(v: BoolVar) -> Self {
+        SigSource::Bool(v)
+    }
+}
+
+impl From<FloatVar> for SigSource {
+    fn from(v: FloatVar) -> Self {
+        SigSource::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sources_sample_current_value() {
+        let iv = IntVar::new(7);
+        let mut s: SigSource = iv.clone().into();
+        assert_eq!(s.sample(), Some(7.0));
+        iv.set(-2);
+        assert_eq!(s.sample(), Some(-2.0));
+
+        let bv = BoolVar::new(true);
+        let mut s: SigSource = bv.clone().into();
+        assert_eq!(s.sample(), Some(1.0));
+        bv.set(false);
+        assert_eq!(s.sample(), Some(0.0));
+
+        let fv = FloatVar::new(1.25);
+        let mut s: SigSource = fv.into();
+        assert_eq!(s.sample(), Some(1.25));
+
+        let sv = ShortVar::new(-300);
+        let mut s: SigSource = sv.into();
+        assert_eq!(s.sample(), Some(-300.0));
+    }
+
+    #[test]
+    fn func_source_calls_closure_with_captured_state() {
+        // The paper's get_cwnd(fd) idiom: the closure captures "fd".
+        let fd = 42;
+        let mut calls = 0;
+        let mut s = SigSource::func(move || {
+            calls += 1;
+            (fd + calls) as f64
+        });
+        assert_eq!(s.sample(), Some(43.0));
+        assert_eq!(s.sample(), Some(44.0));
+        assert_eq!(s.type_name(), "FUNC");
+    }
+
+    #[test]
+    fn buffer_source_does_not_poll() {
+        let mut s = SigSource::Buffer;
+        assert_eq!(s.sample(), None);
+        assert!(s.is_buffered());
+        assert_eq!(format!("{s:?}"), "SigSource::BUFFER");
+    }
+
+    #[test]
+    fn type_names_match_paper() {
+        assert_eq!(SigSource::from(IntVar::new(0)).type_name(), "INTEGER");
+        assert_eq!(SigSource::from(ShortVar::new(0)).type_name(), "SHORT");
+        assert_eq!(SigSource::from(BoolVar::new(false)).type_name(), "BOOLEAN");
+        assert_eq!(SigSource::from(FloatVar::new(0.0)).type_name(), "FLOAT");
+    }
+}

@@ -1,0 +1,330 @@
+//! Oscilloscope triggers and waveform envelopes.
+//!
+//! §6 lists these as future work: "Gscope currently does not have
+//! support for repeating waveforms. Thus, many oscilloscope features
+//! such as triggers that stabilize repeating waveforms or waveform
+//! envelop generation are not implemented." This implementation provides
+//! both:
+//!
+//! * [`Trigger`] — level-crossing detection with hysteresis and
+//!   Auto/Normal modes, used to align the display window to the most
+//!   recent trigger point so repeating waveforms hold still.
+//! * [`Envelope`] — per-pixel running min/max across aligned sweeps.
+
+/// Which crossing direction fires the trigger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TriggerEdge {
+    /// Fire when the signal rises through the level.
+    #[default]
+    Rising,
+    /// Fire when the signal falls through the level.
+    Falling,
+}
+
+/// What to display when no trigger is found in the window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TriggerMode {
+    /// Free-run: show the unaligned window (like an analog scope's auto
+    /// sweep).
+    #[default]
+    Auto,
+    /// Hold the previous aligned sweep until the next trigger.
+    Normal,
+}
+
+/// A level trigger with hysteresis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Trigger {
+    /// Crossing direction.
+    pub edge: TriggerEdge,
+    /// Trigger level in signal units.
+    pub level: f64,
+    /// The signal must retreat at least this far beyond the level to
+    /// re-arm, suppressing noise-induced double triggers.
+    pub hysteresis: f64,
+    /// Behaviour when no trigger is present.
+    pub mode: TriggerMode,
+}
+
+impl Trigger {
+    /// Creates a rising-edge auto trigger at `level` with no hysteresis.
+    pub fn rising(level: f64) -> Self {
+        Trigger {
+            edge: TriggerEdge::Rising,
+            level,
+            hysteresis: 0.0,
+            mode: TriggerMode::Auto,
+        }
+    }
+
+    /// Creates a falling-edge auto trigger at `level`.
+    pub fn falling(level: f64) -> Self {
+        Trigger {
+            edge: TriggerEdge::Falling,
+            level,
+            hysteresis: 0.0,
+            mode: TriggerMode::Auto,
+        }
+    }
+
+    /// Sets the hysteresis band.
+    pub fn with_hysteresis(mut self, h: f64) -> Self {
+        self.hysteresis = h.abs();
+        self
+    }
+
+    /// Sets the trigger mode.
+    pub fn with_mode(mut self, mode: TriggerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns every index where the trigger fires.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gscope::Trigger;
+    ///
+    /// let ramp: Vec<Option<f64>> =
+    ///     [0.0, 1.0, 2.0, 0.0, 1.0, 2.0].iter().map(|&v| Some(v)).collect();
+    /// assert_eq!(Trigger::rising(1.5).find_all(&ramp), vec![2, 5]);
+    /// ```
+    ///
+    /// An index `i` fires when the sample crosses the level in the edge
+    /// direction and the signal had re-armed (gone past
+    /// `level ∓ hysteresis`) since the previous firing. Gaps (`None`)
+    /// disarm the trigger.
+    pub fn find_all(&self, samples: &[Option<f64>]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut armed = false;
+        let mut prev: Option<f64> = None;
+        for (i, s) in samples.iter().enumerate() {
+            let Some(v) = *s else {
+                armed = false;
+                prev = None;
+                continue;
+            };
+            match self.edge {
+                TriggerEdge::Rising => {
+                    if v <= self.level - self.hysteresis {
+                        armed = true;
+                    }
+                    if armed && prev.is_some_and(|p| p < self.level) && v >= self.level {
+                        out.push(i);
+                        armed = false;
+                    }
+                }
+                TriggerEdge::Falling => {
+                    if v >= self.level + self.hysteresis {
+                        armed = true;
+                    }
+                    if armed && prev.is_some_and(|p| p > self.level) && v <= self.level {
+                        out.push(i);
+                        armed = false;
+                    }
+                }
+            }
+            prev = Some(v);
+        }
+        out
+    }
+
+    /// Returns the last index where the trigger fires, if any.
+    pub fn find_last(&self, samples: &[Option<f64>]) -> Option<usize> {
+        self.find_all(samples).pop()
+    }
+
+    /// Extracts a sweep of `width` columns ending at the most recent
+    /// trigger point, for stable display of repeating waveforms.
+    ///
+    /// In [`TriggerMode::Auto`] with no trigger found, returns the last
+    /// `width` columns unaligned; in [`TriggerMode::Normal`], returns
+    /// `None` (caller holds the previous sweep).
+    pub fn align<'a>(&self, samples: &'a [Option<f64>], width: usize) -> Option<&'a [Option<f64>]> {
+        let end = match self.find_last(samples) {
+            Some(i) => i + 1,
+            None => match self.mode {
+                TriggerMode::Auto => samples.len(),
+                TriggerMode::Normal => return None,
+            },
+        };
+        let start = end.saturating_sub(width);
+        Some(&samples[start..end])
+    }
+}
+
+/// Per-pixel min/max accumulated across sweeps (§6's "waveform envelop
+/// generation").
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    min: Vec<f64>,
+    max: Vec<f64>,
+    sweeps: u64,
+}
+
+impl Envelope {
+    /// Creates an envelope for a canvas `width` pixels wide.
+    pub fn new(width: usize) -> Self {
+        Envelope {
+            min: vec![f64::INFINITY; width],
+            max: vec![f64::NEG_INFINITY; width],
+            sweeps: 0,
+        }
+    }
+
+    /// Returns the canvas width.
+    pub fn width(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Number of sweeps accumulated.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Folds one sweep into the envelope. The sweep is right-aligned if
+    /// shorter than the canvas (matching how traces render).
+    pub fn accumulate(&mut self, sweep: &[Option<f64>]) {
+        let w = self.min.len();
+        let offset = w.saturating_sub(sweep.len());
+        let skip = sweep.len().saturating_sub(w);
+        for (i, s) in sweep.iter().skip(skip).enumerate() {
+            if let Some(v) = *s {
+                let x = offset + i;
+                self.min[x] = self.min[x].min(v);
+                self.max[x] = self.max[x].max(v);
+            }
+        }
+        self.sweeps += 1;
+    }
+
+    /// Returns the `(min, max)` band at pixel `x`, if any sweep touched
+    /// it.
+    pub fn band(&self, x: usize) -> Option<(f64, f64)> {
+        if x >= self.min.len() || self.min[x] > self.max[x] {
+            None
+        } else {
+            Some((self.min[x], self.max[x]))
+        }
+    }
+
+    /// Clears the accumulated envelope.
+    pub fn reset(&mut self) {
+        self.min.fill(f64::INFINITY);
+        self.max.fill(f64::NEG_INFINITY);
+        self.sweeps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(vals: &[f64]) -> Vec<Option<f64>> {
+        vals.iter().map(|&v| Some(v)).collect()
+    }
+
+    #[test]
+    fn rising_trigger_finds_crossings() {
+        // Two full cycles of a ramp: 0..4, 0..4.
+        let s = wave(&[0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+        let t = Trigger::rising(2.0);
+        assert_eq!(t.find_all(&s), vec![2, 7]);
+        assert_eq!(t.find_last(&s), Some(7));
+    }
+
+    #[test]
+    fn falling_trigger_finds_crossings() {
+        let s = wave(&[4.0, 3.0, 2.0, 1.0, 4.0, 3.0, 2.0, 1.0]);
+        let t = Trigger::falling(2.5);
+        assert_eq!(t.find_all(&s), vec![2, 6]);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_chatter() {
+        // Noise oscillating right around level 2.0.
+        let s = wave(&[0.0, 2.1, 1.9, 2.1, 1.9, 2.1, 0.0, 3.0]);
+        let loose = Trigger::rising(2.0);
+        assert!(loose.find_all(&s).len() > 1, "no hysteresis chatters");
+        let tight = Trigger::rising(2.0).with_hysteresis(1.0);
+        // Only fires after the signal dips to <= 1.0 first: at index 1
+        // (armed by 0.0 start) and index 7 (re-armed by the 0.0 at 6).
+        assert_eq!(tight.find_all(&s), vec![1, 7]);
+    }
+
+    #[test]
+    fn gaps_disarm() {
+        let mut s = wave(&[0.0, 3.0]);
+        s.push(None);
+        s.extend(wave(&[3.0, 3.5]));
+        let t = Trigger::rising(2.0);
+        // Fires at 1; after the gap there is no below-level sample, so
+        // no second firing.
+        assert_eq!(t.find_all(&s), vec![1]);
+    }
+
+    #[test]
+    fn align_windows_end_at_trigger() {
+        let s = wave(&[0.0, 5.0, 0.0, 1.0, 5.0, 0.0, 1.0, 2.0]);
+        let t = Trigger::rising(4.0);
+        let sweep = t.align(&s, 3).unwrap();
+        // Last trigger at index 4; window is indices 2..=4.
+        assert_eq!(sweep, &wave(&[0.0, 1.0, 5.0])[..]);
+    }
+
+    #[test]
+    fn align_modes_differ_without_trigger() {
+        let s = wave(&[0.0, 0.1, 0.2, 0.3]);
+        let auto = Trigger::rising(5.0);
+        assert_eq!(auto.align(&s, 2).unwrap(), &wave(&[0.2, 0.3])[..]);
+        let normal = Trigger::rising(5.0).with_mode(TriggerMode::Normal);
+        assert_eq!(normal.align(&s, 2), None);
+    }
+
+    #[test]
+    fn envelope_accumulates_min_max() {
+        let mut e = Envelope::new(4);
+        e.accumulate(&wave(&[1.0, 2.0, 3.0, 4.0]));
+        e.accumulate(&wave(&[2.0, 1.0, 5.0, 4.0]));
+        assert_eq!(e.band(0), Some((1.0, 2.0)));
+        assert_eq!(e.band(1), Some((1.0, 2.0)));
+        assert_eq!(e.band(2), Some((3.0, 5.0)));
+        assert_eq!(e.band(3), Some((4.0, 4.0)));
+        assert_eq!(e.sweeps(), 2);
+    }
+
+    #[test]
+    fn envelope_right_aligns_short_sweeps() {
+        let mut e = Envelope::new(4);
+        e.accumulate(&wave(&[7.0, 8.0]));
+        assert_eq!(e.band(0), None);
+        assert_eq!(e.band(1), None);
+        assert_eq!(e.band(2), Some((7.0, 7.0)));
+        assert_eq!(e.band(3), Some((8.0, 8.0)));
+    }
+
+    #[test]
+    fn envelope_truncates_long_sweeps_keeping_newest() {
+        let mut e = Envelope::new(2);
+        e.accumulate(&wave(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(e.band(0), Some((3.0, 3.0)));
+        assert_eq!(e.band(1), Some((4.0, 4.0)));
+    }
+
+    #[test]
+    fn envelope_skips_gaps_and_resets() {
+        let mut e = Envelope::new(3);
+        e.accumulate(&[Some(1.0), None, Some(3.0)]);
+        assert_eq!(e.band(1), None);
+        e.reset();
+        assert_eq!(e.band(0), None);
+        assert_eq!(e.sweeps(), 0);
+    }
+
+    #[test]
+    fn out_of_range_band_is_none() {
+        let e = Envelope::new(2);
+        assert_eq!(e.band(5), None);
+    }
+}

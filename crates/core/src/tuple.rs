@@ -1,0 +1,379 @@
+//! The textual tuple format (§3.3).
+//!
+//! Signal data is streamed, recorded, and replayed as text lines of
+//! `time value name`, where `time` is milliseconds in non-decreasing
+//! order. "As a special case, if there is only one signal, then the
+//! third quantity may not exist" — name-less two-field tuples are
+//! accepted and belong to whatever single signal the consumer expects.
+//!
+//! Extensions over the paper (documented, backwards-compatible): blank
+//! lines and `#` comment lines are skipped when reading.
+
+use std::io::{BufRead, Write};
+
+use gel::TimeStamp;
+
+use crate::error::{Result, ScopeError};
+
+/// One timestamped sample, optionally tagged with its signal name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    /// Sample time.
+    pub time: TimeStamp,
+    /// Sample value.
+    pub value: f64,
+    /// Signal name; `None` in single-signal streams.
+    pub name: Option<String>,
+}
+
+impl Tuple {
+    /// Creates a named tuple.
+    pub fn new(time: TimeStamp, value: f64, name: impl Into<String>) -> Self {
+        Tuple {
+            time,
+            value,
+            name: Some(name.into()),
+        }
+    }
+
+    /// Creates a name-less tuple for single-signal streams.
+    pub fn unnamed(time: TimeStamp, value: f64) -> Self {
+        Tuple {
+            time,
+            value,
+            name: None,
+        }
+    }
+
+    /// Formats the tuple as one text line (no trailing newline).
+    ///
+    /// Times are written as fractional milliseconds with microsecond
+    /// precision; values round-trip through `f64` formatting.
+    pub fn to_line(&self) -> String {
+        match &self.name {
+            Some(name) => format!("{:.3} {} {}", self.time.as_millis_f64(), self.value, name),
+            None => format!("{:.3} {}", self.time.as_millis_f64(), self.value),
+        }
+    }
+
+    /// Parses one tuple from a text line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gscope::Tuple;
+    ///
+    /// let t = Tuple::parse_line("1500.000 42.5 CWND", 1).unwrap();
+    /// assert_eq!(t.time.as_millis(), 1500);
+    /// assert_eq!(t.value, 42.5);
+    /// assert_eq!(t.name.as_deref(), Some("CWND"));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::TupleParse`] (tagged with `line_no`) if the
+    /// line does not have 2 or 3 whitespace-separated fields, the time or
+    /// value is not a finite number, the time is negative, or the name is
+    /// empty.
+    pub fn parse_line(line: &str, line_no: usize) -> Result<Self> {
+        let mut fields = line.split_whitespace();
+        let time_s = fields.next().ok_or_else(|| ScopeError::TupleParse {
+            line: line_no,
+            reason: "empty line".into(),
+        })?;
+        let value_s = fields.next().ok_or_else(|| ScopeError::TupleParse {
+            line: line_no,
+            reason: "missing value field".into(),
+        })?;
+        let name = fields.next().map(str::to_owned);
+        if let Some(extra) = fields.next() {
+            return Err(ScopeError::TupleParse {
+                line: line_no,
+                reason: format!("unexpected extra field {extra:?}"),
+            });
+        }
+        let time_ms: f64 = time_s.parse().map_err(|_| ScopeError::TupleParse {
+            line: line_no,
+            reason: format!("bad time {time_s:?}"),
+        })?;
+        if !time_ms.is_finite() || time_ms < 0.0 {
+            return Err(ScopeError::TupleParse {
+                line: line_no,
+                reason: format!("time {time_ms} must be finite and non-negative"),
+            });
+        }
+        let value: f64 = value_s.parse().map_err(|_| ScopeError::TupleParse {
+            line: line_no,
+            reason: format!("bad value {value_s:?}"),
+        })?;
+        if !value.is_finite() {
+            return Err(ScopeError::TupleParse {
+                line: line_no,
+                reason: format!("value {value} must be finite"),
+            });
+        }
+        if let Some(n) = &name {
+            if n.is_empty() {
+                return Err(ScopeError::TupleParse {
+                    line: line_no,
+                    reason: "empty signal name".into(),
+                });
+            }
+        }
+        Ok(Tuple {
+            time: TimeStamp::from_micros((time_ms * 1_000.0).round() as u64),
+            value,
+            name,
+        })
+    }
+}
+
+/// Streaming tuple reader enforcing the format's time ordering.
+pub struct TupleReader<R> {
+    input: R,
+    line_no: usize,
+    last_time: Option<TimeStamp>,
+    buf: String,
+}
+
+impl<R: BufRead> TupleReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(input: R) -> Self {
+        TupleReader {
+            input,
+            line_no: 0,
+            last_time: None,
+            buf: String::new(),
+        }
+    }
+
+    /// Reads the next tuple, skipping blank and `#` comment lines.
+    ///
+    /// Returns `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors from [`Tuple::parse_line`], a
+    /// [`ScopeError::TupleOrder`] if time decreases (§3.3 requires
+    /// non-decreasing times), or I/O errors.
+    pub fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            self.buf.clear();
+            let n = self.input.read_line(&mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let line = self.buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let t = Tuple::parse_line(line, self.line_no)?;
+            if let Some(prev) = self.last_time {
+                if t.time < prev {
+                    return Err(ScopeError::TupleOrder {
+                        line: self.line_no,
+                        previous_ms: prev.as_millis_f64(),
+                        found_ms: t.time.as_millis_f64(),
+                    });
+                }
+            }
+            self.last_time = Some(t.time);
+            return Ok(Some(t));
+        }
+    }
+
+    /// Reads all remaining tuples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`TupleReader::next_tuple`].
+    pub fn read_all(&mut self) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_tuple()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming tuple writer.
+pub struct TupleWriter<W> {
+    output: W,
+    last_time: Option<TimeStamp>,
+}
+
+impl<W: Write> TupleWriter<W> {
+    /// Wraps a writer.
+    pub fn new(output: W) -> Self {
+        TupleWriter {
+            output,
+            last_time: None,
+        }
+    }
+
+    /// Writes one tuple as a line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::TupleOrder`] if `t` precedes the previous
+    /// tuple in time, or an I/O error.
+    pub fn write_tuple(&mut self, t: &Tuple) -> Result<()> {
+        if let Some(prev) = self.last_time {
+            if t.time < prev {
+                return Err(ScopeError::TupleOrder {
+                    line: 0,
+                    previous_ms: prev.as_millis_f64(),
+                    found_ms: t.time.as_millis_f64(),
+                });
+            }
+        }
+        self.last_time = Some(t.time);
+        writeln!(self.output, "{}", t.to_line())?;
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn flush(&mut self) -> Result<()> {
+        self.output.flush()?;
+        Ok(())
+    }
+
+    /// Consumes the writer, returning the inner sink.
+    pub fn into_inner(self) -> W {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel::TimeDelta;
+
+    #[test]
+    fn named_tuple_round_trips() {
+        let t = Tuple::new(TimeStamp::from_millis(1500), 42.5, "CWND");
+        let line = t.to_line();
+        assert_eq!(line, "1500.000 42.5 CWND");
+        assert_eq!(Tuple::parse_line(&line, 1).unwrap(), t);
+    }
+
+    #[test]
+    fn unnamed_tuple_round_trips() {
+        let t = Tuple::unnamed(TimeStamp::from_micros(1_234), -0.5);
+        let line = t.to_line();
+        assert_eq!(line, "1.234 -0.5");
+        assert_eq!(Tuple::parse_line(&line, 1).unwrap(), t);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "100",
+            "abc 1 x",
+            "100 xyz n",
+            "100 1 name extra",
+            "-5 1 n",
+            "nan 1 n",
+            "100 inf n",
+        ] {
+            assert!(
+                Tuple::parse_line(bad, 3).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let Err(ScopeError::TupleParse { line, .. }) = Tuple::parse_line("x", 17) else {
+            panic!("expected parse error");
+        };
+        assert_eq!(line, 17);
+    }
+
+    #[test]
+    fn reader_skips_blank_and_comments() {
+        let data = "# gscope capture\n\n10 1 a\n  \n20 2 a\n";
+        let mut r = TupleReader::new(data.as_bytes());
+        let all = r.read_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].time, TimeStamp::from_millis(10));
+        assert_eq!(all[1].value, 2.0);
+    }
+
+    #[test]
+    fn reader_enforces_time_order() {
+        let data = "10 1 a\n5 2 a\n";
+        let mut r = TupleReader::new(data.as_bytes());
+        r.next_tuple().unwrap();
+        let err = r.next_tuple().unwrap_err();
+        assert!(matches!(err, ScopeError::TupleOrder { line: 2, .. }));
+    }
+
+    #[test]
+    fn equal_times_are_allowed() {
+        // Multiple signals may share a timestamp.
+        let data = "10 1 a\n10 2 b\n10 3 c\n";
+        let mut r = TupleReader::new(data.as_bytes());
+        assert_eq!(r.read_all().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn writer_round_trips_through_reader() {
+        let mut w = TupleWriter::new(Vec::new());
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| {
+                Tuple::new(
+                    TimeStamp::from_millis(i * 50),
+                    (i as f64) * 1.5 - 3.0,
+                    format!("sig{}", i % 3),
+                )
+            })
+            .collect();
+        for t in &tuples {
+            w.write_tuple(t).unwrap();
+        }
+        let bytes = w.into_inner();
+        let mut r = TupleReader::new(bytes.as_slice());
+        assert_eq!(r.read_all().unwrap(), tuples);
+    }
+
+    #[test]
+    fn writer_rejects_backwards_time() {
+        let mut w = TupleWriter::new(Vec::new());
+        w.write_tuple(&Tuple::unnamed(TimeStamp::from_millis(100), 1.0))
+            .unwrap();
+        let err = w
+            .write_tuple(&Tuple::unnamed(TimeStamp::from_millis(50), 2.0))
+            .unwrap_err();
+        assert!(matches!(err, ScopeError::TupleOrder { .. }));
+    }
+
+    #[test]
+    fn sub_millisecond_precision_survives() {
+        let t = Tuple::new(
+            TimeStamp::from_micros(1_234_567),
+            9.75,
+            "fine",
+        );
+        let parsed = Tuple::parse_line(&t.to_line(), 1).unwrap();
+        assert_eq!(parsed.time, t.time);
+    }
+
+    #[test]
+    fn pixel_spacing_example_from_paper() {
+        // §3.3: "if the polling period is 50 ms, then data points in the
+        // file that are 100 ms apart will be displayed 2 pixels apart."
+        let a = Tuple::parse_line("0 1 s", 1).unwrap();
+        let b = Tuple::parse_line("100 2 s", 2).unwrap();
+        let period = TimeDelta::from_millis(50);
+        let pixels = (b.time - a.time).div_periods(period);
+        assert_eq!(pixels, 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared observable variables — the Rust equivalent of "a word of
+//! memory whose value is polled" (§1).
+//!
+//! The C gscope takes a raw pointer to an `int` (or `short`, `gboolean`,
+//! `float`) living in the application and reads it every polling period.
+//! In safe Rust the application and the scope instead share an atomic
+//! cell: the application stores into it from any thread, the scope loads
+//! from it on each tick. The cost stays a single relaxed atomic access,
+//! preserving the paper's "polling a word of memory" overhead profile.
+
+use std::sync::atomic::{AtomicBool, AtomicI16, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared `i64` observable, the `INTEGER` signal type (§3.1).
+#[derive(Clone, Debug, Default)]
+pub struct IntVar(Arc<AtomicI64>);
+
+impl IntVar {
+    /// Creates a variable with an initial value.
+    pub fn new(v: i64) -> Self {
+        IntVar(Arc::new(AtomicI64::new(v)))
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Loads the current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Adds `delta` and returns the new value.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+}
+
+/// A shared `i16` observable, the `SHORT` signal type (§3.1).
+#[derive(Clone, Debug, Default)]
+pub struct ShortVar(Arc<AtomicI16>);
+
+impl ShortVar {
+    /// Creates a variable with an initial value.
+    pub fn new(v: i16) -> Self {
+        ShortVar(Arc::new(AtomicI16::new(v)))
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: i16) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Loads the current value.
+    pub fn get(&self) -> i16 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared `bool` observable, the `BOOLEAN` signal type (§3.1).
+///
+/// Displays as 0.0 / 1.0.
+#[derive(Clone, Debug, Default)]
+pub struct BoolVar(Arc<AtomicBool>);
+
+impl BoolVar {
+    /// Creates a variable with an initial value.
+    pub fn new(v: bool) -> Self {
+        BoolVar(Arc::new(AtomicBool::new(v)))
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: bool) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Loads the current value.
+    pub fn get(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Flips the value, returning the new state.
+    pub fn toggle(&self) -> bool {
+        !self.0.fetch_xor(true, Ordering::Relaxed)
+    }
+}
+
+/// A shared `f64` observable, the `FLOAT` signal type (§3.1).
+///
+/// Stored as the bit pattern in an `AtomicU64`, so reads and writes stay
+/// lock-free.
+#[derive(Clone, Debug)]
+pub struct FloatVar(Arc<AtomicU64>);
+
+impl FloatVar {
+    /// Creates a variable with an initial value.
+    pub fn new(v: f64) -> Self {
+        FloatVar(Arc::new(AtomicU64::new(v.to_bits())))
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Loads the current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for FloatVar {
+    fn default() -> Self {
+        FloatVar::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_var_set_get_add() {
+        let v = IntVar::new(5);
+        assert_eq!(v.get(), 5);
+        v.set(-3);
+        assert_eq!(v.get(), -3);
+        assert_eq!(v.add(10), 7);
+        assert_eq!(v.get(), 7);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = IntVar::new(0);
+        let b = a.clone();
+        b.set(99);
+        assert_eq!(a.get(), 99);
+        let f = FloatVar::new(0.0);
+        let g = f.clone();
+        g.set(2.5);
+        assert_eq!(f.get(), 2.5);
+    }
+
+    #[test]
+    fn bool_var_toggles() {
+        let v = BoolVar::new(false);
+        assert!(v.toggle());
+        assert!(v.get());
+        assert!(!v.toggle());
+    }
+
+    #[test]
+    fn float_var_preserves_exact_bits() {
+        let v = FloatVar::new(0.1 + 0.2);
+        assert_eq!(v.get(), 0.1 + 0.2);
+        v.set(f64::MIN_POSITIVE);
+        assert_eq!(v.get(), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn short_var_wraps_range() {
+        let v = ShortVar::new(i16::MAX);
+        assert_eq!(v.get(), i16::MAX);
+        v.set(i16::MIN);
+        assert_eq!(v.get(), i16::MIN);
+    }
+
+    #[test]
+    fn cross_thread_visibility() {
+        let v = IntVar::new(0);
+        let v2 = v.clone();
+        let h = std::thread::spawn(move || {
+            for i in 1..=1000 {
+                v2.set(i);
+            }
+        });
+        h.join().unwrap();
+        assert_eq!(v.get(), 1000);
+    }
+}

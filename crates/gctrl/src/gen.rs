@@ -1,0 +1,264 @@
+//! Deterministic test-signal generators.
+//!
+//! The scope needs things to look at: sines, squares, saws, chirps, and
+//! noise, each sampled on demand at arbitrary times so they slot
+//! straight into a gscope `FUNC` signal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Waveform shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Waveform {
+    /// `amp·sin(2πft) + offset`.
+    Sine,
+    /// ±amp square wave.
+    Square,
+    /// Rising sawtooth from −amp to +amp.
+    Sawtooth,
+    /// Symmetric triangle.
+    Triangle,
+}
+
+/// A periodic waveform generator.
+#[derive(Clone, Debug)]
+pub struct Oscillator {
+    waveform: Waveform,
+    /// Frequency in Hz.
+    pub frequency: f64,
+    /// Peak amplitude.
+    pub amplitude: f64,
+    /// DC offset.
+    pub offset: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+}
+
+impl Oscillator {
+    /// Creates an oscillator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is not positive and finite.
+    pub fn new(waveform: Waveform, frequency: f64, amplitude: f64) -> Self {
+        assert!(
+            frequency.is_finite() && frequency > 0.0,
+            "frequency must be positive"
+        );
+        Oscillator {
+            waveform,
+            frequency,
+            amplitude,
+            offset: 0.0,
+            phase: 0.0,
+        }
+    }
+
+    /// Sets the DC offset.
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Sets the initial phase in radians.
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Samples the waveform at time `t` seconds.
+    pub fn sample(&self, t: f64) -> f64 {
+        let tau = 2.0 * std::f64::consts::PI;
+        let theta = tau * self.frequency * t + self.phase;
+        let frac = (theta / tau).rem_euclid(1.0);
+        let v = match self.waveform {
+            Waveform::Sine => theta.sin(),
+            Waveform::Square => {
+                if frac < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Waveform::Sawtooth => 2.0 * frac - 1.0,
+            Waveform::Triangle => {
+                if frac < 0.5 {
+                    4.0 * frac - 1.0
+                } else {
+                    3.0 - 4.0 * frac
+                }
+            }
+        };
+        self.amplitude * v + self.offset
+    }
+}
+
+/// A linear chirp: frequency sweeps from `f0` to `f1` over `duration`
+/// seconds, then holds `f1`.
+#[derive(Clone, Debug)]
+pub struct Chirp {
+    /// Start frequency (Hz).
+    pub f0: f64,
+    /// End frequency (Hz).
+    pub f1: f64,
+    /// Sweep duration (seconds).
+    pub duration: f64,
+    /// Peak amplitude.
+    pub amplitude: f64,
+}
+
+impl Chirp {
+    /// Creates a chirp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frequencies or duration are not positive.
+    pub fn new(f0: f64, f1: f64, duration: f64, amplitude: f64) -> Self {
+        assert!(f0 > 0.0 && f1 > 0.0 && duration > 0.0, "chirp parameters must be positive");
+        Chirp {
+            f0,
+            f1,
+            duration,
+            amplitude,
+        }
+    }
+
+    /// Instantaneous frequency at time `t`.
+    pub fn frequency_at(&self, t: f64) -> f64 {
+        let x = (t / self.duration).clamp(0.0, 1.0);
+        self.f0 + (self.f1 - self.f0) * x
+    }
+
+    /// Samples the chirp at time `t` seconds.
+    pub fn sample(&self, t: f64) -> f64 {
+        let tau = 2.0 * std::f64::consts::PI;
+        let tc = t.min(self.duration);
+        // Integrated phase of the linear sweep.
+        let k = (self.f1 - self.f0) / self.duration;
+        let mut phase = tau * (self.f0 * tc + 0.5 * k * tc * tc);
+        if t > self.duration {
+            phase += tau * self.f1 * (t - self.duration);
+        }
+        self.amplitude * phase.sin()
+    }
+}
+
+/// Band-limited-ish noise: independent Gaussian samples through a
+/// single-pole smoother.
+#[derive(Debug)]
+pub struct Noise {
+    rng: StdRng,
+    /// RMS amplitude of the raw samples.
+    pub sigma: f64,
+    /// Smoothing coefficient in [0, 1); 0 = white.
+    pub smoothing: f64,
+    state: f64,
+}
+
+impl Noise {
+    /// Creates a noise source with a deterministic seed.
+    pub fn new(seed: u64, sigma: f64, smoothing: f64) -> Self {
+        Noise {
+            rng: StdRng::seed_from_u64(seed),
+            sigma,
+            smoothing: smoothing.clamp(0.0, 0.999),
+            state: 0.0,
+        }
+    }
+
+    /// Draws the next noise sample (Box–Muller Gaussian).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = g * self.sigma;
+        self.state = self.smoothing * self.state + (1.0 - self.smoothing) * x;
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_hits_known_points() {
+        let o = Oscillator::new(Waveform::Sine, 1.0, 2.0);
+        assert!(o.sample(0.0).abs() < 1e-12);
+        assert!((o.sample(0.25) - 2.0).abs() < 1e-12);
+        assert!((o.sample(0.75) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_alternates() {
+        let o = Oscillator::new(Waveform::Square, 2.0, 1.0); // 0.5 s period
+        assert_eq!(o.sample(0.05), 1.0);
+        assert_eq!(o.sample(0.30), -1.0);
+        assert_eq!(o.sample(0.55), 1.0);
+    }
+
+    #[test]
+    fn sawtooth_and_triangle_ranges() {
+        let saw = Oscillator::new(Waveform::Sawtooth, 1.0, 1.0);
+        let tri = Oscillator::new(Waveform::Triangle, 1.0, 1.0);
+        for i in 0..100 {
+            let t = i as f64 * 0.013;
+            assert!(saw.sample(t).abs() <= 1.0 + 1e-9);
+            assert!(tri.sample(t).abs() <= 1.0 + 1e-9);
+        }
+        // Triangle peaks mid-cycle.
+        assert!((tri.sample(0.5) + 1.0).abs() < 0.05 || (tri.sample(0.5) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn offset_and_phase_apply() {
+        let o = Oscillator::new(Waveform::Sine, 1.0, 1.0)
+            .with_offset(10.0)
+            .with_phase(std::f64::consts::FRAC_PI_2);
+        assert!((o.sample(0.0) - 11.0).abs() < 1e-12, "cos at t=0");
+    }
+
+    #[test]
+    fn chirp_frequency_sweeps() {
+        let c = Chirp::new(1.0, 10.0, 2.0, 1.0);
+        assert_eq!(c.frequency_at(0.0), 1.0);
+        assert_eq!(c.frequency_at(1.0), 5.5);
+        assert_eq!(c.frequency_at(2.0), 10.0);
+        assert_eq!(c.frequency_at(99.0), 10.0, "holds after sweep");
+        for i in 0..200 {
+            assert!(c.sample(i as f64 * 0.01).abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_zero_mean() {
+        let collect = |seed| {
+            let mut n = Noise::new(seed, 1.0, 0.0);
+            (0..5000).map(|_| n.next()).collect::<Vec<f64>>()
+        };
+        let a = collect(5);
+        assert_eq!(a, collect(5));
+        let mean: f64 = a.iter().sum::<f64>() / a.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        let var: f64 = a.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / a.len() as f64;
+        assert!((var - 1.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let var = |sm: f64| {
+            let mut n = Noise::new(9, 1.0, sm);
+            let xs: Vec<f64> = (0..5000).map(|_| n.next()).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(0.9) < var(0.0) / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_frequency_rejected() {
+        let _ = Oscillator::new(Waveform::Sine, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! `gctrl` — control algorithms and signal generators.
+//!
+//! §1 of the paper: gscope was used to visualize and debug "various
+//! control algorithms such as a software implementation of a phase-lock
+//! loop", citing Franklin, Powell & Workman's *Digital Control of
+//! Dynamic Systems*. This crate provides those application-side
+//! substrates for the workspace's examples and experiments:
+//!
+//! * [`Pll`] — a second-order digital phase-locked loop whose phase
+//!   error, frequency estimate, and lock metric make ideal scope
+//!   signals,
+//! * [`Pid`] — a discrete PID controller with clamping and anti-windup,
+//! * [`Oscillator`] / [`Chirp`] / [`Noise`] — deterministic test-signal
+//!   generators that plug directly into gscope `FUNC` sources.
+
+mod gen;
+mod pid;
+mod pll;
+
+pub use gen::{Chirp, Noise, Oscillator, Waveform};
+pub use pid::{Pid, PidConfig};
+pub use pll::{Pll, PllConfig, PllOutput};

@@ -1,0 +1,197 @@
+//! A textbook discrete PID controller with anti-windup.
+//!
+//! The paper cites Franklin, Powell & Workman, *Digital Control of
+//! Dynamic Systems* [9] as the source for the control algorithms gscope
+//! was used to visualize; this is the workhorse from that book.
+
+/// PID gains and limits.
+#[derive(Clone, Copy, Debug)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (per second).
+    pub ki: f64,
+    /// Derivative gain (seconds).
+    pub kd: f64,
+    /// Output clamp (symmetric, also bounds the integrator).
+    pub output_limit: f64,
+}
+
+impl Default for PidConfig {
+    fn default() -> Self {
+        PidConfig {
+            kp: 1.0,
+            ki: 0.0,
+            kd: 0.0,
+            output_limit: f64::INFINITY,
+        }
+    }
+}
+
+/// Discrete PID controller state.
+#[derive(Clone, Debug)]
+pub struct Pid {
+    config: PidConfig,
+    integral: f64,
+    prev_error: Option<f64>,
+    last_output: f64,
+}
+
+impl Pid {
+    /// Creates a controller.
+    pub fn new(config: PidConfig) -> Self {
+        Pid {
+            config,
+            integral: 0.0,
+            prev_error: None,
+            last_output: 0.0,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> PidConfig {
+        self.config
+    }
+
+    /// Returns the integrator state.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// The most recent output.
+    pub fn last_output(&self) -> f64 {
+        self.last_output
+    }
+
+    /// Resets dynamic state.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+        self.last_output = 0.0;
+    }
+
+    /// Advances the controller by `dt` seconds with the given error
+    /// (`setpoint − measurement`), returning the new output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn update(&mut self, error: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "dt must be positive");
+        let lim = self.config.output_limit;
+        let p = self.config.kp * error;
+        let d = match self.prev_error {
+            Some(prev) => self.config.kd * (error - prev) / dt,
+            None => 0.0,
+        };
+        self.prev_error = Some(error);
+        // Conditional integration: freeze the integrator when the
+        // output is saturated in the error's direction (anti-windup).
+        let tentative = p + self.integral + d;
+        let saturated_high = tentative >= lim && error > 0.0;
+        let saturated_low = tentative <= -lim && error < 0.0;
+        if !(saturated_high || saturated_low) {
+            self.integral += self.config.ki * error * dt;
+            self.integral = self.integral.clamp(-lim, lim);
+        }
+        self.last_output = (p + self.integral + d).clamp(-lim, lim);
+        self.last_output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A first-order plant: y' = (u - y) / tau.
+    fn run_loop(pid: &mut Pid, setpoint: f64, tau: f64, steps: usize, dt: f64) -> f64 {
+        let mut y = 0.0;
+        for _ in 0..steps {
+            let u = pid.update(setpoint - y, dt);
+            y += (u - y) / tau * dt;
+        }
+        y
+    }
+
+    #[test]
+    fn proportional_only_leaves_steady_state_error() {
+        let mut pid = Pid::new(PidConfig {
+            kp: 2.0,
+            ..Default::default()
+        });
+        let y = run_loop(&mut pid, 1.0, 0.5, 4000, 0.001);
+        // P-only closed loop settles at kp/(1+kp) = 2/3.
+        assert!((y - 2.0 / 3.0).abs() < 0.01, "y = {y}");
+    }
+
+    #[test]
+    fn integral_removes_steady_state_error() {
+        let mut pid = Pid::new(PidConfig {
+            kp: 2.0,
+            ki: 4.0,
+            ..Default::default()
+        });
+        let y = run_loop(&mut pid, 1.0, 0.5, 20000, 0.001);
+        assert!((y - 1.0).abs() < 0.01, "y = {y}");
+    }
+
+    #[test]
+    fn derivative_term_reacts_to_slope() {
+        let mut pid = Pid::new(PidConfig {
+            kp: 0.0,
+            kd: 1.0,
+            ..Default::default()
+        });
+        pid.update(0.0, 0.1);
+        let out = pid.update(1.0, 0.1);
+        assert!((out - 10.0).abs() < 1e-9, "d = Δe/dt = 10, got {out}");
+    }
+
+    #[test]
+    fn output_clamps_and_integrator_does_not_wind_up() {
+        let mut pid = Pid::new(PidConfig {
+            kp: 0.0,
+            ki: 100.0,
+            kd: 0.0,
+            output_limit: 1.0,
+        });
+        for _ in 0..1000 {
+            let u = pid.update(10.0, 0.01);
+            assert!(u <= 1.0);
+        }
+        // After the error flips, a wound-up integrator would stay
+        // pinned for ages; anti-windup lets it unwind quickly.
+        let mut steps = 0;
+        loop {
+            let u = pid.update(-10.0, 0.01);
+            steps += 1;
+            if u <= 0.0 {
+                break;
+            }
+            assert!(steps < 50, "integrator wound up");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(PidConfig {
+            kp: 1.0,
+            ki: 1.0,
+            kd: 1.0,
+            output_limit: 10.0,
+        });
+        pid.update(5.0, 0.1);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+        assert_eq!(pid.last_output(), 0.0);
+        // First post-reset update has no derivative kick.
+        let u = pid.update(1.0, 0.1);
+        assert!((u - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_rejected() {
+        Pid::new(PidConfig::default()).update(1.0, 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! A software phase-locked loop.
+//!
+//! §1 lists "a software implementation of a phase-lock loop" among the
+//! control algorithms the authors visualized with gscope. This is a
+//! classic second-order digital PLL: a multiplying phase detector, a
+//! low-pass arm, a PI loop filter, and a numerically controlled
+//! oscillator. Its phase error, frequency estimate, and lock flag are
+//! exactly the kind of time-sensitive internal state a scope window
+//! makes visible.
+
+/// PLL design parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PllConfig {
+    /// NCO center (free-running) frequency in Hz.
+    pub center_freq: f64,
+    /// Loop noise bandwidth in Hz (sets the natural frequency).
+    pub bandwidth: f64,
+    /// Damping factor (0.707 critical-ish).
+    pub damping: f64,
+    /// |smoothed phase error| below which the loop reports lock.
+    pub lock_threshold: f64,
+}
+
+impl Default for PllConfig {
+    fn default() -> Self {
+        PllConfig {
+            center_freq: 50.0,
+            bandwidth: 4.0,
+            damping: 0.707,
+            lock_threshold: 0.1,
+        }
+    }
+}
+
+/// One step's observable PLL state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PllOutput {
+    /// Instantaneous (filtered) phase error in radians.
+    pub phase_error: f64,
+    /// Current NCO frequency estimate in Hz.
+    pub frequency: f64,
+    /// The NCO output sample.
+    pub nco: f64,
+    /// True while the smoothed error is inside the lock threshold.
+    pub locked: bool,
+}
+
+/// A second-order digital PLL.
+#[derive(Clone, Debug)]
+pub struct Pll {
+    config: PllConfig,
+    /// NCO phase in radians.
+    phase: f64,
+    /// Integrator of the PI loop filter (Hz of correction).
+    freq_integrator: f64,
+    /// Two-stage low-passed in-phase arm (∝ sin Δθ).
+    i_lp: [f64; 2],
+    /// Two-stage low-passed quadrature arm (∝ cos Δθ).
+    q_lp: [f64; 2],
+    /// Long-window smoothed |error| for lock detection.
+    lock_metric: f64,
+    kp: f64,
+    ki: f64,
+}
+
+impl Pll {
+    /// Creates a PLL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the center frequency or bandwidth is not positive.
+    pub fn new(config: PllConfig) -> Self {
+        assert!(
+            config.center_freq > 0.0 && config.bandwidth > 0.0,
+            "PLL frequencies must be positive"
+        );
+        let wn = 2.0 * std::f64::consts::PI * config.bandwidth;
+        // Standard 2nd-order loop gains; the atan2 discriminator has
+        // unit gain, so no detector compensation is needed.
+        let kp = 2.0 * config.damping * wn;
+        let ki = wn * wn;
+        Pll {
+            config,
+            phase: 0.0,
+            freq_integrator: 0.0,
+            i_lp: [0.0; 2],
+            q_lp: [0.0; 2],
+            lock_metric: 1.0,
+            kp,
+            ki,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> PllConfig {
+        self.config
+    }
+
+    /// Current frequency estimate in Hz.
+    pub fn frequency(&self) -> f64 {
+        self.config.center_freq + self.freq_integrator
+    }
+
+    /// Smoothed lock metric (|phase error|, radians).
+    pub fn lock_metric(&self) -> f64 {
+        self.lock_metric
+    }
+
+    /// True while locked.
+    pub fn is_locked(&self) -> bool {
+        self.lock_metric < self.config.lock_threshold
+    }
+
+    /// Advances the loop by `dt` seconds with one input sample,
+    /// returning the observable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn step(&mut self, input: f64, dt: f64) -> PllOutput {
+        assert!(dt > 0.0, "dt must be positive");
+        // Quadrature mixer: for input sin(θi),
+        //   I = x·cos(θo) → ½ sin(Δθ) + 2f ripple,
+        //   Q = x·sin(θo) → ½ cos(Δθ) + 2f ripple.
+        let i_raw = input * self.phase.cos();
+        let q_raw = input * self.phase.sin();
+        // Two cascaded one-pole low-passes strip the 2f ripple; the
+        // cutoff sits well above the loop bandwidth so it adds little
+        // phase lag inside the loop.
+        let fc = (4.0 * self.config.bandwidth).min(self.config.center_freq / 4.0);
+        let a = (-2.0 * std::f64::consts::PI * fc * dt).exp();
+        self.i_lp[0] = a * self.i_lp[0] + (1.0 - a) * i_raw;
+        self.i_lp[1] = a * self.i_lp[1] + (1.0 - a) * self.i_lp[0];
+        self.q_lp[0] = a * self.q_lp[0] + (1.0 - a) * q_raw;
+        self.q_lp[1] = a * self.q_lp[1] + (1.0 - a) * self.q_lp[0];
+        // atan2 discriminator: amplitude-independent Δθ estimate.
+        let err = if self.i_lp[1].abs() < 1e-12 && self.q_lp[1].abs() < 1e-12 {
+            0.0
+        } else {
+            self.i_lp[1].atan2(self.q_lp[1])
+        };
+        // PI loop filter drives the NCO frequency offset (in Hz).
+        self.freq_integrator += self.ki * err * dt / (2.0 * std::f64::consts::PI);
+        let freq = self.config.center_freq
+            + self.freq_integrator
+            + self.kp * err / (2.0 * std::f64::consts::PI);
+        // NCO advance.
+        self.phase += 2.0 * std::f64::consts::PI * freq * dt;
+        if self.phase > 1e6 {
+            self.phase = self.phase.rem_euclid(2.0 * std::f64::consts::PI);
+        }
+        // Lock metric: slow EWMA of |error|.
+        self.lock_metric = 0.999 * self.lock_metric + 0.001 * err.abs();
+        PllOutput {
+            phase_error: err,
+            frequency: freq,
+            nco: self.phase.sin(),
+            locked: self.is_locked(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{Oscillator, Waveform};
+
+    fn drive(pll: &mut Pll, freq: f64, seconds: f64, dt: f64) -> PllOutput {
+        let osc = Oscillator::new(Waveform::Sine, freq, 1.0);
+        let steps = (seconds / dt) as usize;
+        let mut out = pll.step(osc.sample(0.0), dt);
+        for i in 1..steps {
+            out = pll.step(osc.sample(i as f64 * dt), dt);
+        }
+        out
+    }
+
+    #[test]
+    fn locks_to_center_frequency() {
+        let mut pll = Pll::new(PllConfig::default());
+        let out = drive(&mut pll, 50.0, 3.0, 0.0005);
+        assert!(
+            (out.frequency - 50.0).abs() < 0.5,
+            "frequency {}",
+            out.frequency
+        );
+        assert!(pll.is_locked(), "lock metric {}", pll.lock_metric());
+    }
+
+    #[test]
+    fn pulls_in_an_offset_frequency() {
+        let mut pll = Pll::new(PllConfig::default());
+        let out = drive(&mut pll, 53.0, 4.0, 0.0005);
+        assert!(
+            (out.frequency - 53.0).abs() < 0.5,
+            "should pull to 53 Hz, got {}",
+            out.frequency
+        );
+        assert!(pll.is_locked());
+    }
+
+    #[test]
+    fn tracks_a_frequency_step() {
+        let mut pll = Pll::new(PllConfig::default());
+        drive(&mut pll, 50.0, 2.0, 0.0005);
+        let f_before = pll.frequency();
+        drive(&mut pll, 48.0, 4.0, 0.0005);
+        let f_after = pll.frequency();
+        assert!((f_before - 50.0).abs() < 0.5);
+        assert!((f_after - 48.0).abs() < 0.5, "after step: {f_after}");
+    }
+
+    #[test]
+    fn unlocked_when_far_out_of_band() {
+        let mut pll = Pll::new(PllConfig {
+            bandwidth: 1.0,
+            ..Default::default()
+        });
+        drive(&mut pll, 90.0, 2.0, 0.0005);
+        assert!(
+            !pll.is_locked(),
+            "a 90 Hz tone is outside a 1 Hz loop around 50 Hz"
+        );
+    }
+
+    #[test]
+    fn survives_noise() {
+        let mut pll = Pll::new(PllConfig::default());
+        let osc = Oscillator::new(Waveform::Sine, 51.0, 1.0);
+        let mut noise = crate::gen::Noise::new(3, 0.2, 0.0);
+        let dt = 0.0005;
+        let mut out = pll.step(0.0, dt);
+        for i in 0..(6.0 / dt) as usize {
+            let x = osc.sample(i as f64 * dt) + noise.next();
+            out = pll.step(x, dt);
+        }
+        assert!(
+            (out.frequency - 51.0).abs() < 1.0,
+            "noisy lock at {}",
+            out.frequency
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_config_rejected() {
+        let _ = Pll::new(PllConfig {
+            bandwidth: 0.0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,233 @@
+//! Radix-2 Cooley–Tukey FFT, implemented from scratch.
+//!
+//! The gscope frequency-domain view (§3.1: "polled signals can be
+//! displayed in the time or frequency domain") needs a power spectrum of
+//! the most recent window of samples. An iterative in-place radix-2
+//! transform is ample for scope-sized windows (≤ a few thousand points).
+
+use crate::complex::Complex;
+
+/// Errors returned by the transforms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FftError {
+    /// The input length is not a power of two (radix-2 requirement).
+    NotPowerOfTwo(usize),
+    /// The input is empty.
+    Empty,
+}
+
+impl core::fmt::Display for FftError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => {
+                write!(f, "FFT length {n} is not a power of two")
+            }
+            FftError::Empty => write!(f, "FFT input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+fn check_len(n: usize) -> Result<(), FftError> {
+    if n == 0 {
+        return Err(FftError::Empty);
+    }
+    if !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo(n));
+    }
+    Ok(())
+}
+
+/// Reverses the lowest `bits` bits of `x`.
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let bits = n.trailing_zeros();
+    // Bit-reversal permutation.
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Computes the forward FFT of `data` in place.
+///
+/// Uses the engineering sign convention `X_k = Σ x_n e^{-2πi kn/N}` with
+/// no normalization (normalization happens in [`ifft`]).
+///
+/// # Errors
+///
+/// Returns [`FftError`] unless `data.len()` is a non-zero power of two.
+pub fn fft(data: &mut [Complex]) -> Result<(), FftError> {
+    check_len(data.len())?;
+    fft_in_place(data, false);
+    Ok(())
+}
+
+/// Computes the inverse FFT of `data` in place, including the `1/N`
+/// normalization, so `ifft(fft(x)) == x` up to rounding.
+///
+/// # Errors
+///
+/// Returns [`FftError`] unless `data.len()` is a non-zero power of two.
+pub fn ifft(data: &mut [Complex]) -> Result<(), FftError> {
+    check_len(data.len())?;
+    fft_in_place(data, true);
+    let k = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(k);
+    }
+    Ok(())
+}
+
+/// Computes the FFT of a real-valued slice, returning the complex
+/// spectrum.
+///
+/// # Errors
+///
+/// Returns [`FftError`] unless `data.len()` is a non-zero power of two.
+pub fn fft_real(data: &[f64]) -> Result<Vec<Complex>, FftError> {
+    check_len(data.len())?;
+    let mut buf: Vec<Complex> = data.iter().map(|&x| Complex::from_real(x)).collect();
+    fft_in_place(&mut buf, false);
+    Ok(buf)
+}
+
+/// Naive `O(n²)` DFT, used as a correctness oracle in tests and kept
+/// public so benchmarks can report the FFT speed-up.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (j, &x) in data.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            acc += x * Complex::cis(ang);
+        }
+        *out_k = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(fft(&mut []), Err(FftError::Empty));
+        let mut three = [Complex::ZERO; 3];
+        assert_eq!(fft(&mut three), Err(FftError::NotPowerOfTwo(3)));
+        assert_eq!(fft_real(&[0.0; 12]).unwrap_err(), FftError::NotPowerOfTwo(12));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data).unwrap();
+        for z in &data {
+            assert!(close(z.re, 1.0, 1e-12) && close(z.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn dc_concentrates_in_bin_zero() {
+        let mut data = vec![Complex::ONE; 16];
+        fft(&mut data).unwrap();
+        assert!(close(data[0].re, 16.0, 1e-9));
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_its_bin() {
+        let n = 64;
+        let freq_bin = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq_bin as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&x).unwrap();
+        // A real sine of amplitude 1 puts N/2 magnitude in bins ±k.
+        assert!(close(spec[freq_bin].abs(), n as f64 / 2.0, 1e-9));
+        assert!(close(spec[n - freq_bin].abs(), n as f64 / 2.0, 1e-9));
+        for (k, z) in spec.iter().enumerate() {
+            if k != freq_bin && k != n - freq_bin {
+                assert!(z.abs() < 1e-9, "leakage in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        let mut y = x.clone();
+        fft(&mut y).unwrap();
+        ifft(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!(close(a.re, b.re, 1e-10) && close(a.im, b.im, 1e-10));
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast).unwrap();
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(close(a.re, b.re, 1e-8) && close(a.im, b.im, 1e-8));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<f64> = (0..128).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let spec = fft_real(&x).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!(close(time_energy, freq_energy, 1e-6));
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let mut one = [Complex::new(3.5, -1.0)];
+        fft(&mut one).unwrap();
+        assert_eq!(one[0], Complex::new(3.5, -1.0));
+    }
+}

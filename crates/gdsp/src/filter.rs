@@ -1,0 +1,186 @@
+//! The paper's per-signal low-pass filter (§3.1).
+//!
+//! Gscope filters each displayed sample with
+//! `y_i = α·y_{i−1} + (1−α)·x_i`, where α ranges from 0 (unfiltered,
+//! the default) to 1. This module holds the canonical implementation;
+//! the scope engine in the `gscope` crate drives it per signal.
+
+/// Errors constructing a filter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FilterError {
+    /// α must be finite and in `[0, 1]`.
+    AlphaOutOfRange(f64),
+}
+
+impl core::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FilterError::AlphaOutOfRange(a) => {
+                write!(f, "filter alpha {a} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A single-pole low-pass filter with the paper's exact recurrence.
+///
+/// The first sample seeds the state (`y_0 = x_0`), so a constant input
+/// passes through unchanged for every α.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LowPass {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl LowPass {
+    /// Creates a filter with coefficient `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::AlphaOutOfRange`] unless `alpha` is finite
+    /// and within `[0, 1]`.
+    pub fn new(alpha: f64) -> Result<Self, FilterError> {
+        if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+            return Err(FilterError::AlphaOutOfRange(alpha));
+        }
+        Ok(LowPass { alpha, state: None })
+    }
+
+    /// The identity filter (α = 0), gscope's default.
+    pub fn identity() -> Self {
+        LowPass {
+            alpha: 0.0,
+            state: None,
+        }
+    }
+
+    /// Returns α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Changes α without resetting the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::AlphaOutOfRange`] for invalid values.
+    pub fn set_alpha(&mut self, alpha: f64) -> Result<(), FilterError> {
+        if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+            return Err(FilterError::AlphaOutOfRange(alpha));
+        }
+        self.alpha = alpha;
+        Ok(())
+    }
+
+    /// Clears the filter state; the next sample re-seeds it.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Returns the current filtered value, if any sample has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.state
+    }
+
+    /// Feeds one sample and returns the filtered output.
+    pub fn feed(&mut self, x: f64) -> f64 {
+        let y = match self.state {
+            None => x,
+            Some(prev) => self.alpha * prev + (1.0 - self.alpha) * x,
+        };
+        self.state = Some(y);
+        y
+    }
+
+    /// Filters a whole slice, returning the outputs.
+    pub fn feed_all(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.feed(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_zero_is_identity() {
+        let mut f = LowPass::identity();
+        for x in [1.0, -5.0, 42.0, 0.25] {
+            assert_eq!(f.feed(x), x);
+        }
+    }
+
+    #[test]
+    fn alpha_one_freezes_at_seed() {
+        let mut f = LowPass::new(1.0).unwrap();
+        assert_eq!(f.feed(7.0), 7.0);
+        assert_eq!(f.feed(100.0), 7.0);
+        assert_eq!(f.feed(-3.0), 7.0);
+    }
+
+    #[test]
+    fn recurrence_matches_paper_equation() {
+        let alpha = 0.75;
+        let mut f = LowPass::new(alpha).unwrap();
+        let xs = [10.0, 0.0, 20.0, -4.0];
+        let mut y = xs[0];
+        assert_eq!(f.feed(xs[0]), y);
+        for &x in &xs[1..] {
+            y = alpha * y + (1.0 - alpha) * x;
+            assert!((f.feed(x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_input_passes_through() {
+        for alpha in [0.0, 0.3, 0.9, 1.0] {
+            let mut f = LowPass::new(alpha).unwrap();
+            for _ in 0..50 {
+                assert_eq!(f.feed(5.5), 5.5);
+            }
+        }
+    }
+
+    #[test]
+    fn step_response_converges() {
+        let mut f = LowPass::new(0.9).unwrap();
+        f.feed(0.0);
+        let mut y = 0.0;
+        for _ in 0..400 {
+            y = f.feed(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-10, "step should converge, got {y}");
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(LowPass::new(-0.1).is_err());
+        assert!(LowPass::new(1.1).is_err());
+        assert!(LowPass::new(f64::NAN).is_err());
+        let mut f = LowPass::identity();
+        assert!(f.set_alpha(2.0).is_err());
+        assert!(f.set_alpha(0.5).is_ok());
+        assert_eq!(f.alpha(), 0.5);
+    }
+
+    #[test]
+    fn reset_reseeds() {
+        let mut f = LowPass::new(0.5).unwrap();
+        f.feed(100.0);
+        f.reset();
+        assert_eq!(f.value(), None);
+        assert_eq!(f.feed(2.0), 2.0);
+    }
+
+    #[test]
+    fn output_stays_within_input_hull() {
+        let mut f = LowPass::new(0.6).unwrap();
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 37) % 21) as f64 - 10.0).collect();
+        let (lo, hi) = (-10.0, 10.0);
+        for y in f.feed_all(&xs) {
+            assert!((lo..=hi).contains(&y));
+        }
+    }
+}

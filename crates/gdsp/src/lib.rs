@@ -1,0 +1,40 @@
+//! `gdsp` — signal-processing substrate for the gscope workspace.
+//!
+//! The original gscope displays polled signals "in the time or frequency
+//! domain" (§3.1) and low-pass filters each signal with a per-signal α
+//! (§3.1). This crate implements that machinery from scratch:
+//!
+//! * [`Complex`] and a radix-2 in-place [`fft`] / [`ifft`] (with a naive
+//!   DFT oracle for tests and benchmarks),
+//! * spectral [`Window`] functions,
+//! * a single-sided [`power_spectrum`] pipeline,
+//! * the paper's exact [`LowPass`] recurrence
+//!   `y_i = α·y_{i−1} + (1−α)·x_i`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gdsp::{power_spectrum, peak_bin, SpectrumConfig};
+//!
+//! // A 4-cycles-per-window sine shows up at frequency 4/64.
+//! let x: Vec<f64> = (0..64)
+//!     .map(|i| (2.0 * std::f64::consts::PI * 4.0 * i as f64 / 64.0).sin())
+//!     .collect();
+//! let bins = power_spectrum(&x, SpectrumConfig::default()).unwrap();
+//! let peak = peak_bin(&bins).unwrap();
+//! assert!((peak.frequency - 4.0 / 64.0).abs() < 1e-9);
+//! ```
+
+mod complex;
+mod fft;
+mod filter;
+mod resample;
+mod spectrum;
+mod window;
+
+pub use complex::Complex;
+pub use fft::{dft_naive, fft, fft_real, ifft, FftError};
+pub use filter::{FilterError, LowPass};
+pub use resample::{decimate, decimate_peak};
+pub use spectrum::{peak_bin, power_spectrum, Bin, Scale, SpectrumConfig};
+pub use window::Window;

@@ -1,0 +1,128 @@
+//! Decimation for high-rate buffered signals.
+//!
+//! §4.5's prescription for signals faster than the polling ceiling is
+//! to buffer and display them with delay; when the buffered rate is
+//! far above what one pixel per period can show, decimating with an
+//! anti-alias pre-filter preserves the trace's shape better than
+//! naive sample dropping.
+
+use crate::filter::LowPass;
+
+/// Downsamples `xs` by an integer `factor`, applying a single-pole
+/// anti-alias low-pass before picking every `factor`-th sample.
+///
+/// The filter coefficient is derived from the factor (heavier smoothing
+/// for heavier decimation); `factor == 1` returns the input unchanged.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn decimate(xs: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be non-zero");
+    if factor == 1 {
+        return xs.to_vec();
+    }
+    // One-pole alpha that puts the cutoff near the new Nyquist:
+    // alpha = exp(-2π·fc/fs) with fc = 0.4/factor of the original rate.
+    let alpha = (-2.0 * std::f64::consts::PI * 0.4 / factor as f64).exp();
+    let mut lp = LowPass::new(alpha).expect("alpha in (0,1)");
+    let mut out = Vec::with_capacity(xs.len() / factor + 1);
+    for (i, &x) in xs.iter().enumerate() {
+        let y = lp.feed(x);
+        if i % factor == factor - 1 {
+            out.push(y);
+        }
+    }
+    out
+}
+
+/// Peak-preserving decimation: each output sample is the extreme
+/// (largest |value|) of its block — what oscilloscope "peak detect"
+/// acquisition does, so narrow glitches survive the rate reduction.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn decimate_peak(xs: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be non-zero");
+    xs.chunks(factor)
+        .map(|block| {
+            block
+                .iter()
+                .copied()
+                .max_by(|a, b| a.abs().total_cmp(&b.abs()))
+                .expect("chunks are non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_one_is_identity() {
+        let xs = vec![1.0, -2.0, 3.0];
+        assert_eq!(decimate(&xs, 1), xs);
+        assert_eq!(decimate_peak(&xs, 1), xs);
+    }
+
+    #[test]
+    fn output_length_shrinks_by_factor() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(decimate(&xs, 4).len(), 25);
+        assert_eq!(decimate_peak(&xs, 4).len(), 25);
+        // Non-multiple lengths: peak keeps the tail block.
+        assert_eq!(decimate_peak(&xs[..10], 4).len(), 3);
+    }
+
+    #[test]
+    fn dc_passes_through_decimation() {
+        let xs = vec![5.0; 200];
+        let out = decimate(&xs, 8);
+        // After filter settling, the level is preserved.
+        assert!((out.last().unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn antialias_attenuates_above_new_nyquist() {
+        // A tone right at 0.4 cycles/sample is far above the new
+        // Nyquist for factor 8 (0.0625): it must come out much smaller.
+        let n = 512;
+        let hi: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 0.4 * i as f64).sin())
+            .collect();
+        let out = decimate(&hi, 8);
+        let peak = out.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!(peak < 0.3, "aliasing energy should be attenuated: {peak}");
+        // A slow tone (0.01 cycles/sample) survives.
+        let lo: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 0.01 * i as f64).sin())
+            .collect();
+        let out = decimate(&lo, 8);
+        let peak = out.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!(peak > 0.7, "in-band signal should survive: {peak}");
+    }
+
+    #[test]
+    fn peak_decimation_keeps_glitches() {
+        let mut xs = vec![0.1; 64];
+        xs[37] = -9.0; // one narrow glitch
+        let plain = decimate(&xs, 16);
+        let peak = decimate_peak(&xs, 16);
+        assert!(
+            peak.iter().any(|&v| v == -9.0),
+            "peak detect must keep the glitch"
+        );
+        assert!(
+            plain.iter().all(|&v| v.abs() < 5.0),
+            "filtered decimation smears it — that contrast is the point"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_factor_rejected() {
+        let _ = decimate(&[1.0], 0);
+    }
+}

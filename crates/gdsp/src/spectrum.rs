@@ -1,0 +1,198 @@
+//! Power-spectrum pipeline for the scope's frequency-domain view.
+//!
+//! Takes the most recent window of display samples, tapers it, transforms
+//! it, and produces one magnitude per positive-frequency bin, either
+//! linear or in decibels.
+
+use crate::fft::{fft_real, FftError};
+use crate::window::Window;
+
+/// Magnitude scaling for the spectrum display.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear amplitude.
+    #[default]
+    Linear,
+    /// Decibels relative to full scale (`20·log10`), floored at -120 dB.
+    Decibel,
+}
+
+/// Configuration for [`power_spectrum`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpectrumConfig {
+    /// Taper applied before the transform.
+    pub window: Window,
+    /// Output magnitude scaling.
+    pub scale: Scale,
+    /// Remove the mean before transforming (suppresses the DC bin, which
+    /// otherwise dwarfs everything on a scope display).
+    pub remove_dc: bool,
+}
+
+/// One spectrum bin: center frequency (as a fraction of the sample rate)
+/// and its magnitude.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bin {
+    /// Bin center in cycles/sample, in `[0, 0.5]`.
+    pub frequency: f64,
+    /// Magnitude in the configured [`Scale`].
+    pub magnitude: f64,
+}
+
+/// Computes the single-sided power spectrum of `samples`.
+///
+/// Input length must be a power of two; output has `n/2 + 1` bins
+/// covering DC through Nyquist. Magnitudes are normalized so a
+/// full-scale sine at a bin center reports amplitude ≈ 1.0 (linear) or
+/// ≈ 0 dB, independent of window choice.
+///
+/// # Errors
+///
+/// Returns [`FftError`] for empty or non-power-of-two input.
+pub fn power_spectrum(samples: &[f64], config: SpectrumConfig) -> Result<Vec<Bin>, FftError> {
+    let n = samples.len();
+    let mut buf = samples.to_vec();
+    if config.remove_dc && n > 0 {
+        let mean = buf.iter().sum::<f64>() / n as f64;
+        for v in &mut buf {
+            *v -= mean;
+        }
+    }
+    let gain = config.window.apply(&mut buf);
+    let spec = fft_real(&buf)?;
+    let n_bins = n / 2 + 1;
+    let mut out = Vec::with_capacity(n_bins);
+    for (k, z) in spec.iter().take(n_bins).enumerate() {
+        // Single-sided amplitude: double interior bins, undo window gain.
+        let doubling = if k == 0 || k == n / 2 { 1.0 } else { 2.0 };
+        let amp = doubling * z.abs() / (n as f64 * gain);
+        let magnitude = match config.scale {
+            Scale::Linear => amp,
+            Scale::Decibel => {
+                if amp <= 1e-6 {
+                    -120.0
+                } else {
+                    20.0 * amp.log10()
+                }
+            }
+        };
+        out.push(Bin {
+            frequency: k as f64 / n as f64,
+            magnitude,
+        });
+    }
+    Ok(out)
+}
+
+/// Returns the bin with the largest magnitude, ignoring DC.
+///
+/// Returns `None` for spectra with fewer than two bins.
+pub fn peak_bin(bins: &[Bin]) -> Option<Bin> {
+    bins.iter()
+        .skip(1)
+        .copied()
+        .max_by(|a, b| a.magnitude.total_cmp(&b.magnitude))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, cycles: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * cycles * i as f64 / n as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn sine_peak_at_right_bin_rect() {
+        let x = sine(256, 16.0, 1.0);
+        let bins = power_spectrum(
+            &x,
+            SpectrumConfig {
+                window: Window::Rectangular,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let peak = peak_bin(&bins).unwrap();
+        assert!((peak.frequency - 16.0 / 256.0).abs() < 1e-12);
+        assert!((peak.magnitude - 1.0).abs() < 1e-9, "amp {}", peak.magnitude);
+    }
+
+    #[test]
+    fn window_gain_is_compensated() {
+        for w in Window::ALL {
+            let x = sine(512, 32.0, 2.0);
+            let bins = power_spectrum(
+                &x,
+                SpectrumConfig {
+                    window: w,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let peak = peak_bin(&bins).unwrap();
+            assert!(
+                (peak.magnitude - 2.0).abs() < 0.25,
+                "window {} peak {} should be near 2.0",
+                w.name(),
+                peak.magnitude
+            );
+        }
+    }
+
+    #[test]
+    fn dc_removal_suppresses_bin_zero() {
+        // Rectangular window: a taper would re-introduce a small DC term
+        // after mean removal.
+        let x: Vec<f64> = sine(128, 8.0, 1.0).iter().map(|v| v + 50.0).collect();
+        let rect = SpectrumConfig {
+            window: Window::Rectangular,
+            ..Default::default()
+        };
+        let with_dc = power_spectrum(&x, rect).unwrap();
+        let without = power_spectrum(
+            &x,
+            SpectrumConfig {
+                remove_dc: true,
+                ..rect
+            },
+        )
+        .unwrap();
+        assert!(with_dc[0].magnitude > 10.0);
+        assert!(without[0].magnitude < 1e-9);
+    }
+
+    #[test]
+    fn decibel_scale_and_floor() {
+        let x = sine(128, 8.0, 1.0);
+        let bins = power_spectrum(
+            &x,
+            SpectrumConfig {
+                window: Window::Rectangular,
+                scale: Scale::Decibel,
+                remove_dc: false,
+            },
+        )
+        .unwrap();
+        let peak = peak_bin(&bins).unwrap();
+        assert!(peak.magnitude.abs() < 0.1, "unit sine should be ~0 dB");
+        // Quiet bins hit the floor.
+        assert!(bins.iter().any(|b| b.magnitude == -120.0));
+    }
+
+    #[test]
+    fn bin_count_and_frequency_range() {
+        let bins = power_spectrum(&[0.0; 64], SpectrumConfig::default()).unwrap();
+        assert_eq!(bins.len(), 33);
+        assert_eq!(bins[0].frequency, 0.0);
+        assert_eq!(bins[32].frequency, 0.5);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(power_spectrum(&[], SpectrumConfig::default()).is_err());
+        assert!(power_spectrum(&[0.0; 100], SpectrumConfig::default()).is_err());
+    }
+}

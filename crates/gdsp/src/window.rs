@@ -1,0 +1,135 @@
+//! Window functions applied before the frequency-domain transform.
+//!
+//! The scope's FFT runs over an arbitrary slice of a live signal, so a
+//! taper reduces spectral leakage. The classic trio plus rectangular is
+//! plenty for a software oscilloscope.
+
+/// A spectral window shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Window {
+    /// No taper (all ones).
+    Rectangular,
+    /// Hann (raised cosine); the scope's default.
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman.
+    Blackman,
+}
+
+impl Window {
+    /// Returns the window coefficient at position `i` of `n`.
+    ///
+    /// For `n <= 1` the coefficient is 1.0.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
+            }
+        }
+    }
+
+    /// Multiplies `data` by the window in place and returns the window's
+    /// coherent gain (mean coefficient), used to rescale magnitudes.
+    pub fn apply(self, data: &mut [f64]) -> f64 {
+        let n = data.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut sum = 0.0;
+        for (i, v) in data.iter_mut().enumerate() {
+            let c = self.coefficient(i, n);
+            *v *= c;
+            sum += c;
+        }
+        sum / n as f64
+    }
+
+    /// All window variants, for UIs and parameter sweeps.
+    pub const ALL: [Window; 4] = [
+        Window::Rectangular,
+        Window::Hann,
+        Window::Hamming,
+        Window::Blackman,
+    ];
+
+    /// A short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Window::Rectangular => "rect",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::Blackman => "blackman",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_identity() {
+        let mut d = vec![2.0; 7];
+        let gain = Window::Rectangular.apply(&mut d);
+        assert_eq!(d, vec![2.0; 7]);
+        assert_eq!(gain, 1.0);
+    }
+
+    #[test]
+    fn tapers_are_symmetric_and_end_near_zero() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let n = 33;
+            for i in 0..n {
+                let a = w.coefficient(i, n);
+                let b = w.coefficient(n - 1 - i, n);
+                assert!((a - b).abs() < 1e-12, "{} not symmetric", w.name());
+                // The truncated Blackman coefficients (0.42/0.5/0.08) dip
+                // a hair below zero near the edges; allow that.
+                assert!((-1e-3..=1.0001).contains(&a));
+            }
+            assert!(w.coefficient(0, n) < 0.1, "{} should taper ends", w.name());
+            assert!(
+                (w.coefficient(n / 2, n) - 1.0).abs() < 0.08,
+                "{} should peak mid-window",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hann_known_values() {
+        // Hann at the midpoint of an odd window is exactly 1.
+        assert!((Window::Hann.coefficient(8, 17) - 1.0).abs() < 1e-12);
+        assert!(Window::Hann.coefficient(0, 17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        for w in Window::ALL {
+            assert_eq!(w.coefficient(0, 0), 1.0);
+            assert_eq!(w.coefficient(0, 1), 1.0);
+            let mut empty: Vec<f64> = vec![];
+            assert_eq!(w.apply(&mut empty), 1.0);
+        }
+    }
+
+    #[test]
+    fn coherent_gain_matches_mean() {
+        let mut ones = vec![1.0; 64];
+        let gain = Window::Hann.apply(&mut ones);
+        let mean: f64 = ones.iter().sum::<f64>() / 64.0;
+        assert!((gain - mean).abs() < 1e-12);
+        // Hann coherent gain is ~0.5.
+        assert!((gain - 0.5).abs() < 0.02);
+    }
+}

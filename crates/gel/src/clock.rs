@@ -1,0 +1,309 @@
+//! Clock abstraction: real time for deployment, virtual time for tests.
+//!
+//! The paper's event loop blocks in `select()` with a timeout and the
+//! Linux kernel wakes the process at timer-interrupt granularity (§4.5).
+//! We model that by routing all waiting through a [`Clock`], so the same
+//! loop code runs against the operating system ([`SystemClock`]) or a
+//! deterministic simulated timeline ([`VirtualClock`]).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{TimeDelta, TimeStamp};
+
+/// A wake-up flag that can interrupt a [`Clock::wait_until`] early.
+///
+/// Cross-thread calls into the main loop (see
+/// [`LoopHandle`](crate::context::LoopHandle)) set the flag so the loop
+/// re-examines its queues before the next deadline.
+#[derive(Default)]
+pub struct WakeFlag {
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl WakeFlag {
+    /// Creates an unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag and wakes any waiter.
+    pub fn wake(&self) {
+        let mut s = self.state.lock();
+        *s = true;
+        self.cond.notify_all();
+    }
+
+    /// Clears the flag, returning whether it was set.
+    pub fn take(&self) -> bool {
+        let mut s = self.state.lock();
+        std::mem::replace(&mut *s, false)
+    }
+
+    /// Blocks until the flag is set or `timeout` elapses.
+    ///
+    /// Returns true if the flag was set (and clears it).
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        let mut s = self.state.lock();
+        if !*s {
+            let _ = self.cond.wait_for(&mut s, timeout);
+        }
+        std::mem::replace(&mut *s, false)
+    }
+}
+
+/// A monotonic clock the main loop can read and wait on.
+pub trait Clock: Send + Sync {
+    /// Returns the current time.
+    fn now(&self) -> TimeStamp;
+
+    /// Blocks until `deadline`, or earlier if `waker` fires.
+    ///
+    /// Returns the time observed on wake-up. Implementations may wake
+    /// late (scheduling latency); callers must re-check deadlines.
+    fn wait_until(&self, deadline: TimeStamp, waker: &WakeFlag) -> TimeStamp;
+
+    /// Returns true if this clock advances by simulation rather than by
+    /// the passage of real time.
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// Real time, anchored at clock creation.
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> TimeStamp {
+        TimeStamp::from_micros(self.origin.elapsed().as_micros() as u64)
+    }
+
+    fn wait_until(&self, deadline: TimeStamp, waker: &WakeFlag) -> TimeStamp {
+        loop {
+            let now = self.now();
+            if now >= deadline {
+                return now;
+            }
+            let remaining = deadline.saturating_since(now).to_std();
+            if waker.wait_timeout(remaining) {
+                return self.now();
+            }
+        }
+    }
+}
+
+/// A model of how late the kernel delivers a timeout, in microseconds.
+///
+/// The paper observes that "scheduling latencies in the kernel can induce
+/// loss in polling timeouts under heavy loads" (§4.5). A latency model
+/// lets tests inject exactly that: the `n`-th wait (0-based) is delivered
+/// `f(n)` microseconds after its deadline.
+pub type LatencyModel = Box<dyn FnMut(u64) -> u64 + Send>;
+
+struct VirtualState {
+    now: TimeStamp,
+    wait_count: u64,
+    latency: Option<LatencyModel>,
+}
+
+/// Deterministic simulated time.
+///
+/// `wait_until` advances the clock instantly to the deadline (plus any
+/// injected scheduling latency), so event-loop tests and whole-system
+/// simulations run in microseconds of wall time. The clock is shared:
+/// clones observe and advance the same timeline.
+#[derive(Clone)]
+pub struct VirtualClock {
+    state: Arc<Mutex<VirtualState>>,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock {
+            state: Arc::new(Mutex::new(VirtualState {
+                now: TimeStamp::ZERO,
+                wait_count: 0,
+                latency: None,
+            })),
+        }
+    }
+
+    /// Installs a scheduling-latency model (see [`LatencyModel`]).
+    pub fn set_latency_model(&self, model: Option<LatencyModel>) {
+        self.state.lock().latency = model;
+    }
+
+    /// Advances the clock by `d` without dispatching anything.
+    pub fn advance(&self, d: TimeDelta) {
+        let mut s = self.state.lock();
+        s.now += d;
+    }
+
+    /// Sets the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time (the clock is
+    /// monotonic).
+    pub fn set(&self, t: TimeStamp) {
+        let mut s = self.state.lock();
+        assert!(t >= s.now, "VirtualClock::set would move time backwards");
+        s.now = t;
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> TimeStamp {
+        self.state.lock().now
+    }
+
+    fn wait_until(&self, deadline: TimeStamp, _waker: &WakeFlag) -> TimeStamp {
+        let mut s = self.state.lock();
+        let n = s.wait_count;
+        s.wait_count += 1;
+        let lateness = match s.latency.as_mut() {
+            Some(f) => f(n),
+            None => 0,
+        };
+        let target = deadline.saturating_add(TimeDelta::from_micros(lateness));
+        if target > s.now {
+            s.now = target;
+        }
+        s.now
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_wait_reaches_deadline() {
+        let c = SystemClock::new();
+        let w = WakeFlag::new();
+        let deadline = c.now() + TimeDelta::from_millis(5);
+        let after = c.wait_until(deadline, &w);
+        assert!(after >= deadline);
+    }
+
+    #[test]
+    fn system_clock_wait_interrupted_by_waker() {
+        let c = Arc::new(SystemClock::new());
+        let w = Arc::new(WakeFlag::new());
+        let w2 = Arc::clone(&w);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            w2.wake();
+        });
+        let start = c.now();
+        let deadline = start + TimeDelta::from_secs(10);
+        let after = c.wait_until(deadline, &w);
+        handle.join().unwrap();
+        assert!(after < deadline, "waker should interrupt long wait");
+    }
+
+    #[test]
+    fn virtual_clock_jumps_to_deadline() {
+        let c = VirtualClock::new();
+        let w = WakeFlag::new();
+        let after = c.wait_until(TimeStamp::from_millis(50), &w);
+        assert_eq!(after, TimeStamp::from_millis(50));
+        assert_eq!(c.now(), TimeStamp::from_millis(50));
+    }
+
+    #[test]
+    fn virtual_clock_latency_model_applies() {
+        let c = VirtualClock::new();
+        // Every third wait is 25 ms late.
+        c.set_latency_model(Some(Box::new(|n| if n % 3 == 2 { 25_000 } else { 0 })));
+        let w = WakeFlag::new();
+        assert_eq!(
+            c.wait_until(TimeStamp::from_millis(10), &w),
+            TimeStamp::from_millis(10)
+        );
+        assert_eq!(
+            c.wait_until(TimeStamp::from_millis(20), &w),
+            TimeStamp::from_millis(20)
+        );
+        assert_eq!(
+            c.wait_until(TimeStamp::from_millis(30), &w),
+            TimeStamp::from_millis(55)
+        );
+    }
+
+    #[test]
+    fn virtual_clock_never_goes_backwards() {
+        let c = VirtualClock::new();
+        let w = WakeFlag::new();
+        c.advance(TimeDelta::from_millis(100));
+        // Waiting for an already-passed deadline returns current time.
+        assert_eq!(
+            c.wait_until(TimeStamp::from_millis(10), &w),
+            TimeStamp::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn virtual_clock_clones_share_timeline() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(TimeDelta::from_secs(1));
+        assert_eq!(b.now(), TimeStamp::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn virtual_clock_set_rejects_past() {
+        let c = VirtualClock::new();
+        c.advance(TimeDelta::from_secs(1));
+        c.set(TimeStamp::from_millis(1));
+    }
+
+    #[test]
+    fn wake_flag_take_clears() {
+        let w = WakeFlag::new();
+        assert!(!w.take());
+        w.wake();
+        assert!(w.take());
+        assert!(!w.take());
+    }
+}

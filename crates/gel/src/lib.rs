@@ -1,0 +1,48 @@
+//! `gel` — the **g**scope **e**vent **l**oop.
+//!
+//! A from-scratch replacement for the glib/GTK main-loop machinery the
+//! original gscope (Goel & Walpole, USENIX FREENIX 2002) was built on:
+//! periodic timeouts, idle sources, I/O watches, and cross-thread
+//! invocation, all driven by a pluggable [`Clock`].
+//!
+//! Two properties of the paper's environment are modelled explicitly so
+//! they can be measured and varied:
+//!
+//! 1. **Timer quantization** (§4.5): `select()` timeouts are delivered at
+//!    timer-interrupt granularity (10 ms on Linux 2.4), capping polling
+//!    at 100 Hz. See [`Quantizer`].
+//! 2. **Lost timeouts** (§4.5): under load, ticks are lost; the loop
+//!    reports how many whole periods were missed via [`TickInfo::missed`]
+//!    so scopes can advance their refresh appropriately.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gel::{Clock, Continue, MainLoop, TimeDelta, TimeStamp, VirtualClock};
+//!
+//! let clock = VirtualClock::new();
+//! let mut ml = MainLoop::new(Arc::new(clock.clone()));
+//! let mut ticks = 0u32;
+//! let handle = ml.handle();
+//! ml.add_timeout(TimeDelta::from_millis(50), Box::new(move |_tick| {
+//!     ticks += 1;
+//!     if ticks == 4 { handle.quit(); }
+//!     Continue::Keep
+//! }));
+//! ml.run();
+//! assert_eq!(clock.now(), TimeStamp::from_millis(200));
+//! ```
+
+mod clock;
+mod context;
+mod quantizer;
+mod time;
+
+pub use clock::{Clock, LatencyModel, SystemClock, VirtualClock, WakeFlag};
+pub use context::{
+    Continue, IdleFn, InvokeFn, IoPoll, IoWatchFn, Iteration, LoopHandle, LoopStats, MainLoop,
+    Priority, SourceId, TickInfo, TimeoutFn,
+};
+pub use quantizer::Quantizer;
+pub use time::{TimeDelta, TimeStamp};

@@ -1,0 +1,128 @@
+//! Timer-quantum model.
+//!
+//! §4.5 of the paper: although `select()` accepts microsecond timeouts,
+//! "typically the kernel wakes processes at the granularity of the normal
+//! timer interrupt", 10 ms on the Linux of the day, capping gscope's
+//! polling frequency at 100 Hz. [`Quantizer`] reproduces that rounding so
+//! the effect is explicit, testable, and tunable (HZ=100, HZ=1000, or
+//! soft-timers-style microsecond quanta, cf. §6).
+
+use crate::time::{TimeDelta, TimeStamp};
+
+/// Rounds wake-up deadlines up to timer-interrupt boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quantizer {
+    quantum: TimeDelta,
+}
+
+impl Quantizer {
+    /// The classic Linux 2.4 quantum the paper measured against: 10 ms.
+    pub const LINUX_HZ100: Quantizer = Quantizer {
+        quantum: TimeDelta::from_millis(10),
+    };
+
+    /// A modern 1 ms quantum (HZ=1000).
+    pub const LINUX_HZ1000: Quantizer = Quantizer {
+        quantum: TimeDelta::from_millis(1),
+    };
+
+    /// Creates a quantizer with the given quantum.
+    ///
+    /// A zero quantum disables rounding entirely (the §6 "soft timers"
+    /// future-work configuration).
+    pub const fn new(quantum: TimeDelta) -> Self {
+        Quantizer { quantum }
+    }
+
+    /// A quantizer that performs no rounding.
+    pub const fn exact() -> Self {
+        Quantizer {
+            quantum: TimeDelta::ZERO,
+        }
+    }
+
+    /// Returns the quantum.
+    pub const fn quantum(&self) -> TimeDelta {
+        self.quantum
+    }
+
+    /// Rounds `deadline` up to the next quantum boundary.
+    ///
+    /// A deadline already on a boundary is unchanged: the kernel's timer
+    /// interrupt at exactly that tick delivers the timeout.
+    pub fn round_up(&self, deadline: TimeStamp) -> TimeStamp {
+        let q = self.quantum.as_micros();
+        if q == 0 {
+            return deadline;
+        }
+        let us = deadline.as_micros();
+        let rem = us % q;
+        if rem == 0 {
+            deadline
+        } else {
+            TimeStamp::from_micros(us - rem).saturating_add(TimeDelta::from_micros(q))
+        }
+    }
+
+    /// The maximum polling frequency this quantum supports, in Hz.
+    ///
+    /// Returns `None` for an exact quantizer (unbounded).
+    pub fn max_frequency_hz(&self) -> Option<f64> {
+        let q = self.quantum.as_micros();
+        if q == 0 {
+            None
+        } else {
+            Some(1_000_000.0 / q as f64)
+        }
+    }
+}
+
+impl Default for Quantizer {
+    /// Defaults to the paper's 10 ms Linux quantum.
+    fn default() -> Self {
+        Quantizer::LINUX_HZ100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up_to_boundary() {
+        let q = Quantizer::LINUX_HZ100;
+        assert_eq!(
+            q.round_up(TimeStamp::from_millis(13)),
+            TimeStamp::from_millis(20)
+        );
+        assert_eq!(
+            q.round_up(TimeStamp::from_micros(1)),
+            TimeStamp::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn boundary_is_unchanged() {
+        let q = Quantizer::LINUX_HZ100;
+        assert_eq!(
+            q.round_up(TimeStamp::from_millis(20)),
+            TimeStamp::from_millis(20)
+        );
+        assert_eq!(q.round_up(TimeStamp::ZERO), TimeStamp::ZERO);
+    }
+
+    #[test]
+    fn exact_quantizer_is_identity() {
+        let q = Quantizer::exact();
+        let t = TimeStamp::from_micros(12_345);
+        assert_eq!(q.round_up(t), t);
+        assert_eq!(q.max_frequency_hz(), None);
+    }
+
+    #[test]
+    fn max_frequency_matches_paper() {
+        // §4.5: 10 ms quantum → "maximum frequency is 100 Hz".
+        assert_eq!(Quantizer::LINUX_HZ100.max_frequency_hz(), Some(100.0));
+        assert_eq!(Quantizer::LINUX_HZ1000.max_frequency_hz(), Some(1000.0));
+    }
+}

@@ -1,0 +1,297 @@
+//! Time primitives shared by the whole workspace.
+//!
+//! Gscope's original implementation used `gettimeofday` and glib's
+//! millisecond timeouts. We keep a single monotonic microsecond timeline:
+//! a [`TimeStamp`] is a count of microseconds since an arbitrary clock
+//! epoch (clock creation for [`SystemClock`], zero for
+//! [`VirtualClock`](crate::clock::VirtualClock)).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A monotonic point in time, in microseconds since the clock epoch.
+///
+/// `TimeStamp` is deliberately *not* tied to the wall clock: the paper's
+/// tuple format (§3.3) carries milliseconds relative to an arbitrary
+/// origin, and all scope arithmetic is relative.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeStamp(u64);
+
+impl TimeStamp {
+    /// The clock epoch (time zero).
+    pub const ZERO: TimeStamp = TimeStamp(0);
+
+    /// The largest representable timestamp.
+    pub const MAX: TimeStamp = TimeStamp(u64::MAX);
+
+    /// Creates a timestamp from microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        TimeStamp(us)
+    }
+
+    /// Creates a timestamp from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeStamp(ms * 1_000)
+    }
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeStamp(s * 1_000_000)
+    }
+
+    /// Returns the number of microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the number of whole milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the time since the epoch as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the time since the epoch as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns `self + d`, saturating at [`TimeStamp::MAX`].
+    pub const fn saturating_add(self, d: TimeDelta) -> Self {
+        TimeStamp(self.0.saturating_add(d.0))
+    }
+
+    /// Returns `self - other`, or [`TimeDelta::ZERO`] if `other` is later.
+    pub const fn saturating_since(self, other: TimeStamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns `self - d`, saturating at [`TimeStamp::ZERO`].
+    pub const fn saturating_sub(self, d: TimeDelta) -> TimeStamp {
+        TimeStamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Returns the time elapsed since `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is later than `self`.
+    pub fn since(self, other: TimeStamp) -> TimeDelta {
+        assert!(
+            self.0 >= other.0,
+            "TimeStamp::since: other ({other:?}) is later than self ({self:?})"
+        );
+        TimeDelta(self.0 - other.0)
+    }
+}
+
+impl fmt::Debug for TimeStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for TimeStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Add<TimeDelta> for TimeStamp {
+    type Output = TimeStamp;
+
+    fn add(self, rhs: TimeDelta) -> TimeStamp {
+        TimeStamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimeStamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeStamp> for TimeStamp {
+    type Output = TimeDelta;
+
+    fn sub(self, rhs: TimeStamp) -> TimeDelta {
+        self.since(rhs)
+    }
+}
+
+/// A span of time, in microseconds.
+///
+/// Like [`TimeStamp`], spans are unsigned: the scope engine never needs
+/// negative intervals, and keeping them unsigned catches ordering bugs at
+/// the point of subtraction instead of downstream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(u64);
+
+impl TimeDelta {
+    /// The zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        TimeDelta(us)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeDelta(ms * 1_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeDelta(s * 1_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid span: {s}");
+        TimeDelta((s * 1_000_000.0).round() as u64)
+    }
+
+    /// Returns the span in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns true if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer division of two spans, e.g. "how many whole periods fit".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub const fn div_periods(self, rhs: TimeDelta) -> u64 {
+        self.0 / rhs.0
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    pub const fn saturating_mul(self, factor: u64) -> Self {
+        TimeDelta(self.0.saturating_mul(factor))
+    }
+
+    /// Converts to a [`std::time::Duration`].
+    pub const fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.0)
+    }
+}
+
+impl fmt::Debug for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.checked_sub(rhs.0).expect("TimeDelta underflow"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_conversions_round_trip() {
+        let t = TimeStamp::from_millis(1_234);
+        assert_eq!(t.as_micros(), 1_234_000);
+        assert_eq!(t.as_millis(), 1_234);
+        assert_eq!(t.as_millis_f64(), 1_234.0);
+        assert_eq!(TimeStamp::from_secs(2).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = TimeStamp::from_millis(10);
+        let t2 = t + TimeDelta::from_millis(5);
+        assert_eq!(t2.as_millis(), 15);
+        assert_eq!((t2 - t).as_millis(), 5);
+        assert_eq!(t2.since(t), TimeDelta::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "later than self")]
+    fn since_panics_on_negative_interval() {
+        let _ = TimeStamp::ZERO.since(TimeStamp::from_millis(1));
+    }
+
+    #[test]
+    fn saturating_ops_do_not_overflow() {
+        let t = TimeStamp::MAX;
+        assert_eq!(t.saturating_add(TimeDelta::from_secs(1)), TimeStamp::MAX);
+        assert_eq!(
+            TimeStamp::ZERO.saturating_since(TimeStamp::from_secs(1)),
+            TimeDelta::ZERO
+        );
+        assert_eq!(
+            TimeDelta::from_secs(u64::MAX / 1_000_000).saturating_mul(u64::MAX),
+            TimeDelta::from_micros(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn delta_div_periods() {
+        let d = TimeDelta::from_millis(105);
+        assert_eq!(d.div_periods(TimeDelta::from_millis(10)), 10);
+        assert_eq!(d.div_periods(TimeDelta::from_millis(50)), 2);
+    }
+
+    #[test]
+    fn delta_from_secs_f64_rounds() {
+        assert_eq!(TimeDelta::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(TimeDelta::from_secs_f64(1.5).as_millis(), 1_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid span")]
+    fn delta_from_secs_f64_rejects_nan() {
+        let _ = TimeDelta::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TimeDelta::from_micros(1_500)), "1.500ms");
+        assert_eq!(format!("{}", TimeStamp::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{:?}", TimeStamp::from_micros(7)), "7us");
+    }
+}

@@ -1,0 +1,178 @@
+//! The gscope client library (§4.4).
+//!
+//! "Clients use the gscope client API to connect to a server ... Clients
+//! asynchronously send BUFFER signal data in tuple format to the
+//! server." The client is single-threaded and I/O-driven: `send`
+//! enqueues tuples into an in-memory out-buffer, and `pump` (typically
+//! wired to a `gel` I/O watch) writes whatever the non-blocking socket
+//! accepts.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gel::{Clock, IoPoll, TimeStamp};
+use gscope::Tuple;
+
+/// Counters describing client activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Tuples accepted by [`ScopeClient::send`].
+    pub tuples_queued: u64,
+    /// Bytes successfully written to the socket.
+    pub bytes_sent: u64,
+    /// `pump` calls that wrote at least one byte.
+    pub pumps_with_progress: u64,
+}
+
+/// A non-blocking streaming connection to a [`ScopeServer`].
+///
+/// [`ScopeServer`]: crate::server::ScopeServer
+pub struct ScopeClient {
+    stream: TcpStream,
+    addr: std::net::SocketAddr,
+    outbuf: VecDeque<u8>,
+    stats: ClientStats,
+    closed: bool,
+    reconnects: u64,
+}
+
+impl ScopeClient {
+    /// Connects to a gscope server and switches the socket to
+    /// non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(ScopeClient {
+            stream,
+            addr,
+            outbuf: VecDeque::new(),
+            stats: ClientStats::default(),
+            closed: false,
+            reconnects: 0,
+        })
+    }
+
+    /// Re-establishes a dead connection to the same server, keeping any
+    /// queued-but-unsent tuples. Long-lived monitors survive scope
+    /// server restarts this way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors (the client stays closed).
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.closed = false;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Times [`ScopeClient::reconnect`] succeeded.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Returns client statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn pending_bytes(&self) -> usize {
+        self.outbuf.len()
+    }
+
+    /// True once the server has closed the connection or a write failed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Queues one tuple for transmission.
+    pub fn send(&mut self, tuple: &Tuple) {
+        self.outbuf.extend(tuple.to_line().bytes());
+        self.outbuf.push_back(b'\n');
+        self.stats.tuples_queued += 1;
+    }
+
+    /// Queues a named sample stamped with `clock`'s current time.
+    pub fn send_now(&mut self, clock: &dyn Clock, name: &str, value: f64) {
+        self.send(&Tuple::new(clock.now(), value, name));
+    }
+
+    /// Queues a named sample at an explicit time.
+    pub fn send_at(&mut self, time: TimeStamp, name: &str, value: f64) {
+        self.send(&Tuple::new(time, value, name));
+    }
+
+    /// Writes as much queued data as the socket accepts right now.
+    ///
+    /// Returns [`IoPoll::Worked`] if bytes moved, [`IoPoll::Idle`] if
+    /// the socket is full or the queue empty, and [`IoPoll::Remove`] on
+    /// a dead connection — the values a `gel` I/O watch needs.
+    pub fn pump(&mut self) -> IoPoll {
+        if self.closed {
+            return IoPoll::Remove;
+        }
+        if self.outbuf.is_empty() {
+            return IoPoll::Idle;
+        }
+        let mut progressed = false;
+        while !self.outbuf.is_empty() {
+            let (front, _) = self.outbuf.as_slices();
+            match self.stream.write(front) {
+                Ok(0) => {
+                    self.closed = true;
+                    return IoPoll::Remove;
+                }
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                    self.stats.bytes_sent += n as u64;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closed = true;
+                    return IoPoll::Remove;
+                }
+            }
+        }
+        if progressed {
+            self.stats.pumps_with_progress += 1;
+            IoPoll::Worked
+        } else {
+            IoPoll::Idle
+        }
+    }
+
+    /// Blocks until the out-buffer drains (test/shutdown helper; spins
+    /// on the non-blocking socket).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection dies first.
+    pub fn flush_blocking(&mut self) -> std::io::Result<()> {
+        while !self.outbuf.is_empty() {
+            match self.pump() {
+                IoPoll::Remove => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::BrokenPipe,
+                        "connection closed while flushing",
+                    ))
+                }
+                IoPoll::Idle => std::thread::sleep(std::time::Duration::from_millis(1)),
+                IoPoll::Worked => {}
+            }
+        }
+        Ok(())
+    }
+}

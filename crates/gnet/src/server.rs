@@ -1,0 +1,267 @@
+//! The gscope server library (§4.4).
+//!
+//! "The server receives data from one or more clients asynchronously
+//! and buffers the data. It then displays these BUFFER signals to one
+//! or more scopes with a user-specified delay. Data arriving at the
+//! server after this delay is not buffered but dropped immediately."
+//!
+//! The server is single-threaded and I/O-driven: [`ScopeServer::poll`]
+//! accepts pending connections and reads whatever every client socket
+//! has, parses complete tuple lines, and pushes them into the attached
+//! scopes' buffers (whose delay implements the late-drop rule). Wire it
+//! to a `gel` main loop with [`attach_server`].
+
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use gel::{Continue, IoPoll, MainLoop, SourceId, TimeDelta};
+use gscope::{SharedScope, SigConfig, SigSource, Tuple};
+use parking_lot::Mutex;
+
+/// Counters describing server activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Clients that disconnected (or errored).
+    pub disconnects: u64,
+    /// Tuples parsed and delivered to scope buffers.
+    pub tuples_received: u64,
+    /// Lines that failed to parse (skipped).
+    pub parse_errors: u64,
+    /// Tuples rejected by every attached scope (late or no scope).
+    pub tuples_dropped: u64,
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    /// Partial line carried over between reads.
+    partial: Vec<u8>,
+}
+
+/// A non-blocking tuple-stream server feeding one or more scopes.
+pub struct ScopeServer {
+    listener: TcpListener,
+    clients: Vec<ClientConn>,
+    scopes: Vec<SharedScope>,
+    /// Create missing `BUFFER` signals on attached scopes for new names.
+    auto_register: bool,
+    stats: ServerStats,
+}
+
+impl ScopeServer {
+    /// Binds a server socket (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(ScopeServer {
+            listener,
+            clients: Vec::new(),
+            scopes: Vec::new(),
+            auto_register: true,
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// The bound address (for handing to clients).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Attaches a scope: received tuples are pushed into its buffer.
+    pub fn add_scope(&mut self, scope: SharedScope) {
+        self.scopes.push(scope);
+    }
+
+    /// Enables or disables automatic creation of `BUFFER` signals for
+    /// unseen signal names (default on).
+    pub fn set_auto_register(&mut self, on: bool) {
+        self.auto_register = on;
+    }
+
+    /// Returns server statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Number of connected clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn accept_pending(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.clients.push(ClientConn {
+                        stream,
+                        peer,
+                        partial: Vec::new(),
+                    });
+                    self.stats.connections += 1;
+                    any = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    fn deliver(&mut self, tuple: Tuple) {
+        let mut accepted = false;
+        for scope in &self.scopes {
+            let mut guard = scope.lock();
+            if self.auto_register {
+                let name = tuple.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
+                if guard.signal(name).is_none() {
+                    // A concurrent registration shows up as a duplicate;
+                    // either way the signal exists afterwards.
+                    let _ = guard.add_signal(
+                        name.to_owned(),
+                        SigSource::Buffer,
+                        SigConfig::default(),
+                    );
+                }
+            }
+            if guard.buffer().push(tuple.clone()) {
+                accepted = true;
+            }
+        }
+        self.stats.tuples_received += 1;
+        if !accepted {
+            self.stats.tuples_dropped += 1;
+        }
+    }
+
+    fn read_clients(&mut self) -> bool {
+        let mut any = false;
+        let mut buf = [0u8; 4096];
+        let mut i = 0;
+        while i < self.clients.len() {
+            let mut dead = false;
+            let mut lines: Vec<String> = Vec::new();
+            loop {
+                match self.clients[i].stream.read(&mut buf) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        let conn = &mut self.clients[i];
+                        conn.partial.extend_from_slice(&buf[..n]);
+                        // Split out complete lines.
+                        while let Some(pos) = conn.partial.iter().position(|&b| b == b'\n') {
+                            let line: Vec<u8> = conn.partial.drain(..=pos).collect();
+                            match std::str::from_utf8(&line[..line.len() - 1]) {
+                                Ok(s) => lines.push(s.to_owned()),
+                                Err(_) => self.stats.parse_errors += 1,
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            for (lineno, line) in lines.iter().enumerate() {
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                match Tuple::parse_line(trimmed, lineno + 1) {
+                    Ok(t) => self.deliver(t),
+                    Err(_) => self.stats.parse_errors += 1,
+                }
+            }
+            if dead {
+                let _ = self.clients[i].peer;
+                self.clients.swap_remove(i);
+                self.stats.disconnects += 1;
+                any = true;
+            } else {
+                i += 1;
+            }
+        }
+        any
+    }
+
+    /// Accepts pending connections and drains readable sockets.
+    ///
+    /// Returns [`IoPoll::Worked`] if anything happened — the shape a
+    /// `gel` I/O watch expects.
+    pub fn poll(&mut self) -> IoPoll {
+        let mut any = self.accept_pending();
+        any |= self.read_clients();
+        if any {
+            IoPoll::Worked
+        } else {
+            IoPoll::Idle
+        }
+    }
+}
+
+/// Installs a shared server as an I/O watch on a main loop — the
+/// single-threaded I/O-driven usage of §4.4.
+pub fn attach_server(server: &Arc<Mutex<ScopeServer>>, ml: &mut MainLoop) -> SourceId {
+    let server = Arc::clone(server);
+    ml.add_io_watch(Box::new(move || server.lock().poll()))
+}
+
+/// Installs a shared client's pump as an I/O watch on a main loop.
+///
+/// The watch removes itself when the connection dies.
+pub fn attach_client(
+    client: &Arc<Mutex<crate::client::ScopeClient>>,
+    ml: &mut MainLoop,
+) -> SourceId {
+    let client = Arc::clone(client);
+    ml.add_io_watch(Box::new(move || client.lock().pump()))
+}
+
+/// Convenience: installs a periodic timeout that samples `f` every
+/// `period` and streams the value as `name` — a remote sensor in a few
+/// lines.
+pub fn stream_periodic<F>(
+    client: &Arc<Mutex<crate::client::ScopeClient>>,
+    ml: &mut MainLoop,
+    name: &str,
+    period: TimeDelta,
+    mut f: F,
+) -> SourceId
+where
+    F: FnMut() -> f64 + Send + 'static,
+{
+    let client = Arc::clone(client);
+    let name = name.to_owned();
+    ml.add_timeout(
+        period,
+        Box::new(move |tick| {
+            let mut c = client.lock();
+            if c.is_closed() {
+                return Continue::Remove;
+            }
+            c.send_at(tick.now, &name, f());
+            c.pump();
+            Continue::Keep
+        }),
+    )
+}

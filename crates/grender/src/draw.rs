@@ -1,0 +1,159 @@
+//! Drawing primitives: lines, rectangles, and grid strokes.
+
+use gscope::Color;
+
+use crate::framebuffer::Framebuffer;
+
+/// Draws a horizontal line from `(x0, y)` to `(x1, y)` inclusive.
+pub fn hline(fb: &mut Framebuffer, x0: i64, x1: i64, y: i64, c: Color) {
+    let (a, b) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+    for x in a..=b {
+        fb.set(x, y, c);
+    }
+}
+
+/// Draws a vertical line from `(x, y0)` to `(x, y1)` inclusive.
+pub fn vline(fb: &mut Framebuffer, x: i64, y0: i64, y1: i64, c: Color) {
+    let (a, b) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+    for y in a..=b {
+        fb.set(x, y, c);
+    }
+}
+
+/// Draws a dashed horizontal line (grid strokes): `on` pixels drawn,
+/// `off` skipped.
+pub fn hline_dashed(fb: &mut Framebuffer, x0: i64, x1: i64, y: i64, c: Color, on: i64, off: i64) {
+    let (a, b) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+    let cycle = (on + off).max(1);
+    for x in a..=b {
+        if (x - a) % cycle < on {
+            fb.set(x, y, c);
+        }
+    }
+}
+
+/// Draws a dashed vertical line.
+pub fn vline_dashed(fb: &mut Framebuffer, x: i64, y0: i64, y1: i64, c: Color, on: i64, off: i64) {
+    let (a, b) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+    let cycle = (on + off).max(1);
+    for y in a..=b {
+        if (y - a) % cycle < on {
+            fb.set(x, y, c);
+        }
+    }
+}
+
+/// Draws an arbitrary line segment with Bresenham's algorithm, endpoints
+/// inclusive.
+pub fn line(fb: &mut Framebuffer, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        fb.set(x, y, c);
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Fills the rectangle with corner `(x, y)` and the given size.
+pub fn fill_rect(fb: &mut Framebuffer, x: i64, y: i64, w: i64, h: i64, c: Color) {
+    for yy in y..y + h {
+        hline(fb, x, x + w - 1, yy, c);
+    }
+}
+
+/// Outlines the rectangle with corner `(x, y)` and the given size.
+pub fn rect(fb: &mut Framebuffer, x: i64, y: i64, w: i64, h: i64, c: Color) {
+    if w <= 0 || h <= 0 {
+        return;
+    }
+    hline(fb, x, x + w - 1, y, c);
+    hline(fb, x, x + w - 1, y + h - 1, c);
+    vline(fb, x, y, y + h - 1, c);
+    vline(fb, x + w - 1, y, y + h - 1, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hline_vline_paint_expected_pixels() {
+        let mut fb = Framebuffer::new(8, 8);
+        hline(&mut fb, 1, 5, 3, Color::RED);
+        assert_eq!(fb.count_color(Color::RED), 5);
+        vline(&mut fb, 6, 0, 7, Color::CYAN);
+        assert_eq!(fb.count_color(Color::CYAN), 8);
+        // Reversed endpoints work too.
+        hline(&mut fb, 5, 1, 4, Color::GREEN);
+        assert_eq!(fb.count_color(Color::GREEN), 5);
+    }
+
+    #[test]
+    fn bresenham_endpoints_and_connectivity() {
+        let mut fb = Framebuffer::new(16, 16);
+        line(&mut fb, 1, 2, 12, 9, Color::WHITE);
+        assert_eq!(fb.get(1, 2), Some(Color::WHITE));
+        assert_eq!(fb.get(12, 9), Some(Color::WHITE));
+        // A Bresenham line on a 12-wide span paints exactly max(dx,dy)+1
+        // pixels.
+        assert_eq!(fb.count_color(Color::WHITE), 12);
+    }
+
+    #[test]
+    fn steep_and_degenerate_lines() {
+        let mut fb = Framebuffer::new(8, 8);
+        line(&mut fb, 2, 7, 2, 1, Color::RED); // vertical, reversed
+        assert_eq!(fb.count_color(Color::RED), 7);
+        line(&mut fb, 5, 5, 5, 5, Color::GREEN); // single point
+        assert_eq!(fb.count_color(Color::GREEN), 1);
+    }
+
+    #[test]
+    fn rect_and_fill() {
+        let mut fb = Framebuffer::new(10, 10);
+        fill_rect(&mut fb, 2, 3, 4, 2, Color::BLUE);
+        assert_eq!(fb.count_color(Color::BLUE), 8);
+        rect(&mut fb, 0, 0, 10, 10, Color::GRAY);
+        assert_eq!(fb.count_color(Color::GRAY), 4 * 10 - 4);
+        rect(&mut fb, 0, 0, 0, 5, Color::RED);
+        assert_eq!(fb.count_color(Color::RED), 0);
+    }
+
+    #[test]
+    fn dashes_alternate() {
+        let mut fb = Framebuffer::new(12, 3);
+        hline_dashed(&mut fb, 0, 11, 1, Color::WHITE, 2, 2);
+        assert_eq!(fb.get(0, 1), Some(Color::WHITE));
+        assert_eq!(fb.get(1, 1), Some(Color::WHITE));
+        assert_eq!(fb.get(2, 1), Some(Color::BLACK));
+        assert_eq!(fb.get(3, 1), Some(Color::BLACK));
+        assert_eq!(fb.get(4, 1), Some(Color::WHITE));
+        assert_eq!(fb.count_color(Color::WHITE), 6);
+        let mut fb = Framebuffer::new(3, 9);
+        vline_dashed(&mut fb, 1, 0, 8, Color::WHITE, 1, 2);
+        assert_eq!(fb.count_color(Color::WHITE), 3);
+    }
+
+    #[test]
+    fn clipping_is_safe() {
+        let mut fb = Framebuffer::new(4, 4);
+        line(&mut fb, -5, -5, 10, 10, Color::WHITE);
+        fill_rect(&mut fb, -2, -2, 20, 20, Color::RED);
+        assert_eq!(fb.count_color(Color::RED), 16);
+    }
+}

@@ -1,0 +1,334 @@
+//! An RGB framebuffer with PPM export.
+//!
+//! The original gscope drew on a GTK/Gnome canvas; this workspace
+//! renders headlessly into a plain pixel buffer so scope scenes can be
+//! generated deterministically in tests, benchmarks, and figure
+//! regeneration, then written as binary PPM (readable by every image
+//! tool).
+
+use std::io::Write;
+use std::path::Path;
+
+use gscope::Color;
+
+/// A width × height, 24-bit RGB pixel buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Framebuffer {
+    /// Creates a black framebuffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![0; width * height * 3],
+        }
+    }
+
+    /// Returns the width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns the height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Fills the whole buffer with one color.
+    pub fn clear(&mut self, c: Color) {
+        for px in self.pixels.chunks_exact_mut(3) {
+            px[0] = c.r;
+            px[1] = c.g;
+            px[2] = c.b;
+        }
+    }
+
+    /// Sets one pixel; coordinates outside the buffer are ignored
+    /// (clipping happens here, so drawing code stays simple).
+    pub fn set(&mut self, x: i64, y: i64, c: Color) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let i = (y as usize * self.width + x as usize) * 3;
+        self.pixels[i] = c.r;
+        self.pixels[i + 1] = c.g;
+        self.pixels[i + 2] = c.b;
+    }
+
+    /// Returns the pixel at `(x, y)`, or `None` outside the buffer.
+    pub fn get(&self, x: i64, y: i64) -> Option<Color> {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return None;
+        }
+        let i = (y as usize * self.width + x as usize) * 3;
+        Some(Color::new(
+            self.pixels[i],
+            self.pixels[i + 1],
+            self.pixels[i + 2],
+        ))
+    }
+
+    /// Blends `c` into the pixel with opacity `alpha` ∈ [0, 1] (used for
+    /// envelope shading).
+    pub fn blend(&mut self, x: i64, y: i64, c: Color, alpha: f64) {
+        let Some(bg) = self.get(x, y) else { return };
+        let a = alpha.clamp(0.0, 1.0);
+        let mix = |f: u8, b: u8| -> u8 { (f as f64 * a + b as f64 * (1.0 - a)).round() as u8 };
+        self.set(x, y, Color::new(mix(c.r, bg.r), mix(c.g, bg.g), mix(c.b, bg.b)));
+    }
+
+    /// Raw RGB bytes, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Counts pixels exactly matching `c` (test helper).
+    pub fn count_color(&self, c: Color) -> usize {
+        self.pixels
+            .chunks_exact(3)
+            .filter(|p| p[0] == c.r && p[1] == c.g && p[2] == c.b)
+            .count()
+    }
+
+    /// Parses a binary PPM (P6, maxval 255) back into a framebuffer —
+    /// the inverse of [`Framebuffer::to_ppm`], used by tooling that
+    /// recombines rendered figures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for malformed input.
+    pub fn from_ppm(bytes: &[u8]) -> Result<Self, String> {
+        // Header: "P6" <ws> width <ws> height <ws> maxval <single ws>.
+        let mut pos = 0usize;
+        let mut token = |bytes: &[u8]| -> Result<Vec<u8>, String> {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                    pos += 1;
+                }
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err("truncated PPM header".into());
+            }
+            Ok(bytes[start..pos].to_vec())
+        };
+        if token(bytes)? != b"P6" {
+            return Err("not a binary PPM (P6) file".into());
+        }
+        let parse = |t: Vec<u8>| -> Result<usize, String> {
+            std::str::from_utf8(&t)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| "bad number in PPM header".into())
+        };
+        let width = parse(token(bytes)?)?;
+        let height = parse(token(bytes)?)?;
+        let maxval = parse(token(bytes)?)?;
+        if maxval != 255 {
+            return Err(format!("unsupported PPM maxval {maxval}"));
+        }
+        if width == 0 || height == 0 {
+            return Err("empty PPM".into());
+        }
+        // Exactly one whitespace byte separates header from pixels.
+        pos += 1;
+        let need = width * height * 3;
+        let data = bytes
+            .get(pos..pos + need)
+            .ok_or_else(|| "PPM pixel data truncated".to_owned())?;
+        Ok(Framebuffer {
+            width,
+            height,
+            pixels: data.to_vec(),
+        })
+    }
+
+    /// Serializes as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Writes a binary PPM to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_ppm<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.to_ppm())
+    }
+
+    /// Writes a binary PPM file at `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_ppm())
+    }
+}
+
+/// Stacks framebuffers vertically with a separator gap — how the
+/// paper's side-by-side figures (4 above 5) and multi-scope sessions
+/// ("one or more scopes", §4.4) compose into one image.
+///
+/// The result is as wide as the widest input; narrower rows are
+/// left-aligned on `background`.
+///
+/// # Panics
+///
+/// Panics if `frames` is empty.
+pub fn compose_vertical(frames: &[&Framebuffer], gap: usize, background: Color) -> Framebuffer {
+    assert!(!frames.is_empty(), "nothing to compose");
+    let width = frames.iter().map(|f| f.width()).max().expect("non-empty");
+    let height: usize =
+        frames.iter().map(|f| f.height()).sum::<usize>() + gap * (frames.len() - 1);
+    let mut out = Framebuffer::new(width, height);
+    out.clear(background);
+    let mut y0 = 0usize;
+    for frame in frames {
+        for y in 0..frame.height() {
+            for x in 0..frame.width() {
+                if let Some(c) = frame.get(x as i64, y as i64) {
+                    out.set(x as i64, (y0 + y) as i64, c);
+                }
+            }
+        }
+        y0 += frame.height() + gap;
+    }
+    out
+}
+
+impl std::fmt::Debug for Framebuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Framebuffer({}x{})", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_black() {
+        let fb = Framebuffer::new(4, 3);
+        assert_eq!(fb.count_color(Color::BLACK), 12);
+        assert_eq!(fb.get(0, 0), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut fb = Framebuffer::new(10, 10);
+        fb.set(3, 7, Color::RED);
+        assert_eq!(fb.get(3, 7), Some(Color::RED));
+        assert_eq!(fb.get(7, 3), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn out_of_bounds_is_clipped() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.set(-1, 0, Color::RED);
+        fb.set(0, -1, Color::RED);
+        fb.set(2, 0, Color::RED);
+        fb.set(0, 2, Color::RED);
+        assert_eq!(fb.count_color(Color::RED), 0);
+        assert_eq!(fb.get(5, 5), None);
+        assert_eq!(fb.get(-1, 0), None);
+    }
+
+    #[test]
+    fn clear_fills() {
+        let mut fb = Framebuffer::new(3, 3);
+        fb.clear(Color::CYAN);
+        assert_eq!(fb.count_color(Color::CYAN), 9);
+    }
+
+    #[test]
+    fn blend_mixes_colors() {
+        let mut fb = Framebuffer::new(1, 1);
+        fb.clear(Color::BLACK);
+        fb.blend(0, 0, Color::new(200, 100, 50), 0.5);
+        assert_eq!(fb.get(0, 0), Some(Color::new(100, 50, 25)));
+        fb.clear(Color::WHITE);
+        fb.blend(0, 0, Color::BLACK, 1.0);
+        assert_eq!(fb.get(0, 0), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let fb = Framebuffer::new(5, 4);
+        let ppm = fb.to_ppm();
+        assert!(ppm.starts_with(b"P6\n5 4\n255\n"));
+        assert_eq!(ppm.len(), 11 + 5 * 4 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let _ = Framebuffer::new(0, 5);
+    }
+
+    #[test]
+    fn ppm_round_trips_through_parser() {
+        let mut fb = Framebuffer::new(7, 3);
+        fb.set(2, 1, Color::RED);
+        fb.set(6, 2, Color::CYAN);
+        let back = Framebuffer::from_ppm(&fb.to_ppm()).unwrap();
+        assert_eq!(back, fb);
+    }
+
+    #[test]
+    fn ppm_parser_rejects_garbage() {
+        assert!(Framebuffer::from_ppm(b"P5\n1 1\n255\nx").is_err());
+        assert!(Framebuffer::from_ppm(b"P6\n2 2\n255\nxx").is_err(), "truncated");
+        assert!(Framebuffer::from_ppm(b"P6\n1 1\n65535\n??????").is_err());
+        assert!(Framebuffer::from_ppm(b"").is_err());
+    }
+
+    #[test]
+    fn compose_stacks_with_gap() {
+        let mut a = Framebuffer::new(4, 2);
+        a.clear(Color::RED);
+        let mut b = Framebuffer::new(6, 3);
+        b.clear(Color::CYAN);
+        let out = compose_vertical(&[&a, &b], 2, Color::GRAY);
+        assert_eq!(out.width(), 6);
+        assert_eq!(out.height(), 2 + 2 + 3);
+        assert_eq!(out.get(0, 0), Some(Color::RED));
+        assert_eq!(out.get(4, 0), Some(Color::GRAY), "narrow row padded");
+        assert_eq!(out.get(0, 2), Some(Color::GRAY), "gap row");
+        assert_eq!(out.get(5, 4), Some(Color::CYAN));
+        assert_eq!(out.count_color(Color::RED), 8);
+        assert_eq!(out.count_color(Color::CYAN), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to compose")]
+    fn compose_rejects_empty() {
+        let _ = compose_vertical(&[], 1, Color::BLACK);
+    }
+}

@@ -1,0 +1,47 @@
+//! `grender` — headless rendering for the gscope workspace.
+//!
+//! The original gscope drew its `GtkScope` widget with GTK/Gnome on X11.
+//! This crate replaces that stack with a from-scratch software
+//! rasterizer so scope scenes render deterministically anywhere: in
+//! tests, benchmarks, and the figure-regeneration binaries. Scenes can
+//! be written as binary PPM (raster) or SVG (vector — covering §6's
+//! "printing of recorded data" future work).
+//!
+//! * [`Framebuffer`] + [`draw`] — pixels and primitives.
+//! * [`font`] — an embedded 5×7 bitmap font.
+//! * [`Surface`] — one drawing abstraction, two backends
+//!   ([`RasterSurface`], [`SvgSurface`]).
+//! * [`render_scope`] / [`render_scope_svg`] — the Figure 1/4/5 widget.
+//! * [`render_signal_window`] — the Figure 2 signal-parameters window.
+//! * [`render_param_window`] — the Figure 3 control-parameters window.
+//! * [`render_spectrum`] — the §3.1 frequency-domain view.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gel::VirtualClock;
+//! use gscope::{IntVar, Scope, SigConfig};
+//!
+//! let mut scope = Scope::new("demo", 64, 48, Arc::new(VirtualClock::new()));
+//! scope.add_signal("x", IntVar::new(5).into(), SigConfig::default()).unwrap();
+//! let fb = grender::render_scope(&scope);
+//! assert!(fb.to_ppm().starts_with(b"P6"));
+//! ```
+
+pub mod draw;
+pub mod font;
+
+mod framebuffer;
+mod surface;
+mod view;
+mod windows;
+
+pub use framebuffer::{compose_vertical, Framebuffer};
+pub use surface::{RasterSurface, Surface, SvgSurface};
+pub use view::{draw_scope, render_scope, render_scope_svg, render_spectrum, widget_size};
+pub use windows::{
+    draw_param_window, draw_signal_window, param_window_height, render_param_window,
+    render_param_window_svg, render_signal_window, render_signal_window_svg,
+    signal_window_height,
+};

@@ -1,0 +1,289 @@
+//! Output-surface abstraction.
+//!
+//! Widget drawing code (the `GtkScope` layout, the parameter windows)
+//! targets the [`Surface`] trait, so every scene renders identically to
+//! a raster [`Framebuffer`] (PPM snapshots, pixel tests) and to SVG —
+//! the vector path covers §6's "printing of recorded data".
+
+use std::fmt::Write as _;
+
+use gscope::Color;
+
+use crate::draw;
+use crate::font;
+use crate::framebuffer::Framebuffer;
+
+/// A 2-D drawing target.
+pub trait Surface {
+    /// Surface width in pixels.
+    fn width(&self) -> usize;
+    /// Surface height in pixels.
+    fn height(&self) -> usize;
+    /// Fills the whole surface.
+    fn clear(&mut self, c: Color);
+    /// Draws a 1-px line segment, endpoints inclusive.
+    fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color);
+    /// Draws a dashed horizontal grid stroke.
+    fn hline_dashed(&mut self, x0: i64, x1: i64, y: i64, c: Color);
+    /// Draws a dashed vertical grid stroke.
+    fn vline_dashed(&mut self, x: i64, y0: i64, y1: i64, c: Color);
+    /// Draws a rectangle (filled or outlined).
+    fn rect(&mut self, x: i64, y: i64, w: i64, h: i64, c: Color, fill: bool);
+    /// Draws 5×7 text with top-left at `(x, y)`; returns the end x.
+    fn text(&mut self, x: i64, y: i64, s: &str, c: Color) -> i64;
+    /// Draws a translucent vertical band (envelope shading).
+    fn band(&mut self, x: i64, y0: i64, y1: i64, c: Color, alpha: f64);
+    /// Draws a single point (sample dot).
+    fn point(&mut self, x: i64, y: i64, c: Color);
+}
+
+/// [`Surface`] backed by a [`Framebuffer`].
+pub struct RasterSurface {
+    fb: Framebuffer,
+}
+
+impl RasterSurface {
+    /// Creates a raster surface of the given size.
+    pub fn new(width: usize, height: usize) -> Self {
+        RasterSurface {
+            fb: Framebuffer::new(width, height),
+        }
+    }
+
+    /// Consumes the surface, returning the framebuffer.
+    pub fn into_framebuffer(self) -> Framebuffer {
+        self.fb
+    }
+
+    /// Borrows the framebuffer.
+    pub fn framebuffer(&self) -> &Framebuffer {
+        &self.fb
+    }
+}
+
+impl Surface for RasterSurface {
+    fn width(&self) -> usize {
+        self.fb.width()
+    }
+
+    fn height(&self) -> usize {
+        self.fb.height()
+    }
+
+    fn clear(&mut self, c: Color) {
+        self.fb.clear(c);
+    }
+
+    fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+        draw::line(&mut self.fb, x0, y0, x1, y1, c);
+    }
+
+    fn hline_dashed(&mut self, x0: i64, x1: i64, y: i64, c: Color) {
+        draw::hline_dashed(&mut self.fb, x0, x1, y, c, 1, 3);
+    }
+
+    fn vline_dashed(&mut self, x: i64, y0: i64, y1: i64, c: Color) {
+        draw::vline_dashed(&mut self.fb, x, y0, y1, c, 1, 3);
+    }
+
+    fn rect(&mut self, x: i64, y: i64, w: i64, h: i64, c: Color, fill: bool) {
+        if fill {
+            draw::fill_rect(&mut self.fb, x, y, w, h, c);
+        } else {
+            draw::rect(&mut self.fb, x, y, w, h, c);
+        }
+    }
+
+    fn text(&mut self, x: i64, y: i64, s: &str, c: Color) -> i64 {
+        font::draw_text(&mut self.fb, x, y, s, c)
+    }
+
+    fn band(&mut self, x: i64, y0: i64, y1: i64, c: Color, alpha: f64) {
+        let (a, b) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        for y in a..=b {
+            self.fb.blend(x, y, c, alpha);
+        }
+    }
+
+    fn point(&mut self, x: i64, y: i64, c: Color) {
+        self.fb.set(x, y, c);
+    }
+}
+
+fn css(c: Color) -> String {
+    format!("#{:02x}{:02x}{:02x}", c.r, c.g, c.b)
+}
+
+/// [`Surface`] that accumulates an SVG document.
+pub struct SvgSurface {
+    width: usize,
+    height: usize,
+    body: String,
+}
+
+impl SvgSurface {
+    /// Creates an SVG surface of the given nominal pixel size.
+    pub fn new(width: usize, height: usize) -> Self {
+        SvgSurface {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Finishes the document and returns the SVG text.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\">\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+impl Surface for SvgSurface {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+
+    fn clear(&mut self, c: Color) {
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
+            self.width,
+            self.height,
+            css(c)
+        );
+    }
+
+    fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y1}\" stroke=\"{}\"/>",
+            css(c)
+        );
+    }
+
+    fn hline_dashed(&mut self, x0: i64, x1: i64, y: i64, c: Color) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x0}\" y1=\"{y}\" x2=\"{x1}\" y2=\"{y}\" stroke=\"{}\" \
+             stroke-dasharray=\"1 3\"/>",
+            css(c)
+        );
+    }
+
+    fn vline_dashed(&mut self, x: i64, y0: i64, y1: i64, c: Color) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x}\" y1=\"{y0}\" x2=\"{x}\" y2=\"{y1}\" stroke=\"{}\" \
+             stroke-dasharray=\"1 3\"/>",
+            css(c)
+        );
+    }
+
+    fn rect(&mut self, x: i64, y: i64, w: i64, h: i64, c: Color, fill: bool) {
+        let style = if fill {
+            format!("fill=\"{}\"", css(c))
+        } else {
+            format!("fill=\"none\" stroke=\"{}\"", css(c))
+        };
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{x}\" y=\"{y}\" width=\"{w}\" height=\"{h}\" {style}/>"
+        );
+    }
+
+    fn text(&mut self, x: i64, y: i64, s: &str, c: Color) -> i64 {
+        let escaped = s
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        // Match the raster font's 8 px line height; SVG anchors text at
+        // the baseline, so shift down.
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{x}\" y=\"{}\" fill=\"{}\" font-family=\"monospace\" \
+             font-size=\"8\">{escaped}</text>",
+            y + 7,
+            css(c)
+        );
+        x + font::text_width(s, 1)
+    }
+
+    fn band(&mut self, x: i64, y0: i64, y1: i64, c: Color, alpha: f64) {
+        let (a, b) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{x}\" y=\"{a}\" width=\"1\" height=\"{}\" fill=\"{}\" \
+             fill-opacity=\"{alpha:.2}\"/>",
+            b - a + 1,
+            css(c)
+        );
+    }
+
+    fn point(&mut self, x: i64, y: i64, c: Color) {
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{x}\" y=\"{y}\" width=\"1\" height=\"1\" fill=\"{}\"/>",
+            css(c)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_surface_draws() {
+        let mut s = RasterSurface::new(16, 16);
+        s.clear(Color::BLACK);
+        s.line(0, 0, 15, 15, Color::GREEN);
+        s.rect(2, 2, 4, 4, Color::RED, true);
+        s.point(10, 2, Color::WHITE);
+        let fb = s.into_framebuffer();
+        assert!(fb.count_color(Color::GREEN) >= 12);
+        assert_eq!(fb.count_color(Color::RED), 16);
+        assert_eq!(fb.get(10, 2), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn svg_surface_emits_elements() {
+        let mut s = SvgSurface::new(100, 50);
+        s.clear(Color::BLACK);
+        s.line(0, 0, 10, 10, Color::GREEN);
+        s.text(5, 5, "CWND <1>", Color::WHITE);
+        s.band(3, 10, 20, Color::CYAN, 0.25);
+        let doc = s.finish();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+        assert!(doc.contains("#00e640"), "green line color present");
+        assert!(doc.contains("CWND &lt;1&gt;"), "text is escaped");
+        assert!(doc.contains("fill-opacity=\"0.25\""));
+        assert!(doc.contains("viewBox=\"0 0 100 50\""));
+    }
+
+    #[test]
+    fn band_normalizes_order() {
+        let mut s = SvgSurface::new(10, 30);
+        s.band(1, 20, 5, Color::RED, 0.5);
+        assert!(s.finish().contains("y=\"5\" width=\"1\" height=\"16\""));
+    }
+
+    #[test]
+    fn text_advance_matches_font_metrics() {
+        let mut r = RasterSurface::new(100, 20);
+        let mut v = SvgSurface::new(100, 20);
+        let end_r = r.text(4, 4, "abc", Color::WHITE);
+        let end_v = v.text(4, 4, "abc", Color::WHITE);
+        assert_eq!(end_r, end_v);
+        assert_eq!(end_r, 4 + font::text_width("abc", 1));
+    }
+}

@@ -1,0 +1,186 @@
+//! The pop-up windows: signal parameters (Figure 2) and
+//! application/control parameters (Figure 3).
+//!
+//! Right-clicking a signal name in the original gscope opens a window
+//! listing the signal's `GtkScopeSig` fields; the control-parameter
+//! window lists application-wide read/write parameters. These renders
+//! regenerate both figures from live data.
+
+use gscope::{Color, ParamSet, Scope};
+
+use crate::framebuffer::Framebuffer;
+use crate::surface::{RasterSurface, Surface, SvgSurface};
+
+const ROW_H: i64 = 12;
+const PAD: i64 = 6;
+const WIDTH: usize = 230;
+const CHROME: Color = Color::new(40, 40, 44);
+const TEXT: Color = Color::new(210, 210, 210);
+const LABEL: Color = Color::new(150, 150, 160);
+
+fn window_frame(s: &mut dyn Surface, title: &str, rows: i64) {
+    s.clear(CHROME);
+    s.rect(0, 0, s.width() as i64, s.height() as i64, TEXT, false);
+    s.rect(1, 1, s.width() as i64 - 2, ROW_H, Color::new(60, 60, 80), true);
+    s.text(PAD, 3, title, TEXT);
+    let _ = rows;
+}
+
+fn kv_row(s: &mut dyn Surface, row: i64, key: &str, value: &str) {
+    let y = ROW_H + 4 + row * ROW_H;
+    s.text(PAD, y, key, LABEL);
+    s.text(PAD + 90, y, value, TEXT);
+}
+
+/// Pixel height of the signal-parameters window.
+pub fn signal_window_height() -> usize {
+    (ROW_H + 4 + 8 * ROW_H + PAD) as usize
+}
+
+/// Draws the Figure 2 signal-parameters window for `name` onto `s`.
+///
+/// # Errors
+///
+/// Returns [`gscope::ScopeError::UnknownSignal`] if the signal does not
+/// exist.
+pub fn draw_signal_window(scope: &Scope, name: &str, s: &mut dyn Surface) -> gscope::Result<()> {
+    let sig = scope
+        .signal(name)
+        .ok_or_else(|| gscope::ScopeError::UnknownSignal(name.into()))?;
+    let cfg = sig.config();
+    window_frame(s, &format!("Signal Parameters: {name}"), 8);
+    kv_row(s, 0, "Name", name);
+    let c = sig.color();
+    kv_row(s, 1, "Color", &format!("#{:02x}{:02x}{:02x}", c.r, c.g, c.b));
+    s.rect(PAD + 60, ROW_H + 4 + ROW_H, 8, 8, c, true);
+    kv_row(s, 2, "Minimum", &format!("{}", cfg.min));
+    kv_row(s, 3, "Maximum", &format!("{}", cfg.max));
+    kv_row(s, 4, "Line mode", cfg.line.name());
+    kv_row(s, 5, "Hidden", if cfg.hidden { "yes" } else { "no" });
+    kv_row(s, 6, "Filter alpha", &format!("{:.2}", cfg.filter_alpha));
+    kv_row(s, 7, "Aggregation", cfg.aggregation.name());
+    Ok(())
+}
+
+/// Renders the Figure 2 window to a framebuffer.
+///
+/// # Errors
+///
+/// Returns [`gscope::ScopeError::UnknownSignal`] if the signal does not
+/// exist.
+pub fn render_signal_window(scope: &Scope, name: &str) -> gscope::Result<Framebuffer> {
+    let mut s = RasterSurface::new(WIDTH, signal_window_height());
+    draw_signal_window(scope, name, &mut s)?;
+    Ok(s.into_framebuffer())
+}
+
+/// Renders the Figure 2 window as SVG.
+///
+/// # Errors
+///
+/// Returns [`gscope::ScopeError::UnknownSignal`] if the signal does not
+/// exist.
+pub fn render_signal_window_svg(scope: &Scope, name: &str) -> gscope::Result<String> {
+    let mut s = SvgSurface::new(WIDTH, signal_window_height());
+    draw_signal_window(scope, name, &mut s)?;
+    Ok(s.finish())
+}
+
+/// Pixel height of the control-parameters window for `n` parameters.
+pub fn param_window_height(n: usize) -> usize {
+    (ROW_H + 4 + (n.max(1) as i64 + 1) * ROW_H + PAD) as usize
+}
+
+/// Draws the Figure 3 application/control-parameters window onto `s`.
+pub fn draw_param_window(params: &ParamSet, s: &mut dyn Surface) {
+    let rows = params.snapshot();
+    window_frame(s, "Application Parameters", rows.len() as i64);
+    // Header row.
+    let y0 = ROW_H + 4;
+    s.text(PAD, y0, "name", LABEL);
+    s.text(PAD + 90, y0, "value", LABEL);
+    s.text(PAD + 150, y0, "range", LABEL);
+    for (i, (name, value, (min, max), _step)) in rows.iter().enumerate() {
+        let y = y0 + (i as i64 + 1) * ROW_H;
+        s.text(PAD, y, name, TEXT);
+        let v = match value {
+            gscope::ParamValue::Int(v) => format!("{v}"),
+            gscope::ParamValue::Float(v) => format!("{v:.3}"),
+            gscope::ParamValue::Bool(v) => (if *v { "on" } else { "off" }).to_owned(),
+        };
+        s.text(PAD + 90, y, &v, TEXT);
+        s.text(PAD + 150, y, &format!("{min}..{max}"), LABEL);
+    }
+}
+
+/// Renders the Figure 3 window to a framebuffer.
+pub fn render_param_window(params: &ParamSet) -> Framebuffer {
+    let mut s = RasterSurface::new(WIDTH, param_window_height(params.len()));
+    draw_param_window(params, &mut s);
+    s.into_framebuffer()
+}
+
+/// Renders the Figure 3 window as SVG.
+pub fn render_param_window_svg(params: &ParamSet) -> String {
+    let mut s = SvgSurface::new(WIDTH, param_window_height(params.len()));
+    draw_param_window(params, &mut s);
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel::VirtualClock;
+    use gscope::{IntVar, Parameter, SigConfig};
+    use std::sync::Arc;
+
+    fn scope() -> Scope {
+        let clock = Arc::new(VirtualClock::new());
+        let mut sc = Scope::new("w", 64, 48, clock);
+        sc.add_signal(
+            "CWND",
+            IntVar::new(10).into(),
+            SigConfig::default().with_range(0.0, 64.0).with_filter(0.25),
+        )
+        .unwrap();
+        sc
+    }
+
+    #[test]
+    fn signal_window_renders_fields() {
+        let sc = scope();
+        let fb = render_signal_window(&sc, "CWND").unwrap();
+        assert_eq!(fb.width(), WIDTH);
+        assert_eq!(fb.height(), signal_window_height());
+        let svg = render_signal_window_svg(&sc, "CWND").unwrap();
+        assert!(svg.contains("Signal Parameters: CWND"));
+        assert!(svg.contains("0.25"), "alpha shown");
+        assert!(svg.contains("64"), "max shown");
+        assert!(render_signal_window(&sc, "none").is_err());
+    }
+
+    #[test]
+    fn param_window_lists_parameters() {
+        let params = ParamSet::new();
+        params
+            .add(Parameter::int("elephants", IntVar::new(8), 0, 40))
+            .unwrap();
+        params
+            .add(Parameter::bool("ecn", gscope::BoolVar::new(true)))
+            .unwrap();
+        let fb = render_param_window(&params);
+        assert_eq!(fb.height(), param_window_height(2));
+        let svg = render_param_window_svg(&params);
+        assert!(svg.contains("Application Parameters"));
+        assert!(svg.contains("elephants"));
+        assert!(svg.contains("0..40"));
+        assert!(svg.contains("on"));
+    }
+
+    #[test]
+    fn empty_param_window_is_valid() {
+        let params = ParamSet::new();
+        let fb = render_param_window(&params);
+        assert!(fb.height() >= param_window_height(0));
+    }
+}

@@ -1,0 +1,168 @@
+//! A small hand-rolled argument parser for the CLI (no external
+//! dependencies, per the workspace's from-scratch policy).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals plus `--flag value` / `--flag`
+/// options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Errors from argument parsing and extraction.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` appeared twice.
+    Duplicate(String),
+    /// A required positional is missing.
+    MissingPositional(&'static str),
+    /// A flag value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending text.
+        value: String,
+    },
+    /// An unknown flag for this subcommand.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Duplicate(s) => write!(f, "flag --{s} given twice"),
+            ArgError::MissingPositional(s) => write!(f, "missing required argument <{s}>"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "bad value {value:?} for --{flag}")
+            }
+            ArgError::Unknown(s) => write!(f, "unknown flag --{s}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments. Flags named in `boolean_flags` take no
+    /// value; all other `--flags` consume the next token as a value.
+    pub fn parse<I>(raw: I, boolean_flags: &[&str]) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let name = name.to_owned();
+                if out.flags.contains_key(&name) {
+                    return Err(ArgError::Duplicate(name));
+                }
+                if boolean_flags.contains(&name.as_str()) {
+                    out.flags.insert(name, "true".into());
+                } else {
+                    let value = it.next().unwrap_or_default();
+                    out.flags.insert(name, value);
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rejects any flag not in `allowed`.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::Unknown(k.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns positional `i`, or an error naming it.
+    pub fn positional(&self, i: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// Number of positionals.
+    pub fn positional_count(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// Returns a string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// True if a boolean flag was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// Returns a parsed flag value, or `default` when absent.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_owned(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(str::to_owned), &["svg", "quiet"])
+    }
+
+    #[test]
+    fn positionals_and_flags_mix() {
+        let a = args("file.tuples --width 300 other --svg").unwrap();
+        assert_eq!(a.positional(0, "file").unwrap(), "file.tuples");
+        assert_eq!(a.positional(1, "other").unwrap(), "other");
+        assert_eq!(a.positional_count(), 2);
+        assert_eq!(a.get_or("width", 0usize).unwrap(), 300);
+        assert!(a.has("svg"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = args("x").unwrap();
+        assert_eq!(a.get_or("period", 50u64).unwrap(), 50);
+        assert_eq!(a.get("out"), None);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(
+            args("--width 1 --width 2").unwrap_err(),
+            ArgError::Duplicate("width".into())
+        );
+        let a = args("--width abc").unwrap();
+        assert!(matches!(
+            a.get_or("width", 0usize),
+            Err(ArgError::BadValue { .. })
+        ));
+        let a = args("only").unwrap();
+        assert_eq!(
+            a.positional(1, "addr").unwrap_err(),
+            ArgError::MissingPositional("addr")
+        );
+        let a = args("--bogus 1").unwrap();
+        assert_eq!(
+            a.check_known(&["width"]).unwrap_err(),
+            ArgError::Unknown("bogus".into())
+        );
+    }
+}

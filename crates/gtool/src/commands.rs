@@ -1,0 +1,658 @@
+//! The CLI subcommand implementations.
+//!
+//! Each command is a function from parsed [`Args`] to a report string,
+//! so the whole tool is unit-testable without spawning processes.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::sync::Arc;
+
+use gel::{Clock, SystemClock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gnet::{ScopeClient, ScopeServer};
+use gscope::{Scope, SigSource, Tuple, TupleReader, TupleWriter};
+
+use crate::args::Args;
+
+/// Boxed error alias for command results.
+pub type CmdResult = Result<String, Box<dyn std::error::Error>>;
+
+fn load_tuples(path: &str) -> Result<Vec<Tuple>, Box<dyn std::error::Error>> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(TupleReader::new(BufReader::new(file)).read_all()?)
+}
+
+/// `info <file>` — summarize a tuple recording.
+pub fn info(args: &Args) -> CmdResult {
+    args.check_known(&[])?;
+    let path = args.positional(0, "file")?;
+    let tuples = load_tuples(path)?;
+    if tuples.is_empty() {
+        return Ok(format!("{path}: empty recording"));
+    }
+    let t0 = tuples.first().expect("non-empty").time;
+    let t1 = tuples.last().expect("non-empty").time;
+    let mut per_signal: BTreeMap<&str, (u64, f64, f64)> = BTreeMap::new();
+    for t in &tuples {
+        let name = t.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
+        let entry = per_signal
+            .entry(name)
+            .or_insert((0, f64::INFINITY, f64::NEG_INFINITY));
+        entry.0 += 1;
+        entry.1 = entry.1.min(t.value);
+        entry.2 = entry.2.max(t.value);
+    }
+    let mut out = format!(
+        "{path}: {} tuples, {} signals, {:.3}s .. {:.3}s ({:.3}s span)\n",
+        tuples.len(),
+        per_signal.len(),
+        t0.as_secs_f64(),
+        t1.as_secs_f64(),
+        (t1 - t0).as_secs_f64(),
+    );
+    for (name, (count, min, max)) in per_signal {
+        out.push_str(&format!(
+            "  {name:<20} {count:>8} samples   range [{min}, {max}]\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// Replays `tuples` at `period` into a scope `width` pixels wide.
+fn replay_scope(tuples: Vec<Tuple>, width: usize, period: TimeDelta) -> gscope::Result<Scope> {
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("replay", width, 150, Arc::new(clock.clone()));
+    scope.set_period(period)?;
+    let end = tuples.last().map(|t| t.time).unwrap_or(TimeStamp::ZERO);
+    scope.set_playback_mode(tuples)?;
+    scope.start();
+    let mut t = TimeStamp::ZERO;
+    let horizon = end + period.saturating_mul(3);
+    while t < horizon {
+        t += period;
+        clock.set(t);
+        scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+    }
+    Ok(scope)
+}
+
+/// `view <file> --out <img> [--width N] [--period MS] [--svg]` —
+/// render a recording like the scope would have displayed it (the
+/// §6 "printing of recorded data" feature).
+pub fn view(args: &Args) -> CmdResult {
+    args.check_known(&["out", "width", "period", "svg"])?;
+    let path = args.positional(0, "file")?;
+    let width: usize = args.get_or("width", 400)?;
+    let period_ms: u64 = args.get_or("period", 50)?;
+    let out = args.get("out").unwrap_or("scope.ppm").to_owned();
+    let tuples = load_tuples(path)?;
+    let count = tuples.len();
+    let scope = replay_scope(tuples, width, TimeDelta::from_millis(period_ms))?;
+    if args.has("svg") {
+        std::fs::write(&out, grender::render_scope_svg(&scope))?;
+    } else {
+        grender::render_scope(&scope).save_ppm(&out)?;
+    }
+    Ok(format!(
+        "rendered {count} tuples ({} signals) at {period_ms}ms/px to {out}",
+        scope.signal_count()
+    ))
+}
+
+/// `gen --out <file> [--seconds S] [--rate HZ] [--wave sine|square|saw|triangle] [--freq HZ] [--name N]`
+/// — generate a synthetic single- or multi-signal recording.
+pub fn gen(args: &Args) -> CmdResult {
+    args.check_known(&["out", "seconds", "rate", "wave", "freq", "name", "amplitude"])?;
+    let out = args.get("out").ok_or("missing --out")?.to_owned();
+    let seconds: f64 = args.get_or("seconds", 5.0)?;
+    let rate: f64 = args.get_or("rate", 100.0)?;
+    let freq: f64 = args.get_or("freq", 1.0)?;
+    let amplitude: f64 = args.get_or("amplitude", 40.0)?;
+    let name = args.get("name").unwrap_or("signal").to_owned();
+    let wave = match args.get("wave").unwrap_or("sine") {
+        "sine" => gctrl::Waveform::Sine,
+        "square" => gctrl::Waveform::Square,
+        "saw" => gctrl::Waveform::Sawtooth,
+        "triangle" => gctrl::Waveform::Triangle,
+        other => return Err(format!("unknown wave {other:?}").into()),
+    };
+    if rate <= 0.0 || seconds <= 0.0 {
+        return Err("--rate and --seconds must be positive".into());
+    }
+    let osc = gctrl::Oscillator::new(wave, freq, amplitude).with_offset(50.0);
+    let mut w = TupleWriter::new(std::io::BufWriter::new(File::create(&out)?));
+    let n = (seconds * rate) as u64;
+    for i in 0..n {
+        let secs = i as f64 / rate;
+        w.write_tuple(&Tuple::new(
+            TimeStamp::from_micros((secs * 1e6) as u64),
+            osc.sample(secs),
+            name.clone(),
+        ))?;
+    }
+    w.flush()?;
+    Ok(format!("wrote {n} tuples of {name} to {out}"))
+}
+
+/// `stream <file> <addr> [--speed X]` — replay a recording to a scope
+/// server in (scaled) real time, timestamps rebased to "now".
+pub fn stream(args: &Args) -> CmdResult {
+    args.check_known(&["speed"])?;
+    let path = args.positional(0, "file")?;
+    let addr = args.positional(1, "addr")?;
+    let speed: f64 = args.get_or("speed", 1.0)?;
+    if speed <= 0.0 {
+        return Err("--speed must be positive".into());
+    }
+    let tuples = load_tuples(path)?;
+    let clock = SystemClock::new();
+    let mut client = ScopeClient::connect(addr)?;
+    let base = tuples.first().map(|t| t.time).unwrap_or(TimeStamp::ZERO);
+    let start = clock.now();
+    let mut sent = 0u64;
+    for t in &tuples {
+        let offset =
+            TimeDelta::from_micros(((t.time - base).as_micros() as f64 / speed) as u64);
+        let due = start + offset;
+        while clock.now() < due {
+            let _ = client.pump();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        client.send_at(clock.now(), t.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL), t.value);
+        let _ = client.pump();
+        sent += 1;
+    }
+    client.flush_blocking()?;
+    Ok(format!("streamed {sent} tuples to {addr} at {speed}x"))
+}
+
+/// `serve <bind> [--duration-ms D] [--delay MS] [--period MS] [--out img]`
+/// — run a scope server for a bounded time, then render what arrived.
+pub fn serve(args: &Args) -> CmdResult {
+    args.check_known(&[
+        "duration-ms",
+        "delay",
+        "period",
+        "out",
+        "width",
+        "snapshot-every-ms",
+    ])?;
+    let bind = args.positional(0, "bind")?;
+    let duration_ms: u64 = args.get_or("duration-ms", 2_000)?;
+    let delay_ms: u64 = args.get_or("delay", 300)?;
+    let period_ms: u64 = args.get_or("period", 20)?;
+    let width: usize = args.get_or("width", 400)?;
+    let out = args.get("out").map(str::to_owned);
+    let snapshot_ms: u64 = args.get_or("snapshot-every-ms", 0)?;
+
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let mut scope = Scope::new("gscope-tool serve", width, 150, Arc::clone(&clock));
+    scope.set_delay(TimeDelta::from_millis(delay_ms));
+    scope.set_polling_mode(TimeDelta::from_millis(period_ms))?;
+    scope.start();
+    let scope = scope.into_shared();
+
+    let mut server = ScopeServer::bind(bind)?;
+    server.add_scope(Arc::clone(&scope));
+    let local = server.local_addr()?;
+    eprintln!("listening on {local} for {duration_ms}ms");
+
+    let deadline = clock.now() + TimeDelta::from_millis(duration_ms);
+    let mut next_tick = clock.now() + TimeDelta::from_millis(period_ms);
+    let mut next_snapshot = (snapshot_ms > 0)
+        .then(|| clock.now() + TimeDelta::from_millis(snapshot_ms));
+    let mut snapshots = 0u64;
+    while clock.now() < deadline {
+        let _ = server.poll();
+        let now = clock.now();
+        if now >= next_tick {
+            scope.lock().tick(&TickInfo {
+                now,
+                scheduled: next_tick,
+                missed: 0,
+            });
+            next_tick += TimeDelta::from_millis(period_ms);
+        }
+        // Live dashboard: re-render to --out on a cadence.
+        if let (Some(at), Some(out)) = (next_snapshot, out.as_deref()) {
+            if now >= at {
+                let guard = scope.lock();
+                if out.ends_with(".svg") {
+                    std::fs::write(out, grender::render_scope_svg(&guard))?;
+                } else {
+                    grender::render_scope(&guard).save_ppm(out)?;
+                }
+                snapshots += 1;
+                next_snapshot = Some(at + TimeDelta::from_millis(snapshot_ms));
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    let stats = server.stats();
+    let guard = scope.lock();
+    let mut report = format!(
+        "served {local}: {} connections, {} tuples, {} parse errors, {} late drops\nsignals: {}\n",
+        stats.connections,
+        stats.tuples_received,
+        stats.parse_errors,
+        guard.buffer().late_drops(),
+        guard.signal_names().join(", "),
+    );
+    if let Some(out) = out {
+        if out.ends_with(".svg") {
+            std::fs::write(&out, grender::render_scope_svg(&guard))?;
+        } else {
+            grender::render_scope(&guard).save_ppm(&out)?;
+        }
+        if snapshots > 0 {
+            report.push_str(&format!(
+                "rendered to {out} ({snapshots} live snapshots + final)\n"
+            ));
+        } else {
+            report.push_str(&format!("rendered to {out}\n"));
+        }
+    }
+    Ok(report)
+}
+
+/// `spectrum <file> [--signal NAME] [--size N]` — print the dominant
+/// frequencies of a recorded signal (display-domain FFT, §3.1).
+pub fn spectrum(args: &Args) -> CmdResult {
+    args.check_known(&["signal", "size", "period"])?;
+    let path = args.positional(0, "file")?;
+    let size: usize = args.get_or("size", 256)?;
+    let period_ms: u64 = args.get_or("period", 50)?;
+    let tuples = load_tuples(path)?;
+    let scope = replay_scope(tuples, size.max(64), TimeDelta::from_millis(period_ms))?;
+    let names = scope.signal_names();
+    let name = match args.get("signal") {
+        Some(n) => n.to_owned(),
+        None => names.first().cloned().ok_or("recording has no signals")?,
+    };
+    // Clamp the window to the samples actually recorded: zero-padding
+    // a short recording would smear the spectrum toward DC.
+    let available = scope
+        .signal(&name)
+        .map(|s| s.history().last_values(usize::MAX).len())
+        .unwrap_or(0);
+    let size = if available == 0 {
+        size
+    } else {
+        let cap = if available.is_power_of_two() {
+            available
+        } else {
+            available.next_power_of_two() / 2
+        };
+        size.min(cap).max(2)
+    };
+    let bins = scope.spectrum(
+        &name,
+        size,
+        gdsp::SpectrumConfig {
+            remove_dc: true,
+            ..Default::default()
+        },
+    )?;
+    let sample_rate = 1000.0 / period_ms as f64;
+    let mut ranked: Vec<_> = bins.iter().skip(1).collect();
+    ranked.sort_by(|a, b| b.magnitude.total_cmp(&a.magnitude));
+    let mut out = format!(
+        "{name}: top frequency bins (display sample rate {sample_rate} Hz)\n"
+    );
+    for b in ranked.iter().take(5) {
+        out.push_str(&format!(
+            "  {:>8.3} Hz   amplitude {:.3}\n",
+            b.frequency * sample_rate,
+            b.magnitude
+        ));
+    }
+    Ok(out)
+}
+
+/// `stack <a.ppm> <b.ppm> [...] --out <img.ppm> [--gap N]` — stack
+/// rendered figures vertically (e.g. Figure 4 above Figure 5, the
+/// paper's layout).
+pub fn stack(args: &Args) -> CmdResult {
+    args.check_known(&["out", "gap"])?;
+    if args.positional_count() < 2 {
+        return Err("stack needs at least two input images".into());
+    }
+    let gap: usize = args.get_or("gap", 4)?;
+    let out = args.get("out").ok_or("missing --out")?.to_owned();
+    let mut frames = Vec::new();
+    for i in 0..args.positional_count() {
+        let path = args.positional(i, "image")?;
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        frames.push(
+            grender::Framebuffer::from_ppm(&bytes)
+                .map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    let refs: Vec<&grender::Framebuffer> = frames.iter().collect();
+    let composed = grender::compose_vertical(&refs, gap, gscope::Color::new(40, 40, 44));
+    composed.save_ppm(&out)?;
+    Ok(format!(
+        "stacked {} images into {out} ({}x{})",
+        frames.len(),
+        composed.width(),
+        composed.height()
+    ))
+}
+
+/// `mxtraf [--flows N] [--seconds S] [--ecn] [--sack] [--loss P]
+/// [--jitter MS] [--switch-to N2] [--out img]` — run the mxtraf-style
+/// workload (the paper's §2 experiment) from the shell and print the
+/// per-bucket CWND/timeout table; optionally render the scope view.
+pub fn mxtraf(args: &Args) -> CmdResult {
+    args.check_known(&[
+        "flows", "seconds", "ecn", "sack", "loss", "jitter", "switch-to", "out",
+    ])?;
+    let flows: usize = args.get_or("flows", 8)?;
+    let seconds: u64 = args.get_or("seconds", 30)?;
+    let ecn = args.has("ecn");
+    let sack = args.has("sack");
+    let loss: f64 = args.get_or("loss", 0.0)?;
+    let jitter_ms: u64 = args.get_or("jitter", 0)?;
+    let switch_to: usize = args.get_or("switch-to", flows)?;
+    if flows == 0 || seconds == 0 {
+        return Err("--flows and --seconds must be positive".into());
+    }
+    let max = flows.max(switch_to);
+    let mut traffic = netsim::Mxtraf::new(netsim::MxtrafConfig {
+        ecn,
+        sack,
+        net: netsim::NetConfig {
+            queue: if ecn {
+                netsim::QueueKind::red_default(100)
+            } else {
+                netsim::QueueKind::DropTail { capacity: 50 }
+            },
+            loss_rate: loss,
+            jitter: TimeDelta::from_millis(jitter_ms),
+            ..netsim::NetConfig::default()
+        },
+        initial_elephants: flows,
+        max_elephants: max,
+        ..netsim::MxtrafConfig::default()
+    });
+
+    // Scope over elephants + probe CWND, like the paper's Figure 4/5.
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("mxtraf", 300, 120, Arc::new(clock.clone()));
+    let probe = traffic.elephant_flow(0);
+    scope
+        .add_signal(
+            "elephants",
+            SigSource::Events,
+            gscope::SigConfig::default().with_range(0.0, 2.0 * max as f64),
+        )?;
+    scope.add_signal(
+        "CWND",
+        SigSource::Events,
+        gscope::SigConfig::default()
+            .with_range(0.0, 64.0)
+            .with_aggregation(gscope::Aggregation::Minimum),
+    )?;
+    let elephants_sink = scope.event_sink("elephants")?;
+    let cwnd_sink = scope.event_sink("CWND")?;
+    let period = TimeDelta::from_millis(100);
+    scope.set_polling_mode(period)?;
+    scope.start();
+
+    let mut out = format!(
+        "mxtraf: {flows} flows{} for {seconds}s, ecn={ecn} sack={sack} loss={loss} jitter={jitter_ms}ms\n",
+        if switch_to != flows {
+            format!(" -> {switch_to} at t={}s", seconds / 2)
+        } else {
+            String::new()
+        }
+    );
+    out.push_str("t(s)   elephants  probe-cwnd  timeouts  drops  marks\n");
+    let mut t = TimeStamp::ZERO;
+    let bucket = TimeDelta::from_secs((seconds / 10).max(1));
+    while t < TimeStamp::from_secs(seconds) {
+        let bucket_end = t + bucket;
+        while t < bucket_end && t < TimeStamp::from_secs(seconds) {
+            t += period;
+            traffic.run_until(t);
+            if switch_to != flows && t == TimeStamp::from_secs(seconds / 2) {
+                traffic.set_elephants(switch_to);
+            }
+            elephants_sink.push(traffic.elephants() as f64);
+            cwnd_sink.push(traffic.net().cwnd(probe));
+            clock.set(t);
+            scope.tick(&TickInfo {
+                now: t,
+                scheduled: t,
+                missed: 0,
+            });
+        }
+        out.push_str(&format!(
+            "{:<6} {:<10} {:<11.1} {:<9} {:<6} {}\n",
+            t.as_secs_f64(),
+            traffic.elephants(),
+            traffic.net().cwnd(probe),
+            traffic.total_timeouts(),
+            traffic.net().queue_stats().dropped + traffic.net().link_losses(),
+            traffic.net().queue_stats().marked,
+        ));
+    }
+    if let Some(img) = args.get("out") {
+        if img.ends_with(".svg") {
+            std::fs::write(img, grender::render_scope_svg(&scope))?;
+        } else {
+            grender::render_scope(&scope).save_ppm(img)?;
+        }
+        out.push_str(&format!("rendered scope to {img}\n"));
+    }
+    Ok(out)
+}
+
+/// Dispatches a subcommand by name.
+pub fn run(cmd: &str, args: &Args) -> CmdResult {
+    match cmd {
+        "info" => info(args),
+        "view" => view(args),
+        "gen" => gen(args),
+        "stream" => stream(args),
+        "serve" => serve(args),
+        "spectrum" => spectrum(args),
+        "stack" => stack(args),
+        "mxtraf" => mxtraf(args),
+        other => Err(format!("unknown command {other:?}; see --help").into()),
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+gscope-tool — companion CLI for gscope tuple recordings (§3.3 format)
+
+USAGE:
+  gscope-tool info <file>
+  gscope-tool view <file> --out scope.ppm [--width N] [--period MS] [--svg]
+  gscope-tool gen --out <file> [--seconds S] [--rate HZ] [--wave sine|square|saw|triangle]
+                  [--freq HZ] [--amplitude A] [--name NAME]
+  gscope-tool stream <file> <host:port> [--speed X]
+  gscope-tool serve <bind-addr> [--duration-ms D] [--delay MS] [--period MS] [--out img]
+                    [--snapshot-every-ms N]
+  gscope-tool spectrum <file> [--signal NAME] [--size N] [--period MS]
+  gscope-tool stack <a.ppm> <b.ppm> [...] --out <img.ppm> [--gap N]
+  gscope-tool mxtraf [--flows N] [--seconds S] [--ecn] [--sack] [--loss P]
+                     [--jitter MS] [--switch-to N2] [--out img]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(s: &str) -> Args {
+        Args::parse(
+            s.split_whitespace().map(str::to_owned),
+            &["svg", "ecn", "sack"],
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gtool-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_then_info_round_trip() {
+        let file = tmp("gen_info.tuples");
+        let report = gen(&args(&format!(
+            "--out {file} --seconds 2 --rate 50 --wave square --freq 2 --name pulse"
+        )))
+        .unwrap();
+        assert!(report.contains("100 tuples"));
+        let report = info(&args(&file)).unwrap();
+        assert!(report.contains("100 tuples"), "{report}");
+        assert!(report.contains("pulse"));
+        assert!(report.contains("1 signals"));
+    }
+
+    #[test]
+    fn view_renders_ppm_and_svg() {
+        let file = tmp("view.tuples");
+        gen(&args(&format!("--out {file} --seconds 3 --rate 20"))).unwrap();
+        let ppm = tmp("view.ppm");
+        let report = view(&args(&format!("{file} --out {ppm} --width 120"))).unwrap();
+        assert!(report.contains("rendered"), "{report}");
+        let bytes = std::fs::read(&ppm).unwrap();
+        assert!(bytes.starts_with(b"P6"));
+        let svg = tmp("view.svg");
+        view(&args(&format!("{file} --out {svg} --svg"))).unwrap();
+        let text = std::fs::read_to_string(&svg).unwrap();
+        assert!(text.starts_with("<svg"));
+    }
+
+    #[test]
+    fn spectrum_finds_the_generated_tone() {
+        // 2 Hz sine sampled for the view at 50 ms (20 Hz display rate).
+        let file = tmp("spec.tuples");
+        gen(&args(&format!(
+            "--out {file} --seconds 20 --rate 100 --freq 2 --wave sine"
+        )))
+        .unwrap();
+        let report = spectrum(&args(&format!("{file} --size 256"))).unwrap();
+        let first_line = report.lines().nth(1).unwrap();
+        let hz: f64 = first_line
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((hz - 2.0).abs() < 0.3, "top bin at {hz} Hz, expected ~2");
+    }
+
+    #[test]
+    fn info_rejects_missing_file() {
+        let err = info(&args("/definitely/not/here.tuples")).unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn gen_validates_arguments() {
+        assert!(gen(&args("--seconds 1")).is_err(), "missing --out");
+        let file = tmp("bad.tuples");
+        assert!(gen(&args(&format!("--out {file} --wave noise"))).is_err());
+        assert!(gen(&args(&format!("--out {file} --rate 0"))).is_err());
+    }
+
+    #[test]
+    fn mxtraf_command_reproduces_the_contrast() {
+        let tcp = mxtraf(&args("--flows 12 --seconds 12")).unwrap();
+        let ecn = mxtraf(&args("--flows 12 --seconds 12 --ecn")).unwrap();
+        // TCP row shows drops; ECN row shows marks and zero timeouts.
+        assert!(tcp.contains("ecn=false"));
+        assert!(ecn.contains("ecn=true"));
+        let ecn_timeouts: u64 = ecn
+            .lines()
+            .last()
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(99);
+        assert_eq!(ecn_timeouts, 0, "ECN run must show zero timeouts:\n{ecn}");
+        let img = tmp("mxtraf.ppm");
+        let with_img = mxtraf(&args(&format!("--flows 4 --seconds 6 --out {img}"))).unwrap();
+        assert!(with_img.contains("rendered scope"));
+        assert!(std::fs::read(&img).unwrap().starts_with(b"P6"));
+        assert!(mxtraf(&args("--flows 0")).is_err());
+    }
+
+    #[test]
+    fn serve_writes_live_snapshots() {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let out = tmp("live.ppm");
+        let _ = std::fs::remove_file(&out);
+        let serve_args = args(&format!(
+            "{addr} --duration-ms 600 --period 10 --snapshot-every-ms 100 --out {out}"
+        ));
+        let report = serve(&serve_args).unwrap();
+        assert!(
+            report.contains("live snapshots + final"),
+            "snapshot count reported: {report}"
+        );
+        let bytes = std::fs::read(&out).unwrap();
+        assert!(bytes.starts_with(b"P6"));
+    }
+
+    #[test]
+    fn stack_composes_ppms() {
+        let f1 = tmp("s1.tuples");
+        gen(&args(&format!("--out {f1} --seconds 1 --rate 20"))).unwrap();
+        let p1 = tmp("s1.ppm");
+        let p2 = tmp("s2.ppm");
+        view(&args(&format!("{f1} --out {p1} --width 100"))).unwrap();
+        view(&args(&format!("{f1} --out {p2} --width 120"))).unwrap();
+        let out = tmp("stacked.ppm");
+        let report = stack(&args(&format!("{p1} {p2} --out {out} --gap 3"))).unwrap();
+        assert!(report.contains("stacked 2 images"), "{report}");
+        let composed =
+            grender::Framebuffer::from_ppm(&std::fs::read(&out).unwrap()).unwrap();
+        let a = grender::Framebuffer::from_ppm(&std::fs::read(&p1).unwrap()).unwrap();
+        let b = grender::Framebuffer::from_ppm(&std::fs::read(&p2).unwrap()).unwrap();
+        assert_eq!(composed.width(), a.width().max(b.width()));
+        assert_eq!(composed.height(), a.height() + b.height() + 3);
+        assert!(stack(&args(&format!("{p1} --out {out}"))).is_err(), "needs two");
+    }
+
+    #[test]
+    fn unknown_command_reports() {
+        assert!(run("frobnicate", &args("")).is_err());
+    }
+
+    #[test]
+    fn stream_and_serve_loopback() {
+        // End to end: gen → serve (background thread) → stream → report.
+        let file = tmp("stream.tuples");
+        gen(&args(&format!(
+            "--out {file} --seconds 1 --rate 40 --name remote"
+        )))
+        .unwrap();
+        // Pre-bind to learn a free port, then serve on it.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let bind = addr.to_string();
+        let serve_args = args(&format!("{bind} --duration-ms 1500 --period 10 --delay 500"));
+        let server = std::thread::spawn(move || serve(&serve_args).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let report = stream(&args(&format!("{file} {bind} --speed 4"))).unwrap();
+        assert!(report.contains("streamed 40 tuples"), "{report}");
+        let server_report = server.join().unwrap();
+        assert!(server_report.contains("1 connections"), "{server_report}");
+        assert!(server_report.contains("40 tuples"), "{server_report}");
+        assert!(server_report.contains("remote"), "{server_report}");
+    }
+}

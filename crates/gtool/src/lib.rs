@@ -1,0 +1,25 @@
+//! `gtool` — the gscope command-line companion.
+//!
+//! The paper contrasts gscope with `gstripchart`, which has "a
+//! configuration file based interface rather than a programmatic
+//! interface". This tool adds the file-and-shell workflow *on top of*
+//! the programmatic library: inspect recordings in the §3.3 tuple
+//! format, render them as the scope would have displayed them (§6's
+//! "printing of recorded data"), generate synthetic recordings, and
+//! run either side of the §4.4 distributed pipeline from the shell:
+//!
+//! ```text
+//! gscope-tool gen --out demo.tuples --wave sine --freq 2
+//! gscope-tool info demo.tuples
+//! gscope-tool view demo.tuples --out demo.ppm
+//! gscope-tool serve 127.0.0.1:7000 --duration-ms 5000 --out live.ppm &
+//! gscope-tool stream demo.tuples 127.0.0.1:7000
+//! ```
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{
+    gen, info, mxtraf, run, serve, spectrum, stack, stream, view, CmdResult, USAGE,
+};

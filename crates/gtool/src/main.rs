@@ -1,0 +1,29 @@
+//! Binary entry point for `gscope-tool`.
+
+use gtool::{run, Args, USAGE};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let args = match Args::parse(argv, &["svg", "ecn", "sack"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run(&cmd, &args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! `loadmeter` — CPU-overhead measurement for the §4.6 experiment.
+//!
+//! The paper measures gscope's cost with "a CPU load program that runs
+//! in a tight loop at a low priority and measures the number of loop
+//! iterations it can perform at any given period. The ratio of the
+//! iteration count when running gscope versus on an idle system gives
+//! an estimate of the gscope overhead."
+//!
+//! Two meters are provided:
+//!
+//! * [`SpinLoop`] — the paper's method verbatim: a counter thread in a
+//!   tight loop. Meaningful when the workload competes for the same
+//!   core (the paper's machine was a uniprocessor 600 MHz P-III; on a
+//!   multi-core host, pin both threads to one CPU, e.g. with
+//!   `taskset -c 0`, to reproduce the contention).
+//! * [`BusyMeter`] — a core-count-independent substitute: it accumulates
+//!   the wall time actually spent inside the instrumented work (the
+//!   scope's poll ticks) and reports the duty cycle, which on a
+//!   uniprocessor is exactly what the spin-loop ratio estimates.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Overhead estimate from a baseline and a loaded measurement.
+///
+/// Returns the fraction of capacity lost, clamped to `[0, 1]`.
+pub fn overhead_fraction(baseline: u64, loaded: u64) -> f64 {
+    if baseline == 0 {
+        return 0.0;
+    }
+    (1.0 - loaded as f64 / baseline as f64).clamp(0.0, 1.0)
+}
+
+/// The paper's low-priority tight-loop iteration counter.
+pub struct SpinLoop {
+    count: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SpinLoop {
+    /// Starts the spin thread.
+    pub fn start() -> Self {
+        let count = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let c = Arc::clone(&count);
+        let s = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // `yield_now` approximates "low priority": any runnable
+            // thread on the same core gets in first.
+            while !s.load(Ordering::Relaxed) {
+                for _ in 0..1000 {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::yield_now();
+            }
+        });
+        SpinLoop {
+            count,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Iterations counted so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Counts iterations over the next `period`.
+    pub fn sample(&self, period: Duration) -> u64 {
+        let before = self.count();
+        std::thread::sleep(period);
+        self.count() - before
+    }
+
+    /// Stops the spin thread and returns the final count.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.count()
+    }
+}
+
+impl Drop for SpinLoop {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accumulates time spent inside instrumented work and reports the duty
+/// cycle over a wall-clock window.
+#[derive(Debug)]
+pub struct BusyMeter {
+    busy: Duration,
+    window_start: Instant,
+    samples: u64,
+}
+
+impl Default for BusyMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BusyMeter {
+    /// Creates a meter; the wall window starts now.
+    pub fn new() -> Self {
+        BusyMeter {
+            busy: Duration::ZERO,
+            window_start: Instant::now(),
+            samples: 0,
+        }
+    }
+
+    /// Runs `f`, charging its duration to the meter.
+    pub fn measure<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.busy += t0.elapsed();
+        self.samples += 1;
+        out
+    }
+
+    /// Adds an externally measured busy span.
+    pub fn add_busy(&mut self, d: Duration) {
+        self.busy += d;
+        self.samples += 1;
+    }
+
+    /// Total accumulated busy time.
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// Number of measured spans.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Busy time ÷ wall time since creation (or the last reset),
+    /// clamped to `[0, 1]` — the uniprocessor-equivalent CPU overhead.
+    pub fn duty_cycle(&self) -> f64 {
+        let wall = self.window_start.elapsed();
+        if wall.is_zero() {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / wall.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Resets the busy accumulator and restarts the wall window.
+    pub fn reset(&mut self) {
+        self.busy = Duration::ZERO;
+        self.samples = 0;
+        self.window_start = Instant::now();
+    }
+
+    /// Mean busy time per measured span.
+    pub fn mean_busy(&self) -> Duration {
+        if self.samples == 0 {
+            Duration::ZERO
+        } else {
+            self.busy / self.samples as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_fraction_math() {
+        assert_eq!(overhead_fraction(1000, 1000), 0.0);
+        assert!((overhead_fraction(1000, 990) - 0.01).abs() < 1e-12);
+        assert_eq!(overhead_fraction(1000, 0), 1.0);
+        assert_eq!(overhead_fraction(0, 5), 0.0);
+        // Noise can push loaded above baseline; clamp to zero.
+        assert_eq!(overhead_fraction(1000, 1100), 0.0);
+    }
+
+    #[test]
+    fn spin_loop_counts_and_stops() {
+        let spin = SpinLoop::start();
+        let n = spin.sample(Duration::from_millis(50));
+        assert!(n > 10_000, "a 50 ms spin should count plenty, got {n}");
+        let total = spin.stop();
+        assert!(total >= n);
+    }
+
+    #[test]
+    fn spin_loop_rate_is_roughly_linear_in_time() {
+        let spin = SpinLoop::start();
+        let short = spin.sample(Duration::from_millis(40));
+        let long = spin.sample(Duration::from_millis(120));
+        drop(spin);
+        let ratio = long as f64 / short as f64;
+        // Wide bounds: a loaded host skews spin-loop scheduling a lot,
+        // and this test only guards against gross accounting bugs.
+        assert!(
+            (1.2..12.0).contains(&ratio),
+            "3x window should give roughly 3x counts, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn busy_meter_measures_duty_cycle() {
+        let mut m = BusyMeter::new();
+        // ~30% duty: 3 ms busy / 10 ms wall, repeated.
+        for _ in 0..10 {
+            m.measure(|| {
+                let t0 = Instant::now();
+                while t0.elapsed() < Duration::from_millis(3) {
+                    std::hint::spin_loop();
+                }
+            });
+            std::thread::sleep(Duration::from_millis(7));
+        }
+        let duty = m.duty_cycle();
+        // ~0.3 nominal; loose bounds tolerate scheduling noise on a
+        // busy host.
+        assert!(
+            (0.08..0.6).contains(&duty),
+            "expected ~0.3 duty cycle, got {duty:.3}"
+        );
+        assert_eq!(m.samples(), 10);
+        assert!(m.mean_busy() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn busy_meter_reset() {
+        let mut m = BusyMeter::new();
+        m.add_busy(Duration::from_millis(5));
+        assert!(m.busy() >= Duration::from_millis(5));
+        m.reset();
+        assert_eq!(m.busy(), Duration::ZERO);
+        assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
+    fn idle_meter_reports_zero() {
+        let m = BusyMeter::new();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(m.duty_cycle() < 0.01);
+    }
+}

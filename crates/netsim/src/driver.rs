@@ -1,0 +1,299 @@
+//! An `mxtraf`-style workload driver.
+//!
+//! The paper's experiment (§2) uses the mxtraf network traffic
+//! generator: "a small number of hosts can be used to saturate a
+//! network with a tunable mix of TCP and UDP traffic", with a
+//! dynamically adjustable number of long-lived flows ("elephants") —
+//! changed from 8 to 16 mid-run in Figures 4 and 5 — plus short "mice"
+//! transfers and UDP constant-bit-rate streams.
+
+use gel::{TimeDelta, TimeStamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sim::{FlowId, NetConfig, Network};
+
+/// Workload parameters for [`Mxtraf`].
+#[derive(Clone, Copy, Debug)]
+pub struct MxtrafConfig {
+    /// Network substrate configuration.
+    pub net: NetConfig,
+    /// All elephant flows use ECN (Figure 5) or none do (Figure 4).
+    pub ecn: bool,
+    /// All TCP flows negotiate SACK (RFC 2018) instead of Reno
+    /// go-back-N recovery.
+    pub sack: bool,
+    /// Elephant flows created up front (activate up to this many).
+    pub max_elephants: usize,
+    /// Initially active elephants.
+    pub initial_elephants: usize,
+    /// Mean mice arrivals per second (Poisson); 0 disables mice.
+    pub mice_rate_hz: f64,
+    /// Transfer size of each mouse, in packets.
+    pub mouse_size_packets: u64,
+    /// Number of UDP CBR flows.
+    pub udp_flows: usize,
+    /// UDP packet interval.
+    pub udp_interval: TimeDelta,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MxtrafConfig {
+    /// The Figure 4 baseline: 16 potential elephants, 8 active, no mice
+    /// or UDP, standard TCP through a DropTail router.
+    fn default() -> Self {
+        MxtrafConfig {
+            net: NetConfig::default(),
+            ecn: false,
+            sack: false,
+            max_elephants: 16,
+            initial_elephants: 8,
+            mice_rate_hz: 0.0,
+            mouse_size_packets: 12,
+            udp_flows: 0,
+            udp_interval: TimeDelta::from_millis(5),
+            seed: 1,
+        }
+    }
+}
+
+/// Drives a [`Network`] with an mxtraf-like traffic mix.
+pub struct Mxtraf {
+    cfg: MxtrafConfig,
+    net: Network,
+    elephants: Vec<FlowId>,
+    active_elephants: usize,
+    mice: Vec<FlowId>,
+    mice_spawned: u64,
+    udp: Vec<FlowId>,
+    rng: StdRng,
+    next_mouse_at: Option<TimeStamp>,
+}
+
+impl Mxtraf {
+    /// Builds the network and pre-creates all flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_elephants > max_elephants`.
+    pub fn new(cfg: MxtrafConfig) -> Self {
+        assert!(
+            cfg.initial_elephants <= cfg.max_elephants,
+            "initial elephants exceed maximum"
+        );
+        let mut net = Network::new(cfg.net);
+        let elephants: Vec<FlowId> = (0..cfg.max_elephants)
+            .map(|_| net.add_tcp_flow_with(cfg.ecn, cfg.sack))
+            .collect();
+        let udp: Vec<FlowId> = (0..cfg.udp_flows)
+            .map(|_| net.add_udp_flow(cfg.udp_interval))
+            .collect();
+        let mut driver = Mxtraf {
+            cfg,
+            net,
+            elephants,
+            active_elephants: 0,
+            mice: Vec::new(),
+            mice_spawned: 0,
+            udp,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            next_mouse_at: None,
+        };
+        driver.set_elephants(cfg.initial_elephants);
+        for &u in &driver.udp.clone() {
+            driver.net.start_udp(u);
+        }
+        if driver.cfg.mice_rate_hz > 0.0 {
+            driver.next_mouse_at = Some(driver.draw_mouse_arrival(TimeStamp::ZERO));
+        }
+        driver
+    }
+
+    fn draw_mouse_arrival(&mut self, from: TimeStamp) -> TimeStamp {
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        let gap = -u.ln() / self.cfg.mice_rate_hz;
+        from + TimeDelta::from_secs_f64(gap.min(3600.0))
+    }
+
+    /// Changes the number of active elephants — the knob the paper
+    /// turns from 8 to 16 "roughly half way through the x-axis".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `max_elephants`.
+    pub fn set_elephants(&mut self, n: usize) {
+        assert!(n <= self.cfg.max_elephants, "too many elephants requested");
+        let mut stagger = 0u64;
+        while self.active_elephants < n {
+            let id = self.elephants[self.active_elephants];
+            // Stagger activations (~one RTT apart) the way real flows
+            // arrive, avoiding a synchronized slow-start burst.
+            self.net
+                .start_flow_at(id, self.net.now() + TimeDelta::from_millis(50 * stagger));
+            stagger += 1;
+            self.active_elephants += 1;
+        }
+        while self.active_elephants > n {
+            self.active_elephants -= 1;
+            let id = self.elephants[self.active_elephants];
+            self.net.stop_flow(id);
+        }
+    }
+
+    /// Number of currently active elephants.
+    pub fn elephants(&self) -> usize {
+        self.active_elephants
+    }
+
+    /// Flow id of elephant `i` (for CWND probes).
+    pub fn elephant_flow(&self, i: usize) -> FlowId {
+        self.elephants[i]
+    }
+
+    /// Mice spawned so far.
+    pub fn mice_spawned(&self) -> u64 {
+        self.mice_spawned
+    }
+
+    /// The underlying network (CWND, queue and flow statistics).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Total retransmission timeouts across all elephants.
+    pub fn total_timeouts(&self) -> u64 {
+        self.elephants
+            .iter()
+            .map(|&f| self.net.flow_stats(f).timeouts)
+            .sum()
+    }
+
+    fn spawn_mouse(&mut self) {
+        // Reuse a finished mouse slot if possible.
+        let slot = self
+            .mice
+            .iter()
+            .copied()
+            .find(|&m| !self.net.flow_active(m));
+        let id = match slot {
+            Some(id) => id,
+            None => {
+                let id = self.net.add_mouse_flow_with(
+                    self.cfg.ecn,
+                    self.cfg.sack,
+                    self.cfg.mouse_size_packets,
+                );
+                self.mice.push(id);
+                id
+            }
+        };
+        self.net.start_flow(id);
+        self.mice_spawned += 1;
+    }
+
+    /// Advances the workload and the network to `until`.
+    pub fn run_until(&mut self, until: TimeStamp) {
+        while let Some(at) = self.next_mouse_at {
+            if at > until {
+                break;
+            }
+            self.net.run_until(at);
+            self.spawn_mouse();
+            self.next_mouse_at = Some(self.draw_mouse_arrival(at));
+        }
+        self.net.run_until(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueKind;
+
+    #[test]
+    fn initial_elephants_start_active() {
+        let m = Mxtraf::new(MxtrafConfig::default());
+        assert_eq!(m.elephants(), 8);
+        for i in 0..8 {
+            assert!(m.net().flow_active(m.elephant_flow(i)));
+        }
+        assert!(!m.net().flow_active(m.elephant_flow(8)));
+    }
+
+    #[test]
+    fn elephant_count_changes_dynamically() {
+        let mut m = Mxtraf::new(MxtrafConfig::default());
+        m.run_until(TimeStamp::from_secs(5));
+        m.set_elephants(16);
+        assert_eq!(m.elephants(), 16);
+        m.run_until(TimeStamp::from_secs(10));
+        m.set_elephants(4);
+        assert_eq!(m.elephants(), 4);
+        for i in 4..16 {
+            assert!(!m.net().flow_active(m.elephant_flow(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many elephants")]
+    fn elephant_limit_enforced() {
+        let mut m = Mxtraf::new(MxtrafConfig::default());
+        m.set_elephants(17);
+    }
+
+    #[test]
+    fn mice_arrive_at_poisson_rate() {
+        let mut m = Mxtraf::new(MxtrafConfig {
+            mice_rate_hz: 10.0,
+            initial_elephants: 2,
+            ..MxtrafConfig::default()
+        });
+        m.run_until(TimeStamp::from_secs(10));
+        let n = m.mice_spawned();
+        // 10 Hz for 10 s ≈ 100 arrivals; allow generous Poisson slack.
+        assert!((50..=170).contains(&n), "mice spawned: {n}");
+    }
+
+    #[test]
+    fn figure4_shape_tcp_times_out() {
+        let mut m = Mxtraf::new(MxtrafConfig::default());
+        m.run_until(TimeStamp::from_secs(15));
+        m.set_elephants(16);
+        m.run_until(TimeStamp::from_secs(30));
+        assert!(
+            m.total_timeouts() > 0,
+            "DropTail TCP congestion must produce timeouts"
+        );
+    }
+
+    #[test]
+    fn figure5_shape_ecn_does_not_time_out() {
+        let mut m = Mxtraf::new(MxtrafConfig {
+            ecn: true,
+            net: NetConfig {
+                queue: QueueKind::red_default(100),
+                ..NetConfig::default()
+            },
+            ..MxtrafConfig::default()
+        });
+        m.run_until(TimeStamp::from_secs(15));
+        m.set_elephants(16);
+        m.run_until(TimeStamp::from_secs(30));
+        assert_eq!(m.total_timeouts(), 0, "ECN flows never hit CWND=1");
+        assert!(m.net().queue_stats().marked > 0);
+    }
+
+    #[test]
+    fn udp_mix_runs() {
+        let mut m = Mxtraf::new(MxtrafConfig {
+            udp_flows: 2,
+            udp_interval: TimeDelta::from_millis(10),
+            initial_elephants: 2,
+            ..MxtrafConfig::default()
+        });
+        m.run_until(TimeStamp::from_secs(2));
+        assert!(m.net().udp_stats(0).sent > 100);
+        assert!(m.net().udp_stats(1).sent > 100);
+    }
+}

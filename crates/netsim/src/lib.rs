@@ -1,0 +1,35 @@
+//! `netsim` — a discrete-event network simulator for the gscope
+//! workspace.
+//!
+//! The paper's showcase experiment (§2, Figures 4–5) runs the `mxtraf`
+//! traffic generator across a real testbed: a server, a Linux router
+//! with `nistnet` adding delay and bandwidth constraints, and a client.
+//! That hardware is substituted here by a faithful packet-level
+//! simulation:
+//!
+//! * [`Network`] — bottleneck router (configurable bandwidth, one-way
+//!   propagation delay, queue discipline), TCP and UDP flows, a
+//!   deterministic event queue.
+//! * [`QueueKind`] — DropTail and RED-with-ECN queue disciplines.
+//! * [`TcpSender`] / [`TcpReceiver`] — Reno congestion control (slow
+//!   start, AIMD, fast retransmit/recovery, RFC 6298 RTO with backoff)
+//!   with the RFC 3168 ECN reaction.
+//! * [`Mxtraf`] — the workload driver: dynamically adjustable elephant
+//!   count, Poisson mice, UDP CBR mix.
+//!
+//! The phenomena the figures depend on emerge from these mechanics:
+//! congested DropTail queues force retransmission timeouts that collapse
+//! a Reno flow's CWND to one, while RED+ECN marks early and the same
+//! congestion level produces window halvings but no timeouts.
+
+mod driver;
+mod queue;
+mod sim;
+mod tcp;
+
+pub use driver::{Mxtraf, MxtrafConfig};
+pub use queue::{EnqueueOutcome, QueueDiscipline, QueueKind, QueueStats};
+pub use sim::{FlowId, NetConfig, Network, UdpStats};
+pub use tcp::{
+    AckInfo, CcState, SenderOp, SenderStats, TcpReceiver, TcpSender, MAX_WINDOW, RTO_MAX, RTO_MIN,
+};

@@ -1,0 +1,284 @@
+//! Router queue disciplines: DropTail and RED with ECN marking.
+//!
+//! The paper's experiment (§2) compares TCP and ECN flows through a
+//! Linux router emulating a congested wide-area link. The router model
+//! here supports the two disciplines that comparison needs:
+//!
+//! * [`QueueKind::DropTail`] — drop arrivals when the buffer is full;
+//!   this is what forces retransmission timeouts onto standard TCP.
+//! * [`QueueKind::Red`] — Random Early Detection with ECN: as the
+//!   *average* queue grows past `min_th`, arrivals are probabilistically
+//!   marked (Congestion Experienced) instead of dropped, so ECN-capable
+//!   senders back off without losing packets (Floyd, CCR 1994).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the queue did with an arriving packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Accepted unchanged.
+    Accepted,
+    /// Accepted with the CE (congestion experienced) bit set.
+    Marked,
+    /// Dropped.
+    Dropped,
+}
+
+/// Queue discipline selection and parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueueKind {
+    /// FIFO, tail-drop at `capacity` packets.
+    DropTail {
+        /// Buffer size in packets.
+        capacity: usize,
+    },
+    /// RED with ECN marking.
+    Red {
+        /// Physical buffer size in packets (tail-drop backstop).
+        capacity: usize,
+        /// Average queue length where marking begins.
+        min_th: f64,
+        /// Average queue length where marking probability reaches
+        /// `max_p` (beyond it, every ECN packet is marked).
+        max_th: f64,
+        /// Marking probability at `max_th`.
+        max_p: f64,
+        /// EWMA weight for the average queue estimate.
+        weight: f64,
+    },
+}
+
+impl QueueKind {
+    /// The paper-calibrated RED defaults for a `capacity`-packet buffer.
+    ///
+    /// Tuned to mark early and respond quickly (weight 0.05) so that
+    /// ECN feedback, not physical overflow, is the congestion signal —
+    /// the regime the Figure 5 experiment demonstrates.
+    pub fn red_default(capacity: usize) -> QueueKind {
+        QueueKind::Red {
+            capacity,
+            min_th: capacity as f64 * 0.10,
+            max_th: capacity as f64 * 0.40,
+            max_p: 0.3,
+            weight: 0.05,
+        }
+    }
+
+    /// Buffer capacity in packets.
+    pub fn capacity(&self) -> usize {
+        match *self {
+            QueueKind::DropTail { capacity } | QueueKind::Red { capacity, .. } => capacity,
+        }
+    }
+}
+
+/// Statistics for a router queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Packets accepted (marked or not).
+    pub accepted: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Packets CE-marked.
+    pub marked: u64,
+    /// Peak instantaneous occupancy.
+    pub peak_len: usize,
+}
+
+/// The admission-control half of a router queue (occupancy is tracked by
+/// the caller, which owns the actual packet FIFO).
+#[derive(Debug)]
+pub struct QueueDiscipline {
+    kind: QueueKind,
+    /// EWMA of queue length (RED).
+    avg: f64,
+    /// Packets since the last mark/drop (RED's uniformization counter).
+    count_since_mark: u64,
+    rng: StdRng,
+    stats: QueueStats,
+}
+
+impl QueueDiscipline {
+    /// Creates a discipline with a deterministic RNG seed.
+    pub fn new(kind: QueueKind, seed: u64) -> Self {
+        QueueDiscipline {
+            kind,
+            avg: 0.0,
+            count_since_mark: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Returns the discipline parameters.
+    pub fn kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// Returns queue statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Current RED average-queue estimate (0 for DropTail).
+    pub fn avg_len(&self) -> f64 {
+        self.avg
+    }
+
+    /// Decides the fate of an arrival given the *current* queue length
+    /// `qlen` (before this packet) and whether the packet's flow is
+    /// ECN-capable.
+    pub fn admit(&mut self, qlen: usize, ecn_capable: bool) -> EnqueueOutcome {
+        let capacity = self.kind.capacity();
+        let outcome = match self.kind {
+            QueueKind::DropTail { .. } => {
+                if qlen >= capacity {
+                    EnqueueOutcome::Dropped
+                } else {
+                    EnqueueOutcome::Accepted
+                }
+            }
+            QueueKind::Red {
+                min_th,
+                max_th,
+                max_p,
+                weight,
+                ..
+            } => {
+                self.avg = (1.0 - weight) * self.avg + weight * qlen as f64;
+                if qlen >= capacity {
+                    // Physical overflow: nothing RED can do.
+                    EnqueueOutcome::Dropped
+                } else if self.avg < min_th {
+                    EnqueueOutcome::Accepted
+                } else {
+                    let congestion_signal = if self.avg >= max_th {
+                        true
+                    } else {
+                        let p_base = max_p * (self.avg - min_th) / (max_th - min_th);
+                        // Uniformize marking intervals (classic RED).
+                        let p = p_base / (1.0 - (self.count_since_mark as f64) * p_base).max(1e-9);
+                        self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+                    };
+                    if congestion_signal {
+                        if ecn_capable {
+                            EnqueueOutcome::Marked
+                        } else {
+                            EnqueueOutcome::Dropped
+                        }
+                    } else {
+                        EnqueueOutcome::Accepted
+                    }
+                }
+            }
+        };
+        match outcome {
+            EnqueueOutcome::Accepted => {
+                self.count_since_mark += 1;
+                self.stats.accepted += 1;
+                self.stats.peak_len = self.stats.peak_len.max(qlen + 1);
+            }
+            EnqueueOutcome::Marked => {
+                self.count_since_mark = 0;
+                self.stats.accepted += 1;
+                self.stats.marked += 1;
+                self.stats.peak_len = self.stats.peak_len.max(qlen + 1);
+            }
+            EnqueueOutcome::Dropped => {
+                self.count_since_mark = 0;
+                self.stats.dropped += 1;
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn droptail_accepts_until_full() {
+        let mut q = QueueDiscipline::new(QueueKind::DropTail { capacity: 3 }, 1);
+        assert_eq!(q.admit(0, false), EnqueueOutcome::Accepted);
+        assert_eq!(q.admit(1, false), EnqueueOutcome::Accepted);
+        assert_eq!(q.admit(2, false), EnqueueOutcome::Accepted);
+        assert_eq!(q.admit(3, false), EnqueueOutcome::Dropped);
+        assert_eq!(q.stats().accepted, 3);
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().peak_len, 3);
+    }
+
+    #[test]
+    fn droptail_never_marks() {
+        let mut q = QueueDiscipline::new(QueueKind::DropTail { capacity: 10 }, 1);
+        for i in 0..10 {
+            assert_ne!(q.admit(i, true), EnqueueOutcome::Marked);
+        }
+        assert_eq!(q.stats().marked, 0);
+    }
+
+    #[test]
+    fn red_quiet_queue_accepts_everything() {
+        let mut q = QueueDiscipline::new(QueueKind::red_default(100), 7);
+        for _ in 0..100 {
+            assert_eq!(q.admit(2, true), EnqueueOutcome::Accepted);
+        }
+        assert_eq!(q.stats().marked, 0);
+    }
+
+    #[test]
+    fn red_marks_ecn_flows_under_sustained_load() {
+        let mut q = QueueDiscipline::new(QueueKind::red_default(100), 7);
+        let mut marked = 0;
+        for _ in 0..500 {
+            if q.admit(60, true) == EnqueueOutcome::Marked {
+                marked += 1;
+            }
+        }
+        assert!(marked > 50, "sustained high queue should mark, got {marked}");
+        assert_eq!(q.stats().dropped, 0, "ECN marks instead of dropping");
+    }
+
+    #[test]
+    fn red_drops_non_ecn_flows_under_sustained_load() {
+        let mut q = QueueDiscipline::new(QueueKind::red_default(100), 7);
+        let mut dropped = 0;
+        for _ in 0..500 {
+            if q.admit(60, false) == EnqueueOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 50, "non-ECN traffic gets dropped, got {dropped}");
+        assert_eq!(q.stats().marked, 0);
+    }
+
+    #[test]
+    fn red_physical_overflow_drops_even_ecn() {
+        let mut q = QueueDiscipline::new(QueueKind::red_default(10), 7);
+        assert_eq!(q.admit(10, true), EnqueueOutcome::Dropped);
+    }
+
+    #[test]
+    fn red_average_tracks_slowly() {
+        let mut q = QueueDiscipline::new(QueueKind::red_default(100), 7);
+        q.admit(50, true);
+        let one = q.avg_len();
+        assert!(one > 0.0 && one < 5.0, "EWMA moves gradually, got {one}");
+        for _ in 0..600 {
+            q.admit(50, true);
+        }
+        assert!(q.avg_len() > 40.0, "EWMA converges, got {}", q.avg_len());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut q = QueueDiscipline::new(QueueKind::red_default(50), seed);
+            (0..200).map(|_| q.admit(20, true)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+}

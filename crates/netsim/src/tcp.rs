@@ -1,0 +1,896 @@
+//! TCP Reno congestion control with optional ECN, as pure state
+//! machines.
+//!
+//! The Figures 4–5 experiment hinges on the difference between standard
+//! TCP (losses at a DropTail router, some of which can only be repaired
+//! by a retransmission timeout that collapses CWND to one) and ECN
+//! (early marks at a RED router let senders halve their window without
+//! losing anything, so CWND never collapses). The sender below
+//! implements Reno slow start, congestion avoidance, fast
+//! retransmit/fast recovery, RFC 6298 RTO estimation with exponential
+//! backoff and go-back-N timeout recovery, plus the ECN reaction of
+//! RFC 3168 (at most one window cut per RTT).
+//!
+//! Senders and receivers are event-free: they consume ACKs/packets and
+//! emit [`SenderOp`]s the simulator interprets, which keeps them
+//! unit-testable without a network.
+
+use std::collections::{BTreeSet, HashMap};
+
+use gel::{TimeDelta, TimeStamp};
+
+/// Upper bound the receiver window imposes on the sender, in packets.
+pub const MAX_WINDOW: f64 = 64.0;
+/// Minimum retransmission timeout (Linux-flavoured 200 ms).
+pub const RTO_MIN: TimeDelta = TimeDelta::from_millis(200);
+/// Maximum (backed-off) retransmission timeout.
+pub const RTO_MAX: TimeDelta = TimeDelta::from_secs(60);
+
+/// Congestion-control phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcState {
+    /// Exponential window growth below `ssthresh`.
+    SlowStart,
+    /// Linear growth above `ssthresh`.
+    CongestionAvoidance,
+    /// Reno fast recovery after a fast retransmit.
+    FastRecovery,
+}
+
+/// Instructions a sender hands back to the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SenderOp {
+    /// Transmit the packet with this sequence number.
+    Send {
+        /// Packet sequence number (packets, not bytes; MSS-sized).
+        seq: u64,
+        /// True if this sequence number was sent before.
+        retransmit: bool,
+    },
+    /// (Re)arm the retransmission timer: fire at `deadline` unless a
+    /// newer generation supersedes it.
+    ArmRto {
+        /// Timer generation; stale firings are ignored.
+        generation: u64,
+        /// Absolute fire time.
+        deadline: TimeStamp,
+    },
+}
+
+/// Counters for one TCP sender.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Data packets transmitted (including retransmissions).
+    pub packets_sent: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// Retransmission timeouts suffered — the paper's key signal: each
+    /// one collapses CWND to 1.
+    pub timeouts: u64,
+    /// Fast retransmits triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Window reductions caused by ECN echoes.
+    pub ecn_cuts: u64,
+    /// Highest cumulative ACK received (packets delivered in order).
+    pub packets_acked: u64,
+}
+
+/// A Reno/ECN TCP sender for one bulk-transfer flow.
+#[derive(Debug)]
+pub struct TcpSender {
+    /// Flow is actively sending new data.
+    active: bool,
+    /// ECN-capable transport.
+    ecn: bool,
+    /// Selective acknowledgements negotiated.
+    sack: bool,
+    /// First unacknowledged sequence number.
+    una: u64,
+    /// Next sequence number to send.
+    nxt: u64,
+    /// Highest sequence number ever sent (for retransmit detection).
+    max_sent: Option<u64>,
+    cwnd: f64,
+    ssthresh: f64,
+    state: CcState,
+    dup_acks: u32,
+    /// Highest seq outstanding when fast recovery began.
+    recover: u64,
+    // RFC 6298 estimator state.
+    srtt: Option<TimeDelta>,
+    rttvar: TimeDelta,
+    rto: TimeDelta,
+    /// Send times of first transmissions (Karn's algorithm).
+    send_times: HashMap<u64, TimeStamp>,
+    timer_generation: u64,
+    /// Last ECN-induced cut, for the once-per-RTT rule.
+    last_ecn_cut: Option<TimeStamp>,
+    /// SACK scoreboard: sequences the receiver holds above `una`.
+    sacked: BTreeSet<u64>,
+    /// Holes retransmitted in the current recovery episode.
+    rexmitted: BTreeSet<u64>,
+    stats: SenderStats,
+}
+
+impl TcpSender {
+    /// Creates an idle Reno sender; `ecn` selects the ECN-capable
+    /// variant.
+    pub fn new(ecn: bool) -> Self {
+        Self::with_options(ecn, false)
+    }
+
+    /// Creates an idle sender with explicit ECN and SACK options.
+    ///
+    /// With SACK, losses are repaired from the receiver's scoreboard
+    /// (holes retransmitted individually during recovery) instead of
+    /// Reno's go-back-N — the option whose kernel interaction §2 of the
+    /// paper recounts debugging with gscope.
+    pub fn with_options(ecn: bool, sack: bool) -> Self {
+        TcpSender {
+            active: false,
+            ecn,
+            sack,
+            una: 0,
+            nxt: 0,
+            max_sent: None,
+            cwnd: 2.0,
+            ssthresh: MAX_WINDOW,
+            state: CcState::SlowStart,
+            dup_acks: 0,
+            recover: 0,
+            srtt: None,
+            rttvar: TimeDelta::ZERO,
+            rto: TimeDelta::from_secs(1),
+            send_times: HashMap::new(),
+            timer_generation: 0,
+            last_ecn_cut: None,
+            sacked: BTreeSet::new(),
+            rexmitted: BTreeSet::new(),
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Current congestion window in packets (the CWND signal of
+    /// Figures 4–5).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Current congestion-control phase.
+    pub fn state(&self) -> CcState {
+        self.state
+    }
+
+    /// Current RTO estimate.
+    pub fn rto(&self) -> TimeDelta {
+        self.rto
+    }
+
+    /// Smoothed RTT, once sampled.
+    pub fn srtt(&self) -> Option<TimeDelta> {
+        self.srtt
+    }
+
+    /// Sender statistics.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// True while the flow sends new data.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// True if this sender negotiated ECN.
+    pub fn is_ecn(&self) -> bool {
+        self.ecn
+    }
+
+    /// True if this sender negotiated SACK.
+    pub fn is_sack(&self) -> bool {
+        self.sack
+    }
+
+    /// Packets in flight.
+    pub fn flight_size(&self) -> u64 {
+        self.nxt.saturating_sub(self.una)
+    }
+
+    /// Activates the flow and emits the initial window.
+    pub fn start(&mut self, now: TimeStamp) -> Vec<SenderOp> {
+        self.active = true;
+        self.fill_window(now)
+    }
+
+    /// Marks the flow active without transmitting yet (used for
+    /// deferred starts: the simulator sends the initial window when the
+    /// start event fires).
+    pub fn activate(&mut self) {
+        self.active = true;
+    }
+
+    /// Deactivates the flow; in-flight data drains but nothing new is
+    /// sent.
+    pub fn stop(&mut self) {
+        self.active = false;
+    }
+
+    fn effective_window(&self) -> u64 {
+        self.cwnd.min(MAX_WINDOW).floor().max(1.0) as u64
+    }
+
+    fn arm_rto(&mut self, now: TimeStamp, ops: &mut Vec<SenderOp>) {
+        self.timer_generation += 1;
+        ops.push(SenderOp::ArmRto {
+            generation: self.timer_generation,
+            deadline: now + self.rto,
+        });
+    }
+
+    fn fill_window(&mut self, now: TimeStamp) -> Vec<SenderOp> {
+        let mut ops = Vec::new();
+        if !self.active && self.nxt >= self.una {
+            // Even inactive flows must repair losses of in-flight data;
+            // only *new* data stops.
+        }
+        let window_end = self.una + self.effective_window();
+        let mut sent_any = false;
+        while self.nxt < window_end {
+            if !self.active && self.max_sent.is_some_and(|m| self.nxt > m) {
+                break;
+            }
+            let retransmit = self.max_sent.is_some_and(|m| self.nxt <= m);
+            if retransmit {
+                self.stats.retransmits += 1;
+                self.send_times.remove(&self.nxt);
+            } else {
+                self.send_times.insert(self.nxt, now);
+                self.max_sent = Some(self.nxt);
+            }
+            ops.push(SenderOp::Send {
+                seq: self.nxt,
+                retransmit,
+            });
+            self.stats.packets_sent += 1;
+            self.nxt += 1;
+            sent_any = true;
+        }
+        if sent_any {
+            self.arm_rto(now, &mut ops);
+        }
+        ops
+    }
+
+    fn sample_rtt(&mut self, now: TimeStamp, ackno: u64) {
+        // Sample from the most recent first-transmission covered by
+        // this cumulative ACK (Karn: retransmitted seqs were removed).
+        let Some((&seq, &sent)) = self
+            .send_times
+            .iter()
+            .filter(|(&s, _)| s < ackno)
+            .max_by_key(|(&s, _)| s)
+        else {
+            return;
+        };
+        let r = now.saturating_since(sent);
+        self.send_times.retain(|&s, _| s >= ackno);
+        let _ = seq;
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = TimeDelta::from_micros(r.as_micros() / 2);
+            }
+            Some(srtt) => {
+                let diff = if srtt > r {
+                    srtt.as_micros() - r.as_micros()
+                } else {
+                    r.as_micros() - srtt.as_micros()
+                };
+                self.rttvar =
+                    TimeDelta::from_micros((3 * self.rttvar.as_micros() + diff) / 4);
+                self.srtt = Some(TimeDelta::from_micros(
+                    (7 * srtt.as_micros() + r.as_micros()) / 8,
+                ));
+            }
+        }
+        let computed = TimeDelta::from_micros(
+            self.srtt.expect("just set").as_micros() + 4 * self.rttvar.as_micros().max(2_500),
+        );
+        self.rto = computed.max(RTO_MIN).min(RTO_MAX);
+    }
+
+    fn halve_window(&mut self) {
+        self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.state = CcState::CongestionAvoidance;
+    }
+
+    /// FACK pipe-driven (re)transmission during SACK recovery
+    /// (Mathis & Mahdavi's forward acknowledgement): the volume in
+    /// flight is estimated as everything past the highest SACKed
+    /// sequence plus unacknowledged retransmissions, and while it is
+    /// below cwnd the sender first repairs the lowest scoreboard hole,
+    /// then sends new data to keep the ACK clock alive.
+    fn sack_pipe_fill(&mut self, now: TimeStamp, ops: &mut Vec<SenderOp>) {
+        let fack = self
+            .sacked
+            .iter()
+            .next_back()
+            .map(|&h| h + 1)
+            .unwrap_or(self.una)
+            .max(self.una);
+        let limit = self.cwnd.min(MAX_WINDOW).floor().max(1.0) as u64;
+        loop {
+            let retran = self
+                .rexmitted
+                .iter()
+                .filter(|&&r| !self.sacked.contains(&r))
+                .count() as u64;
+            let awnd = self.nxt.saturating_sub(fack) + retran;
+            if awnd >= limit {
+                break;
+            }
+            let hole = (self.una..fack)
+                .find(|q| !self.sacked.contains(q) && !self.rexmitted.contains(q));
+            if let Some(hole) = hole {
+                self.rexmitted.insert(hole);
+                self.send_times.remove(&hole);
+                self.stats.retransmits += 1;
+                self.stats.packets_sent += 1;
+                ops.push(SenderOp::Send {
+                    seq: hole,
+                    retransmit: true,
+                });
+            } else if self.active && self.nxt.saturating_sub(self.una) < MAX_WINDOW as u64 {
+                let retransmit = self.max_sent.is_some_and(|m| self.nxt <= m);
+                if retransmit {
+                    self.stats.retransmits += 1;
+                    self.send_times.remove(&self.nxt);
+                } else {
+                    self.send_times.insert(self.nxt, now);
+                    self.max_sent = Some(self.nxt);
+                }
+                self.stats.packets_sent += 1;
+                ops.push(SenderOp::Send {
+                    seq: self.nxt,
+                    retransmit,
+                });
+                self.nxt += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Processes a cumulative ACK (`ackno` = next expected seq at the
+    /// receiver) with its ECN-echo flag and any selective-ACK report
+    /// (`sack`: sequences the receiver holds above `ackno`; ignored by
+    /// non-SACK senders).
+    pub fn on_ack(&mut self, now: TimeStamp, ackno: u64, ece: bool, sack: &[u64]) -> Vec<SenderOp> {
+        let mut ops = Vec::new();
+        if self.sack {
+            for &seq in sack {
+                if seq >= self.una {
+                    self.sacked.insert(seq);
+                }
+            }
+        }
+        // ECN reaction (RFC 3168): at most one cut per RTT, never while
+        // already recovering.
+        if ece && self.ecn && self.state != CcState::FastRecovery {
+            let rtt = self.srtt.unwrap_or(TimeDelta::from_millis(100));
+            let due = match self.last_ecn_cut {
+                None => true,
+                Some(t) => now.saturating_since(t) >= rtt,
+            };
+            if due {
+                self.halve_window();
+                self.last_ecn_cut = Some(now);
+                self.stats.ecn_cuts += 1;
+            }
+        }
+        if ackno > self.una {
+            let newly_acked = ackno - self.una;
+            self.stats.packets_acked = self.stats.packets_acked.max(ackno);
+            self.sample_rtt(now, ackno);
+            self.una = ackno;
+            self.dup_acks = 0;
+            self.sacked.retain(|&s| s >= ackno);
+            self.rexmitted.retain(|&s| s >= ackno);
+            if self.nxt < self.una {
+                // Go-back-N rewound nxt below data that was acked late.
+                self.nxt = self.una;
+            }
+            match self.state {
+                CcState::FastRecovery => {
+                    if ackno > self.recover {
+                        // Full recovery: deflate to ssthresh.
+                        self.cwnd = self.ssthresh;
+                        self.state = CcState::CongestionAvoidance;
+                        self.rexmitted.clear();
+                    } else if self.sack {
+                        // Partial ACK with SACK: stay in recovery; the
+                        // pipe fill below repairs the next holes as
+                        // capacity frees up.
+                    } else {
+                        // Partial ACK (classic Reno exits anyway).
+                        self.cwnd = self.ssthresh;
+                        self.state = CcState::CongestionAvoidance;
+                    }
+                }
+                CcState::SlowStart => {
+                    self.cwnd += newly_acked as f64;
+                    if self.cwnd >= self.ssthresh {
+                        self.state = CcState::CongestionAvoidance;
+                    }
+                }
+                CcState::CongestionAvoidance => {
+                    self.cwnd += newly_acked as f64 / self.cwnd;
+                }
+            }
+            self.cwnd = self.cwnd.min(MAX_WINDOW);
+            if self.una == self.nxt {
+                // Everything acked: timer conceptually stops (stale
+                // generations are ignored when nothing is outstanding).
+                self.timer_generation += 1;
+            } else {
+                self.arm_rto(now, &mut ops);
+            }
+            if self.sack && self.state == CcState::FastRecovery {
+                self.sack_pipe_fill(now, &mut ops);
+            } else {
+                ops.extend(self.fill_window(now));
+            }
+        } else if self.flight_size() > 0 {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            match self.state {
+                CcState::FastRecovery => {
+                    if self.sack {
+                        // SACK recovery: the scoreboard advanced; let
+                        // the pipe estimate decide what to repair or
+                        // send next.
+                        self.sack_pipe_fill(now, &mut ops);
+                    } else {
+                        // Reno: window inflation per extra dupack.
+                        self.cwnd =
+                            (self.cwnd + 1.0).min(MAX_WINDOW + self.dup_acks as f64);
+                        ops.extend(self.fill_window(now));
+                    }
+                }
+                _ if self.dup_acks == 3 => {
+                    // Fast retransmit.
+                    self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
+                    self.recover = self.nxt.saturating_sub(1);
+                    self.state = CcState::FastRecovery;
+                    self.stats.fast_retransmits += 1;
+                    self.stats.retransmits += 1;
+                    self.stats.packets_sent += 1;
+                    self.send_times.remove(&self.una);
+                    self.rexmitted.insert(self.una);
+                    ops.push(SenderOp::Send {
+                        seq: self.una,
+                        retransmit: true,
+                    });
+                    self.arm_rto(now, &mut ops);
+                    if self.sack {
+                        // FACK recovery: halve once; the pipe estimate
+                        // paces everything from here.
+                        self.cwnd = self.ssthresh;
+                        self.sack_pipe_fill(now, &mut ops);
+                    } else {
+                        self.cwnd = self.ssthresh + 3.0;
+                    }
+                }
+                _ => {}
+            }
+        }
+        ops
+    }
+
+    /// Handles a retransmission-timer firing.
+    ///
+    /// Stale generations and firings with nothing outstanding are
+    /// no-ops. A genuine timeout is the paper's CWND→1 event: slow
+    /// start restarts from one packet and the RTO backs off
+    /// exponentially.
+    pub fn on_rto(&mut self, now: TimeStamp, generation: u64) -> Vec<SenderOp> {
+        if generation != self.timer_generation || self.flight_size() == 0 {
+            return Vec::new();
+        }
+        self.stats.timeouts += 1;
+        self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.state = CcState::SlowStart;
+        self.dup_acks = 0;
+        self.rto = TimeDelta::from_micros((self.rto.as_micros() * 2).min(RTO_MAX.as_micros()));
+        // Go-back-N: rewind and retransmit from the hole. (A SACK
+        // sender's scoreboard is stale after a timeout; RFC 2018 says
+        // to discard it.)
+        self.nxt = self.una;
+        self.sacked.clear();
+        self.rexmitted.clear();
+        // Outstanding first-transmission timestamps are now useless
+        // (Karn's algorithm).
+        self.send_times.clear();
+        self.fill_window(now)
+    }
+}
+
+/// Cumulative-ACK information produced by the receiver for each data
+/// packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckInfo {
+    /// Next expected sequence number.
+    pub ackno: u64,
+    /// ECN echo: the delivered packet carried a CE mark.
+    pub ece: bool,
+}
+
+/// A TCP receiver producing cumulative ACKs (no delayed ACKs).
+#[derive(Debug, Default)]
+pub struct TcpReceiver {
+    expected: u64,
+    out_of_order: BTreeSet<u64>,
+    /// Packets delivered to the application in order.
+    delivered: u64,
+    /// Duplicate (already-delivered) packets seen.
+    duplicates: u64,
+}
+
+impl TcpReceiver {
+    /// Creates a receiver expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next expected sequence number.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// In-order packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Duplicate deliveries observed (go-back-N causes some).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Reports up to `max` out-of-order sequences held above the
+    /// cumulative ACK — the SACK blocks (RFC 2018, packet granularity).
+    pub fn sack_report(&self, max: usize) -> Vec<u64> {
+        self.out_of_order.iter().copied().take(max).collect()
+    }
+
+    /// Consumes a data packet and produces the ACK to send back.
+    pub fn on_packet(&mut self, seq: u64, ce_marked: bool) -> AckInfo {
+        if seq == self.expected {
+            self.expected += 1;
+            self.delivered += 1;
+            // Consume contiguous out-of-order data.
+            while self.out_of_order.remove(&self.expected) {
+                self.expected += 1;
+                self.delivered += 1;
+            }
+        } else if seq > self.expected {
+            self.out_of_order.insert(seq);
+        } else {
+            self.duplicates += 1;
+        }
+        AckInfo {
+            ackno: self.expected,
+            ece: ce_marked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TimeStamp = TimeStamp::from_millis(1000);
+
+    fn sends(ops: &[SenderOp]) -> Vec<u64> {
+        ops.iter()
+            .filter_map(|op| match op {
+                SenderOp::Send { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn start_sends_initial_window_and_arms_timer() {
+        let mut s = TcpSender::new(false);
+        let ops = s.start(T0);
+        assert_eq!(sends(&ops), vec![0, 1], "initial cwnd of 2");
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, SenderOp::ArmRto { .. })));
+        assert_eq!(s.flight_size(), 2);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut s = TcpSender::new(false);
+        s.start(T0);
+        let t1 = T0 + TimeDelta::from_millis(50);
+        let ops = s.on_ack(t1, 1, false, &[]);
+        // cwnd 2→3: one newly allowed packet beyond the existing one in
+        // flight (seq 2, 3 now fit: window end = 1+3 = 4, nxt was 2).
+        assert_eq!(sends(&ops), vec![2, 3]);
+        assert_eq!(s.cwnd(), 3.0);
+        let t2 = T0 + TimeDelta::from_millis(60);
+        s.on_ack(t2, 2, false, &[]);
+        assert_eq!(s.cwnd(), 4.0);
+        assert_eq!(s.state(), CcState::SlowStart);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut s = TcpSender::new(false);
+        s.ssthresh = 4.0;
+        s.start(T0);
+        let mut t = T0;
+        let mut ack = 0;
+        for _ in 0..20 {
+            t += TimeDelta::from_millis(10);
+            ack += 1;
+            s.on_ack(t, ack, false, &[]);
+        }
+        assert_eq!(s.state(), CcState::CongestionAvoidance);
+        // After reaching ssthresh=4, growth is ~1/cwnd per ack.
+        assert!(s.cwnd() > 4.0 && s.cwnd() < 12.0, "cwnd {}", s.cwnd());
+    }
+
+    #[test]
+    fn rtt_estimator_converges() {
+        let mut s = TcpSender::new(false);
+        let mut ops = s.start(T0);
+        let mut t = T0;
+        for _ in 0..30 {
+            // Ack the entire outstanding window 40 ms after it was
+            // sent: a constant 40 ms RTT.
+            let highest = sends(&ops).into_iter().max().unwrap();
+            t += TimeDelta::from_millis(40);
+            ops = s.on_ack(t, highest + 1, false, &[]);
+            assert!(!sends(&ops).is_empty(), "window reopens after full ack");
+        }
+        let srtt = s.srtt().unwrap();
+        assert!(
+            (srtt.as_millis() as i64 - 40).abs() <= 2,
+            "srtt {srtt} should approach 40 ms"
+        );
+        assert_eq!(s.rto(), RTO_MIN, "low-variance RTT clamps to RTO_MIN");
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let mut s = TcpSender::new(false);
+        s.cwnd = 8.0;
+        s.start(T0);
+        assert_eq!(s.flight_size(), 8);
+        let t = T0 + TimeDelta::from_millis(50);
+        // Packet 0 lost: receiver acks 0 for packets 1, 2, 3.
+        assert!(sends(&s.on_ack(t, 0, false, &[])).is_empty());
+        assert!(sends(&s.on_ack(t, 0, false, &[])).is_empty());
+        let ops = s.on_ack(t, 0, false, &[]);
+        assert_eq!(
+            sends(&ops),
+            vec![0],
+            "third dupack retransmits the hole"
+        );
+        assert_eq!(s.state(), CcState::FastRecovery);
+        assert_eq!(s.stats().fast_retransmits, 1);
+        assert_eq!(s.ssthresh(), 4.0);
+        // Recovery completes on a new ACK.
+        let ops = s.on_ack(t + TimeDelta::from_millis(40), 8, false, &[]);
+        assert_eq!(s.state(), CcState::CongestionAvoidance);
+        assert_eq!(s.cwnd(), 4.0);
+        let _ = ops;
+    }
+
+    #[test]
+    fn timeout_collapses_cwnd_to_one() {
+        let mut s = TcpSender::new(false);
+        s.cwnd = 8.0;
+        let ops = s.start(T0);
+        let gen = ops
+            .iter()
+            .find_map(|op| match op {
+                SenderOp::ArmRto { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .unwrap();
+        let rto_before = s.rto();
+        let ops = s.on_rto(T0 + rto_before, gen);
+        assert_eq!(s.cwnd(), 1.0, "the paper's CWND=1 event");
+        assert_eq!(s.state(), CcState::SlowStart);
+        assert_eq!(s.stats().timeouts, 1);
+        assert_eq!(sends(&ops), vec![0], "go-back-N resends the hole");
+        assert!(s.rto() > rto_before, "exponential backoff");
+    }
+
+    #[test]
+    fn stale_timer_generation_is_ignored() {
+        let mut s = TcpSender::new(false);
+        let ops = s.start(T0);
+        let gen = ops
+            .iter()
+            .find_map(|op| match op {
+                SenderOp::ArmRto { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .unwrap();
+        // An ACK re-arms the timer; the old generation must be stale.
+        s.on_ack(T0 + TimeDelta::from_millis(10), 1, false, &[]);
+        assert!(s.on_rto(T0 + TimeDelta::from_secs(2), gen).is_empty());
+        assert_eq!(s.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn ecn_echo_halves_without_timeout() {
+        let mut s = TcpSender::new(true);
+        s.cwnd = 16.0;
+        s.start(T0);
+        let t = T0 + TimeDelta::from_millis(50);
+        s.on_ack(t, 1, true, &[]);
+        assert!(s.cwnd() < 16.0 && s.cwnd() >= 2.0);
+        assert_eq!(s.stats().ecn_cuts, 1);
+        assert_eq!(s.stats().timeouts, 0);
+        let after_first = s.cwnd();
+        // A second ECE within the same RTT must not cut again.
+        s.on_ack(t + TimeDelta::from_millis(1), 2, true, &[]);
+        assert!(s.cwnd() >= after_first, "once-per-RTT rule");
+        assert_eq!(s.stats().ecn_cuts, 1);
+    }
+
+    #[test]
+    fn non_ecn_sender_ignores_ece() {
+        let mut s = TcpSender::new(false);
+        s.cwnd = 16.0;
+        s.start(T0);
+        s.on_ack(T0 + TimeDelta::from_millis(50), 1, true, &[]);
+        assert_eq!(s.stats().ecn_cuts, 0);
+        assert!(s.cwnd() >= 16.0);
+    }
+
+    #[test]
+    fn stopped_flow_sends_no_new_data() {
+        let mut s = TcpSender::new(false);
+        s.start(T0);
+        s.stop();
+        let ops = s.on_ack(T0 + TimeDelta::from_millis(10), 1, false, &[]);
+        assert!(sends(&ops).is_empty(), "no new data after stop");
+        s.on_ack(T0 + TimeDelta::from_millis(20), 2, false, &[]);
+        assert_eq!(s.flight_size(), 0);
+    }
+
+    #[test]
+    fn receiver_cumulative_and_out_of_order() {
+        let mut r = TcpReceiver::new();
+        assert_eq!(r.on_packet(0, false), AckInfo { ackno: 1, ece: false });
+        // Loss of 1: packets 2, 3 produce dupacks of 1.
+        assert_eq!(r.on_packet(2, false).ackno, 1);
+        assert_eq!(r.on_packet(3, false).ackno, 1);
+        // Retransmitted 1 fills the hole: cumulative jump to 4.
+        assert_eq!(r.on_packet(1, false).ackno, 4);
+        assert_eq!(r.delivered(), 4);
+        // A stale duplicate re-acks and is counted.
+        assert_eq!(r.on_packet(0, false).ackno, 4);
+        assert_eq!(r.duplicates(), 1);
+    }
+
+    #[test]
+    fn receiver_echoes_ce_marks() {
+        let mut r = TcpReceiver::new();
+        assert!(!r.on_packet(0, false).ece);
+        assert!(r.on_packet(1, true).ece);
+        assert!(!r.on_packet(2, false).ece);
+    }
+
+    #[test]
+    fn sack_repairs_multiple_holes_without_timeout() {
+        // Two losses in one window: Reno would need an RTO for the
+        // second; SACK repairs both inside fast recovery.
+        let mut s = TcpSender::with_options(false, true);
+        s.cwnd = 10.0;
+        s.start(T0);
+        assert_eq!(s.flight_size(), 10);
+        let t = T0 + TimeDelta::from_millis(50);
+        // Packets 0 and 3 lost; receiver holds 1,2 and 4..10.
+        // Dupacks of 0 with growing SACK reports.
+        s.on_ack(t, 0, false, &[1, 2]);
+        s.on_ack(t, 0, false, &[1, 2, 4]);
+        let ops = s.on_ack(t, 0, false, &[1, 2, 4, 5]);
+        assert_eq!(sends(&ops), vec![0], "fast retransmit of the hole");
+        assert_eq!(s.state(), CcState::FastRecovery);
+        // Next dupack: SACK retransmits hole 3 (not already-SACKed 1,2).
+        let ops = s.on_ack(t, 0, false, &[1, 2, 4, 5, 6]);
+        assert!(
+            sends(&ops).contains(&3),
+            "scoreboard repairs the second hole: {:?}",
+            sends(&ops)
+        );
+        // Partial ack to 3 (0..2 arrived): stays in recovery, no
+        // duplicate retransmission of already-repaired holes.
+        let t2 = t + TimeDelta::from_millis(40);
+        let ops = s.on_ack(t2, 3, false, &[4, 5, 6, 7, 8, 9]);
+        assert_eq!(s.state(), CcState::FastRecovery, "partial ack holds recovery");
+        // Full ack: clean exit, no timeout ever fired.
+        let ops2 = s.on_ack(t2 + TimeDelta::from_millis(5), 10, false, &[]);
+        assert_eq!(s.state(), CcState::CongestionAvoidance);
+        assert_eq!(s.stats().timeouts, 0);
+        let _ = (ops, ops2);
+    }
+
+    #[test]
+    fn non_sack_sender_ignores_sack_blocks() {
+        let mut s = TcpSender::new(false);
+        s.cwnd = 8.0;
+        s.start(T0);
+        let t = T0 + TimeDelta::from_millis(50);
+        s.on_ack(t, 0, false, &[1, 2]);
+        s.on_ack(t, 0, false, &[1, 2, 3]);
+        let ops = s.on_ack(t, 0, false, &[1, 2, 3, 4]);
+        assert_eq!(sends(&ops), vec![0]);
+        // A further dupack inflates but does NOT hole-retransmit.
+        let ops = s.on_ack(t, 0, false, &[1, 2, 3, 4, 5]);
+        assert!(
+            !sends(&ops).contains(&3),
+            "Reno has no scoreboard: {:?}",
+            sends(&ops)
+        );
+        assert!(!s.is_sack());
+    }
+
+    #[test]
+    fn sack_scoreboard_cleared_on_rto() {
+        let mut s = TcpSender::with_options(false, true);
+        s.cwnd = 6.0;
+        let ops = s.start(T0);
+        let gen = ops
+            .iter()
+            .find_map(|op| match op {
+                SenderOp::ArmRto { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .unwrap();
+        s.on_ack(T0 + TimeDelta::from_millis(10), 0, false, &[2, 3]);
+        let ops = s.on_rto(T0 + TimeDelta::from_secs(2), gen);
+        assert_eq!(s.stats().timeouts, 1);
+        // RFC 2018: the scoreboard is discarded; go-back-N resends
+        // from una even though 2 and 3 were SACKed.
+        assert_eq!(sends(&ops), vec![0], "window of 1 after RTO");
+    }
+
+    #[test]
+    fn receiver_sack_report_lists_held_sequences() {
+        let mut r = TcpReceiver::new();
+        r.on_packet(0, false);
+        r.on_packet(2, false);
+        r.on_packet(4, false);
+        r.on_packet(5, false);
+        assert_eq!(r.sack_report(16), vec![2, 4, 5]);
+        assert_eq!(r.sack_report(2), vec![2, 4]);
+        // Filling the hole consumes contiguous data out of the report.
+        r.on_packet(1, false);
+        assert_eq!(r.sack_report(16), vec![4, 5]);
+    }
+
+    #[test]
+    fn window_respects_receiver_limit() {
+        let mut s = TcpSender::new(false);
+        s.cwnd = 500.0;
+        let ops = s.start(T0);
+        assert_eq!(sends(&ops).len(), MAX_WINDOW as usize);
+    }
+}

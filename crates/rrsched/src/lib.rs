@@ -1,0 +1,515 @@
+//! `rrsched` — a feedback-driven proportion-period CPU scheduler
+//! simulation.
+//!
+//! One of gscope's flagship uses is watching "dynamically changing
+//! process proportions as assigned by a CPU proportion-period
+//! scheduler" (§1, §4.2), citing Steere et al., *A Feedback-driven
+//! Proportion Allocator for Real-Rate Scheduling* (OSDI '99). This
+//! crate simulates that system so the workspace can regenerate the
+//! signal source:
+//!
+//! * Each [`Task`] is a producer/consumer stage: it needs CPU time to
+//!   produce items into a bounded buffer that drains at a fixed real
+//!   rate (a video decoder feeding a 30 fps display, a network stack
+//!   feeding a sound card, ...).
+//! * The [`Scheduler`] samples each task's buffer **fill level** once
+//!   per task period and steers its CPU proportion with a
+//!   proportional-integral-derivative-free "pressure" controller toward
+//!   the half-full set point, exactly the progress-based feedback idea
+//!   of the paper: fill above ½ means the task is over-provisioned,
+//!   below ½ under-provisioned.
+//! * When demand exceeds the CPU ("overload"), proportions are scaled
+//!   back ("squished") to the schedulable bound.
+//!
+//! The per-task proportion and fill level are the signals a gscope
+//! example polls — proportions are assigned "at the granularity of the
+//! process period", which is why the paper sets the scope polling
+//! period equal to the process period (§4.2 "Periodic Signals").
+
+use gel::{TimeDelta, TimeStamp};
+
+/// Scheduler tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    /// Buffer fill set point (the paper steers to ½).
+    pub target_fill: f64,
+    /// Proportional gain on the fill error (dimensionless; the
+    /// controller self-normalizes by the task's fill sensitivity).
+    pub gain: f64,
+    /// Derivative gain on the fill slope, damping the
+    /// controller-on-integrator loop that would otherwise oscillate.
+    pub damping: f64,
+    /// Smallest proportion an admitted task may hold.
+    pub min_proportion: f64,
+    /// Schedulable bound: proportions are squished to sum below this.
+    pub cpu_capacity: f64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            target_fill: 0.5,
+            gain: 0.06,
+            damping: 0.3,
+            min_proportion: 0.01,
+            cpu_capacity: 0.95,
+        }
+    }
+}
+
+/// A real-rate producer/consumer task.
+#[derive(Clone, Debug)]
+pub struct Task {
+    name: String,
+    /// Scheduling period.
+    period: TimeDelta,
+    /// CPU seconds needed to produce one item.
+    cpu_per_item: f64,
+    /// Items per second the consumer drains (the "real rate").
+    consume_rate: f64,
+    /// Bounded buffer capacity in items.
+    buffer_capacity: f64,
+    /// Current buffer level in items.
+    buffer: f64,
+    /// Currently allocated CPU proportion in [0, 1].
+    proportion: f64,
+    /// Next period boundary (when the controller runs for this task).
+    next_update: TimeStamp,
+    /// Fill level at the previous controller run (derivative input).
+    prev_fill: f64,
+    /// Items produced over the task's lifetime (fractional to avoid
+    /// per-chunk truncation).
+    produced: f64,
+    /// Consumer stalls (buffer empty when items were due).
+    underruns: u64,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// `cpu_per_item` × `consume_rate` is the proportion the task needs
+    /// at equilibrium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or the period is zero.
+    pub fn new(
+        name: impl Into<String>,
+        period: TimeDelta,
+        cpu_per_item: f64,
+        consume_rate: f64,
+        buffer_capacity: f64,
+    ) -> Self {
+        assert!(!period.is_zero(), "task period must be non-zero");
+        assert!(
+            cpu_per_item > 0.0 && consume_rate > 0.0 && buffer_capacity > 0.0,
+            "task parameters must be positive"
+        );
+        Task {
+            name: name.into(),
+            period,
+            cpu_per_item,
+            consume_rate,
+            buffer_capacity,
+            buffer: buffer_capacity / 2.0,
+            proportion: 0.05,
+            next_update: TimeStamp::ZERO,
+            prev_fill: 0.5,
+            produced: 0.0,
+            underruns: 0,
+        }
+    }
+
+    /// Task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Scheduling period.
+    pub fn period(&self) -> TimeDelta {
+        self.period
+    }
+
+    /// The currently assigned CPU proportion — the gscope signal.
+    pub fn proportion(&self) -> f64 {
+        self.proportion
+    }
+
+    /// Buffer fill level in [0, 1] — the controller's input.
+    pub fn fill(&self) -> f64 {
+        self.buffer / self.buffer_capacity
+    }
+
+    /// The proportion this task needs at equilibrium.
+    pub fn equilibrium_proportion(&self) -> f64 {
+        self.cpu_per_item * self.consume_rate
+    }
+
+    /// Total items produced.
+    pub fn produced(&self) -> u64 {
+        self.produced as u64
+    }
+
+    /// Consumer underruns observed.
+    pub fn underruns(&self) -> u64 {
+        self.underruns
+    }
+
+    /// Changes the consumer's real rate at runtime (rate changes are
+    /// what make the proportions "dynamically changing").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn set_consume_rate(&mut self, rate: f64) {
+        assert!(rate > 0.0, "consume rate must be positive");
+        self.consume_rate = rate;
+    }
+
+    /// Advances production/consumption by `dt` with the current
+    /// proportion.
+    fn advance(&mut self, dt: f64) {
+        let produced_items = self.proportion * dt / self.cpu_per_item;
+        self.produced += produced_items;
+        let consumed = self.consume_rate * dt;
+        let new_level = self.buffer + produced_items - consumed;
+        if new_level < 0.0 {
+            self.underruns += 1;
+        }
+        self.buffer = new_level.clamp(0.0, self.buffer_capacity);
+    }
+}
+
+/// The proportion-period scheduler.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    config: SchedConfig,
+    tasks: Vec<Task>,
+    now: TimeStamp,
+    /// Times the squish pass had to scale proportions down.
+    squishes: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler.
+    pub fn new(config: SchedConfig) -> Self {
+        Scheduler {
+            config,
+            tasks: Vec::new(),
+            now: TimeStamp::ZERO,
+            squishes: 0,
+        }
+    }
+
+    /// Admits a task; returns its index.
+    pub fn add_task(&mut self, mut task: Task) -> usize {
+        task.next_update = self.now + task.period;
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Returns the tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Returns a task by index.
+    pub fn task(&self, i: usize) -> &Task {
+        &self.tasks[i]
+    }
+
+    /// Returns a mutable task by index (rate changes).
+    pub fn task_mut(&mut self, i: usize) -> &mut Task {
+        &mut self.tasks[i]
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> TimeStamp {
+        self.now
+    }
+
+    /// Total allocated proportion.
+    pub fn total_proportion(&self) -> f64 {
+        self.tasks.iter().map(|t| t.proportion).sum()
+    }
+
+    /// Times the overload squish engaged.
+    pub fn squishes(&self) -> u64 {
+        self.squishes
+    }
+
+    /// The feedback update for one task (runs at its period boundary).
+    ///
+    /// The buffer integrates the proportion, so a bare proportional
+    /// controller would oscillate forever; the derivative term damps
+    /// it. Gains are normalized by the task's *fill sensitivity* (how
+    /// much one unit of proportion moves the fill per period), giving
+    /// the same closed-loop poles for every task mix.
+    fn control(&mut self, i: usize) {
+        let t = &self.tasks[i];
+        let fill = t.fill();
+        let err = self.config.target_fill - fill;
+        let dfill = fill - t.prev_fill;
+        let sensitivity =
+            t.period.as_secs_f64() / (t.buffer_capacity * t.cpu_per_item);
+        let dp = (self.config.gain * err - self.config.damping * dfill)
+            / sensitivity.max(1e-9);
+        let task = &mut self.tasks[i];
+        task.prev_fill = fill;
+        // Fill below target → starving → raise proportion.
+        task.proportion = (task.proportion + dp).clamp(self.config.min_proportion, 1.0);
+        self.squish();
+    }
+
+    /// Scales proportions down to the schedulable bound ("squishy"
+    /// allocation under overload).
+    fn squish(&mut self) {
+        let total: f64 = self.total_proportion();
+        if total > self.config.cpu_capacity {
+            let k = self.config.cpu_capacity / total;
+            for t in &mut self.tasks {
+                t.proportion = (t.proportion * k).max(self.config.min_proportion);
+            }
+            self.squishes += 1;
+        }
+    }
+
+    /// Advances the simulation to `until`, running task progress
+    /// continuously and the controller at each task's period boundary.
+    pub fn run_until(&mut self, until: TimeStamp) {
+        while self.now < until {
+            // Next controller deadline across tasks (or the horizon).
+            let next = self
+                .tasks
+                .iter()
+                .map(|t| t.next_update)
+                .min()
+                .unwrap_or(until)
+                .min(until);
+            let dt = next.saturating_since(self.now).as_secs_f64();
+            if dt > 0.0 {
+                for t in &mut self.tasks {
+                    t.advance(dt);
+                }
+            }
+            self.now = next;
+            for i in 0..self.tasks.len() {
+                if self.tasks[i].next_update <= self.now {
+                    let period = self.tasks[i].period;
+                    self.control(i);
+                    self.tasks[i].next_update = self.now + period;
+                }
+            }
+            if next == until && self.tasks.is_empty() {
+                self.now = until;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn video_task() -> Task {
+        // 30 items/s at 10 ms CPU each → needs proportion 0.3.
+        Task::new(
+            "video",
+            TimeDelta::from_millis(33),
+            0.010,
+            30.0,
+            30.0,
+        )
+    }
+
+    #[test]
+    fn proportion_converges_to_equilibrium() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        let v = s.add_task(video_task());
+        s.run_until(TimeStamp::from_secs(30));
+        let p = s.task(v).proportion();
+        assert!(
+            (p - 0.3).abs() < 0.05,
+            "proportion {p} should converge near 0.3"
+        );
+        let fill = s.task(v).fill();
+        assert!((fill - 0.5).abs() < 0.2, "fill {fill} should steer to 1/2");
+    }
+
+    #[test]
+    fn rate_change_moves_the_proportion() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        let v = s.add_task(video_task());
+        s.run_until(TimeStamp::from_secs(20));
+        let p_before = s.task(v).proportion();
+        // Double the display rate: the scheduler must give more CPU.
+        s.task_mut(v).set_consume_rate(60.0);
+        s.run_until(TimeStamp::from_secs(60));
+        let p_after = s.task(v).proportion();
+        assert!(
+            p_after > p_before + 0.15,
+            "proportion should rise: {p_before} -> {p_after}"
+        );
+        assert!((p_after - 0.6).abs() < 0.1, "new equilibrium ~0.6, got {p_after}");
+    }
+
+    #[test]
+    fn overload_squishes_to_capacity() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        // Three tasks each wanting 0.5: total demand 1.5 > 0.95.
+        for i in 0..3 {
+            s.add_task(Task::new(
+                format!("t{i}"),
+                TimeDelta::from_millis(20),
+                0.01,
+                50.0,
+                20.0,
+            ));
+        }
+        s.run_until(TimeStamp::from_secs(30));
+        let total = s.total_proportion();
+        assert!(
+            total <= 0.96,
+            "squish keeps allocation under the bound, got {total}"
+        );
+        assert!(s.squishes() > 0, "overload must engage the squish");
+        // Under persistent overload the starving tasks underrun.
+        let underruns: u64 = s.tasks().iter().map(|t| t.underruns()).sum();
+        assert!(underruns > 0);
+    }
+
+    #[test]
+    fn proportions_stay_in_bounds() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        s.add_task(video_task());
+        s.add_task(Task::new(
+            "audio",
+            TimeDelta::from_millis(10),
+            0.001,
+            100.0,
+            50.0,
+        ));
+        let mut t = TimeStamp::ZERO;
+        for _ in 0..200 {
+            t += TimeDelta::from_millis(100);
+            s.run_until(t);
+            for task in s.tasks() {
+                let p = task.proportion();
+                assert!((0.0..=1.0).contains(&p), "proportion {p} out of range");
+                let f = task.fill();
+                assert!((0.0..=1.0).contains(&f), "fill {f} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_scheduler_advances_time() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        s.run_until(TimeStamp::from_secs(1));
+        assert_eq!(s.now(), TimeStamp::from_secs(1));
+    }
+
+    #[test]
+    fn light_task_gets_small_proportion() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        // Audio: 100 items/s at 0.1 ms each → needs 0.01.
+        let a = s.add_task(Task::new(
+            "audio",
+            TimeDelta::from_millis(10),
+            0.0001,
+            100.0,
+            50.0,
+        ));
+        s.run_until(TimeStamp::from_secs(20));
+        let p = s.task(a).proportion();
+        assert!(p < 0.08, "light task proportion {p} stays small");
+        assert_eq!(s.task(a).underruns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_task_rejected() {
+        let _ = Task::new("bad", TimeDelta::from_millis(10), 0.0, 30.0, 10.0);
+    }
+
+    #[test]
+    fn controller_runs_once_per_task_period() {
+        // §4.2: proportions are assigned "at the granularity of the
+        // process period" — between boundaries the proportion is held.
+        let mut s = Scheduler::new(SchedConfig::default());
+        let v = s.add_task(video_task()); // 33 ms period
+        s.run_until(TimeStamp::from_millis(10));
+        let p0 = s.task(v).proportion();
+        s.run_until(TimeStamp::from_millis(30));
+        assert_eq!(
+            s.task(v).proportion(),
+            p0,
+            "no controller run before the period boundary"
+        );
+        s.run_until(TimeStamp::from_millis(40));
+        assert_ne!(s.task(v).proportion(), p0, "boundary crossed");
+    }
+
+    #[test]
+    fn mixed_periods_coexist() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        let slow = s.add_task(Task::new(
+            "slow",
+            TimeDelta::from_millis(200),
+            0.002,
+            50.0,
+            25.0,
+        ));
+        let fast = s.add_task(Task::new(
+            "fast",
+            TimeDelta::from_millis(5),
+            0.0002,
+            400.0,
+            100.0,
+        ));
+        s.run_until(TimeStamp::from_secs(30));
+        // Both converge to their equilibria (0.1 and 0.08) despite a
+        // 40x period ratio.
+        assert!((s.task(slow).proportion() - 0.1).abs() < 0.04);
+        assert!((s.task(fast).proportion() - 0.08).abs() < 0.04);
+        assert_eq!(s.task(slow).period(), TimeDelta::from_millis(200));
+        assert_eq!(s.task(fast).name(), "fast");
+    }
+
+    #[test]
+    fn relieving_overload_restores_service() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        // Two tasks at 0.5 demand each: overloaded.
+        for i in 0..2 {
+            s.add_task(Task::new(
+                format!("t{i}"),
+                TimeDelta::from_millis(20),
+                0.01,
+                50.0,
+                20.0,
+            ));
+        }
+        s.run_until(TimeStamp::from_secs(20));
+        assert!(s.squishes() > 0);
+        // Halve one task's rate: total demand 0.75, schedulable.
+        s.task_mut(0).set_consume_rate(20.0);
+        s.run_until(TimeStamp::from_secs(60));
+        let p0 = s.task(0).proportion();
+        let p1 = s.task(1).proportion();
+        assert!((p0 - 0.2).abs() < 0.08, "t0 at reduced demand: {p0}");
+        assert!((p1 - 0.5).abs() < 0.08, "t1 gets full service: {p1}");
+        // Fills recover to the set point.
+        assert!((s.task(1).fill() - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn produced_counts_accumulate() {
+        let mut s = Scheduler::new(SchedConfig::default());
+        let v = s.add_task(video_task());
+        s.run_until(TimeStamp::from_secs(10));
+        // ~30 items/s for 10 s ≈ 300 items once converged; allow the
+        // convergence transient.
+        let produced = s.task(v).produced();
+        assert!(produced > 150, "produced {produced}");
+    }
+}

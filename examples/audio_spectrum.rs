@@ -1,0 +1,137 @@
+//! Buffered high-rate signals — the §4.5 audio scenario.
+//!
+//! The paper notes gscope's 100 Hz polling ceiling makes it
+//! inappropriate for "real-time low-delay display of ... 8 KHz audio
+//! signals", and prescribes the fix: "the audio signal could be read
+//! from the audio device and buffered by an application and gscope can
+//! display the signal with some delay using buffered signals."
+//!
+//! A synthetic 8 kHz "phone line" (a 440 Hz tone plus a DTMF burst and
+//! noise) is produced by a driver thread into the scope-wide buffer;
+//! the scope drains it with a 250 ms delay, displaying the per-interval
+//! RMS-ish envelope via aggregation, and renders the frequency-domain
+//! view where both tones are visible.
+//!
+//! Run with `cargo run --example audio_spectrum`. Writes
+//! `target/figures/audio_scope.{ppm,svg}` and `audio_spectrum.ppm`.
+
+use std::sync::Arc;
+
+use gctrl::{Noise, Oscillator, Waveform};
+use gdsp::{peak_bin, SpectrumConfig};
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{Aggregation, Scope, SigConfig, SigSource};
+
+/// Audio sample rate (the paper's phone-line example).
+const RATE_HZ: u64 = 8_000;
+/// Scope polling period; far below the audio rate, as §4.5 discusses.
+const PERIOD_MS: u64 = 20;
+
+fn main() {
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("phone line", 300, 120, Arc::new(clock.clone()));
+    scope.set_delay(TimeDelta::from_millis(250));
+    // The raw samples, displayed with delay (sample-and-hold shows the
+    // last sample of each interval).
+    scope
+        .add_signal(
+            "audio",
+            SigSource::Buffer,
+            SigConfig::default().with_range(-2.0, 2.0),
+        )
+        .expect("fresh signal");
+    // The peak amplitude per polling interval (§4.2 Maximum
+    // aggregation): an envelope meter.
+    scope
+        .add_signal(
+            "peak",
+            SigSource::Buffer,
+            SigConfig::default()
+                .with_range(0.0, 2.0)
+                .with_aggregation(Aggregation::Maximum)
+                .with_show_value(true),
+        )
+        .expect("fresh signal");
+    scope
+        .set_polling_mode(TimeDelta::from_millis(PERIOD_MS))
+        .expect("valid period");
+    scope.start();
+
+    // The "device driver" (§4.2 Buffering): produces 8 kHz samples into
+    // the scope-wide buffer with timestamps. Virtual time makes this
+    // deterministic; a real deployment would run it in a thread exactly
+    // the same way (ScopeBuffer is thread-safe).
+    let buffer = scope.buffer().clone();
+    let tone = Oscillator::new(Waveform::Sine, 440.0, 1.0);
+    let dtmf_low = Oscillator::new(Waveform::Sine, 770.0, 0.6);
+    let dtmf_high = Oscillator::new(Waveform::Sine, 1336.0, 0.6);
+    let mut noise = Noise::new(7, 0.05, 0.0);
+    let total = TimeStamp::from_secs(4);
+    let dt_us = 1_000_000 / RATE_HZ;
+    let mut produced = 0u64;
+    let mut t = TimeStamp::ZERO;
+    while t < total {
+        t += TimeDelta::from_micros(dt_us);
+        let secs = t.as_secs_f64();
+        // DTMF "5" pressed between 1.5 s and 2.5 s.
+        let mut v = tone.sample(secs) + noise.next();
+        if (1.5..2.5).contains(&secs) {
+            v += dtmf_low.sample(secs) + dtmf_high.sample(secs);
+        }
+        buffer.push_sample("audio", t, v);
+        buffer.push_sample("peak", t, v.abs());
+        produced += 2;
+    }
+    println!(
+        "driver produced {produced} buffered samples at {RATE_HZ} Hz (x2 signals)"
+    );
+
+    // Display loop: drain with delay.
+    let mut now = TimeStamp::ZERO;
+    let horizon = total + TimeDelta::from_millis(500);
+    while now < horizon {
+        now += TimeDelta::from_millis(PERIOD_MS);
+        clock.set(now);
+        scope.tick(&TickInfo {
+            now,
+            scheduled: now,
+            missed: 0,
+        });
+    }
+
+    println!(
+        "late drops: {} (delay was generous), buffer leftover: {}",
+        scope.buffer().late_drops(),
+        scope.buffer().len()
+    );
+
+    let fb = grender::render_scope(&scope);
+    fb.save_ppm("target/figures/audio_scope.ppm").expect("write figure");
+    std::fs::write(
+        "target/figures/audio_scope.svg",
+        grender::render_scope_svg(&scope),
+    )
+    .expect("write figure");
+
+    // Frequency view over the displayed (decimated) audio trace. The
+    // scope samples at 50 Hz, so the display-domain spectrum shows the
+    // *aliased* image of the tones — §4.5's precise point about why raw
+    // high-rate display needs the buffered path. The envelope signal,
+    // in contrast, cleanly shows the DTMF burst.
+    let spec = grender::render_spectrum(&scope, "audio", 128, SpectrumConfig::default())
+        .expect("spectrum renders");
+    spec.save_ppm("target/figures/audio_spectrum.ppm")
+        .expect("write figure");
+    println!("wrote target/figures/audio_scope.{{ppm,svg}} and audio_spectrum.ppm");
+
+    // The envelope must show the DTMF burst: peak ~2.2 during the
+    // burst vs ~1.05 outside it.
+    let window = scope.display_window("peak");
+    let max_peak = window.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+    assert!(max_peak > 1.5, "DTMF burst visible in envelope ({max_peak})");
+    let bins = scope
+        .spectrum("peak", 64, SpectrumConfig { remove_dc: true, ..Default::default() })
+        .expect("spectrum");
+    let _ = peak_bin(&bins);
+    assert_eq!(scope.buffer().late_drops(), 0);
+}

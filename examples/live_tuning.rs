@@ -1,0 +1,136 @@
+//! Control parameters modifying a live system (§3.2, Figure 3) — one
+//! of the paper's design goals: "Simplify modification of system
+//! behavior in real-time."
+//!
+//! A PID controller drives a first-order thermal plant toward a
+//! setpoint. The setpoint and the controller gains are exposed as
+//! gscope control parameters; mid-run, "the user" (a timer standing in
+//! for clicks in the Figure 3 window) retunes them through the
+//! `ParamSet` API — the same programmatic interface the GUI uses — and
+//! the scope shows the plant react instantly.
+//!
+//! Run with `cargo run --example live_tuning`. Writes
+//! `target/figures/live_tuning.{ppm,svg}`.
+
+use std::sync::Arc;
+
+use gctrl::{Pid, PidConfig};
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{FloatVar, ParamSet, ParamValue, Parameter, Scope, SigConfig};
+
+fn main() {
+    // The tunable state, shared between the "GUI" and the control loop.
+    let setpoint = FloatVar::new(40.0);
+    let kp = FloatVar::new(0.5);
+    let ki = FloatVar::new(0.1);
+
+    // The Figure 3 window contents (§3.2): read/write parameters with
+    // ranges the GUI spinners respect.
+    let params = ParamSet::new();
+    params
+        .add(Parameter::float("setpoint", setpoint.clone(), 0.0, 100.0))
+        .expect("fresh parameter");
+    params
+        .add(Parameter::float("kp", kp.clone(), 0.0, 10.0))
+        .expect("fresh parameter");
+    params
+        .add(Parameter::float("ki", ki.clone(), 0.0, 5.0))
+        .expect("fresh parameter");
+    params.on_change(|name, value| {
+        println!("parameter window: {name} set to {:.2}", value.as_f64());
+    });
+
+    // Scope over the plant output and the setpoint.
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("PID tuning", 400, 140, Arc::new(clock.clone()));
+    let temp = FloatVar::new(20.0);
+    scope
+        .add_signal("temp", temp.clone().into(), SigConfig::default().with_show_value(true))
+        .expect("fresh signal");
+    scope
+        .add_signal(
+            "setpoint",
+            setpoint.clone().into(),
+            SigConfig::default().with_color(gscope::Color::GRAY),
+        )
+        .expect("fresh signal");
+    let period = TimeDelta::from_millis(50);
+    scope.set_polling_mode(period).expect("valid period");
+    scope.start();
+
+    // The plant: y' = (u - (y - ambient)) / tau, run at 1 kHz.
+    let mut y = 20.0f64;
+    let mut pid = Pid::new(PidConfig {
+        kp: kp.get(),
+        ki: ki.get(),
+        kd: 0.0,
+        output_limit: 100.0,
+    });
+
+    let horizon = TimeStamp::from_secs(40);
+    let mut t = TimeStamp::ZERO;
+    let mut changed_setpoint = false;
+    let mut retuned = false;
+    while t < horizon {
+        t += period;
+        // Mid-run parameter changes through the ParamSet — exactly what
+        // the Figure 3 window does on click.
+        if !changed_setpoint && t >= TimeStamp::from_secs(15) {
+            params
+                .set("setpoint", ParamValue::Float(70.0))
+                .expect("in range");
+            changed_setpoint = true;
+        }
+        if !retuned && t >= TimeStamp::from_secs(25) {
+            params.set("kp", ParamValue::Float(2.5)).expect("in range");
+            params.set("ki", ParamValue::Float(0.8)).expect("in range");
+            retuned = true;
+        }
+        // Controller + plant at 1 kHz between scope ticks, picking up
+        // the shared gains each step (live retuning).
+        let dt = 0.001;
+        for _ in 0..(period.as_millis() as usize) {
+            let mut cfg = pid.config();
+            if (cfg.kp - kp.get()).abs() > 1e-12 || (cfg.ki - ki.get()).abs() > 1e-12 {
+                cfg.kp = kp.get();
+                cfg.ki = ki.get();
+                pid = Pid::new(cfg);
+            }
+            let u = pid.update(setpoint.get() - y, dt).max(0.0);
+            y += (u - (y - 20.0) * 0.5) * dt / 2.0;
+        }
+        temp.set(y);
+        clock.set(t);
+        scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+    }
+
+    println!(
+        "final: temp={:.2} setpoint={:.1} (kp={}, ki={})",
+        y,
+        setpoint.get(),
+        kp.get(),
+        ki.get()
+    );
+
+    let fb = grender::render_scope(&scope);
+    fb.save_ppm("target/figures/live_tuning.ppm").expect("write figure");
+    std::fs::write(
+        "target/figures/live_tuning.svg",
+        grender::render_scope_svg(&scope),
+    )
+    .expect("write figure");
+    // Also regenerate the Figure 3 window with the *retuned* values.
+    grender::render_param_window(&params)
+        .save_ppm("target/figures/live_tuning_params.ppm")
+        .expect("write figure");
+    println!("wrote target/figures/live_tuning.{{ppm,svg}} and live_tuning_params.ppm");
+
+    // The retuned controller must have pulled the plant to the new
+    // setpoint.
+    assert!((y - 70.0).abs() < 3.0, "plant at {y}, wanted ~70");
+    assert_eq!(params.get("kp").unwrap(), ParamValue::Float(2.5));
+}

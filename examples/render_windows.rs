@@ -1,0 +1,78 @@
+//! Regenerates Figure 2 (the signal-parameters window) and Figure 3
+//! (the application/control-parameters window).
+//!
+//! Figure 2 is what right-clicking a signal name opens: the signal's
+//! `GtkScopeSig` fields — name, color, min, max, line mode, hidden,
+//! filter α — plus this implementation's aggregation mode. Figure 3 is
+//! the application-wide control-parameter window with two parameters,
+//! matching the paper's screenshot.
+//!
+//! Run with `cargo run --example render_windows`. Writes
+//! `target/figures/figure2_signal_params.{ppm,svg}` and
+//! `figure3_control_params.{ppm,svg}`.
+
+use std::sync::Arc;
+
+use gel::VirtualClock;
+use gscope::{
+    BoolVar, Color, IntVar, LineMode, ParamSet, Parameter, ParamValue, Scope, SigConfig,
+};
+
+fn main() {
+    // A scope holding a CWND-like signal configured the way Figure 2
+    // shows it.
+    let clock = Arc::new(VirtualClock::new());
+    let mut scope = Scope::new("windows", 300, 100, clock);
+    scope
+        .add_signal(
+            "CWND",
+            IntVar::new(12).into(),
+            SigConfig::default()
+                .with_color(Color::GREEN)
+                .with_range(0.0, 64.0)
+                .with_line(LineMode::Line)
+                .with_filter(0.25),
+        )
+        .expect("fresh signal");
+
+    let fb = grender::render_signal_window(&scope, "CWND").expect("signal exists");
+    fb.save_ppm("target/figures/figure2_signal_params.ppm")
+        .expect("write figure");
+    std::fs::write(
+        "target/figures/figure2_signal_params.svg",
+        grender::render_signal_window_svg(&scope, "CWND").expect("signal exists"),
+    )
+    .expect("write figure");
+    println!("wrote target/figures/figure2_signal_params.{{ppm,svg}}");
+
+    // Figure 3: the control-parameter window with two application
+    // parameters (§3.2) — the mxtraf elephants knob and an ECN toggle.
+    let params = ParamSet::new();
+    let elephants = IntVar::new(8);
+    let ecn = BoolVar::new(false);
+    params
+        .add(Parameter::int("elephants", elephants.clone(), 0, 40))
+        .expect("fresh parameter");
+    params
+        .add(Parameter::bool("ecn_enabled", ecn.clone()))
+        .expect("fresh parameter");
+
+    // Parameters are read/write: the GUI (or this program) modifies
+    // application behaviour live.
+    params
+        .set("elephants", ParamValue::Int(16))
+        .expect("in range");
+    params.set("ecn_enabled", ParamValue::Bool(true)).expect("bool");
+    assert_eq!(elephants.get(), 16, "write reached the application");
+    assert!(ecn.get());
+
+    let fb = grender::render_param_window(&params);
+    fb.save_ppm("target/figures/figure3_control_params.ppm")
+        .expect("write figure");
+    std::fs::write(
+        "target/figures/figure3_control_params.svg",
+        grender::render_param_window_svg(&params),
+    )
+    .expect("write figure");
+    println!("wrote target/figures/figure3_control_params.{{ppm,svg}}");
+}

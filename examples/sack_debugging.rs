@@ -1,0 +1,137 @@
+//! Recreating the paper's debugging anecdote (§2): "a TCP variant that
+//! we have implemented for low-latency TCP streaming initially showed
+//! significant unexpected timeouts that we finally traced to an
+//! interaction with the SACK implementation."
+//!
+//! The scope is the debugging instrument: a `timeouts` counter signal
+//! (§4.2 event aggregation over timeout events) and the probe flow's
+//! CWND are displayed for two variants of the same workload — one with
+//! scoreboard (SACK) recovery, one degraded to Reno go-back-N. The
+//! timeout staircase that is flat for SACK and climbing for Reno is
+//! precisely the visual cue the authors describe following.
+//!
+//! Run with `cargo run --example sack_debugging`. Writes
+//! `target/figures/sack_debug_{reno,sack}.ppm`.
+
+use std::sync::Arc;
+
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{Aggregation, FloatVar, Scope, SigConfig, SigSource};
+use netsim::{NetConfig, Network, QueueKind};
+
+const FLOWS: usize = 16;
+const SECONDS: u64 = 30;
+const PERIOD_MS: u64 = 100;
+
+struct Observation {
+    total_timeouts: u64,
+    staircase: Vec<f64>,
+}
+
+fn observe(sack: bool, figure: &str) -> Observation {
+    let mut net = Network::new(NetConfig {
+        queue: QueueKind::DropTail { capacity: 50 },
+        ..NetConfig::default()
+    });
+    let flows: Vec<usize> = (0..FLOWS).map(|_| net.add_tcp_flow_with(false, sack)).collect();
+    for (i, &f) in flows.iter().enumerate() {
+        net.start_flow_at(f, TimeStamp::from_millis(50 * i as u64));
+    }
+
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new(
+        if sack { "variant: SACK" } else { "variant: Reno" },
+        300,
+        120,
+        Arc::new(clock.clone()),
+    );
+    // The cumulative timeout count: the "unexpected timeouts" signal the
+    // authors watched. Sample-and-hold over pushed events.
+    scope
+        .add_signal(
+            "timeouts",
+            SigSource::Events,
+            SigConfig::default()
+                .with_range(0.0, 60.0)
+                .with_aggregation(Aggregation::Maximum)
+                .with_show_value(true),
+        )
+        .expect("fresh signal");
+    let timeout_sink = scope.event_sink("timeouts").expect("exists");
+    // The probe flow's CWND for the visual correlation.
+    let cwnd = FloatVar::new(2.0);
+    scope
+        .add_signal(
+            "CWND",
+            cwnd.clone().into(),
+            SigConfig::default().with_range(0.0, 64.0),
+        )
+        .expect("fresh signal");
+    scope
+        .set_polling_mode(TimeDelta::from_millis(PERIOD_MS))
+        .expect("valid period");
+    scope.start();
+
+    let probe = flows[0];
+    let mut staircase = Vec::new();
+    let mut t = TimeStamp::ZERO;
+    while t < TimeStamp::from_secs(SECONDS) {
+        t += TimeDelta::from_millis(PERIOD_MS);
+        net.run_until(t);
+        let total: u64 = flows.iter().map(|&f| net.flow_stats(f).timeouts).sum();
+        timeout_sink.push(total as f64);
+        cwnd.set(net.cwnd(probe));
+        clock.set(t);
+        scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+        staircase.push(total as f64);
+    }
+
+    grender::render_scope(&scope)
+        .save_ppm(format!("target/figures/{figure}.ppm"))
+        .expect("write figure");
+
+    Observation {
+        total_timeouts: staircase.last().copied().unwrap_or(0.0) as u64,
+        staircase,
+    }
+}
+
+fn main() {
+    println!("reproducing the paper's SACK debugging session (§2):\n");
+
+    let reno = observe(false, "sack_debug_reno");
+    println!(
+        "variant A (recovery degraded to go-back-N): timeout counter climbs to {}",
+        reno.total_timeouts
+    );
+    let sack = observe(true, "sack_debug_sack");
+    println!(
+        "variant B (SACK scoreboard recovery):       timeout counter climbs to {}",
+        sack.total_timeouts
+    );
+
+    // The visual diagnosis, in numbers: the staircases separate early
+    // and keep diverging — the cue that points at loss recovery.
+    let mid = reno.staircase.len() / 2;
+    println!(
+        "\nat t={}s the scope already shows {} vs {} timeouts — the trace that",
+        SECONDS / 2,
+        reno.staircase[mid],
+        sack.staircase[mid]
+    );
+    println!("\"would have been hard to determine otherwise\" (§2).");
+    println!("wrote target/figures/sack_debug_reno.ppm and sack_debug_sack.ppm");
+
+    assert!(
+        sack.total_timeouts < reno.total_timeouts,
+        "the debugging signal must separate the variants"
+    );
+    assert!(
+        reno.staircase.windows(2).all(|w| w[1] >= w[0]),
+        "cumulative counter is monotone"
+    );
+}

@@ -1,0 +1,129 @@
+//! Visualizing a proportion-period CPU scheduler — the paper's first
+//! named application (§1): "we use gscope to view dynamically changing
+//! process proportions as assigned by a CPU proportion-period
+//! scheduler".
+//!
+//! Three real-rate tasks (video, audio, network) run under the
+//! feedback-driven allocator from `rrsched`. As §4.2 prescribes for
+//! periodic signals, the scope polling period is set equal to the task
+//! period, "since the signal is held between process periods". Midway
+//! through, the video consumer's rate doubles (a user switches to a
+//! higher frame rate) and the proportions visibly re-converge.
+//!
+//! Run with `cargo run --example scheduler`. Writes
+//! `target/figures/scheduler_proportions.{ppm,svg}`.
+
+use std::sync::Arc;
+
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{FloatVar, Scope, SigConfig};
+use rrsched::{SchedConfig, Scheduler, Task};
+
+fn main() {
+    let mut sched = Scheduler::new(SchedConfig::default());
+    // Video: 30 items/s × 10 ms CPU each → needs 30%.
+    let video = sched.add_task(Task::new(
+        "video",
+        TimeDelta::from_millis(100),
+        0.010,
+        30.0,
+        30.0,
+    ));
+    // Audio: 100 items/s × 0.5 ms each → needs 5%.
+    let audio = sched.add_task(Task::new(
+        "audio",
+        TimeDelta::from_millis(100),
+        0.0005,
+        100.0,
+        50.0,
+    ));
+    // Network: 200 packets/s × 1 ms each → needs 20%.
+    let net = sched.add_task(Task::new(
+        "net",
+        TimeDelta::from_millis(100),
+        0.001,
+        200.0,
+        100.0,
+    ));
+
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("rrsched proportions", 400, 140, Arc::new(clock.clone()));
+    // Proportions displayed as percent: the 0-100 y ruler is exact.
+    let vars: Vec<(usize, FloatVar, &str)> = vec![
+        (video, FloatVar::new(0.0), "video"),
+        (audio, FloatVar::new(0.0), "audio"),
+        (net, FloatVar::new(0.0), "net"),
+    ];
+    for (_, var, name) in &vars {
+        scope
+            .add_signal(
+                format!("{name}.prop"),
+                var.clone().into(),
+                SigConfig::default().with_show_value(true),
+            )
+            .expect("fresh signal");
+    }
+    let fill_var = FloatVar::new(50.0);
+    scope
+        .add_signal(
+            "video.fill",
+            fill_var.clone().into(),
+            SigConfig::default().with_filter(0.3),
+        )
+        .expect("fresh signal");
+
+    // §4.2: scope polling period == process period (100 ms).
+    let period = TimeDelta::from_millis(100);
+    scope.set_polling_mode(period).expect("valid period");
+    scope.start();
+
+    let horizon = TimeStamp::from_secs(40);
+    let mut t = TimeStamp::ZERO;
+    let mut switched = false;
+    while t < horizon {
+        t += period;
+        sched.run_until(t);
+        if !switched && t >= TimeStamp::from_secs(20) {
+            // The user doubles the video frame rate.
+            sched.task_mut(video).set_consume_rate(60.0);
+            switched = true;
+            println!("t=20s: video rate 30 -> 60 items/s");
+        }
+        for (id, var, _) in &vars {
+            var.set(sched.task(*id).proportion() * 100.0);
+        }
+        fill_var.set(sched.task(video).fill() * 100.0);
+        clock.set(t);
+        scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+    }
+
+    for (id, _, name) in &vars {
+        println!(
+            "{name}: proportion {:.1}% (equilibrium {:.1}%), fill {:.2}, underruns {}",
+            sched.task(*id).proportion() * 100.0,
+            sched.task(*id).equilibrium_proportion() * 100.0,
+            sched.task(*id).fill(),
+            sched.task(*id).underruns(),
+        );
+    }
+
+    let fb = grender::render_scope(&scope);
+    fb.save_ppm("target/figures/scheduler_proportions.ppm")
+        .expect("write figure");
+    std::fs::write(
+        "target/figures/scheduler_proportions.svg",
+        grender::render_scope_svg(&scope),
+    )
+    .expect("write figure");
+    println!("wrote target/figures/scheduler_proportions.{{ppm,svg}}");
+
+    // The allocator found each task's need, and the doubled video rate
+    // roughly doubled its share.
+    let vp = sched.task(video).proportion();
+    assert!((vp - 0.6).abs() < 0.1, "video proportion {vp}");
+    assert!(sched.total_proportion() <= 0.96);
+}

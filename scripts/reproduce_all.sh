@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every artifact of the gscope reproduction: the test
+# suite, all figures, and the paper's tables. See EXPERIMENTS.md for
+# what each step corresponds to.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build & test =="
+cargo build --workspace --release
+cargo test --workspace
+
+echo "== figures (examples) =="
+for ex in quickstart render_windows tcp_ecn scheduler pll distributed \
+          record_replay audio_spectrum triggers live_tuning sack_debugging \
+          media_player; do
+  echo "--- example: $ex"
+  cargo run --release --example "$ex"
+done
+
+echo "== paper tables (experiment harnesses) =="
+cargo run --release -p gscope-bench --bin overhead
+cargo run --release -p gscope-bench --bin granularity
+cargo run --release -p gscope-bench --bin fig45_tcp_ecn
+cargo run --release -p gscope-bench --bin recovery_ablation
+
+echo "== microbenchmarks (smoke) =="
+cargo bench --workspace -- --test
+
+echo
+echo "all artifacts regenerated; figures in target/figures/"

@@ -1,0 +1,22 @@
+//! `gscope-suite` — the umbrella crate of the gscope workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`); the library itself
+//! only re-exports the workspace crates so examples and tests can name
+//! everything through one dependency.
+//!
+//! The workspace reproduces *"Gscope: A Visualization Tool for
+//! Time-Sensitive Software"* (Goel & Walpole, USENIX FREENIX 2002).
+//! See the repository `README.md` for the architecture overview,
+//! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure and number.
+
+pub use gctrl;
+pub use gdsp;
+pub use gel;
+pub use gnet;
+pub use grender;
+pub use gscope;
+pub use loadmeter;
+pub use netsim;
+pub use rrsched;

@@ -1,0 +1,114 @@
+//! Property tests for the display pipeline: triggers, envelopes, and
+//! the zoom/bias transform.
+
+use std::sync::Arc;
+
+use gel::VirtualClock;
+use gscope::{Envelope, IntVar, Scope, SigConfig, Trigger, TriggerEdge, TriggerMode};
+use proptest::prelude::*;
+
+fn wave(values: &[f64]) -> Vec<Option<f64>> {
+    values.iter().map(|&v| Some(v)).collect()
+}
+
+proptest! {
+    #[test]
+    fn trigger_fires_only_at_true_crossings(
+        values in proptest::collection::vec(-10.0..10.0f64, 2..120),
+        level in -8.0..8.0f64,
+    ) {
+        let samples = wave(&values);
+        for edge in [TriggerEdge::Rising, TriggerEdge::Falling] {
+            let t = Trigger { edge, level, hysteresis: 0.0, mode: TriggerMode::Auto };
+            for i in t.find_all(&samples) {
+                prop_assert!(i > 0);
+                let prev = values[i - 1];
+                let cur = values[i];
+                match edge {
+                    TriggerEdge::Rising => {
+                        prop_assert!(prev < level && cur >= level,
+                            "rising fire at {i}: {prev} -> {cur} vs level {level}");
+                    }
+                    TriggerEdge::Falling => {
+                        prop_assert!(prev > level && cur <= level,
+                            "falling fire at {i}: {prev} -> {cur} vs level {level}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hysteresis_never_increases_firings(
+        values in proptest::collection::vec(-10.0..10.0f64, 2..100),
+        level in -5.0..5.0f64,
+        hyst in 0.0..5.0f64,
+    ) {
+        let samples = wave(&values);
+        let loose = Trigger::rising(level).find_all(&samples).len();
+        let tight = Trigger::rising(level).with_hysteresis(hyst).find_all(&samples).len();
+        prop_assert!(tight <= loose, "hysteresis {hyst}: {tight} > {loose}");
+    }
+
+    #[test]
+    fn aligned_window_never_exceeds_width(
+        values in proptest::collection::vec(-10.0..10.0f64, 1..100),
+        level in -5.0..5.0f64,
+        width in 1usize..150,
+    ) {
+        let samples = wave(&values);
+        let t = Trigger::rising(level);
+        if let Some(sweep) = t.align(&samples, width) {
+            prop_assert!(sweep.len() <= width.max(samples.len()));
+            // The window's final sample, when a trigger fired, crosses
+            // the level.
+            if let Some(i) = t.find_last(&samples) {
+                prop_assert_eq!(sweep.last().copied().flatten(), Some(values[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_band_contains_all_accumulated_values(
+        sweeps in proptest::collection::vec(
+            proptest::collection::vec(-100.0..100.0f64, 5),
+            1..20,
+        ),
+    ) {
+        let mut env = Envelope::new(5);
+        for s in &sweeps {
+            env.accumulate(&wave(s));
+        }
+        for x in 0..5 {
+            let (lo, hi) = env.band(x).expect("every column touched");
+            for s in &sweeps {
+                prop_assert!(s[x] >= lo - 1e-12 && s[x] <= hi + 1e-12);
+            }
+        }
+        prop_assert_eq!(env.sweeps(), sweeps.len() as u64);
+    }
+
+    #[test]
+    fn display_fraction_is_monotone_and_bounded(
+        zoom in 0.01..100.0f64,
+        bias in -1.0..1.0f64,
+        a in -1000.0..1000.0f64,
+        b in -1000.0..1000.0f64,
+    ) {
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("prop", 8, 8, clock);
+        scope
+            .add_signal("s", IntVar::new(0).into(), SigConfig::default().with_range(-1000.0, 1000.0))
+            .unwrap();
+        scope.set_zoom(zoom).unwrap();
+        scope.set_bias(bias).unwrap();
+        let cfg = scope.signal("s").unwrap().config().clone();
+        let fa = scope.display_fraction(&cfg, a);
+        let fb = scope.display_fraction(&cfg, b);
+        prop_assert!((0.0..=1.0).contains(&fa));
+        prop_assert!((0.0..=1.0).contains(&fb));
+        if a <= b {
+            prop_assert!(fa <= fb + 1e-12, "transform must be monotone");
+        }
+    }
+}

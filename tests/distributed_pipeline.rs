@@ -1,0 +1,111 @@
+//! Integration: the §4.4 distributed pipeline — `gnet` clients →
+//! server → scope buffer → polling display — with everything driven by
+//! `gel` event loops (the single-threaded I/O-driven style of §4.3).
+
+use std::sync::Arc;
+
+use gel::{Clock, Continue, MainLoop, Quantizer, SystemClock, TimeDelta};
+use gnet::{attach_server, ScopeClient, ScopeServer, ServerStats};
+use gscope::{attach_scope, Scope, SigConfig, SigSource};
+use parking_lot::Mutex;
+
+/// Runs a server+scope loop and a client loop in separate threads over
+/// real time (short horizons), returning the server stats and the
+/// scope's displayed window for `signal`.
+fn run_pipeline(
+    signal: &'static str,
+    samples: u64,
+    delay: TimeDelta,
+) -> (ServerStats, Vec<Option<f64>>, u64) {
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+
+    let mut scope = Scope::new("pipeline", 200, 60, Arc::clone(&clock));
+    scope.set_delay(delay);
+    scope
+        .add_signal(signal, SigSource::Buffer, SigConfig::default().with_range(0.0, 1000.0))
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(5)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+    server.add_scope(Arc::clone(&scope));
+    let addr = server.local_addr().unwrap();
+    let server = Arc::new(Mutex::new(server));
+
+    // Display-side loop thread: io watch (server) + scope timeout.
+    let mut ml = MainLoop::with_quantizer(Arc::clone(&clock), Quantizer::new(TimeDelta::from_millis(1)));
+    attach_scope(&scope, &mut ml);
+    attach_server(&server, &mut ml);
+    let handle = ml.handle();
+    let display = std::thread::spawn(move || ml.run());
+
+    // Client-side loop thread: stream `samples` tuples at 2 ms spacing.
+    let client = Arc::new(Mutex::new(ScopeClient::connect(addr).unwrap()));
+    let mut client_ml =
+        MainLoop::with_quantizer(Arc::clone(&clock), Quantizer::new(TimeDelta::from_millis(1)));
+    {
+        let client2 = Arc::clone(&client);
+        let mut sent = 0u64;
+        let client_handle = client_ml.handle();
+        client_ml.add_timeout(
+            TimeDelta::from_millis(2),
+            Box::new(move |tick| {
+                let mut c = client2.lock();
+                c.send_at(tick.now, signal, sent as f64);
+                let _ = c.pump();
+                sent += 1;
+                if sent >= samples {
+                    client_handle.quit();
+                    return Continue::Remove;
+                }
+                Continue::Keep
+            }),
+        );
+    }
+    client_ml.run();
+    client.lock().flush_blocking().unwrap();
+
+    // Give the display loop time to drain and display.
+    std::thread::sleep((delay + TimeDelta::from_millis(150)).to_std());
+    handle.quit();
+    display.join().unwrap();
+
+    let guard = scope.lock();
+    let stats = server.lock().stats();
+    let window = guard.display_window(signal);
+    let late = guard.buffer().late_drops();
+    (stats, window, late)
+}
+
+#[test]
+fn streamed_signal_reaches_the_display() {
+    let (stats, window, late) = run_pipeline("remote.x", 40, TimeDelta::from_millis(400));
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.tuples_received, 40);
+    assert_eq!(stats.parse_errors, 0);
+    assert_eq!(late, 0, "delay was ample");
+    let values: Vec<f64> = window.iter().flatten().copied().collect();
+    assert!(
+        !values.is_empty(),
+        "streamed samples must reach the display"
+    );
+    // Sample-and-hold of an increasing ramp: displayed values are
+    // non-decreasing and end near the last sent value.
+    for pair in values.windows(2) {
+        assert!(pair[1] >= pair[0], "ramp must be monotone on screen");
+    }
+    assert!(*values.last().unwrap() >= 30.0, "tail of the ramp visible");
+}
+
+#[test]
+fn tight_delay_drops_late_data() {
+    // With a 1 ms delay, network+loop latency makes most samples miss
+    // their display deadline — the §4.4 drop rule, observable.
+    let (stats, _window, late) = run_pipeline("remote.y", 30, TimeDelta::from_millis(1));
+    assert_eq!(stats.tuples_received, 30);
+    assert!(
+        late > 0,
+        "a 1 ms delay cannot cover real network latency; drops expected"
+    );
+}

@@ -1,0 +1,180 @@
+//! Integration: the full polling pipeline — application variables →
+//! scope signals → `gel` main loop ticks → display history → renderer —
+//! on a deterministic virtual clock, including §4.5's lost-timeout
+//! compensation.
+
+use std::sync::Arc;
+
+use gel::{MainLoop, Quantizer, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{attach_scope, Color, IntVar, Scope, SigConfig};
+
+fn make_loop(clock: &VirtualClock, quantum: Quantizer) -> MainLoop {
+    MainLoop::with_quantizer(Arc::new(clock.clone()), quantum)
+}
+
+#[test]
+fn figure6_program_end_to_end() {
+    // The paper's Figure 6 program, asserted step by step.
+    let elephants = IntVar::new(8);
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("mxtraf", 100, 60, Arc::new(clock.clone()));
+    scope
+        .add_signal(
+            "elephants",
+            elephants.clone().into(),
+            SigConfig::default().with_range(0.0, 40.0),
+        )
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    let mut ml = make_loop(&clock, Quantizer::exact());
+    attach_scope(&scope, &mut ml);
+    // read_program: the client changes elephants at t = 2 s.
+    let e2 = elephants.clone();
+    ml.add_oneshot(TimeDelta::from_secs(2), move |_| e2.set(16));
+    ml.run_until(TimeStamp::from_secs(4) + TimeDelta::from_millis(1));
+
+    let guard = scope.lock();
+    // 4 s at 50 ms = 80 ticks.
+    assert_eq!(guard.stats().ticks, 80);
+    let window = guard.display_window("elephants");
+    assert_eq!(window.len(), 80);
+    // First half shows 8, second half shows 16.
+    assert_eq!(window[10], Some(8.0));
+    assert_eq!(window[79], Some(16.0));
+    assert_eq!(guard.value_readout("elephants").unwrap(), Some(16.0));
+}
+
+#[test]
+fn quantizer_caps_polling_frequency() {
+    // §4.5: with the 10 ms Linux quantum, a 1 ms polling request
+    // degrades to 100 Hz.
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("fast", 2000, 60, Arc::new(clock.clone()));
+    scope
+        .add_signal("x", IntVar::new(1).into(), SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(1)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    let mut ml = make_loop(&clock, Quantizer::LINUX_HZ100);
+    attach_scope(&scope, &mut ml);
+    ml.run_until(TimeStamp::from_secs(1));
+
+    let stats = scope.lock().stats();
+    // Dispatches happen only at 10 ms boundaries: ~100 wake-ups, and
+    // the missed-tick accounting records the 9 skipped 1 ms periods
+    // per wake-up.
+    let dispatches = stats.ticks;
+    assert!(
+        (90..=101).contains(&dispatches),
+        "expected ~100 dispatches at HZ=100, got {dispatches}"
+    );
+    assert!(
+        stats.missed_ticks >= 800,
+        "9 of every 10 1 ms ticks are lost to the quantum, got {}",
+        stats.missed_ticks
+    );
+    // The display still advanced ~1000 columns (one per 1 ms period)
+    // because missed ticks hold the last value (§4.5).
+    let pushed = scope.lock().signal("x").unwrap().history().total_pushed();
+    assert!(
+        (900..=1010).contains(&pushed),
+        "history should advance one column per period, got {pushed}"
+    );
+}
+
+#[test]
+fn scheduling_latency_is_compensated() {
+    // §4.5: "Gscope keeps track of lost timeouts and advances the
+    // scope refresh appropriately."
+    let clock = VirtualClock::new();
+    // Every 10th wake-up is 120 ms late.
+    clock.set_latency_model(Some(Box::new(|n| if n % 10 == 9 { 120_000 } else { 0 })));
+    let mut scope = Scope::new("late", 400, 60, Arc::new(clock.clone()));
+    let v = IntVar::new(5);
+    scope
+        .add_signal("v", v.clone().into(), SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    let mut ml = make_loop(&clock, Quantizer::exact());
+    attach_scope(&scope, &mut ml);
+    ml.run_until(TimeStamp::from_secs(10));
+
+    let guard = scope.lock();
+    let stats = guard.stats();
+    assert!(stats.missed_ticks > 0, "latency model must cost some ticks");
+    // Wall-clock truth: ticks + missed ticks ≈ elapsed / period.
+    let total_columns = guard.signal("v").unwrap().history().total_pushed();
+    let expected = 10_000 / 50;
+    assert!(
+        (total_columns as i64 - expected).abs() <= 3,
+        "x-axis stays truthful: {total_columns} columns vs {expected} periods"
+    );
+}
+
+#[test]
+fn dynamic_signal_add_remove_mid_run() {
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("dyn", 100, 60, Arc::new(clock.clone()));
+    scope
+        .add_signal("a", IntVar::new(1).into(), SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+    let mut ml = make_loop(&clock, Quantizer::exact());
+    attach_scope(&scope, &mut ml);
+    ml.run_until(TimeStamp::from_secs(1));
+
+    // Add a signal while running (a feature §1 calls out).
+    scope
+        .lock()
+        .add_signal(
+            "b",
+            IntVar::new(2).into(),
+            SigConfig::default().with_color(Color::CYAN),
+        )
+        .unwrap();
+    ml.run_until(TimeStamp::from_secs(2));
+    {
+        let guard = scope.lock();
+        assert_eq!(guard.signal_count(), 2);
+        let b = guard.display_window("b");
+        assert!(b.len() >= 19 && b.len() <= 21, "b has ~20 columns: {}", b.len());
+    }
+    // And remove the original.
+    scope.lock().remove_signal("a").unwrap();
+    ml.run_until(TimeStamp::from_secs(3));
+    let guard = scope.lock();
+    assert_eq!(guard.signal_count(), 1);
+    assert!(guard.display_window("a").is_empty());
+}
+
+#[test]
+fn multiple_scopes_share_one_loop() {
+    // §1: "support for multiple scopes and signals."
+    let clock = VirtualClock::new();
+    let make = |name: &str, period_ms: u64| {
+        let mut s = Scope::new(name, 100, 60, Arc::new(clock.clone()));
+        s.add_signal("x", IntVar::new(1).into(), SigConfig::default())
+            .unwrap();
+        s.set_polling_mode(TimeDelta::from_millis(period_ms)).unwrap();
+        s.start();
+        s.into_shared()
+    };
+    let fast = make("fast", 10);
+    let slow = make("slow", 100);
+    let mut ml = make_loop(&clock, Quantizer::exact());
+    attach_scope(&fast, &mut ml);
+    attach_scope(&slow, &mut ml);
+    ml.run_until(TimeStamp::from_secs(1) + TimeDelta::from_millis(1));
+    assert_eq!(fast.lock().stats().ticks, 100);
+    assert_eq!(slow.lock().stats().ticks, 10);
+}

@@ -1,0 +1,219 @@
+//! Failure injection: the library must degrade gracefully, not
+//! corrupt state, when sinks fail, peers vanish, or inputs are hostile.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{IntVar, Scope, ScopeError, SigConfig, SigSource, Tuple, TupleReader};
+
+fn tick_at(ms: u64) -> TickInfo {
+    TickInfo {
+        now: TimeStamp::from_millis(ms),
+        scheduled: TimeStamp::from_millis(ms),
+        missed: 0,
+    }
+}
+
+/// A writer that fails after `ok_writes` successful writes.
+struct FailingSink {
+    ok_writes: usize,
+}
+
+impl Write for FailingSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.ok_writes == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "disk full",
+            ));
+        }
+        self.ok_writes -= 1;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn recording_sink_failure_stops_recording_but_not_the_scope() {
+    let clock = Arc::new(VirtualClock::new());
+    let mut scope = Scope::new("rec", 16, 60, clock);
+    let v = IntVar::new(1);
+    scope
+        .add_signal("v", v.clone().into(), SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+    scope.start();
+    scope.start_recording(FailingSink { ok_writes: 3 });
+
+    for i in 1..=10 {
+        scope.tick(&tick_at(50 * i));
+    }
+    // Recording died early (a tuple may take several low-level writes),
+    // with the error preserved…
+    assert!(!scope.is_recording());
+    assert!(scope.recording_error().unwrap().contains("disk full"));
+    let recorded = scope.stats().recorded_tuples;
+    assert!((1..=3).contains(&recorded), "recorded {recorded}");
+    // …but polling continued unharmed.
+    assert_eq!(scope.stats().ticks, 10);
+    assert_eq!(scope.display_window("v").len(), 10);
+    // A new recording can start afterwards.
+    scope.start_recording(Vec::new());
+    assert!(scope.is_recording());
+    assert!(scope.recording_error().is_none());
+}
+
+#[test]
+fn hostile_tuple_streams_are_rejected_precisely() {
+    // Deep line numbers, NaN, infinities, negative time, huge values.
+    let cases: &[(&str, usize)] = &[
+        ("10 1 ok\n20 nan bad\n", 2),
+        ("10 1 ok\n\n# c\n20 inf bad\n", 4),
+        ("10 1 ok\n-1 1 bad\n", 2),
+        ("10 1 ok\n20 2 n extra junk\n", 2),
+    ];
+    for (input, bad_line) in cases {
+        let mut r = TupleReader::new(input.as_bytes());
+        assert!(r.next_tuple().unwrap().is_some());
+        let err = loop {
+            match r.next_tuple() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("input {input:?} should fail"),
+                Err(e) => break e,
+            }
+        };
+        let ScopeError::TupleParse { line, .. } = err else {
+            panic!("wrong error kind for {input:?}: {err}");
+        };
+        assert_eq!(line, *bad_line, "line number for {input:?}");
+    }
+}
+
+#[test]
+fn enormous_values_round_trip_without_panic() {
+    for v in [f64::MAX, f64::MIN, f64::MIN_POSITIVE, -0.0] {
+        let t = Tuple::new(TimeStamp::from_millis(1), v, "x");
+        let parsed = Tuple::parse_line(&t.to_line(), 1).unwrap();
+        assert_eq!(parsed.value.to_bits(), v.to_bits());
+    }
+}
+
+#[test]
+fn scope_survives_signal_removal_mid_playback() {
+    let clock = Arc::new(VirtualClock::new());
+    let mut scope = Scope::new("pb", 16, 60, clock);
+    scope.set_period(TimeDelta::from_millis(50)).unwrap();
+    scope
+        .set_playback_mode(vec![
+            Tuple::new(TimeStamp::ZERO, 1.0, "a"),
+            Tuple::new(TimeStamp::from_millis(200), 2.0, "a"),
+            Tuple::new(TimeStamp::from_millis(400), 3.0, "b"),
+        ])
+        .unwrap();
+    scope.start();
+    scope.tick(&tick_at(50));
+    scope.remove_signal("a").unwrap();
+    // Remaining ticks must not panic; "b" still replays.
+    for i in 2..=12 {
+        scope.tick(&tick_at(50 * i));
+    }
+    assert!(scope.display_window("b").contains(&Some(3.0)));
+}
+
+#[test]
+fn server_survives_client_that_sends_garbage_then_dies() {
+    use gnet::ScopeServer;
+    let clock = Arc::new(VirtualClock::new());
+    let scope = Scope::new("garbage", 16, 60, clock).into_shared();
+    scope.lock().set_delay(TimeDelta::from_secs(100));
+    let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+    server.add_scope(Arc::clone(&scope));
+    let addr = server.local_addr().unwrap();
+    {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        // Binary junk including invalid UTF-8, then a valid line, then
+        // a half line cut off by disconnect.
+        s.write_all(b"\xff\xfe\x00garbage\n5 1 good\n999 incomple").unwrap();
+        s.flush().unwrap();
+    } // disconnect
+    for _ in 0..2000 {
+        let _ = server.poll();
+        if server.client_count() == 0 && server.stats().tuples_received == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.tuples_received, 1, "the one good line got through");
+    assert!(stats.parse_errors >= 1);
+    assert_eq!(stats.disconnects, 1);
+    assert!(scope.lock().signal("good").is_some());
+}
+
+#[test]
+fn event_loop_callback_panics_do_not_poison_shared_scope() {
+    // A panicking application callback must not leave the scope mutex
+    // poisoned (parking_lot mutexes do not poison) or the loop broken.
+    let clock = Arc::new(VirtualClock::new());
+    let scope = {
+        let mut s = Scope::new("p", 16, 60, Arc::clone(&clock) as Arc<dyn gel::Clock>);
+        s.add_signal("v", IntVar::new(1).into(), SigConfig::default())
+            .unwrap();
+        s.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+        s.start();
+        s.into_shared()
+    };
+    let scope2 = Arc::clone(&scope);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let _guard = scope2.lock();
+        panic!("application bug");
+    }));
+    assert!(result.is_err());
+    // The scope is still usable.
+    scope.lock().tick(&tick_at(50));
+    assert_eq!(scope.lock().stats().ticks, 1);
+}
+
+#[test]
+fn buffer_signal_with_no_producer_shows_gaps_not_garbage() {
+    let clock = Arc::new(VirtualClock::new());
+    let mut scope = Scope::new("empty", 8, 60, clock);
+    scope
+        .add_signal("quiet", SigSource::Buffer, SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+    scope.start();
+    for i in 1..=8 {
+        scope.tick(&tick_at(50 * i));
+    }
+    let window = scope.display_window("quiet");
+    assert_eq!(window.len(), 8);
+    assert!(window.iter().all(|v| v.is_none()), "all columns blank");
+    assert_eq!(scope.value_readout("quiet").unwrap(), None);
+}
+
+#[test]
+fn zero_and_negative_parameter_edge_cases() {
+    let clock = Arc::new(VirtualClock::new());
+    let mut scope = Scope::new("edge", 8, 60, clock);
+    assert!(matches!(
+        scope.set_polling_mode(TimeDelta::ZERO),
+        Err(ScopeError::OutOfRange { .. })
+    ));
+    assert!(scope.set_zoom(f64::INFINITY).is_err());
+    assert!(scope.set_bias(f64::NAN).is_err());
+    // Config with NaN range is rejected at add time.
+    let err = scope
+        .add_signal(
+            "bad",
+            IntVar::new(0).into(),
+            SigConfig::default().with_range(f64::NAN, 10.0),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ScopeError::OutOfRange { .. }));
+    assert_eq!(scope.signal_count(), 0, "failed add leaves no residue");
+}

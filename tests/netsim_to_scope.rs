@@ -1,0 +1,165 @@
+//! Integration: the Figures 4–5 pipeline — `netsim` traffic →
+//! gscope signals → rendered widget — in miniature, asserting the
+//! paper's qualitative claims end to end.
+
+use std::sync::Arc;
+
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{Aggregation, IntVar, Scope, SigConfig, SigSource};
+use netsim::{Mxtraf, MxtrafConfig, NetConfig, QueueKind};
+
+struct MiniRun {
+    min_cwnd_displayed: f64,
+    timeouts: u64,
+    marks: u64,
+    drops: u64,
+    trace_pixels: usize,
+}
+
+/// A 20-second miniature of the Figure 4/5 experiment.
+fn mini_experiment(ecn: bool) -> MiniRun {
+    let mut traffic = Mxtraf::new(MxtrafConfig {
+        ecn,
+        net: NetConfig {
+            queue: if ecn {
+                QueueKind::red_default(100)
+            } else {
+                QueueKind::DropTail { capacity: 50 }
+            },
+            ..NetConfig::default()
+        },
+        initial_elephants: 8,
+        max_elephants: 16,
+        ..MxtrafConfig::default()
+    });
+
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("mini", 200, 80, Arc::new(clock.clone()));
+    let elephants = IntVar::new(8);
+    scope
+        .add_signal(
+            "elephants",
+            elephants.clone().into(),
+            SigConfig::default().with_range(0.0, 40.0),
+        )
+        .unwrap();
+    scope
+        .add_signal(
+            "CWND",
+            SigSource::Events,
+            SigConfig::default()
+                .with_range(0.0, 64.0)
+                .with_aggregation(Aggregation::Minimum),
+        )
+        .unwrap();
+    let sink = scope.event_sink("CWND").unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(100)).unwrap();
+    scope.start();
+
+    let probe = traffic.elephant_flow(0);
+    let warmup = TimeDelta::from_secs(5);
+    traffic.run_until(TimeStamp::ZERO + warmup);
+    let mut t = TimeStamp::ZERO;
+    let horizon = TimeStamp::from_secs(20);
+    while t < horizon {
+        let tick_end = t + TimeDelta::from_millis(100);
+        while t < tick_end {
+            t += TimeDelta::from_millis(10);
+            traffic.run_until(t + warmup);
+            sink.push(traffic.net().cwnd(probe));
+        }
+        if t == TimeStamp::from_secs(10) {
+            traffic.set_elephants(16);
+            elephants.set(16);
+        }
+        clock.set(t);
+        scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+    }
+
+    // Render and count trace pixels so the whole pipeline is covered.
+    let color = scope.signal("CWND").unwrap().color();
+    let fb = grender::render_scope(&scope);
+    let trace_pixels = fb.count_color(color);
+
+    let window = scope.display_window("CWND");
+    let min_cwnd_displayed = window
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    MiniRun {
+        min_cwnd_displayed,
+        timeouts: traffic.total_timeouts(),
+        marks: traffic.net().queue_stats().marked,
+        drops: traffic.net().queue_stats().dropped,
+        trace_pixels,
+    }
+}
+
+#[test]
+fn figure4_shape_tcp_cwnd_collapses_to_one() {
+    let run = mini_experiment(false);
+    assert!(run.timeouts > 0, "DropTail congestion must cause timeouts");
+    assert!(run.drops > 0);
+    assert_eq!(run.marks, 0, "DropTail never marks");
+    assert!(
+        run.min_cwnd_displayed <= 1.0,
+        "the displayed CWND trace must touch 1, got {}",
+        run.min_cwnd_displayed
+    );
+    assert!(run.trace_pixels > 50, "trace must be drawn");
+}
+
+#[test]
+fn figure5_shape_ecn_cwnd_never_reaches_one() {
+    let run = mini_experiment(true);
+    assert_eq!(run.timeouts, 0, "ECN flows must not time out");
+    assert_eq!(run.drops, 0, "RED marking prevents overflow");
+    assert!(run.marks > 0);
+    assert!(
+        run.min_cwnd_displayed > 1.0,
+        "the displayed ECN CWND never touches 1, got {}",
+        run.min_cwnd_displayed
+    );
+    assert!(run.trace_pixels > 50);
+}
+
+#[test]
+fn ecn_achieves_comparable_goodput_with_fewer_losses() {
+    // The paper's conclusion: "this experiment indicates that ECN can
+    // potentially improve flow throughput" (timeouts hurt).
+    let goodput = |ecn: bool| {
+        let mut traffic = Mxtraf::new(MxtrafConfig {
+            ecn,
+            net: NetConfig {
+                queue: if ecn {
+                    QueueKind::red_default(100)
+                } else {
+                    QueueKind::DropTail { capacity: 50 }
+                },
+                ..NetConfig::default()
+            },
+            initial_elephants: 8,
+            max_elephants: 8,
+            ..MxtrafConfig::default()
+        });
+        traffic.run_until(TimeStamp::from_secs(30));
+        let delivered: u64 = (0..8)
+            .map(|i| traffic.net().flow_delivered(traffic.elephant_flow(i)))
+            .sum();
+        (delivered, traffic.total_timeouts())
+    };
+    let (tcp_delivered, tcp_timeouts) = goodput(false);
+    let (ecn_delivered, ecn_timeouts) = goodput(true);
+    assert!(tcp_timeouts > 0);
+    assert_eq!(ecn_timeouts, 0);
+    // ECN should not be materially worse, and typically better.
+    assert!(
+        ecn_delivered as f64 >= tcp_delivered as f64 * 0.9,
+        "ECN goodput {ecn_delivered} vs TCP {tcp_delivered}"
+    );
+}

@@ -1,0 +1,221 @@
+//! Property-based tests over the workspace's core invariants.
+
+use gdsp::{dft_naive, fft, fft_real, ifft, Complex, LowPass};
+use gel::{Quantizer, TimeDelta, TimeStamp};
+use gscope::{Aggregation, EventAccumulator, History, Tuple, TupleReader, TupleWriter};
+use proptest::prelude::*;
+
+fn finite_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e9..1e9f64,
+        Just(0.0),
+        Just(-0.0),
+        -1.0..1.0f64,
+    ]
+}
+
+proptest! {
+    // ---- tuple format (§3.3) ----
+
+    #[test]
+    fn tuple_line_round_trips(
+        ms in 0u64..10_000_000,
+        us in 0u64..1000,
+        value in finite_value(),
+        name in "[a-zA-Z][a-zA-Z0-9_.]{0,12}",
+    ) {
+        let t = Tuple::new(
+            TimeStamp::from_micros(ms * 1000 + us),
+            value,
+            name,
+        );
+        let parsed = Tuple::parse_line(&t.to_line(), 1).unwrap();
+        prop_assert_eq!(parsed.time, t.time);
+        prop_assert_eq!(parsed.name, t.name);
+        // Values survive the default f64 formatting exactly.
+        prop_assert_eq!(parsed.value.to_bits(), t.value.to_bits());
+    }
+
+    #[test]
+    fn tuple_stream_round_trips(
+        times in proptest::collection::vec(0u64..100_000, 1..40),
+        values in proptest::collection::vec(finite_value(), 40),
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let tuples: Vec<Tuple> = sorted
+            .iter()
+            .zip(&values)
+            .map(|(&ms, &v)| Tuple::new(TimeStamp::from_millis(ms), v, "s"))
+            .collect();
+        let mut w = TupleWriter::new(Vec::new());
+        for t in &tuples {
+            w.write_tuple(t).unwrap();
+        }
+        let bytes = w.into_inner();
+        let got = TupleReader::new(bytes.as_slice()).read_all().unwrap();
+        prop_assert_eq!(got, tuples);
+    }
+
+    // ---- low-pass filter (§3.1) ----
+
+    #[test]
+    fn filter_output_within_input_hull(
+        alpha in 0.0..=1.0f64,
+        xs in proptest::collection::vec(-1e6..1e6f64, 1..100),
+    ) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut f = LowPass::new(alpha).unwrap();
+        for y in f.feed_all(&xs) {
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn filter_is_identity_at_alpha_zero(
+        xs in proptest::collection::vec(-1e6..1e6f64, 1..50),
+    ) {
+        let mut f = LowPass::identity();
+        prop_assert_eq!(f.feed_all(&xs), xs);
+    }
+
+    // ---- aggregation algebra (§4.2) ----
+
+    #[test]
+    fn aggregation_algebra(
+        events in proptest::collection::vec(-1e5..1e5f64, 1..60),
+        period_ms in 1u64..5_000,
+    ) {
+        let period = TimeDelta::from_millis(period_ms);
+        let run = |agg: Aggregation| {
+            let mut acc = EventAccumulator::new(agg);
+            for &e in &events {
+                acc.push(e);
+            }
+            acc.finish_interval(period).unwrap()
+        };
+        let sum = run(Aggregation::Sum);
+        let avg = run(Aggregation::Average);
+        let n = run(Aggregation::Events);
+        let rate = run(Aggregation::Rate);
+        let max = run(Aggregation::Maximum);
+        let min = run(Aggregation::Minimum);
+        let hold = run(Aggregation::SampleHold);
+        let any = run(Aggregation::AnyEvent);
+        prop_assert_eq!(n as usize, events.len());
+        prop_assert_eq!(any, 1.0);
+        prop_assert!((sum - avg * n).abs() <= 1e-6 * sum.abs().max(1.0));
+        prop_assert!((rate * period.as_secs_f64() - sum).abs() <= 1e-6 * sum.abs().max(1.0));
+        prop_assert!(max >= min);
+        prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9);
+        prop_assert_eq!(hold, *events.last().unwrap());
+    }
+
+    // ---- display history ----
+
+    #[test]
+    fn history_keeps_newest_columns(
+        capacity in 1usize..64,
+        values in proptest::collection::vec(finite_value(), 0..200),
+    ) {
+        let mut h = History::new(capacity);
+        for &v in &values {
+            h.push(Some(v));
+        }
+        prop_assert_eq!(h.len(), values.len().min(capacity));
+        let stored = h.to_vec();
+        let expected: Vec<Option<f64>> = values
+            .iter()
+            .skip(values.len().saturating_sub(capacity))
+            .map(|&v| Some(v))
+            .collect();
+        prop_assert_eq!(stored, expected);
+        prop_assert_eq!(h.total_pushed(), values.len() as u64);
+    }
+
+    // ---- timer quantization (§4.5) ----
+
+    #[test]
+    fn quantizer_is_monotone_and_idempotent(
+        quantum_us in 1u64..1_000_000,
+        a in 0u64..u64::MAX / 4,
+        b in 0u64..u64::MAX / 4,
+    ) {
+        let q = Quantizer::new(TimeDelta::from_micros(quantum_us));
+        let (ta, tb) = (TimeStamp::from_micros(a), TimeStamp::from_micros(b));
+        let (ra, rb) = (q.round_up(ta), q.round_up(tb));
+        prop_assert!(ra >= ta, "rounding never goes backwards");
+        prop_assert!(ra.as_micros() - ta.as_micros() < quantum_us);
+        prop_assert_eq!(q.round_up(ra), ra, "idempotent");
+        if ta <= tb {
+            prop_assert!(ra <= rb, "monotone");
+        }
+    }
+
+    // ---- FFT (frequency view, §3.1) ----
+
+    #[test]
+    fn fft_round_trip_and_parseval(
+        log_n in 1u32..8,
+        seed in 0u64..1000,
+    ) {
+        let n = 1usize << log_n;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(seed + 7) % 1000) as f64 / 500.0) - 1.0)
+            .collect();
+        let spec = fft_real(&xs).unwrap();
+        // Parseval.
+        let te: f64 = xs.iter().map(|v| v * v).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((te - fe).abs() <= 1e-6 * te.max(1.0));
+        // Round trip.
+        let mut buf: Vec<Complex> = spec;
+        ifft(&mut buf).unwrap();
+        for (orig, got) in xs.iter().zip(&buf) {
+            prop_assert!((orig - got.re).abs() < 1e-8);
+            prop_assert!(got.im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        log_n in 1u32..6,
+        k in -5.0..5.0f64,
+    ) {
+        let n = 1usize << log_n;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sin(), 0.3)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.1 * i as f64, -1.0)).collect();
+        let combined: Vec<Complex> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| *x + y.scale(k))
+            .collect();
+        let mut fa = a.clone();
+        fft(&mut fa).unwrap();
+        let mut fb = b.clone();
+        fft(&mut fb).unwrap();
+        let mut fc = combined;
+        fft(&mut fc).unwrap();
+        for ((x, y), z) in fa.iter().zip(&fb).zip(&fc) {
+            let expect = *x + y.scale(k);
+            prop_assert!((expect.re - z.re).abs() < 1e-6 * (1.0 + expect.re.abs()));
+            prop_assert!((expect.im - z.im).abs() < 1e-6 * (1.0 + expect.im.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(log_n in 1u32..6) {
+        let n = 1usize << log_n;
+        let xs: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).cos(), (i as f64 * 1.3).sin()))
+            .collect();
+        let slow = dft_naive(&xs);
+        let mut fast = xs;
+        fft(&mut fast).unwrap();
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-7);
+            prop_assert!((a.im - b.im).abs() < 1e-7);
+        }
+    }
+}

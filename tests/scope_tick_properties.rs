@@ -1,0 +1,130 @@
+//! Property tests over the scope tick loop itself: histories stay in
+//! lockstep with wall time under arbitrary schedules of ticks, missed
+//! periods, and mid-run reconfiguration.
+
+use std::sync::Arc;
+
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{Aggregation, IntVar, Scope, SigConfig, SigSource};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn history_advances_exactly_one_column_per_period(
+        width in 1usize..64,
+        missed_pattern in proptest::collection::vec(0u64..4, 1..60),
+    ) {
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("p", width, 50, clock);
+        let v = IntVar::new(3);
+        scope
+            .add_signal("v", v.into(), SigConfig::default())
+            .unwrap();
+        scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+        scope.start();
+        // Simulate an arbitrary lateness schedule: each entry is how
+        // many whole periods the dispatch was late.
+        let mut now = TimeStamp::ZERO;
+        let mut total_periods = 0u64;
+        for &missed in &missed_pattern {
+            now += TimeDelta::from_millis(50 * (missed + 1));
+            total_periods += missed + 1;
+            scope.tick(&TickInfo {
+                now,
+                scheduled: now,
+                missed,
+            });
+        }
+        let sig = scope.signal("v").unwrap();
+        // One column per wall-clock period, no matter how dispatches
+        // bunched up (§4.5's compensation).
+        prop_assert_eq!(sig.history().total_pushed(), total_periods);
+        prop_assert_eq!(sig.history().len(), (total_periods as usize).min(width));
+        let stats = scope.stats();
+        prop_assert_eq!(stats.ticks, missed_pattern.len() as u64);
+        prop_assert_eq!(
+            stats.missed_ticks,
+            total_periods - missed_pattern.len() as u64
+        );
+    }
+
+    #[test]
+    fn event_conservation_through_sum_aggregation(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0.0..100.0f64, 0..10),
+            1..40,
+        ),
+    ) {
+        // Every pushed event value is counted exactly once by a Sum
+        // signal across the whole run, for any batching of pushes and
+        // a history wide enough to hold every tick.
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("sum", 64, 50, clock);
+        scope
+            .add_signal(
+                "e",
+                SigSource::Events,
+                SigConfig::default().with_aggregation(Aggregation::Sum),
+            )
+            .unwrap();
+        scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+        scope.start();
+        let sink = scope.event_sink("e").unwrap();
+        let mut pushed_total = 0.0;
+        for (i, batch) in batches.iter().enumerate() {
+            for &v in batch {
+                sink.push(v);
+                pushed_total += v;
+            }
+            let t = TimeStamp::from_millis(50 * (i as u64 + 1));
+            scope.tick(&TickInfo {
+                now: t,
+                scheduled: t,
+                missed: 0,
+            });
+        }
+        let displayed: f64 = scope
+            .signal("e")
+            .unwrap()
+            .history()
+            .iter()
+            .flatten()
+            .sum();
+        prop_assert!(
+            (displayed - pushed_total).abs() <= 1e-9 * pushed_total.max(1.0),
+            "displayed {displayed} vs pushed {pushed_total}"
+        );
+    }
+
+    #[test]
+    fn zoom_bias_never_corrupts_stored_samples(
+        zooms in proptest::collection::vec(0.01..100.0f64, 1..10),
+        biases in proptest::collection::vec(-1.0..1.0f64, 10),
+    ) {
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("zb", 32, 50, clock);
+        let v = IntVar::new(0);
+        scope
+            .add_signal("v", v.clone().into(), SigConfig::default())
+            .unwrap();
+        scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+        scope.start();
+        for i in 0..20i64 {
+            v.set(i * 5);
+            let t = TimeStamp::from_millis(50 * (i as u64 + 1));
+            scope.tick(&TickInfo {
+                now: t,
+                scheduled: t,
+                missed: 0,
+            });
+        }
+        let before = scope.display_window("v");
+        for (&z, &b) in zooms.iter().zip(&biases) {
+            scope.set_zoom(z).unwrap();
+            scope.set_bias(b).unwrap();
+        }
+        // The display transform is view-only (DESIGN §5): the stored
+        // samples are untouched by any zoom/bias sequence.
+        prop_assert_eq!(scope.display_window("v"), before);
+    }
+}

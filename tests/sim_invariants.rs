@@ -1,0 +1,158 @@
+//! Property-based invariants of the simulation substrates: the network
+//! simulator, the scheduler, and the PLL must hold their conservation
+//! and stability laws across randomized configurations.
+
+use gel::{TimeDelta, TimeStamp};
+use netsim::{NetConfig, Network, QueueKind};
+use proptest::prelude::*;
+use rrsched::{SchedConfig, Scheduler, Task};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---- netsim conservation ----
+
+    #[test]
+    fn network_conserves_packets(
+        flows in 1usize..10,
+        capacity in 5usize..80,
+        ecn in any::<bool>(),
+        seed in 0u64..100,
+        secs in 2u64..8,
+    ) {
+        let queue = if ecn {
+            QueueKind::red_default(capacity)
+        } else {
+            QueueKind::DropTail { capacity }
+        };
+        let mut net = Network::new(NetConfig {
+            queue,
+            seed,
+            ..NetConfig::default()
+        });
+        let ids: Vec<_> = (0..flows).map(|_| net.add_tcp_flow(ecn)).collect();
+        for (i, &f) in ids.iter().enumerate() {
+            net.start_flow_at(f, TimeStamp::from_millis(37 * i as u64));
+        }
+        net.run_until(TimeStamp::from_secs(secs));
+        let qstats = net.queue_stats();
+        // Queue occupancy never exceeds capacity.
+        prop_assert!(net.queue_len() <= capacity + 1);
+        prop_assert!(qstats.peak_len <= capacity + 1);
+        for &f in &ids {
+            let s = net.flow_stats(f);
+            // A flow never has acked more than it sent.
+            prop_assert!(s.packets_acked <= s.packets_sent);
+            // In-order delivery at the receiver never exceeds sends.
+            prop_assert!(net.flow_delivered(f) <= s.packets_sent);
+            // cwnd stays within [1, MAX_WINDOW].
+            let cwnd = net.cwnd(f);
+            prop_assert!((1.0..=netsim::MAX_WINDOW + 0.001).contains(&cwnd),
+                "cwnd {cwnd} out of range");
+            // ECN flows never cut below 2 except via timeout, and
+            // DropTail never marks.
+            if !ecn {
+                prop_assert_eq!(s.ecn_cuts, 0);
+            }
+        }
+        if !ecn {
+            prop_assert_eq!(qstats.marked, 0, "DropTail must not mark");
+        }
+        // Total deliveries are bounded by link capacity plus slack.
+        let max_packets = (secs as f64 / net.config().serialization().as_secs_f64()) as u64 + 10;
+        prop_assert!(net.delivered_packets() <= max_packets);
+    }
+
+    #[test]
+    fn goodput_never_exceeds_link_capacity(
+        flows in 1usize..12,
+        secs in 3u64..10,
+    ) {
+        let mut net = Network::new(NetConfig::default());
+        let ids: Vec<_> = (0..flows).map(|_| net.add_tcp_flow(false)).collect();
+        for (i, &f) in ids.iter().enumerate() {
+            net.start_flow_at(f, TimeStamp::from_millis(29 * i as u64));
+        }
+        net.run_until(TimeStamp::from_secs(secs));
+        let delivered: u64 = ids.iter().map(|&f| net.flow_delivered(f)).sum();
+        let goodput = net.goodput_bps(delivered, TimeDelta::from_secs(secs));
+        prop_assert!(
+            goodput <= net.config().bandwidth_bps as f64 * 1.02,
+            "goodput {goodput} exceeds the 10 Mbit/s bottleneck"
+        );
+    }
+
+    // ---- scheduler invariants ----
+
+    #[test]
+    fn scheduler_respects_capacity_and_bounds(
+        task_params in proptest::collection::vec(
+            (1u64..200, 1u64..50, 1.0..200.0f64, 2.0..100.0f64),
+            1..6,
+        ),
+        secs in 5u64..20,
+    ) {
+        let mut sched = Scheduler::new(SchedConfig::default());
+        for (i, &(period_ms, cpu_ms_tenths, rate, cap)) in task_params.iter().enumerate() {
+            sched.add_task(Task::new(
+                format!("t{i}"),
+                TimeDelta::from_millis(period_ms),
+                cpu_ms_tenths as f64 / 10_000.0,
+                rate,
+                cap,
+            ));
+        }
+        sched.run_until(TimeStamp::from_secs(secs));
+        prop_assert!(sched.total_proportion() <= 0.96);
+        for t in sched.tasks() {
+            prop_assert!((0.0..=1.0).contains(&t.proportion()));
+            prop_assert!((0.0..=1.0).contains(&t.fill()));
+        }
+    }
+
+    // ---- PLL stability ----
+
+    #[test]
+    fn pll_output_stays_bounded(
+        freq in 30.0..80.0f64,
+        noise_sigma in 0.0..0.4f64,
+        seed in 0u64..50,
+    ) {
+        use gctrl::{Noise, Oscillator, Pll, PllConfig, Waveform};
+        let mut pll = Pll::new(PllConfig::default());
+        let osc = Oscillator::new(Waveform::Sine, freq, 1.0);
+        let mut noise = Noise::new(seed, noise_sigma, 0.0);
+        let dt = 0.0005;
+        for i in 0..4000 {
+            let out = pll.step(osc.sample(i as f64 * dt) + noise.next(), dt);
+            prop_assert!(out.frequency.is_finite());
+            prop_assert!(out.phase_error.is_finite());
+            prop_assert!(out.phase_error.abs() <= std::f64::consts::PI + 1e-9);
+            prop_assert!(out.nco.abs() <= 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn droptail_vs_red_loss_ordering() {
+    // Deterministic crossover check: under identical load, RED+ECN
+    // drops strictly fewer packets than DropTail of the same capacity.
+    let run = |queue: QueueKind, ecn: bool| {
+        let mut net = Network::new(NetConfig {
+            queue,
+            ..NetConfig::default()
+        });
+        for i in 0..12 {
+            let f = net.add_tcp_flow(ecn);
+            net.start_flow_at(f, TimeStamp::from_millis(50 * i));
+        }
+        net.run_until(TimeStamp::from_secs(20));
+        net.queue_stats().dropped
+    };
+    let droptail = run(QueueKind::DropTail { capacity: 60 }, false);
+    let red = run(QueueKind::red_default(60), true);
+    assert!(
+        red < droptail,
+        "RED+ECN ({red}) must lose less than DropTail ({droptail})"
+    );
+}

@@ -1,0 +1,137 @@
+//! Integration: the §4.3 threading models.
+//!
+//! "Gscope is thread-safe and can be used by both single-threaded and
+//! multi-threaded applications. With multi-threaded applications,
+//! typically Gscope is run in its own thread while the application
+//! that is generating signals is run in a separate thread."
+
+use std::sync::Arc;
+
+use gel::{Clock, MainLoop, Quantizer, SystemClock, TimeDelta};
+use gscope::{attach_scope, EventSink, FloatVar, IntVar, Scope, SigConfig, SigSource};
+
+#[test]
+fn scope_in_its_own_thread_application_in_another() {
+    // Real clock, real threads: the scope loop runs independently and
+    // the application mutates shared variables / pushes events.
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let counter = IntVar::new(0);
+    let level = FloatVar::new(0.0);
+
+    let mut scope = Scope::new("mt", 400, 60, Arc::clone(&clock));
+    scope
+        .add_signal("counter", counter.clone().into(), SigConfig::default().with_range(0.0, 1e6))
+        .unwrap();
+    scope
+        .add_signal("level", level.clone().into(), SigConfig::default())
+        .unwrap();
+    scope
+        .add_signal(
+            "events",
+            SigSource::Events,
+            SigConfig::default().with_aggregation(gscope::Aggregation::Sum),
+        )
+        .unwrap();
+    let sink: EventSink = scope.event_sink("events").unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(5)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    // The gscope thread (its own main loop, §4.3).
+    let mut ml = MainLoop::with_quantizer(
+        Arc::clone(&clock),
+        Quantizer::new(TimeDelta::from_millis(1)),
+    );
+    attach_scope(&scope, &mut ml);
+    let handle = ml.handle();
+    let scope_thread = std::thread::spawn(move || ml.run());
+
+    // Two application threads generating signals concurrently.
+    let c2 = counter.clone();
+    let app1 = std::thread::spawn(move || {
+        for i in 1..=2000 {
+            c2.set(i);
+            if i % 100 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    });
+    let l2 = level.clone();
+    let s2 = sink.clone();
+    let app2 = std::thread::spawn(move || {
+        for i in 0..2000 {
+            l2.set((i as f64 / 100.0).sin() * 50.0 + 50.0);
+            s2.push(1.0);
+            if i % 100 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    });
+    app1.join().unwrap();
+    app2.join().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    handle.quit();
+    scope_thread.join().unwrap();
+
+    let guard = scope.lock();
+    assert!(guard.stats().ticks >= 5, "scope polled while apps ran");
+    assert_eq!(guard.value_readout("counter").unwrap(), Some(2000.0));
+    // Every pushed event is accounted for exactly once: the Sum
+    // aggregation over all displayed intervals plus whatever is still
+    // pending equals 2000.
+    let displayed: f64 = guard
+        .signal("events")
+        .unwrap()
+        .history()
+        .iter()
+        .flatten()
+        .sum();
+    assert!(
+        displayed <= 2000.0,
+        "no event is double-counted ({displayed})"
+    );
+    assert!(displayed > 0.0, "events reached the display");
+}
+
+#[test]
+fn single_threaded_io_driven_style() {
+    // Everything on one thread: the application work is itself a
+    // timeout source sharing the loop with the scope, as in Figure 6.
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let v = IntVar::new(0);
+    let mut scope = Scope::new("st", 100, 60, Arc::clone(&clock));
+    scope
+        .add_signal("v", v.clone().into(), SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(4)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    let mut ml = MainLoop::with_quantizer(
+        Arc::clone(&clock),
+        Quantizer::new(TimeDelta::from_millis(1)),
+    );
+    attach_scope(&scope, &mut ml);
+    // "Application logic" as a non-blocking periodic callback.
+    let v2 = v.clone();
+    ml.add_timeout(
+        TimeDelta::from_millis(2),
+        Box::new(move |_| {
+            v2.add(1);
+            gel::Continue::Keep
+        }),
+    );
+    let handle = ml.handle();
+    ml.add_oneshot(TimeDelta::from_millis(80), move |_| handle.quit());
+    ml.run();
+
+    let guard = scope.lock();
+    assert!(guard.stats().ticks >= 10);
+    assert!(v.get() >= 20, "application callback ran interleaved");
+    let window = guard.display_window("v");
+    // The trace is non-decreasing (counter polled while incrementing).
+    let values: Vec<f64> = window.iter().flatten().copied().collect();
+    for pair in values.windows(2) {
+        assert!(pair[1] >= pair[0]);
+    }
+}
