@@ -9,7 +9,9 @@ use gscope::{Aggregation, EventAccumulator};
 fn bench_aggregation_functions(c: &mut Criterion) {
     const EVENTS: usize = 1000;
     let period = TimeDelta::from_millis(50);
-    let values: Vec<f64> = (0..EVENTS).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
+    let values: Vec<f64> = (0..EVENTS)
+        .map(|i| (i as f64 * 0.37).sin() * 100.0)
+        .collect();
     let mut group = c.benchmark_group("aggregate/interval_1000_events");
     group.throughput(Throughput::Elements(EVENTS as u64));
     for agg in Aggregation::ALL {
@@ -90,5 +92,9 @@ fn bench_event_signal_tick(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_aggregation_functions, bench_event_signal_tick);
+criterion_group!(
+    benches,
+    bench_aggregation_functions,
+    bench_event_signal_tick
+);
 criterion_main!(benches);

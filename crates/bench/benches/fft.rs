@@ -64,5 +64,10 @@ fn bench_spectrum_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft_sizes, bench_fft_vs_naive, bench_spectrum_pipeline);
+criterion_group!(
+    benches,
+    bench_fft_sizes,
+    bench_fft_vs_naive,
+    bench_spectrum_pipeline
+);
 criterion_main!(benches);

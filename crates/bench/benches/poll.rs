@@ -111,30 +111,26 @@ fn bench_tick_vs_filter(c: &mut Criterion) {
     let period = TimeDelta::from_millis(10);
     let mut group = c.benchmark_group("poll_tick/filter_alpha");
     for alpha in [0.0f64, 0.5, 0.99] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alpha),
-            &alpha,
-            |b, &alpha| {
-                let clock = gel::VirtualClock::new();
-                let mut scope = Scope::new("f", 640, 100, Arc::new(clock));
-                let v = IntVar::new(0);
-                scope
-                    .add_signal(
-                        "s",
-                        v.clone().into(),
-                        SigConfig::default().with_filter(alpha),
-                    )
-                    .unwrap();
-                scope.set_polling_mode(period).unwrap();
-                scope.start();
-                let mut k = 0i64;
-                b.iter(|| {
-                    k += 1;
-                    v.set(k % 100);
-                    scope.tick(&tick_at(k as u64, period));
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let clock = gel::VirtualClock::new();
+            let mut scope = Scope::new("f", 640, 100, Arc::new(clock));
+            let v = IntVar::new(0);
+            scope
+                .add_signal(
+                    "s",
+                    v.clone().into(),
+                    SigConfig::default().with_filter(alpha),
+                )
+                .unwrap();
+            scope.set_polling_mode(period).unwrap();
+            scope.start();
+            let mut k = 0i64;
+            b.iter(|| {
+                k += 1;
+                v.set(k % 100);
+                scope.tick(&tick_at(k as u64, period));
+            });
+        });
     }
     group.finish();
 }

@@ -1,0 +1,129 @@
+//! Overhead of the gtel hot path — the telemetry must be cheap enough
+//! to leave on in release builds (the ISSUE's ~100ns/op bar), since
+//! every scope tick, loop iteration, and network pump records into it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gtel::{monotonic_ns, HistogramStat, LatencyHistogram, Registry, TraceLog};
+
+/// Raw metric ops through cached handles — the shape all instrumented
+/// code uses (resolve once at construction, record with relaxed
+/// atomics).
+fn bench_metric_ops(c: &mut Criterion) {
+    let registry = Registry::shared();
+    let counter = registry.counter("bench.counter");
+    let gauge = registry.gauge("bench.gauge");
+    let histogram = registry.histogram("bench.histogram");
+
+    let mut group = c.benchmark_group("telemetry/ops");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| counter.inc());
+    });
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 1.0;
+            gauge.set(criterion::black_box(v));
+        });
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            histogram.record(criterion::black_box(v & 0xFFFF));
+        });
+    });
+    group.bench_function("monotonic_ns", |b| {
+        b.iter(|| criterion::black_box(monotonic_ns()));
+    });
+    group.finish();
+}
+
+/// Contended recording: the histogram is designed to take concurrent
+/// writers without locks; measure one thread's throughput while three
+/// others hammer the same handle.
+fn bench_contended_histogram(c: &mut Criterion) {
+    let histogram = Arc::new(LatencyHistogram::new());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for _ in 0..3 {
+        let h = Arc::clone(&histogram);
+        let s = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let mut v = 1u64;
+            while !s.load(std::sync::atomic::Ordering::Relaxed) {
+                v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                h.record(v & 0xFFFFF);
+            }
+        }));
+    }
+    let mut group = c.benchmark_group("telemetry/contended");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("histogram_record_4_threads", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            histogram.record(criterion::black_box(v & 0xFFFFF));
+        });
+    });
+    group.finish();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Read-side costs: snapshotting a populated registry and sampling a
+/// metric through the self-scoping `sampler` closure (what a FUNC
+/// signal pays per scope tick).
+fn bench_read_side(c: &mut Criterion) {
+    let registry = Registry::shared();
+    for i in 0..8 {
+        registry.counter(&format!("bench.read.c{i}")).add(i);
+        registry
+            .histogram(&format!("bench.read.h{i}"))
+            .record(1 << i);
+    }
+    let mut sampler = registry
+        .sampler("bench.read.h3", HistogramStat::P99)
+        .expect("registered");
+
+    let mut group = c.benchmark_group("telemetry/read");
+    group.bench_function("registry_snapshot_16_metrics", |b| {
+        b.iter(|| criterion::black_box(registry.snapshot()));
+    });
+    group.bench_function("sampler_poll", |b| {
+        b.iter(|| criterion::black_box(sampler()));
+    });
+    group.bench_function("histogram_snapshot", |b| {
+        let h = registry.histogram("bench.read.h3");
+        b.iter(|| criterion::black_box(h.snapshot()));
+    });
+    group.finish();
+}
+
+/// Trace-ring cost: bounded event log writes (mutex push + pop).
+fn bench_trace_log(c: &mut Criterion) {
+    let log = TraceLog::new(4096);
+    let mut group = c.benchmark_group("telemetry/trace");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("event", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 1.0;
+            log.event("bench.event", criterion::black_box(v));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metric_ops,
+    bench_contended_histogram,
+    bench_read_side,
+    bench_trace_log
+);
+criterion_main!(benches);

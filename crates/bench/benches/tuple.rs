@@ -57,12 +57,7 @@ fn bench_parse(c: &mut Criterion) {
     });
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("reader_1000_lines", |b| {
-        b.iter(|| {
-            TupleReader::new(bytes.as_slice())
-                .read_all()
-                .unwrap()
-                .len()
-        });
+        b.iter(|| TupleReader::new(bytes.as_slice()).read_all().unwrap().len());
     });
     group.finish();
 }

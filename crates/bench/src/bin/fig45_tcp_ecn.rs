@@ -142,13 +142,21 @@ fn main() {
     println!(
         "TCP hits CWND=1 several times: {} touches            {}",
         tcp.cwnd_one_touches,
-        if tcp.cwnd_one_touches >= 2 { "OK" } else { "DIFFERS" }
+        if tcp.cwnd_one_touches >= 2 {
+            "OK"
+        } else {
+            "DIFFERS"
+        }
     );
     println!(
         "every CWND=1 touch is a timeout: {} touches <= {} timeouts {}",
         tcp.cwnd_one_touches,
         tcp.timeouts,
-        if tcp.cwnd_one_touches <= tcp.timeouts { "OK" } else { "DIFFERS" }
+        if tcp.cwnd_one_touches <= tcp.timeouts {
+            "OK"
+        } else {
+            "DIFFERS"
+        }
     );
     println!(
         "ECN never hits CWND=1: floor {:.1}                    {}",
@@ -164,7 +172,11 @@ fn main() {
     let tcp_mean_after: f64 = tcp.rows[6..].iter().map(|r| r.2).sum::<f64>() / 6.0;
     println!(
         "doubling elephants shrinks the window: {tcp_mean_before:.1} -> {tcp_mean_after:.1}    {}",
-        if tcp_mean_after < tcp_mean_before { "OK" } else { "DIFFERS" }
+        if tcp_mean_after < tcp_mean_before {
+            "OK"
+        } else {
+            "DIFFERS"
+        }
     );
     assert!(tcp.cwnd_one_touches >= 2);
     assert!(ecn.min_cwnd > 1.0);

@@ -89,16 +89,21 @@ fn main() {
 
     println!("\n-- lost-timeout compensation under scheduling latency --");
     println!("(10 ms quantum; every 20th wake-up delivered 150 ms late)\n");
+    row(&["metric".into(), "value".into(), "".into(), "".into()]);
+    let latency: LatencyModel = Box::new(|n| if n % 20 == 19 { 150_000 } else { 0 });
+    let (ticks, missed, columns) = run_quantum(Quantizer::LINUX_HZ100, Some(latency));
     row(&[
-        "metric".into(),
-        "value".into(),
+        "dispatches".into(),
+        format!("{ticks}"),
         "".into(),
         "".into(),
     ]);
-    let latency: LatencyModel = Box::new(|n| if n % 20 == 19 { 150_000 } else { 0 });
-    let (ticks, missed, columns) = run_quantum(Quantizer::LINUX_HZ100, Some(latency));
-    row(&["dispatches".into(), format!("{ticks}"), "".into(), "".into()]);
-    row(&["lost ticks".into(), format!("{missed}"), "".into(), "".into()]);
+    row(&[
+        "lost ticks".into(),
+        format!("{missed}"),
+        "".into(),
+        "".into(),
+    ]);
     row(&[
         "display cols".into(),
         format!("{columns}"),
@@ -111,7 +116,11 @@ fn main() {
     println!(
         "10 ms quantum caps a 1 ms request at ~100 Hz: {} dispatch/s   {}",
         hz100_rate,
-        if (90..=101).contains(&hz100_rate) { "OK" } else { "DIFFERS" }
+        if (90..=101).contains(&hz100_rate) {
+            "OK"
+        } else {
+            "DIFFERS"
+        }
     );
     println!(
         "lost timeouts are counted under load: {missed} lost             {}",

@@ -139,7 +139,13 @@ fn main() {
     println!("spin-loop baseline: {spin_baseline} iterations in {MEASURE_SECS}s\n");
 
     println!("-- overhead vs polling granularity (4 signals) --");
-    row(&["period".into(), "signals".into(), "cpu %".into(), "spin %".into(), "us/tick".into()]);
+    row(&[
+        "period".into(),
+        "signals".into(),
+        "cpu %".into(),
+        "spin %".into(),
+        "us/tick".into(),
+    ]);
     let mut duty_by_period = Vec::new();
     for period_ms in [10u64, 20, 50, 100] {
         let s = measure(period_ms, 4, spin_baseline);
@@ -154,7 +160,13 @@ fn main() {
     }
 
     println!("\n-- overhead vs signal count (10 ms polling) --");
-    row(&["period".into(), "signals".into(), "cpu %".into(), "spin %".into(), "us/tick".into()]);
+    row(&[
+        "period".into(),
+        "signals".into(),
+        "cpu %".into(),
+        "spin %".into(),
+        "us/tick".into(),
+    ]);
     let mut duty_by_signals = Vec::new();
     for n in [1usize, 8, 16, 32, 64] {
         let s = measure(10, n, spin_baseline);

@@ -28,7 +28,9 @@ fn run(sack: bool, flows: usize, secs: u64) -> Outcome {
         queue: QueueKind::DropTail { capacity: 50 },
         ..NetConfig::default()
     });
-    let ids: Vec<usize> = (0..flows).map(|_| net.add_tcp_flow_with(false, sack)).collect();
+    let ids: Vec<usize> = (0..flows)
+        .map(|_| net.add_tcp_flow_with(false, sack))
+        .collect();
     for (i, &f) in ids.iter().enumerate() {
         net.start_flow_at(f, TimeStamp::from_millis(50 * i as u64));
     }

@@ -14,7 +14,12 @@ pub fn scope_with_int_signals(
     period: TimeDelta,
 ) -> (Scope, Vec<IntVar>, VirtualClock) {
     let clock = VirtualClock::new();
-    let mut scope = Scope::new("bench", width, 100, Arc::new(clock.clone()) as Arc<dyn Clock>);
+    let mut scope = Scope::new(
+        "bench",
+        width,
+        100,
+        Arc::new(clock.clone()) as Arc<dyn Clock>,
+    );
     let vars: Vec<IntVar> = (0..n)
         .map(|i| {
             let v = IntVar::new(i as i64);

@@ -542,10 +542,7 @@ pub unsafe extern "C" fn gscope_set_bias(handle: *mut GscopeHandle, bias: f64) -
 ///
 /// `handle` live; `path` a valid NUL-terminated string.
 #[no_mangle]
-pub unsafe extern "C" fn gscope_dump_tuples(
-    handle: *mut GscopeHandle,
-    path: *const c_char,
-) -> i32 {
+pub unsafe extern "C" fn gscope_dump_tuples(handle: *mut GscopeHandle, path: *const c_char) -> i32 {
     // SAFETY: forwarded caller contract.
     let h = match unsafe { deref(handle) } {
         Ok(h) => h,
@@ -638,7 +635,10 @@ mod tests {
         unsafe {
             let h = gscope_new(c("capi").as_ptr(), 64, 48, 1);
             assert!(!h.is_null());
-            assert_eq!(gscope_add_signal(h, c("temp").as_ptr(), 0.0, 100.0), GSCOPE_OK);
+            assert_eq!(
+                gscope_add_signal(h, c("temp").as_ptr(), 0.0, 100.0),
+                GSCOPE_OK
+            );
             assert_eq!(gscope_set_period_ms(h, 50), GSCOPE_OK);
             for i in 1..=20u64 {
                 assert_eq!(gscope_set_value(h, c("temp").as_ptr(), i as f64), GSCOPE_OK);

@@ -181,10 +181,7 @@ mod tests {
 
     fn buffer_at(delay_ms: u64) -> (ScopeBuffer, VirtualClock) {
         let clock = VirtualClock::new();
-        let buf = ScopeBuffer::new(
-            Arc::new(clock.clone()),
-            TimeDelta::from_millis(delay_ms),
-        );
+        let buf = ScopeBuffer::new(Arc::new(clock.clone()), TimeDelta::from_millis(delay_ms));
         (buf, clock)
     }
 

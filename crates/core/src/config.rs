@@ -247,7 +247,10 @@ mod tests {
     fn validation_rejects_bad_values() {
         assert!(SigConfig::default().with_filter(1.5).validate().is_err());
         assert!(SigConfig::default().with_filter(-0.1).validate().is_err());
-        assert!(SigConfig::default().with_range(5.0, 5.0).validate().is_err());
+        assert!(SigConfig::default()
+            .with_range(5.0, 5.0)
+            .validate()
+            .is_err());
         assert!(SigConfig::default()
             .with_range(10.0, -10.0)
             .validate()

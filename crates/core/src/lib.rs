@@ -28,6 +28,9 @@
 //!   features, implemented.
 //! * [`attach_scope`] — wire a scope to a `gel` main loop, the
 //!   `gtk_timeout`-driven polling of the original.
+//! * [`metric_signal`] / [`StatsExport`] — self-scoping: expose the
+//!   stack's own `gtel` telemetry (tick jitter, buffer depth, poll
+//!   latency) as signals a second scope can visualize live.
 //!
 //! # Example: the paper's Figure 6 program
 //!
@@ -72,6 +75,7 @@ mod param;
 mod scope;
 mod signal;
 mod source;
+mod telemetry;
 mod trigger;
 mod tuple;
 mod value;
@@ -87,6 +91,7 @@ pub use scope::{
 };
 pub use signal::{EventSink, Signal};
 pub use source::SigSource;
+pub use telemetry::{metric_signal, ScopeTelemetry, StatsExport};
 pub use trigger::{Envelope, Trigger, TriggerEdge, TriggerMode};
 pub use tuple::{Tuple, TupleReader, TupleWriter};
 pub use value::{BoolVar, FloatVar, IntVar, ShortVar};

@@ -379,7 +379,9 @@ mod tests {
     #[test]
     fn set_f64_coerces() {
         let iv = IntVar::new(0);
-        Parameter::int("i", iv.clone(), 0, 100).set_f64(41.7).unwrap();
+        Parameter::int("i", iv.clone(), 0, 100)
+            .set_f64(41.7)
+            .unwrap();
         assert_eq!(iv.get(), 42);
         let bv = BoolVar::new(false);
         Parameter::bool("b", bv.clone()).set_f64(0.9).unwrap();
@@ -391,9 +393,12 @@ mod tests {
         let set = ParamSet::new();
         set.add(Parameter::int("elephants", IntVar::new(8), 0, 40))
             .unwrap();
-        set.add(Parameter::bool("ecn", BoolVar::new(false))).unwrap();
+        set.add(Parameter::bool("ecn", BoolVar::new(false)))
+            .unwrap();
         assert_eq!(set.len(), 2);
-        assert!(set.add(Parameter::int("elephants", IntVar::new(0), 0, 1)).is_err());
+        assert!(set
+            .add(Parameter::int("elephants", IntVar::new(0), 0, 1))
+            .is_err());
         assert_eq!(set.get("elephants").unwrap(), ParamValue::Int(8));
         set.set("elephants", ParamValue::Int(16)).unwrap();
         assert_eq!(set.get("elephants").unwrap(), ParamValue::Int(16));
@@ -426,10 +431,8 @@ mod tests {
         let set = ParamSet::new();
         set.add(Parameter::int("elephants", IntVar::new(8), 0, 40))
             .unwrap();
-        set.add(
-            Parameter::float("alpha", FloatVar::new(0.5), 0.0, 1.0).with_step(0.05),
-        )
-        .unwrap();
+        set.add(Parameter::float("alpha", FloatVar::new(0.5), 0.0, 1.0).with_step(0.05))
+            .unwrap();
         let rows = set.snapshot();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, "elephants");

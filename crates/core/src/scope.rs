@@ -22,6 +22,7 @@ use crate::config::SigConfig;
 use crate::error::{Result, ScopeError};
 use crate::signal::{EventSink, Signal};
 use crate::source::SigSource;
+use crate::telemetry::ScopeTelemetry;
 use crate::trigger::{Envelope, Trigger};
 use crate::tuple::{Tuple, TupleWriter};
 
@@ -71,6 +72,28 @@ pub struct ScopeStats {
     pub missed_ticks: u64,
     /// Tuples written by the recorder.
     pub recorded_tuples: u64,
+    /// Buffered samples rejected because they arrived after their
+    /// display deadline (from the scope-wide [`ScopeBuffer`]).
+    pub late_drops: u64,
+    /// True if a recording was stopped by a write error (see
+    /// [`Scope::recording_error`]).
+    pub recording_failed: bool,
+}
+
+impl crate::telemetry::StatsExport for ScopeStats {
+    fn to_tuples(&self, now: TimeStamp) -> Vec<Tuple> {
+        vec![
+            Tuple::new(now, self.ticks as f64, "scope.ticks"),
+            Tuple::new(now, self.missed_ticks as f64, "scope.missed_ticks"),
+            Tuple::new(now, self.recorded_tuples as f64, "scope.recorded_tuples"),
+            Tuple::new(now, self.late_drops as f64, "scope.late_drops"),
+            Tuple::new(
+                now,
+                if self.recording_failed { 1.0 } else { 0.0 },
+                "scope.recording_failed",
+            ),
+        ]
+    }
 }
 
 type RecordSink = TupleWriter<Box<dyn Write + Send>>;
@@ -94,6 +117,7 @@ pub struct Scope {
     trigger: Option<(String, Trigger)>,
     envelopes: HashMap<String, Envelope>,
     stats: ScopeStats,
+    telemetry: ScopeTelemetry,
 }
 
 impl Scope {
@@ -105,7 +129,12 @@ impl Scope {
     /// # Panics
     ///
     /// Panics if `width` is zero.
-    pub fn new(name: impl Into<String>, width: usize, height: usize, clock: Arc<dyn Clock>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        width: usize,
+        height: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         assert!(width > 0, "scope width must be non-zero");
         let buffer = ScopeBuffer::new(Arc::clone(&clock), TimeDelta::from_millis(500));
         Scope {
@@ -125,6 +154,7 @@ impl Scope {
             trigger: None,
             envelopes: HashMap::new(),
             stats: ScopeStats::default(),
+            telemetry: ScopeTelemetry::default(),
         }
     }
 
@@ -178,9 +208,25 @@ impl Scope {
         &self.clock
     }
 
-    /// Returns activity counters.
+    /// Returns activity counters, folding in the buffer's late-drop
+    /// count and the recording-failure flag.
     pub fn stats(&self) -> ScopeStats {
-        self.stats
+        let mut s = self.stats;
+        s.late_drops = self.buffer.late_drops();
+        s.recording_failed = self.recording_error.is_some();
+        s
+    }
+
+    /// Returns the scope's telemetry handles (and, through them, the
+    /// registry its `scope.*` metrics live in).
+    pub fn telemetry(&self) -> &ScopeTelemetry {
+        &self.telemetry
+    }
+
+    /// Re-homes the scope's metrics in `registry` — call before first
+    /// use so every component of a process shares one registry.
+    pub fn set_telemetry(&mut self, registry: Arc<gtel::Registry>) {
+        self.telemetry = ScopeTelemetry::new(registry);
     }
 
     // ----- signal management (§3.1) -----
@@ -538,9 +584,12 @@ impl Scope {
     }
 
     fn poll_tick(&mut self, info: &TickInfo) {
+        let poll_started = std::time::Instant::now();
         self.stats.ticks += 1;
         self.stats.missed_ticks += info.missed;
+        self.telemetry.ticks.inc();
         if info.missed > 0 {
+            self.telemetry.ticks_missed.add(info.missed);
             for sig in &mut self.signals {
                 sig.advance_held(info.missed);
             }
@@ -557,10 +606,19 @@ impl Scope {
         let period = self.period;
         for sig in &mut self.signals {
             let buffered = routed.get(sig.name()).map(|v| v.as_slice()).unwrap_or(&[]);
+            let sig_started = std::time::Instant::now();
             sig.tick(period, buffered);
+            self.telemetry
+                .signal_poll_ns(sig.name())
+                .record_duration(sig_started.elapsed());
         }
+        self.telemetry.buffer_depth.set_count(self.buffer.len());
+        self.telemetry.sync_late_drops(self.buffer.late_drops());
         self.record_tick(info.now);
         self.update_envelopes();
+        self.telemetry
+            .poll_ns
+            .record_duration(poll_started.elapsed());
     }
 
     fn playback_tick(&mut self, info: &TickInfo) {
@@ -575,6 +633,10 @@ impl Scope {
         };
         self.stats.ticks += 1;
         self.stats.missed_ticks += info.missed;
+        self.telemetry.ticks.inc();
+        if info.missed > 0 {
+            self.telemetry.ticks_missed.add(info.missed);
+        }
         // Advance playback time by (1 + missed) periods, consuming
         // tuples that became due: one pixel per period (§3.1/§3.3).
         let steps = 1 + info.missed;
@@ -616,6 +678,8 @@ impl Scope {
         let Some(rec) = self.recorder.as_mut() else {
             return;
         };
+        let write_started = std::time::Instant::now();
+        let bytes_before = rec.bytes_written();
         let mut failed = None;
         for sig in &self.signals {
             if let Some(Some(v)) = sig.history().latest() {
@@ -627,9 +691,17 @@ impl Scope {
                 self.stats.recorded_tuples += 1;
             }
         }
+        let bytes_after = rec.bytes_written();
+        self.telemetry
+            .record_write_ns
+            .record_duration(write_started.elapsed());
+        self.telemetry
+            .record_bytes
+            .add(bytes_after.saturating_sub(bytes_before));
         if let Some(msg) = failed {
             self.recorder = None;
             self.recording_error = Some(msg);
+            self.telemetry.record_errors.inc();
         }
     }
 
@@ -1059,7 +1131,7 @@ mod tests {
         scope.set_zoom(2.0).unwrap();
         scope.set_bias(-0.5).unwrap();
         let cfg = SigConfig::default(); // range 0..100
-        // v=50 → norm 0.5 → 2*0.5 - 0.5 = 0.5.
+                                        // v=50 → norm 0.5 → 2*0.5 - 0.5 = 0.5.
         assert_eq!(scope.display_fraction(&cfg, 50.0), 0.5);
         // v=100 → 2*1 - 0.5 = 1.5 → clamped 1.0.
         assert_eq!(scope.display_fraction(&cfg, 100.0), 1.0);
@@ -1074,9 +1146,7 @@ mod tests {
             v.set(x);
             scope.tick(&tick_at(50 * (i as u64 + 1)));
         }
-        scope
-            .set_trigger("v", Trigger::rising(3.0))
-            .unwrap();
+        scope.set_trigger("v", Trigger::rising(3.0)).unwrap();
         let w = scope.display_window("v");
         // Window ends at the most recent rising crossing of 3 (the
         // second "3", two columns before the end).
@@ -1104,10 +1174,7 @@ mod tests {
     #[test]
     fn attach_scope_drives_ticks_and_period_change() {
         let clock = VirtualClock::new();
-        let mut ml = MainLoop::with_quantizer(
-            Arc::new(clock.clone()),
-            Quantizer::exact(),
-        );
+        let mut ml = MainLoop::with_quantizer(Arc::new(clock.clone()), Quantizer::exact());
         let scope = {
             let mut s = Scope::new("att", 32, 100, Arc::new(clock.clone()));
             let v = IntVar::new(1);
@@ -1123,7 +1190,10 @@ mod tests {
         scope.lock().set_period(TimeDelta::from_millis(10)).unwrap();
         ml.run_until(TimeStamp::from_millis(500));
         let ticks = scope.lock().stats().ticks;
-        assert!(ticks > 20, "faster period should add many ticks, got {ticks}");
+        assert!(
+            ticks > 20,
+            "faster period should add many ticks, got {ticks}"
+        );
     }
 
     #[test]
@@ -1253,8 +1323,6 @@ mod tests {
         assert!(scope.value_readout("zz").is_err());
         assert!(scope.spectrum("v", 64, SpectrumConfig::default()).is_ok());
         assert!(scope.spectrum("v", 63, SpectrumConfig::default()).is_err());
-        assert!(scope
-            .spectrum("zz", 64, SpectrumConfig::default())
-            .is_err());
+        assert!(scope.spectrum("zz", 64, SpectrumConfig::default()).is_err());
     }
 }

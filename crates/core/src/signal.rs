@@ -73,7 +73,9 @@ impl Signal {
         width: usize,
     ) -> Result<Self> {
         config.validate()?;
-        let color = config.color.unwrap_or_else(|| Color::palette(palette_index));
+        let color = config
+            .color
+            .unwrap_or_else(|| Color::palette(palette_index));
         let filter = LowPass::new(config.filter_alpha).expect("alpha validated");
         let acc = Arc::new(Mutex::new(EventAccumulator::new(config.aggregation)));
         Ok(Signal {
@@ -293,10 +295,7 @@ mod tests {
     #[test]
     fn filter_applies_to_display_not_readout() {
         let v = IntVar::new(0);
-        let mut s = sig(
-            v.clone().into(),
-            SigConfig::default().with_filter(0.5),
-        );
+        let mut s = sig(v.clone().into(), SigConfig::default().with_filter(0.5));
         s.tick(P, &[]);
         v.set(10);
         s.tick(P, &[]);
@@ -403,14 +402,7 @@ mod tests {
 
     #[test]
     fn palette_assignment_when_no_color() {
-        let s = Signal::new(
-            "a",
-            IntVar::new(0).into(),
-            SigConfig::default(),
-            2,
-            8,
-        )
-        .unwrap();
+        let s = Signal::new("a", IntVar::new(0).into(), SigConfig::default(), 2, 8).unwrap();
         assert_eq!(s.color(), Color::palette(2));
     }
 }

@@ -1,0 +1,197 @@
+//! Scope-side telemetry: cached gtel handles, the stats → tuple
+//! export trait, and the self-scoping adapter.
+//!
+//! **Self-scoping** is the observability counterpart of the paper's
+//! §4.5 microbenchmarks: instead of measuring gscope's overhead
+//! offline, [`metric_signal`] exposes any registry metric as a
+//! [`SigSource::func`] signal, so a second scope can plot the first
+//! scope's tick jitter, buffer depth, or poll latency *live*, with the
+//! same machinery it uses for application signals.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gel::{LoopStats, TimeStamp};
+use gtel::{Counter, Gauge, HistogramStat, LatencyHistogram, Registry};
+
+use crate::source::SigSource;
+use crate::tuple::Tuple;
+
+/// Exposes registry metric `name` as a polled `FUNC` signal source.
+///
+/// Counters read as their running total, gauges as their value, and
+/// histograms through `stat` (e.g. [`HistogramStat::P99`] of
+/// `gel.tick.jitter_ns` to watch the event loop's own jitter).
+/// Returns `None` if `name` is not registered yet.
+pub fn metric_signal(registry: &Registry, name: &str, stat: HistogramStat) -> Option<SigSource> {
+    registry.sampler(name, stat).map(SigSource::func)
+}
+
+/// Common export shape for the stack's stats structs: render the
+/// counters as §3.3 tuples stamped `now`, ready for recording,
+/// streaming, or replay into a scope.
+pub trait StatsExport {
+    /// One tuple per counter, named `<prefix>.<field>`.
+    fn to_tuples(&self, now: TimeStamp) -> Vec<Tuple>;
+}
+
+impl StatsExport for LoopStats {
+    fn to_tuples(&self, now: TimeStamp) -> Vec<Tuple> {
+        vec![
+            Tuple::new(now, self.iterations as f64, "loop.iterations"),
+            Tuple::new(
+                now,
+                self.timeouts_dispatched as f64,
+                "loop.timeouts_dispatched",
+            ),
+            Tuple::new(now, self.ticks_missed as f64, "loop.ticks_missed"),
+            Tuple::new(now, self.io_dispatches as f64, "loop.io_dispatches"),
+            Tuple::new(now, self.io_idle_polls as f64, "loop.io_idle_polls"),
+            Tuple::new(now, self.idle_runs as f64, "loop.idle_runs"),
+            Tuple::new(now, self.invokes as f64, "loop.invokes"),
+        ]
+    }
+}
+
+/// Cached metric handles for one [`Scope`](crate::scope::Scope).
+#[derive(Debug)]
+pub struct ScopeTelemetry {
+    registry: Arc<Registry>,
+    /// `scope.ticks` — polling/playback ticks processed.
+    pub ticks: Arc<Counter>,
+    /// `scope.ticks.missed` — whole periods lost to scheduling.
+    pub ticks_missed: Arc<Counter>,
+    /// `scope.tick.poll_ns` — wall time of one full poll tick.
+    pub poll_ns: Arc<LatencyHistogram>,
+    /// `scope.buffer.depth` — buffered samples awaiting drain.
+    pub buffer_depth: Arc<Gauge>,
+    /// `scope.buffer.late_drops` — samples rejected as too old.
+    pub late_drops: Arc<Counter>,
+    /// `scope.record.write_ns` — recorder write latency per tick.
+    pub record_write_ns: Arc<LatencyHistogram>,
+    /// `scope.record.bytes` — bytes emitted by the recorder.
+    pub record_bytes: Arc<Counter>,
+    /// `scope.record.errors` — recordings stopped by write errors.
+    pub record_errors: Arc<Counter>,
+    /// Per-signal poll-duration histograms, resolved on first use as
+    /// `scope.signal.<name>.poll_ns`.
+    signal_poll: HashMap<String, Arc<LatencyHistogram>>,
+    /// Late-drop total already folded into the counter.
+    late_drops_seen: u64,
+}
+
+impl ScopeTelemetry {
+    /// Resolves handles in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        ScopeTelemetry {
+            ticks: registry.counter("scope.ticks"),
+            ticks_missed: registry.counter("scope.ticks.missed"),
+            poll_ns: registry.histogram("scope.tick.poll_ns"),
+            buffer_depth: registry.gauge("scope.buffer.depth"),
+            late_drops: registry.counter("scope.buffer.late_drops"),
+            record_write_ns: registry.histogram("scope.record.write_ns"),
+            record_bytes: registry.counter("scope.record.bytes"),
+            record_errors: registry.counter("scope.record.errors"),
+            signal_poll: HashMap::new(),
+            late_drops_seen: 0,
+            registry,
+        }
+    }
+
+    /// The registry the handles live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The poll-duration histogram for signal `name`, resolving (and
+    /// caching) the handle on first use.
+    pub fn signal_poll_ns(&mut self, name: &str) -> &Arc<LatencyHistogram> {
+        if !self.signal_poll.contains_key(name) {
+            let h = self
+                .registry
+                .histogram(&format!("scope.signal.{name}.poll_ns"));
+            self.signal_poll.insert(name.to_owned(), h);
+        }
+        &self.signal_poll[name]
+    }
+
+    /// Folds the buffer's cumulative late-drop count into the
+    /// `scope.buffer.late_drops` counter (the buffer counts since
+    /// creation; the counter must only advance by the delta).
+    pub fn sync_late_drops(&mut self, buffer_total: u64) {
+        let delta = buffer_total.saturating_sub(self.late_drops_seen);
+        if delta > 0 {
+            self.late_drops.add(delta);
+            self.late_drops_seen = buffer_total;
+        }
+    }
+}
+
+impl Default for ScopeTelemetry {
+    fn default() -> Self {
+        ScopeTelemetry::new(Registry::shared())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_stats_export_shape() {
+        let stats = LoopStats {
+            iterations: 10,
+            timeouts_dispatched: 6,
+            ticks_missed: 2,
+            io_dispatches: 1,
+            io_idle_polls: 3,
+            idle_runs: 0,
+            invokes: 4,
+        };
+        let now = TimeStamp::from_millis(500);
+        let tuples = stats.to_tuples(now);
+        assert_eq!(tuples.len(), 7);
+        assert!(tuples.iter().all(|t| t.time == now));
+        let missed = tuples
+            .iter()
+            .find(|t| t.name.as_deref() == Some("loop.ticks_missed"))
+            .expect("field exported");
+        assert_eq!(missed.value, 2.0);
+    }
+
+    #[test]
+    fn metric_signal_samples_registry() {
+        let reg = Registry::new();
+        let g = reg.gauge("scope.buffer.depth");
+        g.set(12.0);
+        let mut src =
+            metric_signal(&reg, "scope.buffer.depth", HistogramStat::Mean).expect("registered");
+        assert_eq!(src.type_name(), "FUNC");
+        assert_eq!(src.sample(), Some(12.0));
+        g.set(3.0);
+        assert_eq!(src.sample(), Some(3.0));
+        assert!(metric_signal(&reg, "absent", HistogramStat::Mean).is_none());
+    }
+
+    #[test]
+    fn late_drop_sync_is_delta_based() {
+        let mut tel = ScopeTelemetry::default();
+        tel.sync_late_drops(3);
+        tel.sync_late_drops(3);
+        tel.sync_late_drops(7);
+        assert_eq!(tel.late_drops.get(), 7);
+    }
+
+    #[test]
+    fn signal_histograms_are_cached_per_name() {
+        let mut tel = ScopeTelemetry::default();
+        tel.signal_poll_ns("cwnd").record(10);
+        tel.signal_poll_ns("cwnd").record(20);
+        tel.signal_poll_ns("rtt").record(30);
+        assert_eq!(tel.signal_poll_ns("cwnd").count(), 2);
+        assert_eq!(
+            tel.registry().histogram("scope.signal.rtt.poll_ns").count(),
+            1
+        );
+    }
+}

@@ -201,6 +201,7 @@ impl<R: BufRead> TupleReader<R> {
 pub struct TupleWriter<W> {
     output: W,
     last_time: Option<TimeStamp>,
+    bytes_written: u64,
 }
 
 impl<W: Write> TupleWriter<W> {
@@ -209,7 +210,14 @@ impl<W: Write> TupleWriter<W> {
         TupleWriter {
             output,
             last_time: None,
+            bytes_written: 0,
         }
+    }
+
+    /// Total bytes emitted by [`TupleWriter::write_tuple`] so far
+    /// (including newlines).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
     }
 
     /// Writes one tuple as a line.
@@ -229,7 +237,10 @@ impl<W: Write> TupleWriter<W> {
             }
         }
         self.last_time = Some(t.time);
-        writeln!(self.output, "{}", t.to_line())?;
+        let mut line = t.to_line();
+        line.push('\n');
+        self.output.write_all(line.as_bytes())?;
+        self.bytes_written += line.len() as u64;
         Ok(())
     }
 
@@ -282,10 +293,7 @@ mod tests {
             "nan 1 n",
             "100 inf n",
         ] {
-            assert!(
-                Tuple::parse_line(bad, 3).is_err(),
-                "should reject {bad:?}"
-            );
+            assert!(Tuple::parse_line(bad, 3).is_err(), "should reject {bad:?}");
         }
     }
 
@@ -339,7 +347,9 @@ mod tests {
         for t in &tuples {
             w.write_tuple(t).unwrap();
         }
+        let counted = w.bytes_written();
         let bytes = w.into_inner();
+        assert_eq!(counted, bytes.len() as u64);
         let mut r = TupleReader::new(bytes.as_slice());
         assert_eq!(r.read_all().unwrap(), tuples);
     }
@@ -357,11 +367,7 @@ mod tests {
 
     #[test]
     fn sub_millisecond_precision_survives() {
-        let t = Tuple::new(
-            TimeStamp::from_micros(1_234_567),
-            9.75,
-            "fine",
-        );
+        let t = Tuple::new(TimeStamp::from_micros(1_234_567), 9.75, "fine");
         let parsed = Tuple::parse_line(&t.to_line(), 1).unwrap();
         assert_eq!(parsed.time, t.time);
     }

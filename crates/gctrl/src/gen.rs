@@ -114,7 +114,10 @@ impl Chirp {
     ///
     /// Panics if frequencies or duration are not positive.
     pub fn new(f0: f64, f1: f64, duration: f64, amplitude: f64) -> Self {
-        assert!(f0 > 0.0 && f1 > 0.0 && duration > 0.0, "chirp parameters must be positive");
+        assert!(
+            f0 > 0.0 && f1 > 0.0 && duration > 0.0,
+            "chirp parameters must be positive"
+        );
         Chirp {
             f0,
             f1,

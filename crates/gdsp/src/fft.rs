@@ -148,7 +148,10 @@ mod tests {
         assert_eq!(fft(&mut []), Err(FftError::Empty));
         let mut three = [Complex::ZERO; 3];
         assert_eq!(fft(&mut three), Err(FftError::NotPowerOfTwo(3)));
-        assert_eq!(fft_real(&[0.0; 12]).unwrap_err(), FftError::NotPowerOfTwo(12));
+        assert_eq!(
+            fft_real(&[0.0; 12]).unwrap_err(),
+            FftError::NotPowerOfTwo(12)
+        );
     }
 
     #[test]

@@ -117,7 +117,11 @@ mod tests {
         .unwrap();
         let peak = peak_bin(&bins).unwrap();
         assert!((peak.frequency - 16.0 / 256.0).abs() < 1e-12);
-        assert!((peak.magnitude - 1.0).abs() < 1e-9, "amp {}", peak.magnitude);
+        assert!(
+            (peak.magnitude - 1.0).abs() < 1e-9,
+            "amp {}",
+            peak.magnitude
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::clock::{Clock, WakeFlag};
 use crate::quantizer::Quantizer;
+use crate::telemetry::LoopTelemetry;
 use crate::time::{TimeDelta, TimeStamp};
 
 /// Whether a source stays installed after its callback runs.
@@ -202,6 +203,8 @@ pub struct MainLoop {
     invoke_rx: Receiver<InvokeFn>,
     quit: Arc<AtomicBool>,
     stats: LoopStats,
+    telemetry: LoopTelemetry,
+    last_lateness_ns: u64,
 }
 
 impl MainLoop {
@@ -225,6 +228,8 @@ impl MainLoop {
             invoke_rx,
             quit: Arc::new(AtomicBool::new(false)),
             stats: LoopStats::default(),
+            telemetry: LoopTelemetry::default(),
+            last_lateness_ns: 0,
         }
     }
 
@@ -246,6 +251,18 @@ impl MainLoop {
     /// Returns accumulated loop statistics.
     pub fn stats(&self) -> LoopStats {
         self.stats
+    }
+
+    /// Returns the loop's telemetry handles (and, through them, the
+    /// registry its `gel.*` metrics live in).
+    pub fn telemetry(&self) -> &LoopTelemetry {
+        &self.telemetry
+    }
+
+    /// Re-homes the loop's metrics in `registry` — call before first
+    /// use so every component of a process shares one registry.
+    pub fn set_telemetry(&mut self, registry: Arc<gtel::Registry>) {
+        self.telemetry = LoopTelemetry::new(registry);
     }
 
     /// Returns a cloneable cross-thread handle.
@@ -387,6 +404,7 @@ impl MainLoop {
             };
             any = true;
             self.stats.invokes += 1;
+            self.telemetry.invokes.inc();
             f(self);
         }
         any
@@ -473,6 +491,9 @@ impl MainLoop {
             };
             self.stats.timeouts_dispatched += 1;
             self.stats.ticks_missed += missed;
+            self.last_lateness_ns =
+                self.telemetry
+                    .record_tick(lateness, missed, self.last_lateness_ns);
             any = true;
             let decision = cb(&tick);
             let new_next = next + period.saturating_mul(missed + 1);
@@ -588,7 +609,9 @@ impl MainLoop {
     /// else ran, then (if `block` and nothing ran) sleeps until the next
     /// quantized deadline or a wake-up.
     pub fn iteration(&mut self, block: bool) -> Iteration {
+        let dispatch_started = std::time::Instant::now();
         self.stats.iterations += 1;
+        self.telemetry.iterations.inc();
         let mut dispatched = self.drain_invokes();
         let now = self.clock.now();
         dispatched |= self.dispatch_timeouts(now);
@@ -596,6 +619,11 @@ impl MainLoop {
         if !dispatched && self.run_idles() {
             dispatched = true;
         }
+        // Timed before any sleep: this is dispatch cost, not wait time.
+        self.telemetry
+            .iteration_ns
+            .record_duration(dispatch_started.elapsed());
+        self.telemetry.sources.set_count(self.source_count());
         if dispatched {
             return Iteration::Dispatched;
         }
@@ -603,7 +631,9 @@ impl MainLoop {
             return Iteration::Slept;
         }
         let now = self.clock.now();
-        let timeout_deadline = self.next_timeout_deadline().map(|d| self.quantizer.round_up(d));
+        let timeout_deadline = self
+            .next_timeout_deadline()
+            .map(|d| self.quantizer.round_up(d));
         // I/O watches are readiness-polled: bound the sleep to one
         // quantum so data is noticed at select()-like granularity.
         let io_deadline = if self.has_io_watches() {
@@ -630,7 +660,8 @@ impl MainLoop {
                     return Iteration::Stalled;
                 } else {
                     // Nothing to wait for except cross-thread wake-ups.
-                    self.wake.wait_timeout(std::time::Duration::from_millis(100));
+                    self.wake
+                        .wait_timeout(std::time::Duration::from_millis(100));
                     return Iteration::Slept;
                 }
             }
@@ -745,8 +776,7 @@ mod tests {
     #[test]
     fn quantizer_rounds_dispatch_times() {
         let clock = VirtualClock::new();
-        let mut ml =
-            MainLoop::with_quantizer(Arc::new(clock.clone()), Quantizer::LINUX_HZ100);
+        let mut ml = MainLoop::with_quantizer(Arc::new(clock.clone()), Quantizer::LINUX_HZ100);
         let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let t2 = Arc::clone(&times);
         // A 15 ms period under a 10 ms quantum: wake-ups land on 20, 40,
@@ -991,7 +1021,8 @@ mod tests {
     #[test]
     fn run_until_with_real_clock() {
         let clock = Arc::new(crate::clock::SystemClock::new());
-        let mut ml = MainLoop::with_quantizer(clock.clone(), Quantizer::new(TimeDelta::from_millis(1)));
+        let mut ml =
+            MainLoop::with_quantizer(clock.clone(), Quantizer::new(TimeDelta::from_millis(1)));
         let count = Arc::new(AtomicU64::new(0));
         let c = Arc::clone(&count);
         ml.add_timeout(

@@ -37,6 +37,7 @@
 mod clock;
 mod context;
 mod quantizer;
+mod telemetry;
 mod time;
 
 pub use clock::{Clock, LatencyModel, SystemClock, VirtualClock, WakeFlag};
@@ -45,4 +46,5 @@ pub use context::{
     Priority, SourceId, TickInfo, TimeoutFn,
 };
 pub use quantizer::Quantizer;
+pub use telemetry::LoopTelemetry;
 pub use time::{TimeDelta, TimeStamp};

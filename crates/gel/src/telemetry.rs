@@ -1,0 +1,105 @@
+//! The event loop's gtel instrumentation.
+//!
+//! [`LoopTelemetry`] resolves its metric handles once against a
+//! [`gtel::Registry`], so per-iteration recording is a few relaxed
+//! atomics — the loop's own timing is not perturbed by measuring it.
+
+use std::sync::Arc;
+
+use gtel::{Counter, Gauge, LatencyHistogram, Registry};
+
+use crate::time::TimeDelta;
+
+/// Cached metric handles for one [`MainLoop`](crate::context::MainLoop).
+#[derive(Debug, Clone)]
+pub struct LoopTelemetry {
+    registry: Arc<Registry>,
+    /// `gel.loop.iterations` — loop iterations executed.
+    pub iterations: Arc<Counter>,
+    /// `gel.loop.iteration_ns` — wall time of the dispatch phase.
+    pub iteration_ns: Arc<LatencyHistogram>,
+    /// `gel.loop.sources` — installed sources after each iteration.
+    pub sources: Arc<Gauge>,
+    /// `gel.loop.invokes` — cross-thread invokes executed.
+    pub invokes: Arc<Counter>,
+    /// `gel.tick.dispatched` — timeout callbacks dispatched.
+    pub ticks_dispatched: Arc<Counter>,
+    /// `gel.tick.missed` — whole periods lost across dispatches.
+    pub ticks_missed: Arc<Counter>,
+    /// `gel.tick.lateness_ns` — scheduled-deadline → dispatch delay.
+    pub tick_lateness_ns: Arc<LatencyHistogram>,
+    /// `gel.tick.jitter_ns` — |lateness − previous lateness|.
+    pub tick_jitter_ns: Arc<LatencyHistogram>,
+}
+
+impl LoopTelemetry {
+    /// Resolves handles in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        LoopTelemetry {
+            iterations: registry.counter("gel.loop.iterations"),
+            iteration_ns: registry.histogram("gel.loop.iteration_ns"),
+            sources: registry.gauge("gel.loop.sources"),
+            invokes: registry.counter("gel.loop.invokes"),
+            ticks_dispatched: registry.counter("gel.tick.dispatched"),
+            ticks_missed: registry.counter("gel.tick.missed"),
+            tick_lateness_ns: registry.histogram("gel.tick.lateness_ns"),
+            tick_jitter_ns: registry.histogram("gel.tick.jitter_ns"),
+            registry,
+        }
+    }
+
+    /// The registry the handles live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Records one timeout dispatch given its lateness and lost-period
+    /// count; returns the lateness in nanoseconds for jitter tracking.
+    pub fn record_tick(&self, lateness: TimeDelta, missed: u64, prev_lateness_ns: u64) -> u64 {
+        let lateness_ns = lateness.as_micros().saturating_mul(1_000);
+        self.ticks_dispatched.inc();
+        if missed > 0 {
+            self.ticks_missed.add(missed);
+        }
+        self.tick_lateness_ns.record(lateness_ns);
+        self.tick_jitter_ns
+            .record(lateness_ns.abs_diff(prev_lateness_ns));
+        lateness_ns
+    }
+}
+
+impl Default for LoopTelemetry {
+    fn default() -> Self {
+        LoopTelemetry::new(Registry::shared())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tick_updates_all_series() {
+        let tel = LoopTelemetry::default();
+        let prev = tel.record_tick(TimeDelta::from_millis(2), 0, 0);
+        assert_eq!(prev, 2_000_000);
+        let prev = tel.record_tick(TimeDelta::from_millis(5), 3, prev);
+        assert_eq!(prev, 5_000_000);
+        assert_eq!(tel.ticks_dispatched.get(), 2);
+        assert_eq!(tel.ticks_missed.get(), 3);
+        assert_eq!(tel.tick_lateness_ns.snapshot().max, 5_000_000);
+        // Jitter saw |2ms - 0| then |5ms - 2ms|.
+        assert_eq!(tel.tick_jitter_ns.snapshot().max, 3_000_000);
+        assert_eq!(tel.tick_jitter_ns.count(), 2);
+    }
+
+    #[test]
+    fn shared_registry_reuses_handles() {
+        let reg = Registry::shared();
+        let a = LoopTelemetry::new(Arc::clone(&reg));
+        let b = LoopTelemetry::new(Arc::clone(&reg));
+        a.iterations.inc();
+        b.iterations.inc();
+        assert_eq!(reg.counter("gel.loop.iterations").get(), 2);
+    }
+}

@@ -10,9 +10,11 @@
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 
 use gel::{Clock, IoPoll, TimeStamp};
-use gscope::Tuple;
+use gscope::{StatsExport, Tuple};
+use gtel::{Counter, Gauge, Registry};
 
 /// Counters describing client activity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -25,6 +27,52 @@ pub struct ClientStats {
     pub pumps_with_progress: u64,
 }
 
+impl StatsExport for ClientStats {
+    fn to_tuples(&self, now: TimeStamp) -> Vec<Tuple> {
+        vec![
+            Tuple::new(now, self.tuples_queued as f64, "net.client.tuples_out"),
+            Tuple::new(now, self.bytes_sent as f64, "net.client.bytes_sent"),
+            Tuple::new(
+                now,
+                self.pumps_with_progress as f64,
+                "net.client.pumps_with_progress",
+            ),
+        ]
+    }
+}
+
+/// Cached gtel handles for one [`ScopeClient`].
+#[derive(Debug)]
+struct ClientTelemetry {
+    registry: Arc<Registry>,
+    /// `net.client.tuples_out` — tuples queued for transmission.
+    tuples_out: Arc<Counter>,
+    /// `net.client.bytes_sent` — bytes the socket accepted.
+    bytes_sent: Arc<Counter>,
+    /// `net.client.reconnects` — successful reconnections.
+    reconnects: Arc<Counter>,
+    /// `net.client.queue_bytes` — out-buffer depth after each pump.
+    queue_bytes: Arc<Gauge>,
+}
+
+impl ClientTelemetry {
+    fn new(registry: Arc<Registry>) -> Self {
+        ClientTelemetry {
+            tuples_out: registry.counter("net.client.tuples_out"),
+            bytes_sent: registry.counter("net.client.bytes_sent"),
+            reconnects: registry.counter("net.client.reconnects"),
+            queue_bytes: registry.gauge("net.client.queue_bytes"),
+            registry,
+        }
+    }
+}
+
+impl Default for ClientTelemetry {
+    fn default() -> Self {
+        ClientTelemetry::new(Registry::shared())
+    }
+}
+
 /// A non-blocking streaming connection to a [`ScopeServer`].
 ///
 /// [`ScopeServer`]: crate::server::ScopeServer
@@ -35,6 +83,7 @@ pub struct ScopeClient {
     stats: ClientStats,
     closed: bool,
     reconnects: u64,
+    telemetry: ClientTelemetry,
 }
 
 impl ScopeClient {
@@ -56,7 +105,18 @@ impl ScopeClient {
             stats: ClientStats::default(),
             closed: false,
             reconnects: 0,
+            telemetry: ClientTelemetry::default(),
         })
+    }
+
+    /// The registry this client's `net.client.*` metrics live in.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry.registry
+    }
+
+    /// Re-homes the client's metrics into `registry`.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = ClientTelemetry::new(registry);
     }
 
     /// Re-establishes a dead connection to the same server, keeping any
@@ -73,6 +133,7 @@ impl ScopeClient {
         self.stream = stream;
         self.closed = false;
         self.reconnects += 1;
+        self.telemetry.reconnects.inc();
         Ok(())
     }
 
@@ -101,6 +162,8 @@ impl ScopeClient {
         self.outbuf.extend(tuple.to_line().bytes());
         self.outbuf.push_back(b'\n');
         self.stats.tuples_queued += 1;
+        self.telemetry.tuples_out.inc();
+        self.telemetry.queue_bytes.set_count(self.outbuf.len());
     }
 
     /// Queues a named sample stamped with `clock`'s current time.
@@ -136,6 +199,7 @@ impl ScopeClient {
                 Ok(n) => {
                     self.outbuf.drain(..n);
                     self.stats.bytes_sent += n as u64;
+                    self.telemetry.bytes_sent.add(n as u64);
                     progressed = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -146,6 +210,7 @@ impl ScopeClient {
                 }
             }
         }
+        self.telemetry.queue_bytes.set_count(self.outbuf.len());
         if progressed {
             self.stats.pumps_with_progress += 1;
             IoPoll::Worked

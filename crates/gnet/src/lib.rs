@@ -211,6 +211,67 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_mirrors_stats_in_shared_registry() {
+        let registry = gtel::Registry::shared();
+        let clock = VirtualClock::new();
+        let scope = Scope::new("tel", 64, 48, Arc::new(clock)).into_shared();
+        scope.lock().set_delay(TimeDelta::from_secs(100));
+        let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+        server.set_telemetry(Arc::clone(&registry));
+        server.add_scope(Arc::clone(&scope));
+        let addr = server.local_addr().unwrap();
+        let mut client = ScopeClient::connect(addr).unwrap();
+        client.set_telemetry(Arc::clone(&registry));
+        for i in 0..20u64 {
+            client.send_at(TimeStamp::from_millis(i), "m", i as f64);
+        }
+        spin_until(|| {
+            pump_pair(&mut client, &mut server);
+            server.stats().tuples_received == 20
+        });
+        assert_eq!(registry.counter("net.server.connections").get(), 1);
+        assert_eq!(registry.counter("net.server.tuples_in").get(), 20);
+        assert_eq!(registry.counter("net.client.tuples_out").get(), 20);
+        assert!(registry.counter("net.client.bytes_sent").get() > 0);
+        assert_eq!(registry.gauge("net.server.clients").get(), 1.0);
+        assert_eq!(registry.gauge("net.client.queue_bytes").get(), 0.0);
+    }
+
+    #[test]
+    fn server_and_client_stats_export_as_tuples() {
+        use gscope::StatsExport;
+        let s = ServerStats {
+            connections: 2,
+            disconnects: 1,
+            tuples_received: 40,
+            parse_errors: 3,
+            tuples_dropped: 5,
+        };
+        let now = TimeStamp::from_millis(250);
+        let tuples = s.to_tuples(now);
+        assert_eq!(tuples.len(), 5);
+        assert!(tuples.iter().all(|t| t.time == now));
+        let parse = tuples
+            .iter()
+            .find(|t| t.name.as_deref() == Some("net.server.parse_errors"))
+            .expect("exported");
+        assert_eq!(parse.value, 3.0);
+
+        let c = ClientStats {
+            tuples_queued: 7,
+            bytes_sent: 123,
+            pumps_with_progress: 4,
+        };
+        let tuples = c.to_tuples(now);
+        assert_eq!(tuples.len(), 3);
+        let sent = tuples
+            .iter()
+            .find(|t| t.name.as_deref() == Some("net.client.bytes_sent"))
+            .expect("exported");
+        assert_eq!(sent.value, 123.0);
+    }
+
+    #[test]
     fn attach_helpers_drive_the_pipeline_on_one_loop() {
         // The full §4.4 single-threaded architecture: server io-watch,
         // client pump io-watch, and a periodic sampler, all on one
@@ -234,10 +295,16 @@ mod tests {
         attach_client(&client, &mut ml);
         // Stream a counter every 5 ms.
         let mut n = 0.0;
-        stream_periodic(&client, &mut ml, "counter", TimeDelta::from_millis(5), move || {
-            n += 1.0;
-            n
-        });
+        stream_periodic(
+            &client,
+            &mut ml,
+            "counter",
+            TimeDelta::from_millis(5),
+            move || {
+                n += 1.0;
+                n
+            },
+        );
         let handle = ml.handle();
         ml.add_oneshot(TimeDelta::from_millis(150), move |_| handle.quit());
         ml.run();
@@ -310,10 +377,8 @@ mod tests {
             server.stats().tuples_received == 100
         });
         // Drive the scope's polling over the buffered data.
-        let mut ml = gel::MainLoop::with_quantizer(
-            Arc::new(clock.clone()),
-            gel::Quantizer::exact(),
-        );
+        let mut ml =
+            gel::MainLoop::with_quantizer(Arc::new(clock.clone()), gel::Quantizer::exact());
         gscope::attach_scope(&scope, &mut ml);
         clock.advance(TimeDelta::from_secs(1001));
         ml.run_until(clock.now() + TimeDelta::from_millis(200));

@@ -15,8 +15,9 @@ use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
-use gel::{Continue, IoPoll, MainLoop, SourceId, TimeDelta};
-use gscope::{SharedScope, SigConfig, SigSource, Tuple};
+use gel::{Continue, IoPoll, MainLoop, SourceId, TimeDelta, TimeStamp};
+use gscope::{SharedScope, SigConfig, SigSource, StatsExport, Tuple};
+use gtel::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 
 /// Counters describing server activity.
@@ -34,6 +35,56 @@ pub struct ServerStats {
     pub tuples_dropped: u64,
 }
 
+impl StatsExport for ServerStats {
+    fn to_tuples(&self, now: TimeStamp) -> Vec<Tuple> {
+        vec![
+            Tuple::new(now, self.connections as f64, "net.server.connections"),
+            Tuple::new(now, self.disconnects as f64, "net.server.disconnects"),
+            Tuple::new(now, self.tuples_received as f64, "net.server.tuples_in"),
+            Tuple::new(now, self.parse_errors as f64, "net.server.parse_errors"),
+            Tuple::new(now, self.tuples_dropped as f64, "net.server.tuples_dropped"),
+        ]
+    }
+}
+
+/// Cached gtel handles for one [`ScopeServer`].
+#[derive(Debug)]
+struct ServerTelemetry {
+    registry: Arc<Registry>,
+    /// `net.server.connections` — connections accepted.
+    connections: Arc<Counter>,
+    /// `net.server.disconnects` — clients lost.
+    disconnects: Arc<Counter>,
+    /// `net.server.tuples_in` — tuples parsed and delivered.
+    tuples_in: Arc<Counter>,
+    /// `net.server.parse_errors` — undecodable lines skipped.
+    parse_errors: Arc<Counter>,
+    /// `net.server.tuples_dropped` — tuples every scope rejected.
+    tuples_dropped: Arc<Counter>,
+    /// `net.server.clients` — currently connected clients.
+    clients: Arc<Gauge>,
+}
+
+impl ServerTelemetry {
+    fn new(registry: Arc<Registry>) -> Self {
+        ServerTelemetry {
+            connections: registry.counter("net.server.connections"),
+            disconnects: registry.counter("net.server.disconnects"),
+            tuples_in: registry.counter("net.server.tuples_in"),
+            parse_errors: registry.counter("net.server.parse_errors"),
+            tuples_dropped: registry.counter("net.server.tuples_dropped"),
+            clients: registry.gauge("net.server.clients"),
+            registry,
+        }
+    }
+}
+
+impl Default for ServerTelemetry {
+    fn default() -> Self {
+        ServerTelemetry::new(Registry::shared())
+    }
+}
+
 struct ClientConn {
     stream: TcpStream,
     peer: SocketAddr,
@@ -49,6 +100,7 @@ pub struct ScopeServer {
     /// Create missing `BUFFER` signals on attached scopes for new names.
     auto_register: bool,
     stats: ServerStats,
+    telemetry: ServerTelemetry,
 }
 
 impl ScopeServer {
@@ -66,7 +118,19 @@ impl ScopeServer {
             scopes: Vec::new(),
             auto_register: true,
             stats: ServerStats::default(),
+            telemetry: ServerTelemetry::default(),
         })
+    }
+
+    /// The registry this server's `net.server.*` metrics live in.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry.registry
+    }
+
+    /// Re-homes the server's metrics into `registry` (e.g. a registry
+    /// shared with the scope and main loop for one combined snapshot).
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = ServerTelemetry::new(registry);
     }
 
     /// The bound address (for handing to clients).
@@ -113,6 +177,7 @@ impl ScopeServer {
                         partial: Vec::new(),
                     });
                     self.stats.connections += 1;
+                    self.telemetry.connections.inc();
                     any = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -131,11 +196,8 @@ impl ScopeServer {
                 if guard.signal(name).is_none() {
                     // A concurrent registration shows up as a duplicate;
                     // either way the signal exists afterwards.
-                    let _ = guard.add_signal(
-                        name.to_owned(),
-                        SigSource::Buffer,
-                        SigConfig::default(),
-                    );
+                    let _ =
+                        guard.add_signal(name.to_owned(), SigSource::Buffer, SigConfig::default());
                 }
             }
             if guard.buffer().push(tuple.clone()) {
@@ -143,8 +205,10 @@ impl ScopeServer {
             }
         }
         self.stats.tuples_received += 1;
+        self.telemetry.tuples_in.inc();
         if !accepted {
             self.stats.tuples_dropped += 1;
+            self.telemetry.tuples_dropped.inc();
         }
     }
 
@@ -170,7 +234,10 @@ impl ScopeServer {
                             let line: Vec<u8> = conn.partial.drain(..=pos).collect();
                             match std::str::from_utf8(&line[..line.len() - 1]) {
                                 Ok(s) => lines.push(s.to_owned()),
-                                Err(_) => self.stats.parse_errors += 1,
+                                Err(_) => {
+                                    self.stats.parse_errors += 1;
+                                    self.telemetry.parse_errors.inc();
+                                }
                             }
                         }
                     }
@@ -189,13 +256,17 @@ impl ScopeServer {
                 }
                 match Tuple::parse_line(trimmed, lineno + 1) {
                     Ok(t) => self.deliver(t),
-                    Err(_) => self.stats.parse_errors += 1,
+                    Err(_) => {
+                        self.stats.parse_errors += 1;
+                        self.telemetry.parse_errors.inc();
+                    }
                 }
             }
             if dead {
                 let _ = self.clients[i].peer;
                 self.clients.swap_remove(i);
                 self.stats.disconnects += 1;
+                self.telemetry.disconnects.inc();
                 any = true;
             } else {
                 i += 1;
@@ -211,6 +282,7 @@ impl ScopeServer {
     pub fn poll(&mut self) -> IoPoll {
         let mut any = self.accept_pending();
         any |= self.read_clients();
+        self.telemetry.clients.set_count(self.clients.len());
         if any {
             IoPoll::Worked
         } else {

@@ -84,7 +84,11 @@ impl Framebuffer {
         let Some(bg) = self.get(x, y) else { return };
         let a = alpha.clamp(0.0, 1.0);
         let mix = |f: u8, b: u8| -> u8 { (f as f64 * a + b as f64 * (1.0 - a)).round() as u8 };
-        self.set(x, y, Color::new(mix(c.r, bg.r), mix(c.g, bg.g), mix(c.b, bg.b)));
+        self.set(
+            x,
+            y,
+            Color::new(mix(c.r, bg.r), mix(c.g, bg.g), mix(c.b, bg.b)),
+        );
     }
 
     /// Raw RGB bytes, row-major.
@@ -205,8 +209,7 @@ impl Framebuffer {
 pub fn compose_vertical(frames: &[&Framebuffer], gap: usize, background: Color) -> Framebuffer {
     assert!(!frames.is_empty(), "nothing to compose");
     let width = frames.iter().map(|f| f.width()).max().expect("non-empty");
-    let height: usize =
-        frames.iter().map(|f| f.height()).sum::<usize>() + gap * (frames.len() - 1);
+    let height: usize = frames.iter().map(|f| f.height()).sum::<usize>() + gap * (frames.len() - 1);
     let mut out = Framebuffer::new(width, height);
     out.clear(background);
     let mut y0 = 0usize;
@@ -304,7 +307,10 @@ mod tests {
     #[test]
     fn ppm_parser_rejects_garbage() {
         assert!(Framebuffer::from_ppm(b"P5\n1 1\n255\nx").is_err());
-        assert!(Framebuffer::from_ppm(b"P6\n2 2\n255\nxx").is_err(), "truncated");
+        assert!(
+            Framebuffer::from_ppm(b"P6\n2 2\n255\nxx").is_err(),
+            "truncated"
+        );
         assert!(Framebuffer::from_ppm(b"P6\n1 1\n65535\n??????").is_err());
         assert!(Framebuffer::from_ppm(b"").is_err());
     }

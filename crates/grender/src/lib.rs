@@ -42,6 +42,5 @@ pub use surface::{RasterSurface, Surface, SvgSurface};
 pub use view::{draw_scope, render_scope, render_scope_svg, render_spectrum, widget_size};
 pub use windows::{
     draw_param_window, draw_signal_window, param_window_height, render_param_window,
-    render_param_window_svg, render_signal_window, render_signal_window_svg,
-    signal_window_height,
+    render_param_window_svg, render_signal_window, render_signal_window_svg, signal_window_height,
 };

@@ -86,12 +86,7 @@ pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
             s.vline_dashed(x, canvas_y, canvas_y + ch - 1, GRID);
         }
         let secs = gx as f64 * period_s;
-        s.text(
-            x,
-            canvas_y + ch + 2,
-            &format!("{secs:.0}"),
-            TEXT,
-        );
+        s.text(x, canvas_y + ch + 2, &format!("{secs:.0}"), TEXT);
         gx += grid_px;
     }
 
@@ -117,7 +112,17 @@ pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
             continue;
         }
         let window = scope.display_window(sig.name());
-        draw_trace(scope, sig.config(), sig.color(), &window, s, canvas_x, canvas_y, cw, ch);
+        draw_trace(
+            scope,
+            sig.config(),
+            sig.color(),
+            &window,
+            s,
+            canvas_x,
+            canvas_y,
+            cw,
+            ch,
+        );
     }
 
     // Trigger level marker on the canvas edge.
@@ -164,13 +169,7 @@ pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
     }
 }
 
-fn value_to_y(
-    scope: &Scope,
-    config: &gscope::SigConfig,
-    v: f64,
-    canvas_y: i64,
-    ch: i64,
-) -> i64 {
+fn value_to_y(scope: &Scope, config: &gscope::SigConfig, v: f64, canvas_y: i64, ch: i64) -> i64 {
     let frac = scope.display_fraction(config, v);
     canvas_y + ch - 1 - ((ch - 1) as f64 * frac).round() as i64
 }
@@ -203,21 +202,17 @@ fn draw_trace(
         match config.line {
             LineMode::Points => s.point(x, y, color),
             LineMode::Bars => s.line(x, zero_y, x, y, color),
-            LineMode::Line => {
-                match prev {
-                    Some((px, py)) => s.line(px, py, x, y, color),
-                    None => s.point(x, y, color),
+            LineMode::Line => match prev {
+                Some((px, py)) => s.line(px, py, x, y, color),
+                None => s.point(x, y, color),
+            },
+            LineMode::Step => match prev {
+                Some((px, py)) => {
+                    s.line(px, py, x, py, color);
+                    s.line(x, py, x, y, color);
                 }
-            }
-            LineMode::Step => {
-                match prev {
-                    Some((px, py)) => {
-                        s.line(px, py, x, py, color);
-                        s.line(x, py, x, y, color);
-                    }
-                    None => s.point(x, y, color),
-                }
-            }
+                None => s.point(x, y, color),
+            },
         }
         prev = Some((x, y));
     }
@@ -267,7 +262,10 @@ pub fn render_spectrum(
         .iter()
         .map(|b| b.magnitude)
         .fold(f64::EPSILON, f64::max);
-    let color = scope.signal(name).map(|s| s.color()).unwrap_or(Color::GREEN);
+    let color = scope
+        .signal(name)
+        .map(|s| s.color())
+        .unwrap_or(Color::GREEN);
     for (i, b) in bins.iter().enumerate() {
         let x = cx + i as i64 * 4 + 1;
         let bar = ((b.magnitude / peak).clamp(0.0, 1.0) * (ch - 1) as f64).round() as i64;
@@ -275,12 +273,7 @@ pub fn render_spectrum(
         s.rect(x, y0 - bar, 2, bar + 1, color, true);
     }
     s.text(cx, cy + ch + 2, "0", TEXT);
-    s.text(
-        cx + bins.len() as i64 * 4 - 18,
-        cy + ch + 2,
-        "f/2",
-        TEXT,
-    );
+    s.text(cx + bins.len() as i64 * 4 - 18, cy + ch + 2, "f/2", TEXT);
     Ok(s.into_framebuffer())
 }
 
@@ -299,7 +292,9 @@ mod tests {
             .add_signal(
                 "ramp",
                 v.clone().into(),
-                SigConfig::default().with_range(0.0, 60.0).with_show_value(true),
+                SigConfig::default()
+                    .with_range(0.0, 60.0)
+                    .with_show_value(true),
             )
             .unwrap();
         scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
@@ -349,7 +344,10 @@ mod tests {
         let visible = render_scope(&scope).count_color(color);
         scope.signal_mut("ramp").unwrap().toggle_hidden();
         let hidden = render_scope(&scope).count_color(color);
-        assert!(hidden < visible / 2, "hiding removes the trace ({hidden} vs {visible})");
+        assert!(
+            hidden < visible / 2,
+            "hiding removes the trace ({hidden} vs {visible})"
+        );
         assert!(hidden > 0, "the color swatch row remains");
     }
 

@@ -21,7 +21,14 @@ const LABEL: Color = Color::new(150, 150, 160);
 fn window_frame(s: &mut dyn Surface, title: &str, rows: i64) {
     s.clear(CHROME);
     s.rect(0, 0, s.width() as i64, s.height() as i64, TEXT, false);
-    s.rect(1, 1, s.width() as i64 - 2, ROW_H, Color::new(60, 60, 80), true);
+    s.rect(
+        1,
+        1,
+        s.width() as i64 - 2,
+        ROW_H,
+        Color::new(60, 60, 80),
+        true,
+    );
     s.text(PAD, 3, title, TEXT);
     let _ = rows;
 }
@@ -51,7 +58,12 @@ pub fn draw_signal_window(scope: &Scope, name: &str, s: &mut dyn Surface) -> gsc
     window_frame(s, &format!("Signal Parameters: {name}"), 8);
     kv_row(s, 0, "Name", name);
     let c = sig.color();
-    kv_row(s, 1, "Color", &format!("#{:02x}{:02x}{:02x}", c.r, c.g, c.b));
+    kv_row(
+        s,
+        1,
+        "Color",
+        &format!("#{:02x}{:02x}{:02x}", c.r, c.g, c.b),
+    );
     s.rect(PAD + 60, ROW_H + 4 + ROW_H, 8, 8, c, true);
     kv_row(s, 2, "Minimum", &format!("{}", cfg.min));
     kv_row(s, 3, "Maximum", &format!("{}", cfg.max));

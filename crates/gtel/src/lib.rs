@@ -1,0 +1,35 @@
+//! gtel — self-telemetry for the gscope stack.
+//!
+//! Gscope exists to expose the temporal behaviour of time-sensitive
+//! programs (paper §1); gtel turns that lens on gscope itself. It
+//! provides:
+//!
+//! * [`Counter`] / [`Gauge`] / [`LatencyHistogram`] — atomic metric
+//!   primitives whose record path is a handful of relaxed RMWs
+//!   (~20ns), cheap enough to run on every event-loop tick.
+//! * [`Registry`] — a name → metric map handing out shared handles;
+//!   components resolve handles once and record lock-free thereafter.
+//! * [`TraceLog`] — a bounded ring buffer of timestamped events and
+//!   spans for after-the-fact inspection of recent loop behaviour.
+//! * [`export`] — snapshot serializers: the paper's §3.3 tuple
+//!   format, Prometheus text exposition, and a human-readable table.
+//!
+//! The crate deliberately has no dependencies (it sits below `gel` in
+//! the stack) and measures time as `u64` nanoseconds. The event loop,
+//! scope core, and network layer all record into a registry, and
+//! `Registry::sampler` lets any metric be replayed as a `FUNC` signal
+//! source — so a second scope can visualize the first scope's tick
+//! jitter live ("self-scoping", the observability analogue of the
+//! paper's §4.5 microbenchmarks).
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use export::{format_ns, prometheus_text, stats_table, tuple_lines};
+pub use metrics::{
+    Counter, Gauge, HistogramSnapshot, HistogramStat, LatencyHistogram, HISTOGRAM_BUCKETS,
+};
+pub use registry::{global, Metric, MetricValue, Registry, Snapshot};
+pub use trace::{monotonic_ns, SpanGuard, TraceEvent, TraceLog};

@@ -1,0 +1,354 @@
+//! Atomic metric primitives: [`Counter`], [`Gauge`], and
+//! [`LatencyHistogram`].
+//!
+//! All hot-path operations are single relaxed atomic RMWs — no locks,
+//! no allocation — so components can record on every tick even in
+//! release builds without perturbing the timing they are measuring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, buffer
+/// occupancy, ...). Stored as `f64` bits so gauge readings plug
+/// straight into `SigSource::FUNC` signals.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets from an integer quantity.
+    #[inline]
+    pub fn set_count(&self, n: usize) {
+        self.set(n as f64);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two buckets in a [`LatencyHistogram`]; covers
+/// the full `u64` nanosecond range (bucket `i` holds values whose
+/// highest set bit is `i - 1`, i.e. `[2^(i-1), 2^i)`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log-scale histogram of `u64` samples (nanoseconds by
+/// convention). Recording is two relaxed `fetch_add`s plus a
+/// `fetch_max` — roughly counter cost — and snapshots never block
+/// recorders.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Point-in-time digest of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Exclusive upper bound of bucket `i` (`2^i`, saturating at
+/// `u64::MAX`). The bucket's values all lie strictly below it.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = bucket_index(v).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough digest: percentile estimates are
+    /// bucket upper bounds clamped to the true recorded max, so
+    /// `p50 <= p90 <= p99 <= max` always holds.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let percentile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Rank of the sample at quantile q, 1-based.
+            let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: percentile(0.50),
+            p90: percentile(0.90),
+            p99: percentile(0.99),
+        }
+    }
+}
+
+/// Which scalar to read out of a histogram when it is exposed as a
+/// single-valued signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramStat {
+    /// Sample count.
+    Count,
+    /// Arithmetic mean.
+    Mean,
+    /// Median.
+    P50,
+    /// 90th percentile.
+    P90,
+    /// 99th percentile.
+    P99,
+    /// Maximum.
+    Max,
+}
+
+impl HistogramStat {
+    /// Reads the selected scalar from a snapshot.
+    pub fn read(self, s: &HistogramSnapshot) -> f64 {
+        match self {
+            HistogramStat::Count => s.count as f64,
+            HistogramStat::Mean => s.mean(),
+            HistogramStat::P50 => s.p50 as f64,
+            HistogramStat::P90 => s.p90 as f64,
+            HistogramStat::P99 => s.p99 as f64,
+            HistogramStat::Max => s.max as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set_count(17);
+        assert_eq!(g.get(), 17.0);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(1), 2);
+        assert_eq!(bucket_upper(2), 4);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let h = LatencyHistogram::new();
+        for v in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, 1000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // p50 lands in the [2,4) bucket, clamped to its upper bound.
+        assert_eq!(s.p50, 4);
+        // p99 is the rank-10 sample: the 1000ns outlier, clamped to max.
+        assert_eq!(s.p99, 1000);
+    }
+
+    #[test]
+    fn single_sample_is_fully_clamped() {
+        let h = LatencyHistogram::new();
+        h.record(37);
+        let s = h.snapshot();
+        // Every percentile of a single sample is that sample.
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (37, 37, 37, 37));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 500);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panics");
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+
+    #[test]
+    fn histogram_stat_readout() {
+        let h = LatencyHistogram::new();
+        h.record(10);
+        h.record(20);
+        let s = h.snapshot();
+        assert_eq!(HistogramStat::Count.read(&s), 2.0);
+        assert_eq!(HistogramStat::Mean.read(&s), 15.0);
+        assert_eq!(HistogramStat::Max.read(&s), 20.0);
+        assert!(HistogramStat::P50.read(&s) <= HistogramStat::P99.read(&s));
+    }
+}

@@ -1,0 +1,205 @@
+//! The [`TraceLog`]: a bounded ring buffer of timestamped events and
+//! spans, cheap enough to leave enabled in release builds.
+//!
+//! Recording is one short mutex-protected `VecDeque` push (the mutex
+//! is uncontended in the single-threaded event loop this instrumentes;
+//! cross-thread users pay a few tens of nanoseconds). When the ring is
+//! full the oldest event is overwritten and a drop counter advances,
+//! so memory stays bounded no matter how long the process runs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process-wide trace epoch.
+    pub t_ns: u64,
+    /// Static label, e.g. `"gel.iteration"`.
+    pub label: &'static str,
+    /// Event payload: a span's duration in nanoseconds, or any
+    /// caller-chosen scalar for point events.
+    pub value: f64,
+}
+
+/// Process-wide monotonic nanoseconds (first call defines zero).
+pub fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now()
+        .saturating_duration_since(epoch)
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceLog {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceLog {
+    /// Creates a ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity > 0");
+        TraceLog {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records a point event stamped with [`monotonic_ns`].
+    pub fn event(&self, label: &'static str, value: f64) {
+        self.event_at(monotonic_ns(), label, value);
+    }
+
+    /// Records a point event with an explicit timestamp (virtual-clock
+    /// tests).
+    pub fn event_at(&self, t_ns: u64, label: &'static str, value: f64) {
+        let mut ring = self.ring.lock().expect("trace lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(TraceEvent { t_ns, label, value });
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a span; its wall-clock duration in nanoseconds is
+    /// recorded as the event value when the guard drops.
+    pub fn span(self: &Arc<Self>, label: &'static str) -> SpanGuard {
+        SpanGuard {
+            log: Arc::clone(self),
+            label,
+            start_ns: monotonic_ns(),
+        }
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Copies out the newest `n` retained events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("trace lock");
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).copied().collect()
+    }
+
+    /// Discards all retained events (counters are preserved).
+    pub fn clear(&self) {
+        self.ring.lock().expect("trace lock").clear();
+    }
+}
+
+/// Records a span's duration into its [`TraceLog`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    log: Arc<TraceLog>,
+    label: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = monotonic_ns();
+        self.log
+            .event_at(end, self.label, end.saturating_sub(self.start_ns) as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_counts_drops() {
+        let log = TraceLog::new(4);
+        for i in 0..10u64 {
+            log.event_at(i, "tick", i as f64);
+        }
+        assert_eq!(log.recorded(), 10);
+        assert_eq!(log.dropped(), 6);
+        let events = log.events();
+        assert_eq!(events.len(), 4);
+        // Oldest-first, and only the newest four survive.
+        let times: Vec<u64> = events.iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn recent_takes_the_tail() {
+        let log = TraceLog::new(8);
+        for i in 0..5u64 {
+            log.event_at(i, "e", 0.0);
+        }
+        let tail = log.recent(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!((tail[0].t_ns, tail[1].t_ns), (3, 4));
+        assert_eq!(log.recent(100).len(), 5);
+    }
+
+    #[test]
+    fn span_records_duration() {
+        let log = Arc::new(TraceLog::new(8));
+        {
+            let _guard = log.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "work");
+        assert!(
+            events[0].value >= 1e6,
+            "span shorter than slept: {} ns",
+            events[0].value
+        );
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let log = TraceLog::new(2);
+        log.event_at(0, "a", 0.0);
+        log.event_at(1, "b", 0.0);
+        log.event_at(2, "c", 0.0);
+        log.clear();
+        assert!(log.events().is_empty());
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn monotonic_ns_is_monotonic() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+}

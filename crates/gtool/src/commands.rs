@@ -10,7 +10,8 @@ use std::sync::Arc;
 
 use gel::{Clock, SystemClock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
 use gnet::{ScopeClient, ScopeServer};
-use gscope::{Scope, SigSource, Tuple, TupleReader, TupleWriter};
+use gscope::{Scope, SigSource, StatsExport, Tuple, TupleReader, TupleWriter};
+use gtel::Registry;
 
 use crate::args::Args;
 
@@ -22,10 +23,12 @@ fn load_tuples(path: &str) -> Result<Vec<Tuple>, Box<dyn std::error::Error>> {
     Ok(TupleReader::new(BufReader::new(file)).read_all()?)
 }
 
-/// `info <file>` — summarize a tuple recording.
+/// `info <file> [--period MS]` — summarize a tuple recording, then
+/// replay it through a scope and report the replay's own telemetry.
 pub fn info(args: &Args) -> CmdResult {
-    args.check_known(&[])?;
+    args.check_known(&["period"])?;
     let path = args.positional(0, "file")?;
+    let period_ms: u64 = args.get_or("period", 50)?;
     let tuples = load_tuples(path)?;
     if tuples.is_empty() {
         return Ok(format!("{path}: empty recording"));
@@ -55,13 +58,45 @@ pub fn info(args: &Args) -> CmdResult {
             "  {name:<20} {count:>8} samples   range [{min}, {max}]\n"
         ));
     }
+    // Replay telemetry (§4.5-style self-measurement): drive the
+    // recording through a scope and report what the scope itself saw.
+    let registry = Registry::shared();
+    let scope = replay_scope_with(
+        tuples,
+        400,
+        TimeDelta::from_millis(period_ms),
+        Some(Arc::clone(&registry)),
+    )?;
+    let stats = scope.stats();
+    out.push_str(&format!(
+        "replay @ {period_ms}ms: {} ticks ({} missed), {} late drops\n",
+        registry.counter("scope.ticks").get(),
+        stats.missed_ticks,
+        stats.late_drops,
+    ));
+    for name in scope.signal_names() {
+        let displayed = scope
+            .signal(&name)
+            .map(|s| s.history().last_values(usize::MAX).len())
+            .unwrap_or(0);
+        out.push_str(&format!("  {name:<20} {displayed:>8} displayed samples\n"));
+    }
     Ok(out)
 }
 
-/// Replays `tuples` at `period` into a scope `width` pixels wide.
-fn replay_scope(tuples: Vec<Tuple>, width: usize, period: TimeDelta) -> gscope::Result<Scope> {
+/// Replays `tuples` at `period` into a scope `width` pixels wide,
+/// optionally re-homing its telemetry into `registry`.
+fn replay_scope_with(
+    tuples: Vec<Tuple>,
+    width: usize,
+    period: TimeDelta,
+    registry: Option<Arc<Registry>>,
+) -> gscope::Result<Scope> {
     let clock = VirtualClock::new();
     let mut scope = Scope::new("replay", width, 150, Arc::new(clock.clone()));
+    if let Some(reg) = registry {
+        scope.set_telemetry(reg);
+    }
     scope.set_period(period)?;
     let end = tuples.last().map(|t| t.time).unwrap_or(TimeStamp::ZERO);
     scope.set_playback_mode(tuples)?;
@@ -78,6 +113,11 @@ fn replay_scope(tuples: Vec<Tuple>, width: usize, period: TimeDelta) -> gscope::
         });
     }
     Ok(scope)
+}
+
+/// Replays `tuples` at `period` into a scope `width` pixels wide.
+fn replay_scope(tuples: Vec<Tuple>, width: usize, period: TimeDelta) -> gscope::Result<Scope> {
+    replay_scope_with(tuples, width, period, None)
 }
 
 /// `view <file> --out <img> [--width N] [--period MS] [--svg]` —
@@ -106,7 +146,15 @@ pub fn view(args: &Args) -> CmdResult {
 /// `gen --out <file> [--seconds S] [--rate HZ] [--wave sine|square|saw|triangle] [--freq HZ] [--name N]`
 /// — generate a synthetic single- or multi-signal recording.
 pub fn gen(args: &Args) -> CmdResult {
-    args.check_known(&["out", "seconds", "rate", "wave", "freq", "name", "amplitude"])?;
+    args.check_known(&[
+        "out",
+        "seconds",
+        "rate",
+        "wave",
+        "freq",
+        "name",
+        "amplitude",
+    ])?;
     let out = args.get("out").ok_or("missing --out")?.to_owned();
     let seconds: f64 = args.get_or("seconds", 5.0)?;
     let rate: f64 = args.get_or("rate", 100.0)?;
@@ -138,10 +186,47 @@ pub fn gen(args: &Args) -> CmdResult {
     Ok(format!("wrote {n} tuples of {name} to {out}"))
 }
 
-/// `stream <file> <addr> [--speed X]` — replay a recording to a scope
-/// server in (scaled) real time, timestamps rebased to "now".
+/// `stats <file> [--period MS] [--width N] [--format table|prometheus|tuples]`
+/// — replay a recording through an instrumented scope and print the
+/// resulting gtel snapshot: the tool's own §4.5-style microbenchmark.
+pub fn stats(args: &Args) -> CmdResult {
+    args.check_known(&["period", "width", "format"])?;
+    let path = args.positional(0, "file")?;
+    let period_ms: u64 = args.get_or("period", 50)?;
+    let width: usize = args.get_or("width", 400)?;
+    let format = args.get("format").unwrap_or("table");
+    let tuples = load_tuples(path)?;
+    let end_ms = tuples.last().map(|t| t.time.as_millis_f64()).unwrap_or(0.0);
+    let registry = Registry::shared();
+    let _scope = replay_scope_with(
+        tuples,
+        width,
+        TimeDelta::from_millis(period_ms),
+        Some(Arc::clone(&registry)),
+    )?;
+    let snapshot = registry.snapshot();
+    match format {
+        "table" => Ok(format!(
+            "{path}: replay telemetry @ {period_ms}ms\n{}",
+            gtel::stats_table(&snapshot)
+        )),
+        "prometheus" => Ok(gtel::prometheus_text(&snapshot)),
+        "tuples" => {
+            let mut out = gtel::tuple_lines(&snapshot, end_ms).join("\n");
+            out.push('\n');
+            Ok(out)
+        }
+        other => Err(format!("unknown --format {other:?} (table|prometheus|tuples)").into()),
+    }
+}
+
+/// `stream <file> <addr> [--speed X] [--telemetry]` — replay a
+/// recording to a scope server in (scaled) real time, timestamps
+/// rebased to "now". With `--telemetry`, the client's own stats are
+/// appended to the stream as `net.client.*` tuples (§3.3 format), so
+/// the receiving scope can display the streamer's health too.
 pub fn stream(args: &Args) -> CmdResult {
-    args.check_known(&["speed"])?;
+    args.check_known(&["speed", "telemetry"])?;
     let path = args.positional(0, "file")?;
     let addr = args.positional(1, "addr")?;
     let speed: f64 = args.get_or("speed", 1.0)?;
@@ -155,19 +240,34 @@ pub fn stream(args: &Args) -> CmdResult {
     let start = clock.now();
     let mut sent = 0u64;
     for t in &tuples {
-        let offset =
-            TimeDelta::from_micros(((t.time - base).as_micros() as f64 / speed) as u64);
+        let offset = TimeDelta::from_micros(((t.time - base).as_micros() as f64 / speed) as u64);
         let due = start + offset;
         while clock.now() < due {
             let _ = client.pump();
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
-        client.send_at(clock.now(), t.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL), t.value);
+        client.send_at(
+            clock.now(),
+            t.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL),
+            t.value,
+        );
         let _ = client.pump();
         sent += 1;
     }
+    let mut extra = 0u64;
+    if args.has("telemetry") {
+        for t in client.stats().to_tuples(clock.now()) {
+            client.send(&t);
+            extra += 1;
+        }
+    }
     client.flush_blocking()?;
-    Ok(format!("streamed {sent} tuples to {addr} at {speed}x"))
+    let mut report = format!("streamed {sent} tuples to {addr} at {speed}x");
+    if extra > 0 {
+        report.push_str(&format!(" (+{extra} telemetry tuples)"));
+    }
+    report.push('\n');
+    Ok(report)
 }
 
 /// `serve <bind> [--duration-ms D] [--delay MS] [--period MS] [--out img]`
@@ -203,8 +303,8 @@ pub fn serve(args: &Args) -> CmdResult {
 
     let deadline = clock.now() + TimeDelta::from_millis(duration_ms);
     let mut next_tick = clock.now() + TimeDelta::from_millis(period_ms);
-    let mut next_snapshot = (snapshot_ms > 0)
-        .then(|| clock.now() + TimeDelta::from_millis(snapshot_ms));
+    let mut next_snapshot =
+        (snapshot_ms > 0).then(|| clock.now() + TimeDelta::from_millis(snapshot_ms));
     let mut snapshots = 0u64;
     while clock.now() < deadline {
         let _ = server.poll();
@@ -301,9 +401,7 @@ pub fn spectrum(args: &Args) -> CmdResult {
     let sample_rate = 1000.0 / period_ms as f64;
     let mut ranked: Vec<_> = bins.iter().skip(1).collect();
     ranked.sort_by(|a, b| b.magnitude.total_cmp(&a.magnitude));
-    let mut out = format!(
-        "{name}: top frequency bins (display sample rate {sample_rate} Hz)\n"
-    );
+    let mut out = format!("{name}: top frequency bins (display sample rate {sample_rate} Hz)\n");
     for b in ranked.iter().take(5) {
         out.push_str(&format!(
             "  {:>8.3} Hz   amplitude {:.3}\n",
@@ -328,10 +426,7 @@ pub fn stack(args: &Args) -> CmdResult {
     for i in 0..args.positional_count() {
         let path = args.positional(i, "image")?;
         let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        frames.push(
-            grender::Framebuffer::from_ppm(&bytes)
-                .map_err(|e| format!("{path}: {e}"))?,
-        );
+        frames.push(grender::Framebuffer::from_ppm(&bytes).map_err(|e| format!("{path}: {e}"))?);
     }
     let refs: Vec<&grender::Framebuffer> = frames.iter().collect();
     let composed = grender::compose_vertical(&refs, gap, gscope::Color::new(40, 40, 44));
@@ -350,7 +445,14 @@ pub fn stack(args: &Args) -> CmdResult {
 /// per-bucket CWND/timeout table; optionally render the scope view.
 pub fn mxtraf(args: &Args) -> CmdResult {
     args.check_known(&[
-        "flows", "seconds", "ecn", "sack", "loss", "jitter", "switch-to", "out",
+        "flows",
+        "seconds",
+        "ecn",
+        "sack",
+        "loss",
+        "jitter",
+        "switch-to",
+        "out",
     ])?;
     let flows: usize = args.get_or("flows", 8)?;
     let seconds: u64 = args.get_or("seconds", 30)?;
@@ -385,12 +487,11 @@ pub fn mxtraf(args: &Args) -> CmdResult {
     let clock = VirtualClock::new();
     let mut scope = Scope::new("mxtraf", 300, 120, Arc::new(clock.clone()));
     let probe = traffic.elephant_flow(0);
-    scope
-        .add_signal(
-            "elephants",
-            SigSource::Events,
-            gscope::SigConfig::default().with_range(0.0, 2.0 * max as f64),
-        )?;
+    scope.add_signal(
+        "elephants",
+        SigSource::Events,
+        gscope::SigConfig::default().with_range(0.0, 2.0 * max as f64),
+    )?;
     scope.add_signal(
         "CWND",
         SigSource::Events,
@@ -461,6 +562,7 @@ pub fn run(cmd: &str, args: &Args) -> CmdResult {
         "gen" => gen(args),
         "stream" => stream(args),
         "serve" => serve(args),
+        "stats" => stats(args),
         "spectrum" => spectrum(args),
         "stack" => stack(args),
         "mxtraf" => mxtraf(args),
@@ -473,13 +575,14 @@ pub const USAGE: &str = "\
 gscope-tool — companion CLI for gscope tuple recordings (§3.3 format)
 
 USAGE:
-  gscope-tool info <file>
+  gscope-tool info <file> [--period MS]
   gscope-tool view <file> --out scope.ppm [--width N] [--period MS] [--svg]
   gscope-tool gen --out <file> [--seconds S] [--rate HZ] [--wave sine|square|saw|triangle]
                   [--freq HZ] [--amplitude A] [--name NAME]
-  gscope-tool stream <file> <host:port> [--speed X]
+  gscope-tool stream <file> <host:port> [--speed X] [--telemetry]
   gscope-tool serve <bind-addr> [--duration-ms D] [--delay MS] [--period MS] [--out img]
                     [--snapshot-every-ms N]
+  gscope-tool stats <file> [--period MS] [--width N] [--format table|prometheus|tuples]
   gscope-tool spectrum <file> [--signal NAME] [--size N] [--period MS]
   gscope-tool stack <a.ppm> <b.ppm> [...] --out <img.ppm> [--gap N]
   gscope-tool mxtraf [--flows N] [--seconds S] [--ecn] [--sack] [--loss P]
@@ -494,7 +597,7 @@ mod tests {
     fn args(s: &str) -> Args {
         Args::parse(
             s.split_whitespace().map(str::to_owned),
-            &["svg", "ecn", "sack"],
+            &["svg", "ecn", "sack", "telemetry"],
         )
         .unwrap()
     }
@@ -517,6 +620,34 @@ mod tests {
         assert!(report.contains("100 tuples"), "{report}");
         assert!(report.contains("pulse"));
         assert!(report.contains("1 signals"));
+        // Satellite replay telemetry: the scope that replayed the file
+        // reports its own tick count and per-signal display coverage.
+        assert!(report.contains("replay @ 50ms:"), "{report}");
+        assert!(report.contains("displayed samples"), "{report}");
+        assert!(report.contains("0 late drops"), "{report}");
+    }
+
+    #[test]
+    fn stats_prints_replay_telemetry_in_three_formats() {
+        let file = tmp("stats.tuples");
+        gen(&args(&format!("--out {file} --seconds 2 --rate 50"))).unwrap();
+        let table = stats(&args(&format!("{file} --period 20"))).unwrap();
+        assert!(table.contains("replay telemetry @ 20ms"), "{table}");
+        assert!(table.contains("scope.ticks"), "{table}");
+        assert!(table.contains("scope.tick.poll_ns"), "{table}");
+        let prom = stats(&args(&format!("{file} --format prometheus"))).unwrap();
+        assert!(prom.contains("# TYPE scope_ticks counter"), "{prom}");
+        let tuples = stats(&args(&format!("{file} --format tuples"))).unwrap();
+        // Every line must itself parse as a §3.3 tuple.
+        let mut r = TupleReader::new(tuples.as_bytes());
+        let parsed = r.read_all().unwrap();
+        assert!(
+            parsed
+                .iter()
+                .any(|t| t.name.as_deref() == Some("scope.ticks")),
+            "{tuples}"
+        );
+        assert!(stats(&args(&format!("{file} --format yaml"))).is_err());
     }
 
     #[test]
@@ -618,13 +749,15 @@ mod tests {
         let out = tmp("stacked.ppm");
         let report = stack(&args(&format!("{p1} {p2} --out {out} --gap 3"))).unwrap();
         assert!(report.contains("stacked 2 images"), "{report}");
-        let composed =
-            grender::Framebuffer::from_ppm(&std::fs::read(&out).unwrap()).unwrap();
+        let composed = grender::Framebuffer::from_ppm(&std::fs::read(&out).unwrap()).unwrap();
         let a = grender::Framebuffer::from_ppm(&std::fs::read(&p1).unwrap()).unwrap();
         let b = grender::Framebuffer::from_ppm(&std::fs::read(&p2).unwrap()).unwrap();
         assert_eq!(composed.width(), a.width().max(b.width()));
         assert_eq!(composed.height(), a.height() + b.height() + 3);
-        assert!(stack(&args(&format!("{p1} --out {out}"))).is_err(), "needs two");
+        assert!(
+            stack(&args(&format!("{p1} --out {out}"))).is_err(),
+            "needs two"
+        );
     }
 
     #[test]
@@ -645,14 +778,22 @@ mod tests {
         let addr = probe.local_addr().unwrap();
         drop(probe);
         let bind = addr.to_string();
-        let serve_args = args(&format!("{bind} --duration-ms 1500 --period 10 --delay 500"));
+        let serve_args = args(&format!(
+            "{bind} --duration-ms 1500 --period 10 --delay 500"
+        ));
         let server = std::thread::spawn(move || serve(&serve_args).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(200));
-        let report = stream(&args(&format!("{file} {bind} --speed 4"))).unwrap();
+        let report = stream(&args(&format!("{file} {bind} --speed 4 --telemetry"))).unwrap();
         assert!(report.contains("streamed 40 tuples"), "{report}");
+        assert!(report.contains("+3 telemetry tuples"), "{report}");
         let server_report = server.join().unwrap();
         assert!(server_report.contains("1 connections"), "{server_report}");
-        assert!(server_report.contains("40 tuples"), "{server_report}");
+        assert!(server_report.contains("43 tuples"), "{server_report}");
         assert!(server_report.contains("remote"), "{server_report}");
+        // The streamer's own stats arrived as ordinary signals.
+        assert!(
+            server_report.contains("net.client.tuples_out"),
+            "{server_report}"
+        );
     }
 }

@@ -21,5 +21,5 @@ mod commands;
 
 pub use args::{ArgError, Args};
 pub use commands::{
-    gen, info, mxtraf, run, serve, spectrum, stack, stream, view, CmdResult, USAGE,
+    gen, info, mxtraf, run, serve, spectrum, stack, stats, stream, view, CmdResult, USAGE,
 };

@@ -12,7 +12,7 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    let args = match Args::parse(argv, &["svg", "ecn", "sack"]) {
+    let args = match Args::parse(argv, &["svg", "ecn", "sack", "telemetry"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");

@@ -237,7 +237,10 @@ mod tests {
                 marked += 1;
             }
         }
-        assert!(marked > 50, "sustained high queue should mark, got {marked}");
+        assert!(
+            marked > 50,
+            "sustained high queue should mark, got {marked}"
+        );
         assert_eq!(q.stats().dropped, 0, "ECN marks instead of dropping");
     }
 

@@ -417,10 +417,7 @@ impl Network {
                                 self.rng.gen_range(0..=self.cfg.jitter.as_micros()),
                             )
                         };
-                        self.schedule(
-                            self.now + self.cfg.prop_delay + extra,
-                            Ev::DeliverData(pkt),
-                        );
+                        self.schedule(self.now + self.cfg.prop_delay + extra, Ev::DeliverData(pkt));
                     }
                 }
                 if let Some(next) = self.fifo.pop_front() {
@@ -664,8 +661,7 @@ mod tests {
         net.start_flow(t);
         net.start_udp(u);
         net.run_until(TimeStamp::from_secs(10));
-        let tcp_goodput =
-            net.goodput_bps(net.flow_delivered(t), TimeDelta::from_secs(10));
+        let tcp_goodput = net.goodput_bps(net.flow_delivered(t), TimeDelta::from_secs(10));
         assert!(
             tcp_goodput < 8_000_000.0,
             "TCP should yield to CBR, got {tcp_goodput:.0}"
@@ -716,7 +712,9 @@ mod tests {
         // scoreboard and suffer strictly fewer RTOs than Reno.
         let run = |sack: bool| {
             let mut net = quiet_net(QueueKind::DropTail { capacity: 50 });
-            let flows: Vec<FlowId> = (0..16).map(|_| net.add_tcp_flow_with(false, sack)).collect();
+            let flows: Vec<FlowId> = (0..16)
+                .map(|_| net.add_tcp_flow_with(false, sack))
+                .collect();
             for (i, &f) in flows.iter().enumerate() {
                 net.start_flow_at(f, TimeStamp::from_millis(50 * i as u64));
             }
@@ -779,7 +777,10 @@ mod tests {
             sack_rto < reno_rto,
             "SACK timeouts {sack_rto} vs Reno {reno_rto}"
         );
-        assert!(sack_done > reno_done, "SACK goodput {sack_done} vs {reno_done}");
+        assert!(
+            sack_done > reno_done,
+            "SACK goodput {sack_done} vs {reno_done}"
+        );
     }
 
     #[test]

@@ -291,8 +291,7 @@ impl TcpSender {
                 } else {
                     r.as_micros() - srtt.as_micros()
                 };
-                self.rttvar =
-                    TimeDelta::from_micros((3 * self.rttvar.as_micros() + diff) / 4);
+                self.rttvar = TimeDelta::from_micros((3 * self.rttvar.as_micros() + diff) / 4);
                 self.srtt = Some(TimeDelta::from_micros(
                     (7 * srtt.as_micros() + r.as_micros()) / 8,
                 ));
@@ -335,8 +334,8 @@ impl TcpSender {
             if awnd >= limit {
                 break;
             }
-            let hole = (self.una..fack)
-                .find(|q| !self.sacked.contains(q) && !self.rexmitted.contains(q));
+            let hole =
+                (self.una..fack).find(|q| !self.sacked.contains(q) && !self.rexmitted.contains(q));
             if let Some(hole) = hole {
                 self.rexmitted.insert(hole);
                 self.send_times.remove(&hole);
@@ -458,8 +457,7 @@ impl TcpSender {
                         self.sack_pipe_fill(now, &mut ops);
                     } else {
                         // Reno: window inflation per extra dupack.
-                        self.cwnd =
-                            (self.cwnd + 1.0).min(MAX_WINDOW + self.dup_acks as f64);
+                        self.cwnd = (self.cwnd + 1.0).min(MAX_WINDOW + self.dup_acks as f64);
                         ops.extend(self.fill_window(now));
                     }
                 }
@@ -612,9 +610,7 @@ mod tests {
         let mut s = TcpSender::new(false);
         let ops = s.start(T0);
         assert_eq!(sends(&ops), vec![0, 1], "initial cwnd of 2");
-        assert!(ops
-            .iter()
-            .any(|op| matches!(op, SenderOp::ArmRto { .. })));
+        assert!(ops.iter().any(|op| matches!(op, SenderOp::ArmRto { .. })));
         assert_eq!(s.flight_size(), 2);
     }
 
@@ -683,11 +679,7 @@ mod tests {
         assert!(sends(&s.on_ack(t, 0, false, &[])).is_empty());
         assert!(sends(&s.on_ack(t, 0, false, &[])).is_empty());
         let ops = s.on_ack(t, 0, false, &[]);
-        assert_eq!(
-            sends(&ops),
-            vec![0],
-            "third dupack retransmits the hole"
-        );
+        assert_eq!(sends(&ops), vec![0], "third dupack retransmits the hole");
         assert_eq!(s.state(), CcState::FastRecovery);
         assert_eq!(s.stats().fast_retransmits, 1);
         assert_eq!(s.ssthresh(), 4.0);
@@ -777,7 +769,13 @@ mod tests {
     #[test]
     fn receiver_cumulative_and_out_of_order() {
         let mut r = TcpReceiver::new();
-        assert_eq!(r.on_packet(0, false), AckInfo { ackno: 1, ece: false });
+        assert_eq!(
+            r.on_packet(0, false),
+            AckInfo {
+                ackno: 1,
+                ece: false
+            }
+        );
         // Loss of 1: packets 2, 3 produce dupacks of 1.
         assert_eq!(r.on_packet(2, false).ackno, 1);
         assert_eq!(r.on_packet(3, false).ackno, 1);
@@ -824,7 +822,11 @@ mod tests {
         // duplicate retransmission of already-repaired holes.
         let t2 = t + TimeDelta::from_millis(40);
         let ops = s.on_ack(t2, 3, false, &[4, 5, 6, 7, 8, 9]);
-        assert_eq!(s.state(), CcState::FastRecovery, "partial ack holds recovery");
+        assert_eq!(
+            s.state(),
+            CcState::FastRecovery,
+            "partial ack holds recovery"
+        );
         // Full ack: clean exit, no timeout ever fired.
         let ops2 = s.on_ack(t2 + TimeDelta::from_millis(5), 10, false, &[]);
         assert_eq!(s.state(), CcState::CongestionAvoidance);

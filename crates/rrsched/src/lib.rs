@@ -250,10 +250,8 @@ impl Scheduler {
         let fill = t.fill();
         let err = self.config.target_fill - fill;
         let dfill = fill - t.prev_fill;
-        let sensitivity =
-            t.period.as_secs_f64() / (t.buffer_capacity * t.cpu_per_item);
-        let dp = (self.config.gain * err - self.config.damping * dfill)
-            / sensitivity.max(1e-9);
+        let sensitivity = t.period.as_secs_f64() / (t.buffer_capacity * t.cpu_per_item);
+        let dp = (self.config.gain * err - self.config.damping * dfill) / sensitivity.max(1e-9);
         let task = &mut self.tasks[i];
         task.prev_fill = fill;
         // Fill below target → starving → raise proportion.
@@ -313,13 +311,7 @@ mod tests {
 
     fn video_task() -> Task {
         // 30 items/s at 10 ms CPU each → needs proportion 0.3.
-        Task::new(
-            "video",
-            TimeDelta::from_millis(33),
-            0.010,
-            30.0,
-            30.0,
-        )
+        Task::new("video", TimeDelta::from_millis(33), 0.010, 30.0, 30.0)
     }
 
     #[test]
@@ -350,7 +342,10 @@ mod tests {
             p_after > p_before + 0.15,
             "proportion should rise: {p_before} -> {p_after}"
         );
-        assert!((p_after - 0.6).abs() < 0.1, "new equilibrium ~0.6, got {p_after}");
+        assert!(
+            (p_after - 0.6).abs() < 0.1,
+            "new equilibrium ~0.6, got {p_after}"
+        );
     }
 
     #[test]

@@ -82,9 +82,7 @@ fn main() {
         buffer.push_sample("peak", t, v.abs());
         produced += 2;
     }
-    println!(
-        "driver produced {produced} buffered samples at {RATE_HZ} Hz (x2 signals)"
-    );
+    println!("driver produced {produced} buffered samples at {RATE_HZ} Hz (x2 signals)");
 
     // Display loop: drain with delay.
     let mut now = TimeStamp::ZERO;
@@ -106,7 +104,8 @@ fn main() {
     );
 
     let fb = grender::render_scope(&scope);
-    fb.save_ppm("target/figures/audio_scope.ppm").expect("write figure");
+    fb.save_ppm("target/figures/audio_scope.ppm")
+        .expect("write figure");
     std::fs::write(
         "target/figures/audio_scope.svg",
         grender::render_scope_svg(&scope),
@@ -128,9 +127,19 @@ fn main() {
     // burst vs ~1.05 outside it.
     let window = scope.display_window("peak");
     let max_peak = window.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
-    assert!(max_peak > 1.5, "DTMF burst visible in envelope ({max_peak})");
+    assert!(
+        max_peak > 1.5,
+        "DTMF burst visible in envelope ({max_peak})"
+    );
     let bins = scope
-        .spectrum("peak", 64, SpectrumConfig { remove_dc: true, ..Default::default() })
+        .spectrum(
+            "peak",
+            64,
+            SpectrumConfig {
+                remove_dc: true,
+                ..Default::default()
+            },
+        )
         .expect("spectrum");
     let _ = peak_bin(&bins);
     assert_eq!(scope.buffer().late_drops(), 0);

@@ -28,7 +28,9 @@ fn main() {
             .add_signal(
                 name,
                 SigSource::Buffer,
-                SigConfig::default().with_range(0.0, max).with_show_value(true),
+                SigConfig::default()
+                    .with_range(0.0, max)
+                    .with_show_value(true),
             )
             .expect("fresh signal");
     }
@@ -129,6 +131,10 @@ fn main() {
 
     assert_eq!(sstats.connections, 2);
     assert_eq!(sstats.tuples_received, 121, "60 + 60 + 1 stale");
-    assert_eq!(guard.buffer().late_drops(), 1, "the stale tuple was dropped");
+    assert_eq!(
+        guard.buffer().late_drops(),
+        1,
+        "the stale tuple was dropped"
+    );
     assert!(guard.value_readout("conn.rate").unwrap().is_some());
 }

@@ -45,7 +45,11 @@ fn main() {
     let mut scope = Scope::new("PID tuning", 400, 140, Arc::new(clock.clone()));
     let temp = FloatVar::new(20.0);
     scope
-        .add_signal("temp", temp.clone().into(), SigConfig::default().with_show_value(true))
+        .add_signal(
+            "temp",
+            temp.clone().into(),
+            SigConfig::default().with_show_value(true),
+        )
         .expect("fresh signal");
     scope
         .add_signal(
@@ -117,7 +121,8 @@ fn main() {
     );
 
     let fb = grender::render_scope(&scope);
-    fb.save_ppm("target/figures/live_tuning.ppm").expect("write figure");
+    fb.save_ppm("target/figures/live_tuning.ppm")
+        .expect("write figure");
     std::fs::write(
         "target/figures/live_tuning.svg",
         grender::render_scope_svg(&scope),

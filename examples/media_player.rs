@@ -111,14 +111,18 @@ fn main() {
         .add_signal(
             "buffer.s",
             buffer_var.clone().into(),
-            SigConfig::default().with_range(0.0, 12.0).with_show_value(true),
+            SigConfig::default()
+                .with_range(0.0, 12.0)
+                .with_show_value(true),
         )
         .expect("fresh signal");
     scope
         .add_signal(
             "quality",
             quality_var.clone().into(),
-            SigConfig::default().with_range(0.0, 4.5).with_show_value(true),
+            SigConfig::default()
+                .with_range(0.0, 4.5)
+                .with_show_value(true),
         )
         .expect("fresh signal");
     // Goodput via Rate aggregation (§4.2): the player pushes one event
@@ -200,7 +204,8 @@ fn main() {
     );
 
     let fb = grender::render_scope(&scope);
-    fb.save_ppm("target/figures/media_player.ppm").expect("write figure");
+    fb.save_ppm("target/figures/media_player.ppm")
+        .expect("write figure");
     std::fs::write(
         "target/figures/media_player.svg",
         grender::render_scope_svg(&scope),

@@ -53,11 +53,17 @@ fn main() {
         .add_signal(
             "locked",
             SigSource::Bool(locked.clone()),
-            SigConfig::default().with_range(0.0, 1.2).with_show_value(true),
+            SigConfig::default()
+                .with_range(0.0, 1.2)
+                .with_show_value(true),
         )
         .expect("fresh signal");
     scope
-        .add_signal("input", input_var.clone().into(), SigConfig::default().with_range(-1.5, 1.5))
+        .add_signal(
+            "input",
+            input_var.clone().into(),
+            SigConfig::default().with_range(-1.5, 1.5),
+        )
         .expect("fresh signal");
 
     let period = TimeDelta::from_millis(25);
@@ -74,7 +80,11 @@ fn main() {
     let mut was_locked = false;
     while t < horizon {
         t += period;
-        let step_freq = if t < TimeStamp::from_secs(5) { 50.0 } else { 54.0 };
+        let step_freq = if t < TimeStamp::from_secs(5) {
+            50.0
+        } else {
+            54.0
+        };
         let osc = Oscillator::new(Waveform::Sine, step_freq, 1.0);
         let steps = (period.as_secs_f64() / dt) as usize;
         let t0 = t.as_secs_f64() - period.as_secs_f64();
@@ -84,11 +94,15 @@ fn main() {
         }
         freq.set(out.frequency);
         err.set(out.phase_error);
-        input_var.set(osc.sample(t.as_secs_f64()) );
+        input_var.set(osc.sample(t.as_secs_f64()));
         locked.set(out.locked);
         if out.locked && !was_locked {
             lock_events += 1;
-            println!("t={:.2}s: acquired lock at {:.2} Hz", t.as_secs_f64(), out.frequency);
+            println!(
+                "t={:.2}s: acquired lock at {:.2} Hz",
+                t.as_secs_f64(),
+                out.frequency
+            );
         }
         was_locked = out.locked;
         clock.set(t);
@@ -106,7 +120,8 @@ fn main() {
     );
 
     let fb = grender::render_scope(&scope);
-    fb.save_ppm("target/figures/pll_lock.ppm").expect("write figure");
+    fb.save_ppm("target/figures/pll_lock.ppm")
+        .expect("write figure");
     std::fs::write(
         "target/figures/pll_lock.svg",
         grender::render_scope_svg(&scope),

@@ -33,7 +33,9 @@ fn main() {
         .add_signal(
             "elephants",
             elephants.clone().into(),
-            SigConfig::default().with_range(0.0, 40.0).with_show_value(true),
+            SigConfig::default()
+                .with_range(0.0, 40.0)
+                .with_show_value(true),
         )
         .expect("fresh signal name");
 

@@ -89,7 +89,9 @@ fn main() {
     let replay_clock = VirtualClock::new();
     let mut replay = Scope::new("replay", 200, 100, Arc::new(replay_clock.clone()));
     replay.set_period(period).expect("valid period");
-    replay.set_playback_mode(tuples.clone()).expect("ordered tuples");
+    replay
+        .set_playback_mode(tuples.clone())
+        .expect("ordered tuples");
     replay.start();
     let mut rt = TimeStamp::ZERO;
     for _ in 0..150 {
@@ -106,10 +108,7 @@ fn main() {
             let (Some(x), Some(y)) = (x, y) else {
                 panic!("{name}[{i}]: gap mismatch {x:?} vs {y:?}");
             };
-            assert!(
-                (x - y).abs() < 1e-9,
-                "{name}[{i}]: {x} != {y}"
-            );
+            assert!((x - y).abs() < 1e-9, "{name}[{i}]: {x} != {y}");
         }
     }
     println!("replayed traces match the live capture exactly");
@@ -119,7 +118,8 @@ fn main() {
     // half the pixels.
     let fast_clock = VirtualClock::new();
     let mut fast = Scope::new("replay-2x", 200, 100, Arc::new(fast_clock.clone()));
-    fast.set_period(TimeDelta::from_millis(100)).expect("valid period");
+    fast.set_period(TimeDelta::from_millis(100))
+        .expect("valid period");
     fast.set_playback_mode(tuples).expect("ordered tuples");
     fast.start();
     let mut ft = TimeStamp::ZERO;
@@ -140,7 +140,8 @@ fn main() {
     );
 
     let fb = grender::render_scope(&replay);
-    fb.save_ppm("target/figures/replay_scope.ppm").expect("write figure");
+    fb.save_ppm("target/figures/replay_scope.ppm")
+        .expect("write figure");
     std::fs::write(
         "target/figures/replay_scope.svg",
         grender::render_scope_svg(&replay),

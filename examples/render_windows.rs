@@ -14,9 +14,7 @@
 use std::sync::Arc;
 
 use gel::VirtualClock;
-use gscope::{
-    BoolVar, Color, IntVar, LineMode, ParamSet, Parameter, ParamValue, Scope, SigConfig,
-};
+use gscope::{BoolVar, Color, IntVar, LineMode, ParamSet, ParamValue, Parameter, Scope, SigConfig};
 
 fn main() {
     // A scope holding a CWND-like signal configured the way Figure 2
@@ -62,7 +60,9 @@ fn main() {
     params
         .set("elephants", ParamValue::Int(16))
         .expect("in range");
-    params.set("ecn_enabled", ParamValue::Bool(true)).expect("bool");
+    params
+        .set("ecn_enabled", ParamValue::Bool(true))
+        .expect("bool");
     assert_eq!(elephants.get(), 16, "write reached the application");
     assert!(ecn.get());
 

@@ -33,14 +33,20 @@ fn observe(sack: bool, figure: &str) -> Observation {
         queue: QueueKind::DropTail { capacity: 50 },
         ..NetConfig::default()
     });
-    let flows: Vec<usize> = (0..FLOWS).map(|_| net.add_tcp_flow_with(false, sack)).collect();
+    let flows: Vec<usize> = (0..FLOWS)
+        .map(|_| net.add_tcp_flow_with(false, sack))
+        .collect();
     for (i, &f) in flows.iter().enumerate() {
         net.start_flow_at(f, TimeStamp::from_millis(50 * i as u64));
     }
 
     let clock = VirtualClock::new();
     let mut scope = Scope::new(
-        if sack { "variant: SACK" } else { "variant: Reno" },
+        if sack {
+            "variant: SACK"
+        } else {
+            "variant: Reno"
+        },
         300,
         120,
         Arc::new(clock.clone()),

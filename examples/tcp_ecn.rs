@@ -149,13 +149,18 @@ fn run(ecn: bool, figure: &str, title: &str) -> RunSummary {
 }
 
 fn main() {
-    println!("mxtraf TCP-vs-ECN experiment: 8 -> 16 elephants at t={SWITCH_S}s, {DURATION_S}s total\n");
+    println!(
+        "mxtraf TCP-vs-ECN experiment: 8 -> 16 elephants at t={SWITCH_S}s, {DURATION_S}s total\n"
+    );
 
     let tcp = run(false, "figure4_tcp", "mxtraf TCP (DropTail)");
     println!("Figure 4 (TCP, DropTail):");
     println!("  router drops:      {}", tcp.drops);
     println!("  probe flow CWND min: {:.1} packets", tcp.min_cwnd);
-    println!("  elephant timeouts: {}  <- each one is a CWND collapse to 1", tcp.timeouts);
+    println!(
+        "  elephant timeouts: {}  <- each one is a CWND collapse to 1",
+        tcp.timeouts
+    );
 
     let ecn = run(true, "figure5_ecn", "mxtraf ECN (RED)");
     println!("\nFigure 5 (ECN, RED):");

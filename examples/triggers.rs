@@ -117,9 +117,7 @@ fn main() {
         grender::render_scope_svg(&scope),
     )
     .expect("write figure");
-    println!(
-        "wrote target/figures/trigger_free_running.ppm and trigger_stabilized.{{ppm,svg}}"
-    );
+    println!("wrote target/figures/trigger_free_running.ppm and trigger_stabilized.{{ppm,svg}}");
 
     // The free-running window ends at an arbitrary phase; asserting
     // inequality across renders would be flaky, but the two snapshots

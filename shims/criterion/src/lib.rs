@@ -1,0 +1,314 @@
+//! Minimal in-workspace stand-in for the `criterion` benchmarking API
+//! surface used by this workspace's benches: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Unlike real criterion there is no statistical outlier analysis or
+//! HTML report: each benchmark is warmed up, timed over a fixed number
+//! of samples, and the median ns/op is printed (plus derived
+//! throughput when configured). A machine-readable summary is appended
+//! to `target/shim-criterion/<group>.json` so CI jobs can archive the
+//! numbers. The container image has no network access to crates.io, so
+//! the real crate cannot be vendored.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(id.to_string(), f);
+        group.finish();
+    }
+}
+
+/// Unit in which a group's throughput is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<(String, f64)>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.to_string();
+        let ns = run_benchmark(self.sample_size, &mut f);
+        self.report(&id, ns);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.to_string();
+        let ns = run_benchmark(self.sample_size, &mut |b| f(b, input));
+        self.report(&id, ns);
+    }
+
+    fn report(&mut self, id: &str, ns_per_iter: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.1} Melem/s", n as f64 / ns_per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        eprintln!("  {}/{}: {ns_per_iter:.1} ns/iter{rate}", self.name, id);
+        self.results.push((id.to_string(), ns_per_iter));
+    }
+
+    /// Finishes the group, writing the JSON summary.
+    pub fn finish(self) {
+        let dir = PathBuf::from("target/shim-criterion");
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.name.replace(['/', ' '], "_")));
+        let mut out = String::from("{\n");
+        for (i, (id, ns)) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "  \"{}\": {{\"ns_per_iter\": {ns:.2}}}{comma}\n",
+                id
+            ));
+        }
+        out.push_str("}\n");
+        if let Ok(mut f) = fs::File::create(&path) {
+            let _ = f.write_all(out.as_bytes());
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, running `setup` fresh before each
+    /// iteration outside the measured region.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// `iter_batched` with per-iteration batches of one — same timing
+    /// strategy as [`Bencher::iter_with_setup`].
+    pub fn iter_batched<I, O>(
+        &mut self,
+        setup: impl FnMut() -> I,
+        routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint (ignored by the shim's per-iteration batching).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    #[default]
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Warms up, picks an iteration count targeting ~2ms per sample, then
+/// returns the median ns/iter across `samples` timed samples.
+fn run_benchmark(samples: usize, f: &mut impl FnMut(&mut Bencher)) -> f64 {
+    // Calibration: find an iteration count that takes ~2ms.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(4).max(iters + 1);
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with --test; skip timing there.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_op() {
+        let ns = run_benchmark(5, &mut |b| b.iter(|| black_box(1u64 + 1)));
+        assert!(ns > 0.0 && ns < 1e6, "implausible timing {ns}");
+    }
+
+    #[test]
+    fn group_writes_summary() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| b.iter(|| black_box(2u64 * 2)));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,288 @@
+//! Minimal in-workspace stand-in for the `parking_lot` API surface used
+//! by this workspace: [`Mutex`], [`RwLock`], and [`Condvar`].
+//!
+//! Built on `std::sync` primitives with parking_lot's ergonomics:
+//! `lock()` returns a guard directly (no `Result`) and locks never
+//! poison — a panic while holding the lock leaves the data accessible
+//! to later lockers, matching parking_lot semantics closely enough for
+//! this codebase. The container image has no network access to
+//! crates.io, so the real crate cannot be vendored; this shim keeps the
+//! public call sites source-compatible.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A mutual-exclusion lock with parking_lot's panic-free `lock()`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Option so Condvar::wait_* can temporarily take the std guard out.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the data (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable operating on [`MutexGuard`]s in place.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard holds the lock");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard holds the lock");
+        let (std_guard, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(res.timed_out())
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// A reader-writer lock with parking_lot's panic-free accessors.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutex_does_not_poison() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0, "lock usable after a panicking holder");
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(false);
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let res = c.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(!*g);
+    }
+
+    #[test]
+    fn condvar_notify_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, c) = &*pair2;
+            let mut started = m.lock();
+            *started = true;
+            c.notify_all();
+        });
+        let (m, c) = &*pair;
+        let mut started = m.lock();
+        while !*started {
+            let _ = c.wait_for(&mut started, Duration::from_millis(100));
+        }
+        assert!(*started);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+}

@@ -1,0 +1,596 @@
+//! Minimal in-workspace stand-in for the `proptest` API surface used by
+//! this workspace's property tests.
+//!
+//! Supported: the `proptest!` macro (with `#![proptest_config(...)]`),
+//! range strategies over integers and floats, `Just`, `any::<bool>()`,
+//! tuple strategies, `prop_oneof!`, `proptest::collection::vec`,
+//! simple character-class regex string strategies
+//! (`"[a-zA-Z][a-zA-Z0-9_.]{0,12}"`), and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the generated inputs' `Debug` rendering, which is enough to
+//! reproduce because generation is deterministic per test name. The
+//! container image has no network access to crates.io, so the real
+//! crate cannot be vendored.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Per-test configuration (`cases` only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A value generator. Object-safe so strategies can be boxed and mixed
+/// by `prop_oneof!`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Boxes the strategy for heterogeneous composition.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy over `T`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+/// Picks uniformly among boxed strategies (`prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain boolean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Returns the canonical strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! `proptest::collection` — vector strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from a
+    /// [`SizeRange`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` with length in `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+// ----- character-class regex string strategies -----
+
+/// One parsed piece of a string pattern: a set of candidate chars plus
+/// a repetition count range.
+struct PatternPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy for string literals interpreted as a simple regex subset:
+/// concatenations of literal characters and `[...]` classes, each
+/// optionally followed by `{m}`, `{m,n}`, `?`, `+`, or `*`.
+pub struct StringPattern {
+    parts: Vec<PatternPart>,
+}
+
+impl StringPattern {
+    /// Parses the supported regex subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the subset, naming the offending
+    /// pattern — a shim limitation surfaced loudly rather than
+    /// silently misgenerating.
+    pub fn parse(pattern: &str) -> Self {
+        let mut parts = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(k) = it.next() else {
+                            panic!("unterminated [class] in pattern {pattern:?}");
+                        };
+                        match k {
+                            ']' => break,
+                            '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                                let lo = prev.take().expect("checked") as u32 + 1;
+                                let hi = it.next().expect("peeked") as u32;
+                                assert!(lo <= hi + 1, "bad class range in {pattern:?}");
+                                for cp in lo..=hi {
+                                    if let Some(ch) = char::from_u32(cp) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                            other => {
+                                if let Some(p) = prev.replace(other) {
+                                    set.push(p);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    assert!(!set.is_empty(), "empty [class] in pattern {pattern:?}");
+                    set
+                }
+                '\\' => vec![it.next().unwrap_or('\\')],
+                '.' => (' '..='~').collect(),
+                '(' | ')' | '|' => {
+                    panic!("pattern {pattern:?} uses unsupported regex syntax {c:?} (shim)")
+                }
+                lit => vec![lit],
+            };
+            // Optional quantifier.
+            let (min, max) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let mut digits = String::new();
+                    let mut min = None;
+                    loop {
+                        match it.next() {
+                            Some('}') => break,
+                            Some(',') => min = Some(digits.split_off(0)),
+                            Some(d) if d.is_ascii_digit() => digits.push(d),
+                            other => panic!("bad {{m,n}} in {pattern:?}: {other:?}"),
+                        }
+                    }
+                    match min {
+                        Some(m) => {
+                            let lo: usize = m.parse().expect("digits");
+                            let hi: usize = digits.parse().expect("digits");
+                            (lo, hi)
+                        }
+                        None => {
+                            let n: usize = digits.parse().expect("digits");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    it.next();
+                    (0, 1)
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            parts.push(PatternPart { chars, min, max });
+        }
+        StringPattern { parts }
+    }
+}
+
+impl Strategy for StringPattern {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for p in &self.parts {
+            let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(p.chars[rng.below(p.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringPattern::parse(self).generate(rng)
+    }
+}
+
+// ----- macros -----
+
+/// Mirror of proptest's `prop_assert!`: plain assertion (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirror of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirror of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Mirror of proptest's `prop_assume!`: skips the rest of the current
+/// case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The property-test macro: turns `fn name(arg in strategy, ...) {...}`
+/// items into `#[test]` functions running `cases` deterministic random
+/// cases each.
+#[macro_export]
+macro_rules! proptest {
+    // Entry with explicit config.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    // Internal muncher: one function, then recurse.
+    (@funcs ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..cfg.cases {
+                // One closure per case so generated bindings drop between
+                // cases and `prop_assume!` can early-return. `mut` is
+                // needed only when $body captures outer state mutably.
+                #[allow(unused_mut)]
+                let mut case = |rng: &mut $crate::TestRng| {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, rng);)+
+                    $body
+                };
+                case(&mut rng);
+            }
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)) => {};
+    // Entry without config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::deterministic("string_pattern_subset");
+        let strat = "[a-zA-Z][a-zA-Z0-9_.]{0,12}";
+        for _ in 0..500 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().expect("non-empty").is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn union_and_just() {
+        let mut rng = TestRng::deterministic("union_and_just");
+        let strat = prop_oneof![Just(0.0f64), -1.0..1.0f64, Just(42.0)];
+        let mut saw_42 = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == 42.0 || (-1.0..1.0).contains(&v) || v == 0.0);
+            saw_42 |= v == 42.0;
+        }
+        assert!(saw_42, "all arms should be reachable");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            xs in crate::collection::vec(0u64..100, 3..7),
+            exact in crate::collection::vec(-1.0..1.0f64, 5),
+            nested in crate::collection::vec(crate::collection::vec(0usize..4, 0..3), 1..4),
+        ) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert_eq!(exact.len(), 5);
+            prop_assert!((1..4).contains(&nested.len()));
+        }
+
+        #[test]
+        fn tuples_and_bools(
+            t in (1u64..10, -5.0..5.0f64, 0usize..3),
+            b in any::<bool>(),
+        ) {
+            prop_assert!((1..10).contains(&t.0));
+            prop_assert!((-5.0..5.0).contains(&t.1));
+            prop_assert!(t.2 < 3);
+            prop_assert_eq!(b as u8 | (!b) as u8, 1);
+        }
+    }
+}

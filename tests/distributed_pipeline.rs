@@ -22,7 +22,11 @@ fn run_pipeline(
     let mut scope = Scope::new("pipeline", 200, 60, Arc::clone(&clock));
     scope.set_delay(delay);
     scope
-        .add_signal(signal, SigSource::Buffer, SigConfig::default().with_range(0.0, 1000.0))
+        .add_signal(
+            signal,
+            SigSource::Buffer,
+            SigConfig::default().with_range(0.0, 1000.0),
+        )
         .unwrap();
     scope.set_polling_mode(TimeDelta::from_millis(5)).unwrap();
     scope.start();
@@ -34,7 +38,10 @@ fn run_pipeline(
     let server = Arc::new(Mutex::new(server));
 
     // Display-side loop thread: io watch (server) + scope timeout.
-    let mut ml = MainLoop::with_quantizer(Arc::clone(&clock), Quantizer::new(TimeDelta::from_millis(1)));
+    let mut ml = MainLoop::with_quantizer(
+        Arc::clone(&clock),
+        Quantizer::new(TimeDelta::from_millis(1)),
+    );
     attach_scope(&scope, &mut ml);
     attach_server(&server, &mut ml);
     let handle = ml.handle();
@@ -42,8 +49,10 @@ fn run_pipeline(
 
     // Client-side loop thread: stream `samples` tuples at 2 ms spacing.
     let client = Arc::new(Mutex::new(ScopeClient::connect(addr).unwrap()));
-    let mut client_ml =
-        MainLoop::with_quantizer(Arc::clone(&clock), Quantizer::new(TimeDelta::from_millis(1)));
+    let mut client_ml = MainLoop::with_quantizer(
+        Arc::clone(&clock),
+        Quantizer::new(TimeDelta::from_millis(1)),
+    );
     {
         let client2 = Arc::clone(&client);
         let mut sent = 0u64;

@@ -147,7 +147,11 @@ fn dynamic_signal_add_remove_mid_run() {
         let guard = scope.lock();
         assert_eq!(guard.signal_count(), 2);
         let b = guard.display_window("b");
-        assert!(b.len() >= 19 && b.len() <= 21, "b has ~20 columns: {}", b.len());
+        assert!(
+            b.len() >= 19 && b.len() <= 21,
+            "b has ~20 columns: {}",
+            b.len()
+        );
     }
     // And remove the original.
     scope.lock().remove_signal("a").unwrap();
@@ -165,7 +169,8 @@ fn multiple_scopes_share_one_loop() {
         let mut s = Scope::new(name, 100, 60, Arc::new(clock.clone()));
         s.add_signal("x", IntVar::new(1).into(), SigConfig::default())
             .unwrap();
-        s.set_polling_mode(TimeDelta::from_millis(period_ms)).unwrap();
+        s.set_polling_mode(TimeDelta::from_millis(period_ms))
+            .unwrap();
         s.start();
         s.into_shared()
     };

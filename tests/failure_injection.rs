@@ -137,7 +137,8 @@ fn server_survives_client_that_sends_garbage_then_dies() {
         let mut s = std::net::TcpStream::connect(addr).unwrap();
         // Binary junk including invalid UTF-8, then a valid line, then
         // a half line cut off by disconnect.
-        s.write_all(b"\xff\xfe\x00garbage\n5 1 good\n999 incomple").unwrap();
+        s.write_all(b"\xff\xfe\x00garbage\n5 1 good\n999 incomple")
+            .unwrap();
         s.flush().unwrap();
     } // disconnect
     for _ in 0..2000 {

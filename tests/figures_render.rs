@@ -4,16 +4,18 @@
 use std::sync::Arc;
 
 use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
-use gscope::{
-    BoolVar, Color, IntVar, ParamSet, Parameter, Scope, SigConfig, Trigger,
-};
+use gscope::{BoolVar, Color, IntVar, ParamSet, Parameter, Scope, SigConfig, Trigger};
 
 fn ticked_scope() -> Scope {
     let clock = VirtualClock::new();
     let mut scope = Scope::new("fig", 160, 80, Arc::new(clock.clone()));
     let v = IntVar::new(0);
     scope
-        .add_signal("sig", v.clone().into(), SigConfig::default().with_show_value(true))
+        .add_signal(
+            "sig",
+            v.clone().into(),
+            SigConfig::default().with_show_value(true),
+        )
         .unwrap();
     scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
     scope.start();
@@ -47,7 +49,14 @@ fn figure1_widget_is_valid_ppm() {
 fn figure1_svg_contains_scene_elements() {
     let scope = ticked_scope();
     let svg = grender::render_scope_svg(&scope);
-    for needle in ["<svg", "fig [polling]", "zoom 1.00", "period 50ms", "sig", "Value:"] {
+    for needle in [
+        "<svg",
+        "fig [polling]",
+        "zoom 1.00",
+        "period 50ms",
+        "sig",
+        "Value:",
+    ] {
         assert!(svg.contains(needle), "missing {needle:?}");
     }
 }
@@ -80,7 +89,14 @@ fn figure3_param_window_contents() {
         .add(Parameter::bool("ecn_enabled", BoolVar::new(true)))
         .unwrap();
     let svg = grender::render_param_window_svg(&params);
-    for needle in ["Application Parameters", "elephants", "16", "0..40", "ecn_enabled", "on"] {
+    for needle in [
+        "Application Parameters",
+        "elephants",
+        "16",
+        "0..40",
+        "ecn_enabled",
+        "on",
+    ] {
         assert!(svg.contains(needle), "missing {needle:?}");
     }
     let fb = grender::render_param_window(&params);

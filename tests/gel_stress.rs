@@ -37,10 +37,8 @@ fn concurrent_invokes_source_churn_and_quit() {
                     c2.fetch_add(1, Ordering::SeqCst);
                     // Churn: install a short-lived source and a stale
                     // removal to exercise slot reuse under load.
-                    let id = ml.add_timeout(
-                        TimeDelta::from_millis(1),
-                        Box::new(|_| Continue::Remove),
-                    );
+                    let id =
+                        ml.add_timeout(TimeDelta::from_millis(1), Box::new(|_| Continue::Remove));
                     if (t + i) % 3 == 0 {
                         ml.remove_source(id);
                     }

@@ -6,12 +6,7 @@ use gscope::{Aggregation, EventAccumulator, History, Tuple, TupleReader, TupleWr
 use proptest::prelude::*;
 
 fn finite_value() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1e9..1e9f64,
-        Just(0.0),
-        Just(-0.0),
-        -1.0..1.0f64,
-    ]
+    prop_oneof![-1e9..1e9f64, Just(0.0), Just(-0.0), -1.0..1.0f64,]
 }
 
 proptest! {

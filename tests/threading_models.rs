@@ -20,7 +20,11 @@ fn scope_in_its_own_thread_application_in_another() {
 
     let mut scope = Scope::new("mt", 400, 60, Arc::clone(&clock));
     scope
-        .add_signal("counter", counter.clone().into(), SigConfig::default().with_range(0.0, 1e6))
+        .add_signal(
+            "counter",
+            counter.clone().into(),
+            SigConfig::default().with_range(0.0, 1e6),
+        )
         .unwrap();
     scope
         .add_signal("level", level.clone().into(), SigConfig::default())
