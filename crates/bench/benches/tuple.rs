@@ -39,6 +39,19 @@ fn bench_format(c: &mut Criterion) {
             w.into_inner().len()
         });
     });
+    group.bench_function("write_line_into_x1000", |b| {
+        // The zero-allocation encoder: same bytes, reused buffer.
+        let mut buf = Vec::with_capacity(64);
+        b.iter(|| {
+            let mut total = 0usize;
+            for t in &tuples {
+                buf.clear();
+                t.write_line_into(&mut buf);
+                total += buf.len();
+            }
+            total
+        });
+    });
     group.finish();
 }
 
@@ -54,6 +67,10 @@ fn bench_parse(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("parse_line", |b| {
         b.iter(|| Tuple::parse_line(&one_line, 1).unwrap());
+    });
+    group.bench_function("parse_raw", |b| {
+        // The borrowing parse: no String, no Arc bump.
+        b.iter(|| Tuple::parse_raw(&one_line, 1).unwrap().value);
     });
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("reader_1000_lines", |b| {

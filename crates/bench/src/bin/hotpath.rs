@@ -1,0 +1,381 @@
+//! Hot-path benchmark baselines: emits `BENCH_tuple.json`,
+//! `BENCH_poll.json`, and `BENCH_buffer.json` with median ns/iter for
+//! the three paths the zero-allocation work targets (tuple codec,
+//! `poll_tick`, buffer ingestion), so the perf trajectory is tracked
+//! in-repo from this PR onward.
+//!
+//! The `before` numbers are the criterion medians recorded on this
+//! machine immediately before the interned-codec / allocation-free
+//! tick / sharded-buffer changes landed; `after` is measured live.
+//! Criterion itself is a dev-dependency (benches only), so this bin
+//! self-times with `Instant` and reports the median across samples.
+//!
+//! Usage: `hotpath [--quick] [--out DIR]`
+//!   --quick   fewer samples/iters (CI smoke)
+//!   --out DIR directory for the BENCH_*.json files (default `.`)
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gel::{Clock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gscope::{ScopeBuffer, Tuple, TupleReader, TupleWriter};
+use gscope_bench::scope_with_int_signals;
+
+/// One benchmark row: an id, the pre-optimization criterion median
+/// (ns/iter; `None` for paths that did not exist before), and the
+/// freshly measured median.
+struct Row {
+    id: &'static str,
+    before_ns: Option<f64>,
+    after_ns: f64,
+}
+
+struct Cfg {
+    samples: usize,
+    quick: bool,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Median ns per call of `f` across `cfg.samples` timed batches of
+/// `iters` calls each (one warm-up batch first).
+fn measure<F: FnMut()>(cfg: &Cfg, iters: u64, mut f: F) -> f64 {
+    for _ in 0..iters {
+        f();
+    }
+    let samples: Vec<f64> = (0..cfg.samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    median(samples)
+}
+
+fn sample_tuples(n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                TimeStamp::from_micros(i as u64 * 1_250),
+                (i as f64 * 0.731).sin() * 1000.0,
+                format!("signal{}", i % 8),
+            )
+        })
+        .collect()
+}
+
+fn bench_tuple(cfg: &Cfg) -> Vec<Row> {
+    let tuples = sample_tuples(1000);
+    let iters = if cfg.quick { 20 } else { 200 };
+
+    let to_line = measure(cfg, iters, || {
+        let mut total = 0usize;
+        for t in &tuples {
+            total += t.to_line().len();
+        }
+        black_box(total);
+    });
+    let writer = measure(cfg, iters, || {
+        let mut w = TupleWriter::new(Vec::with_capacity(64 * 1024));
+        for t in &tuples {
+            w.write_tuple(t).unwrap();
+        }
+        black_box(w.into_inner().len());
+    });
+    let mut line_buf = Vec::with_capacity(64);
+    let write_into = measure(cfg, iters, || {
+        let mut total = 0usize;
+        for t in &tuples {
+            line_buf.clear();
+            t.write_line_into(&mut line_buf);
+            total += line_buf.len();
+        }
+        black_box(total);
+    });
+
+    let one_line = tuples[0].to_line();
+    let parse_iters = if cfg.quick { 10_000 } else { 100_000 };
+    let parse_line = measure(cfg, parse_iters, || {
+        black_box(Tuple::parse_line(&one_line, 1).unwrap());
+    });
+    let parse_raw = measure(cfg, parse_iters, || {
+        black_box(Tuple::parse_raw(&one_line, 1).unwrap().value);
+    });
+    let mut w = TupleWriter::new(Vec::new());
+    for t in &tuples {
+        w.write_tuple(t).unwrap();
+    }
+    let bytes = w.into_inner();
+    let reader = measure(cfg, iters, || {
+        black_box(TupleReader::new(bytes.as_slice()).read_all().unwrap().len());
+    });
+
+    vec![
+        Row {
+            id: "tuple/format/to_line_x1000",
+            before_ns: Some(499_576.8),
+            after_ns: to_line,
+        },
+        Row {
+            id: "tuple/format/writer_x1000",
+            before_ns: Some(497_281.0),
+            after_ns: writer,
+        },
+        Row {
+            id: "tuple/format/write_line_into_x1000",
+            before_ns: None,
+            after_ns: write_into,
+        },
+        Row {
+            id: "tuple/parse/parse_line",
+            before_ns: Some(90.6),
+            after_ns: parse_line,
+        },
+        Row {
+            id: "tuple/parse/parse_raw",
+            before_ns: None,
+            after_ns: parse_raw,
+        },
+        Row {
+            id: "tuple/parse/reader_1000_lines",
+            before_ns: Some(212_059.4),
+            after_ns: reader,
+        },
+    ]
+}
+
+fn tick_at(n: u64, period: TimeDelta) -> TickInfo {
+    let now = TimeStamp::ZERO + period.saturating_mul(n + 1);
+    TickInfo {
+        now,
+        scheduled: now,
+        missed: 0,
+    }
+}
+
+fn bench_poll(cfg: &Cfg) -> Vec<Row> {
+    let period = TimeDelta::from_millis(10);
+    let before = [
+        ("poll_tick/signals/1", 340.7),
+        ("poll_tick/signals/4", 829.1),
+        ("poll_tick/signals/16", 2_710.1),
+        ("poll_tick/signals/64", 10_780.1),
+    ];
+    let iters = if cfg.quick { 2_000 } else { 20_000 };
+    [1usize, 4, 16, 64]
+        .iter()
+        .zip(before)
+        .map(|(&n, (id, before_ns))| {
+            let (mut scope, vars, _clock) = scope_with_int_signals(n, 640, period);
+            let mut k = 0u64;
+            let after_ns = measure(cfg, iters, || {
+                k += 1;
+                for v in &vars {
+                    v.set(k as i64);
+                }
+                scope.tick(&tick_at(k, period));
+            });
+            Row {
+                id,
+                before_ns: Some(before_ns),
+                after_ns,
+            }
+        })
+        .collect()
+}
+
+fn make_buffer(delay_ms: u64) -> (ScopeBuffer, VirtualClock) {
+    let clock = VirtualClock::new();
+    let buf = ScopeBuffer::new(
+        Arc::new(clock.clone()) as Arc<dyn Clock>,
+        TimeDelta::from_millis(delay_ms),
+    );
+    (buf, clock)
+}
+
+fn bench_buffer(cfg: &Cfg) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    let (buf, _clock) = make_buffer(1_000_000);
+    let push_iters = if cfg.quick { 10_000 } else { 50_000 };
+    // Clear between samples so the shard holds at most one batch —
+    // otherwise the benchmark measures the growth of a multi-million
+    // entry Vec, not the push path.
+    let single = median(
+        (0..cfg.samples.max(10))
+            .map(|_| {
+                buf.clear();
+                let start = Instant::now();
+                for i in 1..=push_iters {
+                    black_box(buf.push_sample("s", TimeStamp::from_micros(i), i as f64));
+                }
+                start.elapsed().as_nanos() as f64 / push_iters as f64
+            })
+            .collect(),
+    );
+    buf.clear();
+    rows.push(Row {
+        id: "buffer/push/single_producer",
+        before_ns: Some(59.7),
+        after_ns: single,
+    });
+
+    let (late_buf, late_clock) = make_buffer(1);
+    late_clock.advance(TimeDelta::from_secs(100));
+    let late = measure(cfg, push_iters, || {
+        black_box(late_buf.push_sample("s", TimeStamp::from_millis(1), 1.0));
+    });
+    rows.push(Row {
+        id: "buffer/push/push_then_late_drop",
+        before_ns: Some(46.5),
+        after_ns: late,
+    });
+
+    let drain_before = [
+        ("buffer/drain/100", 100usize, 4_678.8),
+        ("buffer/drain/1000", 1_000, 64_796.6),
+        ("buffer/drain/10000", 10_000, 915_165.2),
+    ];
+    for (id, n, before_ns) in drain_before {
+        let (buf, _clock) = make_buffer(1_000_000);
+        let mut out = Vec::with_capacity(n);
+        // Time only the drain: the fills between timed sections are
+        // excluded by timing each drain individually and taking the
+        // median, mirroring criterion's iter_with_setup.
+        let samples: Vec<f64> = (0..cfg.samples.max(10))
+            .map(|_| {
+                for i in 0..n {
+                    buf.push_sample("s", TimeStamp::from_micros(i as u64), i as f64);
+                }
+                out.clear();
+                let start = Instant::now();
+                buf.drain_until_into(TimeStamp::from_secs(3600), &mut out);
+                let ns = start.elapsed().as_nanos() as f64;
+                assert_eq!(out.len(), n);
+                ns
+            })
+            .collect();
+        rows.push(Row {
+            id,
+            before_ns: Some(before_ns),
+            after_ns: median(samples),
+        });
+    }
+
+    let (buf, _clock) = make_buffer(1_000_000);
+    let contended_iters = if cfg.quick { 20 } else { 100 };
+    let contended = measure(cfg, contended_iters, || {
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let bb = buf.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        bb.push_sample("s", TimeStamp::from_micros(tid * 1000 + i), i as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        black_box(buf.drain_until(TimeStamp::from_secs(3600)).len());
+    });
+    rows.push(Row {
+        id: "buffer/contended_push/4_threads_x_250",
+        before_ns: Some(246_838.3),
+        after_ns: contended,
+    });
+
+    rows
+}
+
+fn fmt_ns(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+fn write_json(dir: &str, bench: &str, rows: &[Row]) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    s.push_str("  \"unit\": \"ns_per_iter\",\n");
+    s.push_str("  \"results\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let before = r.before_ns.map_or_else(|| "null".to_owned(), fmt_ns);
+        let speedup = r
+            .before_ns
+            .map_or_else(|| "null".to_owned(), |b| format!("{:.2}", b / r.after_ns));
+        s.push_str(&format!(
+            "    \"{}\": {{ \"before\": {}, \"after\": {}, \"speedup\": {} }}{}\n",
+            r.id,
+            before,
+            fmt_ns(r.after_ns),
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    let path = format!("{dir}/BENCH_{bench}.json");
+    std::fs::write(&path, &s)?;
+    Ok(path)
+}
+
+fn print_rows(rows: &[Row]) {
+    for r in rows {
+        match r.before_ns {
+            Some(b) => println!(
+                "  {:<42} before {:>12.1}  after {:>12.1}  ({:.2}x)",
+                r.id,
+                b,
+                r.after_ns,
+                b / r.after_ns
+            ),
+            None => println!(
+                "  {:<42} before          --  after {:>12.1}",
+                r.id, r.after_ns
+            ),
+        }
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = ".".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out requires a directory"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = Cfg {
+        samples: if quick { 7 } else { 31 },
+        quick,
+    };
+
+    for (bench, rows) in [
+        ("tuple", bench_tuple(&cfg)),
+        ("poll", bench_poll(&cfg)),
+        ("buffer", bench_buffer(&cfg)),
+    ] {
+        let path = write_json(&out, bench, &rows).expect("write BENCH json");
+        println!("{path}");
+        print_rows(&rows);
+    }
+}

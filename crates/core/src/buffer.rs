@@ -6,10 +6,24 @@
 //! in-flight data time to arrive; a sample that shows up after its
 //! display deadline has already passed "is not buffered but dropped
 //! immediately" (§4.4) and counted.
+//!
+//! # Ingestion layout
+//!
+//! Producers do not share one lock. Pushes land in one of a fixed set
+//! of *shards* — plain `Mutex<Vec<Entry>>` segments — with each
+//! producer thread pinned to a shard, so concurrent producers (and the
+//! scope thread draining) contend only when they hash to the same
+//! shard. Global time ordering is reconstructed at drain time: the
+//! drain sweeps every shard into a staging min-heap ordered by
+//! `(time, seq)` where `seq` is a process-wide insertion counter, then
+//! pops everything up to the cutoff. Pushing is therefore an
+//! O(1) `Vec::push` under a mostly-uncontended lock instead of an
+//! O(log n) heap insert under a single hot one.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use gel::{Clock, TimeDelta, TimeStamp};
@@ -17,12 +31,17 @@ use parking_lot::Mutex;
 
 use crate::tuple::Tuple;
 
+/// Number of ingestion shards. Power of two, sized for "a handful of
+/// producer threads plus the scope thread" — more shards than typical
+/// producers so the thread→shard pinning rarely collides.
+const SHARDS: usize = 8;
+
 #[derive(Debug)]
 struct Entry {
     time: TimeStamp,
     seq: u64,
     value: f64,
-    name: Option<String>,
+    name: Option<Arc<str>>,
 }
 
 impl PartialEq for Entry {
@@ -46,11 +65,39 @@ impl Ord for Entry {
 }
 
 #[derive(Default)]
-struct Inner {
-    heap: BinaryHeap<Reverse<Entry>>,
-    seq: u64,
-    late_drops: u64,
-    inserted: u64,
+struct Core {
+    /// Per-producer ingestion segments; unsorted, merged at drain time.
+    shards: [Mutex<Vec<Entry>>; SHARDS],
+    /// Drain-side staging heap holding swept-but-not-yet-due samples.
+    staged: Mutex<BinaryHeap<Reverse<Entry>>>,
+    /// Process-wide insertion counter; breaks time ties in push order
+    /// and doubles as the lifetime accepted-sample count (late drops
+    /// never reach it).
+    seq: AtomicU64,
+    /// Samples removed by drains and clears. `seq - drained` is the
+    /// queue population, letting the tick path skip all nine locks
+    /// when the buffer is empty — the common case for a polling scope.
+    drained: AtomicU64,
+    late_drops: AtomicU64,
+}
+
+/// Returns this thread's shard slot, assigned round-robin on first use.
+///
+/// Pinning (rather than hashing per push) keeps a producer's samples in
+/// one segment, so its cache lines are not bounced between shards.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(idx);
+        }
+        idx
+    })
 }
 
 /// Thread-safe timestamped sample queue shared by a scope and its data
@@ -61,7 +108,7 @@ struct Inner {
 /// (§4.4) while the scope keeps draining it.
 #[derive(Clone)]
 pub struct ScopeBuffer {
-    inner: Arc<Mutex<Inner>>,
+    core: Arc<Core>,
     delay_us: Arc<AtomicU64>,
     clock: Arc<dyn Clock>,
 }
@@ -70,7 +117,7 @@ impl ScopeBuffer {
     /// Creates an empty buffer with the given display delay.
     pub fn new(clock: Arc<dyn Clock>, delay: TimeDelta) -> Self {
         ScopeBuffer {
-            inner: Arc::new(Mutex::new(Inner::default())),
+            core: Arc::new(Core::default()),
             delay_us: Arc::new(AtomicU64::new(delay.as_micros())),
             clock,
         }
@@ -105,25 +152,22 @@ impl ScopeBuffer {
     /// ```
     pub fn push(&self, tuple: Tuple) -> bool {
         let deadline = tuple.time.saturating_add(self.delay());
-        let mut inner = self.inner.lock();
         if deadline < self.clock.now() {
-            inner.late_drops += 1;
+            self.core.late_drops.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.inserted += 1;
-        inner.heap.push(Reverse(Entry {
+        let seq = self.core.seq.fetch_add(1, Ordering::Relaxed);
+        self.core.shards[shard_index()].lock().push(Entry {
             time: tuple.time,
             seq,
             value: tuple.value,
             name: tuple.name,
-        }));
+        });
         true
     }
 
     /// Convenience: enqueue a named sample.
-    pub fn push_sample(&self, name: impl Into<String>, time: TimeStamp, value: f64) -> bool {
+    pub fn push_sample(&self, name: impl AsRef<str>, time: TimeStamp, value: f64) -> bool {
         self.push(Tuple::new(time, value, name))
     }
 
@@ -132,25 +176,47 @@ impl ScopeBuffer {
     ///
     /// The scope calls this each tick with `cutoff = now − delay`.
     pub fn drain_until(&self, cutoff: TimeStamp) -> Vec<Tuple> {
-        let mut inner = self.inner.lock();
         let mut out = Vec::new();
-        while let Some(Reverse(head)) = inner.heap.peek() {
+        self.drain_until_into(cutoff, &mut out);
+        out
+    }
+
+    /// [`ScopeBuffer::drain_until`] into a caller-owned vector, so the
+    /// scope tick can reuse one allocation across ticks. Appends to
+    /// `out` without clearing it.
+    pub fn drain_until_into(&self, cutoff: TimeStamp, out: &mut Vec<Tuple>) {
+        // Lock-free fast path: nothing queued anywhere. A push racing
+        // with this check is simply picked up on the next tick, which
+        // the delay semantics already allow.
+        if self.is_empty() {
+            return;
+        }
+        let mut staged = self.core.staged.lock();
+        for shard in &self.core.shards {
+            let mut pending = shard.lock();
+            staged.extend(pending.drain(..).map(Reverse));
+        }
+        let mut popped = 0u64;
+        while let Some(Reverse(head)) = staged.peek() {
             if head.time > cutoff {
                 break;
             }
-            let Reverse(e) = inner.heap.pop().expect("peeked entry exists");
+            let Reverse(e) = staged.pop().expect("peeked entry exists");
+            popped += 1;
             out.push(Tuple {
                 time: e.time,
                 value: e.value,
                 name: e.name,
             });
         }
-        out
+        self.core.drained.fetch_add(popped, Ordering::Relaxed);
     }
 
-    /// Number of samples waiting in the buffer.
+    /// Number of samples waiting in the buffer (lock-free).
     pub fn len(&self) -> usize {
-        self.inner.lock().heap.len()
+        let inserted = self.core.seq.load(Ordering::Relaxed);
+        let drained = self.core.drained.load(Ordering::Relaxed);
+        inserted.saturating_sub(drained) as usize
     }
 
     /// Returns true if no samples are waiting.
@@ -160,17 +226,26 @@ impl ScopeBuffer {
 
     /// Samples rejected because they arrived after their deadline.
     pub fn late_drops(&self) -> u64 {
-        self.inner.lock().late_drops
+        self.core.late_drops.load(Ordering::Relaxed)
     }
 
     /// Samples accepted over the buffer's lifetime.
     pub fn total_inserted(&self) -> u64 {
-        self.inner.lock().inserted
+        self.core.seq.load(Ordering::Relaxed)
     }
 
     /// Discards everything queued.
     pub fn clear(&self) {
-        self.inner.lock().heap.clear();
+        let mut removed = 0u64;
+        for shard in &self.core.shards {
+            let mut pending = shard.lock();
+            removed += pending.len() as u64;
+            pending.clear();
+        }
+        let mut staged = self.core.staged.lock();
+        removed += staged.len() as u64;
+        staged.clear();
+        self.core.drained.fetch_add(removed, Ordering::Relaxed);
     }
 }
 
@@ -243,6 +318,32 @@ mod tests {
     }
 
     #[test]
+    fn partial_drain_keeps_future_samples_ordered() {
+        // Samples swept into the staging heap but past the cutoff must
+        // merge correctly with samples pushed after the drain.
+        let (buf, _clock) = buffer_at(10_000);
+        buf.push_sample("s", TimeStamp::from_millis(40), 4.0);
+        buf.push_sample("s", TimeStamp::from_millis(10), 1.0);
+        assert_eq!(buf.drain_until(TimeStamp::from_millis(20)).len(), 1);
+        buf.push_sample("s", TimeStamp::from_millis(30), 3.0);
+        let rest = buf.drain_until(TimeStamp::from_millis(100));
+        let values: Vec<f64> = rest.iter().map(|t| t.value).collect();
+        assert_eq!(values, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn drain_into_appends_and_reuses_capacity() {
+        let (buf, _clock) = buffer_at(1_000);
+        buf.push_sample("s", TimeStamp::from_millis(1), 1.0);
+        let mut out = Vec::new();
+        buf.drain_until_into(TimeStamp::from_millis(5), &mut out);
+        assert_eq!(out.len(), 1);
+        buf.push_sample("s", TimeStamp::from_millis(2), 2.0);
+        buf.drain_until_into(TimeStamp::from_millis(5), &mut out);
+        assert_eq!(out.len(), 2, "appends without clearing");
+    }
+
+    #[test]
     fn concurrent_producers() {
         let (buf, _clock) = buffer_at(10_000);
         let mut handles = Vec::new();
@@ -264,5 +365,24 @@ mod tests {
         for w in drained.windows(2) {
             assert!(w[0].time <= w[1].time);
         }
+    }
+
+    #[test]
+    fn per_thread_push_order_survives_sharding() {
+        // A single producer's equal-time samples must still drain in its
+        // push order even though shards are merged at drain time.
+        let (buf, _clock) = buffer_at(10_000);
+        let b = buf.clone();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                b.push_sample("t", TimeStamp::from_millis(7), i as f64);
+            }
+        })
+        .join()
+        .unwrap();
+        let got = buf.drain_until(TimeStamp::from_millis(7));
+        let values: Vec<f64> = got.iter().map(|t| t.value).collect();
+        let expect: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(values, expect);
     }
 }

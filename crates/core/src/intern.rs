@@ -1,0 +1,153 @@
+//! Signal-name interning for the tuple hot paths.
+//!
+//! Every layer of the pipeline — recorder, network client/server,
+//! playback, the scope-wide buffer — tags samples with a signal name.
+//! A monitoring session uses a handful of distinct names but moves
+//! millions of tuples, so storing a `String` per tuple means a heap
+//! allocation (and later a free) per sample on the wire. Interning
+//! collapses that to one shared `Arc<str>` per *distinct* name: cloning
+//! the handle is a reference-count bump, equality on hot paths can
+//! short-circuit on pointer identity, and parse/format loops run
+//! allocation-free in steady state.
+//!
+//! The table is two-level: a thread-local cache serves repeat lookups
+//! without synchronization (producer threads pushing into a
+//! [`ScopeBuffer`](crate::ScopeBuffer) never contend with each other or
+//! with the scope thread), backed by a global table that guarantees one
+//! canonical `Arc<str>` per name process-wide.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// FNV-1a. Signal names are short (a dozen bytes), so the repeat-lookup
+/// cost in the thread-local cache is dominated by hashing; FNV beats
+/// SipHash severalfold at these lengths. Only the local cache uses it —
+/// the global table keeps the default DoS-resistant hasher, since names
+/// can arrive from the network and the global table is off the hot
+/// path (one miss per name per thread).
+#[derive(Default)]
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+fn global_table() -> &'static Mutex<HashSet<Arc<str>>> {
+    static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+thread_local! {
+    static LOCAL_TABLE: RefCell<HashSet<Arc<str>, BuildHasherDefault<Fnv>>> =
+        RefCell::new(HashSet::default());
+}
+
+/// Returns the canonical shared handle for `name`.
+///
+/// The first call for a given name allocates once (plus a global-table
+/// entry); every later call from any thread returns a clone of the same
+/// `Arc<str>` — repeat lookups on the calling thread are lock-free.
+///
+/// # Examples
+///
+/// ```
+/// use gscope::intern;
+///
+/// let a = intern("CWND");
+/// let b = intern("CWND");
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// ```
+pub fn intern(name: &str) -> Arc<str> {
+    LOCAL_TABLE.with(|local| {
+        if let Some(hit) = local.borrow().get(name) {
+            return Arc::clone(hit);
+        }
+        let canonical = intern_global(name);
+        local.borrow_mut().insert(Arc::clone(&canonical));
+        canonical
+    })
+}
+
+fn intern_global(name: &str) -> Arc<str> {
+    let mut table = global_table().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = table.get(name) {
+        return Arc::clone(hit);
+    }
+    let canonical: Arc<str> = Arc::from(name);
+    table.insert(Arc::clone(&canonical));
+    canonical
+}
+
+/// Number of distinct names interned process-wide so far.
+///
+/// Monitoring sessions use a bounded signal vocabulary, so this stays
+/// small; a runaway value indicates a producer generating unbounded
+/// unique names (which would also defeat interning's purpose).
+pub fn interned_count() -> usize {
+    global_table()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_one_allocation() {
+        let a = intern("intern-test-shared");
+        let b = intern("intern-test-shared");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "intern-test-shared");
+    }
+
+    #[test]
+    fn distinct_names_stay_distinct() {
+        let a = intern("intern-test-x");
+        let b = intern("intern-test-y");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cross_thread_interning_is_canonical() {
+        let here = intern("intern-test-cross");
+        let there = std::thread::spawn(|| intern("intern-test-cross"))
+            .join()
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&here, &there),
+            "threads must agree on the canonical handle"
+        );
+    }
+
+    #[test]
+    fn count_grows_with_new_names() {
+        let before = interned_count();
+        intern("intern-test-count-unique-name");
+        assert!(interned_count() >= before);
+        intern("intern-test-count-unique-name");
+        // A repeat lookup adds nothing.
+        let after = interned_count();
+        intern("intern-test-count-unique-name");
+        assert_eq!(interned_count(), after);
+    }
+}

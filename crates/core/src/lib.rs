@@ -71,6 +71,7 @@ mod buffer;
 mod config;
 mod error;
 mod history;
+mod intern;
 mod param;
 mod scope;
 mod signal;
@@ -85,6 +86,7 @@ pub use buffer::ScopeBuffer;
 pub use config::{Color, LineMode, SigConfig};
 pub use error::{Result, ScopeError};
 pub use history::History;
+pub use intern::{intern, interned_count};
 pub use param::{ParamBinding, ParamSet, ParamValue, Parameter};
 pub use scope::{
     attach_scope, Measurement, Scope, ScopeStats, SharedScope, DEFAULT_PERIOD, UNNAMED_SIGNAL,
@@ -93,5 +95,5 @@ pub use signal::{EventSink, Signal};
 pub use source::SigSource;
 pub use telemetry::{metric_signal, ScopeTelemetry, StatsExport};
 pub use trigger::{Envelope, Trigger, TriggerEdge, TriggerMode};
-pub use tuple::{Tuple, TupleReader, TupleWriter};
+pub use tuple::{write_tuple_line, RawTuple, Tuple, TupleReader, TupleWriter};
 pub use value::{BoolVar, FloatVar, IntVar, ShortVar};

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use gdsp::{Bin, SpectrumConfig};
 use gel::{Clock, Continue, MainLoop, SourceId, TickInfo, TimeDelta, TimeStamp};
+use gtel::LatencyHistogram;
 use parking_lot::Mutex;
 
 use crate::buffer::ScopeBuffer;
@@ -43,14 +44,23 @@ enum Mode {
     /// Replay tuples from a recorded stream.
     Playback {
         tuples: Vec<Tuple>,
+        /// Pre-resolved signal index per tuple, parallel to `tuples`
+        /// ([`UNROUTED`] = no matching signal). Rebuilt by
+        /// `refresh_wiring` whenever the signal set changes, so the
+        /// per-step loop never searches by name.
+        slots: Vec<u32>,
         /// Index of the next tuple to consume.
         cursor: usize,
         /// Current playback time; advances one period per tick.
         time: TimeStamp,
-        /// Last value seen per signal (sample-and-hold between tuples).
-        current: HashMap<String, f64>,
+        /// Last value seen per signal, parallel to `Scope::signals`
+        /// (sample-and-hold between tuples).
+        current: Vec<Option<f64>>,
     },
 }
+
+/// Playback slot marker for tuples with no matching signal.
+const UNROUTED: u32 = u32::MAX;
 
 impl Mode {
     fn name(&self) -> &'static str {
@@ -118,6 +128,17 @@ pub struct Scope {
     envelopes: HashMap<String, Envelope>,
     stats: ScopeStats,
     telemetry: ScopeTelemetry,
+    /// Interned signal name → index in `signals`; rebuilt on signal-set
+    /// changes so tick-time routing is a single hash lookup.
+    route: HashMap<Arc<str>, usize>,
+    /// Per-signal poll-latency histograms, parallel to `signals` —
+    /// resolved once at wiring time instead of per tick per signal.
+    sig_tel: Vec<Arc<LatencyHistogram>>,
+    /// Tick scratch: buffer samples drained this tick (reused).
+    drain_buf: Vec<Tuple>,
+    /// Tick scratch: values routed to each signal, parallel to
+    /// `signals` (reused; cleared, not reallocated, each tick).
+    routed: Vec<Vec<f64>>,
 }
 
 impl Scope {
@@ -155,6 +176,10 @@ impl Scope {
             envelopes: HashMap::new(),
             stats: ScopeStats::default(),
             telemetry: ScopeTelemetry::default(),
+            route: HashMap::new(),
+            sig_tel: Vec::new(),
+            drain_buf: Vec::new(),
+            routed: Vec::new(),
         }
     }
 
@@ -227,6 +252,46 @@ impl Scope {
     /// use so every component of a process shares one registry.
     pub fn set_telemetry(&mut self, registry: Arc<gtel::Registry>) {
         self.telemetry = ScopeTelemetry::new(registry);
+        self.refresh_wiring();
+    }
+
+    /// Rebuilds everything derived from the signal set: the name →
+    /// index routing table, the per-signal scratch vectors, the
+    /// pre-resolved telemetry handles, and (in playback) the tuple →
+    /// signal slot mapping and sample-and-hold state. Runs on signal
+    /// add/remove and telemetry re-homing — never on the tick path.
+    fn refresh_wiring(&mut self) {
+        let old_route = std::mem::take(&mut self.route);
+        for (i, sig) in self.signals.iter().enumerate() {
+            self.route.insert(Arc::clone(sig.interned_name()), i);
+        }
+        self.routed.resize_with(self.signals.len(), Vec::new);
+        self.sig_tel.clear();
+        for sig in &self.signals {
+            self.sig_tel
+                .push(Arc::clone(self.telemetry.signal_poll_ns(sig.name())));
+        }
+        if let Mode::Playback {
+            tuples,
+            slots,
+            current,
+            ..
+        } = &mut self.mode
+        {
+            slots.clear();
+            slots.extend(tuples.iter().map(|t| {
+                let name = t.name.as_deref().unwrap_or(UNNAMED_SIGNAL);
+                self.route.get(name).map(|&i| i as u32).unwrap_or(UNROUTED)
+            }));
+            // Carry each surviving signal's held value across the
+            // re-index; signals added mid-replay start empty.
+            let old_current = std::mem::take(current);
+            current.extend(self.signals.iter().map(|s| {
+                old_route
+                    .get(s.name())
+                    .and_then(|&old| old_current.get(old).copied().flatten())
+            }));
+        }
     }
 
     // ----- signal management (§3.1) -----
@@ -239,17 +304,18 @@ impl Scope {
     /// a config validation error.
     pub fn add_signal(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         source: SigSource,
         config: SigConfig,
     ) -> Result<()> {
-        let name = name.into();
+        let name = name.as_ref();
         if self.signals.iter().any(|s| s.name() == name) {
-            return Err(ScopeError::DuplicateSignal(name));
+            return Err(ScopeError::DuplicateSignal(name.to_owned()));
         }
         let sig = Signal::new(name, source, config, self.palette_counter, self.width)?;
         self.palette_counter += 1;
         self.signals.push(sig);
+        self.refresh_wiring();
         Ok(())
     }
 
@@ -268,6 +334,7 @@ impl Scope {
         if self.trigger.as_ref().is_some_and(|(n, _)| n == name) {
             self.trigger = None;
         }
+        self.refresh_wiring();
         Ok(())
     }
 
@@ -358,16 +425,20 @@ impl Scope {
         names.dedup();
         for n in names {
             if self.signal(n).is_none() {
-                self.add_signal(n.to_owned(), SigSource::Events, SigConfig::default())?;
+                self.add_signal(n, SigSource::Events, SigConfig::default())?;
             }
         }
         let start = tuples.first().map(|t| t.time).unwrap_or(TimeStamp::ZERO);
         self.mode = Mode::Playback {
             tuples,
+            slots: Vec::new(),
             cursor: 0,
             time: start,
-            current: HashMap::new(),
+            current: Vec::new(),
         };
+        // Resolve every tuple's signal slot up front; the per-step
+        // replay loop then indexes instead of searching by name.
+        self.refresh_wiring();
         Ok(())
     }
 
@@ -595,22 +666,26 @@ impl Scope {
             }
         }
         // Drain the scope-wide buffer up to now - delay and route the
-        // samples to their signals (§3.1 buffered signals).
+        // samples to their signals (§3.1 buffered signals). The drain
+        // target and per-signal routing vectors are reused across
+        // ticks, so steady-state routing allocates nothing.
         let cutoff = info.now.saturating_sub(self.buffer.delay());
-        let drained = self.buffer.drain_until(cutoff);
-        let mut routed: HashMap<&str, Vec<f64>> = HashMap::new();
-        for t in &drained {
+        self.drain_buf.clear();
+        self.buffer.drain_until_into(cutoff, &mut self.drain_buf);
+        for values in &mut self.routed {
+            values.clear();
+        }
+        for t in &self.drain_buf {
             let name = t.name.as_deref().unwrap_or(UNNAMED_SIGNAL);
-            routed.entry(name).or_default().push(t.value);
+            if let Some(&idx) = self.route.get(name) {
+                self.routed[idx].push(t.value);
+            }
         }
         let period = self.period;
-        for sig in &mut self.signals {
-            let buffered = routed.get(sig.name()).map(|v| v.as_slice()).unwrap_or(&[]);
+        for (i, sig) in self.signals.iter_mut().enumerate() {
             let sig_started = std::time::Instant::now();
-            sig.tick(period, buffered);
-            self.telemetry
-                .signal_poll_ns(sig.name())
-                .record_duration(sig_started.elapsed());
+            sig.tick(period, &self.routed[i]);
+            self.sig_tel[i].record_duration(sig_started.elapsed());
         }
         self.telemetry.buffer_depth.set_count(self.buffer.len());
         self.telemetry.sync_late_drops(self.buffer.late_drops());
@@ -624,6 +699,7 @@ impl Scope {
     fn playback_tick(&mut self, info: &TickInfo) {
         let Mode::Playback {
             tuples,
+            slots,
             cursor,
             time,
             current,
@@ -639,35 +715,31 @@ impl Scope {
         }
         // Advance playback time by (1 + missed) periods, consuming
         // tuples that became due: one pixel per period (§3.1/§3.3).
+        // Tuple→signal slots were resolved at set_playback_mode (and on
+        // every signal-set change), so each step is index arithmetic —
+        // no name lookups, no snapshots, no allocation.
         let steps = 1 + info.missed;
         for _ in 0..steps {
             while *cursor < tuples.len() && tuples[*cursor].time <= *time {
-                let t = &tuples[*cursor];
-                let name = t.name.as_deref().unwrap_or(UNNAMED_SIGNAL).to_owned();
-                current.insert(name, t.value);
+                let slot = slots[*cursor];
+                if slot != UNROUTED {
+                    current[slot as usize] = Some(tuples[*cursor].value);
+                }
                 *cursor += 1;
             }
-            let snapshot: Vec<(String, Option<f64>)> = self
-                .signals
-                .iter()
-                .map(|s| (s.name().to_owned(), current.get(s.name()).copied()))
-                .collect();
-            for (name, v) in snapshot {
-                if let Some(sig) = self.signals.iter_mut().find(|s| s.name() == name) {
-                    sig.push_playback(v);
-                }
+            for (sig, v) in self.signals.iter_mut().zip(current.iter()) {
+                sig.push_playback(*v);
             }
             *time += self.period;
         }
-        if *cursor >= tuples.len() && current.is_empty() {
-            // Nothing was ever replayed (empty stream): stop.
-            self.mode = Mode::Stopped;
-            return;
-        }
         if *cursor >= tuples.len() {
             let last = tuples.last().map(|t| t.time).unwrap_or(TimeStamp::ZERO);
-            if *time > last + self.period {
-                // Past the end of the stream: freeze the display.
+            // Stop once the stream is exhausted and either nothing is
+            // live any more (empty stream, or every routed signal was
+            // removed mid-replay) or the display has scrolled past the
+            // last tuple: freeze the display.
+            let nothing_live = current.iter().all(|v| v.is_none());
+            if nothing_live || *time > last + self.period {
                 self.mode = Mode::Stopped;
             }
         }
@@ -683,8 +755,7 @@ impl Scope {
         let mut failed = None;
         for sig in &self.signals {
             if let Some(Some(v)) = sig.history().latest() {
-                let t = Tuple::new(now, v, sig.name());
-                if let Err(e) = rec.write_tuple(&t) {
+                if let Err(e) = rec.write_parts(now, v, Some(sig.name())) {
                     failed = Some(e.to_string());
                     break;
                 }
@@ -731,24 +802,25 @@ impl Scope {
         let now = self.clock.now();
         let mut count = 0u64;
         // Emit column by column so times are non-decreasing across
-        // signals.
-        let windows: Vec<(String, Vec<Option<f64>>)> = self
+        // signals, reading each history in place — no window clones,
+        // no per-tuple name or line allocations.
+        let longest = self
             .signals
             .iter()
-            .map(|sig| (sig.name().to_owned(), sig.history().to_vec()))
-            .collect();
-        let longest = windows.iter().map(|(_, w)| w.len()).max().unwrap_or(0);
+            .map(|sig| sig.history().len())
+            .max()
+            .unwrap_or(0);
         for col in 0..longest {
-            for (name, window) in &windows {
+            for sig in &self.signals {
                 // Right-align shorter histories to "now".
-                let offset = longest - window.len();
+                let offset = longest - sig.history().len();
                 if col < offset {
                     continue;
                 }
-                if let Some(Some(v)) = window.get(col - offset) {
+                if let Some(Some(v)) = sig.history().get(col - offset) {
                     let age = (longest - 1 - col) as u64;
                     let t = now.saturating_sub(self.period.saturating_mul(age));
-                    w.write_tuple(&Tuple::new(t, *v, name.clone()))?;
+                    w.write_parts(t, v, Some(sig.name()))?;
                     count += 1;
                 }
             }
@@ -1121,6 +1193,57 @@ mod tests {
         assert_eq!(scope.mode_name(), "stopped");
         let window = scope.display_window("s");
         assert!(window.len() < 10, "display froze after stream end");
+    }
+
+    #[test]
+    fn playback_stops_when_signals_removed_mid_replay() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("pb", 8, 100, clock);
+        scope.set_period(TimeDelta::from_millis(50)).unwrap();
+        scope
+            .set_playback_mode(vec![
+                Tuple::new(TimeStamp::ZERO, 1.0, "a"),
+                Tuple::new(TimeStamp::from_millis(50), 2.0, "b"),
+            ])
+            .unwrap();
+        scope.start();
+        scope.tick(&tick_at(50));
+        // Both stream signals vanish mid-replay: once the stream is
+        // exhausted, nothing is live and playback must reach Stopped
+        // instead of replaying held values forever.
+        scope.remove_signal("a").unwrap();
+        scope.remove_signal("b").unwrap();
+        for i in 2..=4 {
+            scope.tick(&tick_at(50 * i));
+        }
+        assert_eq!(scope.mode_name(), "stopped");
+        assert!(!scope.playback_active());
+    }
+
+    #[test]
+    fn playback_survives_partial_signal_removal() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("pb", 16, 100, clock);
+        scope.set_period(TimeDelta::from_millis(50)).unwrap();
+        scope
+            .set_playback_mode(vec![
+                Tuple::new(TimeStamp::ZERO, 1.0, "a"),
+                Tuple::new(TimeStamp::ZERO, 10.0, "b"),
+                Tuple::new(TimeStamp::from_millis(100), 2.0, "a"),
+                Tuple::new(TimeStamp::from_millis(100), 20.0, "b"),
+            ])
+            .unwrap();
+        scope.start();
+        scope.tick(&tick_at(50));
+        // Dropping "b" re-resolves the remaining tuples' slots; "a"
+        // keeps its sample-and-hold value across the re-index.
+        scope.remove_signal("b").unwrap();
+        scope.tick(&tick_at(100));
+        scope.tick(&tick_at(150));
+        assert_eq!(
+            scope.display_window("a"),
+            vec![Some(1.0), Some(1.0), Some(2.0)]
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::aggregate::EventAccumulator;
 use crate::config::{Color, SigConfig};
 use crate::error::Result;
 use crate::history::History;
+use crate::intern::intern;
 use crate::source::SigSource;
 
 /// A cloneable handle applications use to push event samples into a
@@ -41,7 +42,7 @@ impl EventSink {
 
 /// One displayed signal: source, config, filter, and pixel history.
 pub struct Signal {
-    name: String,
+    name: Arc<str>,
     source: SigSource,
     config: SigConfig,
     /// Resolved trace color (config color or assigned palette entry).
@@ -66,7 +67,7 @@ impl Signal {
     ///
     /// Returns a config validation error (bad α or range).
     pub fn new(
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         source: SigSource,
         config: SigConfig,
         palette_index: usize,
@@ -79,7 +80,7 @@ impl Signal {
         let filter = LowPass::new(config.filter_alpha).expect("alpha validated");
         let acc = Arc::new(Mutex::new(EventAccumulator::new(config.aggregation)));
         Ok(Signal {
-            name: name.into(),
+            name: intern(name.as_ref()),
             source,
             config,
             color,
@@ -93,6 +94,12 @@ impl Signal {
 
     /// Returns the signal name.
     pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the interned name handle (cloning it is a refcount bump;
+    /// the scope uses it to key its routing table).
+    pub fn interned_name(&self) -> &Arc<str> {
         &self.name
     }
 

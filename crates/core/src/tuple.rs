@@ -8,14 +8,36 @@
 //!
 //! Extensions over the paper (documented, backwards-compatible): blank
 //! lines and `#` comment lines are skipped when reading.
+//!
+//! # Hot-path codec
+//!
+//! The codec is written so that steady-state record/stream/replay does
+//! **zero heap allocations per tuple**:
+//!
+//! * names are interned `Arc<str>` handles (see [`crate::intern`]), so
+//!   a million tuples of `CWND` share one allocation;
+//! * [`Tuple::write_line_into`] / [`write_tuple_line`] format into a
+//!   caller-owned byte buffer (no intermediate `String`), and
+//!   [`TupleWriter`] reuses one such buffer across writes;
+//! * [`Tuple::parse_raw`] yields a [`RawTuple`] borrowing the input
+//!   line, and [`TupleReader::next_raw`] exposes it streaming-style.
+//!
+//! The byte format emitted by the buffer writers is identical to the
+//! historical `format!("{:.3} {} {}", ms, value, name)` encoding, so
+//! recorded files and the wire protocol are unchanged.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 use gel::TimeStamp;
 
 use crate::error::{Result, ScopeError};
+use crate::intern::intern;
 
 /// One timestamped sample, optionally tagged with its signal name.
+///
+/// The name is an interned shared string: cloning a `Tuple` (or just
+/// its name) is a reference-count bump, never a heap allocation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tuple {
     /// Sample time.
@@ -23,16 +45,55 @@ pub struct Tuple {
     /// Sample value.
     pub value: f64,
     /// Signal name; `None` in single-signal streams.
-    pub name: Option<String>,
+    pub name: Option<Arc<str>>,
+}
+
+/// A parsed tuple borrowing its name from the input line — the
+/// allocation-free half of [`Tuple::parse_line`].
+///
+/// Network servers and replay loops parse into a `RawTuple` first and
+/// only pay for interning ([`RawTuple::to_tuple`]) when the sample is
+/// actually kept.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawTuple<'a> {
+    /// Sample time.
+    pub time: TimeStamp,
+    /// Sample value.
+    pub value: f64,
+    /// Borrowed signal name; `None` in single-signal streams.
+    pub name: Option<&'a str>,
+}
+
+impl RawTuple<'_> {
+    /// Converts to an owning [`Tuple`], interning the name (a hash
+    /// lookup for already-seen names, no allocation).
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple {
+            time: self.time,
+            value: self.value,
+            name: self.name.map(intern),
+        }
+    }
 }
 
 impl Tuple {
-    /// Creates a named tuple.
-    pub fn new(time: TimeStamp, value: f64, name: impl Into<String>) -> Self {
+    /// Creates a named tuple. The name is interned, so repeated
+    /// construction with the same name does not allocate.
+    pub fn new(time: TimeStamp, value: f64, name: impl AsRef<str>) -> Self {
         Tuple {
             time,
             value,
-            name: Some(name.into()),
+            name: Some(intern(name.as_ref())),
+        }
+    }
+
+    /// Creates a named tuple from an already-interned handle (pure
+    /// reference-count bump).
+    pub fn with_interned(time: TimeStamp, value: f64, name: Arc<str>) -> Self {
+        Tuple {
+            time,
+            value,
+            name: Some(name),
         }
     }
 
@@ -45,15 +106,27 @@ impl Tuple {
         }
     }
 
+    /// Borrows the signal name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
     /// Formats the tuple as one text line (no trailing newline).
     ///
     /// Times are written as fractional milliseconds with microsecond
-    /// precision; values round-trip through `f64` formatting.
+    /// precision; values round-trip through `f64` formatting. This
+    /// allocates a fresh `String`; hot paths should use
+    /// [`Tuple::write_line_into`] instead.
     pub fn to_line(&self) -> String {
-        match &self.name {
-            Some(name) => format!("{:.3} {} {}", self.time.as_millis_f64(), self.value, name),
-            None => format!("{:.3} {}", self.time.as_millis_f64(), self.value),
-        }
+        let mut buf = Vec::with_capacity(32);
+        self.write_line_into(&mut buf);
+        String::from_utf8(buf).expect("tuple lines are ASCII")
+    }
+
+    /// Appends the tuple's text line (no trailing newline) to `buf`
+    /// without allocating.
+    pub fn write_line_into(&self, buf: &mut Vec<u8>) {
+        write_tuple_line(buf, self.time, self.value, self.name.as_deref());
     }
 
     /// Parses one tuple from a text line.
@@ -66,7 +139,7 @@ impl Tuple {
     /// let t = Tuple::parse_line("1500.000 42.5 CWND", 1).unwrap();
     /// assert_eq!(t.time.as_millis(), 1500);
     /// assert_eq!(t.value, 42.5);
-    /// assert_eq!(t.name.as_deref(), Some("CWND"));
+    /// assert_eq!(t.name(), Some("CWND"));
     /// ```
     ///
     /// # Errors
@@ -76,16 +149,27 @@ impl Tuple {
     /// value is not a finite number, the time is negative, or the name is
     /// empty.
     pub fn parse_line(line: &str, line_no: usize) -> Result<Self> {
+        Self::parse_raw(line, line_no).map(|raw| raw.to_tuple())
+    }
+
+    /// Parses one tuple from a text line without allocating: the name
+    /// borrows from `line`. Same validation and errors as
+    /// [`Tuple::parse_line`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuple::parse_line`].
+    pub fn parse_raw(line: &str, line_no: usize) -> Result<RawTuple<'_>> {
         let mut fields = line.split_whitespace();
-        let time_s = fields.next().ok_or_else(|| ScopeError::TupleParse {
+        let time_s = fields.next().ok_or(ScopeError::TupleParse {
             line: line_no,
             reason: "empty line".into(),
         })?;
-        let value_s = fields.next().ok_or_else(|| ScopeError::TupleParse {
+        let value_s = fields.next().ok_or(ScopeError::TupleParse {
             line: line_no,
             reason: "missing value field".into(),
         })?;
-        let name = fields.next().map(str::to_owned);
+        let name = fields.next();
         if let Some(extra) = fields.next() {
             return Err(ScopeError::TupleParse {
                 line: line_no,
@@ -112,7 +196,7 @@ impl Tuple {
                 reason: format!("value {value} must be finite"),
             });
         }
-        if let Some(n) = &name {
+        if let Some(n) = name {
             if n.is_empty() {
                 return Err(ScopeError::TupleParse {
                     line: line_no,
@@ -120,12 +204,74 @@ impl Tuple {
                 });
             }
         }
-        Ok(Tuple {
+        Ok(RawTuple {
             time: TimeStamp::from_micros((time_ms * 1_000.0).round() as u64),
             value,
             name,
         })
     }
+}
+
+/// Appends one tuple line (no trailing newline) to `buf` without
+/// allocating — the zero-copy encoder shared by [`TupleWriter`], the
+/// recorder, and the network client.
+///
+/// The encoding is byte-identical to the historical
+/// `format!("{:.3} {} {}", time_ms, value, name)` form: fractional
+/// milliseconds with exactly three decimal places, then the value via
+/// `f64` `Display` (which round-trips exactly), then the name.
+pub fn write_tuple_line(buf: &mut Vec<u8>, time: TimeStamp, value: f64, name: Option<&str>) {
+    write_millis(buf, time.as_micros());
+    buf.push(b' ');
+    // `Display` for f64 formats into a stack buffer — no heap use.
+    let mut sink = VecSink(buf);
+    let _ = write!(sink, "{value}");
+    if let Some(name) = name {
+        buf.push(b' ');
+        buf.extend_from_slice(name.as_bytes());
+    }
+}
+
+/// `io::Write` adapter so `write!` can format numbers straight into the
+/// byte buffer (infallible).
+struct VecSink<'a>(&'a mut Vec<u8>);
+
+impl Write for VecSink<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes `micros` as fractional milliseconds with exactly three
+/// decimal places (`1234567` → `1234.567`), matching `{:.3}` of the
+/// same duration as `f64` milliseconds.
+fn write_millis(buf: &mut Vec<u8>, micros: u64) {
+    let ms = micros / 1_000;
+    let frac = (micros % 1_000) as u32;
+    write_u64(buf, ms);
+    buf.push(b'.');
+    buf.push(b'0' + (frac / 100) as u8);
+    buf.push(b'0' + (frac / 10 % 10) as u8);
+    buf.push(b'0' + (frac % 10) as u8);
+}
+
+/// Appends the decimal digits of `v` (no allocation, no fmt machinery).
+fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&digits[i..]);
 }
 
 /// Streaming tuple reader enforcing the format's time ordering.
@@ -157,7 +303,21 @@ impl<R: BufRead> TupleReader<R> {
     /// [`ScopeError::TupleOrder`] if time decreases (§3.3 requires
     /// non-decreasing times), or I/O errors.
     pub fn next_tuple(&mut self) -> Result<Option<Tuple>> {
-        loop {
+        Ok(self.next_raw()?.map(|raw| raw.to_tuple()))
+    }
+
+    /// Reads the next tuple as a [`RawTuple`] borrowing this reader's
+    /// line buffer — the allocation-free streaming path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TupleReader::next_tuple`].
+    pub fn next_raw(&mut self) -> Result<Option<RawTuple<'_>>> {
+        // The loop's borrows of `self.buf` must end before the return
+        // value can borrow it, so the parsed fields are carried out of
+        // the loop as plain values — the name as its byte span inside
+        // `buf` — and the borrow is re-created from the span.
+        let (time, value, name_span) = loop {
             self.buf.clear();
             let n = self.input.read_line(&mut self.buf)?;
             if n == 0 {
@@ -168,7 +328,7 @@ impl<R: BufRead> TupleReader<R> {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let t = Tuple::parse_line(line, self.line_no)?;
+            let t = Tuple::parse_raw(line, self.line_no)?;
             if let Some(prev) = self.last_time {
                 if t.time < prev {
                     return Err(ScopeError::TupleOrder {
@@ -179,8 +339,21 @@ impl<R: BufRead> TupleReader<R> {
                 }
             }
             self.last_time = Some(t.time);
-            return Ok(Some(t));
-        }
+            let base = self.buf.as_ptr() as usize;
+            break (
+                t.time,
+                t.value,
+                t.name.map(|n| {
+                    let start = n.as_ptr() as usize - base;
+                    (start, start + n.len())
+                }),
+            );
+        };
+        Ok(Some(RawTuple {
+            time,
+            value,
+            name: name_span.map(|(start, end)| &self.buf[start..end]),
+        }))
     }
 
     /// Reads all remaining tuples.
@@ -198,10 +371,15 @@ impl<R: BufRead> TupleReader<R> {
 }
 
 /// Streaming tuple writer.
+///
+/// Reuses one internal line buffer across writes, so the steady-state
+/// cost of a write is formatting plus the sink's `write_all` — no
+/// allocations.
 pub struct TupleWriter<W> {
     output: W,
     last_time: Option<TimeStamp>,
     bytes_written: u64,
+    line_buf: Vec<u8>,
 }
 
 impl<W: Write> TupleWriter<W> {
@@ -211,6 +389,7 @@ impl<W: Write> TupleWriter<W> {
             output,
             last_time: None,
             bytes_written: 0,
+            line_buf: Vec::with_capacity(64),
         }
     }
 
@@ -227,20 +406,31 @@ impl<W: Write> TupleWriter<W> {
     /// Returns [`ScopeError::TupleOrder`] if `t` precedes the previous
     /// tuple in time, or an I/O error.
     pub fn write_tuple(&mut self, t: &Tuple) -> Result<()> {
+        self.write_parts(t.time, t.value, t.name.as_deref())
+    }
+
+    /// Writes one tuple given as loose parts, skipping `Tuple`
+    /// construction entirely — the recorder and exporter hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TupleWriter::write_tuple`].
+    pub fn write_parts(&mut self, time: TimeStamp, value: f64, name: Option<&str>) -> Result<()> {
         if let Some(prev) = self.last_time {
-            if t.time < prev {
+            if time < prev {
                 return Err(ScopeError::TupleOrder {
                     line: 0,
                     previous_ms: prev.as_millis_f64(),
-                    found_ms: t.time.as_millis_f64(),
+                    found_ms: time.as_millis_f64(),
                 });
             }
         }
-        self.last_time = Some(t.time);
-        let mut line = t.to_line();
-        line.push('\n');
-        self.output.write_all(line.as_bytes())?;
-        self.bytes_written += line.len() as u64;
+        self.last_time = Some(time);
+        self.line_buf.clear();
+        write_tuple_line(&mut self.line_buf, time, value, name);
+        self.line_buf.push(b'\n');
+        self.output.write_all(&self.line_buf)?;
+        self.bytes_written += self.line_buf.len() as u64;
         Ok(())
     }
 
@@ -282,6 +472,47 @@ mod tests {
     }
 
     #[test]
+    fn write_line_into_matches_legacy_format() {
+        // The buffer encoder must be byte-identical to the historical
+        // format!-based encoding for files and the wire protocol.
+        for (us, value, name) in [
+            (0u64, 0.0f64, Some("a")),
+            (999, -0.125, None),
+            (1_000, 1e-9, Some("sig.name_0")),
+            (1_234_567, 123456.789, Some("x")),
+            (50_000, -3.0, None),
+            (u64::from(u32::MAX) * 1_000, 7.25, Some("big")),
+        ] {
+            let time = TimeStamp::from_micros(us);
+            let legacy = match name {
+                Some(n) => format!("{:.3} {} {}", time.as_millis_f64(), value, n),
+                None => format!("{:.3} {}", time.as_millis_f64(), value),
+            };
+            let mut buf = Vec::new();
+            write_tuple_line(&mut buf, time, value, name);
+            assert_eq!(String::from_utf8(buf).unwrap(), legacy, "us={us}");
+        }
+    }
+
+    #[test]
+    fn parse_raw_borrows_and_matches_parse_line() {
+        let line = "1500.000 42.5 CWND";
+        let raw = Tuple::parse_raw(line, 1).unwrap();
+        assert_eq!(raw.name, Some("CWND"));
+        assert_eq!(raw.to_tuple(), Tuple::parse_line(line, 1).unwrap());
+    }
+
+    #[test]
+    fn interned_names_share_storage() {
+        let a = Tuple::new(TimeStamp::ZERO, 1.0, "shared-name");
+        let b = Tuple::parse_line("5 2 shared-name", 1).unwrap();
+        assert!(Arc::ptr_eq(
+            a.name.as_ref().unwrap(),
+            b.name.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         for bad in [
             "",
@@ -294,6 +525,10 @@ mod tests {
             "100 inf n",
         ] {
             assert!(Tuple::parse_line(bad, 3).is_err(), "should reject {bad:?}");
+            assert!(
+                Tuple::parse_raw(bad, 3).is_err(),
+                "raw should reject {bad:?}"
+            );
         }
     }
 
@@ -313,6 +548,17 @@ mod tests {
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].time, TimeStamp::from_millis(10));
         assert_eq!(all[1].value, 2.0);
+    }
+
+    #[test]
+    fn reader_next_raw_streams_without_owning() {
+        let data = "10 1 a\n20 2 b\n";
+        let mut r = TupleReader::new(data.as_bytes());
+        let first = r.next_raw().unwrap().unwrap();
+        assert_eq!((first.value, first.name), (1.0, Some("a")));
+        let second = r.next_raw().unwrap().unwrap();
+        assert_eq!((second.value, second.name), (2.0, Some("b")));
+        assert!(r.next_raw().unwrap().is_none());
     }
 
     #[test]
@@ -361,6 +607,11 @@ mod tests {
             .unwrap();
         let err = w
             .write_tuple(&Tuple::unnamed(TimeStamp::from_millis(50), 2.0))
+            .unwrap_err();
+        assert!(matches!(err, ScopeError::TupleOrder { .. }));
+        // write_parts enforces the same ordering.
+        let err = w
+            .write_parts(TimeStamp::from_millis(10), 1.0, Some("s"))
             .unwrap_err();
         assert!(matches!(err, ScopeError::TupleOrder { .. }));
     }

@@ -13,7 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
 use gel::{Clock, IoPoll, TimeStamp};
-use gscope::{StatsExport, Tuple};
+use gscope::{write_tuple_line, StatsExport, Tuple};
 use gtel::{Counter, Gauge, Registry};
 
 /// Counters describing client activity.
@@ -80,6 +80,10 @@ pub struct ScopeClient {
     stream: TcpStream,
     addr: std::net::SocketAddr,
     outbuf: VecDeque<u8>,
+    /// Reusable line-encoding scratch: the send path formats into this
+    /// buffer and copies into `outbuf`, so steady-state sends allocate
+    /// nothing (no intermediate `String` per tuple).
+    scratch: Vec<u8>,
     stats: ClientStats,
     closed: bool,
     reconnects: u64,
@@ -102,6 +106,7 @@ impl ScopeClient {
             stream,
             addr,
             outbuf: VecDeque::new(),
+            scratch: Vec::with_capacity(64),
             stats: ClientStats::default(),
             closed: false,
             reconnects: 0,
@@ -159,8 +164,17 @@ impl ScopeClient {
 
     /// Queues one tuple for transmission.
     pub fn send(&mut self, tuple: &Tuple) {
-        self.outbuf.extend(tuple.to_line().bytes());
-        self.outbuf.push_back(b'\n');
+        self.send_parts(tuple.time, tuple.value, tuple.name());
+    }
+
+    /// Queues one tuple given as loose parts — the zero-allocation send
+    /// path: the line is formatted into a reused scratch buffer and
+    /// appended to the out-buffer, with no `Tuple` or `String` built.
+    pub fn send_parts(&mut self, time: TimeStamp, value: f64, name: Option<&str>) {
+        self.scratch.clear();
+        write_tuple_line(&mut self.scratch, time, value, name);
+        self.scratch.push(b'\n');
+        self.outbuf.extend(self.scratch.iter().copied());
         self.stats.tuples_queued += 1;
         self.telemetry.tuples_out.inc();
         self.telemetry.queue_bytes.set_count(self.outbuf.len());
@@ -168,12 +182,12 @@ impl ScopeClient {
 
     /// Queues a named sample stamped with `clock`'s current time.
     pub fn send_now(&mut self, clock: &dyn Clock, name: &str, value: f64) {
-        self.send(&Tuple::new(clock.now(), value, name));
+        self.send_parts(clock.now(), value, Some(name));
     }
 
     /// Queues a named sample at an explicit time.
     pub fn send_at(&mut self, time: TimeStamp, name: &str, value: f64) {
-        self.send(&Tuple::new(time, value, name));
+        self.send_parts(time, value, Some(name));
     }
 
     /// Writes as much queued data as the socket accepts right now.

@@ -196,8 +196,7 @@ impl ScopeServer {
                 if guard.signal(name).is_none() {
                     // A concurrent registration shows up as a duplicate;
                     // either way the signal exists afterwards.
-                    let _ =
-                        guard.add_signal(name.to_owned(), SigSource::Buffer, SigConfig::default());
+                    let _ = guard.add_signal(name, SigSource::Buffer, SigConfig::default());
                 }
             }
             if guard.buffer().push(tuple.clone()) {
@@ -218,7 +217,6 @@ impl ScopeServer {
         let mut i = 0;
         while i < self.clients.len() {
             let mut dead = false;
-            let mut lines: Vec<String> = Vec::new();
             loop {
                 match self.clients[i].stream.read(&mut buf) {
                     Ok(0) => {
@@ -227,19 +225,7 @@ impl ScopeServer {
                     }
                     Ok(n) => {
                         any = true;
-                        let conn = &mut self.clients[i];
-                        conn.partial.extend_from_slice(&buf[..n]);
-                        // Split out complete lines.
-                        while let Some(pos) = conn.partial.iter().position(|&b| b == b'\n') {
-                            let line: Vec<u8> = conn.partial.drain(..=pos).collect();
-                            match std::str::from_utf8(&line[..line.len() - 1]) {
-                                Ok(s) => lines.push(s.to_owned()),
-                                Err(_) => {
-                                    self.stats.parse_errors += 1;
-                                    self.telemetry.parse_errors.inc();
-                                }
-                            }
-                        }
+                        self.clients[i].partial.extend_from_slice(&buf[..n]);
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -249,19 +235,35 @@ impl ScopeServer {
                     }
                 }
             }
-            for (lineno, line) in lines.iter().enumerate() {
-                let trimmed = line.trim();
-                if trimmed.is_empty() || trimmed.starts_with('#') {
-                    continue;
-                }
-                match Tuple::parse_line(trimmed, lineno + 1) {
-                    Ok(t) => self.deliver(t),
-                    Err(_) => {
+            // Parse complete lines straight out of the accumulated
+            // bytes: names borrow the receive buffer and are interned
+            // on delivery, so steady-state ingestion allocates nothing
+            // per tuple. The trailing partial line stays buffered.
+            let mut pending = std::mem::take(&mut self.clients[i].partial);
+            let mut consumed = 0;
+            let mut lineno = 0;
+            while let Some(pos) = pending[consumed..].iter().position(|&b| b == b'\n') {
+                let line = &pending[consumed..consumed + pos];
+                consumed += pos + 1;
+                lineno += 1;
+                let parsed = std::str::from_utf8(line).ok().and_then(|s| {
+                    let trimmed = s.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        return Some(None);
+                    }
+                    Tuple::parse_raw(trimmed, lineno).ok().map(Some)
+                });
+                match parsed {
+                    Some(Some(raw)) => self.deliver(raw.to_tuple()),
+                    Some(None) => {} // blank or comment line
+                    None => {
                         self.stats.parse_errors += 1;
                         self.telemetry.parse_errors.inc();
                     }
                 }
             }
+            pending.drain(..consumed);
+            self.clients[i].partial = pending;
             if dead {
                 let _ = self.clients[i].peer;
                 self.clients.swap_remove(i);

@@ -176,11 +176,11 @@ pub fn gen(args: &Args) -> CmdResult {
     let n = (seconds * rate) as u64;
     for i in 0..n {
         let secs = i as f64 / rate;
-        w.write_tuple(&Tuple::new(
+        w.write_parts(
             TimeStamp::from_micros((secs * 1e6) as u64),
             osc.sample(secs),
-            name.clone(),
-        ))?;
+            Some(&name),
+        )?;
     }
     w.flush()?;
     Ok(format!("wrote {n} tuples of {name} to {out}"))

@@ -317,6 +317,36 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! `proptest::option` — optional-value strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option<S::Value>`, `None` about a quarter of
+    /// the time (matching real proptest's default `of` weighting of
+    /// roughly 1-in-4 `None`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// Generates `Some` values from `inner`, mixed with `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 // ----- character-class regex string strategies -----
 
 /// One parsed piece of a string pattern: a set of candidate chars plus

@@ -32,6 +32,38 @@ proptest! {
     }
 
     #[test]
+    fn zero_alloc_codec_matches_legacy_format(
+        ms in 0u64..10_000_000,
+        us in 0u64..1000,
+        value in finite_value(),
+        name in proptest::option::of("[a-zA-Z][a-zA-Z0-9_.]{0,12}"),
+    ) {
+        // The buffer encoder must emit the exact bytes the historical
+        // format!("{:.3} {} {}", ...) encoding produced, for named and
+        // unnamed (single-signal, §3.3) tuples alike.
+        let time = TimeStamp::from_micros(ms * 1000 + us);
+        let legacy = match &name {
+            Some(n) => format!("{:.3} {} {}", time.as_millis_f64(), value, n),
+            None => format!("{:.3} {}", time.as_millis_f64(), value),
+        };
+        let mut buf = Vec::new();
+        gscope::write_tuple_line(&mut buf, time, value, name.as_deref());
+        prop_assert_eq!(std::str::from_utf8(&buf).unwrap(), legacy.as_str());
+
+        // And the borrowing parse must agree with the owning parse.
+        let raw = Tuple::parse_raw(&legacy, 1).unwrap();
+        let owned = Tuple::parse_line(&legacy, 1).unwrap();
+        prop_assert_eq!(raw.time, owned.time);
+        prop_assert_eq!(raw.value.to_bits(), owned.value.to_bits());
+        prop_assert_eq!(raw.name, owned.name());
+        prop_assert_eq!(&raw.to_tuple(), &owned);
+        // Round trip: time/value/name all survive exactly.
+        prop_assert_eq!(owned.time, time);
+        prop_assert_eq!(owned.value.to_bits(), value.to_bits());
+        prop_assert_eq!(owned.name(), name.as_deref());
+    }
+
+    #[test]
     fn tuple_stream_round_trips(
         times in proptest::collection::vec(0u64..100_000, 1..40),
         values in proptest::collection::vec(finite_value(), 40),
