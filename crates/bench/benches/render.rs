@@ -79,6 +79,42 @@ fn bench_line_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Steady-state one-column advance: full redraw vs the frame cache's
+/// scroll blit. Each iteration ticks once so the incremental path does
+/// real work instead of returning the cached frame.
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render/incremental");
+    let period = TimeDelta::from_millis(10);
+    for width in [160usize, 640, 1280] {
+        let mut scope = full_scope(width, 4, LineMode::Line);
+        let mut k = width as u64 + 8;
+        let mut tick = move |scope: &mut Scope| {
+            k += 1;
+            let now = TimeStamp::ZERO + period.saturating_mul(k + 1);
+            scope.tick(&TickInfo {
+                now,
+                scheduled: now,
+                missed: 0,
+            });
+        };
+        group.bench_function(BenchmarkId::new("full", width), |b| {
+            b.iter(|| {
+                tick(&mut scope);
+                grender::render_scope(&scope).width()
+            });
+        });
+        let mut cache = grender::FrameCache::new();
+        cache.render(&scope);
+        group.bench_function(BenchmarkId::new("blit", width), |b| {
+            b.iter(|| {
+                tick(&mut scope);
+                cache.render(&scope).width()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_svg_vs_raster(c: &mut Criterion) {
     let scope = full_scope(640, 2, LineMode::Line);
     let mut group = c.benchmark_group("render/backend");
@@ -96,6 +132,7 @@ criterion_group!(
     bench_render_width,
     bench_render_signals,
     bench_line_modes,
+    bench_incremental,
     bench_svg_vs_raster
 );
 criterion_main!(benches);

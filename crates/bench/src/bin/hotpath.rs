@@ -1,12 +1,17 @@
 //! Hot-path benchmark baselines: emits `BENCH_tuple.json`,
-//! `BENCH_poll.json`, and `BENCH_buffer.json` with median ns/iter for
-//! the three paths the zero-allocation work targets (tuple codec,
-//! `poll_tick`, buffer ingestion), so the perf trajectory is tracked
-//! in-repo from this PR onward.
+//! `BENCH_poll.json`, `BENCH_buffer.json`, and `BENCH_render.json`
+//! with median ns/iter for the paths the zero-allocation and
+//! incremental-rendering work targets (tuple codec, `poll_tick`,
+//! buffer ingestion, strip-chart frames), so the perf trajectory is
+//! tracked in-repo from this PR onward.
 //!
 //! The `before` numbers are the criterion medians recorded on this
 //! machine immediately before the interned-codec / allocation-free
 //! tick / sharded-buffer changes landed; `after` is measured live.
+//! The `render` suite instead measures both columns live: `before` is
+//! the full `render_scope` redraw and `after` the `FrameCache`
+//! incremental frame for the same steady-state one-column advance, so
+//! `speedup` is the full-vs-incremental ratio on this machine.
 //! Criterion itself is a dev-dependency (benches only), so this bin
 //! self-times with `Instant` and reports the median across samples.
 //!
@@ -301,6 +306,65 @@ fn bench_buffer(cfg: &Cfg) -> Vec<Row> {
     rows
 }
 
+/// Full redraw vs incremental frame for a steady-state one-column
+/// advance, across canvas widths × signal counts. Each timed iteration
+/// ticks the scope once (common to both columns) and renders; the
+/// scope history is saturated first so every frame is a genuine
+/// one-column scroll.
+fn bench_render(cfg: &Cfg) -> Vec<Row> {
+    let period = TimeDelta::from_millis(10);
+    let combos: [(&'static str, usize, usize); 9] = [
+        ("render/frame/w120_s1", 120, 1),
+        ("render/frame/w120_s4", 120, 4),
+        ("render/frame/w120_s16", 120, 16),
+        ("render/frame/w480_s1", 480, 1),
+        ("render/frame/w480_s4", 480, 4),
+        ("render/frame/w480_s16", 480, 16),
+        ("render/frame/w1920_s1", 1920, 1),
+        ("render/frame/w1920_s4", 1920, 4),
+        ("render/frame/w1920_s16", 1920, 16),
+    ];
+    let iters = if cfg.quick { 30 } else { 120 };
+    combos
+        .iter()
+        .map(|&(id, width, nsig)| {
+            let (mut scope, vars, _clock) = scope_with_int_signals(nsig, width, period);
+            let mut k = 0u64;
+            let mut advance = |scope: &mut gscope::Scope| {
+                k += 1;
+                for (i, v) in vars.iter().enumerate() {
+                    v.set((((k + i as u64) * 13) % 100) as i64);
+                }
+                scope.tick(&tick_at(k, period));
+            };
+            // Saturate the history so each frame advances one column.
+            for _ in 0..width + 8 {
+                advance(&mut scope);
+            }
+            let full = measure(cfg, iters, || {
+                advance(&mut scope);
+                black_box(grender::render_scope(&scope).width());
+            });
+            let mut cache = grender::FrameCache::new();
+            cache.render(&scope);
+            let incremental = measure(cfg, iters, || {
+                advance(&mut scope);
+                black_box(cache.render(&scope).width());
+            });
+            assert_eq!(
+                cache.stats().content + cache.stats().full,
+                1,
+                "steady-state frames must take the incremental path ({id})"
+            );
+            Row {
+                id,
+                before_ns: Some(full),
+                after_ns: incremental,
+            }
+        })
+        .collect()
+}
+
 fn fmt_ns(x: f64) -> String {
     format!("{x:.1}")
 }
@@ -373,6 +437,7 @@ fn main() {
         ("tuple", bench_tuple(&cfg)),
         ("poll", bench_poll(&cfg)),
         ("buffer", bench_buffer(&cfg)),
+        ("render", bench_render(&cfg)),
     ] {
         let path = write_json(&out, bench, &rows).expect("write BENCH json");
         println!("{path}");

@@ -16,6 +16,48 @@
 
 use gel::TimeDelta;
 
+use crate::history::Cols;
+
+/// Reduces a display window to at most `width` per-pixel `(lo, hi)`
+/// bands for drawing: when several samples land on one pixel column
+/// (zoom-out, wide windows) the trace is painted from the bands, so
+/// draw cost is bounded by pixel width instead of sample count.
+///
+/// Sample `i` of `n` maps to column `i * width / n` — the same
+/// right-edge-biased partition SigViewer-style min/max decimation
+/// uses, covering every sample exactly once. Columns whose samples are
+/// all gaps (`None`) yield `None`. When `n <= width` each sample
+/// becomes its own single-value band, so the result is always
+/// `min(n, width)` columns.
+///
+/// # Examples
+///
+/// ```
+/// use gscope::{decimate_minmax, Cols};
+///
+/// let samples: Vec<Option<f64>> =
+///     [1.0, 5.0, 2.0, 4.0].iter().map(|&v| Some(v)).collect();
+/// let bands = decimate_minmax(Cols::from_slices(&samples, &[]), 2);
+/// assert_eq!(bands, vec![Some((1.0, 5.0)), Some((2.0, 4.0))]);
+/// ```
+pub fn decimate_minmax(samples: Cols<'_>, width: usize) -> Vec<Option<(f64, f64)>> {
+    let n = samples.len();
+    if width == 0 || n == 0 {
+        return Vec::new();
+    }
+    let cols = n.min(width);
+    let mut bands: Vec<Option<(f64, f64)>> = vec![None; cols];
+    for (i, s) in samples.iter().enumerate() {
+        let Some(v) = s else { continue };
+        let b = i * cols / n;
+        bands[b] = Some(match bands[b] {
+            None => (v, v),
+            Some((lo, hi)) => (lo.min(v), hi.max(v)),
+        });
+    }
+    bands
+}
+
 /// How events within one polling interval reduce to a displayed sample.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Aggregation {
@@ -311,6 +353,74 @@ mod tests {
         acc.set_aggregation(Aggregation::Minimum);
         assert_eq!(acc.finish_interval(PERIOD), None, "held state cleared");
         assert_eq!(acc.total_events(), 1, "lifetime stats survive");
+    }
+
+    fn cols_of(vals: &[Option<f64>]) -> Cols<'_> {
+        Cols::from_slices(vals, &[])
+    }
+
+    #[test]
+    fn decimate_partitions_all_samples() {
+        // 10 samples into 4 columns: buckets of size 3,2,3,2
+        // (i*4/10 = 0,0,0,1,1,2,2,2,3,3).
+        let samples: Vec<Option<f64>> = (0..10).map(|i| Some(i as f64)).collect();
+        let bands = decimate_minmax(cols_of(&samples), 4);
+        assert_eq!(
+            bands,
+            vec![
+                Some((0.0, 2.0)),
+                Some((3.0, 4.0)),
+                Some((5.0, 7.0)),
+                Some((8.0, 9.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn decimate_narrow_window_is_per_sample() {
+        let samples = [Some(2.0), None, Some(-1.0)];
+        let bands = decimate_minmax(cols_of(&samples), 10);
+        assert_eq!(bands, vec![Some((2.0, 2.0)), None, Some((-1.0, -1.0))]);
+    }
+
+    #[test]
+    fn decimate_gap_only_columns_are_none() {
+        let samples = [Some(1.0), None, None, None, Some(5.0), Some(3.0)];
+        let bands = decimate_minmax(cols_of(&samples), 3);
+        assert_eq!(bands, vec![Some((1.0, 1.0)), None, Some((3.0, 5.0))]);
+    }
+
+    #[test]
+    fn decimate_degenerate_inputs() {
+        assert!(decimate_minmax(cols_of(&[]), 5).is_empty());
+        assert!(decimate_minmax(cols_of(&[Some(1.0)]), 0).is_empty());
+        // Everything lands in one column.
+        let samples = [Some(4.0), Some(-2.0), Some(7.0)];
+        assert_eq!(
+            decimate_minmax(cols_of(&samples), 1),
+            vec![Some((-2.0, 7.0))]
+        );
+    }
+
+    #[test]
+    fn decimate_preserves_extremes() {
+        // Whatever the width, the global min/max must survive.
+        let samples: Vec<Option<f64>> = (0..100).map(|i| Some(((i * 37) % 100) as f64)).collect();
+        for width in [1, 3, 7, 50, 100, 200] {
+            let bands = decimate_minmax(cols_of(&samples), width);
+            let lo = bands
+                .iter()
+                .flatten()
+                .map(|b| b.0)
+                .fold(f64::INFINITY, f64::min);
+            let hi = bands
+                .iter()
+                .flatten()
+                .map(|b| b.1)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!((lo, hi), (0.0, 99.0), "width {width}");
+            assert_eq!(bands.len(), width.min(100));
+        }
     }
 
     #[test]

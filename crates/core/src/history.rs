@@ -8,6 +8,97 @@
 
 use std::collections::VecDeque;
 
+/// A zero-copy, possibly discontiguous view of display columns.
+///
+/// A [`History`] is a ring buffer, so its stored columns occupy at most
+/// two contiguous runs of memory. `Cols` borrows both runs and presents
+/// them as one logical oldest-first sequence, letting renderers walk a
+/// display window without cloning it into a `Vec` first (the old
+/// [`Scope::display_window`](crate::Scope::display_window) contract).
+///
+/// Obtain one from [`History::cols`] or
+/// [`Scope::display_cols`](crate::Scope::display_cols).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cols<'a> {
+    head: &'a [Option<f64>],
+    tail: &'a [Option<f64>],
+}
+
+impl<'a> Cols<'a> {
+    /// An empty view (unknown signal, Normal-mode trigger with no
+    /// firing yet).
+    pub const EMPTY: Cols<'static> = Cols {
+        head: &[],
+        tail: &[],
+    };
+
+    /// Builds a view from the two runs of a ring buffer (either may be
+    /// empty). `head` holds the older columns.
+    pub fn from_slices(head: &'a [Option<f64>], tail: &'a [Option<f64>]) -> Self {
+        Cols { head, tail }
+    }
+
+    /// Number of columns in the view.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// True if the view holds no columns.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.tail.is_empty()
+    }
+
+    /// Returns column `i`, oldest first.
+    pub fn get(&self, i: usize) -> Option<Option<f64>> {
+        if i < self.head.len() {
+            Some(self.head[i])
+        } else {
+            self.tail.get(i - self.head.len()).copied()
+        }
+    }
+
+    /// Returns the newest column, if any.
+    pub fn last(&self) -> Option<Option<f64>> {
+        self.tail.last().or_else(|| self.head.last()).copied()
+    }
+
+    /// Iterates the columns oldest-first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Option<f64>> + 'a {
+        self.head.iter().chain(self.tail.iter()).copied()
+    }
+
+    /// Iterates the columns starting at index `start` (oldest-first),
+    /// seeking directly into the right run — O(1) setup, unlike
+    /// `iter().skip(start)`.
+    pub fn iter_from(&self, start: usize) -> impl DoubleEndedIterator<Item = Option<f64>> + 'a {
+        let h = start.min(self.head.len());
+        let t = (start - h).min(self.tail.len());
+        self.head[h..].iter().chain(self.tail[t..].iter()).copied()
+    }
+
+    /// Returns the sub-view `[start, end)`; out-of-range bounds clamp.
+    pub fn slice(&self, start: usize, end: usize) -> Cols<'a> {
+        let len = self.len();
+        let start = start.min(len);
+        let end = end.clamp(start, len);
+        let hl = self.head.len();
+        let (hs, he) = (start.min(hl), end.min(hl));
+        let (ts, te) = (start.max(hl) - hl, end.max(hl) - hl);
+        Cols {
+            head: &self.head[hs..he],
+            tail: &self.tail[ts..te],
+        }
+    }
+
+    /// Copies the view into a `Vec` (compatibility path; allocates).
+    pub fn to_vec(&self) -> Vec<Option<f64>> {
+        let mut v = Vec::with_capacity(self.len());
+        v.extend_from_slice(self.head);
+        v.extend_from_slice(self.tail);
+        v
+    }
+}
+
 /// A fixed-capacity ring of display samples, one per pixel column.
 #[derive(Clone, Debug)]
 pub struct History {
@@ -82,12 +173,40 @@ impl History {
         self.slots.iter().copied().collect()
     }
 
+    /// Borrows the stored columns as the ring's (head, tail) runs,
+    /// oldest-first across the pair. Zero-copy counterpart of
+    /// [`History::to_vec`].
+    pub fn as_slices(&self) -> (&[Option<f64>], &[Option<f64>]) {
+        self.slots.as_slices()
+    }
+
+    /// Borrows the stored columns as a [`Cols`] view, oldest-first.
+    pub fn cols(&self) -> Cols<'_> {
+        let (head, tail) = self.slots.as_slices();
+        Cols::from_slices(head, tail)
+    }
+
+    /// Number of non-empty columns (samples that carry a value).
+    pub fn value_count(&self) -> usize {
+        self.slots.iter().filter(|v| v.is_some()).count()
+    }
+
     /// Returns the newest `n` *values* (skipping empty columns),
     /// oldest-first — the FFT input for the frequency view.
+    ///
+    /// Single pass from the back: collects at most `n` values newest
+    /// first, then reverses in place — no intermediate full-history
+    /// `Vec`.
     pub fn last_values(&self, n: usize) -> Vec<f64> {
-        let vals: Vec<f64> = self.slots.iter().filter_map(|v| *v).collect();
-        let start = vals.len().saturating_sub(n);
-        vals[start..].to_vec()
+        let mut vals: Vec<f64> = Vec::with_capacity(n.min(self.slots.len()));
+        for v in self.slots.iter().rev().filter_map(|v| *v) {
+            if vals.len() == n {
+                break;
+            }
+            vals.push(v);
+        }
+        vals.reverse();
+        vals
     }
 
     /// Iterates stored columns oldest-first.
@@ -211,5 +330,74 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = History::new(0);
+    }
+
+    #[test]
+    fn cols_matches_to_vec_across_wrap() {
+        let mut h = History::new(4);
+        for i in 0..7 {
+            h.push(if i % 3 == 0 { None } else { Some(i as f64) });
+            let cols = h.cols();
+            assert_eq!(cols.len(), h.len());
+            assert_eq!(cols.iter().collect::<Vec<_>>(), h.to_vec());
+            assert_eq!(cols.to_vec(), h.to_vec());
+            let (head, tail) = h.as_slices();
+            assert_eq!(head.len() + tail.len(), h.len());
+        }
+        // After 7 pushes into capacity 4 the ring has wrapped; make
+        // sure indexing/last agree with the copied form too.
+        let cols = h.cols();
+        let v = h.to_vec();
+        for (i, expect) in v.iter().enumerate() {
+            assert_eq!(cols.get(i), Some(*expect));
+        }
+        assert_eq!(cols.get(v.len()), None);
+        assert_eq!(cols.last(), v.last().copied());
+    }
+
+    #[test]
+    fn cols_slice_and_iter_from() {
+        let mut h = History::new(5);
+        for i in 0..8 {
+            h.push(Some(i as f64));
+        }
+        let cols = h.cols();
+        let v = h.to_vec();
+        for start in 0..=v.len() + 1 {
+            for end in start..=v.len() + 1 {
+                let sub = cols.slice(start, end);
+                let s = start.min(v.len());
+                let e = end.min(v.len());
+                assert_eq!(sub.to_vec(), v[s..e], "slice({start},{end})");
+            }
+            assert_eq!(
+                cols.iter_from(start).collect::<Vec<_>>(),
+                v[start.min(v.len())..].to_vec(),
+                "iter_from({start})"
+            );
+        }
+        assert!(Cols::EMPTY.is_empty());
+        assert_eq!(Cols::EMPTY.last(), None);
+    }
+
+    #[test]
+    fn value_count_skips_gaps() {
+        let mut h = History::new(6);
+        assert_eq!(h.value_count(), 0);
+        for v in [Some(1.0), None, Some(2.0), None, None, Some(3.0)] {
+            h.push(v);
+        }
+        assert_eq!(h.value_count(), 3);
+    }
+
+    #[test]
+    fn last_values_capped_capacity() {
+        let mut h = History::new(4);
+        for i in 0..4 {
+            h.push(Some(i as f64));
+        }
+        // A huge `n` must not pre-allocate `n` slots.
+        let v = h.last_values(usize::MAX);
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0]);
     }
 }

@@ -81,11 +81,11 @@ mod trigger;
 mod tuple;
 mod value;
 
-pub use aggregate::{Aggregation, EventAccumulator};
+pub use aggregate::{decimate_minmax, Aggregation, EventAccumulator};
 pub use buffer::ScopeBuffer;
 pub use config::{Color, LineMode, SigConfig};
 pub use error::{Result, ScopeError};
-pub use history::History;
+pub use history::{Cols, History};
 pub use intern::{intern, interned_count};
 pub use param::{ParamBinding, ParamSet, ParamValue, Parameter};
 pub use scope::{

@@ -7,7 +7,7 @@
 //! the original gscope is a method here — the paper's "programmatic
 //! interface for every action that can be performed from the GUI"
 //! (§3.4). Rendering lives in the `grender` crate, which reads the
-//! scope's state through [`Scope::display_window`] and friends.
+//! scope's state through [`Scope::display_cols`] and friends.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use crate::buffer::ScopeBuffer;
 use crate::config::SigConfig;
 use crate::error::{Result, ScopeError};
+use crate::history::Cols;
 use crate::signal::{EventSink, Signal};
 use crate::source::SigSource;
 use crate::telemetry::ScopeTelemetry;
@@ -780,12 +781,14 @@ impl Scope {
         if self.envelopes.is_empty() {
             return;
         }
-        let names: Vec<String> = self.envelopes.keys().cloned().collect();
-        for name in names {
-            let sweep = self.display_window(&name);
-            if let Some(env) = self.envelopes.get_mut(&name) {
-                env.accumulate(&sweep);
-            }
+        // Split borrow: the envelope map is mutated while the signal
+        // histories and trigger are only read — distinct fields, so
+        // each sweep is folded in without cloning names or windows.
+        let signals = &self.signals;
+        let trigger = self.trigger.as_ref();
+        let width = self.width;
+        for (name, env) in &mut self.envelopes {
+            env.accumulate_cols(display_cols_in(signals, trigger, width, name));
         }
     }
 
@@ -831,36 +834,32 @@ impl Scope {
 
     // ----- display extraction (consumed by grender) -----
 
+    /// Returns the columns to draw for `name` as a borrowed [`Cols`]
+    /// view — trigger-aligned when a trigger is installed,
+    /// right-aligned to the canvas otherwise. Zero-copy: the view
+    /// borrows the signal's ring buffer in place.
+    ///
+    /// Unknown signals (and a Normal-mode trigger that has never
+    /// fired) yield an empty view.
+    pub fn display_cols(&self, name: &str) -> Cols<'_> {
+        display_cols_in(&self.signals, self.trigger.as_ref(), self.width, name)
+    }
+
+    /// Runs `f` over the borrowed display window for `name` — the
+    /// closure form of [`Scope::display_cols`], for callers that want
+    /// the borrow scoped rather than returned.
+    pub fn with_display_window<R>(&self, name: &str, f: impl FnOnce(Cols<'_>) -> R) -> R {
+        f(self.display_cols(name))
+    }
+
     /// Returns the columns to draw for `name`, trigger-aligned when a
     /// trigger is installed, right-aligned to the canvas otherwise.
     ///
     /// Unknown signals yield an empty vector.
+    #[deprecated(note = "clones the window every call; use Scope::display_cols or \
+                Scope::with_display_window for a zero-copy view")]
     pub fn display_window(&self, name: &str) -> Vec<Option<f64>> {
-        let Some(sig) = self.signal(name) else {
-            return Vec::new();
-        };
-        let full = sig.history().to_vec();
-        let Some((trig_name, trig)) = &self.trigger else {
-            return full;
-        };
-        let Some(trig_sig) = self.signal(trig_name) else {
-            return full;
-        };
-        let trig_hist = trig_sig.history().to_vec();
-        // Align every trace by the same distance from the newest column:
-        // the window for all traces ends where the trigger source last
-        // fired.
-        let end_in_trig = match trig.find_last(&trig_hist) {
-            Some(i) => i + 1,
-            None => match trig.mode {
-                crate::trigger::TriggerMode::Auto => trig_hist.len(),
-                crate::trigger::TriggerMode::Normal => return Vec::new(),
-            },
-        };
-        let end_offset = trig_hist.len() - end_in_trig;
-        let end = full.len().saturating_sub(end_offset);
-        let start = end.saturating_sub(self.width);
-        full[start..end].to_vec()
+        self.display_cols(name).to_vec()
     }
 
     /// Computes a signal's frequency-domain view (§3.1) over the last
@@ -893,7 +892,7 @@ impl Scope {
         if self.signal(name).is_none() {
             return Err(ScopeError::UnknownSignal(name.into()));
         }
-        let window = self.display_window(name);
+        let window = self.display_cols(name);
         if window.is_empty() {
             return Err(ScopeError::OutOfRange {
                 what: "measurement window",
@@ -904,14 +903,14 @@ impl Scope {
         let lo = lo.min(window.len() - 1);
         let hi = hi.min(window.len() - 1);
         // Value at a cursor: nearest non-empty column at or before it.
-        let value_at = |x: usize| window[..=x].iter().rev().find_map(|v| *v);
+        let value_at = |x: usize| window.slice(0, x + 1).iter().rev().find_map(|v| v);
         let (Some(v1), Some(v2)) = (value_at(lo), value_at(hi)) else {
             return Err(ScopeError::OutOfRange {
                 what: "measurement cursors",
                 value: lo as f64,
             });
         };
-        let slice: Vec<f64> = window[lo..=hi].iter().filter_map(|v| *v).collect();
+        let slice: Vec<f64> = window.slice(lo, hi + 1).iter().flatten().collect();
         if slice.is_empty() {
             return Err(ScopeError::OutOfRange {
                 what: "measurement slice",
@@ -941,6 +940,43 @@ impl Scope {
             .map(|s| s.value_readout())
             .ok_or_else(|| ScopeError::UnknownSignal(name.into()))
     }
+}
+
+/// Display-window extraction shared by [`Scope::display_cols`] and the
+/// envelope update, which must read windows while holding `&mut` on the
+/// envelope map (a split borrow over the scope's fields).
+fn display_cols_in<'a>(
+    signals: &'a [Signal],
+    trigger: Option<&(String, Trigger)>,
+    width: usize,
+    name: &str,
+) -> Cols<'a> {
+    let find = |n: &str| signals.iter().find(|s| s.name() == n);
+    let Some(sig) = find(name) else {
+        return Cols::EMPTY;
+    };
+    let full = sig.history().cols();
+    let Some((trig_name, trig)) = trigger else {
+        return full;
+    };
+    let Some(trig_sig) = find(trig_name) else {
+        return full;
+    };
+    let trig_hist = trig_sig.history().cols();
+    // Align every trace by the same distance from the newest column:
+    // the window for all traces ends where the trigger source last
+    // fired.
+    let end_in_trig = match trig.find_last_cols(trig_hist) {
+        Some(i) => i + 1,
+        None => match trig.mode {
+            crate::trigger::TriggerMode::Auto => trig_hist.len(),
+            crate::trigger::TriggerMode::Normal => return Cols::EMPTY,
+        },
+    };
+    let end_offset = trig_hist.len() - end_in_trig;
+    let end = full.len().saturating_sub(end_offset);
+    let start = end.saturating_sub(width);
+    full.slice(start, end)
 }
 
 /// Cursor-measurement results over a display-window slice.
@@ -1031,7 +1067,7 @@ mod tests {
             scope.tick(&tick_at(50 * (i as u64 + 1)));
         }
         assert_eq!(
-            scope.display_window("v"),
+            scope.display_cols("v").to_vec(),
             vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0), Some(4.0)]
         );
         assert_eq!(scope.stats().ticks, 5);
@@ -1043,7 +1079,7 @@ mod tests {
         scope.stop();
         scope.tick(&tick_at(50));
         assert_eq!(scope.stats().ticks, 0);
-        assert!(scope.display_window("v").is_empty());
+        assert!(scope.display_cols("v").to_vec().is_empty());
         scope.start();
         scope.tick(&tick_at(100));
         assert_eq!(scope.stats().ticks, 1);
@@ -1061,7 +1097,7 @@ mod tests {
         v.set(9);
         scope.tick(&info);
         assert_eq!(
-            scope.display_window("v"),
+            scope.display_cols("v").to_vec(),
             vec![Some(7.0), Some(7.0), Some(7.0), Some(7.0), Some(9.0)]
         );
         assert_eq!(scope.stats().missed_ticks, 3);
@@ -1094,10 +1130,10 @@ mod tests {
             .push_sample("b", TimeStamp::from_millis(40), 5.0);
         // At t=50, cutoff = -50: nothing visible yet.
         scope.tick(&tick_at(50));
-        assert_eq!(scope.display_window("b"), vec![None]);
+        assert_eq!(scope.display_cols("b").to_vec(), vec![None]);
         // At t=150, cutoff = 50 >= 40: the sample appears.
         scope.tick(&tick_at(150));
-        assert_eq!(scope.display_window("b"), vec![None, Some(5.0)]);
+        assert_eq!(scope.display_cols("b").to_vec(), vec![None, Some(5.0)]);
     }
 
     #[test]
@@ -1145,7 +1181,7 @@ mod tests {
             scope.tick(&tick_at(50 * i));
         }
         assert_eq!(
-            scope.display_window("s"),
+            scope.display_cols("s").to_vec(),
             vec![Some(1.0), Some(1.0), Some(2.0)]
         );
     }
@@ -1162,7 +1198,7 @@ mod tests {
             .unwrap();
         scope.start();
         scope.tick(&tick_at(50));
-        assert_eq!(scope.display_window(UNNAMED_SIGNAL), vec![Some(9.0)]);
+        assert_eq!(scope.display_cols(UNNAMED_SIGNAL).to_vec(), vec![Some(9.0)]);
     }
 
     #[test]
@@ -1191,7 +1227,7 @@ mod tests {
             scope.tick(&tick_at(50 * i));
         }
         assert_eq!(scope.mode_name(), "stopped");
-        let window = scope.display_window("s");
+        let window = scope.display_cols("s").to_vec();
         assert!(window.len() < 10, "display froze after stream end");
     }
 
@@ -1241,7 +1277,7 @@ mod tests {
         scope.tick(&tick_at(100));
         scope.tick(&tick_at(150));
         assert_eq!(
-            scope.display_window("a"),
+            scope.display_cols("a").to_vec(),
             vec![Some(1.0), Some(1.0), Some(2.0)]
         );
     }
@@ -1270,12 +1306,28 @@ mod tests {
             scope.tick(&tick_at(50 * (i as u64 + 1)));
         }
         scope.set_trigger("v", Trigger::rising(3.0)).unwrap();
-        let w = scope.display_window("v");
+        let w = scope.display_cols("v").to_vec();
         // Window ends at the most recent rising crossing of 3 (the
         // second "3", two columns before the end).
         assert_eq!(w.last(), Some(&Some(3.0)));
         scope.clear_trigger();
-        assert_eq!(scope.display_window("v").last(), Some(&Some(1.0)));
+        assert_eq!(scope.display_cols("v").to_vec().last(), Some(&Some(1.0)));
+    }
+
+    #[test]
+    fn display_accessors_agree() {
+        let (mut scope, v) = scope_with_int(6);
+        for (i, x) in [0, 1, 2, 3, 0, 1, 2, 3].into_iter().enumerate() {
+            v.set(x);
+            scope.tick(&tick_at(50 * (i as u64 + 1)));
+        }
+        scope.set_trigger("v", Trigger::rising(3.0)).unwrap();
+        #[allow(deprecated)]
+        let cloned = scope.display_window("v");
+        assert_eq!(scope.display_cols("v").to_vec(), cloned);
+        let via_closure = scope.with_display_window("v", |cols| cols.to_vec());
+        assert_eq!(via_closure, cloned);
+        assert!(scope.display_cols("nope").is_empty());
     }
 
     #[test]
@@ -1330,7 +1382,7 @@ mod tests {
         scope.tick(&tick_at(550));
         scope.set_size(4, 80).unwrap();
         assert_eq!(scope.width(), 4);
-        let w = scope.display_window("v");
+        let w = scope.display_cols("v").to_vec();
         assert_eq!(w.len(), 4, "history shrank to the new width");
         assert_eq!(w.last(), Some(&Some(9.0)), "newest column kept");
         assert_eq!(
@@ -1342,7 +1394,7 @@ mod tests {
         // Growing keeps data and allows longer histories.
         scope.set_size(16, 80).unwrap();
         scope.tick(&tick_at(600));
-        assert_eq!(scope.display_window("v").len(), 5);
+        assert_eq!(scope.display_cols("v").to_vec().len(), 5);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   recent trigger point so repeating waveforms hold still.
 //! * [`Envelope`] — per-pixel running min/max across aligned sweeps.
 
+use crate::history::Cols;
+
 /// Which crossing direction fires the trigger.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TriggerEdge {
@@ -96,11 +98,17 @@ impl Trigger {
     /// `level ∓ hysteresis`) since the previous firing. Gaps (`None`)
     /// disarm the trigger.
     pub fn find_all(&self, samples: &[Option<f64>]) -> Vec<usize> {
+        self.find_all_iter(samples.iter().copied())
+    }
+
+    /// [`Trigger::find_all`] over any column iterator — lets callers
+    /// scan a borrowed [`Cols`] view without materialising a `Vec`.
+    pub fn find_all_iter(&self, samples: impl Iterator<Item = Option<f64>>) -> Vec<usize> {
         let mut out = Vec::new();
         let mut armed = false;
         let mut prev: Option<f64> = None;
-        for (i, s) in samples.iter().enumerate() {
-            let Some(v) = *s else {
+        for (i, s) in samples.enumerate() {
+            let Some(v) = s else {
                 armed = false;
                 prev = None;
                 continue;
@@ -135,6 +143,11 @@ impl Trigger {
         self.find_all(samples).pop()
     }
 
+    /// [`Trigger::find_last`] over a borrowed [`Cols`] view.
+    pub fn find_last_cols(&self, samples: Cols<'_>) -> Option<usize> {
+        self.find_all_iter(samples.iter()).pop()
+    }
+
     /// Extracts a sweep of `width` columns ending at the most recent
     /// trigger point, for stable display of repeating waveforms.
     ///
@@ -151,6 +164,20 @@ impl Trigger {
         };
         let start = end.saturating_sub(width);
         Some(&samples[start..end])
+    }
+
+    /// [`Trigger::align`] over a borrowed [`Cols`] view: the returned
+    /// sub-view borrows the same storage, so alignment stays zero-copy.
+    pub fn align_cols<'a>(&self, samples: Cols<'a>, width: usize) -> Option<Cols<'a>> {
+        let end = match self.find_last_cols(samples) {
+            Some(i) => i + 1,
+            None => match self.mode {
+                TriggerMode::Auto => samples.len(),
+                TriggerMode::Normal => return None,
+            },
+        };
+        let start = end.saturating_sub(width);
+        Some(samples.slice(start, end))
     }
 }
 
@@ -186,11 +213,20 @@ impl Envelope {
     /// Folds one sweep into the envelope. The sweep is right-aligned if
     /// shorter than the canvas (matching how traces render).
     pub fn accumulate(&mut self, sweep: &[Option<f64>]) {
+        self.accumulate_iter(sweep.len(), sweep.iter().copied());
+    }
+
+    /// [`Envelope::accumulate`] over a borrowed [`Cols`] view.
+    pub fn accumulate_cols(&mut self, sweep: Cols<'_>) {
+        self.accumulate_iter(sweep.len(), sweep.iter());
+    }
+
+    fn accumulate_iter(&mut self, len: usize, sweep: impl Iterator<Item = Option<f64>>) {
         let w = self.min.len();
-        let offset = w.saturating_sub(sweep.len());
-        let skip = sweep.len().saturating_sub(w);
-        for (i, s) in sweep.iter().skip(skip).enumerate() {
-            if let Some(v) = *s {
+        let offset = w.saturating_sub(len);
+        let skip = len.saturating_sub(w);
+        for (i, s) in sweep.skip(skip).enumerate() {
+            if let Some(v) = s {
                 let x = offset + i;
                 self.min[x] = self.min[x].min(v);
                 self.max[x] = self.max[x].max(v);
@@ -326,5 +362,34 @@ mod tests {
     fn out_of_range_band_is_none() {
         let e = Envelope::new(2);
         assert_eq!(e.band(5), None);
+    }
+
+    #[test]
+    fn cols_variants_match_slice_variants() {
+        use crate::history::History;
+
+        // Push past capacity so the ring wraps and Cols has two runs.
+        let mut h = History::new(8);
+        for v in [0.0, 5.0, 0.0, 1.0, 5.0, 0.0, 1.0, 2.0, 0.0, 5.0, 1.0] {
+            h.push(Some(v));
+        }
+        let v = h.to_vec();
+        let cols = h.cols();
+        let t = Trigger::rising(4.0);
+        assert_eq!(t.find_last_cols(cols), t.find_last(&v));
+        let aligned = t.align_cols(cols, 3).unwrap();
+        assert_eq!(aligned.to_vec(), t.align(&v, 3).unwrap());
+
+        let normal = Trigger::rising(99.0).with_mode(TriggerMode::Normal);
+        assert!(normal.align_cols(cols, 3).is_none());
+
+        let mut by_slice = Envelope::new(4);
+        by_slice.accumulate(&v);
+        let mut by_cols = Envelope::new(4);
+        by_cols.accumulate_cols(cols);
+        for x in 0..4 {
+            assert_eq!(by_cols.band(x), by_slice.band(x));
+        }
+        assert_eq!(by_cols.sweeps(), by_slice.sweeps());
     }
 }

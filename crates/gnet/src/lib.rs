@@ -383,7 +383,7 @@ mod tests {
         clock.advance(TimeDelta::from_secs(1001));
         ml.run_until(clock.now() + TimeDelta::from_millis(200));
         let guard = scope.lock();
-        let window = guard.display_window("wave");
+        let window = guard.display_cols("wave").to_vec();
         assert!(
             window.iter().any(|v| v.is_some()),
             "streamed samples reached the display"

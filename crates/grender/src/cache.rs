@@ -1,0 +1,582 @@
+//! Incremental strip-chart rendering (§5.3 of DESIGN.md).
+//!
+//! Strip-chart frames are almost identical to their predecessors: every
+//! tick appends one sample per signal and the whole trace shifts left
+//! by one column. [`FrameCache`] exploits that by keeping two
+//! framebuffers between frames — the static *chrome* layer (title,
+//! rulers, grid, readout strip, signal rows) and the last composited
+//! *frame* — and advancing the frame with a scroll blit plus a repaint
+//! of the freshly exposed column strip, instead of redrawing the full
+//! widget.
+//!
+//! Incremental frames are **pixel-identical** to a cold
+//! [`render_scope`](crate::render_scope): the full redraw stays the
+//! correctness oracle (and the property tests in
+//! `tests/render_incremental.rs` compare the two byte-for-byte). When a
+//! frame is not eligible for the blit (settings changed, trigger or
+//! envelope active, non-uniform sample arrival), the cache falls back
+//! to redrawing content over the cached chrome, or to a full rebuild.
+
+use std::fmt::Write as _;
+use std::mem;
+
+use gscope::{Color, LineMode, Scope, Trigger};
+
+use crate::draw;
+use crate::font;
+use crate::framebuffer::Framebuffer;
+use crate::surface::RasterSurface;
+use crate::view::{self, TracePainter};
+
+/// Counters describing which path each [`FrameCache::render`] call
+/// took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RenderStats {
+    /// Chrome rebuilt and content redrawn (settings/geometry changed).
+    pub full: u64,
+    /// Chrome reused, content redrawn (ineligible for the blit).
+    pub content: u64,
+    /// Scroll blit + strip repaint.
+    pub incremental: u64,
+    /// Nothing changed; the cached frame was returned untouched.
+    pub cached: u64,
+}
+
+/// Everything that affects rendered pixels *except* the sample data.
+/// While this key matches, the chrome layer is valid and the previous
+/// frame differs from the next only by appended samples.
+struct ChromeKey {
+    w: usize,
+    h: usize,
+    cw: usize,
+    ch: usize,
+    name: String,
+    mode: &'static str,
+    zoom: f64,
+    bias: f64,
+    period_ms: u64,
+    delay_ms: u64,
+    trigger: Option<(String, Trigger)>,
+    signals: Vec<SigKey>,
+}
+
+struct SigKey {
+    name: String,
+    color: Color,
+    hidden: bool,
+    show_value: bool,
+    line: LineMode,
+    min: f64,
+    max: f64,
+    envelope: bool,
+}
+
+impl ChromeKey {
+    fn build(scope: &Scope, w: usize, h: usize) -> Self {
+        ChromeKey {
+            w,
+            h,
+            cw: scope.width(),
+            ch: scope.height(),
+            name: scope.name().to_owned(),
+            mode: scope.mode_name(),
+            zoom: scope.zoom(),
+            bias: scope.bias(),
+            period_ms: scope.period().as_millis(),
+            delay_ms: scope.delay().as_millis(),
+            trigger: scope.trigger().map(|(n, t)| (n.to_owned(), *t)),
+            signals: scope
+                .signals()
+                .iter()
+                .map(|sig| {
+                    let c = sig.config();
+                    SigKey {
+                        name: sig.name().to_owned(),
+                        color: sig.color(),
+                        hidden: c.hidden,
+                        show_value: c.show_value,
+                        line: c.line,
+                        min: c.min,
+                        max: c.max,
+                        envelope: scope.envelope(sig.name()).is_some(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Compares against the scope in place — no allocation on the
+    /// per-frame hot path.
+    fn matches(&self, scope: &Scope, w: usize, h: usize) -> bool {
+        if self.w != w
+            || self.h != h
+            || self.cw != scope.width()
+            || self.ch != scope.height()
+            || self.name != scope.name()
+            || self.mode != scope.mode_name()
+            || self.zoom != scope.zoom()
+            || self.bias != scope.bias()
+            || self.period_ms != scope.period().as_millis()
+            || self.delay_ms != scope.delay().as_millis()
+        {
+            return false;
+        }
+        let trig = scope.trigger();
+        match (&self.trigger, trig) {
+            (None, None) => {}
+            (Some((kn, kt)), Some((n, t))) if kn == n && kt == t => {}
+            _ => return false,
+        }
+        if self.signals.len() != scope.signals().len() {
+            return false;
+        }
+        self.signals.iter().zip(scope.signals()).all(|(k, sig)| {
+            let c = sig.config();
+            k.name == sig.name()
+                && k.color == sig.color()
+                && k.hidden == c.hidden
+                && k.show_value == c.show_value
+                && k.line == c.line
+                && k.min == c.min
+                && k.max == c.max
+                && k.envelope == scope.envelope(sig.name()).is_some()
+        })
+    }
+}
+
+/// Persistent renderer state: cached chrome, the previous frame, and
+/// the bookkeeping needed to decide whether the next frame can be
+/// produced by a scroll blit.
+#[derive(Default)]
+pub struct FrameCache {
+    chrome: Framebuffer,
+    frame: Framebuffer,
+    key: Option<ChromeKey>,
+    /// `History::total_pushed` per signal at the cached frame.
+    pushed: Vec<u64>,
+    /// Display-window length per signal at the cached frame.
+    lens: Vec<usize>,
+    scratch: String,
+    stats: RenderStats,
+}
+
+impl FrameCache {
+    /// Creates an empty cache; the first [`render`](Self::render) is a
+    /// full redraw.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Path counters accumulated so far.
+    pub fn stats(&self) -> RenderStats {
+        self.stats
+    }
+
+    /// Drops all cached state; the next frame is a full redraw.
+    pub fn invalidate(&mut self) {
+        self.key = None;
+        self.pushed.clear();
+        self.lens.clear();
+    }
+
+    /// Renders the scope, reusing as much of the previous frame as
+    /// possible. The result is pixel-identical to
+    /// [`render_scope`](crate::render_scope).
+    pub fn render(&mut self, scope: &Scope) -> &Framebuffer {
+        let (w, h) = view::widget_size(scope);
+        let key_ok = self.key.as_ref().is_some_and(|k| k.matches(scope, w, h));
+        if !key_ok {
+            self.rebuild_chrome(scope, w, h);
+            self.redraw_content(scope);
+            self.record(scope);
+            self.stats.full += 1;
+            return &self.frame;
+        }
+        match self.delta(scope) {
+            Some(0) => self.stats.cached += 1,
+            Some(d) if self.blit_eligible(scope, d) => {
+                self.advance(scope, d as usize);
+                self.record(scope);
+                self.stats.incremental += 1;
+            }
+            _ => {
+                self.redraw_content(scope);
+                self.record(scope);
+                self.stats.content += 1;
+            }
+        }
+        &self.frame
+    }
+
+    fn rebuild_chrome(&mut self, scope: &Scope, w: usize, h: usize) {
+        if self.chrome.width() != w || self.chrome.height() != h {
+            self.chrome = Framebuffer::new(w, h);
+            self.frame = Framebuffer::new(w, h);
+        }
+        let fb = mem::take(&mut self.chrome);
+        let mut s = RasterSurface::from_framebuffer(fb);
+        view::draw_chrome(scope, &mut s, &mut self.scratch);
+        self.chrome = s.into_framebuffer();
+        self.key = Some(ChromeKey::build(scope, w, h));
+    }
+
+    /// Full content redraw over a copy of the cached chrome — the same
+    /// pixels as `draw_scope` on a fresh surface, minus the chrome
+    /// cost.
+    fn redraw_content(&mut self, scope: &Scope) {
+        self.frame.copy_from(&self.chrome);
+        let fb = mem::take(&mut self.frame);
+        let mut s = RasterSurface::from_framebuffer(fb);
+        view::draw_content(scope, &mut s);
+        view::draw_values(scope, &mut s, &mut self.scratch);
+        self.frame = s.into_framebuffer();
+    }
+
+    fn record(&mut self, scope: &Scope) {
+        self.pushed.clear();
+        self.lens.clear();
+        for sig in scope.signals() {
+            self.pushed.push(sig.history().total_pushed());
+            self.lens.push(scope.display_cols(sig.name()).len());
+        }
+    }
+
+    /// The uniform number of samples appended to every signal since the
+    /// cached frame, or `None` if signals advanced unevenly or a
+    /// history was reset.
+    fn delta(&self, scope: &Scope) -> Option<u64> {
+        if self.pushed.len() != scope.signals().len() {
+            return None;
+        }
+        let mut delta: Option<u64> = None;
+        for (sig, &prev) in scope.signals().iter().zip(&self.pushed) {
+            let d = sig.history().total_pushed().checked_sub(prev)?;
+            match delta {
+                None => delta = Some(d),
+                Some(x) if x == d => {}
+                _ => return None,
+            }
+        }
+        Some(delta.unwrap_or(0))
+    }
+
+    /// Whether a `d`-column scroll blit reproduces the full redraw
+    /// exactly. Requires untriggered right-aligned windows that either
+    /// grew by `d` or stayed saturated at canvas width, no envelope
+    /// shading, and trace colors distinguishable from the canvas
+    /// background and grid.
+    fn blit_eligible(&self, scope: &Scope, d: u64) -> bool {
+        let cw = scope.width();
+        if d as usize >= cw || scope.trigger().is_some() {
+            return false;
+        }
+        for (i, sig) in scope.signals().iter().enumerate() {
+            if scope.envelope(sig.name()).is_some() {
+                return false;
+            }
+            if sig.config().hidden {
+                continue;
+            }
+            let c = sig.color();
+            if c == view::BG || c == view::GRID {
+                return false;
+            }
+            let n = scope.display_cols(sig.name()).len();
+            let grown = n == self.lens[i] + d as usize;
+            let steady = n == self.lens[i] && n == cw;
+            if !(grown || steady) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The incremental path: scroll the canvas left by `d`, repair the
+    /// (non-scrolling) grid analytically, erase evicted left-edge
+    /// segments, repaint the freshly exposed right strip, and refresh
+    /// the value readouts.
+    fn advance(&mut self, scope: &Scope, d: usize) {
+        let (canvas_x, canvas_y) = view::canvas_origin();
+        let cw = scope.width() as i64;
+        let ch = scope.height() as i64;
+        let di = d as i64;
+        // Everything left of `cs` is produced by the blit; [cs, cw) is
+        // restored from chrome and repainted. `cs` starts one column
+        // before the strictly-new columns because segments entering the
+        // strip interleave with other signals' old pixels there, and
+        // only a clear + in-order repaint reproduces the full redraw's
+        // z-order.
+        let cs = cw - di - 1;
+
+        self.frame.scroll_left(
+            canvas_x as usize,
+            canvas_y as usize,
+            cw as usize,
+            ch as usize,
+            d,
+        );
+
+        // Grid repair: chrome pixels do not scroll. A blitted pixel
+        // that showed chrome (background or grid) before the shift must
+        // show the chrome of its *new* position. Trace pixels are
+        // untouched: eligibility guarantees trace colors differ from
+        // both chrome colors, so `frame == chrome-at-old-position`
+        // exactly identifies chrome-showing pixels. Candidates are the
+        // only places where chrome differs under a d-shift: grid
+        // pixels and their shifted images.
+        {
+            let (frame, chrome) = (&mut self.frame, &self.chrome);
+            let mut repair = |x: i64, y: i64| {
+                if frame.get(x, y) == chrome.get(x + di, y) {
+                    if let Some(c) = chrome.get(x, y) {
+                        frame.set(x, y, c);
+                    }
+                }
+            };
+            // Horizontal grid rows: dashes every DASH_CYCLE px.
+            for y in view::hgrid_rows(canvas_y, ch) {
+                let mut c = 0i64;
+                while c < cs {
+                    repair(canvas_x + c, y);
+                    c += view::DASH_CYCLE;
+                }
+                let mut c = (view::DASH_CYCLE - di.rem_euclid(view::DASH_CYCLE))
+                    .rem_euclid(view::DASH_CYCLE);
+                while c < cs {
+                    repair(canvas_x + c, y);
+                    c += view::DASH_CYCLE;
+                }
+            }
+            // Vertical grid columns and their shifted images.
+            let mut gx = view::GRID_PX;
+            while gx < cw {
+                for c in [gx, gx - di] {
+                    if (0..cs).contains(&c) {
+                        let mut y = canvas_y;
+                        while y < canvas_y + ch {
+                            repair(canvas_x + c, y);
+                            y += view::DASH_CYCLE;
+                        }
+                    }
+                }
+                gx += view::GRID_PX;
+            }
+        }
+
+        // Left-edge eviction: a saturated window dropped its oldest
+        // samples, and the blit carried the segment that led into the
+        // now-evicted sample onto column 0. Restore the column from
+        // chrome and repaint every signal's contribution to it.
+        let evicted = scope
+            .signals()
+            .iter()
+            .enumerate()
+            .any(|(i, sig)| !sig.config().hidden && self.lens[i] == cw as usize);
+        if evicted {
+            self.frame.copy_rect_from(
+                &self.chrome,
+                canvas_x as usize,
+                canvas_y as usize,
+                1,
+                ch as usize,
+            );
+            // Only a window's first two samples can touch column 0.
+            self.paint_clipped(scope, canvas_x, canvas_x, 0, 2);
+        }
+
+        // Freshly exposed strip: restore chrome, then repaint all
+        // signals in order from the sample just before the strip.
+        self.frame.copy_rect_from(
+            &self.chrome,
+            (canvas_x + cs) as usize,
+            canvas_y as usize,
+            (cw - cs) as usize,
+            ch as usize,
+        );
+        self.paint_clipped(scope, canvas_x + cs, canvas_x + cw - 1, cs, usize::MAX);
+
+        // Value readouts: restore the chrome to the right of each
+        // label and redraw the text.
+        let mut ry = canvas_y + ch + view::X_RULER_H + view::WIDGET_ROW_H;
+        for sig in scope.signals() {
+            if sig.config().show_value {
+                let vx = view::value_text_x(sig);
+                let w = self.frame.width().saturating_sub(vx as usize);
+                self.frame
+                    .copy_rect_from(&self.chrome, vx as usize, (ry + 1) as usize, w, 8);
+                self.scratch.clear();
+                match sig.value_readout() {
+                    Some(v) => {
+                        let _ = write!(self.scratch, "Value: {v:.3}");
+                    }
+                    None => self.scratch.push_str("Value: -"),
+                }
+                font::draw_text(&mut self.frame, vx, ry + 1, &self.scratch, sig.color());
+            }
+            ry += view::SIG_ROW_H;
+        }
+    }
+
+    /// Repaints every visible signal's trace clipped to the column span
+    /// `[min_x, max_x]`, bounded to the window sample range
+    /// `[from_col - offset, until)` that can actually touch it.
+    fn paint_clipped(
+        &mut self,
+        scope: &Scope,
+        min_x: i64,
+        max_x: i64,
+        from_col: i64,
+        until: usize,
+    ) {
+        let (canvas_x, canvas_y) = view::canvas_origin();
+        let cw = scope.width() as i64;
+        let ch = scope.height() as i64;
+        for sig in scope.signals() {
+            if sig.config().hidden {
+                continue;
+            }
+            let window = scope.display_cols(sig.name());
+            let offset = cw - window.len() as i64;
+            let first = (from_col - offset).max(0) as usize;
+            let mut p = ClippedFrame {
+                fb: &mut self.frame,
+                min_x,
+                max_x,
+            };
+            view::paint_trace(
+                scope,
+                sig.config(),
+                sig.color(),
+                window,
+                &mut p,
+                canvas_x,
+                canvas_y,
+                cw,
+                ch,
+                first,
+                until,
+            );
+        }
+    }
+}
+
+/// [`TracePainter`] over a framebuffer that only writes pixels inside a
+/// column span — partial repaints draw full segments and let the clip
+/// keep them inside the damaged region, so the painted pixels match the
+/// full redraw's Bresenham output exactly.
+struct ClippedFrame<'a> {
+    fb: &'a mut Framebuffer,
+    min_x: i64,
+    max_x: i64,
+}
+
+impl TracePainter for ClippedFrame<'_> {
+    fn point(&mut self, x: i64, y: i64, c: Color) {
+        if x >= self.min_x && x <= self.max_x {
+            self.fb.set(x, y, c);
+        }
+    }
+
+    fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+        let (min_x, max_x) = (self.min_x, self.max_x);
+        let fb = &mut *self.fb;
+        draw::line_pts(x0, y0, x1, y1, |x, y| {
+            if x >= min_x && x <= max_x {
+                fb.set(x, y, c);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::render_scope;
+    use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+    use gscope::{IntVar, SigConfig};
+    use std::sync::Arc;
+
+    fn demo() -> (Scope, IntVar) {
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("demo", 120, 80, clock);
+        let v = IntVar::new(0);
+        scope
+            .add_signal(
+                "ramp",
+                v.clone().into(),
+                SigConfig::default()
+                    .with_range(0.0, 60.0)
+                    .with_show_value(true),
+            )
+            .unwrap();
+        scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+        scope.start();
+        (scope, v)
+    }
+
+    fn tick(scope: &mut Scope, i: u64) {
+        let t = TimeStamp::from_millis(50 * (i + 1));
+        scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+    }
+
+    #[test]
+    fn incremental_matches_full_redraw_through_saturation() {
+        let (mut scope, v) = demo();
+        let mut cache = FrameCache::new();
+        // Far past saturation: the window fills at 120 columns.
+        for i in 0..200u64 {
+            v.set((i as i64 * 3) % 60);
+            tick(&mut scope, i);
+            assert_eq!(
+                *cache.render(&scope),
+                render_scope(&scope),
+                "frame {i} diverged"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.full, 1, "only the first frame rebuilds chrome");
+        assert!(stats.incremental >= 190, "steady state takes the blit path");
+    }
+
+    #[test]
+    fn unchanged_scope_returns_cached_frame() {
+        let (mut scope, v) = demo();
+        v.set(17);
+        tick(&mut scope, 0);
+        let mut cache = FrameCache::new();
+        let first = cache.render(&scope).clone();
+        let second = cache.render(&scope);
+        assert_eq!(first, *second);
+        assert_eq!(cache.stats().cached, 1);
+    }
+
+    #[test]
+    fn settings_change_invalidates_chrome() {
+        let (mut scope, v) = demo();
+        let mut cache = FrameCache::new();
+        for i in 0..10u64 {
+            v.set(i as i64);
+            tick(&mut scope, i);
+            cache.render(&scope);
+        }
+        scope.set_zoom(2.0).unwrap();
+        assert_eq!(*cache.render(&scope), render_scope(&scope));
+        assert_eq!(cache.stats().full, 2);
+    }
+
+    #[test]
+    fn invalidate_forces_full_rebuild() {
+        let (mut scope, v) = demo();
+        let mut cache = FrameCache::new();
+        v.set(5);
+        tick(&mut scope, 0);
+        cache.render(&scope);
+        cache.invalidate();
+        assert_eq!(*cache.render(&scope), render_scope(&scope));
+        assert_eq!(cache.stats().full, 2);
+    }
+}

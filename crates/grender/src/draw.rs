@@ -43,9 +43,12 @@ pub fn vline_dashed(fb: &mut Framebuffer, x: i64, y0: i64, y1: i64, c: Color, on
     }
 }
 
-/// Draws an arbitrary line segment with Bresenham's algorithm, endpoints
-/// inclusive.
-pub fn line(fb: &mut Framebuffer, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+/// Walks the pixels of a Bresenham line segment, endpoints inclusive,
+/// calling `plot` for each. The pixel sequence is a pure function of
+/// the endpoint deltas, so a translated segment visits translated
+/// pixels — the invariant the incremental renderer's scroll blit
+/// relies on.
+pub fn line_pts(x0: i64, y0: i64, x1: i64, y1: i64, mut plot: impl FnMut(i64, i64)) {
     let dx = (x1 - x0).abs();
     let dy = -(y1 - y0).abs();
     let sx = if x0 < x1 { 1 } else { -1 };
@@ -53,7 +56,7 @@ pub fn line(fb: &mut Framebuffer, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) 
     let mut err = dx + dy;
     let (mut x, mut y) = (x0, y0);
     loop {
-        fb.set(x, y, c);
+        plot(x, y);
         if x == x1 && y == y1 {
             break;
         }
@@ -67,6 +70,12 @@ pub fn line(fb: &mut Framebuffer, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) 
             y += sy;
         }
     }
+}
+
+/// Draws an arbitrary line segment with Bresenham's algorithm, endpoints
+/// inclusive.
+pub fn line(fb: &mut Framebuffer, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+    line_pts(x0, y0, x1, y1, |x, y| fb.set(x, y, c));
 }
 
 /// Fills the rectangle with corner `(x, y)` and the given size.
@@ -147,6 +156,21 @@ mod tests {
         let mut fb = Framebuffer::new(3, 9);
         vline_dashed(&mut fb, 1, 0, 8, Color::WHITE, 1, 2);
         assert_eq!(fb.count_color(Color::WHITE), 3);
+    }
+
+    #[test]
+    fn line_pts_is_translation_invariant() {
+        let collect = |x0, y0, x1, y1| {
+            let mut pts = Vec::new();
+            line_pts(x0, y0, x1, y1, |x, y| pts.push((x, y)));
+            pts
+        };
+        for &(x0, y0, x1, y1) in &[(0, 0, 9, 4), (3, 8, -2, 1), (5, 5, 5, 9), (7, 2, 1, 2)] {
+            let base = collect(x0, y0, x1, y1);
+            let shifted = collect(x0 - 3, y0 + 11, x1 - 3, y1 + 11);
+            let back: Vec<_> = shifted.iter().map(|&(x, y)| (x + 3, y - 11)).collect();
+            assert_eq!(base, back);
+        }
     }
 
     #[test]

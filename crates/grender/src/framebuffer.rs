@@ -12,7 +12,10 @@ use std::path::Path;
 use gscope::Color;
 
 /// A width × height, 24-bit RGB pixel buffer.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// The [`Default`] buffer is empty (0 × 0) — a placeholder until the
+/// first real frame is rendered.
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Framebuffer {
     width: usize,
     height: usize,
@@ -94,6 +97,56 @@ impl Framebuffer {
     /// Raw RGB bytes, row-major.
     pub fn pixels(&self) -> &[u8] {
         &self.pixels
+    }
+
+    /// Scrolls the rectangle at `(x, y)` of size `w × h` left by `dx`
+    /// pixels in place — one `copy_within` per row, no allocation. The
+    /// rightmost `dx` columns of the rectangle keep their old content;
+    /// the caller repaints them (the freshly exposed strip of a strip
+    /// chart). Out-of-range rectangles are clamped; `dx >= w` is a
+    /// no-op.
+    pub fn scroll_left(&mut self, x: usize, y: usize, w: usize, h: usize, dx: usize) {
+        let x = x.min(self.width);
+        let w = w.min(self.width - x);
+        if dx == 0 || dx >= w {
+            return;
+        }
+        let row_bytes = self.width * 3;
+        for row in y..(y + h).min(self.height) {
+            let start = row * row_bytes + x * 3;
+            let end = start + w * 3;
+            self.pixels.copy_within(start + dx * 3..end, start);
+        }
+    }
+
+    /// Copies the rectangle at `(x, y)` of size `w × h` from `src`
+    /// (same position), clamped to both buffers — restoring a region
+    /// from a cached layer.
+    pub fn copy_rect_from(&mut self, src: &Framebuffer, x: usize, y: usize, w: usize, h: usize) {
+        let x = x.min(self.width).min(src.width);
+        let w = w.min(self.width - x).min(src.width - x);
+        if w == 0 {
+            return;
+        }
+        for row in y..(y + h).min(self.height).min(src.height) {
+            let dst_start = (row * self.width + x) * 3;
+            let src_start = (row * src.width + x) * 3;
+            self.pixels[dst_start..dst_start + w * 3]
+                .copy_from_slice(&src.pixels[src_start..src_start + w * 3]);
+        }
+    }
+
+    /// Copies the entire contents of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, src: &Framebuffer) {
+        assert!(
+            self.width == src.width && self.height == src.height,
+            "copy_from requires equal dimensions"
+        );
+        self.pixels.copy_from_slice(&src.pixels);
     }
 
     /// Counts pixels exactly matching `c` (test helper).
@@ -235,6 +288,75 @@ impl std::fmt::Debug for Framebuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scroll_left_shifts_rows_and_keeps_outside_pixels() {
+        let mut fb = Framebuffer::new(6, 4);
+        // Paint a distinct color per column inside a 4x2 rect at (1, 1).
+        for x in 1..5usize {
+            let c = Color::new(x as u8 * 10, 0, 0);
+            fb.set(x as i64, 1, c);
+            fb.set(x as i64, 2, c);
+        }
+        fb.set(0, 1, Color::new(1, 2, 3)); // outside, must survive
+        fb.set(5, 1, Color::new(4, 5, 6));
+        fb.scroll_left(1, 1, 4, 2, 2);
+        for y in [1i64, 2] {
+            // Columns 1..3 now hold what was at 3..5.
+            assert_eq!(fb.get(1, y), Some(Color::new(30, 0, 0)));
+            assert_eq!(fb.get(2, y), Some(Color::new(40, 0, 0)));
+            // Rightmost dx columns keep their old content.
+            assert_eq!(fb.get(3, y), Some(Color::new(30, 0, 0)));
+            assert_eq!(fb.get(4, y), Some(Color::new(40, 0, 0)));
+        }
+        assert_eq!(fb.get(0, 1), Some(Color::new(1, 2, 3)));
+        assert_eq!(fb.get(5, 1), Some(Color::new(4, 5, 6)));
+        assert_eq!(fb.get(1, 0), Some(Color::BLACK));
+        assert_eq!(fb.get(1, 3), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn scroll_left_degenerate_cases_are_noops() {
+        let mut fb = Framebuffer::new(4, 2);
+        fb.set(2, 1, Color::WHITE);
+        let before = fb.clone();
+        fb.scroll_left(0, 0, 4, 2, 0); // dx == 0
+        assert_eq!(fb, before);
+        fb.scroll_left(0, 0, 4, 2, 4); // dx >= w
+        assert_eq!(fb, before);
+        fb.scroll_left(9, 0, 4, 2, 1); // x beyond buffer
+        assert_eq!(fb, before);
+    }
+
+    #[test]
+    fn copy_rect_from_restores_region_only() {
+        let mut src = Framebuffer::new(5, 4);
+        for y in 0..4 {
+            for x in 0..5 {
+                src.set(x, y, Color::new(x as u8, y as u8, 7));
+            }
+        }
+        let mut dst = Framebuffer::new(5, 4);
+        dst.copy_rect_from(&src, 1, 1, 2, 2);
+        assert_eq!(dst.get(1, 1), Some(Color::new(1, 1, 7)));
+        assert_eq!(dst.get(2, 2), Some(Color::new(2, 2, 7)));
+        assert_eq!(dst.get(0, 1), Some(Color::BLACK));
+        assert_eq!(dst.get(3, 1), Some(Color::BLACK));
+        assert_eq!(dst.get(1, 0), Some(Color::BLACK));
+        assert_eq!(dst.get(1, 3), Some(Color::BLACK));
+        // Clamped overflow copies the intersection.
+        dst.copy_rect_from(&src, 3, 3, 99, 99);
+        assert_eq!(dst.get(4, 3), Some(Color::new(4, 3, 7)));
+    }
+
+    #[test]
+    fn copy_from_replicates_whole_buffer() {
+        let mut src = Framebuffer::new(3, 3);
+        src.set(2, 2, Color::WHITE);
+        let mut dst = Framebuffer::new(3, 3);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
 
     #[test]
     fn new_buffer_is_black() {

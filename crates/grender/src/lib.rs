@@ -12,6 +12,9 @@
 //! * [`Surface`] — one drawing abstraction, two backends
 //!   ([`RasterSurface`], [`SvgSurface`]).
 //! * [`render_scope`] / [`render_scope_svg`] — the Figure 1/4/5 widget.
+//! * [`FrameCache`] — incremental strip-chart rendering: scroll-blit
+//!   damage tracking over a cached chrome layer, pixel-identical to the
+//!   full redraw.
 //! * [`render_signal_window`] — the Figure 2 signal-parameters window.
 //! * [`render_param_window`] — the Figure 3 control-parameters window.
 //! * [`render_spectrum`] — the §3.1 frequency-domain view.
@@ -32,11 +35,13 @@
 pub mod draw;
 pub mod font;
 
+mod cache;
 mod framebuffer;
 mod surface;
 mod view;
 mod windows;
 
+pub use cache::{FrameCache, RenderStats};
 pub use framebuffer::{compose_vertical, Framebuffer};
 pub use surface::{RasterSurface, Surface, SvgSurface};
 pub use view::{draw_scope, render_scope, render_scope_svg, render_spectrum, widget_size};

@@ -50,6 +50,12 @@ impl RasterSurface {
         }
     }
 
+    /// Wraps an existing framebuffer (e.g. a cached layer being
+    /// redrawn in place) without reallocating.
+    pub fn from_framebuffer(fb: Framebuffer) -> Self {
+        RasterSurface { fb }
+    }
+
     /// Consumes the surface, returning the framebuffer.
     pub fn into_framebuffer(self) -> Framebuffer {
         self.fb

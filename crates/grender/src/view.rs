@@ -6,32 +6,61 @@
 //! canvas, and one row per signal showing its color, name and (when the
 //! Value button is pressed) the live value.
 
-use gscope::{Color, LineMode, Scope};
+use std::fmt::Write as _;
 
+use gscope::{Color, Cols, LineMode, Scope};
+
+use crate::font;
 use crate::framebuffer::Framebuffer;
 use crate::surface::{RasterSurface, Surface, SvgSurface};
 
 /// Width reserved for the y-axis ruler labels.
-const Y_RULER_W: i64 = 26;
+pub(crate) const Y_RULER_W: i64 = 26;
 /// Height of the x-axis ruler strip.
-const X_RULER_H: i64 = 11;
+pub(crate) const X_RULER_H: i64 = 11;
 /// Height of the title strip.
-const TITLE_H: i64 = 12;
+pub(crate) const TITLE_H: i64 = 12;
 /// Height of the zoom/bias/period/delay readout strip.
-const WIDGET_ROW_H: i64 = 12;
+pub(crate) const WIDGET_ROW_H: i64 = 12;
 /// Height of one signal row.
-const SIG_ROW_H: i64 = 11;
+pub(crate) const SIG_ROW_H: i64 = 11;
 /// Outer margin.
-const MARGIN: i64 = 2;
+pub(crate) const MARGIN: i64 = 2;
+/// Vertical grid pitch in pixels.
+pub(crate) const GRID_PX: i64 = 50;
+/// Dash cycle of the grid strokes (1 px on, 3 px off).
+pub(crate) const DASH_CYCLE: i64 = 4;
 
 /// Canvas background.
-const BG: Color = Color::new(18, 18, 18);
+pub(crate) const BG: Color = Color::new(18, 18, 18);
 /// Chrome background.
-const CHROME: Color = Color::new(40, 40, 44);
+pub(crate) const CHROME: Color = Color::new(40, 40, 44);
 /// Grid stroke color.
-const GRID: Color = Color::new(70, 90, 70);
+pub(crate) const GRID: Color = Color::new(70, 90, 70);
 /// Label text color.
-const TEXT: Color = Color::new(210, 210, 210);
+pub(crate) const TEXT: Color = Color::new(210, 210, 210);
+
+/// Top-left corner of the trace canvas inside the widget.
+pub(crate) const fn canvas_origin() -> (i64, i64) {
+    (MARGIN + Y_RULER_W, MARGIN + TITLE_H)
+}
+
+/// Y coordinates of the horizontal grid rows (the 0–100 ruler).
+pub(crate) fn hgrid_rows(canvas_y: i64, ch: i64) -> [i64; 5] {
+    [0i64, 25, 50, 75, 100].map(|pct| canvas_y + ch - 1 - (ch - 1) * pct / 100)
+}
+
+/// X where a signal row's value readout starts: after the swatch, the
+/// label, and the 12 px gap — matching what [`draw_chrome`]'s label
+/// `text` call returns.
+pub(crate) fn value_text_x(sig: &gscope::Signal) -> i64 {
+    let (canvas_x, _) = canvas_origin();
+    let mut w = font::text_width(sig.name(), 1);
+    if sig.config().hidden {
+        w += font::text_width(" (hidden)", 1);
+    }
+    canvas_x + 10 + w + 12
+}
 
 /// Computes the full widget size for a scope: `(width, height)`.
 pub fn widget_size(scope: &Scope) -> (usize, usize) {
@@ -48,21 +77,30 @@ pub fn widget_size(scope: &Scope) -> (usize, usize) {
 /// Draws the complete scope widget onto `s`.
 ///
 /// The surface should be at least [`widget_size`] big; smaller surfaces
-/// clip safely.
+/// clip safely. The scene is layered — static chrome, then trace
+/// content, then the live value readouts — and the three layers touch
+/// disjoint pixels, which is what lets [`crate::FrameCache`] cache the
+/// chrome and update the rest incrementally.
 pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
+    let mut scratch = String::new();
+    draw_chrome(scope, s, &mut scratch);
+    draw_content(scope, s);
+    draw_values(scope, s, &mut scratch);
+}
+
+/// Draws the static layer: background, title, canvas frame, grid,
+/// rulers, readout strip, and the signal rows (swatch + label). Changes
+/// only when the widget geometry, scope settings, or signal set change.
+pub(crate) fn draw_chrome(scope: &Scope, s: &mut dyn Surface, scratch: &mut String) {
     s.clear(CHROME);
-    let canvas_x = MARGIN + Y_RULER_W;
-    let canvas_y = MARGIN + TITLE_H;
+    let (canvas_x, canvas_y) = canvas_origin();
     let cw = scope.width() as i64;
     let ch = scope.height() as i64;
 
     // Title strip: name and acquisition mode.
-    s.text(
-        MARGIN + 2,
-        MARGIN + 2,
-        &format!("{} [{}]", scope.name(), scope.mode_name()),
-        TEXT,
-    );
+    scratch.clear();
+    let _ = write!(scratch, "{} [{}]", scope.name(), scope.mode_name());
+    s.text(MARGIN + 2, MARGIN + 2, scratch, TEXT);
 
     // Canvas.
     s.rect(canvas_x, canvas_y, cw, ch, BG, true);
@@ -72,13 +110,13 @@ pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
     for pct in [0i64, 25, 50, 75, 100] {
         let y = canvas_y + ch - 1 - (ch - 1) * pct / 100;
         s.hline_dashed(canvas_x, canvas_x + cw - 1, y, GRID);
-        let label = format!("{pct}");
-        s.text(MARGIN + 1, (y - 3).max(canvas_y - 4), &label, TEXT);
+        scratch.clear();
+        let _ = write!(scratch, "{pct}");
+        s.text(MARGIN + 1, (y - 3).max(canvas_y - 4), scratch, TEXT);
     }
 
     // Vertical grid + x ruler in seconds (§2).
     let period_s = scope.period().as_secs_f64();
-    let grid_px = 50i64;
     let mut gx = 0i64;
     while gx < cw {
         let x = canvas_x + gx;
@@ -86,9 +124,46 @@ pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
             s.vline_dashed(x, canvas_y, canvas_y + ch - 1, GRID);
         }
         let secs = gx as f64 * period_s;
-        s.text(x, canvas_y + ch + 2, &format!("{secs:.0}"), TEXT);
-        gx += grid_px;
+        scratch.clear();
+        let _ = write!(scratch, "{secs:.0}");
+        s.text(x, canvas_y + ch + 2, scratch, TEXT);
+        gx += GRID_PX;
     }
+
+    // Widget readout strip: the zoom/bias/period/delay widgets (§2).
+    let wy = canvas_y + ch + X_RULER_H;
+    scratch.clear();
+    let _ = write!(
+        scratch,
+        "zoom {:.2}  bias {:+.2}  period {}ms  delay {}ms",
+        scope.zoom(),
+        scope.bias(),
+        scope.period().as_millis(),
+        scope.delay().as_millis()
+    );
+    s.text(canvas_x, wy + 2, scratch, TEXT);
+
+    // Signal rows: swatch and label (the value text is a separate
+    // layer, see `draw_values`).
+    let mut ry = wy + WIDGET_ROW_H;
+    for sig in scope.signals() {
+        s.rect(canvas_x, ry + 2, 6, 6, sig.color(), true);
+        scratch.clear();
+        scratch.push_str(sig.name());
+        if sig.config().hidden {
+            scratch.push_str(" (hidden)");
+        }
+        s.text(canvas_x + 10, ry + 1, scratch, TEXT);
+        ry += SIG_ROW_H;
+    }
+}
+
+/// Draws the per-sample layer: envelope shading, signal traces, and the
+/// trigger level marker.
+pub(crate) fn draw_content(scope: &Scope, s: &mut dyn Surface) {
+    let (canvas_x, canvas_y) = canvas_origin();
+    let cw = scope.width() as i64;
+    let ch = scope.height() as i64;
 
     // Envelope shading first (under the traces).
     for sig in scope.signals() {
@@ -111,17 +186,20 @@ pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
         if sig.config().hidden {
             continue;
         }
-        let window = scope.display_window(sig.name());
-        draw_trace(
+        let window = scope.display_cols(sig.name());
+        let mut p = SurfacePainter(s);
+        paint_trace(
             scope,
             sig.config(),
             sig.color(),
-            &window,
-            s,
+            window,
+            &mut p,
             canvas_x,
             canvas_y,
             cw,
             ch,
+            0,
+            usize::MAX,
         );
     }
 
@@ -133,85 +211,129 @@ pub fn draw_scope(scope: &Scope, s: &mut dyn Surface) {
             s.point(canvas_x - 5, y, Color::RED);
         }
     }
+}
 
-    // Widget readout strip: the zoom/bias/period/delay widgets (§2).
-    let wy = canvas_y + ch + X_RULER_H;
-    s.text(
-        canvas_x,
-        wy + 2,
-        &format!(
-            "zoom {:.2}  bias {:+.2}  period {}ms  delay {}ms",
-            scope.zoom(),
-            scope.bias(),
-            scope.period().as_millis(),
-            scope.delay().as_millis()
-        ),
-        TEXT,
-    );
-
-    // Signal rows.
-    let mut ry = wy + WIDGET_ROW_H;
+/// Draws the live value readouts in the signal rows.
+pub(crate) fn draw_values(scope: &Scope, s: &mut dyn Surface, scratch: &mut String) {
+    let (_, canvas_y) = canvas_origin();
+    let ch = scope.height() as i64;
+    let mut ry = canvas_y + ch + X_RULER_H + WIDGET_ROW_H;
     for sig in scope.signals() {
-        s.rect(canvas_x, ry + 2, 6, 6, sig.color(), true);
-        let mut label = sig.name().to_owned();
-        if sig.config().hidden {
-            label.push_str(" (hidden)");
-        }
-        let end = s.text(canvas_x + 10, ry + 1, &label, TEXT);
         if sig.config().show_value {
-            let value = match sig.value_readout() {
-                Some(v) => format!("Value: {v:.3}"),
-                None => "Value: -".to_owned(),
-            };
-            s.text(end + 12, ry + 1, &value, sig.color());
+            scratch.clear();
+            match sig.value_readout() {
+                Some(v) => {
+                    let _ = write!(scratch, "Value: {v:.3}");
+                }
+                None => scratch.push_str("Value: -"),
+            }
+            s.text(value_text_x(sig), ry + 1, scratch, sig.color());
         }
         ry += SIG_ROW_H;
     }
 }
 
-fn value_to_y(scope: &Scope, config: &gscope::SigConfig, v: f64, canvas_y: i64, ch: i64) -> i64 {
+pub(crate) fn value_to_y(
+    scope: &Scope,
+    config: &gscope::SigConfig,
+    v: f64,
+    canvas_y: i64,
+    ch: i64,
+) -> i64 {
     let frac = scope.display_fraction(config, v);
     canvas_y + ch - 1 - ((ch - 1) as f64 * frac).round() as i64
 }
 
+/// Pixel sink for trace painting — implemented by whole surfaces and by
+/// the frame cache's column-clipped framebuffer view, so full and
+/// incremental redraws share one code path (and therefore one pixel
+/// output).
+pub(crate) trait TracePainter {
+    fn point(&mut self, x: i64, y: i64, c: Color);
+    fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color);
+}
+
+/// [`TracePainter`] that forwards to a [`Surface`].
+pub(crate) struct SurfacePainter<'a>(pub &'a mut dyn Surface);
+
+impl TracePainter for SurfacePainter<'_> {
+    fn point(&mut self, x: i64, y: i64, c: Color) {
+        self.0.point(x, y, c);
+    }
+
+    fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Color) {
+        self.0.line(x0, y0, x1, y1, c);
+    }
+}
+
+/// Paints one signal's trace over the sample index range
+/// `[first, until)` of the display window (`0, usize::MAX` paints
+/// everything). When `first > 0` the segment leading into it is seeded
+/// from sample `first - 1`, so a partial repaint continues the line
+/// exactly as a full redraw would.
+///
+/// Windows wider than the canvas are decimated to per-column min/max
+/// bands so draw cost is bounded by pixel width, not sample count.
 #[allow(clippy::too_many_arguments)]
-fn draw_trace(
+pub(crate) fn paint_trace<P: TracePainter>(
     scope: &Scope,
     config: &gscope::SigConfig,
     color: Color,
-    window: &[Option<f64>],
-    s: &mut dyn Surface,
+    window: Cols<'_>,
+    p: &mut P,
     canvas_x: i64,
     canvas_y: i64,
     cw: i64,
     ch: i64,
+    first: usize,
+    until: usize,
 ) {
-    // Right-align the window on the canvas, like a strip chart.
     let n = window.len() as i64;
-    let offset = (cw - n).max(0);
-    let skip = (n - cw).max(0) as usize;
+    if n > cw {
+        // More samples than columns: draw each column's min/max band.
+        for (b, band) in gscope::decimate_minmax(window, cw as usize)
+            .into_iter()
+            .enumerate()
+        {
+            let Some((lo, hi)) = band else { continue };
+            let x = canvas_x + b as i64;
+            let ylo = value_to_y(scope, config, lo, canvas_y, ch);
+            let yhi = value_to_y(scope, config, hi, canvas_y, ch);
+            p.line(x, yhi, x, ylo, color);
+        }
+        return;
+    }
+    // Right-align the window on the canvas, like a strip chart.
+    let offset = cw - n;
     let zero_y = value_to_y(scope, config, 0.0_f64.max(config.min), canvas_y, ch);
     let mut prev: Option<(i64, i64)> = None;
-    for (i, sample) in window.iter().skip(skip).enumerate() {
-        let x = canvas_x + offset + i as i64;
-        let Some(v) = *sample else {
+    if first > 0 {
+        if let Some(v) = window.get(first - 1).flatten() {
+            let x = canvas_x + offset + first as i64 - 1;
+            prev = Some((x, value_to_y(scope, config, v, canvas_y, ch)));
+        }
+    }
+    let count = until.min(window.len()).saturating_sub(first);
+    for (i, sample) in window.iter_from(first).take(count).enumerate() {
+        let x = canvas_x + offset + (first + i) as i64;
+        let Some(v) = sample else {
             prev = None;
             continue;
         };
         let y = value_to_y(scope, config, v, canvas_y, ch);
         match config.line {
-            LineMode::Points => s.point(x, y, color),
-            LineMode::Bars => s.line(x, zero_y, x, y, color),
+            LineMode::Points => p.point(x, y, color),
+            LineMode::Bars => p.line(x, zero_y, x, y, color),
             LineMode::Line => match prev {
-                Some((px, py)) => s.line(px, py, x, y, color),
-                None => s.point(x, y, color),
+                Some((px, py)) => p.line(px, py, x, y, color),
+                None => p.point(x, y, color),
             },
             LineMode::Step => match prev {
                 Some((px, py)) => {
-                    s.line(px, py, x, py, color);
-                    s.line(x, py, x, y, color);
+                    p.line(px, py, x, py, color);
+                    p.line(x, py, x, y, color);
                 }
-                None => s.point(x, y, color),
+                None => p.point(x, y, color),
             },
         }
         prev = Some((x, y));

@@ -77,7 +77,7 @@ pub fn info(args: &Args) -> CmdResult {
     for name in scope.signal_names() {
         let displayed = scope
             .signal(&name)
-            .map(|s| s.history().last_values(usize::MAX).len())
+            .map(|s| s.history().value_count())
             .unwrap_or(0);
         out.push_str(&format!("  {name:<20} {displayed:>8} displayed samples\n"));
     }
@@ -306,6 +306,10 @@ pub fn serve(args: &Args) -> CmdResult {
     let mut next_snapshot =
         (snapshot_ms > 0).then(|| clock.now() + TimeDelta::from_millis(snapshot_ms));
     let mut snapshots = 0u64;
+    // Raster snapshots share a frame cache across the loop so each
+    // cadence re-render is an incremental scroll blit, not a full
+    // widget redraw.
+    let mut frames = grender::FrameCache::new();
     while clock.now() < deadline {
         let _ = server.poll();
         let now = clock.now();
@@ -324,7 +328,7 @@ pub fn serve(args: &Args) -> CmdResult {
                 if out.ends_with(".svg") {
                     std::fs::write(out, grender::render_scope_svg(&guard))?;
                 } else {
-                    grender::render_scope(&guard).save_ppm(out)?;
+                    frames.render(&guard).save_ppm(out)?;
                 }
                 snapshots += 1;
                 next_snapshot = Some(at + TimeDelta::from_millis(snapshot_ms));
@@ -347,7 +351,7 @@ pub fn serve(args: &Args) -> CmdResult {
         if out.ends_with(".svg") {
             std::fs::write(&out, grender::render_scope_svg(&guard))?;
         } else {
-            grender::render_scope(&guard).save_ppm(&out)?;
+            frames.render(&guard).save_ppm(&out)?;
         }
         if snapshots > 0 {
             report.push_str(&format!(
@@ -378,7 +382,7 @@ pub fn spectrum(args: &Args) -> CmdResult {
     // a short recording would smear the spectrum toward DC.
     let available = scope
         .signal(&name)
-        .map(|s| s.history().last_values(usize::MAX).len())
+        .map(|s| s.history().value_count())
         .unwrap_or(0);
     let size = if available == 0 {
         size

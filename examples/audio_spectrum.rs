@@ -125,8 +125,8 @@ fn main() {
 
     // The envelope must show the DTMF burst: peak ~2.2 during the
     // burst vs ~1.05 outside it.
-    let window = scope.display_window("peak");
-    let max_peak = window.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+    let window = scope.display_cols("peak");
+    let max_peak = window.iter().flatten().fold(0.0f64, f64::max);
     assert!(
         max_peak > 1.5,
         "DTMF burst visible in envelope ({max_peak})"

@@ -101,10 +101,10 @@ fn main() {
 
     // The replayed traces must match the live ones exactly.
     for name in ["saw", "tri"] {
-        let a = live.display_window(name);
-        let b = replay.display_window(name);
+        let a = live.display_cols(name);
+        let b = replay.display_cols(name);
         assert_eq!(a.len(), b.len(), "{name}: window lengths differ");
-        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
             let (Some(x), Some(y)) = (x, y) else {
                 panic!("{name}[{i}]: gap mismatch {x:?} vs {y:?}");
             };
@@ -127,9 +127,9 @@ fn main() {
         ft += TimeDelta::from_millis(100);
         tick(&mut fast, &fast_clock, ft);
     }
-    let full = live.display_window("saw").len();
+    let full = live.display_cols("saw").len();
     let half = fast
-        .display_window("saw")
+        .display_cols("saw")
         .iter()
         .filter(|v| v.is_some())
         .count();

@@ -64,7 +64,7 @@ fn main() {
     let free = grender::render_scope(&scope);
     free.save_ppm("target/figures/trigger_free_running.ppm")
         .expect("write figure");
-    let free_window = scope.display_window("square");
+    let free_window = scope.display_cols("square").to_vec();
 
     // Install a rising-edge trigger with hysteresis; the display now
     // always ends at the most recent upward crossing of 50.
@@ -83,8 +83,8 @@ fn main() {
     let mut last_end: Option<f64> = None;
     for sweep in 0..6 {
         t = drive(&mut scope, &clock, t, 40);
-        let window = scope.display_window("square");
-        let end = window.iter().rev().flatten().next().copied();
+        let window = scope.display_cols("square");
+        let end = window.iter().rev().flatten().next();
         if let (Some(prev), Some(cur)) = (last_end, end) {
             // Trigger stabilization: the final displayed sample always
             // sits just above the trigger level (±jitter).

@@ -82,7 +82,7 @@ fn run_pipeline(
 
     let guard = scope.lock();
     let stats = server.lock().stats();
-    let window = guard.display_window(signal);
+    let window = guard.display_cols(signal).to_vec();
     let late = guard.buffer().late_drops();
     (stats, window, late)
 }

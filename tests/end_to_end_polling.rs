@@ -39,7 +39,7 @@ fn figure6_program_end_to_end() {
     let guard = scope.lock();
     // 4 s at 50 ms = 80 ticks.
     assert_eq!(guard.stats().ticks, 80);
-    let window = guard.display_window("elephants");
+    let window = guard.display_cols("elephants").to_vec();
     assert_eq!(window.len(), 80);
     // First half shows 8, second half shows 16.
     assert_eq!(window[10], Some(8.0));
@@ -146,7 +146,7 @@ fn dynamic_signal_add_remove_mid_run() {
     {
         let guard = scope.lock();
         assert_eq!(guard.signal_count(), 2);
-        let b = guard.display_window("b");
+        let b = guard.display_cols("b").to_vec();
         assert!(
             b.len() >= 19 && b.len() <= 21,
             "b has ~20 columns: {}",
@@ -158,7 +158,7 @@ fn dynamic_signal_add_remove_mid_run() {
     ml.run_until(TimeStamp::from_secs(3));
     let guard = scope.lock();
     assert_eq!(guard.signal_count(), 1);
-    assert!(guard.display_window("a").is_empty());
+    assert!(guard.display_cols("a").to_vec().is_empty());
 }
 
 #[test]

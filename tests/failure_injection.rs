@@ -60,7 +60,7 @@ fn recording_sink_failure_stops_recording_but_not_the_scope() {
     assert!((1..=3).contains(&recorded), "recorded {recorded}");
     // …but polling continued unharmed.
     assert_eq!(scope.stats().ticks, 10);
-    assert_eq!(scope.display_window("v").len(), 10);
+    assert_eq!(scope.display_cols("v").to_vec().len(), 10);
     // A new recording can start afterwards.
     scope.start_recording(Vec::new());
     assert!(scope.is_recording());
@@ -121,7 +121,7 @@ fn scope_survives_signal_removal_mid_playback() {
     for i in 2..=12 {
         scope.tick(&tick_at(50 * i));
     }
-    assert!(scope.display_window("b").contains(&Some(3.0)));
+    assert!(scope.display_cols("b").to_vec().contains(&Some(3.0)));
 }
 
 #[test]
@@ -191,7 +191,7 @@ fn buffer_signal_with_no_producer_shows_gaps_not_garbage() {
     for i in 1..=8 {
         scope.tick(&tick_at(50 * i));
     }
-    let window = scope.display_window("quiet");
+    let window = scope.display_cols("quiet").to_vec();
     assert_eq!(window.len(), 8);
     assert!(window.iter().all(|v| v.is_none()), "all columns blank");
     assert_eq!(scope.value_readout("quiet").unwrap(), None);

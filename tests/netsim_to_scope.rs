@@ -85,7 +85,7 @@ fn mini_experiment(ecn: bool) -> MiniRun {
     let fb = grender::render_scope(&scope);
     let trace_pixels = fb.count_color(color);
 
-    let window = scope.display_window("CWND");
+    let window = scope.display_cols("CWND").to_vec();
     let min_cwnd_displayed = window
         .iter()
         .flatten()

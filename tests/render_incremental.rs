@@ -1,0 +1,173 @@
+//! The incremental renderer's correctness oracle: a [`FrameCache`]
+//! frame must be **byte-identical** to a cold full redraw
+//! ([`grender::render_scope`]) after any interleaving of ticks,
+//! hide-toggles, zoom/bias changes, resizes, and signal add/remove —
+//! the full redraw defines the pixels, the cache only accelerates them.
+
+use std::sync::Arc;
+
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use grender::FrameCache;
+use gscope::{IntVar, Scope, SigConfig, Trigger};
+use proptest::prelude::*;
+
+struct Rig {
+    scope: Scope,
+    vars: Vec<IntVar>,
+    ticks: u64,
+}
+
+impl Rig {
+    fn new(width: usize, signals: usize) -> Rig {
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("inc", width, 60, clock);
+        let mut vars = Vec::new();
+        for i in 0..signals {
+            let v = IntVar::new(i as i64);
+            scope
+                .add_signal(
+                    format!("s{i}"),
+                    v.clone().into(),
+                    SigConfig::default()
+                        .with_range(0.0, 100.0)
+                        .with_show_value(true),
+                )
+                .unwrap();
+            vars.push(v);
+        }
+        scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+        scope.start();
+        Rig {
+            scope,
+            vars,
+            ticks: 0,
+        }
+    }
+
+    fn tick(&mut self) {
+        self.ticks += 1;
+        for (i, v) in self.vars.iter().enumerate() {
+            v.set(((self.ticks as i64 * (7 + i as i64 * 3)) % 100).abs());
+        }
+        let t = TimeStamp::from_millis(50 * self.ticks);
+        self.scope.tick(&TickInfo {
+            now: t,
+            scheduled: t,
+            missed: 0,
+        });
+    }
+}
+
+proptest! {
+    /// N random ticks / hide-toggles / zoom and bias changes, checking
+    /// after every step that the incremental frame equals a cold full
+    /// redraw byte-for-byte.
+    #[test]
+    fn incremental_is_byte_identical_to_full_redraw(
+        width in 20usize..70,
+        ops in proptest::collection::vec((0u8..5, 0u8..4), 1..40),
+    ) {
+        let mut rig = Rig::new(width, 2);
+        let mut cache = FrameCache::new();
+        for &(op, arg) in &ops {
+            match op {
+                // Bias the mix toward ticks: they exercise the blit.
+                0..=2 => {
+                    for _ in 0..=arg {
+                        rig.tick();
+                    }
+                }
+                3 => {
+                    let name = format!("s{}", arg as usize % 2);
+                    rig.scope.signal_mut(&name).unwrap().toggle_hidden();
+                }
+                _ => {
+                    rig.scope.set_zoom(1.0 + arg as f64).unwrap();
+                    rig.scope.set_bias(arg as f64 * 0.1 - 0.2).unwrap();
+                }
+            }
+            let full = grender::render_scope(&rig.scope);
+            prop_assert_eq!(
+                cache.render(&rig.scope),
+                &full,
+                "diverged after op {:?}",
+                (op, arg)
+            );
+        }
+        // The cache must actually have taken the fast path somewhere in
+        // a tick-heavy run, not fallen back to full redraw throughout.
+        if ops.iter().filter(|(op, _)| *op <= 2).count() > 10 {
+            prop_assert!(cache.stats().incremental > 0);
+        }
+    }
+}
+
+#[test]
+fn resize_invalidates_and_matches() {
+    let mut rig = Rig::new(50, 2);
+    let mut cache = FrameCache::new();
+    for _ in 0..60 {
+        rig.tick();
+        cache.render(&rig.scope);
+    }
+    rig.scope.set_size(80, 70).unwrap();
+    assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    rig.tick();
+    assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    assert_eq!(cache.stats().full, 2, "resize forces a chrome rebuild");
+}
+
+#[test]
+fn signal_add_and_remove_mid_sweep_match() {
+    let mut rig = Rig::new(50, 2);
+    let mut cache = FrameCache::new();
+    for _ in 0..30 {
+        rig.tick();
+        cache.render(&rig.scope);
+    }
+    // Add a signal mid-sweep: widget grows a row, histories differ in
+    // length from here on.
+    let v = IntVar::new(42);
+    rig.scope
+        .add_signal("late", v.clone().into(), SigConfig::default())
+        .unwrap();
+    rig.vars.push(v);
+    assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    for _ in 0..30 {
+        rig.tick();
+        assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    }
+    rig.scope.remove_signal("s0").unwrap();
+    rig.vars.remove(0);
+    assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    for _ in 0..10 {
+        rig.tick();
+        assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    }
+}
+
+#[test]
+fn trigger_and_envelope_fall_back_but_stay_identical() {
+    let mut rig = Rig::new(40, 1);
+    let mut cache = FrameCache::new();
+    for _ in 0..50 {
+        rig.tick();
+        cache.render(&rig.scope);
+    }
+    rig.scope.set_trigger("s0", Trigger::rising(50.0)).unwrap();
+    for _ in 0..10 {
+        rig.tick();
+        assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    }
+    let inc_before = cache.stats().incremental;
+    rig.scope.enable_envelope("s0").unwrap();
+    for _ in 0..10 {
+        rig.tick();
+        assert_eq!(*cache.render(&rig.scope), grender::render_scope(&rig.scope));
+    }
+    assert_eq!(
+        cache.stats().incremental,
+        inc_before,
+        "triggered/enveloped frames must not take the blit path"
+    );
+}

@@ -118,13 +118,13 @@ proptest! {
                 missed: 0,
             });
         }
-        let before = scope.display_window("v");
+        let before = scope.display_cols("v").to_vec();
         for (&z, &b) in zooms.iter().zip(&biases) {
             scope.set_zoom(z).unwrap();
             scope.set_bias(b).unwrap();
         }
         // The display transform is view-only (DESIGN §5): the stored
         // samples are untouched by any zoom/bias sequence.
-        prop_assert_eq!(scope.display_window("v"), before);
+        prop_assert_eq!(scope.display_cols("v").to_vec(), before);
     }
 }

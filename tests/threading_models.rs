@@ -132,7 +132,7 @@ fn single_threaded_io_driven_style() {
     let guard = scope.lock();
     assert!(guard.stats().ticks >= 10);
     assert!(v.get() >= 20, "application callback ran interleaved");
-    let window = guard.display_window("v");
+    let window = guard.display_cols("v").to_vec();
     // The trace is non-decreasing (counter polled while incrementing).
     let values: Vec<f64> = window.iter().flatten().copied().collect();
     for pair in values.windows(2) {
