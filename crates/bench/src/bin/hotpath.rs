@@ -1,9 +1,10 @@
 //! Hot-path benchmark baselines: emits `BENCH_tuple.json`,
-//! `BENCH_poll.json`, `BENCH_buffer.json`, and `BENCH_render.json`
-//! with median ns/iter for the paths the zero-allocation and
-//! incremental-rendering work targets (tuple codec, `poll_tick`,
-//! buffer ingestion, strip-chart frames), so the perf trajectory is
-//! tracked in-repo from this PR onward.
+//! `BENCH_poll.json`, `BENCH_buffer.json`, `BENCH_render.json`, and
+//! `BENCH_store.json` with median ns/iter for the paths the
+//! zero-allocation, incremental-rendering, and tuple-store work
+//! targets (tuple codec, `poll_tick`, buffer ingestion, strip-chart
+//! frames, store append/seek/scan), so the perf trajectory is tracked
+//! in-repo from this PR onward.
 //!
 //! The `before` numbers are the criterion medians recorded on this
 //! machine immediately before the interned-codec / allocation-free
@@ -365,6 +366,140 @@ fn bench_render(cfg: &Cfg) -> Vec<Row> {
         .collect()
 }
 
+/// Store hot paths: binary append vs the text writer, indexed seek vs
+/// a front-to-back scan, and full-scan decode throughput. `before` is
+/// the text/scan baseline measured live in the same process, so
+/// `speedup` is the binary-vs-text (resp. index-vs-scan) ratio on this
+/// machine.
+fn bench_store(cfg: &Cfg) -> Vec<Row> {
+    use gscope::TupleSource;
+    use gstore::{Store, StoreConfig, StoreReader};
+
+    let dir = std::env::temp_dir().join(format!("gstore-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rows = Vec::new();
+    let tuples = sample_tuples(1000);
+    let iters = if cfg.quick { 20 } else { 200 };
+
+    // Store append: identical batches into an on-disk store, block
+    // flushes and segment rolls included. Times advance across batches
+    // so each run is one monotone stream.
+    let append_dir = dir.join("append");
+    let mut store = Store::open(&append_dir, StoreConfig::default()).expect("open bench store");
+    let mut base_us = 0u64;
+    let append = measure(cfg, iters, || {
+        for t in &tuples {
+            store
+                .append(
+                    TimeStamp::from_micros(base_us + t.time.as_micros()),
+                    t.value,
+                    t.name.as_deref(),
+                )
+                .unwrap();
+        }
+        base_us += 1_250 * 1000;
+        black_box(base_us);
+    });
+    store.close().expect("close bench store");
+    // Text baseline: the same tuple stream through the §3.3 line
+    // writer into a buffered file — the recorder's production path
+    // (scope recording and `gtool gen` both persist text this way).
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let text_file = std::fs::File::create(dir.join("baseline.tuples")).expect("create text file");
+    let mut w = TupleWriter::new(std::io::BufWriter::new(text_file));
+    let mut base_us = 0u64;
+    let text = measure(cfg, iters, || {
+        for t in &tuples {
+            w.write_parts(
+                TimeStamp::from_micros(base_us + t.time.as_micros()),
+                t.value,
+                t.name.as_deref(),
+            )
+            .unwrap();
+        }
+        base_us += 1_250 * 1000;
+        black_box(base_us);
+    });
+    w.flush().expect("flush text baseline");
+    // Force the baseline's dirty pages out before timing the store:
+    // otherwise the kernel's writeback throttling for the ~100MB text
+    // backlog lands on the store phase and skews the comparison.
+    let f = w.into_inner().into_inner().expect("unwrap text writer");
+    f.sync_all().expect("sync text baseline");
+    drop(f);
+
+    rows.push(Row {
+        id: "store/append/binary_vs_text_x1000",
+        before_ns: Some(text),
+        after_ns: append,
+    });
+
+    // Seek vs scan: 100k frames over many small segments, target time
+    // near the end. `before` decodes every frame up to the target;
+    // `after` goes through the per-segment first-times and one block
+    // index.
+    let seek_dir = dir.join("seek");
+    let seek_cfg = StoreConfig {
+        segment_bytes: 64 * 1024,
+        ..StoreConfig::default()
+    };
+    let mut store = Store::open(&seek_dir, seek_cfg).expect("open seek store");
+    let frames = if cfg.quick { 20_000u64 } else { 100_000 };
+    for i in 0..frames {
+        store
+            .append(
+                TimeStamp::from_micros(i * 1_000),
+                (i as f64 * 0.731).sin(),
+                Some("carrier"),
+            )
+            .unwrap();
+    }
+    store.close().expect("close seek store");
+    let target = TimeStamp::from_micros((frames - 5) * 1_000);
+    let scan_iters = if cfg.quick { 2 } else { 5 };
+    let scan = measure(cfg, scan_iters, || {
+        let mut r = StoreReader::open(&seek_dir).unwrap();
+        let mut last = 0.0;
+        while let Some(t) = r.next_tuple().unwrap() {
+            if t.time >= target {
+                last = t.value;
+                break;
+            }
+        }
+        black_box(last);
+    });
+    let seek_iters = if cfg.quick { 50 } else { 200 };
+    let seek = measure(cfg, seek_iters, || {
+        let mut r = StoreReader::open(&seek_dir).unwrap();
+        r.seek(target).unwrap();
+        black_box(r.next_tuple().unwrap().expect("frame at target").value);
+    });
+    rows.push(Row {
+        id: "store/seek/indexed_vs_scan",
+        before_ns: Some(scan),
+        after_ns: seek,
+    });
+
+    // Full-scan decode throughput, per frame.
+    let scan_all = measure(cfg, scan_iters, || {
+        let mut r = StoreReader::open(&seek_dir).unwrap();
+        let mut n = 0u64;
+        while let Some(t) = r.next_tuple().unwrap() {
+            n += 1;
+            black_box(t.value);
+        }
+        assert_eq!(n, frames);
+    });
+    rows.push(Row {
+        id: "store/scan/read_all_per_frame",
+        before_ns: None,
+        after_ns: scan_all / frames as f64,
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
 fn fmt_ns(x: f64) -> String {
     format!("{x:.1}")
 }
@@ -417,11 +552,13 @@ fn print_rows(rows: &[Row]) {
 fn main() {
     let mut quick = false;
     let mut out = ".".to_owned();
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out requires a directory"),
+            "--only" => only = Some(args.next().expect("--only requires a suite name")),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -433,14 +570,27 @@ fn main() {
         quick,
     };
 
-    for (bench, rows) in [
-        ("tuple", bench_tuple(&cfg)),
-        ("poll", bench_poll(&cfg)),
-        ("buffer", bench_buffer(&cfg)),
-        ("render", bench_render(&cfg)),
-    ] {
+    type Suite = fn(&Cfg) -> Vec<Row>;
+    let suites: [(&str, Suite); 5] = [
+        ("tuple", bench_tuple),
+        ("poll", bench_poll),
+        ("buffer", bench_buffer),
+        ("render", bench_render),
+        ("store", bench_store),
+    ];
+    let mut matched = false;
+    for (bench, run) in suites {
+        if only.as_deref().is_some_and(|o| o != bench) {
+            continue;
+        }
+        matched = true;
+        let rows = run(&cfg);
         let path = write_json(&out, bench, &rows).expect("write BENCH json");
         println!("{path}");
         print_rows(&rows);
+    }
+    if !matched {
+        eprintln!("no suite named {:?}", only.unwrap_or_default());
+        std::process::exit(2);
     }
 }

@@ -613,10 +613,9 @@ pub unsafe extern "C" fn gscope_record_stop(handle: *mut GscopeHandle) -> i32 {
         Ok(h) => h,
         Err(e) => return e,
     };
-    if let Some(mut sink) = h.scope.stop_recording() {
-        use std::io::Write as _;
-        let _ = sink.flush();
-    }
+    // stop_recording already flushed (and latched any flush error on
+    // the scope); nothing further to do with the returned sink.
+    let _ = h.scope.stop_recording();
     GSCOPE_OK
 }
 

@@ -95,5 +95,7 @@ pub use signal::{EventSink, Signal};
 pub use source::SigSource;
 pub use telemetry::{metric_signal, ScopeTelemetry, StatsExport};
 pub use trigger::{Envelope, Trigger, TriggerEdge, TriggerMode};
-pub use tuple::{write_tuple_line, RawTuple, Tuple, TupleReader, TupleWriter};
+pub use tuple::{
+    write_tuple_line, RawTuple, Tuple, TupleReader, TupleSink, TupleSource, TupleWriter,
+};
 pub use value::{BoolVar, FloatVar, IntVar, ShortVar};

@@ -26,7 +26,7 @@ use crate::signal::{EventSink, Signal};
 use crate::source::SigSource;
 use crate::telemetry::ScopeTelemetry;
 use crate::trigger::{Envelope, Trigger};
-use crate::tuple::{Tuple, TupleWriter};
+use crate::tuple::{Tuple, TupleSink, TupleSource, TupleWriter};
 
 /// Default sampling period: the 50 ms used throughout the paper's
 /// examples (Figure 6, §3.3).
@@ -107,7 +107,7 @@ impl crate::telemetry::StatsExport for ScopeStats {
     }
 }
 
-type RecordSink = TupleWriter<Box<dyn Write + Send>>;
+type RecordSink = Box<dyn TupleSink>;
 
 /// An oscilloscope for software signals.
 pub struct Scope {
@@ -443,6 +443,20 @@ impl Scope {
         Ok(())
     }
 
+    /// Enters playback mode over any [`TupleSource`] — a
+    /// [`crate::TupleReader`] over a text file, or a `gstore`
+    /// store reader positioned by a seek, so `replay --from T` starts
+    /// mid-recording without materializing what came before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source errors and [`Scope::set_playback_mode`]
+    /// errors.
+    pub fn set_playback_source(&mut self, source: &mut dyn TupleSource) -> Result<()> {
+        let tuples = source.collect_tuples()?;
+        self.set_playback_mode(tuples)
+    }
+
     /// Starts acquisition — `gtk_scope_start_polling` (Figure 6).
     ///
     /// In the stopped state after [`Scope::set_polling_mode`], begins
@@ -613,20 +627,36 @@ impl Scope {
 
     // ----- recording (§3.1, §3.3) -----
 
-    /// Starts recording every polled sample as tuples to `sink`.
+    /// Starts recording every polled sample as §3.3 text tuples to a
+    /// byte sink (a `File`, a socket, a `Vec<u8>`).
     pub fn start_recording<W>(&mut self, sink: W)
     where
         W: Write + Send + 'static,
     {
-        self.recorder = Some(TupleWriter::new(Box::new(sink)));
+        self.start_recording_sink(TupleWriter::new(sink));
+    }
+
+    /// Starts recording into any [`TupleSink`] — e.g. a `gstore::Store`
+    /// for a segmented, crash-safe, seekable recording instead of a
+    /// flat text stream.
+    pub fn start_recording_sink<S: TupleSink + 'static>(&mut self, sink: S) {
+        self.recorder = Some(Box::new(sink));
         self.recording_error = None;
     }
 
     /// Stops recording, flushing and returning the sink.
-    pub fn stop_recording(&mut self) -> Option<Box<dyn Write + Send>> {
+    ///
+    /// A flush failure is latched exactly like a tick-time write
+    /// failure: the sink is still returned, but
+    /// [`Scope::recording_error`] (and `ScopeStats::recording_failed`)
+    /// report it.
+    pub fn stop_recording(&mut self) -> Option<Box<dyn TupleSink>> {
         let mut w = self.recorder.take()?;
-        let _ = w.flush();
-        Some(w.into_inner())
+        if let Err(e) = w.flush() {
+            self.recording_error = Some(e.to_string());
+            self.telemetry.record_errors.inc();
+        }
+        Some(w)
     }
 
     /// True while a recorder is attached.
@@ -1161,6 +1191,97 @@ mod tests {
         assert_eq!(text, "50.000 3 v\n100.000 4 v\n");
         assert_eq!(scope.stats().recorded_tuples, 2);
         assert!(!scope.is_recording());
+    }
+
+    /// A sink that accepts `good_writes` tuples, then fails every
+    /// write; flush fails when `fail_flush` is set.
+    struct FailingSink {
+        good_writes: usize,
+        fail_flush: bool,
+        writes: usize,
+    }
+
+    impl crate::tuple::TupleSink for FailingSink {
+        fn write_parts(&mut self, _t: TimeStamp, _v: f64, _n: Option<&str>) -> Result<()> {
+            self.writes += 1;
+            if self.writes > self.good_writes {
+                return Err(ScopeError::Io(std::io::Error::other("disk full")));
+            }
+            Ok(())
+        }
+        fn flush(&mut self) -> Result<()> {
+            if self.fail_flush {
+                return Err(ScopeError::Io(std::io::Error::other("flush failed")));
+            }
+            Ok(())
+        }
+        fn bytes_written(&self) -> u64 {
+            self.writes as u64
+        }
+    }
+
+    #[test]
+    fn failed_write_drops_recorder_and_latches_error() {
+        let (mut scope, v) = scope_with_int(8);
+        scope.start_recording_sink(FailingSink {
+            good_writes: 1,
+            fail_flush: false,
+            writes: 0,
+        });
+        v.set(1);
+        scope.tick(&tick_at(50));
+        assert!(scope.is_recording(), "first write succeeded");
+        assert!(!scope.stats().recording_failed);
+        v.set(2);
+        scope.tick(&tick_at(100));
+        // The dead sink must be gone, the error latched, and the stats
+        // flag visible — the documented error path.
+        assert!(!scope.is_recording(), "failed sink must be dropped");
+        assert!(scope.recording_error().unwrap().contains("disk full"));
+        assert!(scope.stats().recording_failed);
+        // Subsequent ticks are fine (no recorder), and a fresh
+        // recording clears the latched error.
+        v.set(3);
+        scope.tick(&tick_at(150));
+        scope.start_recording(Vec::new());
+        assert!(scope.recording_error().is_none());
+        assert!(!scope.stats().recording_failed);
+    }
+
+    #[test]
+    fn flush_failure_at_stop_is_latched() {
+        let (mut scope, v) = scope_with_int(8);
+        scope.start_recording_sink(FailingSink {
+            good_writes: usize::MAX,
+            fail_flush: true,
+            writes: 0,
+        });
+        v.set(1);
+        scope.tick(&tick_at(50));
+        let sink = scope.stop_recording();
+        assert!(sink.is_some(), "sink is still returned");
+        assert!(scope.recording_error().unwrap().contains("flush failed"));
+        assert!(scope.stats().recording_failed);
+    }
+
+    #[test]
+    fn playback_from_source_matches_playback_mode() {
+        let data = "0 1 s\n100 2 s\n";
+        let clock = Arc::new(VirtualClock::new());
+        let mut scope = Scope::new("pb", 16, 100, clock);
+        scope.set_period(TimeDelta::from_millis(50)).unwrap();
+        let mut reader = crate::tuple::TupleReader::new(data.as_bytes());
+        scope
+            .set_playback_source(&mut reader as &mut dyn TupleSource)
+            .unwrap();
+        scope.start();
+        for i in 1..=3 {
+            scope.tick(&tick_at(50 * i));
+        }
+        assert_eq!(
+            scope.display_cols("s").to_vec(),
+            vec![Some(1.0), Some(1.0), Some(2.0)]
+        );
     }
 
     #[test]

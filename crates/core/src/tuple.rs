@@ -274,6 +274,73 @@ fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
     buf.extend_from_slice(&digits[i..]);
 }
 
+/// A pull-style producer of tuples — the reading half of the
+/// pipeline's storage abstraction.
+///
+/// [`TupleReader`] (text files, sockets) and `gstore::StoreReader`
+/// (the binary segment store) both implement it, so playback, `gtool`
+/// and the network layer consume recordings without caring how they
+/// are encoded on disk.
+pub trait TupleSource {
+    /// Produces the next tuple, or `Ok(None)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined decode/order/I/O errors.
+    fn next_tuple(&mut self) -> Result<Option<Tuple>>;
+
+    /// Drains the source into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`TupleSource::next_tuple`].
+    fn collect_tuples(&mut self) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_tuple()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+/// A push-style consumer of tuples — the writing half of the
+/// pipeline's storage abstraction.
+///
+/// [`TupleWriter`] (the §3.3 text format) and `gstore::Store` (the
+/// binary segment store) both implement it; [`crate::Scope`] records
+/// through a boxed `TupleSink`, so a scope can stream to a file, a
+/// socket, or a crash-safe store with the same call.
+pub trait TupleSink: Send {
+    /// Consumes one tuple given as loose parts (the allocation-free
+    /// recorder path).
+    ///
+    /// # Errors
+    ///
+    /// [`ScopeError::TupleOrder`] when `time` precedes the previous
+    /// tuple, or implementation-defined encode/I/O errors.
+    fn write_parts(&mut self, time: TimeStamp, value: f64, name: Option<&str>) -> Result<()>;
+
+    /// Consumes one tuple.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TupleSink::write_parts`].
+    fn write_tuple(&mut self, t: &Tuple) -> Result<()> {
+        self.write_parts(t.time, t.value, t.name.as_deref())
+    }
+
+    /// Flushes buffered data to the underlying medium.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Total bytes this sink has emitted so far (post-encoding), for
+    /// telemetry.
+    fn bytes_written(&self) -> u64;
+}
+
 /// Streaming tuple reader enforcing the format's time ordering.
 pub struct TupleReader<R> {
     input: R,
@@ -447,6 +514,26 @@ impl<W: Write> TupleWriter<W> {
     /// Consumes the writer, returning the inner sink.
     pub fn into_inner(self) -> W {
         self.output
+    }
+}
+
+impl<R: BufRead> TupleSource for TupleReader<R> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        TupleReader::next_tuple(self)
+    }
+}
+
+impl<W: Write + Send> TupleSink for TupleWriter<W> {
+    fn write_parts(&mut self, time: TimeStamp, value: f64, name: Option<&str>) -> Result<()> {
+        TupleWriter::write_parts(self, time, value, name)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        TupleWriter::flush(self)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        TupleWriter::bytes_written(self)
     }
 }
 

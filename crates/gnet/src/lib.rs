@@ -246,10 +246,14 @@ mod tests {
             tuples_received: 40,
             parse_errors: 3,
             tuples_dropped: 5,
+            tuples_stored: 30,
+            store_drops: 2,
+            store_errors: 0,
+            catch_up_tuples: 12,
         };
         let now = TimeStamp::from_millis(250);
         let tuples = s.to_tuples(now);
-        assert_eq!(tuples.len(), 5);
+        assert_eq!(tuples.len(), 9);
         assert!(tuples.iter().all(|t| t.time == now));
         let parse = tuples
             .iter()

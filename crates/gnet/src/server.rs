@@ -16,7 +16,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
 use gel::{Continue, IoPoll, MainLoop, SourceId, TimeDelta, TimeStamp};
-use gscope::{SharedScope, SigConfig, SigSource, StatsExport, Tuple};
+use gscope::{ScopeError, SharedScope, SigConfig, SigSource, StatsExport, Tuple, TupleSource};
+use gstore::{Store, StoreReader};
 use gtel::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 
@@ -33,6 +34,15 @@ pub struct ServerStats {
     pub parse_errors: u64,
     /// Tuples rejected by every attached scope (late or no scope).
     pub tuples_dropped: u64,
+    /// Tuples teed into the attached store.
+    pub tuples_stored: u64,
+    /// Tuples the store rejected as time-regressive — the storage
+    /// analogue of the buffer's late-drop rule (§4.4).
+    pub store_drops: u64,
+    /// Store write/read failures (the server keeps serving).
+    pub store_errors: u64,
+    /// Tuples replayed out of the store by [`ScopeServer::catch_up`].
+    pub catch_up_tuples: u64,
 }
 
 impl StatsExport for ServerStats {
@@ -43,6 +53,14 @@ impl StatsExport for ServerStats {
             Tuple::new(now, self.tuples_received as f64, "net.server.tuples_in"),
             Tuple::new(now, self.parse_errors as f64, "net.server.parse_errors"),
             Tuple::new(now, self.tuples_dropped as f64, "net.server.tuples_dropped"),
+            Tuple::new(now, self.tuples_stored as f64, "net.server.tuples_stored"),
+            Tuple::new(now, self.store_drops as f64, "net.server.store_drops"),
+            Tuple::new(now, self.store_errors as f64, "net.server.store_errors"),
+            Tuple::new(
+                now,
+                self.catch_up_tuples as f64,
+                "net.server.catch_up_tuples",
+            ),
         ]
     }
 }
@@ -63,6 +81,14 @@ struct ServerTelemetry {
     tuples_dropped: Arc<Counter>,
     /// `net.server.clients` — currently connected clients.
     clients: Arc<Gauge>,
+    /// `net.server.tuples_stored` — tuples teed into the store.
+    tuples_stored: Arc<Counter>,
+    /// `net.server.store_drops` — time-regressive tuples not stored.
+    store_drops: Arc<Counter>,
+    /// `net.server.store_errors` — store failures survived.
+    store_errors: Arc<Counter>,
+    /// `net.server.catch_up_tuples` — history replayed to scopes.
+    catch_up: Arc<Counter>,
 }
 
 impl ServerTelemetry {
@@ -74,6 +100,10 @@ impl ServerTelemetry {
             parse_errors: registry.counter("net.server.parse_errors"),
             tuples_dropped: registry.counter("net.server.tuples_dropped"),
             clients: registry.gauge("net.server.clients"),
+            tuples_stored: registry.counter("net.server.tuples_stored"),
+            store_drops: registry.counter("net.server.store_drops"),
+            store_errors: registry.counter("net.server.store_errors"),
+            catch_up: registry.counter("net.server.catch_up_tuples"),
             registry,
         }
     }
@@ -99,6 +129,9 @@ pub struct ScopeServer {
     scopes: Vec<SharedScope>,
     /// Create missing `BUFFER` signals on attached scopes for new names.
     auto_register: bool,
+    /// Optional persistent tee: every live tuple is appended here, and
+    /// [`ScopeServer::catch_up`] replays recent history out of it.
+    store: Option<Store>,
     stats: ServerStats,
     telemetry: ServerTelemetry,
 }
@@ -117,6 +150,7 @@ impl ScopeServer {
             clients: Vec::new(),
             scopes: Vec::new(),
             auto_register: true,
+            store: None,
             stats: ServerStats::default(),
             telemetry: ServerTelemetry::default(),
         })
@@ -145,6 +179,100 @@ impl ScopeServer {
     /// Attaches a scope: received tuples are pushed into its buffer.
     pub fn add_scope(&mut self, scope: SharedScope) {
         self.scopes.push(scope);
+    }
+
+    /// Attaches a scope and immediately replays the last `window` of
+    /// stored history into every attached scope, so its display starts
+    /// populated instead of blank. No-op without a store. The window
+    /// must fit inside the scopes' delay, or the buffers' late-drop
+    /// rule (§4.4) discards the replayed history again.
+    ///
+    /// Returns the number of tuples replayed.
+    pub fn add_scope_with_catch_up(&mut self, scope: SharedScope, window: TimeDelta) -> u64 {
+        self.scopes.push(scope);
+        self.catch_up(window)
+    }
+
+    /// Installs a persistent store: from now on every delivered tuple
+    /// is also appended to it (the tee), and [`ScopeServer::catch_up`]
+    /// can replay recent history. Replaces any previous store.
+    pub fn set_store(&mut self, store: Store) {
+        self.store = Some(store);
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Detaches and returns the store (flush/close is the caller's).
+    pub fn take_store(&mut self) -> Option<Store> {
+        self.store.take()
+    }
+
+    /// Flushes the store tee so readers (and a crash) see everything
+    /// received so far. Returns false (and counts a store error) on
+    /// failure; the server keeps running either way.
+    pub fn flush_store(&mut self) -> bool {
+        match self.store.as_mut().map(Store::flush) {
+            None | Some(Ok(())) => true,
+            Some(Err(_)) => {
+                self.stats.store_errors += 1;
+                self.telemetry.store_errors.inc();
+                false
+            }
+        }
+    }
+
+    /// Replays the last `window` of stored history (relative to the
+    /// newest stored frame) into the attached scopes. The replay reads
+    /// the store through its seek index, so catch-up cost scales with
+    /// the window, not with the total history size.
+    ///
+    /// Returns the number of tuples replayed (0 without a store).
+    pub fn catch_up(&mut self, window: TimeDelta) -> u64 {
+        let Some(store) = self.store.as_mut() else {
+            return 0;
+        };
+        if store.flush().is_err() {
+            self.stats.store_errors += 1;
+            self.telemetry.store_errors.inc();
+            return 0;
+        }
+        let Some(newest) = store.last_time() else {
+            return 0; // empty store: nothing to catch up on
+        };
+        let from = newest.saturating_sub(window);
+        let dir = store.dir().to_path_buf();
+        let mut reader = match StoreReader::open(&dir).and_then(|mut r| {
+            r.seek(from)?;
+            Ok(r)
+        }) {
+            Ok(r) => r,
+            Err(_) => {
+                self.stats.store_errors += 1;
+                self.telemetry.store_errors.inc();
+                return 0;
+            }
+        };
+        let mut replayed = 0u64;
+        loop {
+            match reader.next_tuple() {
+                Ok(Some(t)) => {
+                    self.push_to_scopes(&t);
+                    replayed += 1;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.stats.store_errors += 1;
+                    self.telemetry.store_errors.inc();
+                    break;
+                }
+            }
+        }
+        self.stats.catch_up_tuples += replayed;
+        self.telemetry.catch_up.add(replayed);
+        replayed
     }
 
     /// Enables or disables automatic creation of `BUFFER` signals for
@@ -187,7 +315,9 @@ impl ScopeServer {
         any
     }
 
-    fn deliver(&mut self, tuple: Tuple) {
+    /// Pushes one tuple into every attached scope's buffer (creating
+    /// the `BUFFER` signal first when auto-registration is on).
+    fn push_to_scopes(&self, tuple: &Tuple) -> bool {
         let mut accepted = false;
         for scope in &self.scopes {
             let mut guard = scope.lock();
@@ -203,6 +333,30 @@ impl ScopeServer {
                 accepted = true;
             }
         }
+        accepted
+    }
+
+    fn deliver(&mut self, tuple: Tuple) {
+        if let Some(store) = self.store.as_mut() {
+            match store.append(tuple.time, tuple.value, tuple.name.as_deref()) {
+                Ok(()) => {
+                    self.stats.tuples_stored += 1;
+                    self.telemetry.tuples_stored.inc();
+                }
+                Err(ScopeError::TupleOrder { .. }) => {
+                    // Clients interleave; a tuple older than the store's
+                    // watermark is dropped from storage only, mirroring
+                    // the buffer's late-drop rule.
+                    self.stats.store_drops += 1;
+                    self.telemetry.store_drops.inc();
+                }
+                Err(_) => {
+                    self.stats.store_errors += 1;
+                    self.telemetry.store_errors.inc();
+                }
+            }
+        }
+        let accepted = self.push_to_scopes(&tuple);
         self.stats.tuples_received += 1;
         self.telemetry.tuples_in.inc();
         if !accepted {

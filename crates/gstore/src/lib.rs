@@ -1,0 +1,41 @@
+//! gstore — a segmented, indexed, crash-safe tuple store.
+//!
+//! The paper's gscope records and replays §3.3 text tuples; that works
+//! at demo scale but burns bytes (decimal floats), CPU (`f64` Display
+//! on the record path), and offers no way to start replay at time *T*
+//! without reading everything before it. `gstore` is the storage
+//! subsystem that fixes all three:
+//!
+//! * **Segmented binary log** — a store is a directory of fixed-size
+//!   segment files of CRC-protected blocks; frames carry delta-encoded
+//!   microsecond times, block-scoped interned name ids, and raw `f64`
+//!   bits (see [`segment`] for the byte layout).
+//! * **Indexed** — block headers double as a sparse time index:
+//!   [`StoreReader::seek`] binary-searches segment first-times, then
+//!   one segment's block headers, and decodes a single landing block —
+//!   O(log n), never scanning prior segments ([`ReaderStats`] proves
+//!   it).
+//! * **Crash-safe** — [`Store::open`] verifies the newest segment,
+//!   truncates torn or corrupt tails, and salvages every complete
+//!   frame from a torn block; loss is bounded to the frame being
+//!   written at the crash, and open never refuses.
+//! * **Retention with graceful degradation** — size/age budgets evict
+//!   the oldest tier-0 segments into tier-1 min/max envelopes (the
+//!   on-disk analogue of the renderer's `decimate_minmax`), so old
+//!   history coarsens instead of disappearing.
+//!
+//! [`Store`] implements gscope's `TupleSink` and [`StoreReader`]
+//! implements `TupleSource`, so the scope recorder, the network
+//! server's catch-up tee, and `gtool record`/`replay` all plug in
+//! without special cases.
+
+pub mod codec;
+pub mod reader;
+pub mod segment;
+pub mod store;
+
+pub use reader::{ReaderStats, StoreReader};
+pub use segment::{recover_segment, Recovery, SalvagedFrame};
+pub use store::{
+    catalog_segments, RetentionReport, SegmentInfo, Store, StoreConfig, StoreStats, StoreTelemetry,
+};

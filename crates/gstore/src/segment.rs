@@ -1,0 +1,836 @@
+//! One segment file: append-only blocks of delta-encoded frames.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! segment  := seg_header block*
+//! seg_header (16 B) := magic "GSG1" | version u16 | tier u16 | created_us u64
+//! block    := blk_header payload
+//! blk_header (24 B) := payload_len u32 | crc32 u32 | first_us u64
+//!                    | frame_count u32 | reserved u32
+//! payload  := record*
+//! record   := 0x01 dt_varint name_id_varint value_f64le      (sample)
+//!           | 0x02 id_varint len_varint utf8_bytes           (name def)
+//! ```
+//!
+//! All integers are little-endian; varints are unsigned LEB128. The
+//! CRC32 covers bytes 8..24 of the block header plus the payload, so a
+//! flipped length, timestamp, count, or payload byte is detected.
+//!
+//! Key invariants (normative, tested):
+//!
+//! * **Self-contained blocks** — name ids are *block-scoped*: every
+//!   block re-defines the names it uses (ids assigned 1, 2, … in order
+//!   of first use; id 0 means "unnamed"). A block can therefore be
+//!   decoded in isolation, which is what makes the sparse index's
+//!   O(log n) seek possible — seeking never decodes earlier blocks.
+//! * **Delta times** — a sample's time is `first_us` plus the running
+//!   sum of `dt` varints; `dt` of the first sample is 0. Times are
+//!   non-decreasing within a block, across blocks, and across segments
+//!   (§3.3).
+//! * **Torn tails are bounded** — a crash mid-write leaves at most one
+//!   partial block. Recovery decodes the complete-record prefix of the
+//!   torn payload (salvage), so data loss is bounded to the one frame
+//!   that was being written.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gscope::{intern, Tuple};
+
+use crate::codec::{crc32, get_uvarint, put_uvarint, put_uvarint_into};
+
+/// Segment file magic.
+pub const SEG_MAGIC: [u8; 4] = *b"GSG1";
+/// Format version written by this crate.
+pub const SEG_VERSION: u16 = 1;
+/// Segment header length in bytes.
+pub const SEG_HEADER_LEN: u64 = 16;
+/// Block header length in bytes.
+pub const BLOCK_HEADER_LEN: u64 = 24;
+/// Upper bound on a plausible payload length; anything larger is
+/// treated as corruption during scans.
+pub const MAX_PAYLOAD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Sample record tag.
+const TAG_SAMPLE: u8 = 1;
+/// Name-definition record tag.
+const TAG_NAMEDEF: u8 = 2;
+
+/// Builds a segment file name: `seg-{seq:08}-t{tier}.gseg`.
+pub fn segment_file_name(seq: u64, tier: u16) -> String {
+    format!("seg-{seq:08}-t{tier}.gseg")
+}
+
+/// Parses a segment file name back into `(seq, tier)`.
+pub fn parse_segment_file_name(name: &str) -> Option<(u64, u16)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".gseg")?;
+    let (seq, tier) = rest.split_once("-t")?;
+    Some((seq.parse().ok()?, tier.parse().ok()?))
+}
+
+/// Index entry for one block, read from its header alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Byte offset of the block header within the segment file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Absolute time (µs) of the block's first sample.
+    pub first_us: u64,
+    /// Number of sample records in the block.
+    pub frames: u32,
+}
+
+/// Result of a header-only scan: the sparse in-segment time index.
+#[derive(Debug, Default)]
+pub struct HeaderScan {
+    /// One entry per structurally-complete block, in file order.
+    pub blocks: Vec<BlockMeta>,
+    /// File offset one past the last complete block.
+    pub scanned_to: u64,
+    /// True when the scan consumed the file exactly (no torn tail).
+    pub clean: bool,
+}
+
+/// One frame recovered from a torn tail block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SalvagedFrame {
+    /// Absolute sample time in microseconds.
+    pub time_us: u64,
+    /// Sample value.
+    pub value: f64,
+    /// Signal name (`None` for unnamed streams).
+    pub name: Option<Arc<str>>,
+}
+
+/// Outcome of opening a segment for append (recovery).
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// File length covered by the header plus valid blocks; the file
+    /// is truncated to this before appending resumes.
+    pub valid_len: u64,
+    /// Time of the last valid frame, if any.
+    pub last_us: Option<u64>,
+    /// Valid frames in the segment (excluding salvage).
+    pub frames: u64,
+    /// Frames decoded out of a torn tail block, to re-append.
+    pub salvaged: Vec<SalvagedFrame>,
+    /// Complete blocks dropped because their CRC did not match (a bit
+    /// flip, not a torn write); everything after them is dropped too.
+    pub dropped_blocks: u32,
+    /// True when the file had to be cut back at all.
+    pub truncated: bool,
+}
+
+fn u32le(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+}
+
+fn u64le(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+/// Writes the 16-byte segment header for a new file.
+fn write_seg_header(file: &mut File, tier: u16, created_us: u64) -> std::io::Result<()> {
+    let mut h = [0u8; SEG_HEADER_LEN as usize];
+    h[..4].copy_from_slice(&SEG_MAGIC);
+    h[4..6].copy_from_slice(&SEG_VERSION.to_le_bytes());
+    h[6..8].copy_from_slice(&tier.to_le_bytes());
+    h[8..16].copy_from_slice(&created_us.to_le_bytes());
+    file.write_all(&h)
+}
+
+/// Reads and validates a segment header; returns `(tier, created_us)`.
+///
+/// # Errors
+///
+/// `InvalidData` on bad magic or version, I/O errors otherwise.
+pub fn read_seg_header(file: &mut File) -> std::io::Result<(u16, u64)> {
+    let mut h = [0u8; SEG_HEADER_LEN as usize];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut h)?;
+    if h[..4] != SEG_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not a gstore segment (bad magic)",
+        ));
+    }
+    let version = u16::from_le_bytes([h[4], h[5]]);
+    if version != SEG_VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unsupported segment version {version}"),
+        ));
+    }
+    let tier = u16::from_le_bytes([h[6], h[7]]);
+    Ok((tier, u64le(&h[8..16])))
+}
+
+/// Scans block headers without reading payloads — builds the sparse
+/// time index in O(blocks) small reads. CRCs are *not* verified here;
+/// they are checked when a block is actually decoded.
+///
+/// # Errors
+///
+/// Propagates I/O errors (a short or implausible header is not an
+/// error — the scan just stops there).
+pub fn scan_headers(file: &mut File) -> std::io::Result<HeaderScan> {
+    let file_len = file.seek(SeekFrom::End(0))?;
+    let mut scan = HeaderScan {
+        scanned_to: SEG_HEADER_LEN.min(file_len),
+        ..HeaderScan::default()
+    };
+    let mut off = SEG_HEADER_LEN;
+    let mut header = [0u8; BLOCK_HEADER_LEN as usize];
+    while off + BLOCK_HEADER_LEN <= file_len {
+        file.seek(SeekFrom::Start(off))?;
+        file.read_exact(&mut header)?;
+        let payload_len = u32le(&header[0..4]);
+        if payload_len == 0 || payload_len > MAX_PAYLOAD_LEN {
+            return Ok(scan); // implausible: corrupt header, stop here
+        }
+        let end = off + BLOCK_HEADER_LEN + u64::from(payload_len);
+        if end > file_len {
+            return Ok(scan); // torn tail block
+        }
+        scan.blocks.push(BlockMeta {
+            offset: off,
+            payload_len,
+            first_us: u64le(&header[8..16]),
+            frames: u32le(&header[16..20]),
+        });
+        off = end;
+        scan.scanned_to = off;
+    }
+    scan.clean = scan.scanned_to == file_len.max(SEG_HEADER_LEN);
+    Ok(scan)
+}
+
+/// Reads one block's payload and verifies its CRC.
+///
+/// Returns `None` when the CRC does not match (corrupt block).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn read_block_payload(file: &mut File, meta: &BlockMeta) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; BLOCK_HEADER_LEN as usize];
+    file.seek(SeekFrom::Start(meta.offset))?;
+    file.read_exact(&mut header)?;
+    let mut payload = vec![0u8; meta.payload_len as usize];
+    file.read_exact(&mut payload)?;
+    let expect = u32le(&header[4..8]);
+    let got = crc32(crc32(0, &header[8..BLOCK_HEADER_LEN as usize]), &payload);
+    Ok((got == expect).then_some(payload))
+}
+
+/// Decodes the sample records of a payload into tuples.
+///
+/// Returns `(frames, complete)`: `complete` is false when the payload
+/// ends mid-record or contains an invalid record — every record before
+/// that point is still returned (the salvage path). `base_us` seeds the
+/// delta-time accumulator (the block header's `first_us`).
+pub fn decode_records(payload: &[u8], base_us: u64) -> (Vec<SalvagedFrame>, bool) {
+    let mut out = Vec::new();
+    let mut names: Vec<Arc<str>> = Vec::new();
+    let mut time = base_us;
+    let mut pos = 0usize;
+    let mut first = true;
+    while pos < payload.len() {
+        let record_start = pos;
+        let tag = payload[pos];
+        pos += 1;
+        match tag {
+            TAG_SAMPLE => {
+                let Some(dt) = get_uvarint(payload, &mut pos) else {
+                    return (out, false);
+                };
+                let Some(id) = get_uvarint(payload, &mut pos) else {
+                    return (out, false);
+                };
+                if pos + 8 > payload.len() {
+                    return (out, false);
+                }
+                let value = f64::from_le_bits_at(payload, pos);
+                pos += 8;
+                if first {
+                    if dt != 0 {
+                        return (out, false); // first frame must sit at first_us
+                    }
+                    first = false;
+                } else {
+                    let Some(t) = time.checked_add(dt) else {
+                        return (out, false);
+                    };
+                    time = t;
+                }
+                let name = match id {
+                    0 => None,
+                    id => match names.get(id as usize - 1) {
+                        Some(n) => Some(Arc::clone(n)),
+                        None => return (out, false), // undefined name id
+                    },
+                };
+                out.push(SalvagedFrame {
+                    time_us: time,
+                    value,
+                    name,
+                });
+            }
+            TAG_NAMEDEF => {
+                let Some(id) = get_uvarint(payload, &mut pos) else {
+                    return (out, false);
+                };
+                // Ids are assigned densely in order of first use.
+                if id as usize != names.len() + 1 {
+                    return (out, false);
+                }
+                let Some(len) = get_uvarint(payload, &mut pos) else {
+                    return (out, false);
+                };
+                let end = pos + len as usize;
+                if len == 0 || end > payload.len() {
+                    return (out, false);
+                }
+                let Ok(s) = std::str::from_utf8(&payload[pos..end]) else {
+                    return (out, false);
+                };
+                names.push(intern(s));
+                pos = end;
+            }
+            _ => {
+                let _ = record_start;
+                return (out, false); // unknown tag
+            }
+        }
+    }
+    (out, true)
+}
+
+/// `f64::from_le_bytes` over a slice at an offset, named for clarity
+/// at the call site.
+trait F64At {
+    fn from_le_bits_at(buf: &[u8], pos: usize) -> f64;
+}
+
+impl F64At for f64 {
+    #[inline]
+    fn from_le_bits_at(buf: &[u8], pos: usize) -> f64 {
+        f64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"))
+    }
+}
+
+/// Converts a salvaged frame into an owning [`Tuple`].
+pub fn frame_to_tuple(f: &SalvagedFrame) -> Tuple {
+    Tuple {
+        time: gel::TimeStamp::from_micros(f.time_us),
+        value: f.value,
+        name: f.name.clone(),
+    }
+}
+
+/// Fully verifies a segment for append: walks every block, checks
+/// CRCs, and decodes the last valid block (for the resume timestamp)
+/// plus the torn tail (for salvage). Never refuses: any tail it cannot
+/// trust is marked for truncation.
+///
+/// # Errors
+///
+/// Propagates I/O errors only.
+pub fn recover_segment(path: &Path) -> std::io::Result<Recovery> {
+    let mut file = File::open(path)?;
+    let file_len = file.seek(SeekFrom::End(0))?;
+    let mut rec = Recovery {
+        valid_len: SEG_HEADER_LEN.min(file_len),
+        ..Recovery::default()
+    };
+    if read_seg_header(&mut file).is_err() {
+        // Even the 16-byte header is torn: rewind to nothing.
+        rec.valid_len = 0;
+        rec.truncated = true;
+        return Ok(rec);
+    }
+    let scan = scan_headers(&mut file)?;
+    // Verify CRCs front to back; stop at the first corrupt block (we
+    // cannot trust anything that follows a flipped length field, and
+    // the appender needs a clean prefix).
+    let mut last_good_payload: Option<(Vec<u8>, u64)> = None;
+    for meta in &scan.blocks {
+        match read_block_payload(&mut file, meta)? {
+            Some(payload) => {
+                rec.frames += u64::from(meta.frames);
+                rec.valid_len = meta.offset + BLOCK_HEADER_LEN + u64::from(meta.payload_len);
+                last_good_payload = Some((payload, meta.first_us));
+            }
+            None => {
+                rec.dropped_blocks += 1;
+                rec.truncated = true;
+                break;
+            }
+        }
+    }
+    if let Some((payload, first_us)) = last_good_payload {
+        let (frames, complete) = decode_records(&payload, first_us);
+        debug_assert!(complete, "CRC-valid block must decode");
+        rec.last_us = frames.last().map(|f| f.time_us);
+    }
+    // Torn tail after the last valid block (only when no corrupt block
+    // forced an earlier stop): salvage its complete-record prefix.
+    if rec.dropped_blocks == 0 && rec.valid_len < file_len {
+        rec.truncated = true;
+        let torn_off = rec.valid_len;
+        if torn_off + BLOCK_HEADER_LEN <= file_len {
+            let mut header = [0u8; BLOCK_HEADER_LEN as usize];
+            file.seek(SeekFrom::Start(torn_off))?;
+            file.read_exact(&mut header)?;
+            let claimed = u32le(&header[0..4]);
+            let avail = (file_len - torn_off - BLOCK_HEADER_LEN) as usize;
+            if claimed > 0 && claimed <= MAX_PAYLOAD_LEN && avail > 0 {
+                let mut partial = vec![0u8; avail.min(claimed as usize)];
+                file.read_exact(&mut partial)?;
+                let (mut frames, _) = decode_records(&partial, u64le(&header[8..16]));
+                // Keep salvage monotone with the valid prefix.
+                if let Some(last) = rec.last_us {
+                    frames.retain(|f| f.time_us >= last);
+                }
+                rec.salvaged = frames;
+            }
+        }
+    }
+    Ok(rec)
+}
+
+/// Append-side segment writer: builds one block in memory and writes
+/// it out (header + payload) when the store decides the block is full.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    /// Total file length so far (headers + flushed blocks).
+    bytes: u64,
+    /// The block under construction: a [`BLOCK_HEADER_LEN`] placeholder
+    /// (filled in at flush time) followed by the payload, so a block
+    /// ships to the kernel in a single `write`.
+    block: Vec<u8>,
+    block_first_us: u64,
+    block_last_us: u64,
+    block_frames: u32,
+    /// Block-scoped name table: index = id - 1. Small (distinct names
+    /// per block), so a linear scan beats hashing.
+    names: Vec<Box<str>>,
+    /// Packed `(len, first byte, last byte)` per table entry: the scan
+    /// compares these u32s and falls back to a full string compare only
+    /// on a key hit, keeping `bcmp` calls off the per-frame path.
+    name_keys: Vec<u32>,
+    /// Index of the last name-table hit. Probing it and its successor
+    /// first makes both constant-name runs and round-robin signal
+    /// interleavings resolve in one probe.
+    last_name: usize,
+    fsync: bool,
+}
+
+/// Packs a name's length and first/last bytes into one u32 for the
+/// name-table fast path (empty names pack to 0, still collision-safe:
+/// only another empty name shares it).
+#[inline]
+fn name_key(n: &str) -> u32 {
+    let b = n.as_bytes();
+    match b {
+        [] => 0,
+        [only] => (1u32 << 16) | u32::from(*only) << 8 | u32::from(*only),
+        [first, .., last] => {
+            ((b.len() as u32 & 0xFFFF) << 16) | u32::from(*first) << 8 | u32::from(*last)
+        }
+    }
+}
+
+/// A fresh block buffer: header placeholder bytes (zeroed — the
+/// reserved word is never written again) plus payload headroom.
+fn new_block_buf() -> Vec<u8> {
+    let mut b = Vec::with_capacity(BLOCK_HEADER_LEN as usize + 4096 + 64);
+    b.resize(BLOCK_HEADER_LEN as usize, 0);
+    b
+}
+
+impl SegmentWriter {
+    /// Creates a fresh segment file with its header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn create(path: PathBuf, tier: u16, created_us: u64, fsync: bool) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        write_seg_header(&mut file, tier, created_us)?;
+        Ok(SegmentWriter {
+            file,
+            path,
+            bytes: SEG_HEADER_LEN,
+            block: new_block_buf(),
+            block_first_us: 0,
+            block_last_us: 0,
+            block_frames: 0,
+            names: Vec::new(),
+            name_keys: Vec::new(),
+            last_name: 0,
+            fsync,
+        })
+    }
+
+    /// Re-opens an existing segment for append, truncating to
+    /// `recovery.valid_len` first (the torn tail, if any, has already
+    /// been decoded into `recovery.salvaged` by [`recover_segment`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn resume(path: PathBuf, valid_len: u64, fsync: bool) -> std::io::Result<Self> {
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(valid_len)?;
+        let mut w = SegmentWriter {
+            file,
+            path,
+            bytes: valid_len,
+            block: new_block_buf(),
+            block_first_us: 0,
+            block_last_us: 0,
+            block_frames: 0,
+            names: Vec::new(),
+            name_keys: Vec::new(),
+            last_name: 0,
+            fsync,
+        };
+        w.file.seek(SeekFrom::Start(valid_len))?;
+        Ok(w)
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushed bytes plus the block under construction (used for the
+    /// roll decision and byte accounting).
+    pub fn pending_bytes(&self) -> u64 {
+        self.bytes
+            + if self.block_frames > 0 {
+                self.block.len() as u64
+            } else {
+                0
+            }
+    }
+
+    /// Frames in the block under construction.
+    pub fn block_frames(&self) -> u32 {
+        self.block_frames
+    }
+
+    /// Payload bytes in the block under construction.
+    pub fn block_payload_len(&self) -> usize {
+        self.block.len() - BLOCK_HEADER_LEN as usize
+    }
+
+    /// Appends one frame to the block under construction. Times must be
+    /// non-decreasing (the store enforces this before calling).
+    ///
+    /// Takes the name as a plain `&str` so the ingest hot path never
+    /// has to intern or allocate: the block-scoped table is a linear
+    /// string-equality scan (distinct names per block are few), and a
+    /// name is copied exactly once per block, in its `NAMEDEF` record.
+    #[inline]
+    pub fn append(&mut self, time_us: u64, value: f64, name: Option<&str>) {
+        let id = match name {
+            None => 0u64,
+            Some(n) => self.name_id(n),
+        };
+        let dt = if self.block_frames == 0 {
+            self.block_first_us = time_us;
+            self.block_last_us = time_us;
+            0
+        } else {
+            let dt = time_us - self.block_last_us;
+            self.block_last_us = time_us;
+            dt
+        };
+        // Assemble the whole sample record in a stack buffer so the
+        // block Vec pays a single capacity/bounds check per frame. The
+        // copy is the full fixed-size buffer (compiles to a couple of
+        // wide movs, no memcpy call); truncate then trims to the real
+        // record length.
+        let mut rec = [0u8; 1 + 10 + 10 + 8];
+        rec[0] = TAG_SAMPLE;
+        let mut pos = 1;
+        pos += put_uvarint_into(&mut rec[pos..], dt);
+        pos += put_uvarint_into(&mut rec[pos..], id);
+        rec[pos..pos + 8].copy_from_slice(&value.to_le_bytes());
+        let start = self.block.len();
+        self.block.extend_from_slice(&rec);
+        self.block.truncate(start + pos + 8);
+        self.block_frames += 1;
+    }
+
+    /// Looks `n` up in (or adds it to) the block-scoped name table,
+    /// emitting a `NAMEDEF` record on first use in this block. Equal
+    /// strings always produce equal keys, so a key mismatch rules an
+    /// entry out without touching the string bytes.
+    fn name_id(&mut self, n: &str) -> u64 {
+        let key = name_key(n);
+        let len = self.name_keys.len();
+        if len > 0 {
+            // Fast path: the last hit (constant-name runs) or its
+            // successor (round-robin interleavings).
+            let a = self.last_name;
+            let b = (a + 1) % len;
+            for i in [a, b] {
+                if self.name_keys[i] == key && &*self.names[i] == n {
+                    self.last_name = i;
+                    return i as u64 + 1;
+                }
+            }
+            for (i, &k) in self.name_keys.iter().enumerate() {
+                if k == key && &*self.names[i] == n {
+                    self.last_name = i;
+                    return i as u64 + 1;
+                }
+            }
+        }
+        self.names.push(n.into());
+        self.name_keys.push(key);
+        let id = self.names.len() as u64;
+        self.last_name = self.names.len() - 1;
+        self.block.push(TAG_NAMEDEF);
+        put_uvarint(&mut self.block, id);
+        put_uvarint(&mut self.block, n.len() as u64);
+        self.block.extend_from_slice(n.as_bytes());
+        id
+    }
+
+    /// Writes the block under construction to the file (no-op when
+    /// empty). Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync errors.
+    pub fn flush_block(&mut self) -> std::io::Result<u64> {
+        if self.block_frames == 0 {
+            return Ok(0);
+        }
+        let header_len = BLOCK_HEADER_LEN as usize;
+        let payload_len = (self.block.len() - header_len) as u32;
+        self.block[0..4].copy_from_slice(&payload_len.to_le_bytes());
+        self.block[8..16].copy_from_slice(&self.block_first_us.to_le_bytes());
+        self.block[16..20].copy_from_slice(&self.block_frames.to_le_bytes());
+        // CRC covers header bytes 8..24 and the payload — contiguous
+        // here, so one pass; the reserved word stays zero.
+        let crc = crc32(0, &self.block[8..]);
+        self.block[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&self.block)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        let written = self.block.len() as u64;
+        self.bytes += written;
+        self.block.truncate(header_len);
+        self.block_frames = 0;
+        self.names.clear();
+        self.name_keys.clear();
+        Ok(written)
+    }
+
+    /// Flushes the open block, finishing the segment. Returns its
+    /// final length. Syncs to disk only in `fsync` mode: crash
+    /// *consistency* comes from per-block CRCs plus recovery, and
+    /// durability against power loss is the same opt-in as for block
+    /// writes — an unconditional sync here would stall every segment
+    /// roll on an ext4 barrier while adding nothing to the recovery
+    /// story.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync errors.
+    pub fn seal(mut self) -> std::io::Result<u64> {
+        self.flush_block()?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("gstore-segment-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_sample_segment(
+        path: &Path,
+        blocks: usize,
+        frames_per_block: usize,
+    ) -> Vec<SalvagedFrame> {
+        let mut w = SegmentWriter::create(path.to_path_buf(), 0, 0, false).unwrap();
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for b in 0..blocks {
+            for i in 0..frames_per_block {
+                let name = intern(if i % 2 == 0 { "even" } else { "odd" });
+                let v = (b * frames_per_block + i) as f64 * 0.5;
+                w.append(t, v, Some(&name[..]));
+                expect.push(SalvagedFrame {
+                    time_us: t,
+                    value: v,
+                    name: Some(name),
+                });
+                t += 1_000;
+            }
+            w.flush_block().unwrap();
+        }
+        w.seal().unwrap();
+        expect
+    }
+
+    fn read_all_frames(path: &PathBuf) -> Vec<SalvagedFrame> {
+        let mut f = File::open(path).unwrap();
+        read_seg_header(&mut f).unwrap();
+        let scan = scan_headers(&mut f).unwrap();
+        let mut out = Vec::new();
+        for meta in &scan.blocks {
+            let payload = read_block_payload(&mut f, meta).unwrap().expect("crc ok");
+            let (frames, complete) = decode_records(&payload, meta.first_us);
+            assert!(complete);
+            out.extend(frames);
+        }
+        out
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(segment_file_name(7, 0), "seg-00000007-t0.gseg");
+        assert_eq!(
+            parse_segment_file_name("seg-00000007-t0.gseg"),
+            Some((7, 0))
+        );
+        assert_eq!(
+            parse_segment_file_name("seg-12345678-t2.gseg"),
+            Some((12_345_678, 2))
+        );
+        assert_eq!(parse_segment_file_name("other.gseg"), None);
+        assert_eq!(parse_segment_file_name("seg-1-t0.txt"), None);
+    }
+
+    #[test]
+    fn segment_round_trips_frames() {
+        let path = tmp("roundtrip.gseg");
+        let expect = write_sample_segment(&path, 3, 40);
+        assert_eq!(read_all_frames(&path), expect);
+    }
+
+    #[test]
+    fn header_scan_is_sparse_and_complete() {
+        let path = tmp("scan.gseg");
+        write_sample_segment(&path, 5, 16);
+        let mut f = File::open(&path).unwrap();
+        let scan = scan_headers(&mut f).unwrap();
+        assert_eq!(scan.blocks.len(), 5);
+        assert!(scan.clean);
+        assert_eq!(scan.blocks[0].frames, 16);
+        // first_us advances by 16 ms per block.
+        assert_eq!(scan.blocks[1].first_us - scan.blocks[0].first_us, 16_000);
+    }
+
+    #[test]
+    fn truncated_tail_salvages_complete_frames() {
+        let path = tmp("torn.gseg");
+        let expect = write_sample_segment(&path, 2, 32);
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        // Cut 5 bytes off the final block: its last frame is torn, all
+        // earlier frames of that block salvage.
+        let cut = full_len - 5;
+        let torn = tmp("torn-cut.gseg");
+        std::fs::copy(&path, &torn).unwrap();
+        OpenOptions::new()
+            .write(true)
+            .open(&torn)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let rec = recover_segment(&torn).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.dropped_blocks, 0);
+        assert_eq!(rec.frames, 32, "first block intact");
+        // Loss bounded to the torn tail frame: 31 of 32 salvage.
+        assert_eq!(rec.salvaged.len(), 31);
+        assert_eq!(rec.salvaged[..], expect[32..63]);
+    }
+
+    #[test]
+    fn bit_flip_drops_only_from_corrupt_block() {
+        let path = tmp("flip.gseg");
+        write_sample_segment(&path, 3, 16);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte in the second block.
+        let mut f = File::open(&path).unwrap();
+        read_seg_header(&mut f).unwrap();
+        let scan = scan_headers(&mut f).unwrap();
+        let target = scan.blocks[1].offset as usize + BLOCK_HEADER_LEN as usize + 3;
+        bytes[target] ^= 0x40;
+        let flipped = tmp("flip-bad.gseg");
+        std::fs::write(&flipped, &bytes).unwrap();
+        let rec = recover_segment(&flipped).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.dropped_blocks, 1);
+        assert_eq!(rec.frames, 16, "only block 0 is trusted for append");
+        assert_eq!(rec.valid_len, scan.blocks[1].offset);
+        assert!(rec.salvaged.is_empty());
+    }
+
+    #[test]
+    fn recovery_of_clean_segment_is_lossless() {
+        let path = tmp("clean.gseg");
+        write_sample_segment(&path, 2, 10);
+        let rec = recover_segment(&path).unwrap();
+        assert!(!rec.truncated);
+        assert_eq!(rec.frames, 20);
+        assert_eq!(rec.last_us, Some(19_000));
+        assert_eq!(rec.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn resume_appends_after_valid_prefix() {
+        let path = tmp("resume.gseg");
+        write_sample_segment(&path, 1, 8);
+        let rec = recover_segment(&path).unwrap();
+        let mut w = SegmentWriter::resume(path.clone(), rec.valid_len, false).unwrap();
+        w.append(100_000, 42.0, Some("even"));
+        w.flush_block().unwrap();
+        w.seal().unwrap();
+        let frames = read_all_frames(&path);
+        assert_eq!(frames.len(), 9);
+        assert_eq!(frames[8].time_us, 100_000);
+        assert_eq!(frames[8].value, 42.0);
+    }
+
+    #[test]
+    fn unnamed_frames_round_trip() {
+        let path = tmp("unnamed.gseg");
+        let mut w = SegmentWriter::create(path.to_path_buf(), 0, 0, false).unwrap();
+        w.append(5, 1.25, None);
+        w.append(10, -2.5, None);
+        w.flush_block().unwrap();
+        w.seal().unwrap();
+        let frames = read_all_frames(&path);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].name, None);
+        assert_eq!(frames[1].time_us, 10);
+    }
+}

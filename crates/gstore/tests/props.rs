@@ -1,0 +1,289 @@
+//! Property and fuzz-style tests for the store: binary↔text codec
+//! agreement, §3.3 monotonicity at both writer layers, and crash
+//! recovery under random damage.
+
+use gel::TimeStamp;
+use gscope::{ScopeError, TupleReader, TupleSource, TupleWriter};
+use gstore::{recover_segment, Store, StoreConfig, StoreReader};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gstore-props").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_cfg() -> StoreConfig {
+    StoreConfig {
+        block_bytes: 256,
+        block_frames: 16,
+        segment_bytes: 2048,
+        ..StoreConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The binary store and the §3.3 text codec agree exactly: the
+    /// same stream written through both and read back yields identical
+    /// tuples (times to the microsecond, values to the bit, names).
+    #[test]
+    fn store_round_trip_matches_text_codec(
+        seed in 0u64..1_000_000,
+        n in 1usize..300,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let names = ["alpha", "beta.1", "g_2"];
+        let mut time_us = 0u64;
+        let mut stream = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Mix of zero and positive deltas: equal times are legal.
+            time_us += rng.gen_range(0u64..5_000);
+            // Values that survive text round-trips exactly.
+            let value = (rng.gen_range(-1_000_000i64..1_000_000) as f64) / 64.0;
+            let name = if rng.gen_bool(0.2) {
+                None
+            } else {
+                Some(names[rng.gen_range(0usize..names.len())])
+            };
+            stream.push((TimeStamp::from_micros(time_us), value, name));
+        }
+
+        let dir = tmp_dir(&format!("codec-{seed}-{n}"));
+        let mut store = Store::open(&dir, small_cfg()).unwrap();
+        let mut text = TupleWriter::new(Vec::new());
+        for (t, v, name) in &stream {
+            store.append(*t, *v, *name).unwrap();
+            text.write_parts(*t, *v, *name).unwrap();
+        }
+        store.close().unwrap();
+        let text_bytes = text.into_inner();
+
+        let mut reader = StoreReader::open(&dir).unwrap();
+        let from_store = reader.collect_tuples().unwrap();
+        let from_text = TupleReader::new(&text_bytes[..]).collect_tuples().unwrap();
+        prop_assert_eq!(from_store.len(), stream.len());
+        prop_assert_eq!(from_store.len(), from_text.len());
+        for (s, t) in from_store.iter().zip(&from_text) {
+            prop_assert_eq!(s.time, t.time);
+            prop_assert_eq!(s.value.to_bits(), t.value.to_bits());
+            prop_assert_eq!(s.name.as_deref(), t.name.as_deref());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// §3.3 monotonicity, enforced identically at the text-writer and
+    /// store-append layers: non-decreasing (equal allowed) accepted,
+    /// any regression rejected with `TupleOrder`, and a rejected
+    /// append does not corrupt the accepted prefix.
+    #[test]
+    fn both_writer_layers_enforce_nondecreasing_time(
+        seed in 0u64..1_000_000,
+        n in 2usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut time_us = 1_000u64;
+        let mut times = Vec::with_capacity(n);
+        for _ in 0..n {
+            time_us += rng.gen_range(0u64..2_000); // zero deltas included
+            times.push(time_us);
+        }
+        let violate_at = rng.gen_range(1usize..n);
+        let bad_time = times[violate_at - 1] - 1;
+
+        let dir = tmp_dir(&format!("mono-{seed}-{n}"));
+        let mut store = Store::open(&dir, small_cfg()).unwrap();
+        let mut text = TupleWriter::new(Vec::new());
+        for (i, &t) in times.iter().enumerate() {
+            if i == violate_at {
+                let ts = TimeStamp::from_micros(bad_time);
+                let store_err = store.append(ts, 0.0, Some("s")).unwrap_err();
+                let text_err = text.write_parts(ts, 0.0, Some("s")).unwrap_err();
+                prop_assert!(matches!(store_err, ScopeError::TupleOrder { .. }));
+                prop_assert!(matches!(text_err, ScopeError::TupleOrder { .. }));
+            }
+            let ts = TimeStamp::from_micros(t);
+            store.append(ts, i as f64, Some("s")).unwrap();
+            text.write_parts(ts, i as f64, Some("s")).unwrap();
+        }
+        store.close().unwrap();
+        let mut reader = StoreReader::open(&dir).unwrap();
+        let tuples = reader.collect_tuples().unwrap();
+        prop_assert_eq!(tuples.len(), n);
+        for (t, &expect) in tuples.iter().zip(&times) {
+            prop_assert_eq!(t.time.as_micros(), expect);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Truncating a segment anywhere yields a recoverable prefix:
+    /// recovery never errors, salvages only frames that were fully on
+    /// disk, and every complete block below the cut survives intact.
+    #[test]
+    fn random_truncation_recovers_a_prefix(
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70_72);
+        let dir = tmp_dir(&format!("trunc-{seed}"));
+        let mut store = Store::open(
+            &dir,
+            StoreConfig {
+                block_bytes: 200,
+                block_frames: 8,
+                segment_bytes: 1 << 20, // keep one segment
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let n = 120u64;
+        for i in 0..n {
+            store
+                .append(TimeStamp::from_micros(i * 1_000), i as f64, Some("sig"))
+                .unwrap();
+        }
+        store.close().unwrap();
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "gseg"))
+            .unwrap();
+        let full = std::fs::metadata(&seg).unwrap().len();
+        let cut = rng.gen_range(0u64..full + 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let rec = recover_segment(&seg).unwrap(); // never refuses
+        prop_assert!(rec.valid_len <= cut.max(16));
+        let survived = rec.frames + rec.salvaged.len() as u64;
+        prop_assert!(survived <= n);
+
+        // A reopened store accepts the damage and keeps appending.
+        let mut store = Store::open(&dir, small_cfg()).unwrap();
+        let resume = store.last_time().map_or(0, |t| t.as_micros());
+        store
+            .append(TimeStamp::from_micros(resume.max((n - 1) * 1_000)), -1.0, Some("sig"))
+            .unwrap();
+        store.close().unwrap();
+
+        // And the readable stream is a strict prefix + the new frame:
+        // times 0, 1000, 2000, ... with values 0, 1, 2, ...
+        let mut reader = StoreReader::open(&dir).unwrap();
+        let tuples = reader.collect_tuples().unwrap();
+        prop_assert!(!tuples.is_empty());
+        for (i, t) in tuples[..tuples.len() - 1].iter().enumerate() {
+            prop_assert_eq!(t.time.as_micros(), i as u64 * 1_000);
+            prop_assert_eq!(t.value, i as f64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The CI recovery smoke (ISSUE satellite 5): 100 random truncations
+/// of a multi-segment store, every one of which must open cleanly,
+/// stream monotone data, and never panic. Damage accumulates across
+/// iterations — later opens see earlier scars.
+#[test]
+fn recovery_smoke_100_random_truncations() {
+    let dir = tmp_dir("smoke-100");
+    let mut store = Store::open(&dir, small_cfg()).unwrap();
+    for i in 0..4_000u64 {
+        store
+            .append(
+                TimeStamp::from_micros(i * 1_000),
+                (i as f64 * 0.03).sin(),
+                Some(if i % 2 == 0 { "even" } else { "odd" }),
+            )
+            .unwrap();
+    }
+    store.close().unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0x5340_4b45);
+    for round in 0..100 {
+        // Pick any segment and cut a random amount off its tail; every
+        // few rounds flip a random byte instead (bit rot).
+        let segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "gseg"))
+            .collect();
+        assert!(!segs.is_empty(), "round {round}: store emptied out");
+        let seg = &segs[rng.gen_range(0usize..segs.len())];
+        let len = std::fs::metadata(seg).unwrap().len();
+        if round % 5 == 4 && len > 0 {
+            let mut bytes = std::fs::read(seg).unwrap();
+            let at = rng.gen_range(0u64..len) as usize;
+            bytes[at] ^= 1 << rng.gen_range(0u32..8);
+            std::fs::write(seg, &bytes).unwrap();
+        } else {
+            let cut = rng.gen_range(0u64..len + 1);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(seg)
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+        }
+
+        // Open must always succeed; the stream must stay monotone.
+        let store = Store::open(&dir, small_cfg()).unwrap();
+        drop(store);
+        let mut reader = StoreReader::open(&dir).unwrap();
+        let mut last = TimeStamp::ZERO;
+        let mut count = 0u64;
+        while let Some(t) = reader.next_tuple().unwrap() {
+            assert!(t.time >= last, "round {round}: time went backwards");
+            last = t.time;
+            count += 1;
+        }
+        let _ = count;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Seeking after damage still lands correctly: recovery plus seek
+/// compose (the replay path `gtool replay --store --from T` exercises).
+#[test]
+fn seek_after_torn_tail_recovery() {
+    let dir = tmp_dir("seek-torn");
+    let mut store = Store::open(&dir, small_cfg()).unwrap();
+    for i in 0..1_000u64 {
+        store
+            .append(TimeStamp::from_micros(i * 2_000), i as f64, Some("s"))
+            .unwrap();
+    }
+    store.flush().unwrap();
+    std::mem::forget(store); // crash: no clean close
+
+    // Tear the newest segment mid-frame.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "gseg"))
+        .max()
+        .unwrap();
+    let len = std::fs::metadata(&newest).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest)
+        .unwrap()
+        .set_len(len - 4)
+        .unwrap();
+
+    let store = Store::open(&dir, small_cfg()).unwrap();
+    assert!(store.stats().recovery_truncations >= 1);
+    store.close().unwrap();
+
+    let mut reader = StoreReader::open(&dir).unwrap();
+    reader.seek(TimeStamp::from_micros(1_000_001)).unwrap();
+    let t = reader.next_tuple().unwrap().unwrap();
+    assert_eq!(t.time.as_micros(), 1_002_000);
+    std::fs::remove_dir_all(&dir).ok();
+}

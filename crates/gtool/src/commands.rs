@@ -6,11 +6,13 @@
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::BufReader;
+use std::path::Path;
 use std::sync::Arc;
 
 use gel::{Clock, SystemClock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
 use gnet::{ScopeClient, ScopeServer};
-use gscope::{Scope, SigSource, StatsExport, Tuple, TupleReader, TupleWriter};
+use gscope::{Scope, SigSource, StatsExport, Tuple, TupleReader, TupleSource, TupleWriter};
+use gstore::{catalog_segments, Store, StoreConfig, StoreReader};
 use gtel::Registry;
 
 use crate::args::Args;
@@ -23,31 +25,33 @@ fn load_tuples(path: &str) -> Result<Vec<Tuple>, Box<dyn std::error::Error>> {
     Ok(TupleReader::new(BufReader::new(file)).read_all()?)
 }
 
-/// `info <file> [--period MS]` — summarize a tuple recording, then
-/// replay it through a scope and report the replay's own telemetry.
-pub fn info(args: &Args) -> CmdResult {
-    args.check_known(&["period"])?;
-    let path = args.positional(0, "file")?;
-    let period_ms: u64 = args.get_or("period", 50)?;
-    let tuples = load_tuples(path)?;
-    if tuples.is_empty() {
-        return Ok(format!("{path}: empty recording"));
-    }
-    let t0 = tuples.first().expect("non-empty").time;
-    let t1 = tuples.last().expect("non-empty").time;
-    let mut per_signal: BTreeMap<&str, (u64, f64, f64)> = BTreeMap::new();
-    for t in &tuples {
-        let name = t.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
-        let entry = per_signal
-            .entry(name)
-            .or_insert((0, f64::INFINITY, f64::NEG_INFINITY));
+/// Per-signal roll-up: count, min, max.
+type SignalSummary = BTreeMap<String, (u64, f64, f64)>;
+
+fn fold_signal(per_signal: &mut SignalSummary, name: Option<&str>, value: f64) {
+    let name = name.unwrap_or(gscope::UNNAMED_SIGNAL);
+    // Entry-by-reference first: one String allocation per distinct
+    // signal, not per tuple.
+    if let Some(entry) = per_signal.get_mut(name) {
         entry.0 += 1;
-        entry.1 = entry.1.min(t.value);
-        entry.2 = entry.2.max(t.value);
+        entry.1 = entry.1.min(value);
+        entry.2 = entry.2.max(value);
+    } else {
+        per_signal.insert(name.to_owned(), (1, value, value));
     }
+}
+
+fn summary_block(
+    head: &str,
+    count: u64,
+    span: Option<(TimeStamp, TimeStamp)>,
+    per_signal: &SignalSummary,
+) -> String {
+    let Some((t0, t1)) = span else {
+        return format!("{head}: empty recording");
+    };
     let mut out = format!(
-        "{path}: {} tuples, {} signals, {:.3}s .. {:.3}s ({:.3}s span)\n",
-        tuples.len(),
+        "{head}: {count} tuples, {} signals, {:.3}s .. {:.3}s ({:.3}s span)\n",
         per_signal.len(),
         t0.as_secs_f64(),
         t1.as_secs_f64(),
@@ -58,8 +62,85 @@ pub fn info(args: &Args) -> CmdResult {
             "  {name:<20} {count:>8} samples   range [{min}, {max}]\n"
         ));
     }
-    // Replay telemetry (§4.5-style self-measurement): drive the
-    // recording through a scope and report what the scope itself saw.
+    out
+}
+
+/// Summarizes a store directory: catalog + a streamed pass per tier.
+fn store_info(dir: &str) -> CmdResult {
+    let catalog =
+        catalog_segments(Path::new(dir)).map_err(|e| format!("cannot open {dir}: {e}"))?;
+    let mut out = String::new();
+    for tier in [0u16, 1] {
+        let segs: Vec<_> = catalog.iter().filter(|s| s.tier == tier).collect();
+        if segs.is_empty() {
+            continue;
+        }
+        let mut reader = StoreReader::open_tier(dir, tier)?;
+        let mut per_signal = SignalSummary::new();
+        let mut count = 0u64;
+        let mut span: Option<(TimeStamp, TimeStamp)> = None;
+        while let Some(t) = reader.next_tuple()? {
+            fold_signal(&mut per_signal, t.name.as_deref(), t.value);
+            count += 1;
+            span = Some(match span {
+                None => (t.time, t.time),
+                Some((t0, _)) => (t0, t.time),
+            });
+        }
+        let bytes: u64 = segs.iter().map(|s| s.bytes).sum();
+        let head = format!(
+            "{dir} tier {tier} ({} segments, {bytes} bytes{})",
+            segs.len(),
+            if tier == 1 { ", min/max envelopes" } else { "" },
+        );
+        out.push_str(&summary_block(&head, count, span, &per_signal));
+        let skipped = reader.stats().crc_skipped_blocks;
+        if skipped > 0 {
+            out.push_str(&format!("  ({skipped} corrupt blocks skipped)\n"));
+        }
+    }
+    if out.is_empty() {
+        out = format!("{dir}: empty store");
+    }
+    Ok(out)
+}
+
+/// `info <file-or-store-dir> [--period MS]` — summarize a recording.
+///
+/// Text files are summarized in one streaming pass (`next_raw`, no
+/// per-tuple allocation, O(1) memory in the file size), then replayed
+/// through a scope for the §4.5-style self-telemetry report. Store
+/// directories are summarized per tier straight off the segment
+/// catalog and a streamed read.
+pub fn info(args: &Args) -> CmdResult {
+    args.check_known(&["period"])?;
+    let path = args.positional(0, "file")?;
+    let period_ms: u64 = args.get_or("period", 50)?;
+    if Path::new(path).is_dir() {
+        return store_info(path);
+    }
+    // Pass 1 — streamed summary. Large recordings are never buffered
+    // for this part: each line is parsed in place and folded.
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = TupleReader::new(BufReader::new(file));
+    let mut per_signal = SignalSummary::new();
+    let mut count = 0u64;
+    let mut span: Option<(TimeStamp, TimeStamp)> = None;
+    while let Some(raw) = reader.next_raw()? {
+        fold_signal(&mut per_signal, raw.name, raw.value);
+        count += 1;
+        span = Some(match span {
+            None => (raw.time, raw.time),
+            Some((t0, _)) => (t0, raw.time),
+        });
+    }
+    let mut out = summary_block(path, count, span, &per_signal);
+    if span.is_none() {
+        return Ok(out);
+    }
+    // Pass 2 — replay telemetry (§4.5-style self-measurement): drive
+    // the recording through a scope and report what the scope saw.
+    let tuples = load_tuples(path)?;
     let registry = Registry::shared();
     let scope = replay_scope_with(
         tuples,
@@ -82,6 +163,145 @@ pub fn info(args: &Args) -> CmdResult {
         out.push_str(&format!("  {name:<20} {displayed:>8} displayed samples\n"));
     }
     Ok(out)
+}
+
+/// Builds a [`StoreConfig`] from the shared store tuning flags.
+fn store_cfg(args: &Args) -> Result<StoreConfig, Box<dyn std::error::Error>> {
+    let mut cfg = StoreConfig {
+        fsync: args.has("fsync"),
+        ..StoreConfig::default()
+    };
+    cfg.segment_bytes = args.get_or("segment-kib", cfg.segment_bytes >> 10)? << 10;
+    cfg.block_frames = args.get_or("block-frames", cfg.block_frames)?;
+    if let Some(v) = args.get("retain-bytes") {
+        cfg.retain_bytes = Some(v.parse().map_err(|_| format!("bad --retain-bytes {v:?}"))?);
+    }
+    if let Some(v) = args.get("retain-age-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("bad --retain-age-ms {v:?}"))?;
+        cfg.retain_age = Some(TimeDelta::from_millis(ms));
+    }
+    let bucket_ms: u64 = args.get_or("bucket-ms", cfg.compact_bucket.as_micros() / 1_000)?;
+    cfg.compact_bucket = TimeDelta::from_millis(bucket_ms.max(1));
+    Ok(cfg)
+}
+
+/// `record <file> --store <dir> [--fsync] [--segment-kib N] [--block-frames N]
+/// [--retain-bytes N] [--retain-age-ms MS] [--bucket-ms MS]` — ingest a
+/// §3.3 text recording into a binary store, streaming line by line.
+pub fn record(args: &Args) -> CmdResult {
+    args.check_known(&[
+        "store",
+        "fsync",
+        "segment-kib",
+        "block-frames",
+        "retain-bytes",
+        "retain-age-ms",
+        "bucket-ms",
+    ])?;
+    let path = args.positional(0, "file")?;
+    let dir = args.get("store").ok_or("missing --store <dir>")?;
+    let text_bytes = std::fs::metadata(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?
+        .len();
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = TupleReader::new(BufReader::new(file));
+    let mut store = Store::open(dir, store_cfg(args)?)?;
+    let mut frames = 0u64;
+    while let Some(raw) = reader.next_raw()? {
+        store.append(raw.time, raw.value, raw.name)?;
+        frames += 1;
+    }
+    let stats = store.close()?;
+    let ratio = if stats.bytes_written > 0 {
+        text_bytes as f64 / stats.bytes_written as f64
+    } else {
+        0.0
+    };
+    Ok(format!(
+        "recorded {frames} tuples into {dir}: {} bytes in {} segments ({} rolls), {ratio:.1}x smaller than text\n",
+        stats.bytes_written,
+        stats.segments_rolled + 1,
+        stats.segments_rolled,
+    ))
+}
+
+/// `replay --store <dir> [--from MS] [--to MS] [--out FILE]` — replay
+/// a store back to §3.3 text, seeking straight to `--from` through the
+/// block index instead of scanning prior segments.
+pub fn replay(args: &Args) -> CmdResult {
+    args.check_known(&["store", "from", "to", "out"])?;
+    let dir = args.get("store").ok_or("missing --store <dir>")?;
+    let mut reader = StoreReader::open(dir)?;
+    let total_segments = reader.segment_count();
+    if let Some(from) = args.get("from") {
+        let ms: f64 = from.parse().map_err(|_| format!("bad --from {from:?}"))?;
+        reader.seek(TimeStamp::from_micros((ms * 1_000.0) as u64))?;
+    }
+    if let Some(to) = args.get("to") {
+        let ms: f64 = to.parse().map_err(|_| format!("bad --to {to:?}"))?;
+        reader.set_end(TimeStamp::from_micros((ms * 1_000.0) as u64));
+    }
+    let mut writer = match args.get("out") {
+        Some(out) => Some(TupleWriter::new(std::io::BufWriter::new(File::create(
+            out,
+        )?))),
+        None => None,
+    };
+    let mut count = 0u64;
+    let mut span: Option<(TimeStamp, TimeStamp)> = None;
+    while let Some(t) = reader.next_tuple()? {
+        if let Some(w) = writer.as_mut() {
+            w.write_parts(t.time, t.value, t.name.as_deref())?;
+        }
+        count += 1;
+        span = Some(match span {
+            None => (t.time, t.time),
+            Some((t0, _)) => (t0, t.time),
+        });
+    }
+    if let Some(mut w) = writer {
+        w.flush()?;
+    }
+    let s = reader.stats();
+    let mut out = match span {
+        None => format!("replayed 0 tuples from {dir}"),
+        Some((t0, t1)) => format!(
+            "replayed {count} tuples from {dir}: {:.3}s .. {:.3}s",
+            t0.as_secs_f64(),
+            t1.as_secs_f64(),
+        ),
+    };
+    out.push_str(&format!(
+        "\nseek: {}/{} segments indexed, {} index probes, {} blocks decoded\n",
+        s.segments_indexed, total_segments, s.index_probes, s.blocks_decoded,
+    ));
+    if let Some(out_file) = args.get("out") {
+        out.push_str(&format!("wrote text tuples to {out_file}\n"));
+    }
+    Ok(out)
+}
+
+/// `compact --store <dir> [--retain-bytes N] [--retain-age-ms MS]
+/// [--bucket-ms MS]` — seal the active segment and apply the retention
+/// policy now, downsampling evicted history into tier-1 envelopes.
+pub fn compact(args: &Args) -> CmdResult {
+    args.check_known(&["store", "retain-bytes", "retain-age-ms", "bucket-ms"])?;
+    let dir = args.get("store").ok_or("missing --store <dir>")?;
+    if args.get("retain-bytes").is_none() && args.get("retain-age-ms").is_none() {
+        return Err("compact needs --retain-bytes and/or --retain-age-ms".into());
+    }
+    let mut store = Store::open(dir, store_cfg(args)?)?;
+    // Sealing the tail makes it eligible; retention runs as part of
+    // the roll, so the roll's report is the one that matters.
+    let report = store.roll_segment()?;
+    let stats = store.stats();
+    store.close()?;
+    Ok(format!(
+        "compacted {dir}: {} segments evicted, {} frames folded into {} envelope frames ({} compaction runs)\n",
+        report.evicted, report.frames_compacted, report.buckets_written, stats.compaction_runs,
+    ))
 }
 
 /// Replays `tuples` at `period` into a scope `width` pixels wide,
@@ -564,6 +784,9 @@ pub fn run(cmd: &str, args: &Args) -> CmdResult {
         "info" => info(args),
         "view" => view(args),
         "gen" => gen(args),
+        "record" => record(args),
+        "replay" => replay(args),
+        "compact" => compact(args),
         "stream" => stream(args),
         "serve" => serve(args),
         "stats" => stats(args),
@@ -579,7 +802,11 @@ pub const USAGE: &str = "\
 gscope-tool — companion CLI for gscope tuple recordings (§3.3 format)
 
 USAGE:
-  gscope-tool info <file> [--period MS]
+  gscope-tool info <file-or-store-dir> [--period MS]
+  gscope-tool record <file> --store <dir> [--fsync] [--segment-kib N] [--block-frames N]
+                     [--retain-bytes N] [--retain-age-ms MS] [--bucket-ms MS]
+  gscope-tool replay --store <dir> [--from MS] [--to MS] [--out <file>]
+  gscope-tool compact --store <dir> [--retain-bytes N] [--retain-age-ms MS] [--bucket-ms MS]
   gscope-tool view <file> --out scope.ppm [--width N] [--period MS] [--svg]
   gscope-tool gen --out <file> [--seconds S] [--rate HZ] [--wave sine|square|saw|triangle]
                   [--freq HZ] [--amplitude A] [--name NAME]
@@ -601,7 +828,7 @@ mod tests {
     fn args(s: &str) -> Args {
         Args::parse(
             s.split_whitespace().map(str::to_owned),
-            &["svg", "ecn", "sack", "telemetry"],
+            &["svg", "ecn", "sack", "telemetry", "fsync"],
         )
         .unwrap()
     }
@@ -767,6 +994,75 @@ mod tests {
     #[test]
     fn unknown_command_reports() {
         assert!(run("frobnicate", &args("")).is_err());
+    }
+
+    fn tmp_store(name: &str) -> String {
+        let dir = tmp(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_replay_round_trip() {
+        let file = tmp("rec_src.tuples");
+        gen(&args(&format!(
+            "--out {file} --seconds 4 --rate 100 --name carrier"
+        )))
+        .unwrap();
+        let dir = tmp_store("rec.store");
+        let report = record(&args(&format!("{file} --store {dir}"))).unwrap();
+        assert!(report.contains("recorded 400 tuples"), "{report}");
+        assert!(report.contains("smaller than text"), "{report}");
+        // Full replay back to text must reproduce the §3.3 stream.
+        let out = tmp("rec_back.tuples");
+        let report = replay(&args(&format!("--store {dir} --out {out}"))).unwrap();
+        assert!(report.contains("replayed 400 tuples"), "{report}");
+        let a = load_tuples(&file).unwrap();
+        let b = load_tuples(&out).unwrap();
+        assert_eq!(a, b);
+        // Windowed replay honours --from/--to in milliseconds.
+        let report = replay(&args(&format!("--store {dir} --from 1000 --to 1990"))).unwrap();
+        assert!(report.contains("replayed 100 tuples"), "{report}");
+        assert!(report.contains("segments indexed"), "{report}");
+    }
+
+    #[test]
+    fn info_summarizes_store_dirs() {
+        let file = tmp("info_store_src.tuples");
+        gen(&args(&format!(
+            "--out {file} --seconds 2 --rate 50 --name pulse"
+        )))
+        .unwrap();
+        let dir = tmp_store("info.store");
+        record(&args(&format!("{file} --store {dir}"))).unwrap();
+        let report = info(&args(&dir)).unwrap();
+        assert!(report.contains("tier 0"), "{report}");
+        assert!(report.contains("100 tuples"), "{report}");
+        assert!(report.contains("pulse"), "{report}");
+        assert!(report.contains("1 signals"), "{report}");
+    }
+
+    #[test]
+    fn compact_folds_history_into_envelopes() {
+        let file = tmp("compact_src.tuples");
+        gen(&args(&format!(
+            "--out {file} --seconds 8 --rate 200 --name wave"
+        )))
+        .unwrap();
+        let dir = tmp_store("compact.store");
+        // Small segments so there is more than one to evict.
+        record(&args(&format!("{file} --store {dir} --segment-kib 4"))).unwrap();
+        assert!(
+            compact(&args(&format!("--store {dir}"))).is_err(),
+            "compact without a retention bound must refuse"
+        );
+        let report = compact(&args(&format!("--store {dir} --retain-bytes 4096"))).unwrap();
+        assert!(report.contains("segments evicted"), "{report}");
+        assert!(!report.contains("0 segments evicted"), "{report}");
+        // Evicted history survives as tier-1 min/max envelopes.
+        let report = info(&args(&dir)).unwrap();
+        assert!(report.contains("tier 1"), "{report}");
+        assert!(report.contains("min/max envelopes"), "{report}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    let args = match Args::parse(argv, &["svg", "ecn", "sack", "telemetry"]) {
+    let args = match Args::parse(argv, &["svg", "ecn", "sack", "telemetry", "fsync"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,203 @@
+//! Integration: the `gstore` recording pipeline end to end — a scope
+//! records polled samples into a segmented store, a reader seeks into
+//! the history without touching prior segments, the frames replay
+//! through scope playback, and a late-joining display catches up from
+//! a server-attached store.
+
+use std::sync::Arc;
+
+use gel::{Clock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gnet::ScopeServer;
+use gscope::{IntVar, Scope, SigConfig, SigSource, TupleSource};
+use gstore::{Store, StoreConfig, StoreReader};
+
+fn tick_at(ms: u64) -> TickInfo {
+    TickInfo {
+        now: TimeStamp::from_millis(ms),
+        scheduled: TimeStamp::from_millis(ms),
+        missed: 0,
+    }
+}
+
+/// Small segments so a short recording spans several files.
+fn small_segments() -> StoreConfig {
+    StoreConfig {
+        block_bytes: 256,
+        block_frames: 16,
+        segment_bytes: 2048,
+        ..StoreConfig::default()
+    }
+}
+
+#[test]
+fn scope_records_into_store_then_seeks_and_replays() {
+    let dir = std::env::temp_dir().join(format!("gstore-pipeline-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Record: a polled counter, one sample per 50 ms tick, straight
+    // into a store instead of a flat text file.
+    let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+    let mut scope = Scope::new("rec", 16, 60, Arc::clone(&clock));
+    let v = IntVar::new(0);
+    scope
+        .add_signal("v", v.clone().into(), SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+    scope.start();
+    scope.start_recording_sink(Store::open(&dir, small_segments()).unwrap());
+    for i in 0..600i64 {
+        v.set(i);
+        scope.tick(&tick_at(50 * (i as u64 + 1)));
+    }
+    assert_eq!(scope.stats().recorded_tuples, 600);
+    assert!(scope.recording_error().is_none(), "recording stayed clean");
+    let sink = scope.stop_recording().expect("recorder attached");
+    assert!(scope.recording_error().is_none(), "flush succeeded");
+    drop(sink);
+
+    // Full scan: every recorded frame comes back, in order.
+    let mut reader = StoreReader::open(&dir).unwrap();
+    assert!(
+        reader.segment_count() >= 4,
+        "recording should span several segments, got {}",
+        reader.segment_count()
+    );
+    let total_segments = reader.segment_count() as u64;
+    let all = reader.collect_tuples().unwrap();
+    assert_eq!(all.len(), 600);
+    for (i, t) in all.iter().enumerate() {
+        assert_eq!(t.time, TimeStamp::from_millis(50 * (i as u64 + 1)));
+        assert_eq!(t.value, i as f64);
+        assert_eq!(t.name.as_deref(), Some("v"));
+    }
+
+    // Seek to the last 5 s of a 30 s recording: the index walks
+    // straight to the target segment — prior segments are never read.
+    let mut reader = StoreReader::open(&dir).unwrap();
+    reader.seek(TimeStamp::from_millis(25_000)).unwrap();
+    let after_seek = reader.stats();
+    assert_eq!(
+        after_seek.segments_indexed, 1,
+        "seek must index only the landing segment"
+    );
+    assert_eq!(after_seek.blocks_decoded, 0, "seek decodes nothing");
+    assert!(after_seek.index_probes > 0, "seek is index-driven");
+
+    let tail = reader.collect_tuples().unwrap();
+    assert_eq!(tail.len(), 101, "frames at 25.000 s .. 30.000 s");
+    assert_eq!(tail.first().unwrap().time, TimeStamp::from_millis(25_000));
+    assert_eq!(tail.first().unwrap().value, 499.0);
+    assert_eq!(tail.last().unwrap().value, 599.0);
+    let done = reader.stats();
+    assert!(
+        done.segments_indexed < total_segments,
+        "tail read must not index all {total_segments} segments \
+         (indexed {})",
+        done.segments_indexed
+    );
+    assert!(
+        done.frames_decoded < 200,
+        "tail read decodes near the seek target only, not the full \
+         600-frame history (decoded {})",
+        done.frames_decoded
+    );
+
+    // Replay the tail through scope playback: seek feeds
+    // `set_playback_source` directly, so `replay --from T` never
+    // materializes the skipped prefix.
+    let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+    let mut replay = Scope::new("replay", 200, 60, clock);
+    replay.set_period(TimeDelta::from_millis(50)).unwrap();
+    let mut reader = StoreReader::open(&dir).unwrap();
+    reader.seek(TimeStamp::from_millis(25_000)).unwrap();
+    replay
+        .set_playback_source(&mut reader as &mut dyn TupleSource)
+        .unwrap();
+    replay.start();
+    let mut ticks = 0;
+    while replay.playback_active() && ticks < 400 {
+        ticks += 1;
+        replay.tick(&tick_at(50 * ticks));
+    }
+    let cols: Vec<f64> = replay
+        .display_cols("v")
+        .to_vec()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(
+        cols.first(),
+        Some(&499.0),
+        "playback starts at the seek point"
+    );
+    assert_eq!(cols.last(), Some(&599.0), "playback reaches the end");
+    for w in cols.windows(2) {
+        assert!(w[1] >= w[0], "recorded ramp replays monotone");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_catch_up_replays_recent_window_from_store() {
+    let dir = std::env::temp_dir().join(format!("gstore-pipeline-catchup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // History: 200 frames at 10 ms spacing, as the server's store tee
+    // would have accumulated them.
+    let mut store = Store::open(&dir, small_segments()).unwrap();
+    for i in 1..=200u64 {
+        store
+            .append(TimeStamp::from_millis(10 * i), i as f64, Some("net.sig"))
+            .unwrap();
+    }
+
+    let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+    server.set_store(store);
+
+    // A display that joins late: catch-up replays only the last 500 ms
+    // of history (51 frames: 1.500 s ..= 2.000 s), not all 200.
+    let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+    let mut scope = Scope::new("late", 200, 60, clock);
+    scope
+        .add_signal(
+            "net.sig",
+            SigSource::Buffer,
+            SigConfig::default().with_range(0.0, 300.0),
+        )
+        .unwrap();
+    scope.set_delay(TimeDelta::from_millis(500));
+    scope.set_polling_mode(TimeDelta::from_millis(50)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    let replayed = server.add_scope_with_catch_up(Arc::clone(&scope), TimeDelta::from_millis(500));
+    assert_eq!(replayed, 51, "window covers 1.500 s ..= 2.000 s");
+    assert_eq!(server.stats().catch_up_tuples, 51);
+    assert_eq!(server.stats().store_errors, 0);
+
+    // Drain the buffered history onto the display.
+    {
+        let mut guard = scope.lock();
+        for i in 1..=60u64 {
+            guard.tick(&tick_at(50 * i));
+        }
+    }
+    let guard = scope.lock();
+    let vals: Vec<f64> = guard
+        .display_cols("net.sig")
+        .to_vec()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(!vals.is_empty(), "replayed history reaches the display");
+    assert_eq!(*vals.last().unwrap(), 200.0, "newest stored frame visible");
+    assert!(
+        vals.iter().all(|&x| x >= 150.0),
+        "only the window's frames were replayed (min {:?})",
+        vals.iter().cloned().fold(f64::INFINITY, f64::min)
+    );
+    assert_eq!(guard.buffer().late_drops(), 0, "delay covered the window");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
