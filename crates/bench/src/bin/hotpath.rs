@@ -1,10 +1,11 @@
 //! Hot-path benchmark baselines: emits `BENCH_tuple.json`,
-//! `BENCH_poll.json`, `BENCH_buffer.json`, `BENCH_render.json`, and
-//! `BENCH_store.json` with median ns/iter for the paths the
-//! zero-allocation, incremental-rendering, and tuple-store work
-//! targets (tuple codec, `poll_tick`, buffer ingestion, strip-chart
-//! frames, store append/seek/scan), so the perf trajectory is tracked
-//! in-repo from this PR onward.
+//! `BENCH_poll.json`, `BENCH_buffer.json`, `BENCH_render.json`,
+//! `BENCH_store.json`, and `BENCH_trace.json` with median ns/iter for
+//! the paths the zero-allocation, incremental-rendering, tuple-store,
+//! and tracing work targets (tuple codec, `poll_tick`, buffer
+//! ingestion, strip-chart frames, store append/seek/scan, span
+//! records), so the perf trajectory is tracked in-repo from this PR
+//! onward.
 //!
 //! The `before` numbers are the criterion medians recorded on this
 //! machine immediately before the interned-codec / allocation-free
@@ -500,6 +501,80 @@ fn bench_store(cfg: &Cfg) -> Vec<Row> {
     rows
 }
 
+/// Span-record overhead vs the counter hot path the earlier
+/// zero-allocation work established (increment ≈ 7ns on the reference
+/// machine, per the telemetry docs). The acceptance row prices one
+/// ring record against twice that counter cost — the live-measured
+/// increment, floored at the documented 7ns reference so the budget
+/// is "2x the PR 1 counter" and not 2x whatever this machine's atomics
+/// happen to do today. `speedup >= 1.0` means a span record costs no
+/// more than two counter bumps and tracing can stay on in production.
+/// The other rows are informational: the trace clock read and the
+/// full begin/end guard (two records + two clock reads + the causal
+/// stack push/pop).
+const REFERENCE_COUNTER_NS: f64 = 7.0;
+
+fn bench_trace(cfg: &Cfg) -> Vec<Row> {
+    use gtel::{Registry, TraceLog};
+
+    let iters = if cfg.quick { 50_000 } else { 500_000 };
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let counter_ns = measure(cfg, iters, || {
+        counter.inc();
+    });
+    black_box(counter.get());
+
+    // Raw ring record with precomputed timestamps: span-id allocation
+    // plus the seqlock slot protocol (claim, write, publish). The
+    // timestamps are hoisted so the row prices the record call, not
+    // loop arithmetic the counter baseline doesn't do.
+    // The ring's slot stores and the seq claim are side effects, so
+    // no black_box is needed; the loop body is exactly one record
+    // call, mirroring the baseline's one increment.
+    let log = Arc::new(TraceLog::with_shards(32_768, 8));
+    let (t0, t1) = (black_box(1_000u64), black_box(1_500u64));
+    let record_ns = measure(cfg, iters, || {
+        log.record_span_at("bench.span", 7, t0, t1);
+    });
+
+    let clock_ns = measure(cfg, iters, || {
+        black_box(gtel::fast_now_ns());
+    });
+
+    // Full scoped span through the thread-local tracer.
+    let _tracer = gtel::with_thread_tracer(Arc::clone(&log));
+    let mut j = 0u64;
+    let guard_ns = measure(cfg, iters, || {
+        j += 1;
+        let _s = gtel::span("bench.span", j);
+    });
+    black_box(log.recorded());
+
+    vec![
+        Row {
+            id: "trace/baseline/counter_inc",
+            before_ns: None,
+            after_ns: counter_ns,
+        },
+        Row {
+            id: "trace/record/span_record_vs_2x_counter",
+            before_ns: Some(2.0 * counter_ns.max(REFERENCE_COUNTER_NS)),
+            after_ns: record_ns,
+        },
+        Row {
+            id: "trace/clock/fast_now_ns",
+            before_ns: None,
+            after_ns: clock_ns,
+        },
+        Row {
+            id: "trace/span/guard_begin_end",
+            before_ns: None,
+            after_ns: guard_ns,
+        },
+    ]
+}
+
 fn fmt_ns(x: f64) -> String {
     format!("{x:.1}")
 }
@@ -571,12 +646,13 @@ fn main() {
     };
 
     type Suite = fn(&Cfg) -> Vec<Row>;
-    let suites: [(&str, Suite); 5] = [
+    let suites: [(&str, Suite); 6] = [
         ("tuple", bench_tuple),
         ("poll", bench_poll),
         ("buffer", bench_buffer),
         ("render", bench_render),
         ("store", bench_store),
+        ("trace", bench_trace),
     ];
     let mut matched = false;
     for (bench, run) in suites {

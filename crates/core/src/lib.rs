@@ -93,7 +93,7 @@ pub use scope::{
 };
 pub use signal::{EventSink, Signal};
 pub use source::SigSource;
-pub use telemetry::{metric_signal, ScopeTelemetry, StatsExport};
+pub use telemetry::{export_stats, metric_signal, ScopeTelemetry, StatsExport};
 pub use trigger::{Envelope, Trigger, TriggerEdge, TriggerMode};
 pub use tuple::{
     write_tuple_line, RawTuple, Tuple, TupleReader, TupleSink, TupleSource, TupleWriter,

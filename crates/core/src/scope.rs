@@ -686,6 +686,7 @@ impl Scope {
     }
 
     fn poll_tick(&mut self, info: &TickInfo) {
+        let _span = gtel::span("scope.tick", self.stats.ticks + 1);
         let poll_started = std::time::Instant::now();
         self.stats.ticks += 1;
         self.stats.missed_ticks += info.missed;
@@ -728,6 +729,7 @@ impl Scope {
     }
 
     fn playback_tick(&mut self, info: &TickInfo) {
+        let _span = gtel::span("scope.tick", self.stats.ticks + 1);
         let Mode::Playback {
             tuples,
             slots,
@@ -781,6 +783,7 @@ impl Scope {
         let Some(rec) = self.recorder.as_mut() else {
             return;
         };
+        let _span = gtel::span("scope.record", self.stats.recorded_tuples);
         let write_started = std::time::Instant::now();
         let bytes_before = rec.bytes_written();
         let mut failed = None;

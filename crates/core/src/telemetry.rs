@@ -35,6 +35,21 @@ pub trait StatsExport {
     fn to_tuples(&self, now: TimeStamp) -> Vec<Tuple>;
 }
 
+/// Exports several stats structs with one shared timestamp.
+///
+/// Calling `to_tuples` per struct stamps each call with its own clock
+/// reading, so a multi-struct export carries skewed timestamps; this
+/// captures `now` once and stamps every tuple with it, which is what
+/// the flight recorder and `gtool stats --json` need for a coherent
+/// snapshot.
+pub fn export_stats(now: TimeStamp, stats: &[&dyn StatsExport]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for s in stats {
+        out.extend(s.to_tuples(now));
+    }
+    out
+}
+
 impl StatsExport for LoopStats {
     fn to_tuples(&self, now: TimeStamp) -> Vec<Tuple> {
         vec![
@@ -157,6 +172,22 @@ mod tests {
             .find(|t| t.name.as_deref() == Some("loop.ticks_missed"))
             .expect("field exported");
         assert_eq!(missed.value, 2.0);
+    }
+
+    #[test]
+    fn export_stats_shares_one_timestamp() {
+        let a = LoopStats {
+            iterations: 1,
+            ..LoopStats::default()
+        };
+        let b = LoopStats {
+            iterations: 2,
+            ..LoopStats::default()
+        };
+        let now = TimeStamp::from_millis(777);
+        let tuples = export_stats(now, &[&a, &b]);
+        assert_eq!(tuples.len(), 14);
+        assert!(tuples.iter().all(|t| t.time == now));
     }
 
     #[test]

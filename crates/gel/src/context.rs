@@ -612,6 +612,10 @@ impl MainLoop {
         let dispatch_started = std::time::Instant::now();
         self.stats.iterations += 1;
         self.telemetry.iterations.inc();
+        // Root span for this tick of the loop: every stage span opened
+        // during dispatch (scope tick, render, net poll, store flush)
+        // becomes its child, so one iteration's cost decomposes.
+        let root_span = gtel::span("gel.iteration", self.stats.iterations);
         let mut dispatched = self.drain_invokes();
         let now = self.clock.now();
         dispatched |= self.dispatch_timeouts(now);
@@ -619,6 +623,7 @@ impl MainLoop {
         if !dispatched && self.run_idles() {
             dispatched = true;
         }
+        drop(root_span);
         // Timed before any sleep: this is dispatch cost, not wait time.
         self.telemetry
             .iteration_ns

@@ -436,10 +436,14 @@ impl ScopeServer {
     /// Returns [`IoPoll::Worked`] if anything happened — the shape a
     /// `gel` I/O watch expects.
     pub fn poll(&mut self) -> IoPoll {
+        let begin_ns = gtel::fast_now_ns();
         let mut any = self.accept_pending();
         any |= self.read_clients();
         self.telemetry.clients.set_count(self.clients.len());
         if any {
+            // Recorded only when work happened: idle polls run every
+            // loop iteration and would drown the span ring.
+            gtel::complete_span("net.server.poll", self.stats.tuples_received, begin_ns);
             IoPoll::Worked
         } else {
             IoPoll::Idle

@@ -183,6 +183,9 @@ impl FrameCache {
     /// possible. The result is pixel-identical to
     /// [`render_scope`](crate::render_scope).
     pub fn render(&mut self, scope: &Scope) -> &Framebuffer {
+        let frame_no =
+            self.stats.full + self.stats.content + self.stats.incremental + self.stats.cached + 1;
+        let _span = gtel::span("render.frame", frame_no);
         let (w, h) = view::widget_size(scope);
         let key_ok = self.key.as_ref().is_some_and(|k| k.matches(scope, w, h));
         if !key_ok {

@@ -1,0 +1,323 @@
+//! The [`FlightRecorder`]: deadline-triggered post-mortem bundles.
+//!
+//! An aircraft flight recorder is cheap to carry and only read after
+//! something went wrong; this is the same idea for a missed tick
+//! deadline. While the pipeline runs, the recorder keeps the last K
+//! registry snapshots in memory (a few KiB). When a deadline miss —
+//! or an explicit trigger — fires, it freezes the span ring and the
+//! snapshot window into an on-disk bundle:
+//!
+//! ```text
+//! postmortem-0000/
+//!   meta.txt     reason, trigger time, span/snapshot counts
+//!   trace.json   Chrome trace-event JSON (Perfetto-loadable)
+//!   trace.txt    causality tree + slowest-span table
+//!   stats/       a gstore holding the snapshot window as tuples
+//! ```
+//!
+//! The bundle is built in a dot-prefixed temp directory and published
+//! with one `rename`, so a crash mid-write never leaves a bundle that
+//! half-parses. Bundle count is capped: a persistently-late loop
+//! produces a few bundles, not a full disk.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use gel::TimeStamp;
+use gscope::{Result, ScopeError, TupleSource};
+use gtel::{
+    chrome_trace_json, slowest_spans, span_tree, MetricValue, Registry, Snapshot, TraceLog,
+};
+
+use crate::reader::StoreReader;
+use crate::store::{Store, StoreConfig};
+
+/// Where and what a trigger wrote.
+#[derive(Debug, Clone)]
+pub struct BundleInfo {
+    /// Bundle directory (`<dir>/postmortem-NNNN`).
+    pub path: PathBuf,
+    /// Complete span records frozen into `trace.json`.
+    pub spans: usize,
+    /// Registry snapshots frozen into `stats/`.
+    pub snapshots: usize,
+}
+
+/// Keeps the last K telemetry snapshots and freezes them plus the
+/// span ring into a post-mortem bundle on demand.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+    k: usize,
+    snapshots: VecDeque<(TimeStamp, Snapshot)>,
+    bundles: u64,
+    max_bundles: u64,
+}
+
+impl FlightRecorder {
+    /// Recorder writing bundles under `dir`, keeping the last `k`
+    /// snapshots (at most 4 bundles by default).
+    pub fn new(dir: impl Into<PathBuf>, k: usize) -> Self {
+        FlightRecorder {
+            dir: dir.into(),
+            k: k.max(1),
+            snapshots: VecDeque::new(),
+            bundles: 0,
+            max_bundles: 4,
+        }
+    }
+
+    /// Caps how many bundles one recorder may write (0 disables).
+    pub fn set_max_bundles(&mut self, n: u64) {
+        self.max_bundles = n;
+    }
+
+    /// Bundles written so far.
+    pub fn bundles(&self) -> u64 {
+        self.bundles
+    }
+
+    /// Notes the registry's current state, stamped `now` (loop time).
+    /// Call once per tick; only the newest K survive.
+    pub fn note_stats(&mut self, now: TimeStamp, registry: &Registry) {
+        self.note_snapshot(now, registry.snapshot());
+    }
+
+    /// Notes a pre-taken snapshot (single-timestamp exports).
+    pub fn note_snapshot(&mut self, now: TimeStamp, snapshot: Snapshot) {
+        if self.snapshots.len() == self.k {
+            self.snapshots.pop_front();
+        }
+        self.snapshots.push_back((now, snapshot));
+    }
+
+    /// Freezes the span ring and the snapshot window into a bundle.
+    ///
+    /// Returns `Ok(None)` once the bundle cap is reached (triggering
+    /// is expected to be wired to every deadline miss, and a loop
+    /// that misses every tick must not fill the disk).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or publishing the bundle.
+    pub fn trigger(&mut self, reason: &str, log: &TraceLog) -> Result<Option<BundleInfo>> {
+        if self.bundles >= self.max_bundles {
+            return Ok(None);
+        }
+        let records = log.records();
+        let name = format!("postmortem-{:04}", self.bundles);
+        let tmp = self.dir.join(format!(".tmp-{name}"));
+        let finale = self.dir.join(&name);
+        if tmp.exists() {
+            std::fs::remove_dir_all(&tmp).map_err(ScopeError::Io)?;
+        }
+        std::fs::create_dir_all(&tmp).map_err(ScopeError::Io)?;
+
+        let spans = records
+            .iter()
+            .filter(|r| r.kind == gtel::SpanKind::End)
+            .count();
+        std::fs::write(tmp.join("trace.json"), chrome_trace_json(&records))
+            .map_err(ScopeError::Io)?;
+        let mut tree = span_tree(&records);
+        tree.push('\n');
+        tree.push_str(&slowest_spans(&records, 16));
+        std::fs::write(tmp.join("trace.txt"), tree).map_err(ScopeError::Io)?;
+
+        let mut meta = String::new();
+        let _ = writeln!(meta, "reason: {reason}");
+        let _ = writeln!(meta, "spans: {spans}");
+        let _ = writeln!(meta, "records: {}", records.len());
+        let _ = writeln!(meta, "records_dropped: {}", log.dropped());
+        let _ = writeln!(meta, "snapshots: {}", self.snapshots.len());
+        if let Some((t, _)) = self.snapshots.back() {
+            let _ = writeln!(meta, "last_snapshot_ms: {:.3}", t.as_millis_f64());
+        }
+        std::fs::write(tmp.join("meta.txt"), meta).map_err(ScopeError::Io)?;
+
+        // The snapshot window rides in a real gstore, so every tool
+        // that decodes recordings (gtool info/replay, StoreReader)
+        // decodes post-mortems too.
+        let cfg = StoreConfig {
+            block_bytes: 4 * 1024,
+            block_frames: 256,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open(tmp.join("stats"), cfg)?;
+        for (t, snap) in &self.snapshots {
+            append_snapshot(&mut store, *t, snap)?;
+        }
+        store.close()?;
+
+        if finale.exists() {
+            std::fs::remove_dir_all(&finale).map_err(ScopeError::Io)?;
+        }
+        std::fs::rename(&tmp, &finale).map_err(ScopeError::Io)?;
+        self.bundles += 1;
+        Ok(Some(BundleInfo {
+            path: finale,
+            spans,
+            snapshots: self.snapshots.len(),
+        }))
+    }
+}
+
+/// Writes one registry snapshot into `store` as tuples stamped `now`
+/// (histograms expand exactly like `gtel::tuple_lines`: `.count` plus
+/// millisecond-scaled percentiles).
+fn append_snapshot(store: &mut Store, now: TimeStamp, snapshot: &Snapshot) -> Result<()> {
+    for (name, value) in snapshot {
+        match value {
+            MetricValue::Counter(n) => store.append(now, *n as f64, Some(name))?,
+            MetricValue::Gauge(v) => store.append(now, *v, Some(name))?,
+            MetricValue::Histogram(h) => {
+                store.append(now, h.count as f64, Some(&format!("{name}.count")))?;
+                store.append(now, h.p50 as f64 / 1e6, Some(&format!("{name}.p50_ms")))?;
+                store.append(now, h.p90 as f64 / 1e6, Some(&format!("{name}.p90_ms")))?;
+                store.append(now, h.p99 as f64 / 1e6, Some(&format!("{name}.p99_ms")))?;
+                store.append(now, h.max as f64 / 1e6, Some(&format!("{name}.max_ms")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A decoded bundle (see [`read_bundle`]).
+#[derive(Debug, Clone)]
+pub struct BundleSummary {
+    /// `meta.txt`, verbatim.
+    pub meta: String,
+    /// `trace.json`, verbatim.
+    pub trace_json: String,
+    /// `trace.txt`, verbatim.
+    pub tree: String,
+    /// Tuples decoded from the `stats/` store.
+    pub stats_tuples: usize,
+}
+
+/// Reads a bundle back, decoding the stats store end to end — the
+/// "is this bundle intact?" check used by tests and `gtool trace`.
+///
+/// # Errors
+///
+/// I/O errors, or decode errors from the stats store.
+pub fn read_bundle(path: impl AsRef<Path>) -> Result<BundleSummary> {
+    let path = path.as_ref();
+    let meta = std::fs::read_to_string(path.join("meta.txt")).map_err(ScopeError::Io)?;
+    let trace_json = std::fs::read_to_string(path.join("trace.json")).map_err(ScopeError::Io)?;
+    let tree = std::fs::read_to_string(path.join("trace.txt")).map_err(ScopeError::Io)?;
+    if !trace_json.contains("\"traceEvents\"") {
+        return Err(ScopeError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: trace.json has no traceEvents", path.display()),
+        )));
+    }
+    let mut reader = StoreReader::open(path.join("stats"))?;
+    let mut stats_tuples = 0;
+    while reader.next_tuple()?.is_some() {
+        stats_tuples += 1;
+    }
+    Ok(BundleSummary {
+        meta,
+        trace_json,
+        tree,
+        stats_tuples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gstore-flight-{}-{:x}",
+            std::process::id(),
+            gtel::monotonic_ns()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn demo_log() -> Arc<TraceLog> {
+        let log = Arc::new(TraceLog::new(64));
+        {
+            let _root = log.span_with("gel.iteration", 1);
+            let _tick = log.span_with("scope.tick", 1);
+        }
+        log.record_span_at("scope.tick", 2, 1_000, 9_000);
+        log
+    }
+
+    fn demo_registry() -> Arc<Registry> {
+        let r = Registry::shared();
+        r.counter("scope.ticks").add(3);
+        r.gauge("scope.buffer.depth").set(1.0);
+        r.histogram("scope.tick.poll_ns").record(2_000);
+        r
+    }
+
+    #[test]
+    fn trigger_writes_decodable_bundle() {
+        let dir = tmp();
+        let mut fr = FlightRecorder::new(&dir, 4);
+        let reg = demo_registry();
+        fr.note_stats(TimeStamp::from_millis(100), &reg);
+        fr.note_stats(TimeStamp::from_millis(200), &reg);
+        let info = fr
+            .trigger("deadline miss: scope.tick", &demo_log())
+            .unwrap()
+            .expect("bundle written");
+        assert_eq!(info.snapshots, 2);
+        assert!(info.spans >= 3);
+        assert!(info.path.ends_with("postmortem-0000"));
+
+        let bundle = read_bundle(&info.path).unwrap();
+        assert!(bundle.meta.contains("reason: deadline miss: scope.tick"));
+        assert!(bundle.trace_json.contains("\"name\":\"gel.iteration\""));
+        assert!(bundle.tree.contains("scope.tick"));
+        // 2 snapshots x (counter + gauge + 5 histogram expansions).
+        assert_eq!(bundle.stats_tuples, 14);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_window_keeps_newest_k() {
+        let mut fr = FlightRecorder::new(tmp(), 2);
+        let reg = demo_registry();
+        for ms in [10, 20, 30] {
+            fr.note_stats(TimeStamp::from_millis(ms), &reg);
+        }
+        assert_eq!(fr.snapshots.len(), 2);
+        assert_eq!(fr.snapshots[0].0, TimeStamp::from_millis(20));
+    }
+
+    #[test]
+    fn bundle_cap_holds() {
+        let dir = tmp();
+        let mut fr = FlightRecorder::new(&dir, 2);
+        fr.set_max_bundles(1);
+        let log = demo_log();
+        assert!(fr.trigger("first", &log).unwrap().is_some());
+        assert!(fr.trigger("second", &log).unwrap().is_none());
+        assert_eq!(fr.bundles(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn no_partial_bundle_is_published() {
+        let dir = tmp();
+        let mut fr = FlightRecorder::new(&dir, 1);
+        fr.note_stats(TimeStamp::from_millis(5), &demo_registry());
+        fr.trigger("x", &demo_log()).unwrap().unwrap();
+        // Only the renamed bundle remains; the temp dir is gone.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["postmortem-0000"]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -30,10 +30,12 @@
 //! without special cases.
 
 pub mod codec;
+pub mod flight;
 pub mod reader;
 pub mod segment;
 pub mod store;
 
+pub use flight::{read_bundle, BundleInfo, BundleSummary, FlightRecorder};
 pub use reader::{ReaderStats, StoreReader};
 pub use segment::{recover_segment, Recovery, SalvagedFrame};
 pub use store::{

@@ -428,12 +428,16 @@ impl Store {
         let Some(w) = self.writer.as_mut() else {
             return Ok(());
         };
+        let begin_ns = gtel::fast_now_ns();
         let written = w.flush_block().map_err(ScopeError::Io)?;
         let pending = w.pending_bytes();
         if written > 0 {
             self.stats.bytes_written += written;
             self.stats.blocks_flushed += 1;
             self.telemetry.bytes.add(written);
+            // Span only for blocks that hit the file; empty flushes
+            // are no-ops and would pollute the ring.
+            gtel::complete_span("store.block", written, begin_ns);
         }
         self.publish_frames();
         if pending >= self.cfg.segment_bytes {

@@ -1,0 +1,301 @@
+//! Span trace exporters: Chrome trace-event JSON (loadable in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), a text
+//! tree mirroring the causal structure, and a slowest-spans table.
+//!
+//! All exporters consume the raw [`SpanRecord`] snapshot. Complete
+//! spans are reconstructed from End records alone (they carry
+//! `begin_ns`), so spans whose Begin record was overwritten by ring
+//! wrap-around still export correctly.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::export::format_ns;
+use crate::span::{SpanKind, SpanRecord};
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_us(ns: u64, out: &mut String) {
+    // Microseconds with nanosecond precision, integer math only.
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Complete spans (End records) from a snapshot, begin-time order.
+pub fn complete_spans(records: &[SpanRecord]) -> Vec<SpanRecord> {
+    let mut spans: Vec<SpanRecord> = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::End)
+        .copied()
+        .collect();
+    spans.sort_by_key(|r| (r.begin_ns, r.seq));
+    spans
+}
+
+/// Renders records as Chrome trace-event JSON: complete spans become
+/// `"ph":"X"` duration events (nested by timestamp containment per
+/// thread, which matches our causal nesting), point events become
+/// `"ph":"i"` instants. Span/parent ids ride along in `args` so the
+/// causal links survive the round trip.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 120 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for r in records {
+        if r.kind == SpanKind::Begin {
+            continue; // its End record (if retained) is self-contained
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_json(r.label, &mut out);
+        out.push_str("\",\"cat\":\"gscope\",\"ph\":\"");
+        match r.kind {
+            SpanKind::End => {
+                out.push_str("X\",\"ts\":");
+                write_us(r.begin_ns, &mut out);
+                out.push_str(",\"dur\":");
+                write_us(r.duration_ns(), &mut out);
+                let _ = write!(
+                    out,
+                    ",\"pid\":1,\"tid\":{},\"args\":{{\"arg\":{},\"span\":{},\"parent\":{}}}}}",
+                    r.tid, r.arg, r.span, r.parent
+                );
+            }
+            _ => {
+                out.push_str("i\",\"s\":\"t\",\"ts\":");
+                write_us(r.t_ns, &mut out);
+                let _ = write!(
+                    out,
+                    ",\"pid\":1,\"tid\":{},\"args\":{{\"value\":{},\"parent\":{}}}}}",
+                    r.tid,
+                    crate::export::fmt_value(r.value()),
+                    r.parent
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders complete spans as an indented causality tree, one root per
+/// top-level span, begin-time order:
+///
+/// ```text
+/// gel.iteration #3 1.20ms
+/// ├─ scope.tick #3 512.00us
+/// │  └─ scope.record 100.00us
+/// └─ render.frame 300.00us
+/// ```
+pub fn span_tree(records: &[SpanRecord]) -> String {
+    let spans = complete_spans(records);
+    let known: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.span, i)).collect();
+    // children[i] = indexes of spans whose parent is spans[i].
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match known.get(&s.parent) {
+            Some(&p) if s.parent != 0 && p != i => children[p].push(i),
+            // Parent 0 or evicted from the ring: treat as a root.
+            _ => roots.push(i),
+        }
+    }
+    let mut out = String::new();
+    for &root in &roots {
+        render_node(&spans, &children, root, "", "", &mut out);
+    }
+    out
+}
+
+fn render_node(
+    spans: &[SpanRecord],
+    children: &[Vec<usize>],
+    idx: usize,
+    lead: &str,
+    child_lead: &str,
+    out: &mut String,
+) {
+    let s = &spans[idx];
+    let _ = writeln!(
+        out,
+        "{lead}{} #{} {}",
+        s.label,
+        s.arg,
+        format_ns(s.duration_ns())
+    );
+    let kids = &children[idx];
+    for (i, &k) in kids.iter().enumerate() {
+        let last = i + 1 == kids.len();
+        let (branch, cont) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        render_node(
+            spans,
+            children,
+            k,
+            &format!("{child_lead}{branch}"),
+            &format!("{child_lead}{cont}"),
+            out,
+        );
+    }
+}
+
+/// Per-label aggregate over complete spans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanAgg {
+    /// Span label.
+    pub label: &'static str,
+    /// Completed spans observed.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Worst single span.
+    pub max_ns: u64,
+}
+
+impl SpanAgg {
+    /// Mean duration per span.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Aggregates complete spans by label, worst `max_ns` first.
+pub fn aggregate_spans(records: &[SpanRecord]) -> Vec<SpanAgg> {
+    let mut by_label: HashMap<&'static str, SpanAgg> = HashMap::new();
+    for r in records.iter().filter(|r| r.kind == SpanKind::End) {
+        let agg = by_label.entry(r.label).or_insert(SpanAgg {
+            label: r.label,
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        });
+        agg.count += 1;
+        agg.total_ns += r.duration_ns();
+        agg.max_ns = agg.max_ns.max(r.duration_ns());
+    }
+    let mut out: Vec<SpanAgg> = by_label.into_values().collect();
+    out.sort_by(|a, b| b.max_ns.cmp(&a.max_ns).then(a.label.cmp(b.label)));
+    out
+}
+
+/// Renders the `n` slowest span labels as an aligned table.
+pub fn slowest_spans(records: &[SpanRecord], n: usize) -> String {
+    let aggs = aggregate_spans(records);
+    let width = aggs
+        .iter()
+        .take(n)
+        .map(|a| a.label.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}",
+        "span", "count", "max", "mean", "total"
+    );
+    for a in aggs.iter().take(n) {
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}",
+            a.label,
+            a.count,
+            format_ns(a.max_ns),
+            format_ns(a.mean_ns()),
+            format_ns(a.total_ns)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceLog;
+    use std::sync::Arc;
+
+    fn demo_log() -> Arc<TraceLog> {
+        let log = Arc::new(TraceLog::new(64));
+        {
+            let _root = log.span_with("tick", 3);
+            {
+                let _child = log.span_with("poll", 3);
+                log.record_span_at("record", 0, 100, 200);
+            }
+            let _render = log.span_with("render", 3);
+        }
+        log
+    }
+
+    #[test]
+    fn chrome_json_has_complete_events() {
+        let json = chrome_trace_json(&demo_log().records());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"tick\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Begin records are folded into their End events.
+        assert_eq!(json.matches("\"name\":\"tick\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+    }
+
+    #[test]
+    fn chrome_json_instant_events() {
+        let log = TraceLog::new(8);
+        log.event_at(1_500, "mark", 2.5);
+        let json = chrome_trace_json(&log.records());
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"value\":2.5"));
+    }
+
+    #[test]
+    fn tree_nests_causally() {
+        let tree = span_tree(&demo_log().records());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 4, "tree:\n{tree}");
+        assert!(lines[0].starts_with("tick #3"));
+        assert!(lines[1].starts_with("├─ poll #3"));
+        assert!(lines[2].starts_with("│  └─ record #0"));
+        assert!(lines[3].starts_with("└─ render #3"));
+    }
+
+    #[test]
+    fn orphaned_children_become_roots() {
+        let log = TraceLog::new(64);
+        log.record_span_at("lonely", 1, 10, 20);
+        let tree = span_tree(&log.records());
+        assert!(tree.starts_with("lonely #1"));
+    }
+
+    #[test]
+    fn slowest_ranks_by_max() {
+        let log = TraceLog::new(64);
+        log.record_span_at("fast", 0, 0, 100);
+        log.record_span_at("slow", 0, 0, 9_000);
+        log.record_span_at("fast", 0, 0, 300);
+        let aggs = aggregate_spans(&log.records());
+        assert_eq!(aggs[0].label, "slow");
+        assert_eq!(aggs[1].count, 2);
+        assert_eq!(aggs[1].mean_ns(), 200);
+        let table = slowest_spans(&log.records(), 10);
+        let first_data_line = table.lines().nth(1).unwrap();
+        assert!(first_data_line.starts_with("slow"));
+    }
+}

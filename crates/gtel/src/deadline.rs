@@ -1,0 +1,385 @@
+//! The [`DeadlineMonitor`]: per-stage time budgets derived from the
+//! polling period, with an SLO window (misses per N ticks) exported
+//! as gtel gauges.
+//!
+//! Gscope visualizes *other* programs' lateness (paper §3.1); the
+//! monitor turns the same lens inward. Every pipeline stage span
+//! (`gel.iteration`, `scope.tick`, `render.frame`, …) gets a budget —
+//! a fraction of the scope polling period — and every completed span
+//! is checked against it. A duration of exactly the budget is on
+//! time; budget+1ns is a miss. Misses, the latest margin, and the
+//! rolling-window miss count export through a [`Registry`], so a
+//! self-scoping setup (`metric_signal`) can plot its own deadline
+//! margin live, and `gtool health` can turn a breached window into a
+//! non-zero exit code.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::export::format_ns;
+use crate::metrics::{Counter, Gauge};
+use crate::registry::Registry;
+use crate::span::SpanKind;
+use crate::trace::TraceLog;
+
+/// One stage's time budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageBudget {
+    /// Span label the budget applies to.
+    pub label: &'static str,
+    /// Budget in nanoseconds; durations strictly greater miss.
+    pub budget_ns: u64,
+}
+
+/// One observed deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineMiss {
+    /// Stage that missed.
+    pub label: &'static str,
+    /// End timestamp of the offending span.
+    pub t_ns: u64,
+    /// How long the stage actually took.
+    pub duration_ns: u64,
+    /// What it was allowed.
+    pub budget_ns: u64,
+}
+
+struct Stage {
+    budget: StageBudget,
+    /// Rolling window of the last N observations (true = miss).
+    window: VecDeque<bool>,
+    window_miss_count: u64,
+    observed: u64,
+    missed: u64,
+    misses: Arc<Counter>,
+    margin: Arc<Gauge>,
+    window_misses: Arc<Gauge>,
+}
+
+/// Watches completed stage spans against per-stage budgets.
+pub struct DeadlineMonitor {
+    stages: Vec<Stage>,
+    window: usize,
+    /// Window miss counts above this breach the SLO.
+    threshold: u64,
+    cursor: u64,
+}
+
+impl DeadlineMonitor {
+    /// Default per-stage budget table for a scope polling period:
+    /// the whole period for the loop iteration, half for the scope
+    /// tick, 30% for rendering, 10% each for network poll and store
+    /// block flush.
+    pub fn stage_budgets(period_ns: u64) -> Vec<StageBudget> {
+        let pct = |p: u64| (period_ns / 100) * p;
+        vec![
+            StageBudget {
+                label: "gel.iteration",
+                budget_ns: period_ns,
+            },
+            StageBudget {
+                label: "scope.tick",
+                budget_ns: pct(50),
+            },
+            StageBudget {
+                label: "render.frame",
+                budget_ns: pct(30),
+            },
+            StageBudget {
+                label: "net.server.poll",
+                budget_ns: pct(10),
+            },
+            StageBudget {
+                label: "store.block",
+                budget_ns: pct(10),
+            },
+        ]
+    }
+
+    /// Monitor with the default stage table for `period_ns`.
+    pub fn for_period(registry: &Registry, period_ns: u64, window: usize) -> Self {
+        DeadlineMonitor::new(registry, DeadlineMonitor::stage_budgets(period_ns), window)
+    }
+
+    /// Monitor with explicit budgets; `window` is the SLO window size
+    /// in observations per stage.
+    pub fn new(registry: &Registry, budgets: Vec<StageBudget>, window: usize) -> Self {
+        let window = window.max(1);
+        let stages = budgets
+            .into_iter()
+            .map(|budget| {
+                let base = format!("trace.deadline.{}", budget.label);
+                let budget_gauge = registry.gauge(&format!("{base}.budget_ns"));
+                budget_gauge.set(budget.budget_ns as f64);
+                Stage {
+                    budget,
+                    window: VecDeque::with_capacity(window),
+                    window_miss_count: 0,
+                    observed: 0,
+                    missed: 0,
+                    misses: registry.counter(&format!("{base}.misses")),
+                    margin: registry.gauge(&format!("{base}.margin_ns")),
+                    window_misses: registry.gauge(&format!("{base}.window_misses")),
+                }
+            })
+            .collect();
+        DeadlineMonitor {
+            stages,
+            window,
+            threshold: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Allows up to `n` misses per window before [`breached`](Self::breached).
+    pub fn set_breach_threshold(&mut self, n: u64) {
+        self.threshold = n;
+    }
+
+    /// Scales every stage budget to `budget_ns * num / den` (min 1ns);
+    /// `gtool trace --budget-frac` uses this to tighten deadlines
+    /// artificially.
+    pub fn scale_budgets(&mut self, num: u64, den: u64) {
+        for stage in &mut self.stages {
+            let scaled = (u128::from(stage.budget.budget_ns) * u128::from(num)
+                / u128::from(den.max(1))) as u64;
+            stage.budget.budget_ns = scaled.max(1);
+        }
+    }
+
+    /// Overrides one stage's budget (creating no new stages).
+    pub fn set_budget(&mut self, label: &str, budget_ns: u64) {
+        for stage in &mut self.stages {
+            if stage.budget.label == label {
+                stage.budget.budget_ns = budget_ns.max(1);
+            }
+        }
+    }
+
+    /// Feeds one completed stage duration; returns the miss if the
+    /// duration exceeded the stage budget (strictly — `budget_ns`
+    /// is on time, `budget_ns + 1` misses). Unknown labels are
+    /// ignored.
+    pub fn observe(&mut self, label: &str, t_ns: u64, duration_ns: u64) -> Option<DeadlineMiss> {
+        let window = self.window;
+        let stage = self.stages.iter_mut().find(|s| s.budget.label == label)?;
+        stage.observed += 1;
+        let missed = duration_ns > stage.budget.budget_ns;
+        if stage.window.len() == window && stage.window.pop_front() == Some(true) {
+            stage.window_miss_count -= 1;
+        }
+        stage.window.push_back(missed);
+        if missed {
+            stage.window_miss_count += 1;
+            stage.missed += 1;
+            stage.misses.inc();
+        }
+        stage
+            .margin
+            .set(stage.budget.budget_ns as f64 - duration_ns as f64);
+        stage.window_misses.set(stage.window_miss_count as f64);
+        missed.then_some(DeadlineMiss {
+            label: stage.budget.label,
+            t_ns,
+            duration_ns,
+            budget_ns: stage.budget.budget_ns,
+        })
+    }
+
+    /// Pulls new End records out of `log` (from where the last scan
+    /// stopped) and observes every budgeted stage span. Returns the
+    /// misses found, oldest first.
+    pub fn scan(&mut self, log: &TraceLog) -> Vec<DeadlineMiss> {
+        let records = log.records_since(self.cursor);
+        let mut misses = Vec::new();
+        for r in &records {
+            self.cursor = self.cursor.max(r.seq + 1);
+            if r.kind != SpanKind::End {
+                continue;
+            }
+            if let Some(miss) = self.observe(r.label, r.t_ns, r.duration_ns()) {
+                misses.push(miss);
+            }
+        }
+        misses
+    }
+
+    /// Total misses for one stage label.
+    pub fn misses(&self, label: &str) -> u64 {
+        self.stages
+            .iter()
+            .find(|s| s.budget.label == label)
+            .map_or(0, |s| s.missed)
+    }
+
+    /// Total misses across all stages.
+    pub fn total_misses(&self) -> u64 {
+        self.stages.iter().map(|s| s.missed).sum()
+    }
+
+    /// Whether any stage's current window exceeds the miss threshold.
+    pub fn breached(&self) -> bool {
+        self.stages
+            .iter()
+            .any(|s| s.window_miss_count > self.threshold)
+    }
+
+    /// Aligned SLO summary table (the `gtool health` body).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let width = self
+            .stages
+            .iter()
+            .map(|s| s.budget.label.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>10}  {:>8}  {:>8}  {:>12}  status",
+            "stage", "budget", "seen", "missed", "window"
+        );
+        for s in &self.stages {
+            let status = if s.window_miss_count > self.threshold {
+                "BREACH"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>10}  {:>8}  {:>8}  {:>9}/{:<2}  {status}",
+                s.budget.label,
+                format_ns(s.budget.budget_ns),
+                s.observed,
+                s.missed,
+                s.window_miss_count,
+                self.window,
+            );
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for DeadlineMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeadlineMonitor")
+            .field("stages", &self.stages.len())
+            .field("window", &self.window)
+            .field("total_misses", &self.total_misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(budget: u64, window: usize) -> (Arc<Registry>, DeadlineMonitor) {
+        let registry = Registry::shared();
+        let m = DeadlineMonitor::new(
+            &registry,
+            vec![StageBudget {
+                label: "scope.tick",
+                budget_ns: budget,
+            }],
+            window,
+        );
+        (registry, m)
+    }
+
+    #[test]
+    fn fires_at_budget_plus_one_not_at_budget() {
+        let (_r, mut m) = monitor(1_000, 8);
+        assert!(m.observe("scope.tick", 10, 1_000).is_none());
+        let miss = m.observe("scope.tick", 20, 1_001).expect("budget+1 misses");
+        assert_eq!(miss.duration_ns, 1_001);
+        assert_eq!(miss.budget_ns, 1_000);
+        assert_eq!(m.misses("scope.tick"), 1);
+    }
+
+    #[test]
+    fn window_slides_and_recovers() {
+        let (registry, mut m) = monitor(100, 4);
+        for _ in 0..4 {
+            m.observe("scope.tick", 0, 200);
+        }
+        assert!(m.breached());
+        // Four on-time ticks push the misses out of the window.
+        for _ in 0..4 {
+            m.observe("scope.tick", 0, 50);
+        }
+        assert!(!m.breached());
+        assert_eq!(m.misses("scope.tick"), 4);
+        let snap = registry.snapshot();
+        let window = snap
+            .iter()
+            .find(|(n, _)| n == "trace.deadline.scope.tick.window_misses")
+            .unwrap();
+        assert_eq!(window.1.as_f64(crate::metrics::HistogramStat::Mean), 0.0);
+    }
+
+    #[test]
+    fn threshold_allows_slack() {
+        let (_r, mut m) = monitor(100, 8);
+        m.set_breach_threshold(2);
+        m.observe("scope.tick", 0, 200);
+        m.observe("scope.tick", 0, 200);
+        assert!(!m.breached());
+        m.observe("scope.tick", 0, 200);
+        assert!(m.breached());
+    }
+
+    #[test]
+    fn scan_consumes_incrementally() {
+        let registry = Registry::new();
+        let mut m = DeadlineMonitor::new(
+            &registry,
+            vec![StageBudget {
+                label: "scope.tick",
+                budget_ns: 100,
+            }],
+            8,
+        );
+        let log = TraceLog::new(64);
+        log.record_span_at("scope.tick", 1, 0, 50);
+        log.record_span_at("scope.tick", 2, 100, 300);
+        let misses = m.scan(&log);
+        assert_eq!(misses.len(), 1);
+        assert_eq!(misses[0].duration_ns, 200);
+        // Already-seen records are not re-observed.
+        assert!(m.scan(&log).is_empty());
+        log.record_span_at("scope.tick", 3, 400, 401);
+        assert!(m.scan(&log).is_empty());
+        assert_eq!(m.misses("scope.tick"), 1);
+    }
+
+    #[test]
+    fn default_table_derives_from_period() {
+        let budgets = DeadlineMonitor::stage_budgets(10_000_000);
+        let get = |l: &str| budgets.iter().find(|b| b.label == l).unwrap().budget_ns;
+        assert_eq!(get("gel.iteration"), 10_000_000);
+        assert_eq!(get("scope.tick"), 5_000_000);
+        assert_eq!(get("render.frame"), 3_000_000);
+        assert_eq!(get("net.server.poll"), 1_000_000);
+        assert_eq!(get("store.block"), 1_000_000);
+    }
+
+    #[test]
+    fn budgets_export_as_gauges() {
+        let (registry, _m) = monitor(1_000, 4);
+        let names = registry.names();
+        assert!(names.contains(&"trace.deadline.scope.tick.budget_ns".to_string()));
+        assert!(names.contains(&"trace.deadline.scope.tick.misses".to_string()));
+        assert!(names.contains(&"trace.deadline.scope.tick.margin_ns".to_string()));
+    }
+
+    #[test]
+    fn summary_reports_breach() {
+        let (_r, mut m) = monitor(100, 4);
+        m.observe("scope.tick", 0, 101);
+        let text = m.summary();
+        assert!(text.contains("scope.tick"));
+        assert!(text.contains("BREACH"));
+    }
+}

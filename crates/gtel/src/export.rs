@@ -19,7 +19,7 @@ pub fn format_ns(ns: u64) -> String {
     }
 }
 
-fn fmt_value(v: f64) -> String {
+pub(crate) fn fmt_value(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -84,6 +84,60 @@ pub fn prometheus_text(snapshot: &Snapshot) -> String {
             }
         }
     }
+    out
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emits the snapshot as one JSON object for scripting and CI
+/// assertions (`gtool stats --json`). Every metric shares the single
+/// `t_ms` timestamp captured by the caller — unlike per-struct
+/// `to_tuples` calls, nothing in the document can carry a skewed
+/// clock reading. Histograms keep nanosecond integer fields.
+pub fn json_stats(snapshot: &Snapshot, now_ms: f64) -> String {
+    let mut out = String::with_capacity(snapshot.len() * 64 + 64);
+    let _ = write!(out, "{{\"t_ms\":{now_ms:.3},\"stats\":{{");
+    for (i, (name, value)) in snapshot.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(name, &mut out);
+        out.push_str("\":");
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{}}}", fmt_value(*v));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"histogram\",\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\
+                     \"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                    h.count,
+                    h.mean() as u64,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max
+                );
+            }
+        }
+    }
+    out.push_str("}}");
     out
 }
 
@@ -175,6 +229,19 @@ mod tests {
         assert!(lines[1].contains("max=500.00us"));
         assert!(lines[2].contains("counter"));
         assert!(lines[3].contains("gauge"));
+    }
+
+    #[test]
+    fn json_stats_single_timestamp() {
+        let json = json_stats(&sample_snapshot(), 1250.0);
+        assert!(json.starts_with("{\"t_ms\":1250.000,\"stats\":{"));
+        assert!(json.ends_with("}}"));
+        assert!(json.contains("\"net.tuples_in\":{\"type\":\"counter\",\"value\":42}"));
+        assert!(json.contains("\"scope.buffer.depth\":{\"type\":\"gauge\",\"value\":3}"));
+        assert!(json.contains("\"gel.tick.lateness_ns\":{\"type\":\"histogram\",\"count\":3,"));
+        assert!(json.contains("\"max_ns\":500000"));
+        // Exactly one timestamp in the whole document.
+        assert_eq!(json.matches("t_ms").count(), 1);
     }
 
     #[test]

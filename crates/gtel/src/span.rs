@@ -1,0 +1,608 @@
+//! gtrace core: causally linked span records in a sharded, fixed-slot,
+//! overwrite-on-full ring.
+//!
+//! The ring replaces the old `Mutex<VecDeque>` trace buffer. A writer
+//! claims a slot with one `fetch_add` on a global sequence counter and
+//! publishes the record under a per-slot seqlock (odd state = write in
+//! progress, even state = published). There is no queue shifting, no
+//! allocation, and — on the single-threaded event loop this mostly
+//! instruments — no contention at all. Multi-threaded writers land in
+//! per-thread shards so they never bounce the same cache lines.
+//!
+//! Records carry full causality: a span id, the parent span id taken
+//! from a thread-local stack ([`TraceCtx`]), the owning thread, and
+//! both begin and end timestamps (End records are self-contained, so a
+//! complete span survives even when its Begin record has been
+//! overwritten by ring wrap-around).
+
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Maximum tracked span nesting depth per thread. Deeper spans still
+/// record (parented to the deepest tracked span) but are not pushed.
+pub const MAX_SPAN_DEPTH: usize = 32;
+
+/// Marks span ids minted from the ring sequence counter
+/// ([`SpanRing::record_complete`]); guard span ids never set it, so
+/// the two id families cannot collide. Retroactive ids are never
+/// pushed on the span stack, so nothing ever parents to them — the id
+/// only labels the record itself.
+pub const SEQ_SPAN_BIT: u64 = 1 << 63;
+
+/// Process-wide monotonic nanoseconds (first call defines zero).
+pub fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now()
+        .saturating_duration_since(epoch)
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64
+}
+
+/// Nanoseconds on the same epoch as [`monotonic_ns`], read from the
+/// cheapest clock available (calibrated TSC on x86_64, ~5ns instead of
+/// ~20ns for `Instant::now`). Span timestamps use this; durations are
+/// always computed with saturating subtraction, so the worst a clock
+/// quirk can produce is a zero-length span.
+pub fn fast_now_ns() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        tsc::now_ns()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        monotonic_ns()
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod tsc {
+    use std::sync::OnceLock;
+    use std::time::{Duration, Instant};
+
+    struct Calib {
+        base_tsc: u64,
+        base_ns: u64,
+        /// ns-per-cycle in 24-bit fixed point.
+        mult: u64,
+    }
+
+    #[inline]
+    fn rdtsc() -> u64 {
+        // Safe on every x86_64 CPU; the intrinsic is only `unsafe`
+        // because it is an arch intrinsic.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    fn calibrate() -> Option<Calib> {
+        let t0 = Instant::now();
+        let c0 = rdtsc();
+        while t0.elapsed() < Duration::from_micros(200) {
+            std::hint::spin_loop();
+        }
+        let elapsed = t0.elapsed();
+        let c1 = rdtsc();
+        let cycles = c1.saturating_sub(c0) as u128;
+        if cycles == 0 {
+            return None;
+        }
+        let mult = ((elapsed.as_nanos()) << 24) / cycles;
+        if mult == 0 || mult > u128::from(u32::MAX) {
+            // Non-invariant or absurd TSC: fall back to Instant.
+            return None;
+        }
+        Some(Calib {
+            base_tsc: c1,
+            base_ns: super::monotonic_ns(),
+            mult: mult as u64,
+        })
+    }
+
+    pub fn now_ns() -> u64 {
+        static CAL: OnceLock<Option<Calib>> = OnceLock::new();
+        match CAL.get_or_init(calibrate) {
+            Some(c) => {
+                let d = rdtsc().saturating_sub(c.base_tsc) as u128;
+                c.base_ns + ((d * u128::from(c.mult)) >> 24) as u64
+            }
+            None => super::monotonic_ns(),
+        }
+    }
+}
+
+/// What a [`SpanRecord`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A span opened (`t_ns == begin_ns`).
+    Begin,
+    /// A span closed; carries `begin_ns` too, so it alone reconstructs
+    /// the complete span.
+    End,
+    /// A point event; `arg` holds an `f64` payload as bits.
+    Instant,
+}
+
+/// One fixed-size record in the span ring.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRecord {
+    /// Global claim order; also the retention/overwrite order.
+    pub seq: u64,
+    /// Record timestamp: begin time for Begin, end time for End.
+    pub t_ns: u64,
+    /// Span begin time (equals `t_ns` for Begin and Instant).
+    pub begin_ns: u64,
+    /// Span id (`0` for Instant events outside any span).
+    pub span: u64,
+    /// Parent span id (`0` = root).
+    pub parent: u64,
+    /// One caller payload word (tick number, byte count, `f64` bits …).
+    pub arg: u64,
+    /// Static label, e.g. `"scope.tick"`.
+    pub label: &'static str,
+    pub kind: SpanKind,
+    /// Small dense id of the recording thread.
+    pub tid: u32,
+}
+
+impl SpanRecord {
+    /// Span duration; zero for Begin/Instant records.
+    pub fn duration_ns(&self) -> u64 {
+        self.t_ns.saturating_sub(self.begin_ns)
+    }
+
+    /// Legacy event payload: an Instant's `f64`, else the duration.
+    pub fn value(&self) -> f64 {
+        match self.kind {
+            SpanKind::Instant => f64::from_bits(self.arg),
+            _ => self.duration_ns() as f64,
+        }
+    }
+}
+
+const EMPTY: SpanRecord = SpanRecord {
+    seq: 0,
+    t_ns: 0,
+    begin_ns: 0,
+    span: 0,
+    parent: 0,
+    arg: 0,
+    label: "",
+    kind: SpanKind::Instant,
+    tid: 0,
+};
+
+/// Slot states: `0` = never written, odd = write in progress,
+/// `seq * 2 + 2` = published record claimed at `seq`.
+struct Slot {
+    state: AtomicU64,
+    data: std::cell::UnsafeCell<SpanRecord>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU64::new(0),
+            data: std::cell::UnsafeCell::new(EMPTY),
+        }
+    }
+}
+
+struct Shard {
+    slots: Box<[Slot]>,
+}
+
+/// Sharded fixed-slot ring of [`SpanRecord`]s.
+///
+/// Writers never block and never allocate: one global `fetch_add`
+/// claims a sequence number, the slot `seq % shard_capacity` inside
+/// the writer thread's shard is overwritten under a per-slot seqlock.
+/// Readers snapshot without stopping writers; a record caught
+/// mid-overwrite is simply skipped (it is by definition one of the
+/// oldest and about to be dropped anyway).
+///
+/// With one shard the ring retains exactly the newest `capacity`
+/// records — the same contract as the old `VecDeque` ring, minus the
+/// mutex. With `n` shards retention is per-shard (newest per thread
+/// group), which trades exactness for zero cross-thread sharing.
+pub struct SpanRing {
+    shards: Box<[Shard]>,
+    shard_cap: usize,
+    /// `shards.len() - 1`; the shard count is always a power of two,
+    /// so shard selection is one `and` on the record hot path.
+    shard_mask: usize,
+    /// `shard_cap - 1` when that is a power of two (slot capacity
+    /// stays exact for legacy retention, so it may not be).
+    slot_mask: Option<u64>,
+    seq: AtomicU64,
+    /// Published records wiped by `clear()` (drop accounting).
+    cleared: AtomicU64,
+}
+
+// The UnsafeCell is only ever accessed under the slot seqlock.
+unsafe impl Sync for SpanRing {}
+unsafe impl Send for SpanRing {}
+
+impl SpanRing {
+    /// Ring with `shards * shard_capacity >= capacity` slots; shard
+    /// count is 1 below 4096 slots (exact legacy retention), else 8.
+    pub fn new(capacity: usize) -> Self {
+        let shards = if capacity >= 4096 { 8 } else { 1 };
+        SpanRing::with_shards(capacity, shards)
+    }
+
+    /// Ring with an explicit shard count. The shard count rounds up to
+    /// a power of two (so shard selection is a mask) and capacity
+    /// rounds up to a multiple of it.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "span ring needs capacity > 0");
+        assert!(shards > 0, "span ring needs at least one shard");
+        let shards = shards.next_power_of_two();
+        let shard_cap = capacity.div_ceil(shards);
+        let shards: Box<[Shard]> = (0..shards)
+            .map(|_| Shard {
+                slots: (0..shard_cap).map(|_| Slot::new()).collect(),
+            })
+            .collect();
+        SpanRing {
+            shard_mask: shards.len() - 1,
+            slot_mask: shard_cap.is_power_of_two().then(|| shard_cap as u64 - 1),
+            shards,
+            shard_cap,
+            seq: AtomicU64::new(0),
+            cleared: AtomicU64::new(0),
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * self.shards.len()
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records ever claimed.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to overwrite or `clear()`. Exact whenever no write
+    /// is in flight (momentarily pessimistic otherwise).
+    pub fn dropped(&self) -> u64 {
+        let retained = self.count_valid() as u64;
+        self.recorded()
+            .saturating_sub(self.cleared.load(Ordering::Relaxed))
+            .saturating_sub(retained)
+    }
+
+    fn count_valid(&self) -> usize {
+        let mut n = 0;
+        for shard in self.shards.iter() {
+            for slot in shard.slots.iter() {
+                let s = slot.state.load(Ordering::Acquire);
+                if s != 0 && s & 1 == 0 {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Publishes `rec` (its `seq` field is ignored; the claimed seq is
+    /// restored on snapshot) and returns the claimed sequence number.
+    #[inline(always)]
+    pub fn record(&self, rec: SpanRecord) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.publish(rec, seq);
+        seq
+    }
+
+    /// Publishes an already-closed span, minting its span id from the
+    /// claimed sequence number instead of the thread-local counter —
+    /// the uniqueness the `fetch_add` already paid for. The top bit
+    /// keeps these ids disjoint from `(tid << 40) | counter` guard
+    /// ids. Returns the span id.
+    #[inline(always)]
+    pub fn record_complete(&self, mut rec: SpanRecord) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let span = seq | SEQ_SPAN_BIT;
+        rec.span = span;
+        self.publish(rec, seq);
+        span
+    }
+
+    #[inline(always)]
+    fn publish(&self, rec: SpanRecord, seq: u64) {
+        let sidx = rec.tid as usize & self.shard_mask;
+        let lidx = match self.slot_mask {
+            Some(m) => (seq & m) as usize,
+            None => (seq % self.shard_cap as u64) as usize,
+        };
+        // In range by construction: masked (mask = len-1, power of
+        // two) or reduced mod the length.
+        let slot = unsafe { self.shards.get_unchecked(sidx).slots.get_unchecked(lidx) };
+        // Seqlock write: mark in-progress (odd), publish data, mark
+        // published (even, encoding the claiming seq). The seq is NOT
+        // stored in the data — the published state word carries it, so
+        // the record costs one store less and readers derive it back.
+        slot.state.store(seq.wrapping_mul(2) + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        unsafe {
+            let d = slot.data.get();
+            (*d).t_ns = rec.t_ns;
+            (*d).begin_ns = rec.begin_ns;
+            (*d).span = rec.span;
+            (*d).parent = rec.parent;
+            (*d).arg = rec.arg;
+            (*d).label = rec.label;
+            (*d).kind = rec.kind;
+            (*d).tid = rec.tid;
+        }
+        slot.state.store(seq.wrapping_mul(2) + 2, Ordering::Release);
+    }
+
+    /// Copies out every readable record, ordered by claim sequence.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.capacity());
+        for shard in self.shards.iter() {
+            for slot in shard.slots.iter() {
+                let s1 = slot.state.load(Ordering::Acquire);
+                if s1 == 0 || s1 & 1 == 1 {
+                    continue;
+                }
+                let mut rec = unsafe { std::ptr::read_volatile(slot.data.get()) };
+                fence(Ordering::Acquire);
+                let s2 = slot.state.load(Ordering::Relaxed);
+                if s1 == s2 {
+                    // state == seq * 2 + 2; recover the claim seq the
+                    // writer did not spend a store on.
+                    rec.seq = s1 / 2 - 1;
+                    out.push(rec);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|r| r.seq);
+        out
+    }
+
+    /// Wipes all published records, keeping drop accounting exact.
+    pub fn clear(&self) {
+        let mut wiped = 0u64;
+        for shard in self.shards.iter() {
+            for slot in shard.slots.iter() {
+                let prev = slot.state.swap(0, Ordering::AcqRel);
+                if prev != 0 && prev & 1 == 0 {
+                    wiped += 1;
+                }
+            }
+        }
+        self.cleared.fetch_add(wiped, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// Plain `Cell`s with a const initializer: the fast ELF TLS path, no
+/// lazy-init branch or `RefCell` borrow flags on the record hot path.
+/// The thread id is the one lazily assigned field (`0` = not yet;
+/// real ids start at 1).
+struct ThreadCtx {
+    tid: Cell<u32>,
+    /// The last allocated span id, `tid << 40 | counter` — one cell
+    /// carries both halves, so the hot path is a get/add/set.
+    last_id: Cell<u64>,
+    /// Logical nesting depth (may exceed `MAX_SPAN_DEPTH`).
+    depth: Cell<usize>,
+    /// Id of the innermost *tracked* open span (`0` = none), kept in
+    /// sync by push/pop so the record hot path reads the parent with
+    /// one load instead of a clamped stack index.
+    current: Cell<u64>,
+    stack: [Cell<u64>; MAX_SPAN_DEPTH],
+}
+
+impl ThreadCtx {
+    #[inline]
+    fn tid(&self) -> u32 {
+        match self.tid.get() {
+            0 => {
+                let t = next_tid();
+                self.tid.set(t);
+                t
+            }
+            t => t,
+        }
+    }
+
+    #[inline]
+    fn parent(&self) -> u64 {
+        self.current.get()
+    }
+
+    #[inline]
+    fn next_span_id(&self) -> u64 {
+        let n = self.last_id.get();
+        let id = if n == 0 {
+            (u64::from(self.tid()) << 40) | 1
+        } else {
+            n + 1
+        };
+        self.last_id.set(id);
+        id
+    }
+}
+
+thread_local! {
+    static CTX: ThreadCtx = const {
+        ThreadCtx {
+            tid: Cell::new(0),
+            last_id: Cell::new(0),
+            depth: Cell::new(0),
+            current: Cell::new(0),
+            stack: [const { Cell::new(0) }; MAX_SPAN_DEPTH],
+        }
+    };
+}
+
+fn next_tid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Thread-local span context: a fixed-array span stack giving every
+/// record its parent without allocation or synchronization.
+///
+/// Span ids are `(tid << 40) | thread_local_counter`, so they are
+/// unique process-wide without touching shared state per span.
+pub struct TraceCtx;
+
+impl TraceCtx {
+    /// Small dense id of the calling thread (stable for its lifetime).
+    pub fn thread_id() -> u32 {
+        CTX.with(|c| c.tid())
+    }
+
+    /// Id of the innermost open span on this thread (`0` if none).
+    pub fn current_span() -> u64 {
+        CTX.with(|c| c.parent())
+    }
+
+    /// Current nesting depth on this thread.
+    pub fn depth() -> usize {
+        CTX.with(|c| c.depth.get())
+    }
+
+    /// Allocates a fresh span id without opening a span (for spans
+    /// recorded retroactively, already closed).
+    pub fn alloc_span_id() -> u64 {
+        CTX.with(|c| c.next_span_id())
+    }
+
+    /// Reads the current parent and thread id in a single thread-local
+    /// access — the retroactive-record hot path, where the span id
+    /// comes from the ring sequence ([`SpanRing::record_complete`]) and
+    /// two separate accessors would double the TLS cost.
+    #[inline(always)]
+    pub(crate) fn parent_tid() -> (u64, u32) {
+        CTX.with(|c| (c.parent(), c.tid()))
+    }
+
+    /// Opens a span: returns `(span_id, parent_id, tid)`.
+    pub(crate) fn push() -> (u64, u64, u32) {
+        CTX.with(|c| {
+            let parent = c.parent();
+            let id = c.next_span_id();
+            let d = c.depth.get();
+            if d < MAX_SPAN_DEPTH {
+                c.stack[d].set(id);
+                c.current.set(id);
+            }
+            c.depth.set(d + 1);
+            (id, parent, (id >> 40) as u32)
+        })
+    }
+
+    /// Closes the innermost span.
+    pub(crate) fn pop() {
+        CTX.with(|c| {
+            let d = c.depth.get().saturating_sub(1);
+            c.depth.set(d);
+            // `current` only tracks spans within the stack window;
+            // deeper (untracked) pops leave it at the deepest tracked
+            // span, matching push.
+            if d < MAX_SPAN_DEPTH {
+                c.current.set(if d == 0 { 0 } else { c.stack[d - 1].get() });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_retains_exactly_newest() {
+        let ring = SpanRing::with_shards(4, 1);
+        for i in 0..10u64 {
+            let mut rec = EMPTY;
+            rec.t_ns = i;
+            ring.record(rec);
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 6);
+        let snap = ring.snapshot();
+        let times: Vec<u64> = snap.iter().map(|r| r.t_ns).collect();
+        assert_eq!(times, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn clear_preserves_drop_accounting() {
+        let ring = SpanRing::with_shards(2, 1);
+        for _ in 0..3 {
+            ring.record(EMPTY);
+        }
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.recorded(), 3);
+        assert_eq!(ring.dropped(), 1);
+        ring.record(EMPTY);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_stacked() {
+        let (a, pa, _) = TraceCtx::push();
+        let (b, pb, _) = TraceCtx::push();
+        assert_ne!(a, b);
+        assert_eq!(pa, 0);
+        assert_eq!(pb, a);
+        assert_eq!(TraceCtx::current_span(), b);
+        TraceCtx::pop();
+        assert_eq!(TraceCtx::current_span(), a);
+        TraceCtx::pop();
+        assert_eq!(TraceCtx::current_span(), 0);
+    }
+
+    #[test]
+    fn depth_overflow_is_safe() {
+        for _ in 0..MAX_SPAN_DEPTH + 4 {
+            TraceCtx::push();
+        }
+        assert_eq!(TraceCtx::depth(), MAX_SPAN_DEPTH + 4);
+        // Deeper pushes parent to the deepest tracked span.
+        let top = TraceCtx::current_span();
+        let (_, parent, _) = TraceCtx::push();
+        assert_eq!(parent, top);
+        TraceCtx::pop();
+        for _ in 0..MAX_SPAN_DEPTH + 4 {
+            TraceCtx::pop();
+        }
+        assert_eq!(TraceCtx::depth(), 0);
+    }
+
+    #[test]
+    fn fast_clock_tracks_monotonic() {
+        let a = fast_now_ns();
+        let b = fast_now_ns();
+        assert!(b >= a);
+        // Same epoch family as monotonic_ns: within a generous bound.
+        let m = monotonic_ns();
+        let f = fast_now_ns();
+        let skew = m.abs_diff(f);
+        assert!(skew < 1_000_000_000, "fast clock skew {skew} ns");
+    }
+}

@@ -1,18 +1,27 @@
-//! The [`TraceLog`]: a bounded ring buffer of timestamped events and
-//! spans, cheap enough to leave enabled in release builds.
+//! The [`TraceLog`]: causally structured span tracing on a sharded,
+//! fixed-slot ring — cheap enough to leave enabled in release builds.
 //!
-//! Recording is one short mutex-protected `VecDeque` push (the mutex
-//! is uncontended in the single-threaded event loop this instrumentes;
-//! cross-thread users pay a few tens of nanoseconds). When the ring is
-//! full the oldest event is overwritten and a drop counter advances,
-//! so memory stays bounded no matter how long the process runs.
+//! Recording is one `fetch_add` to claim a slot plus a seqlock'd
+//! 80-byte store; there is no mutex and no queue shifting (the old
+//! `Mutex<VecDeque>` ring this replaces paid a lock plus a pop/push
+//! per event). Spans carry parent/child causality from a thread-local
+//! stack ([`TraceCtx`]), so one event-loop tick decomposes into its
+//! scope / render / net / store stages.
+//!
+//! The legacy point-event view ([`TraceLog::events`]) is preserved:
+//! span End records surface as one `TraceEvent` whose value is the
+//! duration and whose `t_ns` is the end time, exactly as before —
+//! but ordering by *start* time is now possible too, because End
+//! records carry `begin_ns` (the old `SpanGuard` recorded only the
+//! end timestamp, which made Chrome-trace export impossible).
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
 
-/// One recorded event.
+pub use crate::span::{fast_now_ns, monotonic_ns};
+use crate::span::{SpanKind, SpanRecord, SpanRing, TraceCtx};
+
+/// One recorded event (legacy flat view of the span ring).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Nanoseconds since the process-wide trace epoch.
@@ -24,116 +33,270 @@ pub struct TraceEvent {
     pub value: f64,
 }
 
-/// Process-wide monotonic nanoseconds (first call defines zero).
-pub fn monotonic_ns() -> u64 {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    let epoch = *EPOCH.get_or_init(Instant::now);
-    Instant::now()
-        .saturating_duration_since(epoch)
-        .as_nanos()
-        .min(u128::from(u64::MAX)) as u64
-}
-
-/// Bounded ring buffer of [`TraceEvent`]s.
-#[derive(Debug)]
+/// Bounded ring of span and point-event records.
 pub struct TraceLog {
-    ring: Mutex<VecDeque<TraceEvent>>,
-    capacity: usize,
-    recorded: AtomicU64,
-    dropped: AtomicU64,
+    ring: SpanRing,
 }
 
 impl TraceLog {
-    /// Creates a ring holding at most `capacity` events.
+    /// Creates a ring holding at most `capacity` records (one shard
+    /// below 4096 slots — exact newest-N retention — else eight).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace ring needs capacity > 0");
         TraceLog {
-            ring: Mutex::new(VecDeque::with_capacity(capacity)),
-            capacity,
-            recorded: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
+            ring: SpanRing::new(capacity),
         }
     }
 
-    /// Maximum number of retained events.
+    /// Creates a ring with an explicit shard count.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        TraceLog {
+            ring: SpanRing::with_shards(capacity, shards),
+        }
+    }
+
+    /// Maximum number of retained records.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.ring.capacity()
     }
 
-    /// Total events ever recorded.
+    /// Total records ever recorded.
     pub fn recorded(&self) -> u64 {
-        self.recorded.load(Ordering::Relaxed)
+        self.ring.recorded()
     }
 
-    /// Events overwritten because the ring was full.
+    /// Records overwritten (ring full) or wiped by [`clear`](Self::clear).
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.ring.dropped()
     }
 
-    /// Records a point event stamped with [`monotonic_ns`].
+    /// Records a point event stamped with [`fast_now_ns`].
     pub fn event(&self, label: &'static str, value: f64) {
-        self.event_at(monotonic_ns(), label, value);
+        self.event_at(fast_now_ns(), label, value);
     }
 
     /// Records a point event with an explicit timestamp (virtual-clock
-    /// tests).
+    /// tests). The event is parented to the innermost open span.
     pub fn event_at(&self, t_ns: u64, label: &'static str, value: f64) {
-        let mut ring = self.ring.lock().expect("trace lock");
-        if ring.len() == self.capacity {
-            ring.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-        }
-        ring.push_back(TraceEvent { t_ns, label, value });
-        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.ring.record(SpanRecord {
+            seq: 0,
+            t_ns,
+            begin_ns: t_ns,
+            span: 0,
+            parent: TraceCtx::current_span(),
+            arg: value.to_bits(),
+            label,
+            kind: SpanKind::Instant,
+            tid: TraceCtx::thread_id(),
+        });
     }
 
-    /// Starts a span; its wall-clock duration in nanoseconds is
-    /// recorded as the event value when the guard drops.
+    /// Starts a span; begin and end records bracket the guard's
+    /// lifetime and nested spans become its children.
     pub fn span(self: &Arc<Self>, label: &'static str) -> SpanGuard {
+        self.span_with(label, 0)
+    }
+
+    /// Starts a span carrying one payload word (tick number, byte
+    /// count, …).
+    pub fn span_with(self: &Arc<Self>, label: &'static str, arg: u64) -> SpanGuard {
+        let (span, parent, tid) = TraceCtx::push();
+        let begin_ns = fast_now_ns();
+        self.ring.record(SpanRecord {
+            seq: 0,
+            t_ns: begin_ns,
+            begin_ns,
+            span,
+            parent,
+            arg,
+            label,
+            kind: SpanKind::Begin,
+            tid,
+        });
         SpanGuard {
             log: Arc::clone(self),
             label,
-            start_ns: monotonic_ns(),
+            arg,
+            span,
+            parent,
+            tid,
+            begin_ns,
         }
     }
 
-    /// Copies out the retained events, oldest first.
+    /// Records an already-closed span with explicit timestamps; the
+    /// span is parented to the innermost open span. Returns its id.
+    #[inline(always)]
+    pub fn record_span_at(&self, label: &'static str, arg: u64, begin_ns: u64, end_ns: u64) -> u64 {
+        let (parent, tid) = TraceCtx::parent_tid();
+        self.ring.record_complete(SpanRecord {
+            seq: 0,
+            t_ns: end_ns.max(begin_ns),
+            begin_ns,
+            span: 0,
+            parent,
+            arg,
+            label,
+            kind: SpanKind::End,
+            tid,
+        })
+    }
+
+    /// Copies out the raw span records, claim order (oldest first).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.ring.snapshot()
+    }
+
+    /// Raw records with `seq >= since` (incremental consumers).
+    pub fn records_since(&self, since: u64) -> Vec<SpanRecord> {
+        let mut recs = self.ring.snapshot();
+        recs.retain(|r| r.seq >= since);
+        recs
+    }
+
+    /// Copies out the retained events, oldest first (legacy view:
+    /// Begin records are hidden, End records carry the duration).
     pub fn events(&self) -> Vec<TraceEvent> {
         self.ring
-            .lock()
-            .expect("trace lock")
+            .snapshot()
             .iter()
-            .copied()
+            .filter(|r| r.kind != SpanKind::Begin)
+            .map(|r| TraceEvent {
+                t_ns: r.t_ns,
+                label: r.label,
+                value: r.value(),
+            })
             .collect()
     }
 
     /// Copies out the newest `n` retained events, oldest first.
     pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
-        let ring = self.ring.lock().expect("trace lock");
-        let skip = ring.len().saturating_sub(n);
-        ring.iter().skip(skip).copied().collect()
+        let events = self.events();
+        let skip = events.len().saturating_sub(n);
+        events[skip..].to_vec()
     }
 
-    /// Discards all retained events (counters are preserved).
+    /// Discards all retained records (counters are preserved).
     pub fn clear(&self) {
-        self.ring.lock().expect("trace lock").clear();
+        self.ring.clear();
     }
 }
 
-/// Records a span's duration into its [`TraceLog`] on drop.
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Open span: records Begin at creation, End (with duration) on drop.
 #[derive(Debug)]
 pub struct SpanGuard {
     log: Arc<TraceLog>,
     label: &'static str,
-    start_ns: u64,
+    arg: u64,
+    span: u64,
+    parent: u64,
+    tid: u32,
+    begin_ns: u64,
+}
+
+impl SpanGuard {
+    /// This span's id (usable as a parent reference).
+    pub fn id(&self) -> u64 {
+        self.span
+    }
+
+    /// Replaces the payload word recorded with the End record.
+    pub fn set_arg(&mut self, arg: u64) {
+        self.arg = arg;
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let end = monotonic_ns();
-        self.log
-            .event_at(end, self.label, end.saturating_sub(self.start_ns) as f64);
+        let end = fast_now_ns();
+        TraceCtx::pop();
+        self.log.ring.record(SpanRecord {
+            seq: 0,
+            t_ns: end.max(self.begin_ns),
+            begin_ns: self.begin_ns,
+            span: self.span,
+            parent: self.parent,
+            arg: self.arg,
+            label: self.label,
+            kind: SpanKind::End,
+            tid: self.tid,
+        });
     }
+}
+
+/// Slots in the process-wide tracer (8 shards x 4096).
+const GLOBAL_CAPACITY: usize = 32_768;
+
+static GLOBAL: OnceLock<Arc<TraceLog>> = OnceLock::new();
+
+thread_local! {
+    static OVERRIDE: RefCell<Option<Arc<TraceLog>>> = const { RefCell::new(None) };
+}
+
+/// The tracer instrumented code records into: this thread's override
+/// if one is installed (tests, `gtool trace`), else the process-wide
+/// log.
+pub fn tracer() -> Arc<TraceLog> {
+    if let Some(t) = OVERRIDE.with(|o| o.borrow().clone()) {
+        return t;
+    }
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(TraceLog::with_shards(GLOBAL_CAPACITY, 8))))
+}
+
+/// Installs (or with `None` removes) this thread's tracer override,
+/// returning the previous one.
+pub fn set_thread_tracer(tracer: Option<Arc<TraceLog>>) -> Option<Arc<TraceLog>> {
+    OVERRIDE.with(|o| std::mem::replace(&mut *o.borrow_mut(), tracer))
+}
+
+/// Scoped tracer override: restores the previous tracer on drop.
+#[derive(Debug)]
+pub struct ThreadTracerGuard {
+    prev: Option<Option<Arc<TraceLog>>>,
+}
+
+impl Drop for ThreadTracerGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            set_thread_tracer(prev);
+        }
+    }
+}
+
+/// Routes this thread's spans into `log` until the guard drops.
+pub fn with_thread_tracer(log: Arc<TraceLog>) -> ThreadTracerGuard {
+    ThreadTracerGuard {
+        prev: Some(set_thread_tracer(Some(log))),
+    }
+}
+
+/// Opens a span on the current tracer (see [`tracer`]).
+#[inline]
+pub fn span(label: &'static str, arg: u64) -> SpanGuard {
+    tracer().span_with(label, arg)
+}
+
+/// Records a point event on the current tracer.
+#[inline]
+pub fn instant(label: &'static str, value: f64) {
+    tracer().event(label, value);
+}
+
+/// Records a span that already ran (`begin_ns` from [`fast_now_ns`])
+/// on the current tracer; for call sites that only know *after* the
+/// work whether it is worth a span. Returns the span id.
+#[inline]
+pub fn complete_span(label: &'static str, arg: u64, begin_ns: u64) -> u64 {
+    tracer().record_span_at(label, arg, begin_ns, fast_now_ns())
 }
 
 #[cfg(test)]
@@ -185,6 +348,49 @@ mod tests {
     }
 
     #[test]
+    fn span_records_begin_and_end() {
+        let log = Arc::new(TraceLog::new(8));
+        {
+            let _guard = log.span_with("work", 7);
+        }
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, SpanKind::Begin);
+        assert_eq!(records[1].kind, SpanKind::End);
+        assert_eq!(records[0].span, records[1].span);
+        assert_eq!(records[1].begin_ns, records[0].t_ns);
+        assert!(records[1].t_ns >= records[1].begin_ns);
+        assert_eq!(records[1].arg, 7);
+    }
+
+    #[test]
+    fn spans_nest_causally() {
+        let log = Arc::new(TraceLog::new(16));
+        {
+            let outer = log.span("outer");
+            let outer_id = outer.id();
+            {
+                let inner = log.span("inner");
+                assert_ne!(inner.id(), outer_id);
+            }
+            log.event("point", 1.0);
+        }
+        let records = log.records();
+        let outer_end = records
+            .iter()
+            .find(|r| r.label == "outer" && r.kind == SpanKind::End)
+            .unwrap();
+        let inner_end = records
+            .iter()
+            .find(|r| r.label == "inner" && r.kind == SpanKind::End)
+            .unwrap();
+        let point = records.iter().find(|r| r.label == "point").unwrap();
+        assert_eq!(outer_end.parent, 0);
+        assert_eq!(inner_end.parent, outer_end.span);
+        assert_eq!(point.parent, outer_end.span);
+    }
+
+    #[test]
     fn clear_keeps_counters() {
         let log = TraceLog::new(2);
         log.event_at(0, "a", 0.0);
@@ -201,5 +407,32 @@ mod tests {
         let a = monotonic_ns();
         let b = monotonic_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn thread_tracer_override_isolates() {
+        let log = Arc::new(TraceLog::new(32));
+        {
+            let _t = with_thread_tracer(Arc::clone(&log));
+            let _s = span("isolated", 1);
+        }
+        assert_eq!(log.records().len(), 2);
+        // Restored: new spans go elsewhere.
+        {
+            let _s = span("global", 1);
+        }
+        assert_eq!(log.records().len(), 2);
+    }
+
+    #[test]
+    fn record_span_at_is_self_contained() {
+        let log = TraceLog::new(8);
+        let id = log.record_span_at("late", 42, 100, 350);
+        let records = log.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].span, id);
+        assert_eq!(records[0].kind, SpanKind::End);
+        assert_eq!(records[0].duration_ns(), 250);
+        assert_eq!(records[0].arg, 42);
     }
 }

@@ -406,15 +406,22 @@ pub fn gen(args: &Args) -> CmdResult {
     Ok(format!("wrote {n} tuples of {name} to {out}"))
 }
 
-/// `stats <file> [--period MS] [--width N] [--format table|prometheus|tuples]`
-/// — replay a recording through an instrumented scope and print the
-/// resulting gtel snapshot: the tool's own §4.5-style microbenchmark.
+/// `stats <file> [--period MS] [--width N] [--json]
+/// [--format table|prometheus|tuples|json]` — replay a recording
+/// through an instrumented scope and print the resulting gtel
+/// snapshot: the tool's own §4.5-style microbenchmark. The JSON form
+/// stamps the whole snapshot with one timestamp (the recording's end),
+/// so consumers never see per-metric clock skew.
 pub fn stats(args: &Args) -> CmdResult {
-    args.check_known(&["period", "width", "format"])?;
+    args.check_known(&["period", "width", "format", "json"])?;
     let path = args.positional(0, "file")?;
     let period_ms: u64 = args.get_or("period", 50)?;
     let width: usize = args.get_or("width", 400)?;
-    let format = args.get("format").unwrap_or("table");
+    let format = if args.has("json") {
+        "json"
+    } else {
+        args.get("format").unwrap_or("table")
+    };
     let tuples = load_tuples(path)?;
     let end_ms = tuples.last().map(|t| t.time.as_millis_f64()).unwrap_or(0.0);
     let registry = Registry::shared();
@@ -436,7 +443,8 @@ pub fn stats(args: &Args) -> CmdResult {
             out.push('\n');
             Ok(out)
         }
-        other => Err(format!("unknown --format {other:?} (table|prometheus|tuples)").into()),
+        "json" => Ok(gtel::json_stats(&snapshot, end_ms)),
+        other => Err(format!("unknown --format {other:?} (table|prometheus|tuples|json)").into()),
     }
 }
 
@@ -790,6 +798,8 @@ pub fn run(cmd: &str, args: &Args) -> CmdResult {
         "stream" => stream(args),
         "serve" => serve(args),
         "stats" => stats(args),
+        "trace" => crate::tracecmd::trace(args),
+        "health" => crate::tracecmd::health(args),
         "spectrum" => spectrum(args),
         "stack" => stack(args),
         "mxtraf" => mxtraf(args),
@@ -813,7 +823,15 @@ USAGE:
   gscope-tool stream <file> <host:port> [--speed X] [--telemetry]
   gscope-tool serve <bind-addr> [--duration-ms D] [--delay MS] [--period MS] [--out img]
                     [--snapshot-every-ms N]
-  gscope-tool stats <file> [--period MS] [--width N] [--format table|prometheus|tuples]
+  gscope-tool stats <file> [--period MS] [--width N] [--json]
+                    [--format table|prometheus|tuples|json]
+  gscope-tool trace record [--out trace.json] [--ticks N] [--period MS] [--signals N]
+                    [--budget-us N] [--window N] [--allow N] [--flight-dir <dir>]
+                    [--max-bundles N] [--slow-tick N] [--slow-us U] [--no-net]
+  gscope-tool trace export|tree [<bundle-dir>] [run flags]
+  gscope-tool trace slowest [--top N] [run flags]
+  gscope-tool health [--budget-us N] [--window N] [--allow N] [run flags]
+                    (exit code 1 when the deadline SLO window is breached)
   gscope-tool spectrum <file> [--signal NAME] [--size N] [--period MS]
   gscope-tool stack <a.ppm> <b.ppm> [...] --out <img.ppm> [--gap N]
   gscope-tool mxtraf [--flows N] [--seconds S] [--ecn] [--sack] [--loss P]
@@ -828,7 +846,7 @@ mod tests {
     fn args(s: &str) -> Args {
         Args::parse(
             s.split_whitespace().map(str::to_owned),
-            &["svg", "ecn", "sack", "telemetry", "fsync"],
+            crate::BOOLEAN_FLAGS,
         )
         .unwrap()
     }

@@ -18,8 +18,14 @@
 
 mod args;
 mod commands;
+mod tracecmd;
 
 pub use args::{ArgError, Args};
 pub use commands::{
     gen, info, mxtraf, run, serve, spectrum, stack, stats, stream, view, CmdResult, USAGE,
 };
+pub use tracecmd::{health, trace};
+
+/// Flags that take no value, shared by the binary and the test
+/// harness so the two parse identically.
+pub const BOOLEAN_FLAGS: &[&str] = &["svg", "ecn", "sack", "telemetry", "fsync", "json", "no-net"];

@@ -1,6 +1,6 @@
 //! Binary entry point for `gscope-tool`.
 
-use gtool::{run, Args, USAGE};
+use gtool::{run, Args, BOOLEAN_FLAGS, USAGE};
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -12,7 +12,7 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    let args = match Args::parse(argv, &["svg", "ecn", "sack", "telemetry", "fsync"]) {
+    let args = match Args::parse(argv, BOOLEAN_FLAGS) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,283 @@
+//! Integration: gtrace end to end — the full pipeline (event loop,
+//! polled scope, renderer, loopback gnet link, gstore recorder) runs
+//! under a thread-local tracer with one tick forced slow; the exported
+//! Chrome trace must show that tick's root span with the stage spans
+//! correctly nested inside it, and a deadline breach must produce a
+//! decodable post-mortem bundle.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gel::{Continue, MainLoop, Priority, Quantizer, TimeDelta, TimeStamp, VirtualClock};
+use gnet::{attach_server, ScopeClient, ScopeServer};
+use gscope::{attach_scope, Scope, SigConfig, SigSource};
+use gstore::{read_bundle, FlightRecorder, Store, StoreConfig};
+use gtel::{chrome_trace_json, DeadlineMonitor, Registry, TraceLog};
+use parking_lot::Mutex;
+
+const PERIOD: TimeDelta = TimeDelta::from_millis(5);
+const TICKS: u64 = 20;
+/// Poll number (1-based) of the artificially slow tick.
+const SLOW_TICK: u64 = 6;
+const SLOW_US: u64 = 2_000;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("gtrace-it-{tag}-{}", std::process::id()))
+}
+
+struct PipelineRun {
+    log: Arc<TraceLog>,
+    monitor: Arc<Mutex<DeadlineMonitor>>,
+    bundle: Option<std::path::PathBuf>,
+}
+
+/// Runs the instrumented pipeline on a virtual clock. `tight_budget`
+/// clamps every stage budget to 1ns so each tick misses its deadline
+/// (span timestamps are wall-clock, so any real work overruns 1ns);
+/// `flight_dir` arms a flight recorder that triggers on the first miss.
+fn run_pipeline(tight_budget: bool, flight_dir: Option<&std::path::Path>) -> PipelineRun {
+    let log = Arc::new(TraceLog::with_shards(65_536, 1));
+    let _tracer = gtel::with_thread_tracer(Arc::clone(&log));
+    let registry = Registry::new();
+    let registry = Arc::new(registry);
+
+    let clock = VirtualClock::new();
+    let mut ml = MainLoop::with_quantizer(Arc::new(clock.clone()), Quantizer::exact());
+
+    let mut scope = Scope::new("traced", 120, 60, Arc::new(clock.clone()));
+    scope.set_telemetry(Arc::clone(&registry));
+    for i in 0..3usize {
+        let mut calls = 0u64;
+        let slow = i == 0;
+        scope
+            .add_signal(
+                format!("sig{i}"),
+                SigSource::func(move || {
+                    calls += 1;
+                    if slow && calls == SLOW_TICK {
+                        std::thread::sleep(Duration::from_micros(SLOW_US));
+                    }
+                    calls as f64
+                }),
+                SigConfig::default(),
+            )
+            .unwrap();
+    }
+    scope
+        .add_signal("net.sig", SigSource::Buffer, SigConfig::default())
+        .unwrap();
+    let store_dir = tmp("store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_cfg = StoreConfig {
+        block_bytes: 512,
+        block_frames: 8,
+        ..StoreConfig::default()
+    };
+    scope.start_recording_sink(Store::open(&store_dir, store_cfg).unwrap());
+    scope.set_polling_mode(PERIOD).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+
+    // Loopback link: High priority, so the bytes are readable when
+    // this iteration's I/O watch polls the server.
+    let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+    server.add_scope(Arc::clone(&scope));
+    let addr = server.local_addr().unwrap();
+    let server = Arc::new(Mutex::new(server));
+    let mut client = ScopeClient::connect(addr).unwrap();
+    let mut sent = 0u64;
+    ml.add_timeout_with_priority(
+        PERIOD,
+        Priority::High,
+        Box::new(move |tick| {
+            sent += 1;
+            client.send_parts(tick.now, sent as f64, Some("net.sig"));
+            let _ = client.pump();
+            Continue::Keep
+        }),
+    );
+    attach_server(&server, &mut ml);
+    attach_scope(&scope, &mut ml);
+
+    let frames = Arc::new(Mutex::new(grender::FrameCache::new()));
+    {
+        let scope = Arc::clone(&scope);
+        let frames = Arc::clone(&frames);
+        ml.add_timeout_with_priority(
+            PERIOD,
+            Priority::Low,
+            Box::new(move |_| {
+                frames.lock().render(&scope.lock());
+                Continue::Keep
+            }),
+        );
+    }
+
+    let period_ns = PERIOD.as_micros() * 1_000;
+    let mut monitor = DeadlineMonitor::for_period(&registry, period_ns, 16);
+    if tight_budget {
+        monitor.scale_budgets(1, period_ns); // everything -> 1ns
+    }
+    let monitor = Arc::new(Mutex::new(monitor));
+    let flight = flight_dir.map(|d| {
+        let _ = std::fs::remove_dir_all(d);
+        Arc::new(Mutex::new(FlightRecorder::new(d, 4)))
+    });
+    let bundle: Arc<Mutex<Option<std::path::PathBuf>>> = Arc::new(Mutex::new(None));
+    {
+        let monitor = Arc::clone(&monitor);
+        let flight = flight.clone();
+        let bundle = Arc::clone(&bundle);
+        let log = Arc::clone(&log);
+        let registry = Arc::clone(&registry);
+        ml.add_timeout_with_priority(
+            PERIOD,
+            Priority::Low,
+            Box::new(move |tick| {
+                let misses = monitor.lock().scan(&log);
+                if let Some(flight) = &flight {
+                    let mut flight = flight.lock();
+                    flight.note_stats(tick.now, &registry);
+                    if let Some(miss) = misses.first() {
+                        if let Ok(Some(info)) =
+                            flight.trigger(&format!("deadline miss: {}", miss.label), &log)
+                        {
+                            bundle.lock().get_or_insert(info.path);
+                        }
+                    }
+                }
+                Continue::Keep
+            }),
+        );
+    }
+
+    ml.run_until(TimeStamp::ZERO + PERIOD.saturating_mul(TICKS + 1));
+    drop(ml);
+    monitor.lock().scan(&log);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let bundle = bundle.lock().take();
+    PipelineRun {
+        log,
+        monitor,
+        bundle,
+    }
+}
+
+/// One `"ph":"X"` event pulled back out of the trace JSON.
+#[derive(Debug, Clone, PartialEq)]
+struct Ev {
+    name: String,
+    ts: f64,
+    dur: f64,
+    span: u64,
+    parent: u64,
+}
+
+/// Minimal parser for the exporter's own stable output shape (objects
+/// are flat, strings never contain `}`s we care about).
+fn parse_events(json: &str) -> Vec<Ev> {
+    let mut out = Vec::new();
+    for obj in json.split("{\"name\":\"").skip(1) {
+        let name = obj.split('"').next().unwrap().to_owned();
+        if !obj.contains("\"ph\":\"X\"") {
+            continue;
+        }
+        let num = |key: &str| -> f64 {
+            obj.split(key)
+                .nth(1)
+                .and_then(|rest| {
+                    rest.split(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                        .next()
+                })
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("field {key} missing in {obj}"))
+        };
+        out.push(Ev {
+            name,
+            ts: num("\"ts\":"),
+            dur: num("\"dur\":"),
+            span: num("\"span\":") as u64,
+            parent: num("\"parent\":") as u64,
+        });
+    }
+    out
+}
+
+#[test]
+fn slow_tick_root_span_contains_nested_stage_spans() {
+    let run = run_pipeline(false, None);
+    let json = chrome_trace_json(&run.log.records());
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    let events = parse_events(&json);
+
+    // The forced-slow tick dominates: its root iteration span carries
+    // the 2ms signal poll.
+    let root = events
+        .iter()
+        .filter(|e| e.name == "gel.iteration")
+        .max_by(|a, b| a.dur.partial_cmp(&b.dur).unwrap())
+        .expect("root spans present");
+    assert!(
+        root.dur >= SLOW_US as f64,
+        "slow tick not visible in root span: {root:?}"
+    );
+
+    // At least 3 distinct stage spans nested directly under that root,
+    // with timestamp containment (the Chrome UI's nesting rule).
+    let children: Vec<&Ev> = events.iter().filter(|e| e.parent == root.span).collect();
+    let mut names: Vec<&str> = children.iter().map(|e| e.name.as_str()).collect();
+    names.sort();
+    names.dedup();
+    assert!(
+        names.len() >= 3,
+        "want >=3 distinct child stages, got {names:?}"
+    );
+    for want in ["scope.tick", "render.frame", "net.server.poll"] {
+        assert!(names.contains(&want), "missing {want} in {names:?}");
+    }
+    let eps = 0.002; // µs rounding from the 3-decimal export
+    for c in &children {
+        assert!(
+            c.ts >= root.ts - eps && c.ts + c.dur <= root.ts + root.dur + eps,
+            "child {c:?} escapes root {root:?}"
+        );
+    }
+
+    // The recorder span nests one level deeper, under that tick's
+    // scope.tick span.
+    let tick = children
+        .iter()
+        .find(|e| e.name == "scope.tick")
+        .expect("checked above");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "scope.record" && e.parent == tick.span),
+        "scope.record not a child of scope.tick"
+    );
+    assert_eq!(run.log.dropped(), 0, "ring sized for the whole run");
+}
+
+#[test]
+fn deadline_breach_triggers_decodable_flight_bundle() {
+    let dir = tmp("flight");
+    let run = run_pipeline(true, Some(&dir));
+    let monitor = run.monitor.lock();
+    assert!(monitor.total_misses() > 0, "tight budget must miss");
+    assert!(monitor.breached(), "window must report the breach");
+
+    let bundle = run.bundle.expect("flight recorder triggered");
+    let summary = read_bundle(&bundle).expect("bundle decodes");
+    assert!(summary.meta.contains("deadline miss"));
+    assert!(summary.trace_json.contains("\"traceEvents\""));
+    assert!(summary.tree.contains("gel.iteration"));
+    assert!(summary.stats_tuples > 0, "stats snapshots ride along");
+
+    // The frozen trace decodes with the same parser the live one does,
+    // and still shows causal structure.
+    let events = parse_events(&summary.trace_json);
+    let root = events.iter().find(|e| e.name == "gel.iteration").unwrap();
+    assert!(events.iter().any(|e| e.parent == root.span));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
