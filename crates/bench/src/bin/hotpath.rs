@@ -532,7 +532,9 @@ fn bench_trace(cfg: &Cfg) -> Vec<Row> {
     // The ring's slot stores and the seq claim are side effects, so
     // no black_box is needed; the loop body is exactly one record
     // call, mirroring the baseline's one increment.
-    let log = Arc::new(TraceLog::with_shards(32_768, 8));
+    // Same shape as the process-wide tracer: two shards, with this
+    // (first-recording) thread on the exclusive RMW-free fast path.
+    let log = Arc::new(TraceLog::with_shards(32_768, 2));
     let (t0, t1) = (black_box(1_000u64), black_box(1_500u64));
     let record_ns = measure(cfg, iters, || {
         log.record_span_at("bench.span", 7, t0, t1);

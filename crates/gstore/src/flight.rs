@@ -17,8 +17,10 @@
 //!
 //! The bundle is built in a dot-prefixed temp directory and published
 //! with one `rename`, so a crash mid-write never leaves a bundle that
-//! half-parses. Bundle count is capped: a persistently-late loop
-//! produces a few bundles, not a full disk.
+//! half-parses. Numbering continues from the highest bundle already
+//! on disk, so a restarted process never overwrites the previous
+//! run's evidence. Bundle count is capped per run: a persistently
+//! late loop produces a few bundles, not a full disk.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -106,7 +108,11 @@ impl FlightRecorder {
             return Ok(None);
         }
         let records = log.records();
-        let name = format!("postmortem-{:04}", self.bundles);
+        // Number from the highest bundle already on disk, not the
+        // in-memory counter: a restarted process must never overwrite
+        // the previous run's post-mortem — that bundle is exactly the
+        // evidence for why the last run died.
+        let name = format!("postmortem-{:04}", next_bundle_index(&self.dir));
         let tmp = self.dir.join(format!(".tmp-{name}"));
         let finale = self.dir.join(&name);
         if tmp.exists() {
@@ -150,9 +156,6 @@ impl FlightRecorder {
         }
         store.close()?;
 
-        if finale.exists() {
-            std::fs::remove_dir_all(&finale).map_err(ScopeError::Io)?;
-        }
         std::fs::rename(&tmp, &finale).map_err(ScopeError::Io)?;
         self.bundles += 1;
         Ok(Some(BundleInfo {
@@ -161,6 +164,26 @@ impl FlightRecorder {
             snapshots: self.snapshots.len(),
         }))
     }
+}
+
+/// First free bundle number under `dir`: one past the highest
+/// existing `postmortem-NNNN`, 0 for a missing or empty directory.
+fn next_bundle_index(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix("postmortem-")?
+                .parse::<u64>()
+                .ok()
+        })
+        .map(|i| i + 1)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Writes one registry snapshot into `store` as tuples stamped `now`
@@ -303,6 +326,25 @@ mod tests {
         assert!(fr.trigger("first", &log).unwrap().is_some());
         assert!(fr.trigger("second", &log).unwrap().is_none());
         assert_eq!(fr.bundles(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn restart_preserves_previous_runs_bundles() {
+        let dir = tmp();
+        let log = demo_log();
+        let first = {
+            let mut fr = FlightRecorder::new(&dir, 2);
+            fr.trigger("first run", &log).unwrap().unwrap()
+        };
+        // A fresh recorder (process restart) numbers past the
+        // existing bundle instead of deleting it.
+        let mut fr = FlightRecorder::new(&dir, 2);
+        let second = fr.trigger("second run", &log).unwrap().unwrap();
+        assert!(first.path.ends_with("postmortem-0000"));
+        assert!(second.path.ends_with("postmortem-0001"));
+        let old = read_bundle(&first.path).unwrap();
+        assert!(old.meta.contains("reason: first run"));
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -10,7 +10,7 @@
 //! * [`Registry`] — a name → metric map handing out shared handles;
 //!   components resolve handles once and record lock-free thereafter.
 //! * [`TraceLog`] — causally structured span tracing (gtrace) on a
-//!   sharded fixed-slot ring: begin/end records with parent/child
+//!   fixed-slot ring: begin/end records with parent/child
 //!   links from a thread-local span stack, for after-the-fact
 //!   decomposition of one event-loop tick into its pipeline stages.
 //! * [`DeadlineMonitor`] — per-stage time budgets derived from the

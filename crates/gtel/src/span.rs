@@ -1,13 +1,18 @@
-//! gtrace core: causally linked span records in a sharded, fixed-slot,
+//! gtrace core: causally linked span records in a fixed-slot,
 //! overwrite-on-full ring.
 //!
 //! The ring replaces the old `Mutex<VecDeque>` trace buffer. A writer
-//! claims a slot with one `fetch_add` on a global sequence counter and
-//! publishes the record under a per-slot seqlock (odd state = write in
-//! progress, even state = published). There is no queue shifting, no
-//! allocation, and — on the single-threaded event loop this mostly
-//! instruments — no contention at all. Multi-threaded writers land in
-//! per-thread shards so they never bounce the same cache lines.
+//! claims a sequence number with one `fetch_add` on a global counter
+//! and publishes the record under a per-slot seqlock (odd state =
+//! write in progress, even state = published). Slots come from a
+//! dense per-shard claim counter; the first thread ids own their
+//! shards outright (single-writer seqlock, plain stores, no atomic
+//! RMW on the slot), while late threads share the last shard, whose
+//! slots are claimed and published with `compare_exchange` so two
+//! writers meeting on one slot can never interleave their stores.
+//! There is no queue shifting, no allocation, and — on the
+//! single-threaded event loop this mostly instruments — no
+//! contention at all.
 //!
 //! Records carry full causality: a span id, the parent span id taken
 //! from a thread-local stack ([`TraceCtx`]), the owning thread, and
@@ -190,30 +195,47 @@ impl Slot {
 }
 
 struct Shard {
+    /// Dense slot-claim counter: `claims % shard_cap` is the next
+    /// slot, so a shard fills every slot no matter how global claims
+    /// interleave across threads. Exclusively owned shards mutate it
+    /// with plain load/store (single writer); the shared shard uses
+    /// `fetch_add`.
+    claims: AtomicU64,
     slots: Box<[Slot]>,
 }
 
-/// Sharded fixed-slot ring of [`SpanRecord`]s.
+/// Fixed-slot ring of [`SpanRecord`]s, sharded by writer thread.
 ///
-/// Writers never block and never allocate: one global `fetch_add`
-/// claims a sequence number, the slot `seq % shard_capacity` inside
-/// the writer thread's shard is overwritten under a per-slot seqlock.
+/// Writers never block and never allocate. A record claims a global
+/// sequence number with one `fetch_add` (snapshot order and drop
+/// accounting), then a slot inside the writer's shard from the
+/// shard's dense claim counter. The first `shards - 1` thread ids
+/// each own one shard *exclusively*: a single-writer seqlock needs no
+/// atomic read-modify-write on the slot, so the record hot path stays
+/// at one `fetch_add` plus plain stores. Every later thread (and
+/// callers passing records with an unknown thread id) lands in the
+/// last, shared shard, where the slot is claimed *and* published with
+/// `compare_exchange`: two writers meeting on one slot — one of them
+/// stalled for a whole shard lap — can never interleave their field
+/// stores, because the loser sees the slot mid-write (odd) or already
+/// newer and drops its record whole. A blind odd-store claim would
+/// let a reader accept a record mixing two writers' fields; for the
+/// two-word `&'static str` label that fabricates an invalid `&str`.
+///
 /// Readers snapshot without stopping writers; a record caught
 /// mid-overwrite is simply skipped (it is by definition one of the
 /// oldest and about to be dropped anyway).
 ///
-/// With one shard the ring retains exactly the newest `capacity`
-/// records — the same contract as the old `VecDeque` ring, minus the
-/// mutex. With `n` shards retention is per-shard (newest per thread
-/// group), which trades exactness for zero cross-thread sharing.
+/// With one shard every thread shares it and the ring retains exactly
+/// the newest `capacity` records — the old `VecDeque` contract. With
+/// `n` shards retention is per-shard (the newest `capacity / n` per
+/// owning thread), trading global exactness for the RMW-free hot path
+/// on the owning threads.
 pub struct SpanRing {
     shards: Box<[Shard]>,
     shard_cap: usize,
-    /// `shards.len() - 1`; the shard count is always a power of two,
-    /// so shard selection is one `and` on the record hot path.
-    shard_mask: usize,
-    /// `shard_cap - 1` when that is a power of two (slot capacity
-    /// stays exact for legacy retention, so it may not be).
+    /// `shard_cap - 1` when it is a power of two, making slot
+    /// selection one `and` on the record hot path.
     slot_mask: Option<u64>,
     seq: AtomicU64,
     /// Published records wiped by `clear()` (drop accounting).
@@ -225,31 +247,29 @@ unsafe impl Sync for SpanRing {}
 unsafe impl Send for SpanRing {}
 
 impl SpanRing {
-    /// Ring with `shards * shard_capacity >= capacity` slots; shard
-    /// count is 1 below 4096 slots (exact legacy retention), else 8.
+    /// Single-shard ring: retains exactly the newest `capacity`
+    /// records. Use [`with_shards`](Self::with_shards) to give the
+    /// first recording threads RMW-free exclusive shards instead.
     pub fn new(capacity: usize) -> Self {
-        let shards = if capacity >= 4096 { 8 } else { 1 };
-        SpanRing::with_shards(capacity, shards)
+        SpanRing::with_shards(capacity, 1)
     }
 
-    /// Ring with an explicit shard count. The shard count rounds up to
-    /// a power of two (so shard selection is a mask) and capacity
-    /// rounds up to a multiple of it.
+    /// Ring with an explicit shard count. The shard count rounds up
+    /// to a power of two and capacity rounds up to a multiple of it.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "span ring needs capacity > 0");
         assert!(shards > 0, "span ring needs at least one shard");
         let shards = shards.next_power_of_two();
         let shard_cap = capacity.div_ceil(shards);
-        let shards: Box<[Shard]> = (0..shards)
-            .map(|_| Shard {
-                slots: (0..shard_cap).map(|_| Slot::new()).collect(),
-            })
-            .collect();
         SpanRing {
-            shard_mask: shards.len() - 1,
-            slot_mask: shard_cap.is_power_of_two().then(|| shard_cap as u64 - 1),
-            shards,
+            shards: (0..shards)
+                .map(|_| Shard {
+                    claims: AtomicU64::new(0),
+                    slots: (0..shard_cap).map(|_| Slot::new()).collect(),
+                })
+                .collect(),
             shard_cap,
+            slot_mask: shard_cap.is_power_of_two().then(|| shard_cap as u64 - 1),
             seq: AtomicU64::new(0),
             cleared: AtomicU64::new(0),
         }
@@ -280,16 +300,14 @@ impl SpanRing {
     }
 
     fn count_valid(&self) -> usize {
-        let mut n = 0;
-        for shard in self.shards.iter() {
-            for slot in shard.slots.iter() {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.slots.iter())
+            .filter(|slot| {
                 let s = slot.state.load(Ordering::Acquire);
-                if s != 0 && s & 1 == 0 {
-                    n += 1;
-                }
-            }
-        }
-        n
+                s != 0 && s & 1 == 0
+            })
+            .count()
     }
 
     /// Publishes `rec` (its `seq` field is ignored; the claimed seq is
@@ -315,54 +333,127 @@ impl SpanRing {
         span
     }
 
+    /// Writes `rec`'s payload fields into `slot`'s data cell. Caller
+    /// must hold the slot's seqlock (odd state it owns).
+    #[inline(always)]
+    unsafe fn write_fields(slot: &Slot, rec: &SpanRecord) {
+        let d = slot.data.get();
+        (*d).t_ns = rec.t_ns;
+        (*d).begin_ns = rec.begin_ns;
+        (*d).span = rec.span;
+        (*d).parent = rec.parent;
+        (*d).arg = rec.arg;
+        (*d).label = rec.label;
+        (*d).kind = rec.kind;
+        (*d).tid = rec.tid;
+    }
+
     #[inline(always)]
     fn publish(&self, rec: SpanRecord, seq: u64) {
-        let sidx = rec.tid as usize & self.shard_mask;
+        let n = self.shards.len();
+        // Thread ids are dense from 1: ids below the shard count own
+        // a shard outright, everyone else (and the reserved id 0,
+        // which wraps to usize::MAX here) shares the last one. The
+        // mapping is static, so an owned shard has exactly one writer
+        // thread for the ring's whole life.
+        let sidx = (rec.tid as usize).wrapping_sub(1).min(n - 1);
+        let exclusive = sidx < n - 1;
+        let shard = unsafe { self.shards.get_unchecked(sidx) };
+        let claim = if exclusive {
+            let c = shard.claims.load(Ordering::Relaxed);
+            shard.claims.store(c + 1, Ordering::Relaxed);
+            c
+        } else {
+            shard.claims.fetch_add(1, Ordering::Relaxed)
+        };
         let lidx = match self.slot_mask {
-            Some(m) => (seq & m) as usize,
-            None => (seq % self.shard_cap as u64) as usize,
+            Some(m) => (claim & m) as usize,
+            None => (claim % self.shard_cap as u64) as usize,
         };
         // In range by construction: masked (mask = len-1, power of
         // two) or reduced mod the length.
-        let slot = unsafe { self.shards.get_unchecked(sidx).slots.get_unchecked(lidx) };
-        // Seqlock write: mark in-progress (odd), publish data, mark
-        // published (even, encoding the claiming seq). The seq is NOT
-        // stored in the data — the published state word carries it, so
-        // the record costs one store less and readers derive it back.
-        slot.state.store(seq.wrapping_mul(2) + 1, Ordering::Relaxed);
-        fence(Ordering::Release);
-        unsafe {
-            let d = slot.data.get();
-            (*d).t_ns = rec.t_ns;
-            (*d).begin_ns = rec.begin_ns;
-            (*d).span = rec.span;
-            (*d).parent = rec.parent;
-            (*d).arg = rec.arg;
-            (*d).label = rec.label;
-            (*d).kind = rec.kind;
-            (*d).tid = rec.tid;
+        let slot = unsafe { shard.slots.get_unchecked(lidx) };
+        // Seqlock write: claim the slot (odd state), publish data,
+        // mark published (even, encoding the claiming seq). The seq
+        // is NOT stored in the data — the published state word
+        // carries it, so the record costs one store less and readers
+        // derive it back on snapshot.
+        let published = seq.wrapping_mul(2) + 2;
+        if exclusive {
+            // Single writer: blind stores are safe, no writer can
+            // interleave. Readers still validate with s1 == s2.
+            slot.state.store(published - 1, Ordering::Relaxed);
+            fence(Ordering::Release);
+            unsafe { SpanRing::write_fields(slot, &rec) };
+            slot.state.store(published, Ordering::Release);
+        } else {
+            // Shared shard: two writers can meet on one slot when one
+            // stalls for a whole shard lap, so the claim must be a
+            // CAS — a blind odd-store would let a reader accept a
+            // record mixing both writers' fields (s1 == s2 over torn
+            // data). State words only grow, so the loser — whoever
+            // finds the slot mid-write (odd) or already newer — bails
+            // and drops its record; it is among the oldest in the
+            // ring anyway, and `dropped()` accounts for it as
+            // `recorded - retained`.
+            let cur = slot.state.load(Ordering::Relaxed);
+            if cur & 1 == 1 || cur > published {
+                return;
+            }
+            if slot
+                .state
+                .compare_exchange(cur, published - 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                return;
+            }
+            unsafe { SpanRing::write_fields(slot, &rec) };
+            // Publish with a CAS as well: a concurrent `clear()` may
+            // have swapped our in-progress claim to 0 and another
+            // writer may have re-claimed the slot from there; a blind
+            // even store would stamp the re-claimer's half-written
+            // data as ours. Losing here just drops the record.
+            let _ = slot.state.compare_exchange(
+                published - 1,
+                published,
+                Ordering::Release,
+                Ordering::Relaxed,
+            );
         }
-        slot.state.store(seq.wrapping_mul(2) + 2, Ordering::Release);
     }
 
     /// Copies out every readable record, ordered by claim sequence.
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        let mut out = Vec::with_capacity(self.capacity());
-        for shard in self.shards.iter() {
-            for slot in shard.slots.iter() {
-                let s1 = slot.state.load(Ordering::Acquire);
-                if s1 == 0 || s1 & 1 == 1 {
-                    continue;
-                }
-                let mut rec = unsafe { std::ptr::read_volatile(slot.data.get()) };
-                fence(Ordering::Acquire);
-                let s2 = slot.state.load(Ordering::Relaxed);
-                if s1 == s2 {
-                    // state == seq * 2 + 2; recover the claim seq the
-                    // writer did not spend a store on.
-                    rec.seq = s1 / 2 - 1;
-                    out.push(rec);
-                }
+        self.snapshot_since(0)
+    }
+
+    /// Copies out readable records claimed at `since` or later,
+    /// ordered by claim sequence. Slots holding older records are
+    /// skipped from the state word alone — no copy, no sort entry —
+    /// so incremental consumers polling every tick pay for the few
+    /// new records, not the whole ring.
+    pub fn snapshot_since(&self, since: u64) -> Vec<SpanRecord> {
+        // Published state of seq `s` is `s * 2 + 2`, so the state
+        // floor for `since` also rejects the never-written state 0.
+        let floor = since.wrapping_mul(2) + 2;
+        let mut out = if since == 0 {
+            Vec::with_capacity(self.capacity())
+        } else {
+            Vec::new()
+        };
+        for slot in self.shards.iter().flat_map(|s| s.slots.iter()) {
+            let s1 = slot.state.load(Ordering::Acquire);
+            if s1 & 1 == 1 || s1 < floor {
+                continue;
+            }
+            let mut rec = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            fence(Ordering::Acquire);
+            let s2 = slot.state.load(Ordering::Relaxed);
+            if s1 == s2 {
+                // state == seq * 2 + 2; recover the claim seq the
+                // writer did not spend a store on.
+                rec.seq = s1 / 2 - 1;
+                out.push(rec);
             }
         }
         out.sort_unstable_by_key(|r| r.seq);
@@ -372,12 +463,10 @@ impl SpanRing {
     /// Wipes all published records, keeping drop accounting exact.
     pub fn clear(&self) {
         let mut wiped = 0u64;
-        for shard in self.shards.iter() {
-            for slot in shard.slots.iter() {
-                let prev = slot.state.swap(0, Ordering::AcqRel);
-                if prev != 0 && prev & 1 == 0 {
-                    wiped += 1;
-                }
+        for slot in self.shards.iter().flat_map(|s| s.slots.iter()) {
+            let prev = slot.state.swap(0, Ordering::AcqRel);
+            if prev != 0 && prev & 1 == 0 {
+                wiped += 1;
             }
         }
         self.cleared.fetch_add(wiped, Ordering::Relaxed);
@@ -545,6 +634,103 @@ mod tests {
         let snap = ring.snapshot();
         let times: Vec<u64> = snap.iter().map(|r| r.t_ns).collect();
         assert_eq!(times, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn multi_shard_ring_fills_its_shard_densely() {
+        // Slots come from the shard's own dense claim counter, not
+        // from residues of the global seq: however claims interleave
+        // globally, one writer's shard retains exactly its newest
+        // `shard_cap` records. Records with tid 0 route to the shared
+        // shard, so this also exercises the CAS claim path.
+        let ring = SpanRing::with_shards(8, 4);
+        assert_eq!(ring.capacity(), 8);
+        assert_eq!(ring.shards(), 4);
+        for i in 0..7u64 {
+            let mut rec = EMPTY;
+            rec.t_ns = i;
+            ring.record(rec);
+        }
+        // Every slot of the writer's shard is in use (shard_cap = 2),
+        // and the retained records are the newest two, back to back.
+        let times: Vec<u64> = ring.snapshot().iter().map(|r| r.t_ns).collect();
+        assert_eq!(times, [5, 6]);
+        assert_eq!(ring.dropped(), 5);
+    }
+
+    #[test]
+    fn exclusive_shard_tids_fill_densely_too() {
+        // tids 1..shards own a shard each (blind-store fast path);
+        // their records also land densely in claim order.
+        let ring = SpanRing::with_shards(8, 2);
+        for i in 0..9u64 {
+            let mut rec = EMPTY;
+            rec.tid = 1;
+            rec.t_ns = i;
+            ring.record(rec);
+        }
+        let snap = ring.snapshot();
+        let times: Vec<u64> = snap.iter().map(|r| r.t_ns).collect();
+        // Shard 0 holds capacity/2 = 4 slots; the newest 4 survive.
+        assert_eq!(times, [5, 6, 7, 8]);
+        assert_eq!(ring.dropped(), 5);
+    }
+
+    #[test]
+    fn snapshot_since_filters_by_claim_seq() {
+        let ring = SpanRing::with_shards(8, 1);
+        for i in 0..6u64 {
+            let mut rec = EMPTY;
+            rec.t_ns = i;
+            ring.record(rec);
+        }
+        let tail = ring.snapshot_since(4);
+        let times: Vec<u64> = tail.iter().map(|r| r.t_ns).collect();
+        assert_eq!(times, [4, 5]);
+        assert_eq!(tail[0].seq, 4);
+        assert!(ring.snapshot_since(6).is_empty());
+        assert_eq!(ring.snapshot_since(0).len(), 6);
+    }
+
+    #[test]
+    fn lapped_writers_never_tear_records() {
+        // A one-slot ring makes every claim a lap collision, so the
+        // CAS slot claim is exercised on every record: a loser must
+        // drop its record whole, never interleave stores with the
+        // winner. Each record's fields are all derived from `arg`, so
+        // any mix of two writers' fields is detectable.
+        let ring = std::sync::Arc::new(SpanRing::with_shards(1, 1));
+        let threads = 4;
+        let per_thread = 20_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let tag = ((t as u64) << 32) | i;
+                        let mut rec = EMPTY;
+                        rec.t_ns = tag * 4 + 3;
+                        rec.begin_ns = tag * 4;
+                        rec.arg = tag;
+                        rec.kind = SpanKind::End;
+                        ring.record(rec);
+                        if let Some(r) = ring.snapshot().first() {
+                            assert_eq!(r.begin_ns, r.arg * 4, "torn record");
+                            assert_eq!(r.t_ns, r.arg * 4 + 3, "torn record");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), threads as u64 * per_thread);
+        // At quiescence every claim is retained or counted dropped.
+        assert_eq!(
+            ring.dropped() + ring.snapshot().len() as u64,
+            ring.recorded()
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The [`TraceLog`]: causally structured span tracing on a sharded,
+//! The [`TraceLog`]: causally structured span tracing on a
 //! fixed-slot ring — cheap enough to leave enabled in release builds.
 //!
 //! Recording is one `fetch_add` to claim a slot plus a seqlock'd
@@ -39,15 +39,17 @@ pub struct TraceLog {
 }
 
 impl TraceLog {
-    /// Creates a ring holding at most `capacity` records (one shard
-    /// below 4096 slots — exact newest-N retention — else eight).
+    /// Creates a ring retaining exactly the newest `capacity` records.
     pub fn new(capacity: usize) -> Self {
         TraceLog {
             ring: SpanRing::new(capacity),
         }
     }
 
-    /// Creates a ring with an explicit shard count.
+    /// Creates a ring with an explicit shard count: the first
+    /// `shards - 1` recording threads get an RMW-free exclusive shard
+    /// each, later threads share the last; retention is the newest
+    /// `capacity / shards` records per shard.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
         TraceLog {
             ring: SpanRing::with_shards(capacity, shards),
@@ -120,6 +122,7 @@ impl TraceLog {
             parent,
             tid,
             begin_ns,
+            _not_send: std::marker::PhantomData,
         }
     }
 
@@ -146,11 +149,11 @@ impl TraceLog {
         self.ring.snapshot()
     }
 
-    /// Raw records with `seq >= since` (incremental consumers).
+    /// Raw records with `seq >= since` (incremental consumers). Older
+    /// slots are skipped from their state word alone, so a per-tick
+    /// poll pays for the new records, not the whole ring.
     pub fn records_since(&self, since: u64) -> Vec<SpanRecord> {
-        let mut recs = self.ring.snapshot();
-        recs.retain(|r| r.seq >= since);
-        recs
+        self.ring.snapshot_since(since)
     }
 
     /// Copies out the retained events, oldest first (legacy view:
@@ -192,6 +195,11 @@ impl std::fmt::Debug for TraceLog {
 }
 
 /// Open span: records Begin at creation, End (with duration) on drop.
+///
+/// `!Send`: the guard belongs to the thread that opened it — its drop
+/// pops that thread's span stack and records with that thread's id
+/// (which may route to a shard of the ring only that thread may
+/// write).
 #[derive(Debug)]
 pub struct SpanGuard {
     log: Arc<TraceLog>,
@@ -201,6 +209,8 @@ pub struct SpanGuard {
     parent: u64,
     tid: u32,
     begin_ns: u64,
+    /// Pins the guard to its creating thread (`*const ()` is `!Send`).
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl SpanGuard {
@@ -233,8 +243,12 @@ impl Drop for SpanGuard {
     }
 }
 
-/// Slots in the process-wide tracer (8 shards x 4096).
+/// Slots in the process-wide tracer (32k records, ~2.5 MB). Two
+/// shards: the first recording thread — the event loop in every
+/// gscope binary — owns half the slots with the RMW-free fast path;
+/// all other threads share the rest under the CAS slot claim.
 const GLOBAL_CAPACITY: usize = 32_768;
+const GLOBAL_SHARDS: usize = 2;
 
 static GLOBAL: OnceLock<Arc<TraceLog>> = OnceLock::new();
 
@@ -249,7 +263,9 @@ pub fn tracer() -> Arc<TraceLog> {
     if let Some(t) = OVERRIDE.with(|o| o.borrow().clone()) {
         return t;
     }
-    Arc::clone(GLOBAL.get_or_init(|| Arc::new(TraceLog::with_shards(GLOBAL_CAPACITY, 8))))
+    Arc::clone(GLOBAL.get_or_init(|| {
+        Arc::new(TraceLog::with_shards(GLOBAL_CAPACITY, GLOBAL_SHARDS))
+    }))
 }
 
 /// Installs (or with `None` removes) this thread's tracer override,

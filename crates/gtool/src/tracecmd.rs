@@ -97,8 +97,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
 
 /// Builds and runs the traced pipeline; see the module docs.
 fn traced_run(cfg: &RunConfig) -> Result<RunReport, Box<dyn std::error::Error>> {
-    // Single shard: this is a one-thread pipeline and exact newest-N
-    // retention makes the exports deterministic.
+    // Exact newest-N retention makes the exports deterministic.
     let log = Arc::new(TraceLog::with_shards(65_536, 1));
     let _tracer = gtel::with_thread_tracer(Arc::clone(&log));
     let registry = Registry::shared();
