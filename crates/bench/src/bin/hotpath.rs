@@ -1,11 +1,11 @@
 //! Hot-path benchmark baselines: emits `BENCH_tuple.json`,
 //! `BENCH_poll.json`, `BENCH_buffer.json`, `BENCH_render.json`,
-//! `BENCH_store.json`, and `BENCH_trace.json` with median ns/iter for
-//! the paths the zero-allocation, incremental-rendering, tuple-store,
-//! and tracing work targets (tuple codec, `poll_tick`, buffer
-//! ingestion, strip-chart frames, store append/seek/scan, span
-//! records), so the perf trajectory is tracked in-repo from this PR
-//! onward.
+//! `BENCH_store.json`, `BENCH_trace.json`, and `BENCH_query.json`
+//! with median ns/iter for the paths the zero-allocation,
+//! incremental-rendering, tuple-store, tracing, and query work
+//! targets (tuple codec, `poll_tick`, buffer ingestion, strip-chart
+//! frames, store append/seek/scan, span records, indexed search), so
+//! the perf trajectory is tracked in-repo from this PR onward.
 //!
 //! The `before` numbers are the criterion medians recorded on this
 //! machine immediately before the interned-codec / allocation-free
@@ -577,6 +577,169 @@ fn bench_trace(cfg: &Cfg) -> Vec<Row> {
     ]
 }
 
+/// Indexed query vs a full linear replay at increasing store sizes,
+/// plus the append hot path with live index maintenance. A rare
+/// signal (one frame per 100k) stands in for the needle a post-mortem
+/// hunt chases: the planner answers from `.gidx` posting lists and
+/// block headers, the `before` column replays every frame through the
+/// same predicate.
+fn bench_query(cfg: &Cfg) -> Vec<Row> {
+    use gquery::{parse_query, QueryEngine};
+    use gstore::{Store, StoreConfig};
+
+    const NAMES: [&str; 8] = [
+        "net.rx",
+        "net.tx",
+        "scope.tick",
+        "scope.depth",
+        "gel.lag",
+        "cpu.load",
+        "mem.rss",
+        "disk.io",
+    ];
+
+    let dir = std::env::temp_dir().join(format!("gquery-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rows = Vec::new();
+
+    let sizes: &[(u64, &str)] = if cfg.quick {
+        &[(100_000, "query/indexed_vs_linear/1e5_frames")]
+    } else {
+        &[
+            (100_000, "query/indexed_vs_linear/1e5_frames"),
+            (1_000_000, "query/indexed_vs_linear/1e6_frames"),
+            (10_000_000, "query/indexed_vs_linear/1e7_frames"),
+        ]
+    };
+    let q = parse_query("name=rare.event").expect("parse bench query");
+    for &(frames, id) in sizes {
+        let sdir = dir.join(format!("f{frames}"));
+        let mut store = Store::open(&sdir, StoreConfig::default()).expect("open query store");
+        for i in 0..frames {
+            let name = if i % 100_000 == 99_999 {
+                "rare.event"
+            } else {
+                NAMES[(i % 8) as usize]
+            };
+            store
+                .append(
+                    TimeStamp::from_micros(i * 100),
+                    (i as f64 * 0.731).sin(),
+                    Some(name),
+                )
+                .unwrap();
+        }
+        store.close().expect("close query store");
+
+        let engine = QueryEngine::open(&sdir).expect("open query engine");
+        // Warm the page cache and check both paths agree before timing.
+        let indexed0 = engine.query(&q).unwrap();
+        let linear0 = engine.linear_scan(&q).unwrap();
+        assert_eq!(
+            indexed0.matches, linear0.matches,
+            "planner must match replay ({id})"
+        );
+        assert_eq!(indexed0.matches.len() as u64, frames / 100_000);
+
+        // The linear replay decodes every frame, so time whole runs
+        // (few of them at 1e7) rather than `measure`'s batched loops.
+        let lin_runs = if cfg.quick { 3 } else { 5 };
+        let linear = median(
+            (0..lin_runs)
+                .map(|_| {
+                    let start = Instant::now();
+                    black_box(engine.linear_scan(&q).unwrap().matches.len());
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+        let idx_runs = if cfg.quick { 10 } else { 30 };
+        let indexed = median(
+            (0..idx_runs)
+                .map(|_| {
+                    let start = Instant::now();
+                    black_box(engine.query(&q).unwrap().matches.len());
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+        rows.push(Row {
+            id,
+            before_ns: Some(linear),
+            after_ns: indexed,
+        });
+    }
+
+    // Append hot path with index maintenance off vs on — same shape
+    // as the store suite's append row (1000 named tuples per
+    // iteration, block flushes and segment rolls included). The two
+    // stores are timed interleaved, alternating which goes first each
+    // sample, and each column reports its *minimum* sample: kernel
+    // writeback stalls and neighbor noise easily dwarf the per-frame
+    // cost over a sustained run, and the best case is the one sample
+    // of each column that dodged all of it, so min-vs-min is the
+    // interference-free comparison. `speedup` reads as "fraction of
+    // the index-free append throughput kept"; `>= 0.90` means the
+    // index costs under 10% on the hot path.
+    let tuples = sample_tuples(1000);
+    let iters = if cfg.quick { 20 } else { 200 };
+    let open_store = |subdir: &str, index_sidecars: bool| {
+        let cfg_store = StoreConfig {
+            index_sidecars,
+            ..StoreConfig::default()
+        };
+        Store::open(dir.join(subdir), cfg_store).expect("open append store")
+    };
+    let mut off_store = open_store("append-off", false);
+    let mut on_store = open_store("append-on", true);
+    let mut base_us = 0u64;
+    let batch = |store: &mut Store, base_us: &mut u64| {
+        for t in &tuples {
+            store
+                .append(
+                    TimeStamp::from_micros(*base_us + t.time.as_micros()),
+                    t.value,
+                    t.name.as_deref(),
+                )
+                .unwrap();
+        }
+        *base_us += 1_250 * 1000;
+    };
+    for _ in 0..iters {
+        batch(&mut off_store, &mut base_us);
+        batch(&mut on_store, &mut base_us);
+    }
+    let mut off_samples = Vec::new();
+    let mut on_samples = Vec::new();
+    let timed = |store: &mut Store, base_us: &mut u64, out: &mut Vec<f64>| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            batch(store, base_us);
+        }
+        out.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    };
+    for s in 0..cfg.samples {
+        if s % 2 == 0 {
+            timed(&mut off_store, &mut base_us, &mut off_samples);
+            timed(&mut on_store, &mut base_us, &mut on_samples);
+        } else {
+            timed(&mut on_store, &mut base_us, &mut on_samples);
+            timed(&mut off_store, &mut base_us, &mut off_samples);
+        }
+    }
+    off_store.close().expect("close append store");
+    on_store.close().expect("close append store");
+    let best = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    rows.push(Row {
+        id: "query/append/index_on_vs_off_x1000",
+        before_ns: Some(best(&off_samples)),
+        after_ns: best(&on_samples),
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
 fn fmt_ns(x: f64) -> String {
     format!("{x:.1}")
 }
@@ -648,13 +811,14 @@ fn main() {
     };
 
     type Suite = fn(&Cfg) -> Vec<Row>;
-    let suites: [(&str, Suite); 6] = [
+    let suites: [(&str, Suite); 7] = [
         ("tuple", bench_tuple),
         ("poll", bench_poll),
         ("buffer", bench_buffer),
         ("render", bench_render),
         ("store", bench_store),
         ("trace", bench_trace),
+        ("query", bench_query),
     ];
     let mut matched = false;
     for (bench, run) in suites {

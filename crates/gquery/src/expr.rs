@@ -1,0 +1,299 @@
+//! The query expression language: a whitespace-joined AND of
+//! predicates, small enough to type in a shell and total enough to
+//! plan against the `.gidx` sidecar classes.
+//!
+//! ```text
+//! name=scope.tick dur>2ms thread=3 within=postmortem-*
+//! name=net.* val>=0.5 from=1.5s to=2s
+//! severity=breach
+//! ```
+//!
+//! | predicate      | meaning                                            |
+//! |----------------|----------------------------------------------------|
+//! | `name=PAT`     | signal name, or span base label (`PAT` may use `*`)|
+//! | `thread=N`     | span recorded on thread `N` (`…#tN` suffix)        |
+//! | `severity=breach` | deadline-breach tuples (`breach.…` names)       |
+//! | `dur OP T`     | value compared as a duration (`ns`/`us`/`ms`/`s`)  |
+//! | `val OP X`     | value compared as a raw number                     |
+//! | `from=T`/`to=T`| inclusive time range (`ms` default, unit suffixes) |
+//! | `within=PAT`   | restrict to sources whose label matches the glob   |
+//!
+//! `OP` is one of `>`, `>=`, `<`, `<=`, `=`. Span tuples store their
+//! duration in milliseconds as the value, so `dur` is the natural
+//! spelling for them and `val` for plain signals; both compile to the
+//! same value predicate.
+
+/// A comparison operator in a `dur`/`val` predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+}
+
+impl Cmp {
+    /// Does `value OP rhs` hold? (`NaN` never matches.)
+    #[must_use]
+    pub fn matches(self, value: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Gt => value > rhs,
+            Cmp::Ge => value >= rhs,
+            Cmp::Lt => value < rhs,
+            Cmp::Le => value <= rhs,
+            Cmp::Eq => value == rhs,
+        }
+    }
+
+    /// Could *any* value in `[min, max]` satisfy `value OP rhs`? The
+    /// planner's block-pruning test: `false` proves the block holds no
+    /// match and its payload is never read.
+    #[must_use]
+    pub fn feasible(self, min: f64, max: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Gt => max > rhs,
+            Cmp::Ge => max >= rhs,
+            Cmp::Lt => min < rhs,
+            Cmp::Le => min <= rhs,
+            Cmp::Eq => min <= rhs && rhs <= max,
+        }
+    }
+}
+
+/// A parsed query: the AND of every present predicate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Query {
+    /// Signal name or span base label; `*` wildcards allowed.
+    pub name: Option<String>,
+    /// Recording thread id (matches the `#tN` name suffix).
+    pub thread: Option<u32>,
+    /// Only deadline breaches (`breach.…` names).
+    pub breach: bool,
+    /// Value predicates (`dur`/`val`), all of which must hold.
+    pub value: Vec<(Cmp, f64)>,
+    /// Inclusive lower time bound, microseconds.
+    pub from_us: Option<u64>,
+    /// Inclusive upper time bound, microseconds.
+    pub to_us: Option<u64>,
+    /// Source-label glob (`within=postmortem-*`).
+    pub within: Option<String>,
+}
+
+impl Query {
+    /// True when no predicate is set (matches everything).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == Query::default()
+    }
+}
+
+/// Matches `pat` against `s`, where `*` matches any run of characters
+/// (including none). Classic two-pointer glob with backtracking.
+#[must_use]
+pub fn glob_match(pat: &str, s: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Parses a number with an optional duration unit into milliseconds
+/// (`ns`, `us`, `ms`, `s`; bare numbers are milliseconds).
+fn parse_duration_ms(s: &str) -> Result<f64, String> {
+    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1e-6)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e-3)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e3)
+    } else {
+        (s, 1.0)
+    };
+    num.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad duration {s:?}"))
+}
+
+/// Parses a timestamp with an optional unit into microseconds (bare
+/// numbers are milliseconds, matching the §3.3 tuple time column).
+fn parse_time_us(s: &str) -> Result<u64, String> {
+    let ms = parse_duration_ms(s)?;
+    if ms < 0.0 {
+        return Err(format!("negative time {s:?}"));
+    }
+    Ok((ms * 1_000.0).round() as u64)
+}
+
+fn parse_cmp(tok: &str) -> Option<(&str, Cmp, &str)> {
+    for (op, cmp) in [
+        (">=", Cmp::Ge),
+        ("<=", Cmp::Le),
+        (">", Cmp::Gt),
+        ("<", Cmp::Lt),
+        ("=", Cmp::Eq),
+    ] {
+        if let Some(at) = tok.find(op) {
+            // Longest-op-first keeps `>=` from splitting as `>` + `=…`.
+            return Some((&tok[..at], cmp, &tok[at + op.len()..]));
+        }
+    }
+    None
+}
+
+/// Parses one expression string into a [`Query`].
+///
+/// # Errors
+///
+/// A human-readable message naming the offending token.
+pub fn parse_query(expr: &str) -> Result<Query, String> {
+    let mut q = Query::default();
+    for tok in expr.split_whitespace() {
+        let Some((key, cmp, rhs)) = parse_cmp(tok) else {
+            return Err(format!("bad predicate {tok:?} (expected key=value)"));
+        };
+        if rhs.is_empty() {
+            return Err(format!("empty value in {tok:?}"));
+        }
+        match (key, cmp) {
+            ("name", Cmp::Eq) => q.name = Some(rhs.to_string()),
+            ("thread", Cmp::Eq) => {
+                q.thread = Some(
+                    rhs.parse::<u32>()
+                        .map_err(|_| format!("bad thread id {rhs:?} (expected an integer)"))?,
+                );
+            }
+            ("severity", Cmp::Eq) => {
+                if rhs != "breach" {
+                    return Err(format!(
+                        "unknown severity {rhs:?} (only \"breach\" is indexed)"
+                    ));
+                }
+                q.breach = true;
+            }
+            ("within", Cmp::Eq) => q.within = Some(rhs.to_string()),
+            ("from", Cmp::Eq) => q.from_us = Some(parse_time_us(rhs)?),
+            ("to", Cmp::Eq) => q.to_us = Some(parse_time_us(rhs)?),
+            ("dur", cmp) => q.value.push((cmp, parse_duration_ms(rhs)?)),
+            ("val", cmp) => {
+                q.value.push((
+                    cmp,
+                    rhs.parse::<f64>()
+                        .map_err(|_| format!("bad value {rhs:?}"))?,
+                ));
+            }
+            ("name" | "thread" | "severity" | "within" | "from" | "to", _) => {
+                return Err(format!("{key} takes `=`, not a comparison ({tok:?})"));
+            }
+            _ => return Err(format!("unknown predicate key {key:?} in {tok:?}")),
+        }
+    }
+    if let (Some(a), Some(b)) = (q.from_us, q.to_us) {
+        if a > b {
+            return Err(format!("empty time range: from={a}us > to={b}us"));
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let q = parse_query("name=scope.tick dur>2ms thread=3 within=postmortem-*").unwrap();
+        assert_eq!(q.name.as_deref(), Some("scope.tick"));
+        assert_eq!(q.thread, Some(3));
+        assert_eq!(q.value, vec![(Cmp::Gt, 2.0)]);
+        assert_eq!(q.within.as_deref(), Some("postmortem-*"));
+        assert!(!q.breach);
+    }
+
+    #[test]
+    fn duration_units_normalise_to_ms() {
+        let q = parse_query("dur>1500us dur<=2s dur>=3 val<7.5").unwrap();
+        assert_eq!(
+            q.value,
+            vec![
+                (Cmp::Gt, 1.5),
+                (Cmp::Le, 2000.0),
+                (Cmp::Ge, 3.0),
+                (Cmp::Lt, 7.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn time_range_units() {
+        let q = parse_query("from=1.5s to=2500").unwrap();
+        assert_eq!(q.from_us, Some(1_500_000));
+        assert_eq!(q.to_us, Some(2_500_000));
+        assert!(parse_query("from=2s to=1s").is_err());
+    }
+
+    #[test]
+    fn severity_is_breach_only() {
+        assert!(parse_query("severity=breach").unwrap().breach);
+        assert!(parse_query("severity=warn").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        assert!(parse_query("frobnicate=1").is_err());
+        assert!(parse_query("name>x").is_err());
+        assert!(parse_query("thread=abc").is_err());
+        assert!(parse_query("dur>").is_err());
+        assert!(parse_query("justaword").is_err());
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("scope.*", "scope.tick"));
+        assert!(glob_match("*#t3", "scope.tick#t3"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("scope.*", "net.poll"));
+        assert!(!glob_match("a*b", "a-b-c"));
+    }
+
+    #[test]
+    fn feasible_is_conservative() {
+        assert!(Cmp::Gt.feasible(0.0, 5.0, 2.0));
+        assert!(!Cmp::Gt.feasible(0.0, 2.0, 2.0));
+        assert!(Cmp::Lt.feasible(1.0, 9.0, 2.0));
+        assert!(!Cmp::Lt.feasible(2.0, 9.0, 2.0));
+        assert!(Cmp::Eq.feasible(1.0, 3.0, 2.0));
+        assert!(!Cmp::Eq.feasible(1.0, 3.0, 4.0));
+        // An all-NaN block carries inverted (+inf, -inf) bounds and is
+        // never feasible — NaN values cannot match any comparison.
+        assert!(!Cmp::Gt.feasible(f64::INFINITY, f64::NEG_INFINITY, 0.0));
+    }
+}

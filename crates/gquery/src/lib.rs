@@ -1,0 +1,32 @@
+//! gquery — index-aware search over gscope recordings.
+//!
+//! The paper's premise is that you find timing bugs by *looking at*
+//! the data; at production volumes, looking starts with *searching*.
+//! After a long run, a store directory holds gigabytes of sealed
+//! segments and a handful of post-mortem bundles — and the only
+//! question that matters is "show me the slow `scope.tick` spans
+//! around the breach". Linear replay answers it by decoding
+//! everything; gquery answers it from the `.gidx` sidecars
+//! ([`gstore::index`]) that every sealed segment already carries:
+//!
+//! * [`expr`] — the predicate language (`name=scope.tick dur>2ms
+//!   thread=3 within=postmortem-*`).
+//! * [`engine`] — the planner: index → posting intersection →
+//!   time/value envelope pruning → selective block decode, with
+//!   [`QueryStats`] counting what was *skipped* so tests can prove
+//!   non-matching segments are never opened.
+//! * [`timeline`] — the merge view interleaving spans, tuples, and
+//!   deadline breaches from every source around an anchor.
+//!
+//! The planner's last stage and the linear reference scan share one
+//! [`frame_matches`] filter, so `query()` is byte-identical to a full
+//! replay by construction — the property test in
+//! `tests/planner_props.rs` holds it to that.
+
+pub mod engine;
+pub mod expr;
+pub mod timeline;
+
+pub use engine::{frame_matches, Match, QueryEngine, QueryOutcome, QueryStats, SourceRef};
+pub use expr::{glob_match, parse_query, Cmp, Query};
+pub use timeline::{build_timeline, format_timeline, EventKind, TimelineEvent, TimelineOptions};

@@ -1,0 +1,251 @@
+//! The `timeline` merge view: spans, tuples, and deadline breaches
+//! from every source of a recording, interleaved around an anchor.
+//!
+//! Post-mortem bundles carry two timebases: `stats/` tuples are
+//! stamped with pipeline loop time, while `spans/` records carry
+//! monotonic wall-clock time. Absolute timestamps from the two can't
+//! be compared directly — but the *trigger moment* is the same event
+//! in both. By default each source is therefore **tail-aligned**: its
+//! last event is taken as "the moment the recorder fired" and every
+//! event is shown relative to that (`-12.500ms` = 12.5 ms before the
+//! trigger). Passing an explicit anchor switches to absolute mode for
+//! stores where one clock rules all sources.
+
+use std::fmt::Write as _;
+
+use gel::TimeStamp;
+use gscope::{Result, TupleSource};
+use gstore::{load_or_rebuild_index, split_thread, StoreReader};
+
+use crate::engine::{QueryEngine, SourceRef};
+use crate::expr::glob_match;
+
+/// What kind of record a timeline row is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A plain telemetry/signal sample.
+    Tuple,
+    /// A completed span (`label#tN`, value = duration ms).
+    Span,
+    /// A deadline breach (`breach.<label>`, value = overrun ms).
+    Breach,
+}
+
+impl EventKind {
+    fn classify(name: &str) -> EventKind {
+        if name.starts_with("breach.") {
+            EventKind::Breach
+        } else if split_thread(name).is_some() {
+            EventKind::Span
+        } else {
+            EventKind::Tuple
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            EventKind::Tuple => "tuple",
+            EventKind::Span => "span",
+            EventKind::Breach => "BREACH",
+        }
+    }
+}
+
+/// One merged timeline row.
+#[derive(Clone, Debug)]
+pub struct TimelineEvent {
+    /// Source label the event came from.
+    pub source: String,
+    /// Time relative to the source's anchor, microseconds (negative =
+    /// before the anchor).
+    pub rel_us: i64,
+    /// Absolute event time, microseconds (source-local clock).
+    pub time_us: u64,
+    /// Signal name.
+    pub name: String,
+    /// Sample value (durations are in milliseconds).
+    pub value: f64,
+    /// Row classification, derived from the name.
+    pub kind: EventKind,
+}
+
+/// Options for [`build_timeline`].
+#[derive(Clone, Debug)]
+pub struct TimelineOptions {
+    /// Half-width of the window around the anchor, milliseconds.
+    pub window_ms: f64,
+    /// Absolute anchor (milliseconds on the sources' clock). `None`
+    /// tail-aligns every source on its own last event.
+    pub anchor_ms: Option<f64>,
+    /// Source-label glob, like the query language's `within=`.
+    pub within: Option<String>,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            window_ms: 100.0,
+            anchor_ms: None,
+            within: None,
+        }
+    }
+}
+
+/// Last frame time of a store, read from `.gidx` sidecars — segments
+/// are only opened if a sidecar must be rebuilt.
+fn source_end_us(source: &SourceRef) -> Option<u64> {
+    let mut end = None;
+    if let Ok(entries) = std::fs::read_dir(&source.path) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((_, 0)) = gstore::segment::parse_segment_file_name(name) {
+                if let Ok((idx, _)) = load_or_rebuild_index(&entry.path()) {
+                    end = end.max(idx.last_us());
+                }
+            }
+        }
+    }
+    end
+}
+
+/// Merges every selected source's events inside the anchor window.
+///
+/// # Errors
+///
+/// [`gscope::ScopeError::Io`] from the underlying store readers.
+pub fn build_timeline(engine: &QueryEngine, opts: &TimelineOptions) -> Result<Vec<TimelineEvent>> {
+    let window_us = (opts.window_ms.max(0.0) * 1_000.0).round() as u64;
+    let mut events = Vec::new();
+    for source in engine.sources() {
+        if let Some(pat) = &opts.within {
+            if !glob_match(pat, &source.label) {
+                continue;
+            }
+        }
+        let anchor_us = match opts.anchor_ms {
+            Some(ms) => (ms * 1_000.0).round() as u64,
+            None => match source_end_us(source) {
+                Some(end) => end,
+                None => continue, // empty source: nothing to anchor on
+            },
+        };
+        let t0 = anchor_us.saturating_sub(window_us);
+        let t1 = anchor_us.saturating_add(window_us);
+        let mut reader = StoreReader::open(&source.path)?;
+        reader.seek(TimeStamp::from_micros(t0))?;
+        while let Some(t) = reader.next_tuple()? {
+            let time_us = t.time.as_micros();
+            if time_us > t1 {
+                break;
+            }
+            let name = t.name.as_deref().unwrap_or("").to_string();
+            events.push(TimelineEvent {
+                source: source.label.clone(),
+                rel_us: time_us as i64 - anchor_us as i64,
+                time_us,
+                kind: EventKind::classify(&name),
+                name,
+                value: t.value,
+            });
+        }
+    }
+    events.sort_by(|a, b| {
+        a.rel_us
+            .cmp(&b.rel_us)
+            .then_with(|| a.source.cmp(&b.source))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    Ok(events)
+}
+
+fn fmt_value(kind: EventKind, value: f64) -> String {
+    match kind {
+        EventKind::Span | EventKind::Breach => format!("{value:.3}ms"),
+        EventKind::Tuple => {
+            if value == value.trunc() && value.abs() < 1e15 {
+                format!("{}", value as i64)
+            } else {
+                format!("{value:.6}")
+            }
+        }
+    }
+}
+
+/// Renders merged events as an aligned text table (one row per
+/// event, times relative to the anchor).
+#[must_use]
+pub fn format_timeline(events: &[TimelineEvent]) -> String {
+    let src_w = events
+        .iter()
+        .map(|e| e.source.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let name_w = events
+        .iter()
+        .map(|e| e.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12}  {:<src_w$}  {:<6}  {:<name_w$}  value",
+        "t-anchor", "source", "kind", "name"
+    );
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{:>+10.3}ms  {:<src_w$}  {:<6}  {:<name_w$}  {}",
+            e.rel_us as f64 / 1_000.0,
+            e.source,
+            e.kind.tag(),
+            e.name,
+            fmt_value(e.kind, e.value),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_naming() {
+        assert_eq!(EventKind::classify("scope.tick#t3"), EventKind::Span);
+        assert_eq!(EventKind::classify("breach.scope.tick"), EventKind::Breach);
+        assert_eq!(EventKind::classify("net.tuples_in"), EventKind::Tuple);
+        assert_eq!(EventKind::classify(""), EventKind::Tuple);
+    }
+
+    #[test]
+    fn formatting_is_aligned_and_signed() {
+        let events = vec![
+            TimelineEvent {
+                source: "spans".into(),
+                rel_us: -2_500,
+                time_us: 97_500,
+                name: "scope.tick#t0".into(),
+                value: 1.25,
+                kind: EventKind::Span,
+            },
+            TimelineEvent {
+                source: "spans".into(),
+                rel_us: 0,
+                time_us: 100_000,
+                name: "breach.scope.tick".into(),
+                value: 4.0,
+                kind: EventKind::Breach,
+            },
+        ];
+        let text = format_timeline(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("-2.500ms"));
+        assert!(lines[1].contains("1.250ms"));
+        assert!(lines[2].contains("+0.000ms"));
+        assert!(lines[2].contains("BREACH"));
+    }
+}

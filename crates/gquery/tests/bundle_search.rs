@@ -1,0 +1,161 @@
+//! End-to-end over a real flight-recorder bundle: the moment
+//! `trigger` publishes a post-mortem, it is searchable — `gquery`
+//! finds the spans and breaches from the sidecars, and the timeline
+//! view interleaves all three record kinds around the trigger.
+
+use gel::TimeStamp;
+use gquery::{
+    build_timeline, format_timeline, parse_query, EventKind, QueryEngine, TimelineOptions,
+};
+use gstore::FlightRecorder;
+use gtel::{DeadlineMiss, Registry, TraceLog};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gquery-bundle").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A trace whose spans sit in the first ~12 ms of the clock, so the
+/// whole story fits one timeline window.
+fn demo_log() -> TraceLog {
+    let log = TraceLog::new(64);
+    log.record_span_at("gel.iteration", 1, 0, 12_000_000);
+    log.record_span_at("scope.tick", 1, 1_000_000, 9_000_000);
+    log.record_span_at("render.frame", 1, 2_000_000, 5_000_000);
+    log
+}
+
+fn write_bundle(dir: &PathBuf) -> PathBuf {
+    let mut fr = FlightRecorder::new(dir, 4);
+    let reg = Registry::shared();
+    reg.counter("scope.ticks").add(7);
+    reg.gauge("scope.buffer.depth").set(2.0);
+    fr.note_stats(TimeStamp::from_micros(11_500), &reg);
+    fr.note_stats(TimeStamp::from_micros(12_000), &reg);
+    fr.note_breach(&DeadlineMiss {
+        label: "scope.tick",
+        t_ns: 9_000_000,
+        duration_ns: 8_000_000,
+        budget_ns: 4_000_000,
+    });
+    let info = fr
+        .trigger("deadline miss: scope.tick", &demo_log())
+        .unwrap()
+        .unwrap();
+    assert_eq!(info.breaches, 1);
+    info.path
+}
+
+#[test]
+fn fresh_bundle_is_immediately_searchable() {
+    let flight = tmp_dir("searchable");
+    write_bundle(&flight);
+
+    // Open the *flight directory*: sources are discovered per bundle.
+    let engine = QueryEngine::open(&flight).unwrap();
+    let labels: Vec<&str> = engine.sources().iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, ["postmortem-0000/stats", "postmortem-0000/spans"]);
+
+    // The CI smoke query: a span found by base label with a duration
+    // predicate, answered from index + block headers.
+    let q = parse_query("name=gel.iteration dur>0 within=postmortem-*").unwrap();
+    let out = engine.query(&q).unwrap();
+    assert_eq!(out.matches.len(), 1);
+    let m = &out.matches[0];
+    assert_eq!(m.source, "postmortem-0000/spans");
+    let span_name = m.name.as_deref().unwrap().to_string();
+    assert!(span_name.starts_with("gel.iteration#t"));
+    assert_eq!(m.time_us, 12_000);
+    assert!((m.value - 12.0).abs() < 1e-9);
+    assert_eq!(
+        out.stats.indexes_rebuilt, 0,
+        "bundle stores seal their sidecars"
+    );
+
+    // Breach class + thread predicates work on the same bundle.
+    let breaches = engine
+        .query(&parse_query("severity=breach").unwrap())
+        .unwrap();
+    assert_eq!(breaches.matches.len(), 1);
+    assert_eq!(
+        breaches.matches[0].name.as_deref(),
+        Some("breach.scope.tick")
+    );
+    let tid = gstore::split_thread(&span_name).unwrap().1;
+    let by_thread = engine
+        .query(&parse_query(&format!("thread={tid} dur>5ms")).unwrap())
+        .unwrap();
+    assert!(!by_thread.matches.is_empty());
+    let suffix = format!("#t{tid}");
+    assert!(by_thread.matches.iter().all(|m| m
+        .name
+        .as_deref()
+        .is_some_and(|n| n.ends_with(&suffix))
+        && m.value > 5.0));
+
+    // Equivalence holds on bundles too.
+    let reference = engine.linear_scan(&q).unwrap();
+    assert_eq!(out.matches, reference.matches);
+    std::fs::remove_dir_all(&flight).ok();
+}
+
+#[test]
+fn bundle_root_and_within_filtering() {
+    let flight = tmp_dir("within");
+    let bundle = write_bundle(&flight);
+
+    // Opening the bundle directory itself also works.
+    let engine = QueryEngine::open(&bundle).unwrap();
+    let labels: Vec<&str> = engine.sources().iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, ["stats", "spans"]);
+
+    // `within=` restricts sources before any segment is considered.
+    let q = parse_query("name=* within=spans").unwrap();
+    let out = engine.query(&q).unwrap();
+    assert!(out.matches.iter().all(|m| m.source == "spans"));
+    assert_eq!(out.stats.sources, 1);
+
+    let none = engine
+        .query(&parse_query("name=* within=nomatch-*").unwrap())
+        .unwrap();
+    assert_eq!(none.stats.sources, 0);
+    assert!(none.matches.is_empty());
+    std::fs::remove_dir_all(&flight).ok();
+}
+
+#[test]
+fn timeline_interleaves_spans_stats_and_breaches() {
+    let flight = tmp_dir("timeline");
+    write_bundle(&flight);
+
+    let engine = QueryEngine::open(&flight).unwrap();
+    let events = build_timeline(&engine, &TimelineOptions::default()).unwrap();
+    assert!(!events.is_empty());
+    assert!(events.iter().any(|e| e.kind == EventKind::Span));
+    assert!(events.iter().any(|e| e.kind == EventKind::Tuple));
+    assert!(events.iter().any(|e| e.kind == EventKind::Breach));
+    // Tail alignment: nothing is after its source's anchor.
+    assert!(events.iter().all(|e| e.rel_us <= 0));
+    // Events arrive sorted by relative time.
+    assert!(events.windows(2).all(|w| w[0].rel_us <= w[1].rel_us));
+
+    let text = format_timeline(&events);
+    assert!(text.contains("BREACH"));
+    assert!(text.contains("scope.tick#t"));
+    assert!(text.contains("scope.buffer.depth"));
+
+    // An explicit anchor switches to absolute time: a window around
+    // t=9ms still catches the breach.
+    let opts = TimelineOptions {
+        window_ms: 2.0,
+        anchor_ms: Some(9.0),
+        within: Some("*spans".to_string()),
+    };
+    let around = build_timeline(&engine, &opts).unwrap();
+    assert!(around.iter().any(|e| e.kind == EventKind::Breach));
+    assert!(around.iter().all(|e| e.source.ends_with("spans")));
+    std::fs::remove_dir_all(&flight).ok();
+}

@@ -1,0 +1,261 @@
+//! Planner correctness properties (ISSUE 6 satellite 3):
+//!
+//! 1. For random stores and random queries, `query()` is
+//!    **byte-identical** to a linear-replay reference filter —
+//!    times to the microsecond, values to the bit, names exactly.
+//! 2. The planner's stats prove the negative space: segments with no
+//!    candidate postings are *never opened*, and a query for a name
+//!    the store has never seen opens nothing at all.
+
+use gel::TimeStamp;
+use gquery::{parse_query, Query, QueryEngine};
+use gstore::{Store, StoreConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gquery-props").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_cfg() -> StoreConfig {
+    StoreConfig {
+        block_bytes: 256,
+        block_frames: 16,
+        segment_bytes: 2048,
+        ..StoreConfig::default()
+    }
+}
+
+const NAMES: [Option<&str>; 6] = [
+    None,
+    Some("pulse"),
+    Some("net.rx"),
+    Some("scope.tick#t0"),
+    Some("scope.tick#t1"),
+    Some("breach.scope.tick"),
+];
+
+fn random_store(dir: &PathBuf, rng: &mut StdRng, n: usize) {
+    let mut store = Store::open(dir, small_cfg()).unwrap();
+    let mut time_us = 0u64;
+    for _ in 0..n {
+        time_us += rng.gen_range(0u64..4_000);
+        let value = if rng.gen_bool(0.05) {
+            f64::NAN
+        } else {
+            (rng.gen_range(-8_000i64..8_000) as f64) / 16.0
+        };
+        let name = NAMES[rng.gen_range(0usize..NAMES.len())];
+        store
+            .append(TimeStamp::from_micros(time_us), value, name)
+            .unwrap();
+    }
+    store.close().unwrap();
+}
+
+fn random_query(rng: &mut StdRng) -> Query {
+    let mut expr = String::new();
+    if rng.gen_bool(0.7) {
+        let pat = [
+            "pulse",
+            "net.rx",
+            "scope.tick",
+            "scope.*",
+            "*",
+            "breach.*",
+            "scope.tick#t0",
+        ][rng.gen_range(0usize..7)];
+        expr.push_str(&format!("name={pat} "));
+    }
+    if rng.gen_bool(0.3) {
+        expr.push_str(&format!("thread={} ", rng.gen_range(0u32..3)));
+    }
+    if rng.gen_bool(0.2) {
+        expr.push_str("severity=breach ");
+    }
+    if rng.gen_bool(0.5) {
+        let op = [">", ">=", "<", "<="][rng.gen_range(0usize..4)];
+        let rhs = rng.gen_range(-500i64..500);
+        expr.push_str(&format!("val{op}{rhs} "));
+    }
+    if rng.gen_bool(0.3) {
+        let from = rng.gen_range(0u64..400);
+        let to = from + rng.gen_range(0u64..800);
+        expr.push_str(&format!("from={from} to={to} "));
+    }
+    parse_query(&expr).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Core equivalence: planner output == linear reference, bit for
+    /// bit, and the planner never decodes more frames than the replay.
+    #[test]
+    fn planner_matches_linear_reference(
+        seed in 0u64..1_000_000,
+        n in 60usize..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6771);
+        let dir = tmp_dir(&format!("equiv-{seed}-{n}"));
+        random_store(&dir, &mut rng, n);
+        let engine = QueryEngine::open(&dir).unwrap();
+        for _ in 0..4 {
+            let q = random_query(&mut rng);
+            let planned = engine.query(&q).unwrap();
+            let reference = engine.linear_scan(&q).unwrap();
+            prop_assert_eq!(&planned.matches, &reference.matches);
+            prop_assert_eq!(
+                planned.stats.frames_matched,
+                reference.stats.frames_matched
+            );
+            prop_assert!(planned.stats.frames_decoded <= reference.stats.frames_decoded);
+            prop_assert!(planned.stats.segments_opened <= planned.stats.segments_total);
+            // Sidecars were sealed by close(): nothing to rebuild.
+            prop_assert_eq!(planned.stats.indexes_rebuilt, 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deterministic negative-space check: signals live in disjoint
+/// phases, so a query for the last phase's signal must leave the
+/// earlier phases' segments unopened — and a query for a signal the
+/// store never saw must open nothing.
+#[test]
+fn untouched_segments_stay_unopened() {
+    let dir = tmp_dir("phases");
+    let mut store = Store::open(&dir, small_cfg()).unwrap();
+    for (phase, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        for i in 0..400u64 {
+            let t = (phase as u64) * 1_000_000 + i * 1_000;
+            store
+                .append(TimeStamp::from_micros(t), i as f64, Some(name))
+                .unwrap();
+        }
+    }
+    store.close().unwrap();
+
+    let engine = QueryEngine::open(&dir).unwrap();
+    let q = parse_query("name=gamma").unwrap();
+    let planned = engine.query(&q).unwrap();
+    let reference = engine.linear_scan(&q).unwrap();
+    assert_eq!(planned.matches, reference.matches);
+    assert_eq!(planned.matches.len(), 400);
+    assert!(
+        planned.stats.segments_total >= 3,
+        "store should span several segments"
+    );
+    assert!(
+        planned.stats.segments_opened < planned.stats.segments_total,
+        "alpha/beta segments must stay unopened: opened {} of {}",
+        planned.stats.segments_opened,
+        planned.stats.segments_total
+    );
+    assert!(planned.stats.segments_skipped > 0);
+    assert!(planned.stats.frames_decoded < reference.stats.frames_decoded);
+
+    // A name the store never recorded: the index alone answers "no".
+    let nothing = engine
+        .query(&parse_query("name=nosuch.signal").unwrap())
+        .unwrap();
+    assert!(nothing.matches.is_empty());
+    assert_eq!(nothing.stats.segments_opened, 0);
+    assert_eq!(nothing.stats.blocks_decoded, 0);
+    assert_eq!(nothing.stats.segments_skipped, nothing.stats.segments_total);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Value-envelope pruning: a monotone ramp means only the top blocks
+/// can satisfy a high `val>` threshold; the rest are pruned from the
+/// sidecar's min/max bounds without being decoded.
+#[test]
+fn value_envelopes_prune_blocks() {
+    let dir = tmp_dir("ramp");
+    let mut store = Store::open(&dir, small_cfg()).unwrap();
+    for i in 0..2_000u64 {
+        store
+            .append(TimeStamp::from_micros(i * 500), i as f64, Some("ramp"))
+            .unwrap();
+    }
+    store.close().unwrap();
+
+    let engine = QueryEngine::open(&dir).unwrap();
+    let q = parse_query("name=ramp val>=1990").unwrap();
+    let planned = engine.query(&q).unwrap();
+    let reference = engine.linear_scan(&q).unwrap();
+    assert_eq!(planned.matches, reference.matches);
+    assert_eq!(planned.matches.len(), 10);
+    assert!(planned.stats.blocks_pruned > 0);
+    assert!(
+        planned.stats.blocks_decoded < reference.stats.blocks_decoded / 10,
+        "expected <10% of blocks decoded, got {} of {}",
+        planned.stats.blocks_decoded,
+        reference.stats.blocks_decoded
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Time-range pruning composes with the block-header seek design:
+/// asking for a narrow window decodes a narrow band of blocks.
+#[test]
+fn time_ranges_prune_blocks() {
+    let dir = tmp_dir("timerange");
+    let mut store = Store::open(&dir, small_cfg()).unwrap();
+    for i in 0..2_000u64 {
+        store
+            .append(TimeStamp::from_micros(i * 1_000), (i % 7) as f64, Some("s"))
+            .unwrap();
+    }
+    store.close().unwrap();
+
+    let engine = QueryEngine::open(&dir).unwrap();
+    // Bare from/to numbers are milliseconds: [1.0s, 1.05s].
+    let q = parse_query("from=1000 to=1050").unwrap();
+    let planned = engine.query(&q).unwrap();
+    let reference = engine.linear_scan(&q).unwrap();
+    assert_eq!(planned.matches, reference.matches);
+    assert_eq!(planned.matches.len(), 51);
+    assert!(planned.stats.frames_decoded < reference.stats.frames_decoded / 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A store damaged after sealing still answers correctly: the stale
+/// sidecar is rebuilt on first query and results match the reference.
+#[test]
+fn stale_sidecar_is_rebuilt_on_query() {
+    let dir = tmp_dir("stale");
+    let mut store = Store::open(&dir, small_cfg()).unwrap();
+    for i in 0..600u64 {
+        store
+            .append(TimeStamp::from_micros(i * 1_000), i as f64, Some("sig"))
+            .unwrap();
+    }
+    store.close().unwrap();
+
+    // Damage every sidecar.
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let p = entry.path();
+        if p.extension().is_some_and(|e| e == "gidx") {
+            std::fs::write(&p, b"garbage").unwrap();
+        }
+    }
+
+    let engine = QueryEngine::open(&dir).unwrap();
+    let q = parse_query("name=sig val>=590").unwrap();
+    let planned = engine.query(&q).unwrap();
+    let reference = engine.linear_scan(&q).unwrap();
+    assert_eq!(planned.matches, reference.matches);
+    assert_eq!(planned.matches.len(), 10);
+    assert!(planned.stats.indexes_rebuilt > 0);
+
+    // Rebuilt sidecars persist: the next query probes clean.
+    let again = engine.query(&q).unwrap();
+    assert_eq!(again.stats.indexes_rebuilt, 0);
+    assert_eq!(again.matches, reference.matches);
+    std::fs::remove_dir_all(&dir).ok();
+}

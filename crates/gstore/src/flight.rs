@@ -13,7 +13,15 @@
 //!   trace.json   Chrome trace-event JSON (Perfetto-loadable)
 //!   trace.txt    causality tree + slowest-span table
 //!   stats/       a gstore holding the snapshot window as tuples
+//!   spans/       a gstore holding completed spans (`label#tN`,
+//!                value = duration ms) and deadline breaches
+//!                (`breach.<label>`)
 //! ```
+//!
+//! Both embedded stores seal with `.gidx` sidecars, so a fresh bundle
+//! is immediately searchable by `gquery` — `gtool query
+//! 'name=scope.tick dur>2ms within=postmortem-*'` plans over the
+//! index without replaying the bundle.
 //!
 //! The bundle is built in a dot-prefixed temp directory and published
 //! with one `rename`, so a crash mid-write never leaves a bundle that
@@ -44,6 +52,8 @@ pub struct BundleInfo {
     pub spans: usize,
     /// Registry snapshots frozen into `stats/`.
     pub snapshots: usize,
+    /// Deadline breaches frozen into `spans/` as `breach.<label>`.
+    pub breaches: usize,
 }
 
 /// Keeps the last K telemetry snapshots and freezes them plus the
@@ -53,9 +63,13 @@ pub struct FlightRecorder {
     dir: PathBuf,
     k: usize,
     snapshots: VecDeque<(TimeStamp, Snapshot)>,
+    breaches: VecDeque<(u64, &'static str, u64)>,
     bundles: u64,
     max_bundles: u64,
 }
+
+/// How many recent deadline breaches ride along into a bundle.
+const BREACH_WINDOW: usize = 64;
 
 impl FlightRecorder {
     /// Recorder writing bundles under `dir`, keeping the last `k`
@@ -65,6 +79,7 @@ impl FlightRecorder {
             dir: dir.into(),
             k: k.max(1),
             snapshots: VecDeque::new(),
+            breaches: VecDeque::new(),
             bundles: 0,
             max_bundles: 4,
         }
@@ -92,6 +107,18 @@ impl FlightRecorder {
             self.snapshots.pop_front();
         }
         self.snapshots.push_back((now, snapshot));
+    }
+
+    /// Notes a deadline breach so the next bundle carries it as a
+    /// `breach.<label>` tuple in `spans/`. Call for every
+    /// `DeadlineMonitor` miss; only the newest [`BREACH_WINDOW`]
+    /// survive.
+    pub fn note_breach(&mut self, miss: &gtel::DeadlineMiss) {
+        if self.breaches.len() == BREACH_WINDOW {
+            self.breaches.pop_front();
+        }
+        self.breaches
+            .push_back((miss.t_ns, miss.label, miss.duration_ns));
     }
 
     /// Freezes the span ring and the snapshot window into a bundle.
@@ -137,6 +164,7 @@ impl FlightRecorder {
         let _ = writeln!(meta, "records: {}", records.len());
         let _ = writeln!(meta, "records_dropped: {}", log.dropped());
         let _ = writeln!(meta, "snapshots: {}", self.snapshots.len());
+        let _ = writeln!(meta, "breaches: {}", self.breaches.len());
         if let Some((t, _)) = self.snapshots.back() {
             let _ = writeln!(meta, "last_snapshot_ms: {:.3}", t.as_millis_f64());
         }
@@ -150,11 +178,31 @@ impl FlightRecorder {
             block_frames: 256,
             ..StoreConfig::default()
         };
-        let mut store = Store::open(tmp.join("stats"), cfg)?;
+        let mut store = Store::open(tmp.join("stats"), cfg.clone())?;
         for (t, snap) in &self.snapshots {
             append_snapshot(&mut store, *t, snap)?;
         }
         store.close()?;
+
+        // Completed spans and deadline breaches ride in a second
+        // store under `spans/` — span end time in microseconds,
+        // value = duration in milliseconds, names `label#tN` and
+        // `breach.<label>` so the sealed `.gidx` sidecar grows span,
+        // thread, and severity terms for free.
+        let mut rows = gtel::span_tuple_rows(&records);
+        for &(t_ns, label, duration_ns) in &self.breaches {
+            rows.push((
+                t_ns / 1_000,
+                duration_ns as f64 / 1e6,
+                format!("breach.{label}"),
+            ));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+        let mut spans_store = Store::open(tmp.join("spans"), cfg)?;
+        for (t_us, value, name) in &rows {
+            spans_store.append(TimeStamp::from_micros(*t_us), *value, Some(name))?;
+        }
+        spans_store.close()?;
 
         std::fs::rename(&tmp, &finale).map_err(ScopeError::Io)?;
         self.bundles += 1;
@@ -162,6 +210,7 @@ impl FlightRecorder {
             path: finale,
             spans,
             snapshots: self.snapshots.len(),
+            breaches: self.breaches.len(),
         }))
     }
 }
@@ -217,6 +266,9 @@ pub struct BundleSummary {
     pub tree: String,
     /// Tuples decoded from the `stats/` store.
     pub stats_tuples: usize,
+    /// Tuples decoded from the `spans/` store (0 for bundles written
+    /// before spans were recorded).
+    pub span_tuples: usize,
 }
 
 /// Reads a bundle back, decoding the stats store end to end — the
@@ -241,11 +293,19 @@ pub fn read_bundle(path: impl AsRef<Path>) -> Result<BundleSummary> {
     while reader.next_tuple()?.is_some() {
         stats_tuples += 1;
     }
+    let mut span_tuples = 0;
+    if path.join("spans").is_dir() {
+        let mut reader = StoreReader::open(path.join("spans"))?;
+        while reader.next_tuple()?.is_some() {
+            span_tuples += 1;
+        }
+    }
     Ok(BundleSummary {
         meta,
         trace_json,
         tree,
         stats_tuples,
+        span_tuples,
     })
 }
 
@@ -303,6 +363,36 @@ mod tests {
         assert!(bundle.tree.contains("scope.tick"));
         // 2 snapshots x (counter + gauge + 5 histogram expansions).
         assert_eq!(bundle.stats_tuples, 14);
+        // One span tuple per completed (End) span.
+        assert_eq!(bundle.span_tuples, info.spans);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn breaches_ride_in_spans_store() {
+        let dir = tmp();
+        let mut fr = FlightRecorder::new(&dir, 2);
+        fr.note_breach(&gtel::DeadlineMiss {
+            label: "scope.tick",
+            t_ns: 9_000,
+            duration_ns: 8_000,
+            budget_ns: 4_000,
+        });
+        let info = fr.trigger("breach", &demo_log()).unwrap().unwrap();
+        assert_eq!(info.breaches, 1);
+        let bundle = read_bundle(&info.path).unwrap();
+        assert!(bundle.meta.contains("breaches: 1"));
+        assert_eq!(bundle.span_tuples, info.spans + 1);
+        // The spans store sealed with a queryable sidecar holding the
+        // breach severity term.
+        let mut reader = StoreReader::open(info.path.join("spans")).unwrap();
+        let mut saw_breach = false;
+        while let Some(t) = reader.next_tuple().unwrap() {
+            if t.name.as_deref() == Some("breach.scope.tick") {
+                saw_breach = true;
+            }
+        }
+        assert!(saw_breach);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -15,6 +15,11 @@
 //!   one segment's block headers, and decodes a single landing block —
 //!   O(log n), never scanning prior segments ([`ReaderStats`] proves
 //!   it).
+//! * **Searchable** — every sealed segment carries a `.gidx` inverted
+//!   index sidecar ([`index`]) keyed by signal name, span label,
+//!   thread id, and breach class; the `gquery` crate plans queries
+//!   over it so a search opens only matching segments and decodes
+//!   only matching blocks.
 //! * **Crash-safe** — [`Store::open`] verifies the newest segment,
 //!   truncates torn or corrupt tails, and salvages every complete
 //!   frame from a torn block; loss is bounded to the frame being
@@ -31,11 +36,16 @@
 
 pub mod codec;
 pub mod flight;
+pub mod index;
 pub mod reader;
 pub mod segment;
 pub mod store;
 
 pub use flight::{read_bundle, BundleInfo, BundleSummary, FlightRecorder};
+pub use index::{
+    build_index, index_path, load_or_rebuild_index, probe_index, read_index, split_thread,
+    write_index, IndexProbe, Posting, SegIndex, TermClass, TermEntry,
+};
 pub use reader::{ReaderStats, StoreReader};
 pub use segment::{recover_segment, Recovery, SalvagedFrame};
 pub use store::{

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use gscope::{intern, Tuple};
 
 use crate::codec::{crc32, get_uvarint, put_uvarint, put_uvarint_into};
+use crate::index::{build_index, index_path, write_index, IndexBuilder, TermStat};
 
 /// Segment file magic.
 pub const SEG_MAGIC: [u8; 4] = *b"GSG1";
@@ -123,6 +124,9 @@ pub struct Recovery {
     pub dropped_blocks: u32,
     /// True when the file had to be cut back at all.
     pub truncated: bool,
+    /// True when the `.gidx` sidecar disagreed with the recovered
+    /// prefix and was rebuilt (or removed) to match.
+    pub index_rebuilt: bool,
 }
 
 fn u32le(b: &[u8]) -> u32 {
@@ -348,9 +352,14 @@ pub fn recover_segment(path: &Path) -> std::io::Result<Recovery> {
         ..Recovery::default()
     };
     if read_seg_header(&mut file).is_err() {
-        // Even the 16-byte header is torn: rewind to nothing.
+        // Even the 16-byte header is torn: rewind to nothing. A
+        // sidecar describing the dead file must not outlive it.
         rec.valid_len = 0;
         rec.truncated = true;
+        if index_path(path).exists() {
+            let _ = std::fs::remove_file(index_path(path));
+            rec.index_rebuilt = true;
+        }
         return Ok(rec);
     }
     let scan = scan_headers(&mut file)?;
@@ -400,7 +409,52 @@ pub fn recover_segment(path: &Path) -> std::io::Result<Recovery> {
             }
         }
     }
+    // Reconcile the sidecar with the recovered prefix: postings for
+    // truncated bytes would send a query planner into data that no
+    // longer exists, and wrong `seg_len` binding means every later
+    // load would rebuild anyway. Rebuild it here, once, from the
+    // trusted prefix.
+    let ipath = index_path(path);
+    let consistent = ipath.exists()
+        && crate::index::read_index(&ipath)
+            .map(|i| i.seg_len == rec.valid_len)
+            .unwrap_or(false);
+    if !consistent {
+        let idx = build_index(path, Some(rec.valid_len))?;
+        write_index(&ipath, &idx)?;
+        rec.index_rebuilt = true;
+    }
     Ok(rec)
+}
+
+/// Reads the 24-byte block header at `offset` and returns its
+/// [`BlockMeta`], or `None` when the offset does not hold a complete,
+/// plausible block — the resolver half of an index posting lookup.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn read_block_header_at(file: &mut File, offset: u64) -> std::io::Result<Option<BlockMeta>> {
+    let file_len = file.seek(SeekFrom::End(0))?;
+    if offset < SEG_HEADER_LEN || offset + BLOCK_HEADER_LEN > file_len {
+        return Ok(None);
+    }
+    let mut header = [0u8; BLOCK_HEADER_LEN as usize];
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(&mut header)?;
+    let payload_len = u32le(&header[0..4]);
+    if payload_len == 0
+        || payload_len > MAX_PAYLOAD_LEN
+        || offset + BLOCK_HEADER_LEN + u64::from(payload_len) > file_len
+    {
+        return Ok(None);
+    }
+    Ok(Some(BlockMeta {
+        offset,
+        payload_len,
+        first_us: u64le(&header[8..16]),
+        frames: u32le(&header[16..20]),
+    }))
 }
 
 /// Append-side segment writer: builds one block in memory and writes
@@ -430,6 +484,21 @@ pub struct SegmentWriter {
     /// interleavings resolve in one probe.
     last_name: usize,
     fsync: bool,
+    /// Downsampling tier, echoed into the index sidecar at seal.
+    tier: u16,
+    /// Per-block term stats, indexed by name id (slot 0 = unnamed).
+    /// Folded into `index` at flush, cleared with the name table.
+    term_stats: Vec<TermStat>,
+    /// Segment-wide index accumulator (term derivation happens here,
+    /// once per distinct name per block — never per frame).
+    index: IndexBuilder,
+    /// A resumed writer's accumulator misses the blocks written before
+    /// the resume; seal rebuilds the index from the file instead.
+    resumed: bool,
+    /// Maintain index stats and write the `.gidx` sidecar at seal
+    /// (`StoreConfig::index_sidecars`). When off, queries rebuild the
+    /// sidecar on demand instead.
+    index_enabled: bool,
 }
 
 /// Packs a name's length and first/last bytes into one u32 for the
@@ -480,6 +549,11 @@ impl SegmentWriter {
             name_keys: Vec::new(),
             last_name: 0,
             fsync,
+            tier,
+            term_stats: vec![TermStat::default()],
+            index: IndexBuilder::default(),
+            resumed: false,
+            index_enabled: true,
         })
     }
 
@@ -491,6 +565,7 @@ impl SegmentWriter {
     ///
     /// Propagates I/O errors.
     pub fn resume(path: PathBuf, valid_len: u64, fsync: bool) -> std::io::Result<Self> {
+        let tier = read_seg_header(&mut File::open(&path)?)?.0;
         let file = OpenOptions::new().write(true).open(&path)?;
         file.set_len(valid_len)?;
         let mut w = SegmentWriter {
@@ -505,9 +580,20 @@ impl SegmentWriter {
             name_keys: Vec::new(),
             last_name: 0,
             fsync,
+            tier,
+            term_stats: vec![TermStat::default()],
+            index: IndexBuilder::default(),
+            resumed: true,
+            index_enabled: true,
         };
         w.file.seek(SeekFrom::Start(valid_len))?;
         Ok(w)
+    }
+
+    /// Turns `.gidx` maintenance on or off for this writer
+    /// ([`crate::StoreConfig::index_sidecars`]).
+    pub fn set_index_enabled(&mut self, on: bool) {
+        self.index_enabled = on;
     }
 
     /// The segment file path.
@@ -573,6 +659,11 @@ impl SegmentWriter {
         self.block.extend_from_slice(&rec);
         self.block.truncate(start + pos + 8);
         self.block_frames += 1;
+        // Per-block index stats: one slot per name id, a few compares
+        // and stores — term *derivation* waits for the block flush.
+        if self.index_enabled {
+            self.term_stats[id as usize].note(time_us, value);
+        }
     }
 
     /// Looks `n` up in (or adds it to) the block-scoped name table,
@@ -602,6 +693,7 @@ impl SegmentWriter {
         }
         self.names.push(n.into());
         self.name_keys.push(key);
+        self.term_stats.push(TermStat::default());
         let id = self.names.len() as u64;
         self.last_name = self.names.len() - 1;
         self.block.push(TAG_NAMEDEF);
@@ -634,6 +726,21 @@ impl SegmentWriter {
         if self.fsync {
             self.file.sync_data()?;
         }
+        // Fold the block's per-name stats into the segment index; the
+        // block lands at the pre-write offset.
+        if self.index_enabled {
+            let offset = self.bytes;
+            for (i, s) in self.term_stats.iter().enumerate() {
+                let name = if i == 0 {
+                    None
+                } else {
+                    Some(&*self.names[i - 1])
+                };
+                self.index.add_block(offset, name, s);
+            }
+        }
+        self.term_stats.clear();
+        self.term_stats.push(TermStat::default());
         let written = self.block.len() as u64;
         self.bytes += written;
         self.block.truncate(header_len);
@@ -658,6 +765,17 @@ impl SegmentWriter {
         self.flush_block()?;
         if self.fsync {
             self.file.sync_data()?;
+        }
+        // Write the index sidecar. A resumed writer's accumulator only
+        // covers post-resume blocks, so it rebuilds from the file; the
+        // common (fresh) path costs no extra segment I/O at all.
+        if self.index_enabled {
+            let idx = if self.resumed {
+                build_index(&self.path, None)?
+            } else {
+                std::mem::take(&mut self.index).finish(self.tier, self.bytes)
+            };
+            write_index(&index_path(&self.path), &idx)?;
         }
         Ok(self.bytes)
     }

@@ -5,6 +5,7 @@
 use std::fmt::Write as _;
 
 use crate::registry::{MetricValue, Snapshot};
+use crate::span::{SpanKind, SpanRecord};
 
 /// Renders `ns` nanoseconds with an auto-selected unit.
 pub fn format_ns(ns: u64) -> String {
@@ -51,6 +52,32 @@ pub fn tuple_lines(snapshot: &Snapshot, now_ms: f64) -> Vec<String> {
         }
     }
     out
+}
+
+/// Converts completed span records into store-ready tuple rows
+/// `(time_us, duration_ms, "label#tN")`.
+///
+/// Only [`SpanKind::End`] records contribute (an End record alone
+/// reconstructs the whole span); the row time is the span *end* in
+/// microseconds and the value is the duration in milliseconds, so the
+/// rows plug straight into a `gstore` tuple store where the `.gidx`
+/// sidecar derives span-label, thread, and severity terms from the
+/// `label#tN` naming convention. Rows come back sorted by time, ready
+/// for in-order append.
+pub fn span_tuple_rows(records: &[SpanRecord]) -> Vec<(u64, f64, String)> {
+    let mut rows: Vec<(u64, f64, String)> = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::End)
+        .map(|r| {
+            (
+                r.t_ns / 1_000,
+                r.duration_ns() as f64 / 1e6,
+                format!("{}#t{}", r.label, r.tid),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+    rows
 }
 
 fn prom_name(name: &str) -> String {
@@ -242,6 +269,37 @@ mod tests {
         assert!(json.contains("\"max_ns\":500000"));
         // Exactly one timestamp in the whole document.
         assert_eq!(json.matches("t_ms").count(), 1);
+    }
+
+    #[test]
+    fn span_tuple_rows_ends_only_sorted() {
+        use crate::span::{SpanKind, SpanRecord};
+        let rec =
+            |t_ns: u64, begin_ns: u64, label: &'static str, tid: u32, kind: SpanKind| SpanRecord {
+                seq: 0,
+                t_ns,
+                begin_ns,
+                span: 1,
+                parent: 0,
+                arg: 0,
+                label,
+                kind,
+                tid,
+            };
+        let records = [
+            rec(5_000_000, 2_000_000, "scope.tick", 1, SpanKind::End),
+            rec(1_000_000, 1_000_000, "scope.tick", 1, SpanKind::Begin),
+            rec(3_000_000, 1_500_000, "gel.iteration", 0, SpanKind::End),
+            rec(2_000_000, 2_000_000, "marker", 0, SpanKind::Instant),
+        ];
+        let rows = span_tuple_rows(&records);
+        assert_eq!(
+            rows,
+            [
+                (3_000, 1.5, "gel.iteration#t0".to_string()),
+                (5_000, 3.0, "scope.tick#t1".to_string()),
+            ]
+        );
     }
 
     #[test]

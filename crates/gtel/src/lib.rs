@@ -39,7 +39,9 @@ pub mod trace;
 
 pub use chrome::{aggregate_spans, chrome_trace_json, slowest_spans, span_tree, SpanAgg};
 pub use deadline::{DeadlineMiss, DeadlineMonitor, StageBudget};
-pub use export::{format_ns, json_stats, prometheus_text, stats_table, tuple_lines};
+pub use export::{
+    format_ns, json_stats, prometheus_text, span_tuple_rows, stats_table, tuple_lines,
+};
 pub use metrics::{
     Counter, Gauge, HistogramSnapshot, HistogramStat, LatencyHistogram, HISTOGRAM_BUCKETS,
 };

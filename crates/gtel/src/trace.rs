@@ -263,9 +263,9 @@ pub fn tracer() -> Arc<TraceLog> {
     if let Some(t) = OVERRIDE.with(|o| o.borrow().clone()) {
         return t;
     }
-    Arc::clone(GLOBAL.get_or_init(|| {
-        Arc::new(TraceLog::with_shards(GLOBAL_CAPACITY, GLOBAL_SHARDS))
-    }))
+    Arc::clone(
+        GLOBAL.get_or_init(|| Arc::new(TraceLog::with_shards(GLOBAL_CAPACITY, GLOBAL_SHARDS))),
+    )
 }
 
 /// Installs (or with `None` removes) this thread's tracer override,

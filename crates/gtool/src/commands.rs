@@ -65,7 +65,53 @@ fn summary_block(
     out
 }
 
-/// Summarizes a store directory: catalog + a streamed pass per tier.
+/// What `summary_block` needs for one tier: total tuples, time span,
+/// and the per-signal breakdown.
+type TierSummary = (u64, Option<(TimeStamp, TimeStamp)>, SignalSummary);
+
+/// Per-tier roll-up from `.gidx` sidecars alone: per-signal counts,
+/// value ranges, and the tier's time span come straight from the
+/// Signal-class terms — no block is decoded. Returns `None` when any
+/// segment lacks a valid sidecar, and the caller falls back to the
+/// full streamed walk.
+fn indexed_tier_summary(segs: &[&gstore::SegmentInfo]) -> Option<TierSummary> {
+    let mut per_signal = SignalSummary::new();
+    let mut count = 0u64;
+    let mut span: Option<(u64, u64)> = None;
+    for seg in segs {
+        let gstore::IndexProbe::Valid(idx) = gstore::probe_index(&seg.path).ok()? else {
+            return None;
+        };
+        for term in idx.terms_of(gstore::TermClass::Signal) {
+            let name = if term.name.is_empty() {
+                gscope::UNNAMED_SIGNAL
+            } else {
+                &term.name
+            };
+            if let Some(entry) = per_signal.get_mut(name) {
+                entry.0 += term.count;
+                entry.1 = entry.1.min(term.min_value);
+                entry.2 = entry.2.max(term.max_value);
+            } else {
+                per_signal.insert(
+                    name.to_owned(),
+                    (term.count, term.min_value, term.max_value),
+                );
+            }
+            count += term.count;
+            span = Some(match span {
+                None => (term.first_us, term.last_us),
+                Some((a, b)) => (a.min(term.first_us), b.max(term.last_us)),
+            });
+        }
+    }
+    let span = span.map(|(a, b)| (TimeStamp::from_micros(a), TimeStamp::from_micros(b)));
+    Some((count, span, per_signal))
+}
+
+/// Summarizes a store directory: catalog plus, per tier, either the
+/// `.gidx` sidecar roll-up (no block decodes) or a streamed walk when
+/// a sidecar is missing or damaged.
 fn store_info(dir: &str) -> CmdResult {
     let catalog =
         catalog_segments(Path::new(dir)).map_err(|e| format!("cannot open {dir}: {e}"))?;
@@ -75,28 +121,35 @@ fn store_info(dir: &str) -> CmdResult {
         if segs.is_empty() {
             continue;
         }
-        let mut reader = StoreReader::open_tier(dir, tier)?;
-        let mut per_signal = SignalSummary::new();
-        let mut count = 0u64;
-        let mut span: Option<(TimeStamp, TimeStamp)> = None;
-        while let Some(t) = reader.next_tuple()? {
-            fold_signal(&mut per_signal, t.name.as_deref(), t.value);
-            count += 1;
-            span = Some(match span {
-                None => (t.time, t.time),
-                Some((t0, _)) => (t0, t.time),
-            });
-        }
+        let mut crc_skipped = 0;
+        let (count, span, per_signal, via) = match indexed_tier_summary(&segs) {
+            Some((count, span, per_signal)) => (count, span, per_signal, ", indexed"),
+            None => {
+                let mut reader = StoreReader::open_tier(dir, tier)?;
+                let mut per_signal = SignalSummary::new();
+                let mut count = 0u64;
+                let mut span: Option<(TimeStamp, TimeStamp)> = None;
+                while let Some(t) = reader.next_tuple()? {
+                    fold_signal(&mut per_signal, t.name.as_deref(), t.value);
+                    count += 1;
+                    span = Some(match span {
+                        None => (t.time, t.time),
+                        Some((t0, _)) => (t0, t.time),
+                    });
+                }
+                crc_skipped = reader.stats().crc_skipped_blocks;
+                (count, span, per_signal, "")
+            }
+        };
         let bytes: u64 = segs.iter().map(|s| s.bytes).sum();
         let head = format!(
-            "{dir} tier {tier} ({} segments, {bytes} bytes{})",
+            "{dir} tier {tier} ({} segments, {bytes} bytes{}{via})",
             segs.len(),
             if tier == 1 { ", min/max envelopes" } else { "" },
         );
         out.push_str(&summary_block(&head, count, span, &per_signal));
-        let skipped = reader.stats().crc_skipped_blocks;
-        if skipped > 0 {
-            out.push_str(&format!("  ({skipped} corrupt blocks skipped)\n"));
+        if crc_skipped > 0 {
+            out.push_str(&format!("  ({crc_skipped} corrupt blocks skipped)\n"));
         }
     }
     if out.is_empty() {
@@ -800,6 +853,8 @@ pub fn run(cmd: &str, args: &Args) -> CmdResult {
         "stats" => stats(args),
         "trace" => crate::tracecmd::trace(args),
         "health" => crate::tracecmd::health(args),
+        "query" => crate::querycmd::query(args),
+        "timeline" => crate::querycmd::timeline(args),
         "spectrum" => spectrum(args),
         "stack" => stack(args),
         "mxtraf" => mxtraf(args),
@@ -832,6 +887,10 @@ USAGE:
   gscope-tool trace slowest [--top N] [run flags]
   gscope-tool health [--budget-us N] [--window N] [--allow N] [run flags]
                     (exit code 1 when the deadline SLO window is breached)
+  gscope-tool query '<expr>' --store <dir> [--limit N]
+                    (expr: name=SIG dur>2ms thread=N severity=breach
+                     from=MS to=MS within=GLOB — AND of predicates)
+  gscope-tool timeline --store <dir> [--window-ms W] [--anchor-ms T] [--within GLOB]
   gscope-tool spectrum <file> [--signal NAME] [--size N] [--period MS]
   gscope-tool stack <a.ppm> <b.ppm> [...] --out <img.ppm> [--gap N]
   gscope-tool mxtraf [--flows N] [--seconds S] [--ecn] [--sack] [--loss P]

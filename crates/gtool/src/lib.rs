@@ -18,12 +18,14 @@
 
 mod args;
 mod commands;
+mod querycmd;
 mod tracecmd;
 
 pub use args::{ArgError, Args};
 pub use commands::{
     gen, info, mxtraf, run, serve, spectrum, stack, stats, stream, view, CmdResult, USAGE,
 };
+pub use querycmd::{query, timeline};
 pub use tracecmd::{health, trace};
 
 /// Flags that take no value, shared by the binary and the test

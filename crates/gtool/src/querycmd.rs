@@ -1,0 +1,234 @@
+//! `query` and `timeline`: shell access to the gquery planner.
+//!
+//! Both commands take `--store <dir>` pointing at a recording root —
+//! a plain store directory, one post-mortem bundle, or a flight
+//! directory of bundles — and print what they found plus the
+//! planner's work counters, so "did this touch the whole store?" is
+//! answerable from the shell.
+
+use gquery::{
+    build_timeline, format_timeline, parse_query, QueryEngine, QueryStats, TimelineOptions,
+};
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+fn stats_line(stats: &QueryStats) -> String {
+    format!(
+        "planner: {} sources, {}/{} segments opened ({} skipped via index, {} rebuilt), \
+         {} blocks decoded ({} pruned), {} frames decoded, {} matched\n",
+        stats.sources,
+        stats.segments_opened,
+        stats.segments_total,
+        stats.segments_skipped,
+        stats.indexes_rebuilt,
+        stats.blocks_decoded,
+        stats.blocks_pruned,
+        stats.frames_decoded,
+        stats.frames_matched,
+    )
+}
+
+/// `query <expr> --store <dir> [--limit N]` — run a search expression
+/// against a recording (`--limit 0` prints every match).
+pub fn query(args: &Args) -> CmdResult {
+    args.check_known(&["store", "limit"])?;
+    // The expression may arrive quoted (one positional) or bare (one
+    // positional per predicate) — join them back into one string.
+    args.positional(0, "expr")?;
+    let expr: String = (0..args.positional_count())
+        .map(|i| args.positional(i, "expr").unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let store = args.get("store").ok_or("query needs --store <dir>")?;
+    let limit = args.get_or("limit", 50usize)?;
+    let q = parse_query(&expr).map_err(|e| format!("bad query: {e}"))?;
+    let engine = QueryEngine::open(store)?;
+    let outcome = engine.query(&q)?;
+
+    let mut out = String::new();
+    let shown = if limit == 0 {
+        outcome.matches.len()
+    } else {
+        outcome.matches.len().min(limit)
+    };
+    if !outcome.matches.is_empty() {
+        let src_w = outcome.matches[..shown]
+            .iter()
+            .map(|m| m.source.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        for m in &outcome.matches[..shown] {
+            let name = m.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
+            out.push_str(&format!(
+                "{:>12.3}ms  {:<src_w$}  {:<24} {}\n",
+                m.time_us as f64 / 1_000.0,
+                m.source,
+                name,
+                m.value,
+            ));
+        }
+    }
+    if shown < outcome.matches.len() {
+        out.push_str(&format!(
+            "… {} more (raise --limit to see them)\n",
+            outcome.matches.len() - shown
+        ));
+    }
+    out.push_str(&format!("{} matches in {}\n", outcome.matches.len(), store));
+    out.push_str(&stats_line(&outcome.stats));
+    Ok(out)
+}
+
+/// `timeline --store <dir> [--window-ms W] [--anchor-ms T]
+/// [--within GLOB]` — merge spans, tuples, and breaches from every
+/// source around an anchor (default: each source's last event).
+pub fn timeline(args: &Args) -> CmdResult {
+    args.check_known(&["store", "window-ms", "anchor-ms", "within"])?;
+    let store = args.get("store").ok_or("timeline needs --store <dir>")?;
+    let mut opts = TimelineOptions {
+        window_ms: args.get_or("window-ms", 100.0f64)?,
+        ..TimelineOptions::default()
+    };
+    if let Some(v) = args.get("anchor-ms") {
+        opts.anchor_ms = Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("bad --anchor-ms {v:?}"))?,
+        );
+    }
+    opts.within = args.get("within").map(str::to_owned);
+
+    let engine = QueryEngine::open(store)?;
+    let events = build_timeline(&engine, &opts)?;
+    if events.is_empty() {
+        return Ok(format!(
+            "no events within ±{}ms of the anchor in {store}\n",
+            opts.window_ms
+        ));
+    }
+    let mut out = format_timeline(&events);
+    let breaches = events
+        .iter()
+        .filter(|e| e.kind == gquery::EventKind::Breach)
+        .count();
+    out.push_str(&format!(
+        "{} events from {} sources (±{}ms window, {}), {} breaches\n",
+        events.len(),
+        engine.sources().len(),
+        opts.window_ms,
+        match opts.anchor_ms {
+            Some(ms) => format!("anchor {ms}ms"),
+            None => "tail-aligned".to_string(),
+        },
+        breaches,
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel::TimeStamp;
+    use gstore::{FlightRecorder, Store, StoreConfig};
+    use gtel::{DeadlineMiss, Registry, TraceLog};
+    use std::path::PathBuf;
+
+    fn args(s: &str) -> Args {
+        Args::parse(
+            s.split_whitespace().map(str::to_owned),
+            crate::BOOLEAN_FLAGS,
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("gtool-query-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn demo_store(dir: &PathBuf) {
+        let mut store = Store::open(
+            dir,
+            StoreConfig {
+                block_bytes: 256,
+                block_frames: 16,
+                segment_bytes: 2048,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..500u64 {
+            let name = if i % 5 == 0 { "scope.tick#t1" } else { "pulse" };
+            store
+                .append(TimeStamp::from_micros(i * 1_000), i as f64, Some(name))
+                .unwrap();
+        }
+        store.close().unwrap();
+    }
+
+    fn demo_bundle(dir: &PathBuf) {
+        let mut fr = FlightRecorder::new(dir, 4);
+        let reg = Registry::shared();
+        reg.counter("scope.ticks").add(3);
+        fr.note_stats(TimeStamp::from_micros(11_000), &reg);
+        fr.note_breach(&DeadlineMiss {
+            label: "scope.tick",
+            t_ns: 9_000_000,
+            duration_ns: 8_000_000,
+            budget_ns: 4_000_000,
+        });
+        let log = TraceLog::new(64);
+        log.record_span_at("gel.iteration", 1, 0, 12_000_000);
+        log.record_span_at("scope.tick", 1, 1_000_000, 9_000_000);
+        fr.trigger("test", &log).unwrap().unwrap();
+    }
+
+    #[test]
+    fn query_prints_matches_and_planner_stats() {
+        let dir = tmp("qry");
+        demo_store(&dir);
+        let report = query(&args(&format!(
+            "name=scope.tick dur>=400 --store {} --limit 3",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(report.contains("scope.tick#t1"), "{report}");
+        assert!(report.contains("20 matches"), "{report}");
+        assert!(report.contains("more (raise --limit"), "{report}");
+        assert!(report.contains("planner:"), "{report}");
+        assert!(report.contains("skipped via index"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_rejects_bad_input() {
+        let dir = tmp("qry-bad");
+        demo_store(&dir);
+        assert!(query(&args(&format!("frob=1 --store {}", dir.display()))).is_err());
+        assert!(query(&args("name=x")).is_err()); // no --store
+        assert!(query(&args("name=x --store /nonexistent-path")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timeline_on_a_bundle_shows_the_breach() {
+        let dir = tmp("tl");
+        demo_bundle(&dir);
+        let report = timeline(&args(&format!("--store {}", dir.display()))).unwrap();
+        assert!(report.contains("BREACH"), "{report}");
+        assert!(report.contains("breach.scope.tick"), "{report}");
+        assert!(report.contains("1 breaches"), "{report}");
+        assert!(report.contains("tail-aligned"), "{report}");
+
+        let empty = timeline(&args(&format!(
+            "--store {} --window-ms 0.001 --anchor-ms 99999",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(empty.contains("no events"), "{empty}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -214,6 +214,13 @@ fn traced_run(cfg: &RunConfig) -> Result<RunReport, Box<dyn std::error::Error>> 
                 if let Some(flight) = &flight {
                     let mut flight = flight.lock();
                     flight.note_stats(tick.now, &registry);
+                    for miss in &misses {
+                        // Every miss rides into the next bundle's
+                        // `spans/` store as a `breach.<label>` tuple,
+                        // making it searchable via `gtool query
+                        // severity=breach`.
+                        flight.note_breach(miss);
+                    }
                     if let Some(miss) = misses.first() {
                         let reason = format!(
                             "deadline miss: {} took {}ns, budget {}ns",
