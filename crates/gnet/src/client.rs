@@ -5,16 +5,44 @@
 //! server." The client is single-threaded and I/O-driven: `send`
 //! enqueues tuples into an in-memory out-buffer, and `pump` (typically
 //! wired to a `gel` I/O watch) writes whatever the non-blocking socket
-//! accepts.
+//! accepts — and drains whatever the server sent back.
+//!
+//! # Wire negotiation
+//!
+//! A plain [`ScopeClient::connect`] speaks the §3.3 text protocol and
+//! never will anything else — byte-for-byte compatible with `nc`. A
+//! client built with [`ScopeClient::connect_binary`] (or upgraded via
+//! [`ScopeClient::set_prefer_binary`]) sends a HELLO frame and keeps
+//! emitting text until the server answers WELCOME; from then on sends
+//! are batched into binary DATA frames ([`crate::wire`]). Against a
+//! legacy text server the WELCOME never comes and the client simply
+//! stays on text — automatic fallback, no error, no timeout.
+//!
+//! # Receiving
+//!
+//! After [`ScopeClient::subscribe`] the server streams the live feed
+//! back; `pump` decodes it (either encoding) into a buffer drained
+//! with [`ScopeClient::take_received`]. Backpressure transitions
+//! arrive as [`StreamEvent`]s.
 
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
 use gel::{Clock, IoPoll, TimeStamp};
-use gscope::{write_tuple_line, StatsExport, Tuple};
+use gscope::{intern, write_tuple_line, StatsExport, Tuple};
 use gtel::{Counter, Gauge, Registry};
+
+use crate::wire::{
+    decode_arg, decode_data, frame_arg, frame_hello, split_message, BatchEncoder, Msg, Protocol,
+    OP_CATCHUP_BEGIN, OP_CATCHUP_END, OP_DATA, OP_SUB, OP_WELCOME, TEXT_CATCHUP_BEGIN,
+    TEXT_CATCHUP_END, TEXT_SUB,
+};
+
+/// Flush a pending binary batch once its records reach this size, so
+/// frames stay cache-friendly and far below the wire's hard cap.
+const BATCH_FLUSH_BYTES: usize = 32 << 10;
 
 /// Counters describing client activity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -23,8 +51,12 @@ pub struct ClientStats {
     pub tuples_queued: u64,
     /// Bytes successfully written to the socket.
     pub bytes_sent: u64,
-    /// `pump` calls that wrote at least one byte.
+    /// `pump` calls that made progress in either direction.
     pub pumps_with_progress: u64,
+    /// Tuples received from the server's live feed / catch-up replay.
+    pub tuples_received: u64,
+    /// Server messages this client could not decode (skipped).
+    pub recv_errors: u64,
 }
 
 impl StatsExport for ClientStats {
@@ -37,8 +69,21 @@ impl StatsExport for ClientStats {
                 self.pumps_with_progress as f64,
                 "net.client.pumps_with_progress",
             ),
+            Tuple::new(now, self.tuples_received as f64, "net.client.tuples_in"),
+            Tuple::new(now, self.recv_errors as f64, "net.client.recv_errors"),
         ]
     }
+}
+
+/// Out-of-band notifications decoded from the server stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// The server accepted binary encoding (WELCOME).
+    Negotiated(Protocol),
+    /// The live feed was shed; a store replay from this µs follows.
+    CatchUpBegin(u64),
+    /// Replay finished through this µs; the live feed resumes after.
+    CatchUpEnd(u64),
 }
 
 /// Cached gtel handles for one [`ScopeClient`].
@@ -84,6 +129,21 @@ pub struct ScopeClient {
     /// buffer and copies into `outbuf`, so steady-state sends allocate
     /// nothing (no intermediate `String` per tuple).
     scratch: Vec<u8>,
+    /// Pending binary batch (used once `proto` is Binary).
+    enc: BatchEncoder,
+    /// Bytes read from the server, split into messages by `pump`.
+    inbuf: Vec<u8>,
+    read_buf: Vec<u8>,
+    /// DATA decode scratch.
+    wire_scratch: Vec<crate::wire::WireRec>,
+    /// Tuples received from the server, drained by `take_received`.
+    rx: Vec<Tuple>,
+    /// Events received from the server, drained by `take_events`.
+    events: Vec<StreamEvent>,
+    /// Encoding this client currently emits.
+    proto: Protocol,
+    /// HELLO sent; upgrade to binary when WELCOME arrives.
+    prefer_binary: bool,
     stats: ClientStats,
     closed: bool,
     reconnects: u64,
@@ -92,7 +152,8 @@ pub struct ScopeClient {
 
 impl ScopeClient {
     /// Connects to a gscope server and switches the socket to
-    /// non-blocking mode.
+    /// non-blocking mode. The connection speaks text only — the legacy
+    /// §3.3 protocol, byte-identical to what `nc` would send.
     ///
     /// # Errors
     ///
@@ -107,11 +168,64 @@ impl ScopeClient {
             addr,
             outbuf: VecDeque::new(),
             scratch: Vec::with_capacity(64),
+            enc: BatchEncoder::new(),
+            inbuf: Vec::new(),
+            read_buf: vec![0u8; 16 << 10],
+            wire_scratch: Vec::new(),
+            rx: Vec::new(),
+            events: Vec::new(),
+            proto: Protocol::Text,
+            prefer_binary: false,
             stats: ClientStats::default(),
             closed: false,
             reconnects: 0,
             telemetry: ClientTelemetry::default(),
         })
+    }
+
+    /// Connects and announces binary capability (HELLO). Sends stay
+    /// text until the server answers WELCOME; against a legacy server
+    /// the client silently remains on text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let mut c = ScopeClient::connect(addr)?;
+        c.set_prefer_binary();
+        Ok(c)
+    }
+
+    /// Announces binary capability on an existing connection (queues a
+    /// HELLO frame). Idempotent.
+    pub fn set_prefer_binary(&mut self) {
+        if self.prefer_binary {
+            return;
+        }
+        self.prefer_binary = true;
+        self.scratch.clear();
+        frame_hello(&mut self.scratch);
+        self.outbuf.extend(self.scratch.iter().copied());
+    }
+
+    /// The encoding this client currently emits ([`Protocol::Binary`]
+    /// only after the server's WELCOME has arrived).
+    pub fn negotiated(&self) -> Protocol {
+        self.proto
+    }
+
+    /// Subscribes to the server's live feed; received tuples appear in
+    /// [`ScopeClient::take_received`].
+    pub fn subscribe(&mut self) {
+        self.scratch.clear();
+        match self.proto {
+            Protocol::Binary => frame_arg(&mut self.scratch, OP_SUB, 0),
+            Protocol::Text => {
+                self.scratch.extend_from_slice(TEXT_SUB.as_bytes());
+                self.scratch.push(b'\n');
+            }
+        }
+        self.outbuf.extend(self.scratch.iter().copied());
     }
 
     /// The registry this client's `net.client.*` metrics live in.
@@ -126,7 +240,9 @@ impl ScopeClient {
 
     /// Re-establishes a dead connection to the same server, keeping any
     /// queued-but-unsent tuples. Long-lived monitors survive scope
-    /// server restarts this way.
+    /// server restarts this way. Negotiation restarts from text (the
+    /// new peer may be a different server); a HELLO is re-queued when
+    /// binary was preferred.
     ///
     /// # Errors
     ///
@@ -138,6 +254,17 @@ impl ScopeClient {
         self.stream = stream;
         self.closed = false;
         self.reconnects += 1;
+        self.proto = Protocol::Text;
+        self.inbuf.clear();
+        self.enc.reset();
+        if self.prefer_binary {
+            self.scratch.clear();
+            frame_hello(&mut self.scratch);
+            // Head of the queue: negotiation precedes queued tuples.
+            for &b in self.scratch.iter().rev() {
+                self.outbuf.push_front(b);
+            }
+        }
         self.telemetry.reconnects.inc();
         Ok(())
     }
@@ -152,9 +279,10 @@ impl ScopeClient {
         self.stats
     }
 
-    /// Bytes queued but not yet written.
+    /// Bytes queued but not yet written (including any un-flushed
+    /// binary batch).
     pub fn pending_bytes(&self) -> usize {
-        self.outbuf.len()
+        self.outbuf.len() + self.enc.pending_bytes()
     }
 
     /// True once the server has closed the connection or a write failed.
@@ -164,20 +292,56 @@ impl ScopeClient {
 
     /// Queues one tuple for transmission.
     pub fn send(&mut self, tuple: &Tuple) {
-        self.send_parts(tuple.time, tuple.value, tuple.name());
+        match (self.proto, &tuple.name) {
+            (Protocol::Binary, name) => {
+                // Already-interned names skip the re-intern hash walk.
+                self.enc
+                    .push(tuple.time.as_micros(), tuple.value, name.as_ref());
+                self.after_queue();
+            }
+            (Protocol::Text, _) => self.send_parts(tuple.time, tuple.value, tuple.name()),
+        }
     }
 
     /// Queues one tuple given as loose parts — the zero-allocation send
-    /// path: the line is formatted into a reused scratch buffer and
-    /// appended to the out-buffer, with no `Tuple` or `String` built.
+    /// path: on text, the line is formatted into a reused scratch
+    /// buffer and appended to the out-buffer with no `Tuple` or
+    /// `String` built; on binary, the tuple is delta-encoded into the
+    /// pending batch (name interning allocates only on first use).
     pub fn send_parts(&mut self, time: TimeStamp, value: f64, name: Option<&str>) {
-        self.scratch.clear();
-        write_tuple_line(&mut self.scratch, time, value, name);
-        self.scratch.push(b'\n');
-        self.outbuf.extend(self.scratch.iter().copied());
+        match self.proto {
+            Protocol::Text => {
+                self.scratch.clear();
+                write_tuple_line(&mut self.scratch, time, value, name);
+                self.scratch.push(b'\n');
+                self.outbuf.extend(self.scratch.iter().copied());
+            }
+            Protocol::Binary => {
+                let interned = name.map(intern);
+                self.enc.push(time.as_micros(), value, interned.as_ref());
+            }
+        }
+        self.after_queue();
+    }
+
+    fn after_queue(&mut self) {
         self.stats.tuples_queued += 1;
         self.telemetry.tuples_out.inc();
-        self.telemetry.queue_bytes.set_count(self.outbuf.len());
+        if self.enc.pending_bytes() >= BATCH_FLUSH_BYTES {
+            self.flush_batch();
+        }
+        self.telemetry.queue_bytes.set_count(self.pending_bytes());
+    }
+
+    /// Moves the pending binary batch (if any) into the out-buffer as
+    /// one DATA frame.
+    fn flush_batch(&mut self) {
+        if self.enc.is_empty() {
+            return;
+        }
+        self.scratch.clear();
+        self.enc.frame_into(&mut self.scratch);
+        self.outbuf.extend(self.scratch.iter().copied());
     }
 
     /// Queues a named sample stamped with `clock`'s current time.
@@ -190,18 +354,28 @@ impl ScopeClient {
         self.send_parts(time, value, Some(name));
     }
 
-    /// Writes as much queued data as the socket accepts right now.
+    /// Tuples the server streamed to this client since the last call.
+    pub fn take_received(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.rx)
+    }
+
+    /// Stream events (negotiation, catch-up transitions) since the
+    /// last call.
+    pub fn take_events(&mut self) -> Vec<StreamEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Writes as much queued data as the socket accepts right now and
+    /// drains whatever the server sent back.
     ///
-    /// Returns [`IoPoll::Worked`] if bytes moved, [`IoPoll::Idle`] if
-    /// the socket is full or the queue empty, and [`IoPoll::Remove`] on
-    /// a dead connection — the values a `gel` I/O watch needs.
+    /// Returns [`IoPoll::Worked`] if bytes moved either way,
+    /// [`IoPoll::Idle`] if nothing could, and [`IoPoll::Remove`] on a
+    /// dead connection — the values a `gel` I/O watch needs.
     pub fn pump(&mut self) -> IoPoll {
         if self.closed {
             return IoPoll::Remove;
         }
-        if self.outbuf.is_empty() {
-            return IoPoll::Idle;
-        }
+        self.flush_batch();
         let mut progressed = false;
         while !self.outbuf.is_empty() {
             let (front, _) = self.outbuf.as_slices();
@@ -224,7 +398,11 @@ impl ScopeClient {
                 }
             }
         }
-        self.telemetry.queue_bytes.set_count(self.outbuf.len());
+        progressed |= self.read_incoming();
+        if self.closed {
+            return IoPoll::Remove;
+        }
+        self.telemetry.queue_bytes.set_count(self.pending_bytes());
         if progressed {
             self.stats.pumps_with_progress += 1;
             IoPoll::Worked
@@ -233,13 +411,143 @@ impl ScopeClient {
         }
     }
 
-    /// Blocks until the out-buffer drains (test/shutdown helper; spins
-    /// on the non-blocking socket).
+    /// Drains the socket's receive side and decodes complete messages.
+    fn read_incoming(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&self.read_buf[..n]);
+                    any = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        if self.inbuf.is_empty() {
+            return any;
+        }
+        // Moved out so parsed slices don't hold a borrow of `self`
+        // while handlers mutate it.
+        let mut pending = std::mem::take(&mut self.inbuf);
+        let mut consumed = 0usize;
+        loop {
+            match split_message(&pending[consumed..]) {
+                Ok(None) => break,
+                Ok(Some((msg, n))) => {
+                    consumed += n;
+                    self.handle_message(msg);
+                }
+                Err(_) => {
+                    // Server framing broken: nothing downstream can be
+                    // trusted.
+                    self.stats.recv_errors += 1;
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        pending.drain(..consumed);
+        self.inbuf = pending;
+        any
+    }
+
+    fn handle_message(&mut self, msg: Msg<'_>) {
+        match msg {
+            Msg::Frame { op: OP_WELCOME, .. } => {
+                if self.prefer_binary && self.proto != Protocol::Binary {
+                    self.proto = Protocol::Binary;
+                    self.events.push(StreamEvent::Negotiated(Protocol::Binary));
+                }
+            }
+            Msg::Frame { op: OP_DATA, body } => {
+                self.wire_scratch.clear();
+                match decode_data(body, &mut self.wire_scratch) {
+                    Ok(n) => {
+                        self.stats.tuples_received += u64::from(n);
+                        for rec in self.wire_scratch.drain(..) {
+                            self.rx.push(Tuple {
+                                time: TimeStamp::from_micros(rec.time_us),
+                                value: rec.value,
+                                name: rec.name,
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.recv_errors += 1;
+                        self.closed = true;
+                    }
+                }
+            }
+            Msg::Frame {
+                op: OP_CATCHUP_BEGIN,
+                body,
+            } => match decode_arg(body) {
+                Ok(us) => self.events.push(StreamEvent::CatchUpBegin(us)),
+                Err(_) => self.stats.recv_errors += 1,
+            },
+            Msg::Frame {
+                op: OP_CATCHUP_END,
+                body,
+            } => match decode_arg(body) {
+                Ok(us) => self.events.push(StreamEvent::CatchUpEnd(us)),
+                Err(_) => self.stats.recv_errors += 1,
+            },
+            Msg::Frame { .. } => {
+                self.stats.recv_errors += 1;
+            }
+            Msg::Line(line) => self.handle_line(line),
+        }
+    }
+
+    fn handle_line(&mut self, line: &[u8]) {
+        let Ok(text) = std::str::from_utf8(line) else {
+            self.stats.recv_errors += 1;
+            return;
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        if trimmed.starts_with('#') {
+            // Catch-up markers ride as comments on text connections so
+            // legacy readers skip them transparently.
+            if let Some(v) = trimmed.strip_prefix(TEXT_CATCHUP_BEGIN) {
+                if let Ok(us) = v.trim().parse::<u64>() {
+                    self.events.push(StreamEvent::CatchUpBegin(us));
+                }
+            } else if let Some(v) = trimmed.strip_prefix(TEXT_CATCHUP_END) {
+                if let Ok(us) = v.trim().parse::<u64>() {
+                    self.events.push(StreamEvent::CatchUpEnd(us));
+                }
+            }
+            return;
+        }
+        match Tuple::parse_raw(trimmed, 0) {
+            Ok(raw) => {
+                self.rx.push(raw.to_tuple());
+                self.stats.tuples_received += 1;
+            }
+            Err(_) => self.stats.recv_errors += 1,
+        }
+    }
+
+    /// Blocks until the out-buffer (and any pending binary batch)
+    /// drains (test/shutdown helper; spins on the non-blocking socket).
     ///
     /// # Errors
     ///
     /// Returns an error if the connection dies first.
     pub fn flush_blocking(&mut self) -> std::io::Result<()> {
+        self.flush_batch();
         while !self.outbuf.is_empty() {
             match self.pump() {
                 IoPoll::Remove => {

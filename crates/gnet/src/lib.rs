@@ -9,19 +9,31 @@
 //!
 //! Everything is non-blocking and integrates with the `gel` main loop
 //! via I/O watches, exactly the event-driven style Figure 6 and §4.3
-//! prescribe — no extra threads required (though both ends are also
-//! usable from a dedicated thread behind a mutex).
+//! prescribe — no extra threads required. At scale the server also
+//! runs **thread-per-core**: [`ScopeServer::spawn_shards`] gives every
+//! shard its own readiness-driven poll loop, with connections pinned
+//! to shards by the acceptor so no global lock serializes I/O.
 //!
-//! The wire format is the §3.3 textual tuple format, one tuple per
-//! line, so `nc` and recorded files interoperate with live streams.
-//! Timestamps cross machine boundaries untranslated; as in the paper
-//! (footnote 1), distributed clocks are assumed correlated.
+//! The default wire format is the §3.3 textual tuple format, one tuple
+//! per line, so `nc` and recorded files interoperate with live
+//! streams. Binary-capable peers negotiate a length-delimited
+//! delta-varint frame protocol ([`wire`]) that cuts bytes-on-wire
+//! roughly 2× and parse cost more; negotiation degrades to text
+//! automatically against legacy peers. Timestamps cross machine
+//! boundaries untranslated; as in the paper (footnote 1), distributed
+//! clocks are assumed correlated.
 
 mod client;
+mod poll;
 mod server;
+mod shard;
+pub mod wire;
 
-pub use client::{ClientStats, ScopeClient};
-pub use server::{attach_client, attach_server, stream_periodic, ScopeServer, ServerStats};
+pub use client::{ClientStats, ScopeClient, StreamEvent};
+pub use server::{
+    attach_client, attach_server, stream_periodic, ClientInfo, HubConfig, ScopeServer, ServerStats,
+};
+pub use wire::{Protocol, StreamConn};
 
 #[cfg(test)]
 mod tests {
@@ -245,15 +257,17 @@ mod tests {
             disconnects: 1,
             tuples_received: 40,
             parse_errors: 3,
+            protocol_errors: 1,
             tuples_dropped: 5,
             tuples_stored: 30,
             store_drops: 2,
             store_errors: 0,
             catch_up_tuples: 12,
+            ..ServerStats::default()
         };
         let now = TimeStamp::from_millis(250);
         let tuples = s.to_tuples(now);
-        assert_eq!(tuples.len(), 9);
+        assert_eq!(tuples.len(), 15);
         assert!(tuples.iter().all(|t| t.time == now));
         let parse = tuples
             .iter()
@@ -265,9 +279,10 @@ mod tests {
             tuples_queued: 7,
             bytes_sent: 123,
             pumps_with_progress: 4,
+            ..ClientStats::default()
         };
         let tuples = c.to_tuples(now);
-        assert_eq!(tuples.len(), 3);
+        assert_eq!(tuples.len(), 5);
         let sent = tuples
             .iter()
             .find(|t| t.name.as_deref() == Some("net.client.bytes_sent"))

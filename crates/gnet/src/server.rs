@@ -1,27 +1,48 @@
-//! The gscope server library (§4.4).
+//! The gscope server library (§4.4), scaled out.
 //!
 //! "The server receives data from one or more clients asynchronously
 //! and buffers the data. It then displays these BUFFER signals to one
 //! or more scopes with a user-specified delay. Data arriving at the
 //! server after this delay is not buffered but dropped immediately."
 //!
-//! The server is single-threaded and I/O-driven: [`ScopeServer::poll`]
-//! accepts pending connections and reads whatever every client socket
-//! has, parses complete tuple lines, and pushes them into the attached
-//! scopes' buffers (whose delay implements the late-drop rule). Wire it
-//! to a `gel` main loop with [`attach_server`].
+//! [`ScopeServer`] is now a facade over a sharded streaming hub (see
+//! [`crate::shard`]): the acceptor pins each connection to one of N
+//! per-core shards, and each shard runs its own readiness-driven
+//! non-blocking loop. Two ways to drive it:
+//!
+//! * **Inline** — [`ScopeServer::poll`] accepts and cycles every shard
+//!   on the caller's thread, exactly like the old single-threaded
+//!   server (and [`attach_server`] wires the acceptor and each shard
+//!   to a `gel` main loop as *independent* watches, so no lock is held
+//!   across the whole poll).
+//! * **Threaded** — [`ScopeServer::spawn_shards`] starts one thread
+//!   per shard plus an acceptor; each shard blocks in its own `epoll`
+//!   wait. This is the thread-per-core mode the 10k-client benchmark
+//!   runs.
+//!
+//! Clients may speak the §3.3 text protocol or negotiate the binary
+//! frame protocol ([`crate::wire`]); subscribers under backpressure
+//! are demoted to store-backed catch-up instead of growing an
+//! unbounded queue.
 
-use std::io::{ErrorKind, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use gel::{Continue, IoPoll, MainLoop, SourceId, TimeDelta, TimeStamp};
-use gscope::{ScopeError, SharedScope, SigConfig, SigSource, StatsExport, Tuple, TupleSource};
-use gstore::{Store, StoreReader};
-use gtel::{Counter, Gauge, Registry};
+use gscope::{StatsExport, Tuple};
+use gstore::Store;
+use gtel::Registry;
 use parking_lot::Mutex;
 
-/// Counters describing server activity.
+use crate::shard::{catch_up_scopes, cycle, HubShared, ServerTelemetry, Shard};
+pub use crate::shard::{ClientInfo, HubConfig};
+use crate::wire::StreamConn;
+use gscope::SharedScope;
+
+/// Counters describing server activity, aggregated across shards.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections accepted.
@@ -32,6 +53,9 @@ pub struct ServerStats {
     pub tuples_received: u64,
     /// Lines that failed to parse (skipped).
     pub parse_errors: u64,
+    /// Protocol violations: broken frames, bad commands, runaway
+    /// unframed input. Frame-level violations kill the connection.
+    pub protocol_errors: u64,
     /// Tuples rejected by every attached scope (late or no scope).
     pub tuples_dropped: u64,
     /// Tuples teed into the attached store.
@@ -41,8 +65,19 @@ pub struct ServerStats {
     pub store_drops: u64,
     /// Store write/read failures (the server keeps serving).
     pub store_errors: u64,
-    /// Tuples replayed out of the store by [`ScopeServer::catch_up`].
+    /// Tuples replayed out of the store — by [`ScopeServer::catch_up`]
+    /// or to backpressured subscribers catching up.
     pub catch_up_tuples: u64,
+    /// Tuples queued out to live subscribers.
+    pub tuples_out: u64,
+    /// Bytes written to subscriber sockets.
+    pub bytes_out: u64,
+    /// Output-queue overflow (shed) events.
+    pub shed_events: u64,
+    /// Subscribers demoted to store-backed catch-up.
+    pub catch_ups_entered: u64,
+    /// Catch-ups that finished and rejoined the live feed.
+    pub catch_ups_completed: u64,
 }
 
 impl StatsExport for ServerStats {
@@ -52,6 +87,11 @@ impl StatsExport for ServerStats {
             Tuple::new(now, self.disconnects as f64, "net.server.disconnects"),
             Tuple::new(now, self.tuples_received as f64, "net.server.tuples_in"),
             Tuple::new(now, self.parse_errors as f64, "net.server.parse_errors"),
+            Tuple::new(
+                now,
+                self.protocol_errors as f64,
+                "net.server.protocol_errors",
+            ),
             Tuple::new(now, self.tuples_dropped as f64, "net.server.tuples_dropped"),
             Tuple::new(now, self.tuples_stored as f64, "net.server.tuples_stored"),
             Tuple::new(now, self.store_drops as f64, "net.server.store_drops"),
@@ -61,110 +101,74 @@ impl StatsExport for ServerStats {
                 self.catch_up_tuples as f64,
                 "net.server.catch_up_tuples",
             ),
+            Tuple::new(now, self.tuples_out as f64, "net.server.tuples_out"),
+            Tuple::new(now, self.bytes_out as f64, "net.server.bytes_out"),
+            Tuple::new(now, self.shed_events as f64, "net.server.sheds"),
+            Tuple::new(now, self.catch_ups_entered as f64, "net.server.catch_ups"),
+            Tuple::new(
+                now,
+                self.catch_ups_completed as f64,
+                "net.server.catch_ups_completed",
+            ),
         ]
     }
 }
 
-/// Cached gtel handles for one [`ScopeServer`].
-#[derive(Debug)]
-struct ServerTelemetry {
-    registry: Arc<Registry>,
-    /// `net.server.connections` — connections accepted.
-    connections: Arc<Counter>,
-    /// `net.server.disconnects` — clients lost.
-    disconnects: Arc<Counter>,
-    /// `net.server.tuples_in` — tuples parsed and delivered.
-    tuples_in: Arc<Counter>,
-    /// `net.server.parse_errors` — undecodable lines skipped.
-    parse_errors: Arc<Counter>,
-    /// `net.server.tuples_dropped` — tuples every scope rejected.
-    tuples_dropped: Arc<Counter>,
-    /// `net.server.clients` — currently connected clients.
-    clients: Arc<Gauge>,
-    /// `net.server.tuples_stored` — tuples teed into the store.
-    tuples_stored: Arc<Counter>,
-    /// `net.server.store_drops` — time-regressive tuples not stored.
-    store_drops: Arc<Counter>,
-    /// `net.server.store_errors` — store failures survived.
-    store_errors: Arc<Counter>,
-    /// `net.server.catch_up_tuples` — history replayed to scopes.
-    catch_up: Arc<Counter>,
-}
-
-impl ServerTelemetry {
-    fn new(registry: Arc<Registry>) -> Self {
-        ServerTelemetry {
-            connections: registry.counter("net.server.connections"),
-            disconnects: registry.counter("net.server.disconnects"),
-            tuples_in: registry.counter("net.server.tuples_in"),
-            parse_errors: registry.counter("net.server.parse_errors"),
-            tuples_dropped: registry.counter("net.server.tuples_dropped"),
-            clients: registry.gauge("net.server.clients"),
-            tuples_stored: registry.counter("net.server.tuples_stored"),
-            store_drops: registry.counter("net.server.store_drops"),
-            store_errors: registry.counter("net.server.store_errors"),
-            catch_up: registry.counter("net.server.catch_up_tuples"),
-            registry,
-        }
-    }
-}
-
-impl Default for ServerTelemetry {
-    fn default() -> Self {
-        ServerTelemetry::new(Registry::shared())
-    }
-}
-
-struct ClientConn {
-    stream: TcpStream,
-    peer: SocketAddr,
-    /// Partial line carried over between reads.
-    partial: Vec<u8>,
-}
-
-/// A non-blocking tuple-stream server feeding one or more scopes.
+/// A sharded, non-blocking tuple-stream hub feeding one or more scopes
+/// (and optionally a persistent store), serving text and binary
+/// subscribers with per-client backpressure.
 pub struct ScopeServer {
-    listener: TcpListener,
-    clients: Vec<ClientConn>,
-    scopes: Vec<SharedScope>,
-    /// Create missing `BUFFER` signals on attached scopes for new names.
-    auto_register: bool,
-    /// Optional persistent tee: every live tuple is appended here, and
-    /// [`ScopeServer::catch_up`] replays recent history out of it.
-    store: Option<Store>,
-    stats: ServerStats,
-    telemetry: ServerTelemetry,
+    listener: Arc<TcpListener>,
+    shared: Arc<HubShared>,
+    shards: Vec<Arc<Shard>>,
+    running: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ScopeServer {
-    /// Binds a server socket (use port 0 for an ephemeral port).
+    /// Binds a server socket (use port 0 for an ephemeral port) with
+    /// default [`HubConfig`].
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        ScopeServer::with_config(addr, HubConfig::default())
+    }
+
+    /// Binds a server socket with explicit hub tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn with_config(addr: impl ToSocketAddrs, cfg: HubConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let shared = Arc::new(HubShared::new(cfg));
+        let n = cfg.effective_shards();
+        let shards: Vec<Arc<Shard>> = (0..n).map(|id| Arc::new(Shard::new(id))).collect();
+        shared
+            .shards
+            .set(shards.clone())
+            .unwrap_or_else(|_| unreachable!("fresh hub"));
         Ok(ScopeServer {
-            listener,
-            clients: Vec::new(),
-            scopes: Vec::new(),
-            auto_register: true,
-            store: None,
-            stats: ServerStats::default(),
-            telemetry: ServerTelemetry::default(),
+            listener: Arc::new(listener),
+            shared,
+            shards,
+            running: Arc::new(AtomicBool::new(false)),
+            threads: Vec::new(),
         })
     }
 
     /// The registry this server's `net.server.*` metrics live in.
-    pub fn telemetry(&self) -> &Arc<Registry> {
-        &self.telemetry.registry
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.tel.read().registry)
     }
 
     /// Re-homes the server's metrics into `registry` (e.g. a registry
     /// shared with the scope and main loop for one combined snapshot).
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
-        self.telemetry = ServerTelemetry::new(registry);
+        *self.shared.tel.write() = ServerTelemetry::new(registry);
     }
 
     /// The bound address (for handing to clients).
@@ -176,9 +180,14 @@ impl ScopeServer {
         self.listener.local_addr()
     }
 
+    /// Number of shards serving this hub.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Attaches a scope: received tuples are pushed into its buffer.
     pub fn add_scope(&mut self, scope: SharedScope) {
-        self.scopes.push(scope);
+        self.shared.scopes.write().push(scope);
     }
 
     /// Attaches a scope and immediately replays the last `window` of
@@ -189,39 +198,52 @@ impl ScopeServer {
     ///
     /// Returns the number of tuples replayed.
     pub fn add_scope_with_catch_up(&mut self, scope: SharedScope, window: TimeDelta) -> u64 {
-        self.scopes.push(scope);
-        self.catch_up(window)
+        self.shared.scopes.write().push(scope);
+        catch_up_scopes(&self.shared, window)
     }
 
     /// Installs a persistent store: from now on every delivered tuple
-    /// is also appended to it (the tee), and [`ScopeServer::catch_up`]
-    /// can replay recent history. Replaces any previous store.
+    /// is also appended to it (the tee), [`ScopeServer::catch_up`] can
+    /// replay recent history, and backpressured subscribers catch up
+    /// from it instead of dropping data. Replaces any previous store.
     pub fn set_store(&mut self, store: Store) {
-        self.store = Some(store);
+        *self.shared.store.lock() = Some(store);
+        self.shared.store_present.store(true, Ordering::Release);
     }
 
-    /// The attached store, if any.
-    pub fn store(&self) -> Option<&Store> {
-        self.store.as_ref()
+    /// Runs `f` against the attached store, if any.
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut Store) -> R) -> Option<R> {
+        self.shared.store.lock().as_mut().map(f)
     }
 
     /// Detaches and returns the store (flush/close is the caller's).
     pub fn take_store(&mut self) -> Option<Store> {
-        self.store.take()
+        self.shared.store_present.store(false, Ordering::Release);
+        self.shared.store_dirty.store(false, Ordering::Release);
+        self.shared.store.lock().take()
     }
 
     /// Flushes the store tee so readers (and a crash) see everything
     /// received so far. Returns false (and counts a store error) on
     /// failure; the server keeps running either way.
     pub fn flush_store(&mut self) -> bool {
-        match self.store.as_mut().map(Store::flush) {
-            None | Some(Ok(())) => true,
-            Some(Err(_)) => {
-                self.stats.store_errors += 1;
-                self.telemetry.store_errors.inc();
-                false
+        let ok = {
+            let mut guard = self.shared.store.lock();
+            match guard.as_mut().map(Store::flush) {
+                None | Some(Ok(())) => true,
+                Some(Err(_)) => false,
             }
+        };
+        if ok {
+            self.shared.store_dirty.store(false, Ordering::Release);
+        } else {
+            self.shared
+                .counters
+                .store_errors
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.tel.read().store_errors.inc();
         }
+        ok
     }
 
     /// Replays the last `window` of stored history (relative to the
@@ -231,231 +253,208 @@ impl ScopeServer {
     ///
     /// Returns the number of tuples replayed (0 without a store).
     pub fn catch_up(&mut self, window: TimeDelta) -> u64 {
-        let Some(store) = self.store.as_mut() else {
-            return 0;
-        };
-        if store.flush().is_err() {
-            self.stats.store_errors += 1;
-            self.telemetry.store_errors.inc();
-            return 0;
-        }
-        let Some(newest) = store.last_time() else {
-            return 0; // empty store: nothing to catch up on
-        };
-        let from = newest.saturating_sub(window);
-        let dir = store.dir().to_path_buf();
-        let mut reader = match StoreReader::open(&dir).and_then(|mut r| {
-            r.seek(from)?;
-            Ok(r)
-        }) {
-            Ok(r) => r,
-            Err(_) => {
-                self.stats.store_errors += 1;
-                self.telemetry.store_errors.inc();
-                return 0;
-            }
-        };
-        let mut replayed = 0u64;
-        loop {
-            match reader.next_tuple() {
-                Ok(Some(t)) => {
-                    self.push_to_scopes(&t);
-                    replayed += 1;
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    self.stats.store_errors += 1;
-                    self.telemetry.store_errors.inc();
-                    break;
-                }
-            }
-        }
-        self.stats.catch_up_tuples += replayed;
-        self.telemetry.catch_up.add(replayed);
-        replayed
+        catch_up_scopes(&self.shared, window)
     }
 
     /// Enables or disables automatic creation of `BUFFER` signals for
     /// unseen signal names (default on).
     pub fn set_auto_register(&mut self, on: bool) {
-        self.auto_register = on;
+        self.shared.auto_register.store(on, Ordering::Relaxed);
     }
 
-    /// Returns server statistics.
+    /// Returns server statistics, aggregated across all shards.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        let c = &self.shared.counters;
+        ServerStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            tuples_received: c.tuples_received.load(Ordering::Relaxed),
+            parse_errors: c.parse_errors.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            tuples_dropped: c.tuples_dropped.load(Ordering::Relaxed),
+            tuples_stored: c.tuples_stored.load(Ordering::Relaxed),
+            store_drops: c.store_drops.load(Ordering::Relaxed),
+            store_errors: c.store_errors.load(Ordering::Relaxed),
+            catch_up_tuples: c.catch_up_tuples.load(Ordering::Relaxed),
+            tuples_out: c.tuples_out.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            shed_events: c.shed_events.load(Ordering::Relaxed),
+            catch_ups_entered: c.catch_ups_entered.load(Ordering::Relaxed),
+            catch_ups_completed: c.catch_ups_completed.load(Ordering::Relaxed),
+        }
     }
 
-    /// Number of connected clients.
+    /// Number of connected clients across all shards.
     pub fn client_count(&self) -> usize {
-        self.clients.len()
+        self.shared.client_count.load(Ordering::Relaxed)
     }
 
-    fn accept_pending(&mut self) -> bool {
-        let mut any = false;
-        loop {
-            match self.listener.accept() {
-                Ok((stream, peer)) => {
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    self.clients.push(ClientConn {
-                        stream,
-                        peer,
-                        partial: Vec::new(),
-                    });
-                    self.stats.connections += 1;
-                    self.telemetry.connections.inc();
-                    any = true;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break,
-            }
-        }
-        any
+    /// Per-client counters for every connection, across all shards —
+    /// the view that makes one misbehaving client stand out from the
+    /// aggregate stats.
+    pub fn client_stats(&self) -> Vec<ClientInfo> {
+        self.shards.iter().flat_map(|s| s.client_stats()).collect()
     }
 
-    /// Pushes one tuple into every attached scope's buffer (creating
-    /// the `BUFFER` signal first when auto-registration is on).
-    fn push_to_scopes(&self, tuple: &Tuple) -> bool {
-        let mut accepted = false;
-        for scope in &self.scopes {
-            let mut guard = scope.lock();
-            if self.auto_register {
-                let name = tuple.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
-                if guard.signal(name).is_none() {
-                    // A concurrent registration shows up as a duplicate;
-                    // either way the signal exists afterwards.
-                    let _ = guard.add_signal(name, SigSource::Buffer, SigConfig::default());
-                }
-            }
-            if guard.buffer().push(tuple.clone()) {
-                accepted = true;
-            }
-        }
-        accepted
+    /// Hands a pre-established connection (e.g. a `netsim` shaped
+    /// link) to the hub; it is pinned to a shard like an accepted
+    /// socket.
+    pub fn add_conn(&self, conn: Box<dyn StreamConn>) {
+        self.shared.pin_connection(conn);
     }
 
-    fn deliver(&mut self, tuple: Tuple) {
-        if let Some(store) = self.store.as_mut() {
-            match store.append(tuple.time, tuple.value, tuple.name.as_deref()) {
-                Ok(()) => {
-                    self.stats.tuples_stored += 1;
-                    self.telemetry.tuples_stored.inc();
-                }
-                Err(ScopeError::TupleOrder { .. }) => {
-                    // Clients interleave; a tuple older than the store's
-                    // watermark is dropped from storage only, mirroring
-                    // the buffer's late-drop rule.
-                    self.stats.store_drops += 1;
-                    self.telemetry.store_drops.inc();
-                }
-                Err(_) => {
-                    self.stats.store_errors += 1;
-                    self.telemetry.store_errors.inc();
-                }
-            }
-        }
-        let accepted = self.push_to_scopes(&tuple);
-        self.stats.tuples_received += 1;
-        self.telemetry.tuples_in.inc();
-        if !accepted {
-            self.stats.tuples_dropped += 1;
-            self.telemetry.tuples_dropped.inc();
-        }
+    fn accept_pending(&self) -> bool {
+        accept_into(&self.listener, &self.shared)
     }
 
-    fn read_clients(&mut self) -> bool {
-        let mut any = false;
-        let mut buf = [0u8; 4096];
-        let mut i = 0;
-        while i < self.clients.len() {
-            let mut dead = false;
-            loop {
-                match self.clients[i].stream.read(&mut buf) {
-                    Ok(0) => {
-                        dead = true;
-                        break;
-                    }
-                    Ok(n) => {
-                        any = true;
-                        self.clients[i].partial.extend_from_slice(&buf[..n]);
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        dead = true;
-                        break;
-                    }
-                }
-            }
-            // Parse complete lines straight out of the accumulated
-            // bytes: names borrow the receive buffer and are interned
-            // on delivery, so steady-state ingestion allocates nothing
-            // per tuple. The trailing partial line stays buffered.
-            let mut pending = std::mem::take(&mut self.clients[i].partial);
-            let mut consumed = 0;
-            let mut lineno = 0;
-            while let Some(pos) = pending[consumed..].iter().position(|&b| b == b'\n') {
-                let line = &pending[consumed..consumed + pos];
-                consumed += pos + 1;
-                lineno += 1;
-                let parsed = std::str::from_utf8(line).ok().and_then(|s| {
-                    let trimmed = s.trim();
-                    if trimmed.is_empty() || trimmed.starts_with('#') {
-                        return Some(None);
-                    }
-                    Tuple::parse_raw(trimmed, lineno).ok().map(Some)
-                });
-                match parsed {
-                    Some(Some(raw)) => self.deliver(raw.to_tuple()),
-                    Some(None) => {} // blank or comment line
-                    None => {
-                        self.stats.parse_errors += 1;
-                        self.telemetry.parse_errors.inc();
-                    }
-                }
-            }
-            pending.drain(..consumed);
-            self.clients[i].partial = pending;
-            if dead {
-                let _ = self.clients[i].peer;
-                self.clients.swap_remove(i);
-                self.stats.disconnects += 1;
-                self.telemetry.disconnects.inc();
-                any = true;
-            } else {
-                i += 1;
-            }
-        }
-        any
-    }
-
-    /// Accepts pending connections and drains readable sockets.
+    /// Accepts pending connections and cycles every shard once on the
+    /// calling thread (inline mode).
     ///
     /// Returns [`IoPoll::Worked`] if anything happened — the shape a
     /// `gel` I/O watch expects.
     pub fn poll(&mut self) -> IoPoll {
-        let begin_ns = gtel::fast_now_ns();
         let mut any = self.accept_pending();
-        any |= self.read_clients();
-        self.telemetry.clients.set_count(self.clients.len());
+        for shard in &self.shards {
+            any |= cycle(shard, &self.shared, 0);
+        }
         if any {
-            // Recorded only when work happened: idle polls run every
-            // loop iteration and would drown the span ring.
-            gtel::complete_span("net.server.poll", self.stats.tuples_received, begin_ns);
             IoPoll::Worked
         } else {
             IoPoll::Idle
         }
     }
+
+    /// Starts thread-per-core mode: one thread per shard (each parked
+    /// in its own `epoll` wait) plus an acceptor thread. Idempotent.
+    /// Threads stop when the server drops. Inline [`ScopeServer::poll`]
+    /// remains safe to call concurrently (shards are mutex-protected)
+    /// but is pointless once threads run.
+    pub fn spawn_shards(&mut self) {
+        if self.running.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for shard in &self.shards {
+            let shard = Arc::clone(shard);
+            let shared = Arc::clone(&self.shared);
+            let running = Arc::clone(&self.running);
+            self.threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gnet-shard-{}", shard.id))
+                    .spawn(move || {
+                        let pacing = std::time::Duration::from_micros(shared.cfg.scan_pacing_us);
+                        while running.load(Ordering::Acquire) {
+                            let worked = cycle(&shard, &shared, 1);
+                            if !worked {
+                                // Without a kernel poller the cycle
+                                // returns immediately; don't spin.
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            } else if shard.scan_mode.load(Ordering::Relaxed) && !pacing.is_zero() {
+                                // Hint-scanned clients have no kernel
+                                // wakeup: pause so arrivals batch
+                                // instead of re-scanning immediately.
+                                std::thread::sleep(pacing);
+                            }
+                        }
+                    })
+                    .expect("spawn shard thread"),
+            );
+        }
+        let listener = Arc::clone(&self.listener);
+        let shared = Arc::clone(&self.shared);
+        let running = Arc::clone(&self.running);
+        self.threads.push(
+            std::thread::Builder::new()
+                .name("gnet-acceptor".to_owned())
+                .spawn(move || {
+                    while running.load(Ordering::Acquire) {
+                        if !accept_into(&listener, &shared) {
+                            std::thread::sleep(std::time::Duration::from_micros(500));
+                        }
+                    }
+                })
+                .expect("spawn acceptor thread"),
+        );
+    }
+
+    /// True when [`ScopeServer::spawn_shards`] threads are running.
+    pub fn threaded(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
 }
 
-/// Installs a shared server as an I/O watch on a main loop — the
-/// single-threaded I/O-driven usage of §4.4.
+impl Drop for ScopeServer {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Installs a shared server on a main loop: one I/O watch per shard
+/// plus an acceptor watch, each locking only its own shard's state —
+/// no lock is held across the whole poll, so several loop workers (or
+/// a threaded loop) can drive different shards concurrently.
+///
+/// Returns the acceptor's [`SourceId`] (removing it stops new
+/// connections; shard watches stay).
 pub fn attach_server(server: &Arc<Mutex<ScopeServer>>, ml: &mut MainLoop) -> SourceId {
-    let server = Arc::clone(server);
-    ml.add_io_watch(Box::new(move || server.lock().poll()))
+    let (listener, shared, shards) = {
+        let guard = server.lock();
+        (
+            Arc::clone(&guard.listener),
+            Arc::clone(&guard.shared),
+            guard.shards.clone(),
+        )
+    };
+    // Acceptor first: connections accepted this iteration are adopted
+    // by the shard watches dispatched right after it.
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        ml.add_io_watch(Box::new(move || {
+            if accept_into(&listener, &shared) {
+                IoPoll::Worked
+            } else {
+                IoPoll::Idle
+            }
+        }))
+    };
+    for shard in shards {
+        let shared = Arc::clone(&shared);
+        ml.add_io_watch(Box::new(move || {
+            if cycle(&shard, &shared, 0) {
+                IoPoll::Worked
+            } else {
+                IoPoll::Idle
+            }
+        }));
+    }
+    acceptor
+}
+
+/// Drains the listener into the hub, pinning each connection to a
+/// shard. Returns true when any connection was accepted (recorded as
+/// a `net.server.accept` span so accept cost shows up in traces).
+fn accept_into(listener: &TcpListener, shared: &HubShared) -> bool {
+    let begin_ns = gtel::fast_now_ns();
+    let mut accepted = 0u64;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                shared.pin_connection(Box::new(stream));
+                accepted += 1;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+    if accepted > 0 {
+        gtel::complete_span("net.server.accept", accepted, begin_ns);
+    }
+    accepted > 0
 }
 
 /// Installs a shared client's pump as an I/O watch on a main loop.

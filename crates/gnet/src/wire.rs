@@ -1,0 +1,745 @@
+//! The wire protocol: self-describing text/binary framing with a
+//! delta-varint batch codec.
+//!
+//! # Self-describing stream
+//!
+//! The §3.3 text protocol frames every message with `\n` and never
+//! produces a NUL byte. Binary frames therefore claim the byte `0x00`
+//! as a sentinel:
+//!
+//! ```text
+//! 0x00 | payload_len uvarint | payload
+//! payload := opcode u8 | body
+//! ```
+//!
+//! Any receiver can split an incoming stream into messages by looking
+//! at one byte: `0x00` starts a frame, anything else starts a text
+//! line. Text and binary messages may interleave freely on one
+//! connection, which is what makes negotiation races harmless — both
+//! sides always understand both encodings; HELLO/WELCOME only selects
+//! which encoding a sender *prefers* to emit.
+//!
+//! # Negotiation
+//!
+//! A binary-capable client sends [`frame_hello`] after connecting and
+//! keeps emitting text. A binary-capable server answers
+//! [`frame_welcome`]; from then on both sides may switch to DATA
+//! frames. A legacy text client never sends HELLO and a legacy server
+//! never answers WELCOME, so either mix degrades to text silently —
+//! the automatic fallback the protocol requires.
+//!
+//! # DATA batches
+//!
+//! The body of a DATA frame carries the same ~12-byte-per-sample
+//! record stream as a gstore segment block (PR 4): delta-encoded
+//! microsecond times, block-scoped interned name ids with inline
+//! definitions, raw `f64` bits. One deliberate difference: a wire
+//! batch merges tuples from many producers and is not guaranteed
+//! monotone, so time deltas are **zigzag-encoded signed** varints
+//! where the store (which enforces monotonicity on append) uses
+//! unsigned ones.
+//!
+//! ```text
+//! body      := first_us uvarint | record*
+//! record    := 0x01 dt_zigzag uvarint | name_id uvarint | value f64le
+//!            | 0x02 name_id uvarint | len uvarint | utf8 bytes
+//! ```
+//!
+//! Name ids are frame-scoped (1-based, 0 = unnamed) so every frame is
+//! self-contained — the property that lets one encoded frame fan out
+//! to any number of subscribers regardless of when they connected.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use gscope::intern;
+use gstore::codec::{get_uvarint, put_uvarint};
+
+/// Protocol version carried in HELLO/WELCOME.
+pub const WIRE_VERSION: u8 = 1;
+
+/// First byte of every binary frame; never appears in text tuples.
+pub const FRAME_SENTINEL: u8 = 0x00;
+
+/// Largest accepted frame payload. A batch encoder flushes well below
+/// this; anything larger is a corrupt or hostile stream.
+pub const MAX_FRAME_LEN: u64 = 1 << 20;
+
+/// Client capability announcement (body: `[version, flags]`).
+pub const OP_HELLO: u8 = 1;
+/// Server acceptance of binary encoding (body: `[version, flags]`).
+pub const OP_WELCOME: u8 = 2;
+/// A batch of tuples (body: delta-varint records, see module docs).
+pub const OP_DATA: u8 = 3;
+/// Subscribe to the live feed (body: `[flags]`).
+pub const OP_SUB: u8 = 4;
+/// Server → client: live feed paused, store replay from `arg` µs.
+pub const OP_CATCHUP_BEGIN: u8 = 5;
+/// Server → client: replay done, live feed resumes after `arg` µs.
+pub const OP_CATCHUP_END: u8 = 6;
+
+/// Record tags inside a DATA body (mirrors gstore's segment tags).
+pub const TAG_SAMPLE: u8 = 1;
+/// Inline name definition: binds a frame-scoped id to a UTF-8 name.
+pub const TAG_NAMEDEF: u8 = 2;
+
+/// Text-protocol subscribe command (a line, not a tuple).
+pub const TEXT_SUB: &str = "!sub";
+/// Text-protocol catch-up markers, emitted as comment lines so legacy
+/// readers skip them; the value is the boundary in µs.
+pub const TEXT_CATCHUP_BEGIN: &str = "# !catchup-begin us=";
+/// See [`TEXT_CATCHUP_BEGIN`].
+pub const TEXT_CATCHUP_END: &str = "# !catchup-end us=";
+
+/// The encoding a peer emits on an established connection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Protocol {
+    /// §3.3 text tuple lines.
+    #[default]
+    Text,
+    /// Length-delimited DATA frames.
+    Binary,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Text => write!(f, "text"),
+            Protocol::Binary => write!(f, "binary"),
+        }
+    }
+}
+
+/// A malformed binary frame. Always fatal for the connection: framing
+/// has been lost and resynchronization is not attempted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame length exceeds [`MAX_FRAME_LEN`].
+    Oversize(u64),
+    /// A varint ran past its 10-byte maximum or past the body.
+    BadVarint,
+    /// A frame body ended mid-record.
+    Truncated,
+    /// A zero-length payload (no opcode byte).
+    EmptyFrame,
+    /// Unknown record tag inside a DATA body.
+    BadTag(u8),
+    /// A NAMEDEF carried invalid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Oversize(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME_LEN}"),
+            WireError::BadVarint => write!(f, "malformed varint"),
+            WireError::Truncated => write!(f, "truncated frame body"),
+            WireError::EmptyFrame => write!(f, "empty frame payload"),
+            WireError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            WireError::BadUtf8 => write!(f, "name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One message split off the front of a receive buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Msg<'a> {
+    /// A text line, without its trailing `\n` (may end in `\r`).
+    Line(&'a [u8]),
+    /// A binary frame's opcode and body.
+    Frame {
+        /// The payload's first byte.
+        op: u8,
+        /// The payload after the opcode.
+        body: &'a [u8],
+    },
+}
+
+/// Splits one complete message off the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only an incomplete message
+/// (read more bytes), or `Ok(Some((msg, consumed)))` where `consumed`
+/// bytes — including the `\n` or frame header — should be discarded.
+///
+/// # Errors
+///
+/// [`WireError`] when framing is irrecoverably broken (oversize or
+/// malformed length); the connection should be dropped.
+pub fn split_message(buf: &[u8]) -> Result<Option<(Msg<'_>, usize)>, WireError> {
+    let Some(&first) = buf.first() else {
+        return Ok(None);
+    };
+    if first != FRAME_SENTINEL {
+        let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+            return Ok(None);
+        };
+        let mut line = &buf[..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        return Ok(Some((Msg::Line(line), nl + 1)));
+    }
+    let mut pos = 1usize;
+    let len = match get_uvarint(buf, &mut pos) {
+        Some(len) => len,
+        None => {
+            // Either the varint is incomplete (wait for bytes) or it
+            // overran 10 bytes (framing lost).
+            if buf.len() > 10 {
+                return Err(WireError::BadVarint);
+            }
+            return Ok(None);
+        }
+    };
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversize(len));
+    }
+    if len == 0 {
+        return Err(WireError::EmptyFrame);
+    }
+    let len = len as usize;
+    if buf.len() < pos + len {
+        return Ok(None);
+    }
+    let payload = &buf[pos..pos + len];
+    Ok(Some((
+        Msg::Frame {
+            op: payload[0],
+            body: &payload[1..],
+        },
+        pos + len,
+    )))
+}
+
+/// Zigzag-encodes a signed delta for varint transport.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a frame whose body is one uvarint argument (the control
+/// frames: SUB, CATCHUP_BEGIN/END).
+pub fn frame_arg(out: &mut Vec<u8>, op: u8, arg: u64) {
+    let mut body = [0u8; 10];
+    let n = gstore::codec::put_uvarint_into(&mut body, arg);
+    out.push(FRAME_SENTINEL);
+    put_uvarint(out, 1 + n as u64);
+    out.push(op);
+    out.extend_from_slice(&body[..n]);
+}
+
+/// Appends a HELLO frame (client capability announcement).
+pub fn frame_hello(out: &mut Vec<u8>) {
+    out.push(FRAME_SENTINEL);
+    put_uvarint(out, 3);
+    out.push(OP_HELLO);
+    out.push(WIRE_VERSION);
+    out.push(0); // flags
+}
+
+/// Appends a WELCOME frame (server accepts binary encoding).
+pub fn frame_welcome(out: &mut Vec<u8>) {
+    out.push(FRAME_SENTINEL);
+    put_uvarint(out, 3);
+    out.push(OP_WELCOME);
+    out.push(WIRE_VERSION);
+    out.push(0); // flags
+}
+
+/// Decodes the single uvarint argument of a control frame body.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the body holds no complete varint.
+pub fn decode_arg(body: &[u8]) -> Result<u64, WireError> {
+    let mut pos = 0usize;
+    get_uvarint(body, &mut pos).ok_or(WireError::Truncated)
+}
+
+/// One decoded tuple from a DATA frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRec {
+    /// Sample time in microseconds.
+    pub time_us: u64,
+    /// Sample value (raw `f64` bits on the wire).
+    pub value: f64,
+    /// Interned signal name, `None` for unnamed tuples.
+    pub name: Option<Arc<str>>,
+}
+
+/// Builds DATA frames: push tuples, then [`BatchEncoder::frame_into`]
+/// emits one self-contained frame and resets for the next batch.
+///
+/// All buffers (record bytes, name table) retain capacity across
+/// frames, so a warmed encoder allocates nothing in steady state —
+/// the same discipline as the text path's scratch buffer.
+pub struct BatchEncoder {
+    recs: Vec<u8>,
+    names: HashMap<Arc<str>, u64>,
+    first_us: u64,
+    prev_us: u64,
+    next_id: u64,
+    count: u32,
+}
+
+impl Default for BatchEncoder {
+    fn default() -> Self {
+        BatchEncoder::new()
+    }
+}
+
+impl BatchEncoder {
+    /// An empty encoder.
+    pub fn new() -> BatchEncoder {
+        BatchEncoder {
+            recs: Vec::with_capacity(1024),
+            names: HashMap::new(),
+            first_us: 0,
+            prev_us: 0,
+            next_id: 1,
+            count: 0,
+        }
+    }
+
+    /// Tuples pushed since the last frame.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True when no tuples are pending.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Encoded bytes pending (records only, excludes the frame header).
+    pub fn pending_bytes(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Appends one tuple to the pending batch.
+    pub fn push(&mut self, time_us: u64, value: f64, name: Option<&Arc<str>>) {
+        if self.count == 0 {
+            self.first_us = time_us;
+            self.prev_us = time_us;
+        }
+        let id = match name {
+            None => 0,
+            Some(name) => match self.names.get(name.as_ref()) {
+                Some(&id) => id,
+                None => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.names.insert(Arc::clone(name), id);
+                    self.recs.push(TAG_NAMEDEF);
+                    put_uvarint(&mut self.recs, id);
+                    put_uvarint(&mut self.recs, name.len() as u64);
+                    self.recs.extend_from_slice(name.as_bytes());
+                    id
+                }
+            },
+        };
+        let dt = time_us.wrapping_sub(self.prev_us) as i64;
+        self.prev_us = time_us;
+        self.recs.push(TAG_SAMPLE);
+        put_uvarint(&mut self.recs, zigzag(dt));
+        put_uvarint(&mut self.recs, id);
+        self.recs.extend_from_slice(&value.to_le_bytes());
+        self.count += 1;
+    }
+
+    /// Appends the pending batch to `out` as one complete frame and
+    /// resets the encoder. Returns the number of bytes appended
+    /// (0 when the batch was empty).
+    pub fn frame_into(&mut self, out: &mut Vec<u8>) -> usize {
+        if self.count == 0 {
+            return 0;
+        }
+        let before = out.len();
+        let mut first = [0u8; 10];
+        let first_len = gstore::codec::put_uvarint_into(&mut first, self.first_us);
+        let payload_len = 1 + first_len + self.recs.len();
+        out.push(FRAME_SENTINEL);
+        put_uvarint(out, payload_len as u64);
+        out.push(OP_DATA);
+        out.extend_from_slice(&first[..first_len]);
+        out.extend_from_slice(&self.recs);
+        self.reset();
+        out.len() - before
+    }
+
+    /// Discards the pending batch, keeping buffer capacity.
+    pub fn reset(&mut self) {
+        self.recs.clear();
+        self.names.clear();
+        self.first_us = 0;
+        self.prev_us = 0;
+        self.next_id = 1;
+        self.count = 0;
+    }
+}
+
+/// Decodes a DATA frame body into `out` (appended). Returns the
+/// number of samples decoded. Names are interned, so repeated frames
+/// carrying the same signals share one `Arc<str>` per name.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed record; partial decodes are not
+/// delivered (the caller should drop the connection).
+pub fn decode_data(body: &[u8], out: &mut Vec<WireRec>) -> Result<u32, WireError> {
+    let start = out.len();
+    let mut pos = 0usize;
+    let Some(first_us) = get_uvarint(body, &mut pos) else {
+        return Err(WireError::Truncated);
+    };
+    let mut names: Vec<Arc<str>> = Vec::new();
+    let mut t = first_us;
+    let mut decoded = 0u32;
+    while pos < body.len() {
+        let tag = body[pos];
+        pos += 1;
+        match tag {
+            TAG_SAMPLE => {
+                let Some(dtz) = get_uvarint(body, &mut pos) else {
+                    out.truncate(start);
+                    return Err(WireError::Truncated);
+                };
+                let Some(id) = get_uvarint(body, &mut pos) else {
+                    out.truncate(start);
+                    return Err(WireError::Truncated);
+                };
+                if pos + 8 > body.len() {
+                    out.truncate(start);
+                    return Err(WireError::Truncated);
+                }
+                let value = f64::from_le_bytes(body[pos..pos + 8].try_into().expect("8 bytes"));
+                pos += 8;
+                // The first sample's delta is relative to first_us and
+                // is zero by construction; applying it unconditionally
+                // tolerates any encoder.
+                t = t.wrapping_add_signed(unzigzag(dtz));
+                let name = match id {
+                    0 => None,
+                    id => {
+                        let Some(name) = names.get(id as usize - 1) else {
+                            out.truncate(start);
+                            return Err(WireError::BadTag(TAG_SAMPLE));
+                        };
+                        Some(Arc::clone(name))
+                    }
+                };
+                out.push(WireRec {
+                    time_us: t,
+                    value,
+                    name,
+                });
+                decoded += 1;
+            }
+            TAG_NAMEDEF => {
+                let Some(id) = get_uvarint(body, &mut pos) else {
+                    out.truncate(start);
+                    return Err(WireError::Truncated);
+                };
+                let Some(len) = get_uvarint(body, &mut pos) else {
+                    out.truncate(start);
+                    return Err(WireError::Truncated);
+                };
+                let len = len as usize;
+                if pos + len > body.len() {
+                    out.truncate(start);
+                    return Err(WireError::Truncated);
+                }
+                let Ok(name) = std::str::from_utf8(&body[pos..pos + len]) else {
+                    out.truncate(start);
+                    return Err(WireError::BadUtf8);
+                };
+                pos += len;
+                // Ids are assigned densely in order; anything else is
+                // a broken encoder.
+                if id as usize != names.len() + 1 {
+                    out.truncate(start);
+                    return Err(WireError::BadTag(TAG_NAMEDEF));
+                }
+                names.push(intern(name));
+            }
+            other => {
+                out.truncate(start);
+                return Err(WireError::BadTag(other));
+            }
+        }
+    }
+    Ok(decoded)
+}
+
+/// A non-blocking byte-stream connection as the hub's shards see it:
+/// real sockets and simulated shaped links behind one trait.
+///
+/// `read_nb`/`write_nb` follow non-blocking socket semantics —
+/// `WouldBlock` when nothing can move, `Ok(0)` from `read_nb` on EOF.
+pub trait StreamConn: Send {
+    /// Non-blocking read.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when no bytes are available.
+    fn read_nb(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+
+    /// Non-blocking write.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when the peer's window is full.
+    fn write_nb(&mut self, buf: &[u8]) -> std::io::Result<usize>;
+
+    /// OS file descriptor for readiness polling, when one exists.
+    fn raw_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Cheap readiness hint for descriptors that cannot be polled:
+    /// `Some(true)` when a read would make progress, `Some(false)`
+    /// when it would not, `None` when unknown (always try).
+    fn readable_hint(&self) -> Option<bool> {
+        None
+    }
+
+    /// Human-readable peer identity for stats and logs.
+    fn peer_label(&self) -> String;
+}
+
+impl StreamConn for TcpStream {
+    fn read_nb(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        Read::read(self, buf)
+    }
+
+    fn write_nb(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Write::write(self, buf)
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> Option<i32> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.as_raw_fd())
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer_addr()
+            .map_or_else(|_| "tcp:?".to_owned(), |a| a.to_string())
+    }
+}
+
+impl StreamConn for netsim::SimConn {
+    fn read_nb(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.read_bytes(buf)
+    }
+
+    fn write_nb(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.write_bytes(buf)
+    }
+
+    fn readable_hint(&self) -> Option<bool> {
+        Some(self.readable())
+    }
+
+    fn peer_label(&self) -> String {
+        self.label().to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_text_line_and_frame_interleaved() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"1.000 42 sig\n");
+        frame_hello(&mut buf);
+        buf.extend_from_slice(b"partial");
+        let (msg, n) = split_message(&buf).unwrap().unwrap();
+        assert_eq!(msg, Msg::Line(b"1.000 42 sig"));
+        let buf = &buf[n..];
+        let (msg, n) = split_message(buf).unwrap().unwrap();
+        match msg {
+            Msg::Frame { op, body } => {
+                assert_eq!(op, OP_HELLO);
+                assert_eq!(body, &[WIRE_VERSION, 0]);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        let buf = &buf[n..];
+        assert!(split_message(buf).unwrap().is_none(), "incomplete line");
+    }
+
+    #[test]
+    fn split_waits_for_full_frame() {
+        let mut full = Vec::new();
+        frame_arg(&mut full, OP_CATCHUP_BEGIN, 123_456);
+        for cut in 0..full.len() {
+            assert!(
+                split_message(&full[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        let (msg, n) = split_message(&full).unwrap().unwrap();
+        assert_eq!(n, full.len());
+        match msg {
+            Msg::Frame { op, body } => {
+                assert_eq!(op, OP_CATCHUP_BEGIN);
+                assert_eq!(decode_arg(body).unwrap(), 123_456);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_rejects_oversize_and_empty_frames() {
+        let mut buf = vec![FRAME_SENTINEL];
+        put_uvarint(&mut buf, MAX_FRAME_LEN + 1);
+        assert_eq!(
+            split_message(&buf),
+            Err(WireError::Oversize(MAX_FRAME_LEN + 1))
+        );
+        let buf = vec![FRAME_SENTINEL, 0];
+        assert_eq!(split_message(&buf), Err(WireError::EmptyFrame));
+        // An unterminated 11-byte varint is a framing error, not a
+        // "need more bytes".
+        let mut buf = vec![FRAME_SENTINEL];
+        buf.extend_from_slice(&[0x80; 11]);
+        assert_eq!(split_message(&buf), Err(WireError::BadVarint));
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 40,
+            -(1 << 40),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_tuples() {
+        let mut enc = BatchEncoder::new();
+        let a = intern("sig.a");
+        let b = intern("sig.b");
+        enc.push(1_000_000, 1.5, Some(&a));
+        enc.push(1_000_250, -2.5, Some(&b));
+        enc.push(999_000, f64::MAX, Some(&a)); // non-monotone: fine
+        enc.push(1_002_000, 0.0, None);
+        assert_eq!(enc.count(), 4);
+        let mut out = Vec::new();
+        let n = enc.frame_into(&mut out);
+        assert_eq!(n, out.len());
+        assert!(enc.is_empty(), "encoder resets after framing");
+        let (msg, consumed) = split_message(&out).unwrap().unwrap();
+        assert_eq!(consumed, out.len());
+        let Msg::Frame { op, body } = msg else {
+            panic!("expected frame");
+        };
+        assert_eq!(op, OP_DATA);
+        let mut recs = Vec::new();
+        assert_eq!(decode_data(body, &mut recs).unwrap(), 4);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].time_us, 1_000_000);
+        assert_eq!(recs[0].value, 1.5);
+        assert_eq!(recs[0].name.as_deref(), Some("sig.a"));
+        assert_eq!(recs[1].time_us, 1_000_250);
+        assert_eq!(recs[1].name.as_deref(), Some("sig.b"));
+        assert_eq!(recs[2].time_us, 999_000);
+        assert_eq!(recs[2].value, f64::MAX);
+        assert_eq!(recs[3].time_us, 1_002_000);
+        assert!(recs[3].name.is_none());
+        // Interning dedups: both "sig.a" records share one Arc.
+        assert!(Arc::ptr_eq(
+            recs[0].name.as_ref().unwrap(),
+            recs[2].name.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn batch_is_compact() {
+        let mut enc = BatchEncoder::new();
+        let name = intern("net.rate");
+        let mut t = 5_000_000u64;
+        for i in 0..100 {
+            enc.push(t, i as f64, Some(&name));
+            t += 250;
+        }
+        let mut out = Vec::new();
+        enc.frame_into(&mut out);
+        // 1 namedef + 100 samples (tag + dt + id + 8B value ≈ 12B)
+        // must beat the ~20B/line text encoding comfortably.
+        assert!(out.len() < 100 * 13, "got {} bytes", out.len());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bodies() {
+        let mut recs = Vec::new();
+        // Sample referencing an undefined name id.
+        let mut body = Vec::new();
+        put_uvarint(&mut body, 0); // first_us
+        body.push(TAG_SAMPLE);
+        put_uvarint(&mut body, zigzag(0));
+        put_uvarint(&mut body, 7); // undefined id
+        body.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(decode_data(&body, &mut recs).is_err());
+        assert!(recs.is_empty(), "failed decode delivers nothing");
+        // Truncated value bytes.
+        let mut body = Vec::new();
+        put_uvarint(&mut body, 0);
+        body.push(TAG_SAMPLE);
+        put_uvarint(&mut body, 0);
+        put_uvarint(&mut body, 0);
+        body.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(decode_data(&body, &mut recs), Err(WireError::Truncated));
+        // Unknown tag.
+        let mut body = Vec::new();
+        put_uvarint(&mut body, 0);
+        body.push(9);
+        assert_eq!(decode_data(&body, &mut recs), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn steady_state_encoding_reuses_buffers() {
+        let mut enc = BatchEncoder::new();
+        let name = intern("x");
+        let mut out = Vec::with_capacity(4096);
+        // Warm up.
+        for round in 0..3 {
+            for i in 0..50u64 {
+                enc.push(round * 1000 + i, i as f64, Some(&name));
+            }
+            out.clear();
+            enc.frame_into(&mut out);
+        }
+        let cap_recs = enc.recs.capacity();
+        for round in 0..10 {
+            for i in 0..50u64 {
+                enc.push(round * 1000 + i, i as f64, Some(&name));
+            }
+            out.clear();
+            enc.frame_into(&mut out);
+        }
+        assert_eq!(enc.recs.capacity(), cap_recs, "no regrowth in steady state");
+    }
+}

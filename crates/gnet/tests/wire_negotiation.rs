@@ -1,0 +1,281 @@
+//! Wire-protocol negotiation: binary is opt-in per connection and
+//! every mix of peers converges on a protocol both sides speak.
+//!
+//! - binary client ↔ binary server: HELLO/WELCOME upgrade, DATA frames
+//!   both ways;
+//! - binary-offering client → legacy text server: no WELCOME ever
+//!   arrives, the client stays on text and interoperates;
+//! - text-only legacy client (raw socket) → sharded server: lines in,
+//!   lines out, no frame sentinel on the wire;
+//! - property: the binary batch codec is tuple-space-identical to the
+//!   §3.3 text codec for arbitrary tuples.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gel::TimeStamp;
+use gnet::wire::{self, BatchEncoder, Msg, WireRec};
+use gnet::{Protocol, ScopeClient, ScopeServer, StreamEvent};
+use gscope::Tuple;
+use proptest::prelude::*;
+
+/// Pumps both clients and the server until `done` or a deadline.
+fn pump_until(
+    server: &mut ScopeServer,
+    clients: &mut [&mut ScopeClient],
+    mut done: impl FnMut(&mut [&mut ScopeClient]) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        let _ = server.poll();
+        for c in clients.iter_mut() {
+            let _ = c.pump();
+        }
+        if done(clients) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("pump_until: condition not reached within deadline");
+}
+
+#[test]
+fn binary_client_negotiates_and_streams_frames() {
+    let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut rx = ScopeClient::connect_binary(addr).unwrap();
+    rx.subscribe();
+    let mut tx = ScopeClient::connect_binary(addr).unwrap();
+
+    // Both ends upgrade once the server answers HELLO with WELCOME.
+    pump_until(&mut server, &mut [&mut rx, &mut tx], |cs| {
+        cs.iter().all(|c| c.negotiated() == Protocol::Binary)
+    });
+    assert!(rx
+        .take_events()
+        .iter()
+        .any(|e| matches!(e, StreamEvent::Negotiated(Protocol::Binary))));
+
+    for i in 0..100u64 {
+        tx.send_at(TimeStamp::from_micros(1_000 + i), "neg.sig", i as f64);
+    }
+    let mut got: Vec<Tuple> = Vec::new();
+    pump_until(&mut server, &mut [&mut rx, &mut tx], |cs| {
+        got.extend(cs[0].take_received());
+        got.len() >= 100
+    });
+    assert_eq!(got.len(), 100);
+    for (i, t) in got.iter().enumerate() {
+        assert_eq!(t.time.as_micros(), 1_000 + i as u64);
+        assert_eq!(t.value, i as f64);
+        assert_eq!(t.name.as_deref(), Some("neg.sig"));
+    }
+
+    // The upgrade is per-connection state the server reports back.
+    let infos = server.client_stats();
+    assert_eq!(infos.len(), 2);
+    assert!(infos.iter().all(|c| c.protocol == Protocol::Binary));
+    assert_eq!(server.stats().protocol_errors, 0);
+}
+
+#[test]
+fn binary_offer_falls_back_to_text_against_legacy_server() {
+    // A legacy server: plain socket that never answers HELLO and
+    // speaks only §3.3 text lines.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let mut client = ScopeClient::connect_binary(addr).unwrap();
+    let (mut legacy, _) = listener.accept().unwrap();
+    legacy.set_nonblocking(true).unwrap();
+
+    // The client may send tuples immediately; until WELCOME arrives
+    // they must go out as text so a legacy peer can read them.
+    client.send_at(TimeStamp::from_micros(5_000), "fallback", 1.5);
+    let _ = client.pump();
+
+    let mut wire_bytes = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 4096];
+    while Instant::now() < deadline {
+        let _ = client.pump();
+        match legacy.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => wire_bytes.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(e) => panic!("legacy read: {e}"),
+        }
+        if wire_bytes.ends_with(b"\n") && wire_bytes.windows(8).any(|w| w == b"fallback") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // The HELLO frame is the only binary on the wire; everything else
+    // is parseable text. A legacy text server skips the HELLO bytes
+    // as one unparseable line (frames never contain '\n' by framing,
+    // so it cannot eat the tuples that follow).
+    let text_start = wire_bytes
+        .iter()
+        .position(|&b| b != wire::FRAME_SENTINEL)
+        .unwrap();
+    let (msg, consumed) = wire::split_message(&wire_bytes).unwrap().unwrap();
+    assert!(matches!(
+        msg,
+        Msg::Frame {
+            op: wire::OP_HELLO,
+            ..
+        }
+    ));
+    let text = std::str::from_utf8(&wire_bytes[consumed..]).unwrap();
+    assert!(text_start > 0);
+    assert!(text.contains("fallback"), "tuples stay text: {text:?}");
+    let tuple_line = text.lines().find(|l| l.contains("fallback")).unwrap();
+    let parsed = Tuple::parse_line(tuple_line, 1).unwrap();
+    assert_eq!(parsed.time.as_micros(), 5_000);
+    assert_eq!(parsed.value, 1.5);
+
+    // The legacy server answers in text; the client — still without a
+    // WELCOME — parses it and reports the un-upgraded protocol.
+    legacy.write_all(b"7000 2.25 from_legacy\n").unwrap();
+    legacy.flush().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut got = Vec::new();
+    while Instant::now() < deadline && got.is_empty() {
+        let _ = client.pump();
+        got.extend(client.take_received());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(client.negotiated(), Protocol::Text);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].name.as_deref(), Some("from_legacy"));
+    assert_eq!(got[0].value, 2.25);
+}
+
+#[test]
+fn text_only_legacy_client_speaks_lines_both_ways() {
+    let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+
+    // Raw sockets: what `nc` would do.
+    let mut sub = TcpStream::connect(addr).unwrap();
+    sub.set_nonblocking(true).unwrap();
+    sub.write_all(b"!sub\n").unwrap();
+    let mut tx = TcpStream::connect(addr).unwrap();
+
+    // Let the server adopt both connections and process the !sub
+    // before any tuples arrive, so the fan-out sees a subscriber.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline && server.client_count() < 2 {
+        let _ = server.poll();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for _ in 0..20 {
+        let _ = server.poll();
+    }
+
+    tx.write_all(b"100 1 legacy.sig\n200 2 legacy.sig\n")
+        .unwrap();
+    tx.flush().unwrap();
+
+    let mut bytes = Vec::new();
+    let mut buf = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        let _ = server.poll();
+        match sub.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(e) => panic!("subscriber read: {e}"),
+        }
+        if bytes.iter().filter(|&&b| b == b'\n').count() >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Never a frame sentinel toward a client that did not HELLO.
+    assert!(!bytes.contains(&wire::FRAME_SENTINEL), "{bytes:?}");
+    let text = std::str::from_utf8(&bytes).unwrap();
+    let lines: Vec<Tuple> = text
+        .lines()
+        .map(|l| Tuple::parse_line(l, 1).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0].time.as_micros(), 100_000, "§3.3 times are ms");
+    assert_eq!(lines[1].value, 2.0);
+    assert_eq!(lines[0].name.as_deref(), Some("legacy.sig"));
+
+    let stats = server.stats();
+    assert_eq!(stats.tuples_received, 2);
+    assert_eq!(stats.parse_errors, 0);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+fn finite_value() -> impl Strategy<Value = f64> {
+    prop_oneof![-1e9..1e9f64, Just(0.0), Just(-0.0), -1.0..1.0f64]
+}
+
+proptest! {
+    // The binary codec must agree with the text codec tuple-for-tuple:
+    // same microsecond times, bit-identical values, same names. This
+    // is what lets a shard encode a batch once and fan it out to a
+    // mixed population of text and binary subscribers.
+    #[test]
+    fn binary_batch_round_trip_matches_text_codec(
+        times in proptest::collection::vec(0u64..10_000_000_000, 1..50),
+        values in proptest::collection::vec(finite_value(), 50),
+        names in proptest::collection::vec(
+            proptest::option::of("[a-zA-Z][a-zA-Z0-9_.]{0,12}"), 50),
+    ) {
+        let mut times = times;
+        times.sort_unstable();
+        let tuples: Vec<(u64, f64, Option<Arc<str>>)> = times
+            .iter()
+            .zip(&values)
+            .zip(&names)
+            .map(|((&t, &v), n)| (t, v, n.as_deref().map(Arc::from)))
+            .collect();
+
+        // Binary: one DATA frame through the real framing layer.
+        let mut enc = BatchEncoder::new();
+        for (t, v, n) in &tuples {
+            enc.push(*t, *v, n.as_ref());
+        }
+        let mut framed = Vec::new();
+        enc.frame_into(&mut framed);
+        let (msg, consumed) = wire::split_message(&framed).unwrap().unwrap();
+        prop_assert_eq!(consumed, framed.len());
+        let mut recs: Vec<WireRec> = Vec::new();
+        match msg {
+            Msg::Frame { op, body } => {
+                prop_assert_eq!(op, wire::OP_DATA);
+                wire::decode_data(body, &mut recs).unwrap();
+            }
+            Msg::Line(_) => prop_assert!(false, "expected a frame"),
+        }
+
+        // Text: the same tuples through the §3.3 line codec.
+        let mut line = Vec::new();
+        prop_assert_eq!(recs.len(), tuples.len());
+        for (rec, (t, v, n)) in recs.iter().zip(&tuples) {
+            line.clear();
+            gscope::write_tuple_line(
+                &mut line,
+                TimeStamp::from_micros(*t),
+                *v,
+                n.as_deref(),
+            );
+            let text = std::str::from_utf8(&line).unwrap();
+            let parsed = Tuple::parse_line(text.trim_end(), 1).unwrap();
+            prop_assert_eq!(rec.time_us, parsed.time.as_micros());
+            prop_assert_eq!(rec.time_us, *t);
+            prop_assert_eq!(rec.value.to_bits(), parsed.value.to_bits());
+            prop_assert_eq!(rec.name.as_deref(), parsed.name.as_deref());
+            prop_assert_eq!(rec.name.as_deref(), n.as_deref());
+        }
+    }
+}

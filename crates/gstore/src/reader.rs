@@ -55,6 +55,8 @@ struct SegSlot {
 /// a text [`TupleReader`](gscope::TupleReader).
 #[derive(Debug)]
 pub struct StoreReader {
+    dir: PathBuf,
+    tier: u16,
     segments: Vec<SegSlot>,
     cur_seg: usize,
     cur_frames: Vec<SalvagedFrame>,
@@ -83,19 +85,38 @@ impl StoreReader {
     ///
     /// Same as [`StoreReader::open`].
     pub fn open_tier(dir: impl AsRef<Path>, tier: u16) -> Result<StoreReader> {
+        let mut reader = StoreReader {
+            dir: dir.as_ref().to_path_buf(),
+            tier,
+            segments: Vec::new(),
+            cur_seg: 0,
+            cur_frames: Vec::new(),
+            cur_idx: 0,
+            from_us: None,
+            to_us: None,
+            finished: false,
+            stats: ReaderStats::default(),
+        };
+        reader.discover_segments(None)?;
+        Ok(reader)
+    }
+
+    /// Scans the directory for segment files of this tier with
+    /// `seq > after` (all of them when `after` is `None`) and appends
+    /// readable ones as slots.
+    fn discover_segments(&mut self, after: Option<u64>) -> Result<()> {
         let mut named: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in std::fs::read_dir(dir.as_ref()).map_err(ScopeError::Io)? {
+        for entry in std::fs::read_dir(&self.dir).map_err(ScopeError::Io)? {
             let entry = entry.map_err(ScopeError::Io)?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             if let Some((seq, t)) = parse_segment_file_name(name) {
-                if t == tier {
+                if t == self.tier && after.is_none_or(|a| seq > a) {
                     named.push((seq, entry.path()));
                 }
             }
         }
         named.sort_by_key(|(seq, _)| *seq);
-        let mut segments = Vec::with_capacity(named.len());
         for (_, path) in named {
             let Ok(mut file) = File::open(&path) else {
                 continue;
@@ -108,7 +129,7 @@ impl StoreReader {
             let Some(first_us) = first_block_time(&mut file) else {
                 continue; // no complete blocks yet
             };
-            segments.push(SegSlot {
+            self.segments.push(SegSlot {
                 path,
                 file,
                 first_us,
@@ -116,16 +137,68 @@ impl StoreReader {
                 next_block: 0,
             });
         }
-        Ok(StoreReader {
-            segments,
-            cur_seg: 0,
-            cur_frames: Vec::new(),
-            cur_idx: 0,
-            from_us: None,
-            to_us: None,
-            finished: false,
-            stats: ReaderStats::default(),
-        })
+        Ok(())
+    }
+
+    /// Tail-follow: picks up blocks appended to the newest segment and
+    /// segment files created since open (or the last refresh), without
+    /// disturbing the current stream position. Returns `true` when
+    /// unread data now lies at or ahead of the position — after a
+    /// `refresh()` that returns `true`, `next_tuple` resumes yielding
+    /// even if the reader had previously finished.
+    ///
+    /// This is the live catch-up contract used by the `gnet` hub: a
+    /// backpressured client replays from the store while the store is
+    /// still being appended to, alternating `next_tuple` drains with
+    /// store flushes and `refresh()` calls until it reaches the head.
+    ///
+    /// # Errors
+    ///
+    /// [`ScopeError::Io`] on directory or header read failure.
+    pub fn refresh(&mut self) -> Result<bool> {
+        // Only the newest segment can grow; rebuild its block index if
+        // one was already built (an unbuilt index is never stale —
+        // `ensure_index` scans the file as it is at that moment).
+        if let Some(last) = self.segments.last_mut() {
+            if last.blocks.is_some() {
+                let scan = scan_headers(&mut last.file).map_err(ScopeError::Io)?;
+                last.blocks = Some(scan.blocks);
+            }
+        }
+        let last_seq = self.segments.last().and_then(|s| {
+            s.path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(parse_segment_file_name)
+                .map(|(seq, _)| seq)
+        });
+        self.discover_segments(last_seq)?;
+        // Anything unread at/ahead of the position? Segments behind a
+        // seek target carry `next_block == usize::MAX`; consumed ones
+        // have `next_block == blocks.len()`.
+        let mut resume = None;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.next_block == usize::MAX {
+                continue;
+            }
+            let has_unread = match &seg.blocks {
+                Some(blocks) => seg.next_block < blocks.len(),
+                // Unindexed slots always hold at least one block.
+                None => true,
+            };
+            if has_unread {
+                resume = Some(i);
+                break;
+            }
+        }
+        let pending = resume.is_some() || self.cur_idx < self.cur_frames.len();
+        if let Some(i) = resume {
+            self.finished = false;
+            if self.cur_seg > i {
+                self.cur_seg = i;
+            }
+        }
+        Ok(pending)
     }
 
     /// Number of readable segments in this tier.
@@ -230,15 +303,17 @@ impl StoreReader {
                 continue;
             }
             let meta = blocks[seg.next_block];
-            seg.next_block += 1;
             if let Some(to) = self.to_us {
                 if meta.first_us > to {
                     // Blocks (and segments) only move forward in time:
-                    // nothing later can be in range.
+                    // nothing later can be in range. The block is left
+                    // unconsumed so a later `set_end` + `refresh` can
+                    // still reach it.
                     self.finished = true;
                     return Ok(false);
                 }
             }
+            seg.next_block += 1;
             match read_block_payload(&mut seg.file, &meta).map_err(ScopeError::Io)? {
                 None => {
                     self.stats.crc_skipped_blocks += 1;
@@ -446,6 +521,54 @@ mod tests {
         for w in tuples.windows(2) {
             assert!(w[0].time <= w[1].time);
         }
+    }
+
+    #[test]
+    fn refresh_follows_a_live_store() {
+        let dir = tmp_dir("refresh");
+        let cfg = StoreConfig {
+            block_bytes: 512,
+            block_frames: 32,
+            segment_bytes: 4096,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open(&dir, cfg).unwrap();
+        for i in 0..500u64 {
+            store
+                .append(TimeStamp::from_micros(i * 1_000), i as f64, Some("live"))
+                .unwrap();
+        }
+        store.flush().unwrap();
+        // Reader drains everything flushed so far and finishes.
+        let mut r = StoreReader::open(&dir).unwrap();
+        let first = r.collect_tuples().unwrap();
+        assert_eq!(first.len(), 500);
+        assert!(r.next_tuple().unwrap().is_none());
+        // No new data: refresh reports nothing pending.
+        assert!(!r.refresh().unwrap());
+        // Append enough to grow the current segment AND roll new ones.
+        for i in 500..2_500u64 {
+            store
+                .append(TimeStamp::from_micros(i * 1_000), i as f64, Some("live"))
+                .unwrap();
+        }
+        store.flush().unwrap();
+        assert!(r.refresh().unwrap(), "new blocks and segments visible");
+        let more = r.collect_tuples().unwrap();
+        assert_eq!(more.len(), 2_000, "exactly the new frames, no replays");
+        assert_eq!(more[0].time.as_micros(), 500_000);
+        assert_eq!(more.last().unwrap().time.as_micros(), 2_499_000);
+        // A second round while seeked mid-stream also works.
+        for i in 2_500..2_600u64 {
+            store
+                .append(TimeStamp::from_micros(i * 1_000), i as f64, Some("live"))
+                .unwrap();
+        }
+        store.flush().unwrap();
+        assert!(r.refresh().unwrap());
+        let tail = r.collect_tuples().unwrap();
+        assert_eq!(tail.len(), 100);
+        store.close().unwrap();
     }
 
     #[test]

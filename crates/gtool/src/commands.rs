@@ -10,7 +10,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use gel::{Clock, SystemClock, TickInfo, TimeDelta, TimeStamp, VirtualClock};
-use gnet::{ScopeClient, ScopeServer};
+use gnet::{Protocol, ScopeClient, ScopeServer};
 use gscope::{Scope, SigSource, StatsExport, Tuple, TupleReader, TupleSource, TupleWriter};
 use gstore::{catalog_segments, Store, StoreConfig, StoreReader};
 use gtel::Registry;
@@ -501,22 +501,33 @@ pub fn stats(args: &Args) -> CmdResult {
     }
 }
 
-/// `stream <file> <addr> [--speed X] [--telemetry]` — replay a
-/// recording to a scope server in (scaled) real time, timestamps
-/// rebased to "now". With `--telemetry`, the client's own stats are
-/// appended to the stream as `net.client.*` tuples (§3.3 format), so
-/// the receiving scope can display the streamer's health too.
+/// `stream <file> <addr> [--speed X] [--telemetry] [--binary|--text]`
+/// — replay a recording to a scope server in (scaled) real time,
+/// timestamps rebased to "now". With `--telemetry`, the client's own
+/// stats are appended to the stream as `net.client.*` tuples (§3.3
+/// format), so the receiving scope can display the streamer's health
+/// too. `--binary` offers the length-delimited wire encoding (the
+/// server may decline, in which case the stream stays text);
+/// `--text` pins the legacy line protocol. The report names whichever
+/// encoding was actually negotiated.
 pub fn stream(args: &Args) -> CmdResult {
-    args.check_known(&["speed", "telemetry"])?;
+    args.check_known(&["speed", "telemetry", "binary", "text"])?;
     let path = args.positional(0, "file")?;
     let addr = args.positional(1, "addr")?;
     let speed: f64 = args.get_or("speed", 1.0)?;
     if speed <= 0.0 {
         return Err("--speed must be positive".into());
     }
+    if args.has("binary") && args.has("text") {
+        return Err("--binary and --text are mutually exclusive".into());
+    }
     let tuples = load_tuples(path)?;
     let clock = SystemClock::new();
-    let mut client = ScopeClient::connect(addr)?;
+    let mut client = if args.has("binary") {
+        ScopeClient::connect_binary(addr)?
+    } else {
+        ScopeClient::connect(addr)?
+    };
     let base = tuples.first().map(|t| t.time).unwrap_or(TimeStamp::ZERO);
     let start = clock.now();
     let mut sent = 0u64;
@@ -543,7 +554,11 @@ pub fn stream(args: &Args) -> CmdResult {
         }
     }
     client.flush_blocking()?;
-    let mut report = format!("streamed {sent} tuples to {addr} at {speed}x");
+    let proto = match client.negotiated() {
+        Protocol::Binary => "binary",
+        Protocol::Text => "text",
+    };
+    let mut report = format!("streamed {sent} tuples to {addr} at {speed}x over {proto} wire");
     if extra > 0 {
         report.push_str(&format!(" (+{extra} telemetry tuples)"));
     }
@@ -619,15 +634,40 @@ pub fn serve(args: &Args) -> CmdResult {
     }
 
     let stats = server.stats();
+    let clients = server.client_stats();
     let guard = scope.lock();
     let mut report = format!(
-        "served {local}: {} connections, {} tuples, {} parse errors, {} late drops\nsignals: {}\n",
+        "served {local} ({} shards): {} connections, {} tuples, {} parse errors, \
+         {} protocol errors, {} late drops\nsignals: {}\n",
+        server.shard_count(),
         stats.connections,
         stats.tuples_received,
         stats.parse_errors,
+        stats.protocol_errors,
         guard.buffer().late_drops(),
         guard.signal_names().join(", "),
     );
+    for c in &clients {
+        let proto = match c.protocol {
+            Protocol::Binary => "binary",
+            Protocol::Text => "text",
+        };
+        let mode = if c.catching_up { "catch-up" } else { "live" };
+        report.push_str(&format!(
+            "client {} shard {} {proto} {mode}: in {} tuples ({} parse / {} proto errs), \
+             out {} tuples / {} B, {} sheds, {} catch-ups, queue {} B\n",
+            c.peer,
+            c.shard,
+            c.tuples_in,
+            c.parse_errors,
+            c.protocol_errors,
+            c.tuples_out,
+            c.bytes_out,
+            c.shed_events,
+            c.catch_ups,
+            c.queue_bytes,
+        ));
+    }
     if let Some(out) = out {
         if out.ends_with(".svg") {
             std::fs::write(&out, grender::render_scope_svg(&guard))?;
@@ -875,7 +915,7 @@ USAGE:
   gscope-tool view <file> --out scope.ppm [--width N] [--period MS] [--svg]
   gscope-tool gen --out <file> [--seconds S] [--rate HZ] [--wave sine|square|saw|triangle]
                   [--freq HZ] [--amplitude A] [--name NAME]
-  gscope-tool stream <file> <host:port> [--speed X] [--telemetry]
+  gscope-tool stream <file> <host:port> [--speed X] [--telemetry] [--binary|--text]
   gscope-tool serve <bind-addr> [--duration-ms D] [--delay MS] [--period MS] [--out img]
                     [--snapshot-every-ms N]
   gscope-tool stats <file> [--period MS] [--width N] [--json]
@@ -1160,12 +1200,16 @@ mod tests {
         ));
         let server = std::thread::spawn(move || serve(&serve_args).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(200));
-        let report = stream(&args(&format!("{file} {bind} --speed 4 --telemetry"))).unwrap();
+        let report = stream(&args(&format!(
+            "{file} {bind} --speed 4 --telemetry --binary"
+        )))
+        .unwrap();
         assert!(report.contains("streamed 40 tuples"), "{report}");
-        assert!(report.contains("+3 telemetry tuples"), "{report}");
+        assert!(report.contains("over binary wire"), "{report}");
+        assert!(report.contains("+5 telemetry tuples"), "{report}");
         let server_report = server.join().unwrap();
         assert!(server_report.contains("1 connections"), "{server_report}");
-        assert!(server_report.contains("43 tuples"), "{server_report}");
+        assert!(server_report.contains("45 tuples"), "{server_report}");
         assert!(server_report.contains("remote"), "{server_report}");
         // The streamer's own stats arrived as ordinary signals.
         assert!(

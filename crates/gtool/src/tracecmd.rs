@@ -422,8 +422,10 @@ mod tests {
 
     #[test]
     fn health_passes_with_sane_budgets_and_fails_tight() {
-        // 10ms budgets vs µs-scale stages: no misses.
-        let ok = health(&args("--ticks 8 --period 10")).unwrap();
+        // 100ms budgets vs µs-scale stages: no misses. The period is
+        // deliberately generous — this asserts budget semantics, and a
+        // loaded test machine can stall any tick past a tight budget.
+        let ok = health(&args("--ticks 8 --period 100")).unwrap();
         assert!(ok.contains("ok"));
         assert!(!ok.contains("BREACH"));
         // 1ns budgets: every tick misses, Err carries the table.

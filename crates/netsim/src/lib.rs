@@ -23,11 +23,13 @@
 //! congestion level produces window halvings but no timeouts.
 
 mod driver;
+pub mod link;
 mod queue;
 mod sim;
 mod tcp;
 
 pub use driver::{Mxtraf, MxtrafConfig};
+pub use link::{LinkClock, LinkConfig, SimConn};
 pub use queue::{EnqueueOutcome, QueueDiscipline, QueueKind, QueueStats};
 pub use sim::{FlowId, NetConfig, Network, UdpStats};
 pub use tcp::{
