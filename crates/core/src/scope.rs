@@ -615,6 +615,21 @@ impl Scope {
         Ok(())
     }
 
+    /// Installs a pre-computed envelope for a signal — the vehicle for
+    /// level-of-detail playback, where min/max columns come straight
+    /// off disk and the renderer must not re-decimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::UnknownSignal`] if absent.
+    pub fn set_envelope(&mut self, name: &str, envelope: Envelope) -> Result<()> {
+        if self.signal(name).is_none() {
+            return Err(ScopeError::UnknownSignal(name.into()));
+        }
+        self.envelopes.insert(name.to_owned(), envelope);
+        Ok(())
+    }
+
     /// Stops and clears envelope accumulation for a signal.
     pub fn disable_envelope(&mut self, name: &str) {
         self.envelopes.remove(name);

@@ -200,6 +200,21 @@ impl Envelope {
         }
     }
 
+    /// Builds an envelope directly from per-pixel `(min, max)` bands —
+    /// the shape a level-of-detail store query returns — counting as
+    /// one sweep. `None` columns stay empty.
+    pub fn from_bands(bands: &[Option<(f64, f64)>]) -> Self {
+        let mut env = Envelope::new(bands.len());
+        for (x, band) in bands.iter().enumerate() {
+            if let Some((lo, hi)) = *band {
+                env.min[x] = lo;
+                env.max[x] = hi;
+            }
+        }
+        env.sweeps = 1;
+        env
+    }
+
     /// Returns the canvas width.
     pub fn width(&self) -> usize {
         self.min.len()

@@ -1426,8 +1426,20 @@ fn complete_catch_up(c: &mut ClientState, shared: &HubShared) {
     gtel::instant("net.server.catchup_end", boundary as f64);
 }
 
+/// Ceiling on frames one scope catch-up replays. When the window holds
+/// more tier-0 frames than this, the glod planner swaps in coarser
+/// pyramid tiers (pre-decimated min/max envelopes), so a catch-up over
+/// a year of history costs the same as one over a minute.
+const CATCH_UP_FRAME_BUDGET: u64 = 250_000;
+
 /// Replays history into the attached scopes (the facade's
 /// `catch_up(window)`); unrelated to per-client catch-up.
+///
+/// The replay is tier-stitched: `gstore::lod::replay_plan` picks the
+/// finest tier whose frame count fits [`CATCH_UP_FRAME_BUDGET`] and
+/// descends to finer tiers (down to raw tier 0) over the tail the
+/// pyramid has not folded yet, each slice replayed through its own
+/// seeked reader.
 pub(crate) fn catch_up_scopes(shared: &HubShared, window: TimeDelta) -> u64 {
     let (dir, newest) = {
         let mut guard = shared.store.lock();
@@ -1446,11 +1458,13 @@ pub(crate) fn catch_up_scopes(shared: &HubShared, window: TimeDelta) -> u64 {
         (store.dir().to_path_buf(), newest)
     };
     let from = newest.saturating_sub(window);
-    let mut reader = match StoreReader::open(&dir).and_then(|mut r| {
-        r.seek(from)?;
-        Ok(r)
-    }) {
-        Ok(r) => r,
+    let slices = match gstore::lod::replay_plan(
+        &dir,
+        from.as_micros(),
+        newest.as_micros(),
+        CATCH_UP_FRAME_BUDGET,
+    ) {
+        Ok(s) => s,
         Err(_) => {
             shared.counters.store_errors.fetch_add(1, Ordering::Relaxed);
             shared.tel.read().store_errors.inc();
@@ -1460,26 +1474,41 @@ pub(crate) fn catch_up_scopes(shared: &HubShared, window: TimeDelta) -> u64 {
     let scopes = shared.scopes.read();
     let auto = shared.auto_register.load(Ordering::Relaxed);
     let mut replayed = 0u64;
-    loop {
-        match reader.next_tuple() {
-            Ok(Some(tuple)) => {
-                for scope in scopes.iter() {
-                    let mut guard = scope.lock();
-                    if auto {
-                        let name = tuple.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
-                        if guard.signal(name).is_none() {
-                            let _ = guard.add_signal(name, SigSource::Buffer, SigConfig::default());
-                        }
-                    }
-                    guard.buffer().push(tuple.clone());
-                }
-                replayed += 1;
-            }
-            Ok(None) => break,
+    for slice in slices {
+        let mut reader = match StoreReader::open_tier(&dir, slice.tier).and_then(|mut r| {
+            r.seek(gel::TimeStamp::from_micros(slice.from_us))?;
+            r.set_end(gel::TimeStamp::from_micros(slice.to_us));
+            Ok(r)
+        }) {
+            Ok(r) => r,
             Err(_) => {
                 shared.counters.store_errors.fetch_add(1, Ordering::Relaxed);
                 shared.tel.read().store_errors.inc();
-                break;
+                continue;
+            }
+        };
+        loop {
+            match reader.next_tuple() {
+                Ok(Some(tuple)) => {
+                    for scope in scopes.iter() {
+                        let mut guard = scope.lock();
+                        if auto {
+                            let name = tuple.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
+                            if guard.signal(name).is_none() {
+                                let _ =
+                                    guard.add_signal(name, SigSource::Buffer, SigConfig::default());
+                            }
+                        }
+                        guard.buffer().push(tuple.clone());
+                    }
+                    replayed += 1;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    shared.counters.store_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.tel.read().store_errors.inc();
+                    break;
+                }
             }
         }
     }

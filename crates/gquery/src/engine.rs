@@ -153,15 +153,19 @@ pub fn frame_matches(q: &Query, time_us: u64, value: f64, name: Option<&str>) ->
     q.value.iter().all(|(cmp, rhs)| cmp.matches(value, *rhs))
 }
 
-/// Lists a store's tier-0 segments in sequence (= time) order.
-fn tier0_segments(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+/// Lists a store's tier-`tier` segments in sequence (= time) order.
+/// Tier 0 is the raw log; tiers above it are glod min/max envelope
+/// pyramids, searchable with the same planner.
+fn tier_segments(dir: &Path, tier: u16) -> std::io::Result<Vec<PathBuf>> {
     let mut found: Vec<(u64, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if let Some((seq, 0)) = parse_segment_file_name(name) {
-            found.push((seq, entry.path()));
+        if let Some((seq, t)) = parse_segment_file_name(name) {
+            if t == tier {
+                found.push((seq, entry.path()));
+            }
         }
     }
     found.sort_by_key(|(seq, _)| *seq);
@@ -253,11 +257,23 @@ impl QueryEngine {
     /// [`ScopeError::Io`] on unreadable segments or sidecar rebuild
     /// failures; damaged blocks are skipped, not fatal.
     pub fn query(&self, q: &Query) -> Result<QueryOutcome> {
+        self.query_tier(q, 0)
+    }
+
+    /// Runs `q` against one glod pyramid tier: tier 0 searches every
+    /// raw frame; a coarser tier searches only its pre-decimated
+    /// min/max envelope frames — same planner, a fraction of the
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QueryEngine::query`].
+    pub fn query_tier(&self, q: &Query, tier: u16) -> Result<QueryOutcome> {
         let mut stats = QueryStats::default();
         let mut matches = Vec::new();
         for source in self.selected(q) {
             stats.sources += 1;
-            for seg in tier0_segments(&source.path).map_err(ScopeError::Io)? {
+            for seg in tier_segments(&source.path, tier).map_err(ScopeError::Io)? {
                 stats.segments_total += 1;
                 query_segment(&seg, &source.label, q, &mut stats, &mut matches)
                     .map_err(ScopeError::Io)?;

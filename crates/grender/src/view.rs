@@ -165,17 +165,25 @@ pub(crate) fn draw_content(scope: &Scope, s: &mut dyn Surface) {
     let cw = scope.width() as i64;
     let ch = scope.height() as i64;
 
-    // Envelope shading first (under the traces).
+    // Envelope shading first (under the traces). When the signal has
+    // no live display window the envelope IS the trace — pre-decimated
+    // min/max columns straight off a store's LOD pyramid — so it draws
+    // as solid columns instead of a translucent accumulation band.
     for sig in scope.signals() {
         if sig.config().hidden {
             continue;
         }
         if let Some(env) = scope.envelope(sig.name()) {
+            let solid = scope.display_cols(sig.name()).iter().all(|c| c.is_none());
             for px in 0..cw.min(env.width() as i64) {
                 if let Some((lo, hi)) = env.band(px as usize) {
                     let ylo = value_to_y(scope, sig.config(), lo, canvas_y, ch);
                     let yhi = value_to_y(scope, sig.config(), hi, canvas_y, ch);
-                    s.band(canvas_x + px, yhi, ylo, sig.color(), 0.25);
+                    if solid {
+                        s.line(canvas_x + px, yhi, canvas_x + px, ylo, sig.color());
+                    } else {
+                        s.band(canvas_x + px, yhi, ylo, sig.color(), 0.25);
+                    }
                 }
             }
         }

@@ -29,6 +29,12 @@
 //!   on-disk analogue of the renderer's `decimate_minmax`), so old
 //!   history coarsens instead of disappearing.
 //!
+//! * **Zoomable** — the [`lod`] pyramid ("glod") folds sealed tier-K
+//!   segments into tier-K+1 min/max envelopes in the background and
+//!   answers [`Store::query`]`(signal, t0, t1, px_width)` off the
+//!   coarsest tier with one column per pixel, so zooming over a year
+//!   of history costs the same as a minute.
+//!
 //! [`Store`] implements gscope's `TupleSink` and [`StoreReader`]
 //! implements `TupleSource`, so the scope recorder, the network
 //! server's catch-up tee, and `gtool record`/`replay` all plug in
@@ -37,6 +43,7 @@
 pub mod codec;
 pub mod flight;
 pub mod index;
+pub mod lod;
 pub mod reader;
 pub mod segment;
 pub mod store;
@@ -45,6 +52,9 @@ pub use flight::{read_bundle, BundleInfo, BundleSummary, FlightRecorder};
 pub use index::{
     build_index, index_path, load_or_rebuild_index, probe_index, read_index, split_thread,
     write_index, IndexProbe, Posting, SegIndex, TermClass, TermEntry,
+};
+pub use lod::{
+    CompactReport, Compactor, CompactorConfig, CompactorHandle, LodResult, LodSlice, LodStats,
 };
 pub use reader::{ReaderStats, StoreReader};
 pub use segment::{recover_segment, Recovery, SalvagedFrame};

@@ -314,6 +314,92 @@ pub fn decode_records(payload: &[u8], base_us: u64) -> (Vec<SalvagedFrame>, bool
     (out, true)
 }
 
+/// Streaming variant of [`decode_records`] for hot scan paths: emits
+/// `(time_us, value)` of samples matching `signal` within
+/// `[from_us, to_us]` straight into `push`, with no per-frame
+/// allocation or name refcounting — names are compared once per
+/// definition record, samples filter on the integer id.
+///
+/// `signal` of `None` accepts every stream; `Some("")` is the unnamed
+/// stream. Returns `(records_decoded, complete)` with the same
+/// salvage semantics as [`decode_records`]: on a torn or invalid
+/// record everything before it has already been emitted.
+pub fn decode_filtered(
+    payload: &[u8],
+    base_us: u64,
+    signal: Option<&str>,
+    from_us: u64,
+    to_us: u64,
+    push: &mut dyn FnMut(u64, f64),
+) -> (u64, bool) {
+    // id 0 is the unnamed stream; defined ids start at 1.
+    let mut id_hits: Vec<bool> = vec![signal.is_none_or(|s| s.is_empty())];
+    let mut decoded = 0u64;
+    let mut time = base_us;
+    let mut pos = 0usize;
+    let mut first = true;
+    while pos < payload.len() {
+        let tag = payload[pos];
+        pos += 1;
+        match tag {
+            TAG_SAMPLE => {
+                let Some(dt) = get_uvarint(payload, &mut pos) else {
+                    return (decoded, false);
+                };
+                let Some(id) = get_uvarint(payload, &mut pos) else {
+                    return (decoded, false);
+                };
+                if pos + 8 > payload.len() {
+                    return (decoded, false);
+                }
+                let value = f64::from_le_bits_at(payload, pos);
+                pos += 8;
+                if first {
+                    if dt != 0 {
+                        return (decoded, false); // first frame must sit at first_us
+                    }
+                    first = false;
+                } else {
+                    let Some(t) = time.checked_add(dt) else {
+                        return (decoded, false);
+                    };
+                    time = t;
+                }
+                let Some(&hit) = id_hits.get(id as usize) else {
+                    return (decoded, false); // undefined name id
+                };
+                decoded += 1;
+                if hit && time >= from_us && time <= to_us {
+                    push(time, value);
+                }
+            }
+            TAG_NAMEDEF => {
+                let Some(id) = get_uvarint(payload, &mut pos) else {
+                    return (decoded, false);
+                };
+                // Ids are assigned densely in order of first use.
+                if id as usize != id_hits.len() {
+                    return (decoded, false);
+                }
+                let Some(len) = get_uvarint(payload, &mut pos) else {
+                    return (decoded, false);
+                };
+                let end = pos + len as usize;
+                if len == 0 || end > payload.len() {
+                    return (decoded, false);
+                }
+                let Ok(s) = std::str::from_utf8(&payload[pos..end]) else {
+                    return (decoded, false);
+                };
+                id_hits.push(signal.is_none_or(|want| want == s));
+                pos = end;
+            }
+            _ => return (decoded, false), // unknown tag
+        }
+    }
+    (decoded, true)
+}
+
 /// `f64::from_le_bytes` over a slice at an offset, named for clarity
 /// at the call site.
 trait F64At {
@@ -851,6 +937,71 @@ mod tests {
         let path = tmp("roundtrip.gseg");
         let expect = write_sample_segment(&path, 3, 40);
         assert_eq!(read_all_frames(&path), expect);
+    }
+
+    /// The streaming filtered decoder must agree with the reference
+    /// decoder for every filter shape — whole payloads, one signal,
+    /// time windows — and count the same records on torn input.
+    #[test]
+    fn filtered_decode_matches_reference() {
+        let path = tmp("filtered.gseg");
+        write_sample_segment(&path, 2, 32);
+        let mut f = File::open(&path).unwrap();
+        read_seg_header(&mut f).unwrap();
+        let scan = scan_headers(&mut f).unwrap();
+        for meta in &scan.blocks {
+            let payload = read_block_payload(&mut f, meta).unwrap().expect("crc ok");
+            let (reference, complete) = decode_records(&payload, meta.first_us);
+            assert!(complete);
+            for (signal, from_us, to_us) in [
+                (None, 0, u64::MAX),
+                (Some("even"), 0, u64::MAX),
+                (Some("odd"), meta.first_us + 4_000, meta.first_us + 20_000),
+                (Some("missing"), 0, u64::MAX),
+                (Some(""), 0, u64::MAX),
+            ] {
+                let want: Vec<(u64, f64)> = reference
+                    .iter()
+                    .filter(|r| {
+                        signal.is_none_or(|s| r.name.as_deref().unwrap_or("") == s)
+                            && r.time_us >= from_us
+                            && r.time_us <= to_us
+                    })
+                    .map(|r| (r.time_us, r.value))
+                    .collect();
+                let mut got = Vec::new();
+                let (decoded, complete) = decode_filtered(
+                    &payload,
+                    meta.first_us,
+                    signal,
+                    from_us,
+                    to_us,
+                    &mut |t, v| got.push((t, v)),
+                );
+                assert!(complete);
+                assert_eq!(decoded, reference.len() as u64);
+                assert_eq!(got, want, "signal {signal:?} in [{from_us}, {to_us}]");
+            }
+        }
+        // Torn payload: both decoders salvage the same prefix.
+        let payload = read_block_payload(&mut f, &scan.blocks[0])
+            .unwrap()
+            .unwrap();
+        let torn = &payload[..payload.len() - 3];
+        let (reference, complete) = decode_records(torn, scan.blocks[0].first_us);
+        assert!(!complete);
+        let mut got = Vec::new();
+        let (decoded, complete) = decode_filtered(
+            torn,
+            scan.blocks[0].first_us,
+            None,
+            0,
+            u64::MAX,
+            &mut |t, v| got.push((t, v)),
+        );
+        assert!(!complete);
+        assert_eq!(decoded, reference.len() as u64);
+        assert_eq!(got.len(), reference.len());
     }
 
     #[test]

@@ -295,10 +295,15 @@ impl Store {
             stats: StoreStats::default(),
             telemetry: StoreTelemetry::default(),
         };
-        // Newest tier-0 segment is the append point: recover + resume.
+        // Newest tier-0 segment is the append point: recover + resume
+        // — unless the glod pyramid already folded it. A
+        // watermark-covered segment is immutable (its envelope bands
+        // are on disk at tier 1+), so growing it would silently
+        // diverge from the pyramid; roll to a fresh seq instead.
+        let wm = crate::lod::watermark(&store.dir, 1);
         let active = catalog
             .iter()
-            .rposition(|s| s.tier == 0)
+            .rposition(|s| s.tier == 0 && wm < Some(s.seq))
             .map(|i| catalog.remove(i));
         store.sealed = catalog.into_iter().filter(|s| s.tier == 0).collect();
         store.last_us = store.sealed.iter().filter_map(|s| s.last_us).max();
@@ -540,9 +545,17 @@ impl Store {
             }
             let victim = self.sealed.remove(0);
             report.evicted += 1;
-            let (frames, buckets) = self.compact_segment(&victim)?;
-            report.frames_compacted += frames;
-            report.buckets_written += buckets;
+            // When the glod pyramid already folded this segment (its
+            // seq is at or under the tier-1 watermark) the envelope is
+            // preserved on disk — folding it again into the bucketed
+            // tier-1 log would double-count it. Just delete.
+            let pyramid_covered =
+                crate::lod::watermark(&self.dir, 1).is_some_and(|wm| victim.seq <= wm);
+            if !pyramid_covered {
+                let (frames, buckets) = self.compact_segment(&victim)?;
+                report.frames_compacted += frames;
+                report.buckets_written += buckets;
+            }
             std::fs::remove_file(&victim.path).map_err(ScopeError::Io)?;
             // The index sidecar goes with its segment.
             let _ = std::fs::remove_file(crate::index::index_path(&victim.path));
@@ -621,6 +634,26 @@ impl Store {
             t1.flush_block().map_err(ScopeError::Io)?;
         }
         Ok(())
+    }
+
+    /// Level-of-detail query over everything recorded so far: folds
+    /// `signal`'s history in `[t0, t1]` into `px_width` min/max
+    /// columns, reading the coarsest glod pyramid tier that still
+    /// yields one column per pixel (see [`crate::lod::query`]). The
+    /// open block is flushed first so the newest frames are visible.
+    ///
+    /// # Errors
+    ///
+    /// [`ScopeError::Io`] on flush or directory I/O failure.
+    pub fn query(
+        &mut self,
+        signal: Option<&str>,
+        t0: TimeStamp,
+        t1: TimeStamp,
+        px_width: usize,
+    ) -> Result<crate::lod::LodResult> {
+        self.flush()?;
+        crate::lod::query(&self.dir, signal, t0, t1, px_width)
     }
 
     /// Flushes and seals everything, consuming the store. [`Drop`]

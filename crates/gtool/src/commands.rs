@@ -115,8 +115,14 @@ fn indexed_tier_summary(segs: &[&gstore::SegmentInfo]) -> Option<TierSummary> {
 fn store_info(dir: &str) -> CmdResult {
     let catalog =
         catalog_segments(Path::new(dir)).map_err(|e| format!("cannot open {dir}: {e}"))?;
+    // Every tier actually present, not a hardcoded roll-up list: the
+    // glod pyramid grows tiers as history accumulates.
+    let mut tiers: Vec<u16> = catalog.iter().map(|s| s.tier).collect();
+    tiers.sort_unstable();
+    tiers.dedup();
     let mut out = String::new();
-    for tier in [0u16, 1] {
+    let mut tier0_frames: Option<u64> = None;
+    for tier in tiers {
         let segs: Vec<_> = catalog.iter().filter(|s| s.tier == tier).collect();
         if segs.is_empty() {
             continue;
@@ -141,11 +147,23 @@ fn store_info(dir: &str) -> CmdResult {
                 (count, span, per_signal, "")
             }
         };
+        if tier == 0 {
+            tier0_frames = Some(count);
+        }
+        // Effective decimation vs the raw tier: tier >= 1 frames come
+        // in (min, max) pairs, so `count / 2` source windows survive.
+        let decim = match (tier, tier0_frames) {
+            (0, _) => String::new(),
+            (_, Some(f0)) if count > 0 => {
+                format!(", ~1:{} decimation", (f0 * 2).div_ceil(count).max(1))
+            }
+            _ => String::new(),
+        };
         let bytes: u64 = segs.iter().map(|s| s.bytes).sum();
         let head = format!(
-            "{dir} tier {tier} ({} segments, {bytes} bytes{}{via})",
+            "{dir} tier {tier} ({} segments, {bytes} bytes{}{decim}{via})",
             segs.len(),
-            if tier == 1 { ", min/max envelopes" } else { "" },
+            if tier >= 1 { ", min/max envelopes" } else { "" },
         );
         out.push_str(&summary_block(&head, count, span, &per_signal));
         if crc_skipped > 0 {
@@ -280,21 +298,50 @@ pub fn record(args: &Args) -> CmdResult {
     ))
 }
 
-/// `replay --store <dir> [--from MS] [--to MS] [--out FILE]` — replay
-/// a store back to §3.3 text, seeking straight to `--from` through the
-/// block index instead of scanning prior segments.
+/// `replay --store <dir> [--from MS] [--to MS] [--out FILE]
+/// [--tier N | --px-width W]` — replay a store back to §3.3 text,
+/// seeking straight to `--from` through the block index instead of
+/// scanning prior segments. `--tier` forces a glod pyramid tier
+/// (pre-decimated min/max envelopes straight off disk); `--px-width`
+/// lets the planner pick the coarsest tier that still yields one
+/// envelope column per pixel.
 pub fn replay(args: &Args) -> CmdResult {
-    args.check_known(&["store", "from", "to", "out"])?;
+    args.check_known(&["store", "from", "to", "out", "tier", "px-width"])?;
     let dir = args.get("store").ok_or("missing --store <dir>")?;
-    let mut reader = StoreReader::open(dir)?;
-    let total_segments = reader.segment_count();
-    if let Some(from) = args.get("from") {
-        let ms: f64 = from.parse().map_err(|_| format!("bad --from {from:?}"))?;
-        reader.seek(TimeStamp::from_micros((ms * 1_000.0) as u64))?;
+    if args.get("tier").is_some() && args.get("px-width").is_some() {
+        return Err("--tier and --px-width are mutually exclusive".into());
     }
-    if let Some(to) = args.get("to") {
-        let ms: f64 = to.parse().map_err(|_| format!("bad --to {to:?}"))?;
-        reader.set_end(TimeStamp::from_micros((ms * 1_000.0) as u64));
+    let from_us = match args.get("from") {
+        Some(from) => {
+            let ms: f64 = from.parse().map_err(|_| format!("bad --from {from:?}"))?;
+            (ms * 1_000.0) as u64
+        }
+        None => 0,
+    };
+    let to_us = match args.get("to") {
+        Some(to) => {
+            let ms: f64 = to.parse().map_err(|_| format!("bad --to {to:?}"))?;
+            (ms * 1_000.0) as u64
+        }
+        None => u64::MAX,
+    };
+    let (tier, planner) = if let Some(t) = args.get("tier") {
+        let t: u16 = t.parse().map_err(|_| format!("bad --tier {t:?}"))?;
+        (t, format!("planner: tier {t} (forced)\n"))
+    } else if let Some(w) = args.get("px-width") {
+        let px: usize = w.parse().map_err(|_| format!("bad --px-width {w:?}"))?;
+        let (t, tiers) = gstore::lod::pick_tier(Path::new(dir), from_us, to_us, px)?;
+        (t, format!("planner: tier {t} of {tiers:?} for {px} px\n"))
+    } else {
+        (0, String::new())
+    };
+    let mut reader = StoreReader::open_tier(dir, tier)?;
+    let total_segments = reader.segment_count();
+    if args.get("from").is_some() {
+        reader.seek(TimeStamp::from_micros(from_us))?;
+    }
+    if args.get("to").is_some() {
+        reader.set_end(TimeStamp::from_micros(to_us));
     }
     let mut writer = match args.get("out") {
         Some(out) => Some(TupleWriter::new(std::io::BufWriter::new(File::create(
@@ -330,6 +377,7 @@ pub fn replay(args: &Args) -> CmdResult {
         "\nseek: {}/{} segments indexed, {} index probes, {} blocks decoded\n",
         s.segments_indexed, total_segments, s.index_probes, s.blocks_decoded,
     ));
+    out.push_str(&planner);
     if let Some(out_file) = args.get("out") {
         out.push_str(&format!("wrote text tuples to {out_file}\n"));
     }
@@ -566,8 +614,13 @@ pub fn stream(args: &Args) -> CmdResult {
     Ok(report)
 }
 
-/// `serve <bind> [--duration-ms D] [--delay MS] [--period MS] [--out img]`
-/// — run a scope server for a bounded time, then render what arrived.
+/// `serve <bind> [--duration-ms D] [--delay MS] [--period MS] [--out img]
+/// [--store DIR]` — run a scope server for a bounded time, then render
+/// what arrived. With `--store`, every received tuple is teed into a
+/// gstore directory, a glod compactor folds it into pyramid tiers in
+/// the background, and the final render draws each signal's min/max
+/// envelope columns straight off the pyramid — no in-memory
+/// re-decimation.
 pub fn serve(args: &Args) -> CmdResult {
     args.check_known(&[
         "duration-ms",
@@ -576,6 +629,7 @@ pub fn serve(args: &Args) -> CmdResult {
         "out",
         "width",
         "snapshot-every-ms",
+        "store",
     ])?;
     let bind = args.positional(0, "bind")?;
     let duration_ms: u64 = args.get_or("duration-ms", 2_000)?;
@@ -584,6 +638,7 @@ pub fn serve(args: &Args) -> CmdResult {
     let width: usize = args.get_or("width", 400)?;
     let out = args.get("out").map(str::to_owned);
     let snapshot_ms: u64 = args.get_or("snapshot-every-ms", 0)?;
+    let store_dir = args.get("store").map(str::to_owned);
 
     let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
     let mut scope = Scope::new("gscope-tool serve", width, 150, Arc::clone(&clock));
@@ -594,6 +649,18 @@ pub fn serve(args: &Args) -> CmdResult {
 
     let mut server = ScopeServer::bind(bind)?;
     server.add_scope(Arc::clone(&scope));
+    // Store tee + background glod compactor: history lands on disk as
+    // it arrives and coarse tiers build behind the append head.
+    let mut compactor = None;
+    if let Some(dir) = store_dir.as_deref() {
+        std::fs::create_dir_all(dir)?;
+        server.set_store(Store::open(dir, StoreConfig::default())?);
+        let lod_cfg = gstore::CompactorConfig {
+            min_fold_frames: 4096,
+            ..gstore::CompactorConfig::default()
+        };
+        compactor = Some(gstore::Compactor::new(dir, lod_cfg)?.start());
+    }
     let local = server.local_addr()?;
     eprintln!("listening on {local} for {duration_ms}ms");
 
@@ -635,6 +702,31 @@ pub fn serve(args: &Args) -> CmdResult {
 
     let stats = server.stats();
     let clients = server.client_stats();
+    // Settle the tee and pyramid: seal the store, stop the background
+    // compactor, and run one last drain so the final render sees every
+    // folded tier.
+    let mut lod_report = String::new();
+    if let Some(dir) = store_dir.as_deref() {
+        let newest = server.with_store(|s| s.last_time()).flatten();
+        if let Some(store) = server.take_store() {
+            store.close()?;
+        }
+        if let Some(handle) = compactor.take() {
+            let mut c = handle.stop();
+            let folded = c.drain()?;
+            let mut guard = scope.lock();
+            let t1 = newest.unwrap_or(TimeStamp::ZERO);
+            let lod =
+                gstore::lod::apply_envelopes(Path::new(dir), &mut guard, TimeStamp::ZERO, t1)?;
+            let pruned: u64 = lod.iter().map(|(_, r)| r.stats.blocks_pruned).sum();
+            let tier = lod.iter().map(|(_, r)| r.tier).max().unwrap_or(0);
+            lod_report = format!(
+                "store tee {dir}: pyramid top tier {}, render from tier {tier} ({} signals, {pruned} blocks pruned)\n",
+                folded.top_tier,
+                lod.len(),
+            );
+        }
+    }
     let guard = scope.lock();
     let mut report = format!(
         "served {local} ({} shards): {} connections, {} tuples, {} parse errors, \
@@ -682,6 +774,7 @@ pub fn serve(args: &Args) -> CmdResult {
             report.push_str(&format!("rendered to {out}\n"));
         }
     }
+    report.push_str(&lod_report);
     Ok(report)
 }
 
@@ -911,13 +1004,16 @@ USAGE:
   gscope-tool record <file> --store <dir> [--fsync] [--segment-kib N] [--block-frames N]
                      [--retain-bytes N] [--retain-age-ms MS] [--bucket-ms MS]
   gscope-tool replay --store <dir> [--from MS] [--to MS] [--out <file>]
+                     [--tier N | --px-width W]  (glod: force or plan a pyramid tier)
   gscope-tool compact --store <dir> [--retain-bytes N] [--retain-age-ms MS] [--bucket-ms MS]
   gscope-tool view <file> --out scope.ppm [--width N] [--period MS] [--svg]
   gscope-tool gen --out <file> [--seconds S] [--rate HZ] [--wave sine|square|saw|triangle]
                   [--freq HZ] [--amplitude A] [--name NAME]
   gscope-tool stream <file> <host:port> [--speed X] [--telemetry] [--binary|--text]
   gscope-tool serve <bind-addr> [--duration-ms D] [--delay MS] [--period MS] [--out img]
-                    [--snapshot-every-ms N]
+                    [--snapshot-every-ms N] [--store <dir>]
+                    (--store tees history to disk, compacts it into glod
+                     pyramid tiers, and renders the final view from them)
   gscope-tool stats <file> [--period MS] [--width N] [--json]
                     [--format table|prometheus|tuples|json]
   gscope-tool trace record [--out trace.json] [--ticks N] [--period MS] [--signals N]
@@ -927,7 +1023,7 @@ USAGE:
   gscope-tool trace slowest [--top N] [run flags]
   gscope-tool health [--budget-us N] [--window N] [--allow N] [run flags]
                     (exit code 1 when the deadline SLO window is breached)
-  gscope-tool query '<expr>' --store <dir> [--limit N]
+  gscope-tool query '<expr>' --store <dir> [--limit N] [--tier N | --px-width W]
                     (expr: name=SIG dur>2ms thread=N severity=breach
                      from=MS to=MS within=GLOB — AND of predicates)
   gscope-tool timeline --store <dir> [--window-ms W] [--anchor-ms T] [--within GLOB]

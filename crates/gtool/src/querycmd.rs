@@ -13,9 +13,9 @@ use gquery::{
 use crate::args::Args;
 use crate::commands::CmdResult;
 
-fn stats_line(stats: &QueryStats) -> String {
+fn stats_line(stats: &QueryStats, tier: u16) -> String {
     format!(
-        "planner: {} sources, {}/{} segments opened ({} skipped via index, {} rebuilt), \
+        "planner: tier {tier}, {} sources, {}/{} segments opened ({} skipped via index, {} rebuilt), \
          {} blocks decoded ({} pruned), {} frames decoded, {} matched\n",
         stats.sources,
         stats.segments_opened,
@@ -29,10 +29,14 @@ fn stats_line(stats: &QueryStats) -> String {
     )
 }
 
-/// `query <expr> --store <dir> [--limit N]` — run a search expression
-/// against a recording (`--limit 0` prints every match).
+/// `query <expr> --store <dir> [--limit N] [--tier N | --px-width W]`
+/// — run a search expression against a recording (`--limit 0` prints
+/// every match). `--tier` forces a glod pyramid tier (searching only
+/// its pre-decimated envelope frames); `--px-width` lets the planner
+/// pick the coarsest tier still yielding one column per pixel over the
+/// queried range.
 pub fn query(args: &Args) -> CmdResult {
-    args.check_known(&["store", "limit"])?;
+    args.check_known(&["store", "limit", "tier", "px-width"])?;
     // The expression may arrive quoted (one positional) or bare (one
     // positional per predicate) — join them back into one string.
     args.positional(0, "expr")?;
@@ -42,9 +46,21 @@ pub fn query(args: &Args) -> CmdResult {
         .join(" ");
     let store = args.get("store").ok_or("query needs --store <dir>")?;
     let limit = args.get_or("limit", 50usize)?;
+    if args.get("tier").is_some() && args.get("px-width").is_some() {
+        return Err("--tier and --px-width are mutually exclusive".into());
+    }
     let q = parse_query(&expr).map_err(|e| format!("bad query: {e}"))?;
+    let tier = if let Some(t) = args.get("tier") {
+        t.parse::<u16>().map_err(|_| format!("bad --tier {t:?}"))?
+    } else if let Some(w) = args.get("px-width") {
+        let px: usize = w.parse().map_err(|_| format!("bad --px-width {w:?}"))?;
+        let (from_us, to_us) = (q.from_us.unwrap_or(0), q.to_us.unwrap_or(u64::MAX));
+        gstore::lod::pick_tier(std::path::Path::new(store), from_us, to_us, px)?.0
+    } else {
+        0
+    };
     let engine = QueryEngine::open(store)?;
-    let outcome = engine.query(&q)?;
+    let outcome = engine.query_tier(&q, tier)?;
 
     let mut out = String::new();
     let shown = if limit == 0 {
@@ -77,7 +93,7 @@ pub fn query(args: &Args) -> CmdResult {
         ));
     }
     out.push_str(&format!("{} matches in {}\n", outcome.matches.len(), store));
-    out.push_str(&stats_line(&outcome.stats));
+    out.push_str(&stats_line(&outcome.stats, tier));
     Ok(out)
 }
 
