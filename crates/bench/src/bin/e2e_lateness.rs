@@ -1,0 +1,275 @@
+//! Lateness-attribution cost benchmark: emits `BENCH_e2e.json`.
+//!
+//! Two acceptance rows for the cross-process causality work:
+//!
+//! - **Ingest overhead**: hub ingest throughput with plain `OP_DATA`
+//!   batches vs origin-stamped `OP_DATA_ORIGIN` batches (which add
+//!   the header decode, the clock rebase, the `net.ingest` span, and
+//!   the per-batch `mark_push` into the e2e histograms). The stamped
+//!   path must stay within 5% of plain.
+//! - **Wire overhead**: bytes per tuple on the wire, plain vs
+//!   origin-stamped framing, identical payloads. The origin header is
+//!   amortized over the batch, so the delta must be ≤ 1 byte/tuple.
+//!
+//! Usage: e2e_lateness [--quick] [--out DIR]
+//!   --quick   shorter measurement windows (CI smoke)
+//!   --out DIR directory for BENCH_e2e.json (default `.`)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gnet::clock::wire_now_us;
+use gnet::wire::{self, BatchEncoder, Msg, Origin};
+use gnet::{HubConfig, ScopeServer};
+use netsim::{LinkClock, LinkConfig, SimConn};
+
+const BATCH: u64 = 64;
+const BATCHES_PER_CHUNK: usize = 64;
+
+/// Pre-encodes one chunk of batches, plain or origin-stamped.
+fn encode_chunk(origin: bool) -> (Vec<u8>, u64) {
+    let mut enc = BatchEncoder::new();
+    let name: Arc<str> = Arc::from("bench.sig");
+    let mut out = Vec::new();
+    let mut t_us = 1_000u64;
+    let mut tuples = 0u64;
+    for b in 0..BATCHES_PER_CHUNK {
+        for i in 0..BATCH {
+            enc.push(t_us, (i % 50) as f64, Some(&name));
+            t_us += 100;
+            tuples += 1;
+        }
+        if origin {
+            let o = Origin {
+                node_id: 2,
+                send_us: wire_now_us(),
+                span_id: (b as u64) | 1 << 63,
+            };
+            enc.frame_into_origin(&mut out, &o);
+        } else {
+            enc.frame_into(&mut out);
+        }
+    }
+    (out, tuples)
+}
+
+/// Answers any PINGs sitting in `rx`, stamping replies on the local
+/// clock (zero skew — the cost under test is stamping, not rebasing
+/// distance).
+fn answer_pings(conn: &SimConn, rx: &mut Vec<u8>, tx: &mut Vec<u8>) {
+    let mut buf = [0u8; 4096];
+    while let Ok(n) = conn.read_bytes(&mut buf) {
+        if n == 0 {
+            break;
+        }
+        rx.extend_from_slice(&buf[..n]);
+    }
+    let mut consumed = 0usize;
+    while let Ok(Some((msg, used))) = wire::split_message(&rx[consumed..]) {
+        if let Msg::Frame {
+            op: wire::OP_PING,
+            body,
+        } = msg
+        {
+            let t0 = wire::decode_arg(body).unwrap();
+            let now = wire_now_us();
+            wire::frame_pong(tx, t0, now, now);
+        }
+        consumed += used;
+    }
+    rx.drain(..consumed);
+    if !tx.is_empty() {
+        if let Ok(n) = conn.write_bytes(tx) {
+            tx.drain(..n);
+        }
+    }
+}
+
+/// Floods the hub through an unshaped sim link for `secs`; returns
+/// ingested tuples/sec.
+fn run_ingest(origin: bool, secs: f64) -> f64 {
+    let cfg = HubConfig {
+        shards: 1,
+        ping_interval_us: 50_000,
+        ..HubConfig::default()
+    };
+    let mut server = ScopeServer::with_config("127.0.0.1:0", cfg).expect("bind");
+    let (server_end, client_end) = SimConn::pair(LinkConfig::default(), LinkClock::real());
+    server.add_conn(Box::new(server_end));
+
+    let mut rx = Vec::new();
+    let mut tx = Vec::new();
+    // Negotiate. The origin producer advertises both capabilities and
+    // completes the clock handshake first, so every measured batch
+    // pays the full rebase + mark path.
+    wire::frame_hello(&mut tx, if origin { wire::LOCAL_CAPS } else { 0 });
+    let _ = client_end.write_bytes(&tx);
+    tx.clear();
+    let warm = Instant::now() + Duration::from_millis(if origin { 300 } else { 50 });
+    while Instant::now() < warm {
+        answer_pings(&client_end, &mut rx, &mut tx);
+        server.poll();
+        if origin
+            && server
+                .client_stats()
+                .iter()
+                .any(|c| c.clock.as_ref().is_some_and(|cs| cs.samples >= 2))
+        {
+            break;
+        }
+    }
+
+    let (chunk, chunk_tuples) = encode_chunk(origin);
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(secs);
+    let mut sent_chunks = 0u64;
+    let mut pending = 0usize;
+    while Instant::now() < deadline {
+        if pending == 0 {
+            pending = chunk.len();
+            sent_chunks += 1;
+        }
+        if let Ok(n) = client_end.write_bytes(&chunk[chunk.len() - pending..]) {
+            pending -= n;
+        }
+        answer_pings(&client_end, &mut rx, &mut tx);
+        server.poll();
+    }
+    // Drain whatever the link still holds so the count is exact.
+    let mut quiet = 0;
+    let mut last = server.stats().tuples_received;
+    while quiet < 20 {
+        server.poll();
+        let now = server.stats().tuples_received;
+        if now == last {
+            quiet += 1;
+        } else {
+            quiet = 0;
+            last = now;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let got = server.stats().tuples_received;
+    let expect = sent_chunks * chunk_tuples;
+    assert!(
+        got >= expect.saturating_sub(chunk_tuples),
+        "hub lost tuples: got {got}, sent ~{expect}"
+    );
+    got as f64 / elapsed
+}
+
+struct Row {
+    id: String,
+    before: Option<f64>,
+    after: f64,
+    ratio: Option<f64>,
+}
+
+fn write_json(dir: &str, rows: &[Row]) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let fmt = |x: f64| format!("{x:.2}");
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"e2e\",\n");
+    s.push_str("  \"unit\": \"tuples_per_sec | pct | bytes_per_tuple (per row id)\",\n");
+    s.push_str("  \"results\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{ \"before\": {}, \"after\": {}, \"ratio\": {} }}{}\n",
+            r.id,
+            r.before.map_or_else(|| "null".to_owned(), fmt),
+            fmt(r.after),
+            r.ratio
+                .map_or_else(|| "null".to_owned(), |x| format!("{x:.4}")),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    let path = format!("{dir}/BENCH_e2e.json");
+    std::fs::write(&path, &s)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = ".".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out requires a directory"),
+            other => {
+                eprintln!("unknown flag {other:?}; usage: e2e_lateness [--quick] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let secs = if quick { 0.5 } else { 2.0 };
+    let reps = if quick { 2 } else { 6 };
+
+    // Ingest throughput: best of `reps` interleaved runs per mode.
+    // Run-to-run noise on a shared machine swings ±10% — far above
+    // the effect under test — but it only ever subtracts, so the max
+    // preserves the systematic per-batch cost while shedding noise.
+    let mut plain = Vec::new();
+    let mut stamped = Vec::new();
+    for r in 0..reps {
+        eprintln!("[e2e] ingest rep {}/{reps}: plain OP_DATA ...", r + 1);
+        plain.push(run_ingest(false, secs));
+        eprintln!("[e2e] ingest rep {}/{reps}: origin-stamped ...", r + 1);
+        stamped.push(run_ingest(true, secs));
+    }
+    let best = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
+    let plain = best(&plain);
+    let stamped = best(&stamped);
+    let overhead_pct = (plain - stamped) / plain * 100.0;
+    eprintln!("[e2e] plain {plain:.0} t/s, stamped {stamped:.0} t/s, overhead {overhead_pct:.2}%");
+
+    // Wire cost: identical payload, both framings.
+    let (plain_bytes, tuples) = encode_chunk(false);
+    let (origin_bytes, _) = encode_chunk(true);
+    let plain_bpt = plain_bytes.len() as f64 / tuples as f64;
+    let origin_bpt = origin_bytes.len() as f64 / tuples as f64;
+    let delta_bpt = origin_bpt - plain_bpt;
+    eprintln!(
+        "[e2e] wire: plain {plain_bpt:.2} B/tuple, origin {origin_bpt:.2} B/tuple \
+         (+{delta_bpt:.3})"
+    );
+    assert!(
+        delta_bpt <= 1.0,
+        "origin header exceeds the 1 byte/tuple budget: +{delta_bpt:.3}"
+    );
+
+    let rows = vec![
+        Row {
+            id: "e2e/ingest_tuples_per_sec/origin_stamped".into(),
+            before: Some(plain),
+            after: stamped,
+            ratio: Some(stamped / plain.max(1.0)),
+        },
+        Row {
+            id: "e2e/stamping_overhead_pct".into(),
+            before: None,
+            after: overhead_pct,
+            ratio: None,
+        },
+        Row {
+            id: "e2e/wire_bytes_per_tuple".into(),
+            before: Some(plain_bpt),
+            after: origin_bpt,
+            ratio: Some(origin_bpt / plain_bpt),
+        },
+        Row {
+            id: "e2e/wire_overhead_bytes_per_tuple".into(),
+            before: None,
+            after: delta_bpt,
+            ratio: None,
+        },
+    ];
+    match write_json(&out, &rows) {
+        Ok(path) => eprintln!("[e2e] wrote {path}"),
+        Err(e) => {
+            eprintln!("[e2e] failed to write report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -174,7 +174,7 @@ fn run_ingest(clients: usize, hub: bool, secs: f64) -> f64 {
         };
         let server = ScopeServer::with_config("127.0.0.1:0", cfg).expect("bind");
         let mut hello = Vec::new();
-        wire::frame_hello(&mut hello);
+        wire::frame_hello(&mut hello, 0);
         for _ in 0..clients {
             let (server_end, client_end) = SimConn::pair(link, LinkClock::real());
             server.add_conn(Box::new(server_end));
@@ -364,7 +364,7 @@ impl SeedTcpServer {
 /// the client-side fds don't count against the server's rlimit.
 fn flood_child(addr: &str, clients: usize, binary: bool, burst: usize) -> ! {
     let mut hello = Vec::new();
-    wire::frame_hello(&mut hello);
+    wire::frame_hello(&mut hello, 0);
     // (stream, carry) — a partial write's remainder must go out before
     // any new frame or the byte stream is corrupt.
     let mut conns: Vec<(TcpStream, Vec<u8>)> = Vec::with_capacity(clients);
@@ -640,7 +640,7 @@ fn run_fanout(clients: usize, binary: bool, rate: f64, secs: f64) -> FanoutResul
     };
     let mut hello = Vec::new();
     if binary {
-        wire::frame_hello(&mut hello);
+        wire::frame_hello(&mut hello, 0);
     }
     wire::frame_arg(&mut hello, wire::OP_SUB, 0);
     let mut ends = Vec::with_capacity(clients);

@@ -728,6 +728,17 @@ impl Scope {
                 self.routed[idx].push(t.value);
             }
         }
+        // Lateness attribution: this tick drained buffered samples for
+        // these signals — the drain leg of any hub-stamped chain.
+        let e2e = gtel::e2e();
+        if e2e.is_active() {
+            let drain_us = gtel::fast_now_ns() / 1_000;
+            for (name, &idx) in &self.route {
+                if !self.routed[idx].is_empty() {
+                    e2e.note_drain(name, drain_us);
+                }
+            }
+        }
         let period = self.period;
         for (i, sig) in self.signals.iter_mut().enumerate() {
             let sig_started = std::time::Instant::now();

@@ -204,6 +204,7 @@ pub struct MainLoop {
     quit: Arc<AtomicBool>,
     stats: LoopStats,
     telemetry: LoopTelemetry,
+    meters: crate::telemetry::StageMeters,
     last_lateness_ns: u64,
 }
 
@@ -229,6 +230,7 @@ impl MainLoop {
             quit: Arc::new(AtomicBool::new(false)),
             stats: LoopStats::default(),
             telemetry: LoopTelemetry::default(),
+            meters: crate::telemetry::StageMeters::new(),
             last_lateness_ns: 0,
         }
     }
@@ -618,16 +620,22 @@ impl MainLoop {
         let root_span = gtel::span("gel.iteration", self.stats.iterations);
         let mut dispatched = self.drain_invokes();
         let now = self.clock.now();
+        let t0 = std::time::Instant::now();
         dispatched |= self.dispatch_timeouts(now);
+        let t1 = std::time::Instant::now();
         dispatched |= self.dispatch_io();
+        let t2 = std::time::Instant::now();
         if !dispatched && self.run_idles() {
             dispatched = true;
         }
+        let t3 = std::time::Instant::now();
         drop(root_span);
         // Timed before any sleep: this is dispatch cost, not wait time.
         self.telemetry
             .iteration_ns
             .record_duration(dispatch_started.elapsed());
+        self.meters
+            .record(&self.telemetry, t1 - t0, t2 - t1, t3 - t2);
         self.telemetry.sources.set_count(self.source_count());
         if dispatched {
             return Iteration::Dispatched;

@@ -46,5 +46,5 @@ pub use context::{
     Priority, SourceId, TickInfo, TimeoutFn,
 };
 pub use quantizer::Quantizer;
-pub use telemetry::LoopTelemetry;
+pub use telemetry::{LoopTelemetry, StageMeters};
 pub use time::{TimeDelta, TimeStamp};

@@ -5,8 +5,10 @@
 //! atomics — the loop's own timing is not perturbed by measuring it.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use gtel::{Counter, Gauge, LatencyHistogram, Registry};
+use loadmeter::BusyMeter;
 
 use crate::time::TimeDelta;
 
@@ -30,6 +32,18 @@ pub struct LoopTelemetry {
     pub tick_lateness_ns: Arc<LatencyHistogram>,
     /// `gel.tick.jitter_ns` — |lateness − previous lateness|.
     pub tick_jitter_ns: Arc<LatencyHistogram>,
+    /// `gel.loop.duty_cycle` — dispatch busy ÷ wall over the last
+    /// publish window (the §4.6 uniprocessor-equivalent CPU cost).
+    pub duty_cycle: Arc<Gauge>,
+    /// `gel.loop.overhead_fraction` — capacity lost to dispatch,
+    /// computed with `loadmeter::overhead_fraction` over the window.
+    pub overhead_fraction: Arc<Gauge>,
+    /// `gel.stage.timeout.duty_cycle` — timeout-dispatch share.
+    pub stage_timeout_duty: Arc<Gauge>,
+    /// `gel.stage.io.duty_cycle` — I/O-watch share.
+    pub stage_io_duty: Arc<Gauge>,
+    /// `gel.stage.idle.duty_cycle` — idle-callback share.
+    pub stage_idle_duty: Arc<Gauge>,
 }
 
 impl LoopTelemetry {
@@ -44,6 +58,11 @@ impl LoopTelemetry {
             ticks_missed: registry.counter("gel.tick.missed"),
             tick_lateness_ns: registry.histogram("gel.tick.lateness_ns"),
             tick_jitter_ns: registry.histogram("gel.tick.jitter_ns"),
+            duty_cycle: registry.gauge("gel.loop.duty_cycle"),
+            overhead_fraction: registry.gauge("gel.loop.overhead_fraction"),
+            stage_timeout_duty: registry.gauge("gel.stage.timeout.duty_cycle"),
+            stage_io_duty: registry.gauge("gel.stage.io.duty_cycle"),
+            stage_idle_duty: registry.gauge("gel.stage.idle.duty_cycle"),
             registry,
         }
     }
@@ -71,6 +90,72 @@ impl LoopTelemetry {
 impl Default for LoopTelemetry {
     fn default() -> Self {
         LoopTelemetry::new(Registry::shared())
+    }
+}
+
+/// Gauges refresh on this wall cadence.
+const PUBLISH_WINDOW: Duration = Duration::from_millis(250);
+
+/// Per-stage busy-time meters for one main loop, published to the
+/// duty-cycle gauges on a fixed wall cadence.
+///
+/// Each gauge is an ordinary registry metric, so `Registry::sampler`
+/// turns it into a `FUNC` signal source — a second scope can plot the
+/// loop's (or one stage's) load live, the §4.6 overhead experiment
+/// running continuously instead of as a one-off benchmark.
+#[derive(Debug)]
+pub struct StageMeters {
+    timeout: BusyMeter,
+    io: BusyMeter,
+    idle: BusyMeter,
+    total: BusyMeter,
+    window_start: Instant,
+}
+
+impl Default for StageMeters {
+    fn default() -> Self {
+        StageMeters::new()
+    }
+}
+
+impl StageMeters {
+    /// Fresh meters; the first publish window starts now.
+    pub fn new() -> Self {
+        StageMeters {
+            timeout: BusyMeter::new(),
+            io: BusyMeter::new(),
+            idle: BusyMeter::new(),
+            total: BusyMeter::new(),
+            window_start: Instant::now(),
+        }
+    }
+
+    /// Charges one iteration's stage durations and refreshes the
+    /// gauges once the publish window has elapsed.
+    pub fn record(&mut self, tel: &LoopTelemetry, timeout: Duration, io: Duration, idle: Duration) {
+        self.timeout.add_busy(timeout);
+        self.io.add_busy(io);
+        self.idle.add_busy(idle);
+        self.total.add_busy(timeout + io + idle);
+        let wall = self.window_start.elapsed();
+        if wall < PUBLISH_WINDOW {
+            return;
+        }
+        tel.duty_cycle.set(self.total.duty_cycle());
+        // The §4.6 estimate, continuous: of the window's wall budget,
+        // the capacity left after dispatch is the "loaded" reading.
+        let wall_ns = wall.as_nanos() as u64;
+        let left_ns = wall_ns.saturating_sub(self.total.busy().as_nanos() as u64);
+        tel.overhead_fraction
+            .set(loadmeter::overhead_fraction(wall_ns, left_ns));
+        tel.stage_timeout_duty.set(self.timeout.duty_cycle());
+        tel.stage_io_duty.set(self.io.duty_cycle());
+        tel.stage_idle_duty.set(self.idle.duty_cycle());
+        self.timeout.reset();
+        self.io.reset();
+        self.idle.reset();
+        self.total.reset();
+        self.window_start = Instant::now();
     }
 }
 

@@ -34,15 +34,20 @@ use gel::{Clock, IoPoll, TimeStamp};
 use gscope::{intern, write_tuple_line, StatsExport, Tuple};
 use gtel::{Counter, Gauge, Registry};
 
+use crate::clock::{wire_now_us, ClockEstimator, ClockStats};
 use crate::wire::{
-    decode_arg, decode_data, frame_arg, frame_hello, split_message, BatchEncoder, Msg, Protocol,
-    OP_CATCHUP_BEGIN, OP_CATCHUP_END, OP_DATA, OP_SUB, OP_WELCOME, TEXT_CATCHUP_BEGIN,
-    TEXT_CATCHUP_END, TEXT_SUB,
+    decode_arg, decode_caps, decode_data, decode_pong, frame_arg, frame_hello, frame_ping,
+    frame_pong, split_message, BatchEncoder, Msg, Origin, Protocol, FLAG_CLOCK_SYNC, FLAG_ORIGIN,
+    LOCAL_CAPS, OP_CATCHUP_BEGIN, OP_CATCHUP_END, OP_DATA, OP_PING, OP_PONG, OP_SUB, OP_WELCOME,
+    TEXT_CATCHUP_BEGIN, TEXT_CATCHUP_END, TEXT_SUB,
 };
 
 /// Flush a pending binary batch once its records reach this size, so
 /// frames stay cache-friendly and far below the wire's hard cap.
 const BATCH_FLUSH_BYTES: usize = 32 << 10;
+
+/// Default gap between clock-sync probes on a negotiated connection.
+const PING_INTERVAL_US: u64 = 200_000;
 
 /// Counters describing client activity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -98,6 +103,12 @@ struct ClientTelemetry {
     reconnects: Arc<Counter>,
     /// `net.client.queue_bytes` — out-buffer depth after each pump.
     queue_bytes: Arc<Gauge>,
+    /// `net.client.clock.offset_us` — estimated server − client offset.
+    clock_offset: Arc<Gauge>,
+    /// `net.client.clock.rtt_us` — smoothed sync-exchange RTT.
+    clock_rtt: Arc<Gauge>,
+    /// `net.client.clock.error_us` — offset error bound.
+    clock_error: Arc<Gauge>,
 }
 
 impl ClientTelemetry {
@@ -107,6 +118,9 @@ impl ClientTelemetry {
             bytes_sent: registry.counter("net.client.bytes_sent"),
             reconnects: registry.counter("net.client.reconnects"),
             queue_bytes: registry.gauge("net.client.queue_bytes"),
+            clock_offset: registry.gauge("net.client.clock.offset_us"),
+            clock_rtt: registry.gauge("net.client.clock.rtt_us"),
+            clock_error: registry.gauge("net.client.clock.error_us"),
             registry,
         }
     }
@@ -144,6 +158,17 @@ pub struct ScopeClient {
     proto: Protocol,
     /// HELLO sent; upgrade to binary when WELCOME arrives.
     prefer_binary: bool,
+    /// Capability bits the server's WELCOME granted (intersection).
+    peer_caps: u8,
+    /// Node identity stamped into origin headers; `None` disables
+    /// stamping even when the server negotiated [`FLAG_ORIGIN`].
+    node_id: Option<u64>,
+    /// Per-connection clock model fed by PING/PONG exchanges.
+    clock: ClockEstimator,
+    /// Local µs of the last probe sent (0 = never).
+    last_ping_us: u64,
+    /// Gap between probes; tests shrink this to converge fast.
+    ping_interval_us: u64,
     stats: ClientStats,
     closed: bool,
     reconnects: u64,
@@ -176,6 +201,11 @@ impl ScopeClient {
             events: Vec::new(),
             proto: Protocol::Text,
             prefer_binary: false,
+            peer_caps: 0,
+            node_id: None,
+            clock: ClockEstimator::new(),
+            last_ping_us: 0,
+            ping_interval_us: PING_INTERVAL_US,
             stats: ClientStats::default(),
             closed: false,
             reconnects: 0,
@@ -204,8 +234,37 @@ impl ScopeClient {
         }
         self.prefer_binary = true;
         self.scratch.clear();
-        frame_hello(&mut self.scratch);
+        frame_hello(&mut self.scratch, LOCAL_CAPS);
         self.outbuf.extend(self.scratch.iter().copied());
+    }
+
+    /// Sets the node identity stamped into origin headers once the
+    /// server negotiates [`FLAG_ORIGIN`]. Without one, batches stay
+    /// plain `OP_DATA` even on a capable connection.
+    pub fn set_node_id(&mut self, node_id: u64) {
+        self.node_id = Some(node_id);
+    }
+
+    /// The node identity stamped into origin headers, if any.
+    pub fn node_id(&self) -> Option<u64> {
+        self.node_id
+    }
+
+    /// Shrinks (or widens) the clock-probe interval. Mostly a test
+    /// hook: production connections converge within a few defaults.
+    pub fn set_ping_interval_us(&mut self, interval_us: u64) {
+        self.ping_interval_us = interval_us.max(1);
+    }
+
+    /// The connection's clock model (server − client offset, RTT,
+    /// drift, error bound); `None` until a sync exchange completes.
+    pub fn clock_stats(&self) -> Option<ClockStats> {
+        self.clock.stats()
+    }
+
+    /// Capability bits the server granted in its WELCOME.
+    pub fn peer_caps(&self) -> u8 {
+        self.peer_caps
     }
 
     /// The encoding this client currently emits ([`Protocol::Binary`]
@@ -255,11 +314,14 @@ impl ScopeClient {
         self.closed = false;
         self.reconnects += 1;
         self.proto = Protocol::Text;
+        self.peer_caps = 0;
+        self.clock = ClockEstimator::new();
+        self.last_ping_us = 0;
         self.inbuf.clear();
         self.enc.reset();
         if self.prefer_binary {
             self.scratch.clear();
-            frame_hello(&mut self.scratch);
+            frame_hello(&mut self.scratch, LOCAL_CAPS);
             // Head of the queue: negotiation precedes queued tuples.
             for &b in self.scratch.iter().rev() {
                 self.outbuf.push_front(b);
@@ -334,13 +396,44 @@ impl ScopeClient {
     }
 
     /// Moves the pending binary batch (if any) into the out-buffer as
-    /// one DATA frame.
+    /// one DATA frame — origin-stamped when the server negotiated
+    /// [`FLAG_ORIGIN`] and a node id is set, so every batch carries
+    /// its flush time and the producer's open span for downstream
+    /// lateness attribution and trace merging.
     fn flush_batch(&mut self) {
         if self.enc.is_empty() {
             return;
         }
         self.scratch.clear();
-        self.enc.frame_into(&mut self.scratch);
+        match self.node_id {
+            Some(node_id) if self.peer_caps & FLAG_ORIGIN != 0 => {
+                let origin = Origin {
+                    node_id,
+                    send_us: wire_now_us(),
+                    span_id: gtel::TraceCtx::current_span(),
+                };
+                self.enc.frame_into_origin(&mut self.scratch, &origin);
+            }
+            _ => {
+                self.enc.frame_into(&mut self.scratch);
+            }
+        }
+        self.outbuf.extend(self.scratch.iter().copied());
+    }
+
+    /// Queues a clock probe when the interval elapsed on a connection
+    /// that negotiated [`FLAG_CLOCK_SYNC`].
+    fn maybe_ping(&mut self) {
+        if self.peer_caps & FLAG_CLOCK_SYNC == 0 {
+            return;
+        }
+        let now = wire_now_us();
+        if now.saturating_sub(self.last_ping_us) < self.ping_interval_us {
+            return;
+        }
+        self.last_ping_us = now;
+        self.scratch.clear();
+        frame_ping(&mut self.scratch, now);
         self.outbuf.extend(self.scratch.iter().copied());
     }
 
@@ -376,6 +469,7 @@ impl ScopeClient {
             return IoPoll::Remove;
         }
         self.flush_batch();
+        self.maybe_ping();
         let mut progressed = false;
         while !self.outbuf.is_empty() {
             let (front, _) = self.outbuf.as_slices();
@@ -462,12 +556,42 @@ impl ScopeClient {
 
     fn handle_message(&mut self, msg: Msg<'_>) {
         match msg {
-            Msg::Frame { op: OP_WELCOME, .. } => {
+            Msg::Frame {
+                op: OP_WELCOME,
+                body,
+            } => {
                 if self.prefer_binary && self.proto != Protocol::Binary {
                     self.proto = Protocol::Binary;
+                    // The server granted the intersection of what we
+                    // advertised and what it implements; mask again so
+                    // a buggy peer can't turn on bits we never offered.
+                    let (_, flags) = decode_caps(body);
+                    self.peer_caps = flags & LOCAL_CAPS;
                     self.events.push(StreamEvent::Negotiated(Protocol::Binary));
                 }
             }
+            Msg::Frame { op: OP_PING, body } => match decode_arg(body) {
+                // The server is probing us: echo t0 with our receive
+                // and send times (one instant — we reply inline).
+                Ok(t0) => {
+                    let now = wire_now_us();
+                    self.scratch.clear();
+                    frame_pong(&mut self.scratch, t0, now, now);
+                    self.outbuf.extend(self.scratch.iter().copied());
+                }
+                Err(_) => self.stats.recv_errors += 1,
+            },
+            Msg::Frame { op: OP_PONG, body } => match decode_pong(body) {
+                Ok((t0, t1, t2)) => {
+                    self.clock.update(t0, t1, t2, wire_now_us());
+                    if let Some(s) = self.clock.stats() {
+                        self.telemetry.clock_offset.set(s.offset_us);
+                        self.telemetry.clock_rtt.set(s.rtt_us);
+                        self.telemetry.clock_error.set(s.error_us);
+                    }
+                }
+                Err(_) => self.stats.recv_errors += 1,
+            },
             Msg::Frame { op: OP_DATA, body } => {
                 self.wire_scratch.clear();
                 match decode_data(body, &mut self.wire_scratch) {

@@ -1,0 +1,241 @@
+//! Per-peer clock estimation from wire PING/PONG exchanges.
+//!
+//! The paper (footnote 1) assumes distributed clocks are correlated;
+//! at fleet scale that assumption must be *measured*. Each negotiated
+//! connection runs periodic NTP-style four-timestamp exchanges:
+//!
+//! ```text
+//! t0 ──PING──▶ t1
+//!              t2 ──PONG(t0,t1,t2)──▶ t3
+//! ```
+//!
+//! `t0`/`t3` are the initiator's clock, `t1`/`t2` the responder's.
+//! From one exchange:
+//!
+//! ```text
+//! offset = ((t1 - t0) + (t2 - t3)) / 2     (peer − local, µs)
+//! rtt    = (t3 - t0) - (t2 - t1)           (network only, µs)
+//! ```
+//!
+//! [`ClockEstimator`] folds successive exchanges with an EWMA
+//! (α = 1/8, the classic TCP srtt gain), tracks dispersion (EWMA of
+//! |sample − estimate|) and drift (slope of offset over elapsed local
+//! time), and reports a conservative error bound:
+//!
+//! ```text
+//! error = rtt/2 + dispersion
+//! ```
+//!
+//! `rtt/2` is the fundamental one-shot uncertainty (the asymmetry of
+//! the path is unobservable); dispersion covers jitter between
+//! exchanges. Everything downstream — lateness attribution, trace
+//! merge — quotes this bound instead of pretending the offset is
+//! exact.
+
+/// EWMA gain for offset/RTT smoothing (1/8).
+const ALPHA: f64 = 0.125;
+
+/// The timebase every wire clock reading uses: the span clock
+/// ([`gtel::fast_now_ns`]) in microseconds. Using the span timebase
+/// means a measured peer offset rebases that peer's *span ring*
+/// directly — the property `gtool trace merge` relies on.
+#[inline]
+pub fn wire_now_us() -> u64 {
+    gtel::fast_now_ns() / 1_000
+}
+
+/// A smoothed per-peer clock model built from PING/PONG samples.
+#[derive(Clone, Debug, Default)]
+pub struct ClockEstimator {
+    offset_us: f64,
+    rtt_us: f64,
+    disp_us: f64,
+    drift_ppm: f64,
+    samples: u64,
+    first_t3_us: u64,
+    first_offset_us: f64,
+    last_t3_us: u64,
+}
+
+impl ClockEstimator {
+    /// A fresh estimator with no samples; all readings are 0 and
+    /// [`ClockEstimator::error_us`] is `None` until the first update.
+    pub fn new() -> ClockEstimator {
+        ClockEstimator::default()
+    }
+
+    /// Folds one four-timestamp exchange into the model. `t0`/`t3`
+    /// are local-clock µs, `t1`/`t2` the peer's. Samples whose RTT
+    /// computes negative (reordered or clock-stepped) are dropped.
+    pub fn update(&mut self, t0: u64, t1: u64, t2: u64, t3: u64) {
+        let fwd = t1 as i64 - t0 as i64; // includes +offset
+        let back = t2 as i64 - t3 as i64; // includes +offset
+        let rtt = (t3 as i64 - t0 as i64) - (t2 as i64 - t1 as i64);
+        if rtt < 0 {
+            return;
+        }
+        let offset = (fwd + back) as f64 / 2.0;
+        let rtt = rtt as f64;
+        if self.samples == 0 {
+            self.offset_us = offset;
+            self.rtt_us = rtt;
+            self.disp_us = rtt / 2.0;
+            self.first_t3_us = t3;
+            self.first_offset_us = offset;
+        } else {
+            self.disp_us += ALPHA * ((offset - self.offset_us).abs() - self.disp_us);
+            self.offset_us += ALPHA * (offset - self.offset_us);
+            self.rtt_us += ALPHA * (rtt - self.rtt_us);
+            let elapsed = t3.saturating_sub(self.first_t3_us);
+            if elapsed > 0 {
+                self.drift_ppm =
+                    (self.offset_us - self.first_offset_us) / elapsed as f64 * 1_000_000.0;
+            }
+        }
+        self.samples += 1;
+        self.last_t3_us = t3;
+    }
+
+    /// Smoothed peer − local offset, µs. Add to a local reading to
+    /// place it on the peer's timeline.
+    pub fn offset_us(&self) -> f64 {
+        self.offset_us
+    }
+
+    /// Smoothed round-trip time, µs (queueing excluded at the peer).
+    pub fn rtt_us(&self) -> f64 {
+        self.rtt_us
+    }
+
+    /// Estimated relative clock rate, parts per million of local time.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+
+    /// Conservative offset error bound (µs): `rtt/2 + dispersion`.
+    /// `None` before the first completed exchange.
+    pub fn error_us(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.rtt_us / 2.0 + self.disp_us)
+    }
+
+    /// Completed exchanges folded into the model.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Local time (µs) of the most recent completed exchange.
+    pub fn last_update_us(&self) -> u64 {
+        self.last_t3_us
+    }
+}
+
+/// A read-only snapshot of a peer's clock model, the shape exported
+/// through `ClientInfo`, gauges, and flight-recorder clock tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClockStats {
+    /// Peer − local offset, µs.
+    pub offset_us: f64,
+    /// Smoothed round-trip time, µs.
+    pub rtt_us: f64,
+    /// Estimated drift, ppm.
+    pub drift_ppm: f64,
+    /// Offset error bound, µs (`rtt/2 + dispersion`).
+    pub error_us: f64,
+    /// Completed exchanges.
+    pub samples: u64,
+}
+
+impl ClockEstimator {
+    /// Snapshot for export; `None` before the first exchange.
+    pub fn stats(&self) -> Option<ClockStats> {
+        self.error_us().map(|error_us| ClockStats {
+            offset_us: self.offset_us,
+            rtt_us: self.rtt_us,
+            drift_ppm: self.drift_ppm,
+            error_us,
+            samples: self.samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_exchange_recovers_offset_and_rtt() {
+        let mut est = ClockEstimator::new();
+        // Peer runs 500µs ahead; each direction takes 100µs; the peer
+        // thinks for 30µs between receive and send.
+        let (t0, one_way, off, think) = (1_000_000u64, 100i64, 500i64, 30i64);
+        let t1 = (t0 as i64 + one_way + off) as u64;
+        let t2 = (t1 as i64 + think) as u64;
+        let t3 = (t2 as i64 + one_way - off) as u64;
+        est.update(t0, t1, t2, t3);
+        assert_eq!(est.offset_us(), 500.0);
+        assert_eq!(est.rtt_us(), 200.0);
+        assert_eq!(est.samples(), 1);
+        let err = est.error_us().unwrap();
+        assert!(err >= 100.0, "bound covers one-way delay, got {err}");
+    }
+
+    #[test]
+    fn symmetric_path_converges_and_bounds_jitter() {
+        let mut est = ClockEstimator::new();
+        let off = -2_000i64; // peer 2ms behind
+        let mut t0 = 10_000_000u64;
+        // Deterministic jitter in [0, 80]µs per direction.
+        let mut rng = 12345u64;
+        let mut jit = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng >> 33) as i64 % 81
+        };
+        for _ in 0..64 {
+            let fwd = 150 + jit();
+            let back = 150 + jit();
+            let t1 = (t0 as i64 + fwd + off) as u64;
+            let t2 = t1 + 10;
+            let t3 = (t2 as i64 + back - off) as u64;
+            est.update(t0, t1, t2, t3);
+            t0 = t3 + 100_000;
+        }
+        let err = est.error_us().unwrap();
+        assert!(
+            (est.offset_us() - off as f64).abs() <= err,
+            "true offset {off} outside estimate {} ± {err}",
+            est.offset_us()
+        );
+        // With ≤80µs jitter and ~300µs RTT the bound stays modest.
+        assert!(err < 400.0, "error bound blew up: {err}");
+        assert_eq!(est.samples(), 64);
+    }
+
+    #[test]
+    fn drift_shows_up_in_ppm() {
+        let mut est = ClockEstimator::new();
+        // Peer gains 100µs per second: 100 ppm.
+        let mut t0 = 0u64;
+        for i in 0..20i64 {
+            let off = i * 100_000 / 1_000; // 100µs per 1s step
+            let t1 = (t0 as i64 + 50 + off) as u64;
+            let t2 = t1;
+            let t3 = (t2 as i64 + 50 - off) as u64;
+            est.update(t0, t1, t2, t3);
+            t0 += 1_000_000;
+        }
+        let ppm = est.drift_ppm();
+        assert!(
+            (50.0..150.0).contains(&ppm),
+            "expected ~100ppm drift, got {ppm}"
+        );
+    }
+
+    #[test]
+    fn negative_rtt_samples_are_dropped() {
+        let mut est = ClockEstimator::new();
+        est.update(1_000, 2_000, 5_000, 3_000); // t2-t1 > t3-t0
+        assert_eq!(est.samples(), 0);
+        assert!(est.error_us().is_none());
+        assert!(est.stats().is_none());
+    }
+}

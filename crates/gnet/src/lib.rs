@@ -20,16 +20,22 @@
 //! delta-varint frame protocol ([`wire`]) that cuts bytes-on-wire
 //! roughly 2× and parse cost more; negotiation degrades to text
 //! automatically against legacy peers. Timestamps cross machine
-//! boundaries untranslated; as in the paper (footnote 1), distributed
-//! clocks are assumed correlated.
+//! boundaries untranslated; where the paper (footnote 1) *assumes*
+//! distributed clocks are correlated, negotiated connections now
+//! *measure* the correlation: periodic PING/PONG exchanges feed a
+//! per-peer [`ClockEstimator`] (offset, RTT, drift, error bound), and
+//! origin-stamped batches let every hop's lateness be attributed on
+//! one timeline within that bound.
 
 mod client;
+pub mod clock;
 mod poll;
 mod server;
 mod shard;
 pub mod wire;
 
 pub use client::{ClientStats, ScopeClient, StreamEvent};
+pub use clock::{ClockEstimator, ClockStats};
 pub use server::{
     attach_client, attach_server, stream_periodic, ClientInfo, HubConfig, ScopeServer, ServerStats,
 };
@@ -267,7 +273,7 @@ mod tests {
         };
         let now = TimeStamp::from_millis(250);
         let tuples = s.to_tuples(now);
-        assert_eq!(tuples.len(), 15);
+        assert_eq!(tuples.len(), 16);
         assert!(tuples.iter().all(|t| t.time == now));
         let parse = tuples
             .iter()

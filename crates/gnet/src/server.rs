@@ -74,6 +74,11 @@ pub struct ServerStats {
     pub bytes_out: u64,
     /// Output-queue overflow (shed) events.
     pub shed_events: u64,
+    /// Tuples discarded by those sheds (queued but never written) —
+    /// the term that makes per-client output accounting reconcile:
+    /// `tuples_out - tuples_shed - queue_tuples` is exactly what was
+    /// written toward subscribers.
+    pub tuples_shed: u64,
     /// Subscribers demoted to store-backed catch-up.
     pub catch_ups_entered: u64,
     /// Catch-ups that finished and rejoined the live feed.
@@ -104,6 +109,7 @@ impl StatsExport for ServerStats {
             Tuple::new(now, self.tuples_out as f64, "net.server.tuples_out"),
             Tuple::new(now, self.bytes_out as f64, "net.server.bytes_out"),
             Tuple::new(now, self.shed_events as f64, "net.server.sheds"),
+            Tuple::new(now, self.tuples_shed as f64, "net.server.tuples_shed"),
             Tuple::new(now, self.catch_ups_entered as f64, "net.server.catch_ups"),
             Tuple::new(
                 now,
@@ -279,6 +285,7 @@ impl ScopeServer {
             tuples_out: c.tuples_out.load(Ordering::Relaxed),
             bytes_out: c.bytes_out.load(Ordering::Relaxed),
             shed_events: c.shed_events.load(Ordering::Relaxed),
+            tuples_shed: c.tuples_shed.load(Ordering::Relaxed),
             catch_ups_entered: c.catch_ups_entered.load(Ordering::Relaxed),
             catch_ups_completed: c.catch_ups_completed.load(Ordering::Relaxed),
         }

@@ -53,11 +53,13 @@ use gstore::{Store, StoreReader};
 use gtel::{Counter, Gauge, Registry};
 use parking_lot::{Mutex, RwLock};
 
+use crate::clock::{wire_now_us, ClockEstimator, ClockStats};
 use crate::poll::Poller;
 use crate::wire::{
-    decode_data, frame_arg, frame_welcome, split_message, BatchEncoder, Msg, Protocol, StreamConn,
-    WireRec, OP_CATCHUP_BEGIN, OP_CATCHUP_END, OP_DATA, OP_HELLO, OP_SUB, OP_WELCOME,
-    TEXT_CATCHUP_BEGIN, TEXT_CATCHUP_END, TEXT_SUB,
+    decode_arg, decode_caps, decode_data, decode_origin, decode_pong, frame_arg, frame_ping,
+    frame_pong, frame_welcome, split_message, BatchEncoder, Msg, Protocol, StreamConn, WireRec,
+    FLAG_CLOCK_SYNC, LOCAL_CAPS, OP_CATCHUP_BEGIN, OP_CATCHUP_END, OP_DATA, OP_DATA_ORIGIN,
+    OP_HELLO, OP_PING, OP_PONG, OP_SUB, OP_WELCOME, TEXT_CATCHUP_BEGIN, TEXT_CATCHUP_END, TEXT_SUB,
 };
 
 /// Hub tuning knobs. Defaults suit both the gel-driven inline mode and
@@ -83,6 +85,18 @@ pub struct HubConfig {
     /// whose clients are all epoll-registered ignore this and block
     /// in the poller.
     pub scan_pacing_us: u64,
+    /// Gap between server-initiated clock probes per negotiated
+    /// client (µs). The server pings so *it* holds the per-client
+    /// offset estimate — that is the number origin-stamped batches
+    /// are rebased with at ingest.
+    pub ping_interval_us: u64,
+    /// Minimum gap (µs) between e2e attribution samples per client.
+    /// Marks have watermark semantics — only the last unrendered
+    /// chain per signal survives — so stamping every batch at high
+    /// ingest rates buys nothing and costs a span record plus a
+    /// histogram-map lock per batch. `0` stamps every origin batch
+    /// (deterministic tests).
+    pub mark_interval_us: u64,
 }
 
 impl Default for HubConfig {
@@ -93,6 +107,8 @@ impl Default for HubConfig {
             read_budget: 256 << 10,
             catchup_chunk: 4096,
             scan_pacing_us: 200,
+            ping_interval_us: 200_000,
+            mark_interval_us: 1_000,
         }
     }
 }
@@ -131,6 +147,7 @@ pub(crate) struct HubCounters {
     pub tuples_out: AtomicU64,
     pub bytes_out: AtomicU64,
     pub shed_events: AtomicU64,
+    pub tuples_shed: AtomicU64,
     pub catch_ups_entered: AtomicU64,
     pub catch_ups_completed: AtomicU64,
 }
@@ -172,11 +189,30 @@ pub(crate) struct ServerTelemetry {
     pub sheds: Arc<Counter>,
     /// `net.server.catch_ups` — shed → store-replay demotions.
     pub catch_ups: Arc<Counter>,
+    /// `net.server.tuples_shed` — tuples dropped by queue sheds.
+    pub tuples_shed: Arc<Counter>,
+    /// `net.server.clock.exchanges` — completed PING/PONG round trips.
+    pub clock_exchanges: Arc<Counter>,
+    /// `net.server.clock.offset_us` — most recent per-client offset.
+    pub clock_offset: Arc<Gauge>,
+    /// `net.server.clock.rtt_us` — most recent sync RTT.
+    pub clock_rtt: Arc<Gauge>,
+    /// `net.server.clock.error_us` — most recent offset error bound.
+    pub clock_error: Arc<Gauge>,
+    /// `net.server.duty_cycle` — busy ÷ wall across all shards (each
+    /// shard publishes `net.server.shard<N>.duty_cycle` too).
+    pub duty_cycle: Arc<Gauge>,
 }
 
 impl ServerTelemetry {
     pub(crate) fn new(registry: Arc<Registry>) -> Self {
         ServerTelemetry {
+            tuples_shed: registry.counter("net.server.tuples_shed"),
+            clock_exchanges: registry.counter("net.server.clock.exchanges"),
+            clock_offset: registry.gauge("net.server.clock.offset_us"),
+            clock_rtt: registry.gauge("net.server.clock.rtt_us"),
+            clock_error: registry.gauge("net.server.clock.error_us"),
+            duty_cycle: registry.gauge("net.server.duty_cycle"),
             connections: registry.counter("net.server.connections"),
             disconnects: registry.counter("net.server.disconnects"),
             tuples_in: registry.counter("net.server.tuples_in"),
@@ -300,10 +336,23 @@ pub struct ClientInfo {
     pub bytes_out: u64,
     /// Output-queue overflow events.
     pub shed_events: u64,
+    /// Tuples discarded by those sheds (queued but never written).
+    /// `tuples_out - tuples_shed - queue_tuples` is exactly what the
+    /// peer has been sent — the reconciliation identity
+    /// `tests/streaming_hub.rs` asserts.
+    pub tuples_shed: u64,
     /// Catch-up demotions.
     pub catch_ups: u64,
     /// Current output-queue depth in bytes.
     pub queue_bytes: usize,
+    /// Tuples still sitting in the output queue (complete frames plus
+    /// any partially-written head).
+    pub queue_tuples: u64,
+    /// Node identity from the client's origin headers, when stamped.
+    pub node_id: Option<u64>,
+    /// Clock model for this connection (`None` until the first
+    /// completed PING/PONG exchange).
+    pub clock: Option<ClockStats>,
 }
 
 /// Accounting unit inside an output queue: one frame (or one text
@@ -312,6 +361,9 @@ pub struct ClientInfo {
 struct FrameMeta {
     len: u32,
     first_us: u64,
+    /// Tuples the frame carries (0 for control frames) — what shed
+    /// accounting and the reconciliation identity are counted in.
+    count: u32,
     /// Control frames (WELCOME, catch-up markers) survive sheds.
     control: bool,
 }
@@ -330,7 +382,7 @@ impl OutQueue {
         self.buf.len()
     }
 
-    fn push(&mut self, bytes: &[u8], first_us: u64, control: bool) {
+    fn push(&mut self, bytes: &[u8], first_us: u64, count: u64, control: bool) {
         if bytes.is_empty() {
             return;
         }
@@ -338,8 +390,14 @@ impl OutQueue {
         self.frames.push_back(FrameMeta {
             len: bytes.len() as u32,
             first_us,
+            count: count as u32,
             control,
         });
+    }
+
+    /// Tuples still queued (complete frames + partially-written head).
+    fn queued_tuples(&self) -> u64 {
+        self.frames.iter().map(|f| u64::from(f.count)).sum()
     }
 
     /// Accounts `n` drained bytes against the frame queue.
@@ -389,11 +447,11 @@ impl OutQueue {
 
     /// Drops every complete, untransmitted data frame; keeps the
     /// partially-written head (framing must survive) and control
-    /// frames. Returns the earliest tuple time among dropped frames
-    /// and the number of frames dropped.
-    fn shed(&mut self) -> (Option<u64>, u64) {
+    /// frames. Returns the earliest tuple time among dropped frames,
+    /// the number of frames dropped, and the tuples they carried.
+    fn shed(&mut self) -> (Option<u64>, u64, u64) {
         if self.frames.is_empty() {
-            return (None, 0);
+            return (None, 0, 0);
         }
         let bytes = self.buf.make_contiguous();
         let mut kept_buf: Vec<u8> = Vec::new();
@@ -401,6 +459,7 @@ impl OutQueue {
         let mut offset = 0usize;
         let mut dropped_first: Option<u64> = None;
         let mut dropped = 0u64;
+        let mut dropped_tuples = 0u64;
         let mut head_kept = false;
         for (i, f) in self.frames.iter().enumerate() {
             let in_buf = if i == 0 {
@@ -417,6 +476,7 @@ impl OutQueue {
                 }
             } else {
                 dropped += 1;
+                dropped_tuples += u64::from(f.count);
                 if dropped_first.is_none_or(|d| f.first_us < d) {
                     dropped_first = Some(f.first_us);
                 }
@@ -429,7 +489,7 @@ impl OutQueue {
         if !head_kept {
             self.head_sent = 0;
         }
-        (dropped_first, dropped)
+        (dropped_first, dropped, dropped_tuples)
     }
 }
 
@@ -462,6 +522,17 @@ struct ClientState {
     /// After catch-up: skip live tuples with `time <= boundary`.
     /// 0 = inactive.
     boundary_us: u64,
+    /// Negotiated capability bits (peer's HELLO flags ∩ ours).
+    caps: u8,
+    /// Clock model for this connection, fed by our PINGs and the
+    /// peer's PONGs — the offset origin-stamped batches are rebased
+    /// with at ingest.
+    clock: ClockEstimator,
+    /// Local µs when we last sent a PING (0 = never).
+    last_ping_us: u64,
+    /// Local µs when we last stamped an e2e mark (0 = never); paces
+    /// attribution sampling to `HubConfig::mark_interval_us`.
+    last_mark_us: u64,
     info: ClientInfo,
     dead: bool,
 }
@@ -480,6 +551,9 @@ pub(crate) struct Shard {
     /// True while this shard carries hint-scanned connections; the
     /// shard thread paces busy cycles instead of spinning on scans.
     pub(crate) scan_mode: AtomicBool,
+    /// Latest published duty cycle (`f64::to_bits`), readable by any
+    /// shard so one of them can maintain the hub-wide mean gauge.
+    duty_bits: AtomicU64,
 }
 
 /// The lock-protected interior of a shard.
@@ -511,7 +585,20 @@ struct ShardCore {
     /// Rotating start index for the readiness scan, so the per-cycle
     /// read budget is spread fairly across the population.
     scan_start: usize,
+    /// Hub-side waypoints of the newest origin-stamped batch this
+    /// cycle; `deliver_batch` completes it (route/push legs) and
+    /// hands it to the e2e attribution collector.
+    pending_mark: Option<gtel::BatchMark>,
+    /// Cycle busy-time accumulator for the duty-cycle gauges.
+    busy: loadmeter::BusyMeter,
+    /// Start (local µs) of the current duty-cycle window.
+    busy_window_us: u64,
+    /// Lazily resolved `net.server.shard<N>.duty_cycle` gauge.
+    duty_gauge: Option<Arc<Gauge>>,
 }
+
+/// Duty-cycle gauges refresh on this wall-clock cadence (µs).
+const DUTY_WINDOW_US: u64 = 250_000;
 
 impl Shard {
     pub(crate) fn new(id: usize) -> Shard {
@@ -536,12 +623,17 @@ impl Shard {
                 accept_scratch: Vec::new(),
                 unpolled: 0,
                 scan_start: 0,
+                pending_mark: None,
+                busy: loadmeter::BusyMeter::new(),
+                busy_window_us: 0,
+                duty_gauge: None,
             }),
             inbox: Mutex::new(Vec::new()),
             inbox_hint: AtomicBool::new(false),
             pending: Mutex::new(Vec::new()),
             pending_hint: AtomicBool::new(false),
             scan_mode: AtomicBool::new(false),
+            duty_bits: AtomicU64::new(0),
         }
     }
 
@@ -553,9 +645,11 @@ impl Shard {
             .map(|c| {
                 let mut info = c.info.clone();
                 info.queue_bytes = c.out.len();
+                info.queue_tuples = c.out.queued_tuples();
                 info.subscribed = c.subscribed;
                 info.catching_up = matches!(c.mode, Mode::CatchUp(_));
                 info.protocol = c.proto;
+                info.clock = c.clock.stats();
                 info
             })
             .collect()
@@ -589,9 +683,12 @@ pub(crate) fn cycle(shard: &Shard, shared: &HubShared, wait_ms: i32) -> bool {
     core.ready_tokens.clear();
     core.to_read.clear();
     shard.scan_mode.store(core.unpolled > 0, Ordering::Relaxed);
+    let mut wait_ns = 0u64;
     if let Some(poller) = &core.poller {
         let timeout = if core.unpolled > 0 { 0 } else { wait_ms };
+        let wait_begin = gtel::fast_now_ns();
         poller.wait(&mut core.ready_tokens, timeout);
+        wait_ns = gtel::fast_now_ns().saturating_sub(wait_begin);
     }
     for token in &core.ready_tokens {
         if let Some(&idx) = core.tokens.get(token) {
@@ -654,6 +751,23 @@ pub(crate) fn cycle(shard: &Shard, shared: &HubShared, wait_ms: i32) -> bool {
         }
     }
 
+    // 6b. Clock probes: ping each sync-negotiated client on the
+    // configured cadence, right before the flush below so t0 is as
+    // close to the socket write as the cycle allows.
+    let now_us = wire_now_us();
+    for c in core.clients.iter_mut() {
+        if c.dead || c.caps & FLAG_CLOCK_SYNC == 0 {
+            continue;
+        }
+        if now_us.saturating_sub(c.last_ping_us) >= shared.cfg.ping_interval_us {
+            c.last_ping_us = now_us;
+            let mut frame = Vec::with_capacity(16);
+            frame_ping(&mut frame, wire_now_us());
+            c.out.push(&frame, 0, 0, true);
+            worked = true;
+        }
+    }
+
     // 7. Flush output queues: one gather per client.
     let mut flushed = 0u64;
     for c in core.clients.iter_mut() {
@@ -694,6 +808,36 @@ pub(crate) fn cycle(shard: &Shard, shared: &HubShared, wait_ms: i32) -> bool {
         tel.subscribers
             .set_count(shared.subscriber_count.load(Ordering::Relaxed));
     }
+
+    // Duty-cycle accounting: everything this cycle did except the
+    // blocking readiness wait counts as busy; gauges refresh on the
+    // window cadence so the figure tracks recent load, not lifetime.
+    let busy_ns = gtel::fast_now_ns()
+        .saturating_sub(begin_ns)
+        .saturating_sub(wait_ns);
+    core.busy.add_busy(std::time::Duration::from_nanos(busy_ns));
+    let now_us = wire_now_us();
+    if now_us.saturating_sub(core.busy_window_us) >= DUTY_WINDOW_US {
+        core.busy_window_us = now_us;
+        let duty = core.busy.duty_cycle();
+        core.busy.reset();
+        shard.duty_bits.store(duty.to_bits(), Ordering::Relaxed);
+        let tel = shared.tel.read();
+        core.duty_gauge
+            .get_or_insert_with(|| {
+                tel.registry
+                    .gauge(&format!("net.server.shard{}.duty_cycle", shard.id))
+            })
+            .set(duty);
+        if let Some(shards) = shared.shards.get() {
+            let mean = shards
+                .iter()
+                .map(|s| f64::from_bits(s.duty_bits.load(Ordering::Relaxed)))
+                .sum::<f64>()
+                / shards.len().max(1) as f64;
+            tel.duty_cycle.set(mean);
+        }
+    }
     worked
 }
 
@@ -717,6 +861,10 @@ impl ShardCore {
             subscribed: false,
             mode: Mode::Live,
             boundary_us: 0,
+            caps: 0,
+            clock: ClockEstimator::new(),
+            last_ping_us: 0,
+            last_mark_us: 0,
             info: ClientInfo {
                 peer,
                 shard: self.id,
@@ -771,6 +919,7 @@ fn read_client(core: &mut ShardCore, idx: usize, shared: &HubShared, budget: &mu
         read_buf,
         ingest,
         wire_scratch,
+        pending_mark,
         ..
     } = core;
     let c = &mut clients[idx];
@@ -795,14 +944,22 @@ fn read_client(core: &mut ShardCore, idx: usize, shared: &HubShared, budget: &mu
             Ok(n) => {
                 total += n;
                 if c.inbuf.is_empty() {
-                    let consumed = parse_buffer(c, &read_buf[..n], ingest, wire_scratch, shared);
+                    let consumed = parse_buffer(
+                        c,
+                        &read_buf[..n],
+                        ingest,
+                        wire_scratch,
+                        pending_mark,
+                        shared,
+                    );
                     if consumed < n && !c.dead {
                         c.inbuf.extend_from_slice(&read_buf[consumed..n]);
                     }
                 } else {
                     c.inbuf.extend_from_slice(&read_buf[..n]);
                     let mut pending = std::mem::take(&mut c.inbuf);
-                    let consumed = parse_buffer(c, &pending, ingest, wire_scratch, shared);
+                    let consumed =
+                        parse_buffer(c, &pending, ingest, wire_scratch, pending_mark, shared);
                     pending.drain(..consumed);
                     c.inbuf = pending;
                 }
@@ -841,6 +998,7 @@ fn parse_buffer(
     bytes: &[u8],
     ingest: &mut Vec<Rec>,
     wire_scratch: &mut Vec<WireRec>,
+    pending_mark: &mut Option<gtel::BatchMark>,
     shared: &HubShared,
 ) -> usize {
     let mut consumed = 0usize;
@@ -856,7 +1014,7 @@ fn parse_buffer(
                         handle_line(c, line, lineno, ingest, shared);
                     }
                     Msg::Frame { op, body } => {
-                        handle_frame(c, op, body, ingest, wire_scratch, shared);
+                        handle_frame(c, op, body, ingest, wire_scratch, pending_mark, shared);
                     }
                 }
                 if c.dead {
@@ -938,16 +1096,23 @@ fn handle_frame(
     body: &[u8],
     ingest: &mut Vec<Rec>,
     wire_scratch: &mut Vec<WireRec>,
+    pending_mark: &mut Option<gtel::BatchMark>,
     shared: &HubShared,
 ) {
     match op {
         OP_HELLO => {
-            // Capability announced: answer WELCOME and switch this
-            // client's downstream encoding to binary.
+            // Capability announced: answer WELCOME with the
+            // intersection of the peer's bits and ours, and switch
+            // this client's downstream encoding to binary. A v1 HELLO
+            // carries no flags byte; `decode_caps` reads that as 0, so
+            // the intersection (and the whole clock/origin machinery)
+            // stays off — byte-identical legacy behaviour.
+            let (_ver, peer_caps) = decode_caps(body);
+            c.caps = peer_caps & LOCAL_CAPS;
             c.proto = Protocol::Binary;
             let mut frame = Vec::with_capacity(8);
-            frame_welcome(&mut frame);
-            c.out.push(&frame, 0, true);
+            frame_welcome(&mut frame, c.caps);
+            c.out.push(&frame, 0, 0, true);
         }
         OP_SUB => subscribe(c, shared),
         OP_DATA => {
@@ -970,6 +1135,90 @@ fn handle_frame(
                 }
             }
         }
+        OP_DATA_ORIGIN => {
+            // An origin-stamped batch: a self-describing header (node
+            // id, producer flush time, producer span id) in front of a
+            // plain DATA body.
+            let parsed = decode_origin(body).and_then(|(origin, used)| {
+                wire_scratch.clear();
+                decode_data(&body[used..], wire_scratch).map(|n| (origin, n))
+            });
+            match parsed {
+                Ok((origin, n)) => {
+                    for rec in wire_scratch.drain(..) {
+                        ingest.push(Rec {
+                            time_us: rec.time_us,
+                            value: rec.value,
+                            name: rec.name,
+                        });
+                    }
+                    c.info.tuples_in += u64::from(n);
+                    c.info.node_id = Some(origin.node_id);
+                    // Attribution sampling, paced to mark_interval_us:
+                    // marks have watermark semantics (only the last
+                    // unrendered chain per signal survives), so at
+                    // high batch rates the span record and histogram
+                    // locks below would be pure overhead on the
+                    // ingest hot path.
+                    let recv_us = wire_now_us();
+                    if recv_us.saturating_sub(c.last_mark_us) >= shared.cfg.mark_interval_us {
+                        c.last_mark_us = recv_us;
+                        // Ingest span keyed by the *producer's* span
+                        // id — the pairing `gtool trace merge` uses to
+                        // draw the producer → hub communication edge.
+                        if origin.span_id != 0 {
+                            gtel::complete_span("net.ingest", origin.span_id, recv_us * 1_000);
+                        }
+                        // Stamp the hub-side waypoints once the clock
+                        // model can rebase the producer's flush time
+                        // onto our timebase with a quotable error
+                        // bound.
+                        if let Some(stats) = c.clock.stats() {
+                            *pending_mark = Some(gtel::BatchMark {
+                                send_us: origin.send_us as i64 - stats.offset_us.round() as i64,
+                                recv_us,
+                                parse_us: wire_now_us(),
+                                route_us: 0,
+                                push_us: 0,
+                                clock_error_us: stats.error_us.ceil() as u64,
+                            });
+                        }
+                    }
+                }
+                Err(_) => {
+                    // A corrupt batch means framing state is suspect.
+                    count_protocol_error(c, shared);
+                    c.dead = true;
+                }
+            }
+        }
+        OP_PING => match decode_arg(body) {
+            // Clock probe: echo the peer's t0 with our receive/send
+            // stamps. Answered even when the peer never negotiated —
+            // harmless, and it keeps the exchange symmetric.
+            Ok(t0) => {
+                let now = wire_now_us();
+                let mut frame = Vec::with_capacity(40);
+                frame_pong(&mut frame, t0, now, now);
+                c.out.push(&frame, 0, 0, true);
+            }
+            Err(_) => count_protocol_error(c, shared),
+        },
+        OP_PONG => match decode_pong(body) {
+            // Reply to one of our probes: fold the four timestamps
+            // into this connection's clock model.
+            Ok((t0, t1, t2)) => {
+                c.clock.update(t0, t1, t2, wire_now_us());
+                if let Some(stats) = c.clock.stats() {
+                    let tel = shared.tel.read();
+                    tel.clock_exchanges.inc();
+                    tel.clock_offset.set(stats.offset_us);
+                    tel.clock_rtt.set(stats.rtt_us);
+                    tel.clock_error.set(stats.error_us);
+                }
+            }
+            Err(_) => count_protocol_error(c, shared),
+        },
         OP_WELCOME | OP_CATCHUP_BEGIN | OP_CATCHUP_END => {
             // Server-to-client opcodes arriving at the server: count,
             // drop, keep the connection (could be a confused proxy).
@@ -987,6 +1236,12 @@ fn handle_frame(
 /// what lets catch-up guarantee no gaps (a tuple a catching-up client
 /// misses live is always already in the store).
 fn deliver_batch(core: &mut ShardCore, shared: &HubShared) {
+    // Origin-stamped cycle: the routing decision is made now; the
+    // push leg completes when the scope buffers have the batch.
+    let mut mark = core.pending_mark.take();
+    if let Some(m) = mark.as_mut() {
+        m.route_us = wire_now_us();
+    }
     let batch = &mut core.ingest;
     let n = batch.len() as u64;
     // Store tee: one lock for the whole batch.
@@ -1064,6 +1319,24 @@ fn deliver_batch(core: &mut ShardCore, shared: &HubShared) {
         dropped = core.accept_scratch.iter().filter(|&&a| !a).count() as u64;
     }
     drop(scopes);
+    // Hand one completed hub-side chain per signal in the batch to
+    // the attribution collector (watermark semantics downstream).
+    if let Some(mut m) = mark {
+        m.push_us = wire_now_us();
+        let e2e = gtel::e2e();
+        let mut seen: Vec<&str> = Vec::new();
+        for rec in batch.iter() {
+            let name = rec.name.as_deref().unwrap_or(gscope::UNNAMED_SIGNAL);
+            if seen.contains(&name) {
+                continue;
+            }
+            if seen.len() >= 64 {
+                break; // pathological batches: cap the per-cycle scan
+            }
+            seen.push(name);
+            e2e.mark_push(name, m);
+        }
+    }
     // Fan out to subscriber inboxes (skipped entirely with none —
     // ingest-only hubs pay nothing here).
     if shared.subscriber_count.load(Ordering::Acquire) > 0 {
@@ -1197,13 +1470,13 @@ fn fan_out(core: &mut ShardCore, shared: &HubShared) {
             // comes from the store); without one, try the freshest
             // batch after the shed and drop it if it still won't fit.
             if matches!(c.mode, Mode::Live) && c.out.len() + bytes.len() <= shared.cfg.outbuf_cap {
-                c.out.push(bytes, batch_first, false);
+                c.out.push(bytes, batch_first, ntuples, false);
                 c.info.tuples_out += ntuples;
                 queued_total += ntuples;
             }
             continue;
         }
-        c.out.push(bytes, batch_first, false);
+        c.out.push(bytes, batch_first, ntuples, false);
         c.info.tuples_out += ntuples;
         queued_total += ntuples;
     }
@@ -1220,12 +1493,18 @@ fn fan_out(core: &mut ShardCore, shared: &HubShared) {
 /// Handles an output-queue overflow: shed, then demote to store
 /// catch-up when a store exists.
 fn overflow(c: &mut ClientState, batch_first_us: u64, shared: &HubShared) {
-    let (dropped_from, dropped_frames) = c.out.shed();
+    let (dropped_from, dropped_frames, dropped_tuples) = c.out.shed();
     c.info.shed_events += 1;
+    c.info.tuples_shed += dropped_tuples;
     shared.counters.shed_events.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .tuples_shed
+        .fetch_add(dropped_tuples, Ordering::Relaxed);
     {
         let tel = shared.tel.read();
         tel.sheds.inc();
+        tel.tuples_shed.add(dropped_tuples);
     }
     gtel::instant("net.server.shed", dropped_frames as f64);
     if !shared.store_present.load(Ordering::Acquire) {
@@ -1265,7 +1544,7 @@ fn queue_marker(c: &mut ClientState, op: u8, arg_us: u64) {
             bytes.push(b'\n');
         }
     }
-    c.out.push(&bytes, arg_us, true);
+    c.out.push(&bytes, arg_us, 0, true);
 }
 
 /// Advances one catching-up client: replays a bounded chunk from the
@@ -1388,7 +1667,7 @@ fn pump_catch_up(core: &mut ShardCore, idx: usize, shared: &HubShared) -> bool {
         enc.frame_into(filt_scratch);
     }
     if !filt_scratch.is_empty() {
-        c.out.push(filt_scratch, first_us, false);
+        c.out.push(filt_scratch, first_us, replayed, false);
     }
     if replayed > 0 {
         c.info.tuples_out += replayed;

@@ -80,6 +80,25 @@ pub const OP_SUB: u8 = 4;
 pub const OP_CATCHUP_BEGIN: u8 = 5;
 /// Server → client: replay done, live feed resumes after `arg` µs.
 pub const OP_CATCHUP_END: u8 = 6;
+/// Clock-sync probe (body: `t0 uvarint`, sender's monotonic µs).
+/// Negotiated via [`FLAG_CLOCK_SYNC`]; either side may initiate.
+pub const OP_PING: u8 = 7;
+/// Clock-sync reply (body: `t0 | t1 | t2` uvarints — the echoed probe
+/// time plus the responder's receive and send times, its own clock).
+pub const OP_PONG: u8 = 8;
+/// A DATA batch with a leading origin header (body: `node_id uvarint |
+/// send_us uvarint | span_id uvarint | <OP_DATA body>`). Negotiated
+/// via [`FLAG_ORIGIN`]; a v1 peer never sees one.
+pub const OP_DATA_ORIGIN: u8 = 9;
+
+/// HELLO/WELCOME capability bit: peer understands `OP_PING`/`OP_PONG`.
+pub const FLAG_CLOCK_SYNC: u8 = 0b0000_0001;
+/// HELLO/WELCOME capability bit: peer accepts `OP_DATA_ORIGIN`.
+pub const FLAG_ORIGIN: u8 = 0b0000_0010;
+/// Every capability this build implements. A HELLO advertises these;
+/// a WELCOME answers with the intersection, so both sides agree on
+/// exactly the feature set the other end proved it knows.
+pub const LOCAL_CAPS: u8 = FLAG_CLOCK_SYNC | FLAG_ORIGIN;
 
 /// Record tags inside a DATA body (mirrors gstore's segment tags).
 pub const TAG_SAMPLE: u8 = 1;
@@ -239,22 +258,103 @@ pub fn frame_arg(out: &mut Vec<u8>, op: u8, arg: u64) {
     out.extend_from_slice(&body[..n]);
 }
 
-/// Appends a HELLO frame (client capability announcement).
-pub fn frame_hello(out: &mut Vec<u8>) {
+/// Appends a HELLO frame (client capability announcement). `flags`
+/// carries the capability bits the client implements (normally
+/// [`LOCAL_CAPS`]; a v1 client sent 0 here, which negotiates nothing).
+pub fn frame_hello(out: &mut Vec<u8>, flags: u8) {
     out.push(FRAME_SENTINEL);
     put_uvarint(out, 3);
     out.push(OP_HELLO);
     out.push(WIRE_VERSION);
-    out.push(0); // flags
+    out.push(flags);
 }
 
-/// Appends a WELCOME frame (server accepts binary encoding).
-pub fn frame_welcome(out: &mut Vec<u8>) {
+/// Appends a WELCOME frame (server accepts binary encoding). `flags`
+/// must be the intersection of the client's advertised bits and the
+/// server's own capabilities.
+pub fn frame_welcome(out: &mut Vec<u8>, flags: u8) {
     out.push(FRAME_SENTINEL);
     put_uvarint(out, 3);
     out.push(OP_WELCOME);
     out.push(WIRE_VERSION);
-    out.push(0); // flags
+    out.push(flags);
+}
+
+/// Splits a HELLO/WELCOME body into `(version, flags)`. Both fields
+/// default to 0 when absent, which is exactly how a v1 peer (whose
+/// flags byte is always 0) reads: no capabilities.
+pub fn decode_caps(body: &[u8]) -> (u8, u8) {
+    (
+        body.first().copied().unwrap_or(0),
+        body.get(1).copied().unwrap_or(0),
+    )
+}
+
+/// Appends a PING frame carrying the sender's clock reading `t0_us`.
+pub fn frame_ping(out: &mut Vec<u8>, t0_us: u64) {
+    frame_arg(out, OP_PING, t0_us);
+}
+
+/// Appends a PONG frame: the echoed probe time plus the responder's
+/// receive (`t1_us`) and send (`t2_us`) times on its own clock.
+pub fn frame_pong(out: &mut Vec<u8>, t0_us: u64, t1_us: u64, t2_us: u64) {
+    let mut body = [0u8; 30];
+    let mut n = gstore::codec::put_uvarint_into(&mut body, t0_us);
+    n += gstore::codec::put_uvarint_into(&mut body[n..], t1_us);
+    n += gstore::codec::put_uvarint_into(&mut body[n..], t2_us);
+    out.push(FRAME_SENTINEL);
+    put_uvarint(out, 1 + n as u64);
+    out.push(OP_PONG);
+    out.extend_from_slice(&body[..n]);
+}
+
+/// Decodes a PONG body into `(t0, t1, t2)` microsecond readings.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when any of the three varints is missing.
+pub fn decode_pong(body: &[u8]) -> Result<(u64, u64, u64), WireError> {
+    let mut pos = 0usize;
+    let t0 = get_uvarint(body, &mut pos).ok_or(WireError::Truncated)?;
+    let t1 = get_uvarint(body, &mut pos).ok_or(WireError::Truncated)?;
+    let t2 = get_uvarint(body, &mut pos).ok_or(WireError::Truncated)?;
+    Ok((t0, t1, t2))
+}
+
+/// The provenance header leading an [`OP_DATA_ORIGIN`] body: which
+/// node produced the batch, when its encoder flushed (producer clock
+/// µs), and the producer's open span at flush time (0 = none) — the
+/// hook `gtool trace merge` uses to draw producer → hub edges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Origin {
+    /// Stable producer identity, chosen by the application.
+    pub node_id: u64,
+    /// Batch flush time on the producer's clock, µs.
+    pub send_us: u64,
+    /// Producer span id active at flush, 0 when none.
+    pub span_id: u64,
+}
+
+/// Decodes the origin header off the front of an `OP_DATA_ORIGIN`
+/// body; the rest of the body from the returned offset onward is a
+/// plain `OP_DATA` body for [`decode_data`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the header is incomplete.
+pub fn decode_origin(body: &[u8]) -> Result<(Origin, usize), WireError> {
+    let mut pos = 0usize;
+    let node_id = get_uvarint(body, &mut pos).ok_or(WireError::Truncated)?;
+    let send_us = get_uvarint(body, &mut pos).ok_or(WireError::Truncated)?;
+    let span_id = get_uvarint(body, &mut pos).ok_or(WireError::Truncated)?;
+    Ok((
+        Origin {
+            node_id,
+            send_us,
+            span_id,
+        },
+        pos,
+    ))
 }
 
 /// Decodes the single uvarint argument of a control frame body.
@@ -362,16 +462,33 @@ impl BatchEncoder {
     /// resets the encoder. Returns the number of bytes appended
     /// (0 when the batch was empty).
     pub fn frame_into(&mut self, out: &mut Vec<u8>) -> usize {
+        self.frame_with_header(out, OP_DATA, &[])
+    }
+
+    /// Like [`BatchEncoder::frame_into`] but emits an
+    /// [`OP_DATA_ORIGIN`] frame with `origin` as the leading header.
+    /// Only send this after the peer negotiated [`FLAG_ORIGIN`].
+    pub fn frame_into_origin(&mut self, out: &mut Vec<u8>, origin: &Origin) -> usize {
+        let mut hdr = [0u8; 30];
+        let mut n = gstore::codec::put_uvarint_into(&mut hdr, origin.node_id);
+        n += gstore::codec::put_uvarint_into(&mut hdr[n..], origin.send_us);
+        n += gstore::codec::put_uvarint_into(&mut hdr[n..], origin.span_id);
+        let hdr = hdr; // freeze before the borrow below
+        self.frame_with_header(out, OP_DATA_ORIGIN, &hdr[..n])
+    }
+
+    fn frame_with_header(&mut self, out: &mut Vec<u8>, op: u8, header: &[u8]) -> usize {
         if self.count == 0 {
             return 0;
         }
         let before = out.len();
         let mut first = [0u8; 10];
         let first_len = gstore::codec::put_uvarint_into(&mut first, self.first_us);
-        let payload_len = 1 + first_len + self.recs.len();
+        let payload_len = 1 + header.len() + first_len + self.recs.len();
         out.push(FRAME_SENTINEL);
         put_uvarint(out, payload_len as u64);
-        out.push(OP_DATA);
+        out.push(op);
+        out.extend_from_slice(header);
         out.extend_from_slice(&first[..first_len]);
         out.extend_from_slice(&self.recs);
         self.reset();
@@ -565,7 +682,7 @@ mod tests {
     fn split_text_line_and_frame_interleaved() {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"1.000 42 sig\n");
-        frame_hello(&mut buf);
+        frame_hello(&mut buf, LOCAL_CAPS);
         buf.extend_from_slice(b"partial");
         let (msg, n) = split_message(&buf).unwrap().unwrap();
         assert_eq!(msg, Msg::Line(b"1.000 42 sig"));
@@ -574,7 +691,8 @@ mod tests {
         match msg {
             Msg::Frame { op, body } => {
                 assert_eq!(op, OP_HELLO);
-                assert_eq!(body, &[WIRE_VERSION, 0]);
+                assert_eq!(body, &[WIRE_VERSION, LOCAL_CAPS]);
+                assert_eq!(decode_caps(body), (WIRE_VERSION, LOCAL_CAPS));
             }
             other => panic!("expected frame, got {other:?}"),
         }
@@ -717,6 +835,75 @@ mod tests {
         put_uvarint(&mut body, 0);
         body.push(9);
         assert_eq!(decode_data(&body, &mut recs), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut buf = Vec::new();
+        frame_ping(&mut buf, 9_999_999);
+        frame_pong(&mut buf, 9_999_999, 10_000_100, 10_000_130);
+        let (msg, n) = split_message(&buf).unwrap().unwrap();
+        match msg {
+            Msg::Frame { op, body } => {
+                assert_eq!(op, OP_PING);
+                assert_eq!(decode_arg(body).unwrap(), 9_999_999);
+            }
+            other => panic!("expected PING, got {other:?}"),
+        }
+        let (msg, _) = split_message(&buf[n..]).unwrap().unwrap();
+        match msg {
+            Msg::Frame { op, body } => {
+                assert_eq!(op, OP_PONG);
+                assert_eq!(
+                    decode_pong(body).unwrap(),
+                    (9_999_999, 10_000_100, 10_000_130)
+                );
+            }
+            other => panic!("expected PONG, got {other:?}"),
+        }
+        assert_eq!(decode_pong(&[1, 2]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn origin_frame_round_trip_and_overhead() {
+        let mut enc = BatchEncoder::new();
+        let name = intern("sig.o");
+        let mut t = 2_000_000u64;
+        for i in 0..100 {
+            enc.push(t, i as f64, Some(&name));
+            t += 125;
+        }
+        let origin = Origin {
+            node_id: 42,
+            send_us: 2_012_499,
+            span_id: 7_777,
+        };
+        let mut plain = Vec::new();
+        let mut enc2 = BatchEncoder::new();
+        for i in 0..100 {
+            enc2.push(2_000_000 + i * 125, i as f64, Some(&name));
+        }
+        enc2.frame_into(&mut plain);
+        let mut out = Vec::new();
+        enc.frame_into_origin(&mut out, &origin);
+        // The header amortizes far below the +1 B/tuple budget.
+        assert!(
+            out.len() <= plain.len() + 10,
+            "origin header cost {} bytes",
+            out.len() - plain.len()
+        );
+        let (msg, _) = split_message(&out).unwrap().unwrap();
+        let Msg::Frame { op, body } = msg else {
+            panic!("expected frame");
+        };
+        assert_eq!(op, OP_DATA_ORIGIN);
+        let (got, off) = decode_origin(body).unwrap();
+        assert_eq!(got, origin);
+        let mut recs = Vec::new();
+        assert_eq!(decode_data(&body[off..], &mut recs).unwrap(), 100);
+        assert_eq!(recs[0].time_us, 2_000_000);
+        assert_eq!(recs[99].time_us, 2_000_000 + 99 * 125);
+        assert_eq!(recs[99].name.as_deref(), Some("sig.o"));
     }
 
     #[test]

@@ -215,6 +215,147 @@ fn text_only_legacy_client_speaks_lines_both_ways() {
     assert_eq!(stats.protocol_errors, 0);
 }
 
+/// Reads whatever `sock` has buffered without blocking.
+fn read_available(sock: &mut TcpStream, sink: &mut Vec<u8>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match sock.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => sink.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+}
+
+#[test]
+fn v1_peer_sees_byte_identical_server_wire() {
+    // A v1 peer: speaks the binary framing but advertises flags=0 (the
+    // only value the old code ever put in that byte). Today's server
+    // must answer with the exact WELCOME bytes the old server sent and
+    // never emit a v2 opcode (PING, DATA_ORIGIN) at it.
+    let mut server = ScopeServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut v1 = TcpStream::connect(addr).unwrap();
+    v1.set_nonblocking(true).unwrap();
+    let mut hello = Vec::new();
+    wire::frame_hello(&mut hello, 0); // flags=0 == v1 byte stream
+    assert_eq!(hello, [wire::FRAME_SENTINEL, 3, wire::OP_HELLO, 1, 0]);
+    v1.write_all(&hello).unwrap();
+    let mut sub = Vec::new();
+    wire::frame_arg(&mut sub, wire::OP_SUB, 0);
+    v1.write_all(&sub).unwrap();
+
+    // A modern producer with every v2 feature enabled feeds the hub.
+    let mut tx = ScopeClient::connect_binary(addr).unwrap();
+    tx.set_node_id(7);
+    tx.set_ping_interval_us(1);
+    pump_until(&mut server, &mut [&mut tx], |cs| {
+        cs[0].negotiated() == Protocol::Binary
+    });
+    for i in 0..10u64 {
+        tx.send_at(TimeStamp::from_micros(1_000 + i), "v1.sig", i as f64);
+    }
+
+    let mut wire_bytes = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut tuples = 0usize;
+    let mut ops = Vec::new();
+    while Instant::now() < deadline && tuples < 10 {
+        let _ = server.poll();
+        let _ = tx.pump();
+        read_available(&mut v1, &mut wire_bytes);
+        ops.clear();
+        tuples = 0;
+        let mut rest: &[u8] = &wire_bytes;
+        while let Ok(Some((msg, consumed))) = wire::split_message(rest) {
+            if let Msg::Frame { op, body } = msg {
+                ops.push(op);
+                if op == wire::OP_DATA {
+                    let mut recs = Vec::new();
+                    wire::decode_data(body, &mut recs).unwrap();
+                    tuples += recs.len();
+                }
+            }
+            rest = &rest[consumed..];
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(tuples, 10, "v1 subscriber did not get the data");
+    // First reply is the WELCOME the old server would have sent, byte
+    // for byte: negotiated caps are 0 & LOCAL_CAPS == 0.
+    assert_eq!(
+        &wire_bytes[..5],
+        [wire::FRAME_SENTINEL, 3, wire::OP_WELCOME, 1, 0]
+    );
+    // And nothing newer than v1 ever reaches this connection, even
+    // though the same hub runs clock sync against the producer.
+    assert!(
+        ops.iter()
+            .all(|&op| op == wire::OP_WELCOME || op == wire::OP_DATA),
+        "v2 opcode leaked to a v1 peer: {ops:?}"
+    );
+}
+
+#[test]
+fn v2_client_against_v1_server_stays_byte_identical() {
+    // A v1 server: answers HELLO with the old WELCOME (flags=0). The
+    // modern client — node id set, sub-microsecond ping interval —
+    // must mask its features off and put exactly the old client's
+    // bytes on the wire: plain DATA frames, no PING, no origin header.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let mut client = ScopeClient::connect_binary(addr).unwrap();
+    client.set_node_id(9);
+    client.set_ping_interval_us(1);
+    let (mut v1_server, _) = listener.accept().unwrap();
+    v1_server.set_nonblocking(true).unwrap();
+
+    // Consume the HELLO, answer like the old server did.
+    let mut rx = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline && rx.len() < 5 {
+        let _ = client.pump();
+        read_available(&mut v1_server, &mut rx);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        &rx[..5],
+        [wire::FRAME_SENTINEL, 3, wire::OP_HELLO, 1, wire::LOCAL_CAPS]
+    );
+    rx.clear();
+    v1_server
+        .write_all(&[wire::FRAME_SENTINEL, 3, wire::OP_WELCOME, 1, 0])
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline && client.negotiated() != Protocol::Binary {
+        let _ = client.pump();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Same tuples through a reference v1 encoder for comparison.
+    let mut expected = Vec::new();
+    let mut enc = BatchEncoder::new();
+    for i in 0..5u64 {
+        client.send_at(TimeStamp::from_micros(2_000 + i), "compat.sig", i as f64);
+        enc.push(2_000 + i, i as f64, Some(&Arc::from("compat.sig")));
+    }
+    enc.frame_into(&mut expected);
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline && rx.len() < expected.len() {
+        let _ = client.pump();
+        read_available(&mut v1_server, &mut rx);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        rx, expected,
+        "v2 client's wire bytes differ from a v1 client's"
+    );
+}
+
 fn finite_value() -> impl Strategy<Value = f64> {
     prop_oneof![-1e9..1e9f64, Just(0.0), Just(-0.0), -1.0..1.0f64]
 }
@@ -276,6 +417,80 @@ proptest! {
             prop_assert_eq!(rec.value.to_bits(), parsed.value.to_bits());
             prop_assert_eq!(rec.name.as_deref(), parsed.name.as_deref());
             prop_assert_eq!(rec.name.as_deref(), n.as_deref());
+        }
+    }
+
+    // The origin header must survive a merged stream of batches whose
+    // clocks run backwards relative to each other — exactly what a hub
+    // shard sees when several producers share one socket buffer. Every
+    // header field (including the u64 extremes) and every tuple must
+    // come back bit-exact, batch boundaries preserved.
+    #[test]
+    fn origin_header_round_trips_merged_non_monotone_batches(
+        batches in proptest::collection::vec(
+            (
+                // Origin fields: cover 0, small, and u64::MAX.
+                prop_oneof![Just(0u64), 1u64..1_000, Just(u64::MAX)],
+                prop_oneof![0u64..10_000_000_000, Just(u64::MAX)],
+                prop_oneof![Just(0u64), 1u64..u64::MAX],
+                // Per-batch tuple times: sorted within, free across.
+                proptest::collection::vec(0u64..10_000_000_000, 1..20),
+                proptest::collection::vec(finite_value(), 20),
+            ),
+            1..6,
+        ),
+    ) {
+        // One byte stream holding every batch back to back; times are
+        // non-monotone across batch boundaries by construction.
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for (node_id, send_us, span_id, times, values) in &batches {
+            let mut times = times.clone();
+            times.sort_unstable();
+            let origin = wire::Origin {
+                node_id: *node_id,
+                send_us: *send_us,
+                span_id: *span_id,
+            };
+            let mut enc = BatchEncoder::new();
+            let tuples: Vec<(u64, f64)> = times
+                .iter()
+                .zip(values)
+                .map(|(&t, &v)| (t, v))
+                .collect();
+            for (t, v) in &tuples {
+                enc.push(*t, *v, Some(&Arc::from("origin.sig")));
+            }
+            enc.frame_into_origin(&mut stream, &origin);
+            expected.push((origin, tuples));
+        }
+
+        // Decode the merged stream frame by frame.
+        let mut rest: &[u8] = &stream;
+        let mut decoded = Vec::new();
+        while let Some((msg, consumed)) = wire::split_message(rest).unwrap() {
+            match msg {
+                Msg::Frame { op, body } => {
+                    prop_assert_eq!(op, wire::OP_DATA_ORIGIN);
+                    let (origin, used) = wire::decode_origin(body).unwrap();
+                    let mut recs: Vec<WireRec> = Vec::new();
+                    wire::decode_data(&body[used..], &mut recs).unwrap();
+                    decoded.push((origin, recs));
+                }
+                Msg::Line(_) => prop_assert!(false, "expected a frame"),
+            }
+            rest = &rest[consumed..];
+        }
+        prop_assert!(rest.is_empty(), "trailing bytes after merged stream");
+        prop_assert_eq!(decoded.len(), expected.len());
+        for ((origin, recs), (want_origin, want_tuples)) in decoded.iter().zip(&expected) {
+            prop_assert_eq!(origin, want_origin);
+            prop_assert_eq!(recs.len(), want_tuples.len());
+            for (rec, (t, v)) in recs.iter().zip(want_tuples) {
+                prop_assert_eq!(rec.time_us, *t);
+                prop_assert_eq!(rec.value.to_bits(), v.to_bits());
+                prop_assert_eq!(rec.name.as_deref(), Some("origin.sig"));
+            }
         }
     }
 }

@@ -144,6 +144,20 @@ impl ChromeKey {
     }
 }
 
+/// Completes pending lateness-attribution chains: a frame carrying
+/// these signals' newest columns just reached the framebuffer. Cached
+/// (no-new-column) frames do not stamp — nothing new was shown.
+fn note_render_columns(scope: &Scope) {
+    let e2e = gtel::e2e();
+    if !e2e.is_active() {
+        return;
+    }
+    let now_us = gtel::fast_now_ns() / 1_000;
+    for sig in scope.signals() {
+        e2e.note_render(sig.name(), now_us);
+    }
+}
+
 /// Persistent renderer state: cached chrome, the previous frame, and
 /// the bookkeeping needed to decide whether the next frame can be
 /// produced by a scroll blit.
@@ -193,6 +207,7 @@ impl FrameCache {
             self.redraw_content(scope);
             self.record(scope);
             self.stats.full += 1;
+            note_render_columns(scope);
             return &self.frame;
         }
         match self.delta(scope) {
@@ -201,11 +216,13 @@ impl FrameCache {
                 self.advance(scope, d as usize);
                 self.record(scope);
                 self.stats.incremental += 1;
+                note_render_columns(scope);
             }
             _ => {
                 self.redraw_content(scope);
                 self.record(scope);
                 self.stats.content += 1;
+                note_render_columns(scope);
             }
         }
         &self.frame

@@ -56,6 +56,28 @@ pub struct BundleInfo {
     pub breaches: usize,
 }
 
+/// One peer's wire-clock model at bundle-freeze time, written into
+/// `clock.txt`. The offsets recorded here are what `gtool trace merge`
+/// uses to rebase other processes' span rings onto this bundle's
+/// timeline (the offset shares the span timebase by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockRow {
+    /// Peer identity (socket address or sim label).
+    pub peer: String,
+    /// Peer's node id, when its batches were origin-stamped.
+    pub node_id: Option<u64>,
+    /// Peer − local clock offset, µs.
+    pub offset_us: f64,
+    /// Smoothed sync round-trip, µs.
+    pub rtt_us: f64,
+    /// Estimated relative drift, ppm.
+    pub drift_ppm: f64,
+    /// Offset error bound, µs.
+    pub error_us: f64,
+    /// Completed sync exchanges behind the estimate.
+    pub samples: u64,
+}
+
 /// Keeps the last K telemetry snapshots and freezes them plus the
 /// span ring into a post-mortem bundle on demand.
 #[derive(Debug)]
@@ -64,6 +86,8 @@ pub struct FlightRecorder {
     k: usize,
     snapshots: VecDeque<(TimeStamp, Snapshot)>,
     breaches: VecDeque<(u64, &'static str, u64)>,
+    node_id: Option<u64>,
+    clocks: Vec<ClockRow>,
     bundles: u64,
     max_bundles: u64,
 }
@@ -80,8 +104,27 @@ impl FlightRecorder {
             k: k.max(1),
             snapshots: VecDeque::new(),
             breaches: VecDeque::new(),
+            node_id: None,
+            clocks: Vec::new(),
             bundles: 0,
             max_bundles: 4,
+        }
+    }
+
+    /// Stamps this process's node identity into every future bundle
+    /// (`node: <id>` in `meta.txt`), letting `gtool trace merge` name
+    /// the timeline it contributes.
+    pub fn set_node_id(&mut self, id: u64) {
+        self.node_id = Some(id);
+    }
+
+    /// Notes a peer's current clock model; the latest row per peer
+    /// rides into the next bundle's `clock.txt`. Call whenever stats
+    /// are sampled so a post-mortem freezes fresh offsets.
+    pub fn note_clock(&mut self, row: ClockRow) {
+        match self.clocks.iter_mut().find(|c| c.peer == row.peer) {
+            Some(slot) => *slot = row,
+            None => self.clocks.push(row),
         }
     }
 
@@ -168,7 +211,32 @@ impl FlightRecorder {
         if let Some((t, _)) = self.snapshots.back() {
             let _ = writeln!(meta, "last_snapshot_ms: {:.3}", t.as_millis_f64());
         }
+        if let Some(id) = self.node_id {
+            let _ = writeln!(meta, "node: {id}");
+        }
         std::fs::write(tmp.join("meta.txt"), meta).map_err(ScopeError::Io)?;
+
+        if !self.clocks.is_empty() {
+            let mut clock = String::new();
+            for row in &self.clocks {
+                let node = row
+                    .node_id
+                    .map_or_else(|| "-".to_string(), |n| n.to_string());
+                let _ = writeln!(
+                    clock,
+                    "peer={} node={} offset_us={:.3} rtt_us={:.3} \
+                     drift_ppm={:.3} error_us={:.3} samples={}",
+                    row.peer,
+                    node,
+                    row.offset_us,
+                    row.rtt_us,
+                    row.drift_ppm,
+                    row.error_us,
+                    row.samples
+                );
+            }
+            std::fs::write(tmp.join("clock.txt"), clock).map_err(ScopeError::Io)?;
+        }
 
         // The snapshot window rides in a real gstore, so every tool
         // that decodes recordings (gtool info/replay, StoreReader)
@@ -269,6 +337,49 @@ pub struct BundleSummary {
     /// Tuples decoded from the `spans/` store (0 for bundles written
     /// before spans were recorded).
     pub span_tuples: usize,
+    /// The writing process's node id (`node:` in `meta.txt`), when
+    /// the recorder was stamped with one.
+    pub node_id: Option<u64>,
+    /// Per-peer clock rows parsed from `clock.txt` (empty for bundles
+    /// from processes with no wire peers).
+    pub clock: Vec<ClockRow>,
+}
+
+/// Parses one `clock.txt` line back into a [`ClockRow`]; `None` for
+/// malformed lines so a hand-edited file degrades row-by-row.
+fn parse_clock_line(line: &str) -> Option<ClockRow> {
+    let mut row = ClockRow {
+        peer: String::new(),
+        node_id: None,
+        offset_us: 0.0,
+        rtt_us: 0.0,
+        drift_ppm: 0.0,
+        error_us: 0.0,
+        samples: 0,
+    };
+    for field in line.split_whitespace() {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "peer" => row.peer = value.to_string(),
+            "node" => {
+                row.node_id = if value == "-" {
+                    None
+                } else {
+                    value.parse().ok()
+                }
+            }
+            "offset_us" => row.offset_us = value.parse().ok()?,
+            "rtt_us" => row.rtt_us = value.parse().ok()?,
+            "drift_ppm" => row.drift_ppm = value.parse().ok()?,
+            "error_us" => row.error_us = value.parse().ok()?,
+            "samples" => row.samples = value.parse().ok()?,
+            _ => {}
+        }
+    }
+    if row.peer.is_empty() {
+        return None;
+    }
+    Some(row)
 }
 
 /// Reads a bundle back, decoding the stats store end to end — the
@@ -300,12 +411,22 @@ pub fn read_bundle(path: impl AsRef<Path>) -> Result<BundleSummary> {
             span_tuples += 1;
         }
     }
+    let node_id = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("node: "))
+        .and_then(|v| v.trim().parse().ok());
+    let clock = match std::fs::read_to_string(path.join("clock.txt")) {
+        Ok(text) => text.lines().filter_map(parse_clock_line).collect(),
+        Err(_) => Vec::new(),
+    };
     Ok(BundleSummary {
         meta,
         trace_json,
         tree,
         stats_tuples,
         span_tuples,
+        node_id,
+        clock,
     })
 }
 
@@ -365,6 +486,65 @@ mod tests {
         assert_eq!(bundle.stats_tuples, 14);
         // One span tuple per completed (End) span.
         assert_eq!(bundle.span_tuples, info.spans);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn clock_rows_round_trip_through_bundle() {
+        let dir = tmp();
+        let mut fr = FlightRecorder::new(&dir, 2);
+        fr.set_node_id(3);
+        fr.note_clock(ClockRow {
+            peer: "127.0.0.1:5000".into(),
+            node_id: Some(7),
+            offset_us: -142.5,
+            rtt_us: 380.25,
+            drift_ppm: 11.0,
+            error_us: 210.125,
+            samples: 25,
+        });
+        fr.note_clock(ClockRow {
+            peer: "sim:b".into(),
+            node_id: None,
+            offset_us: 9.0,
+            rtt_us: 100.0,
+            drift_ppm: 0.0,
+            error_us: 50.0,
+            samples: 4,
+        });
+        // A second note for the same peer overwrites, not appends.
+        fr.note_clock(ClockRow {
+            peer: "sim:b".into(),
+            node_id: Some(9),
+            offset_us: 10.0,
+            rtt_us: 90.0,
+            drift_ppm: 1.0,
+            error_us: 45.0,
+            samples: 5,
+        });
+        let info = fr.trigger("clock", &demo_log()).unwrap().unwrap();
+        let bundle = read_bundle(&info.path).unwrap();
+        assert_eq!(bundle.node_id, Some(3));
+        assert!(bundle.meta.contains("node: 3"));
+        assert_eq!(bundle.clock.len(), 2);
+        assert_eq!(bundle.clock[0].peer, "127.0.0.1:5000");
+        assert_eq!(bundle.clock[0].node_id, Some(7));
+        assert!((bundle.clock[0].offset_us - -142.5).abs() < 1e-3);
+        assert_eq!(bundle.clock[0].samples, 25);
+        assert_eq!(bundle.clock[1].node_id, Some(9));
+        assert!((bundle.clock[1].offset_us - 10.0).abs() < 1e-3);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bundles_without_clock_read_back_empty() {
+        let dir = tmp();
+        let mut fr = FlightRecorder::new(&dir, 2);
+        let info = fr.trigger("plain", &demo_log()).unwrap().unwrap();
+        assert!(!info.path.join("clock.txt").exists());
+        let bundle = read_bundle(&info.path).unwrap();
+        assert_eq!(bundle.node_id, None);
+        assert!(bundle.clock.is_empty());
         std::fs::remove_dir_all(dir).unwrap();
     }
 

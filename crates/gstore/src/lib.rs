@@ -48,7 +48,7 @@ pub mod reader;
 pub mod segment;
 pub mod store;
 
-pub use flight::{read_bundle, BundleInfo, BundleSummary, FlightRecorder};
+pub use flight::{read_bundle, BundleInfo, BundleSummary, ClockRow, FlightRecorder};
 pub use index::{
     build_index, index_path, load_or_rebuild_index, probe_index, read_index, split_thread,
     write_index, IndexProbe, Posting, SegIndex, TermClass, TermEntry,

@@ -1,0 +1,402 @@
+//! End-to-end lateness attribution: producer send → render column.
+//!
+//! A sample crossing the fleet passes seven waypoints:
+//!
+//! ```text
+//! send ──wire──▶ recv ─parse─▶ ─route─▶ ─push─▶ ─drain─▶ ─render─▶
+//! ```
+//!
+//! The hub stamps the first four on arrival (`send` is the producer's
+//! batch-flush time, rebased onto the local clock by the connection's
+//! clock estimator); the scope's tick drain and the renderer stamp the
+//! last two. All timestamps share one monotonic timebase
+//! ([`crate::fast_now_ns`] µs), so consecutive differences telescope:
+//! the per-stage deltas sum to the end-to-end figure *exactly*, except
+//! where the clock-offset correction drives the wire stage negative —
+//! which is clamped, bounding the discrepancy by the estimator's
+//! reported clock error. That is the invariant the netsim e2e smoke
+//! asserts.
+//!
+//! Stages are folded when the chain *completes* (at render), one
+//! record per stage per completed chain, so every histogram has the
+//! same population and their means telescope too. Chains are tracked
+//! as per-signal watermarks: a newer batch overwrites an unrendered
+//! older one (strip charts only ever show the newest column, so the
+//! overwritten chain was invisible anyway).
+//!
+//! Histograms live in a [`Registry`] under `e2e.*`, so Prometheus/
+//! tuple export and flight-recorder stats capture pick them up with no
+//! extra plumbing. Values are **microseconds**.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{HistogramSnapshot, LatencyHistogram};
+use crate::registry::Registry;
+
+/// The six attribution stages, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Producer batch flush → hub socket read (offset-corrected).
+    Wire = 0,
+    /// Socket read → batch decoded.
+    Parse = 1,
+    /// Batch decoded → routing/fan-in decision done.
+    Route = 2,
+    /// Routing done → ScopeBuffer push complete.
+    Push = 3,
+    /// ScopeBuffer push → scope tick drained the sample.
+    Drain = 4,
+    /// Tick drain → render column produced.
+    Render = 5,
+}
+
+impl Stage {
+    /// All stages, pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Wire,
+        Stage::Parse,
+        Stage::Route,
+        Stage::Push,
+        Stage::Drain,
+        Stage::Render,
+    ];
+
+    /// Metric-name suffix (`e2e.stage.<name>_us`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Wire => "wire",
+            Stage::Parse => "parse",
+            Stage::Route => "route",
+            Stage::Push => "push",
+            Stage::Drain => "drain",
+            Stage::Render => "render",
+        }
+    }
+}
+
+/// The hub-side waypoints of one delivered batch, local-clock µs
+/// (except `send_us`, which is the producer's flush time already
+/// rebased onto the local clock — hence signed).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchMark {
+    /// Producer flush time rebased by the peer clock offset.
+    pub send_us: i64,
+    /// Bytes read off the socket.
+    pub recv_us: u64,
+    /// Batch fully decoded.
+    pub parse_us: u64,
+    /// Routing decision done.
+    pub route_us: u64,
+    /// ScopeBuffer push complete.
+    pub push_us: u64,
+    /// The estimator's offset error bound when `send_us` was rebased.
+    pub clock_error_us: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Chain {
+    mark: BatchMark,
+    drain_us: Option<u64>,
+}
+
+/// Keyed per-signal histogram cap; overflow folds into `~other`.
+const MAX_KEYS: usize = 64;
+/// Watermark map cap: beyond this, new signals are not tracked.
+const MAX_MARKS: usize = 256;
+
+/// Collector for stage/e2e lateness histograms and per-signal chain
+/// watermarks. Usually accessed through the process-global [`e2e`].
+pub struct E2e {
+    registry: Arc<Registry>,
+    stages: [Arc<LatencyHistogram>; 6],
+    total: Arc<LatencyHistogram>,
+    clock_err: Arc<LatencyHistogram>,
+    keyed: Mutex<HashMap<String, Arc<LatencyHistogram>>>,
+    marks: Mutex<HashMap<String, Chain>>,
+    active: AtomicBool,
+}
+
+impl E2e {
+    /// A collector whose histograms live in `registry` under `e2e.*`.
+    pub fn new(registry: Arc<Registry>) -> E2e {
+        let stages =
+            Stage::ALL.map(|s| registry.histogram(&format!("e2e.stage.{}_us", s.as_str())));
+        E2e {
+            total: registry.histogram("e2e.total_us"),
+            clock_err: registry.histogram("e2e.clock_error_us"),
+            stages,
+            registry,
+            keyed: Mutex::new(HashMap::new()),
+            marks: Mutex::new(HashMap::new()),
+            active: AtomicBool::new(false),
+        }
+    }
+
+    /// True once any chain has been marked — lets hot paths skip the
+    /// map locks entirely when attribution is unused.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Hub side: a batch carrying `signal` finished its push leg.
+    /// Overwrites any unrendered chain for the signal (watermark
+    /// semantics).
+    pub fn mark_push(&self, signal: &str, mark: BatchMark) {
+        self.active.store(true, Ordering::Relaxed);
+        let mut marks = self.marks.lock().unwrap();
+        if marks.len() >= MAX_MARKS && !marks.contains_key(signal) {
+            return;
+        }
+        match marks.get_mut(signal) {
+            Some(chain) => {
+                *chain = Chain {
+                    mark,
+                    drain_us: None,
+                }
+            }
+            None => {
+                marks.insert(
+                    signal.to_owned(),
+                    Chain {
+                        mark,
+                        drain_us: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Scope side: a tick drained buffered samples for `signal`.
+    pub fn note_drain(&self, signal: &str, now_us: u64) {
+        if !self.is_active() {
+            return;
+        }
+        let mut marks = self.marks.lock().unwrap();
+        if let Some(chain) = marks.get_mut(signal) {
+            if chain.drain_us.is_none() {
+                chain.drain_us = Some(now_us);
+            }
+        }
+    }
+
+    /// Render side: a column for `signal` reached the framebuffer.
+    /// Completes the chain and folds every stage plus the e2e figure.
+    pub fn note_render(&self, signal: &str, now_us: u64) {
+        if !self.is_active() {
+            return;
+        }
+        let chain = {
+            let mut marks = self.marks.lock().unwrap();
+            match marks.get_mut(signal) {
+                Some(chain) if chain.drain_us.is_some() => {
+                    let done = *chain;
+                    marks.remove(signal);
+                    done
+                }
+                _ => return,
+            }
+        };
+        let m = chain.mark;
+        let drain_us = chain.drain_us.unwrap_or(m.push_us);
+        let clamp = |d: i64| d.max(0) as u64;
+        self.stages[Stage::Wire as usize].record(clamp(m.recv_us as i64 - m.send_us));
+        self.stages[Stage::Parse as usize].record(m.parse_us.saturating_sub(m.recv_us));
+        self.stages[Stage::Route as usize].record(m.route_us.saturating_sub(m.parse_us));
+        self.stages[Stage::Push as usize].record(m.push_us.saturating_sub(m.route_us));
+        self.stages[Stage::Drain as usize].record(drain_us.saturating_sub(m.push_us));
+        self.stages[Stage::Render as usize].record(now_us.saturating_sub(drain_us));
+        let e2e = clamp(now_us as i64 - m.send_us);
+        self.total.record(e2e);
+        self.clock_err.record(m.clock_error_us);
+        self.keyed_histogram(signal).record(e2e);
+    }
+
+    fn keyed_histogram(&self, signal: &str) -> Arc<LatencyHistogram> {
+        let mut keyed = self.keyed.lock().unwrap();
+        if let Some(h) = keyed.get(signal) {
+            return Arc::clone(h);
+        }
+        let name = if keyed.len() < MAX_KEYS {
+            format!("e2e.signal.{signal}_us")
+        } else {
+            "e2e.signal.~other_us".to_owned()
+        };
+        let h = self.registry.histogram(&name);
+        keyed.insert(signal.to_owned(), Arc::clone(&h));
+        h
+    }
+
+    /// Completed chains (== population of every stage histogram).
+    pub fn completed(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// Snapshot of all stage histograms plus the e2e total.
+    pub fn snapshot(&self) -> E2eSnapshot {
+        E2eSnapshot {
+            stages: Stage::ALL.map(|s| (s.as_str(), self.stages[s as usize].snapshot())),
+            total: self.total.snapshot(),
+            clock_error: self.clock_err.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time view of the attribution histograms (µs values).
+#[derive(Clone, Debug)]
+pub struct E2eSnapshot {
+    /// Per-stage histograms, pipeline order.
+    pub stages: [(&'static str, HistogramSnapshot); 6],
+    /// End-to-end histogram.
+    pub total: HistogramSnapshot,
+    /// Clock error bounds quoted when chains were rebased.
+    pub clock_error: HistogramSnapshot,
+}
+
+impl E2eSnapshot {
+    /// Sum of the per-stage means — should equal [`Self::total`]'s
+    /// mean within the mean clock error (the module invariant).
+    pub fn stage_sum_mean_us(&self) -> f64 {
+        self.stages.iter().map(|(_, s)| s.mean()).sum()
+    }
+}
+
+static GLOBAL: OnceLock<E2e> = OnceLock::new();
+
+/// The process-global collector, backed by [`crate::global`]'s
+/// registry. The hub, scope tick, and renderer all stamp into this
+/// one instance so chains survive crate boundaries.
+pub fn e2e() -> &'static E2e {
+    GLOBAL.get_or_init(|| {
+        // The global registry is a &'static; wrap it without cloning
+        // its contents by resolving through a shared handle registry.
+        E2e::new(crate::registry::global_shared())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> E2e {
+        E2e::new(Arc::new(Registry::new()))
+    }
+
+    #[test]
+    fn completed_chain_telescopes_exactly() {
+        let e = fresh();
+        e.mark_push(
+            "sig",
+            BatchMark {
+                send_us: 1_000,
+                recv_us: 1_400,
+                parse_us: 1_450,
+                route_us: 1_470,
+                push_us: 1_500,
+                clock_error_us: 90,
+            },
+        );
+        e.note_drain("sig", 2_000);
+        e.note_render("sig", 2_300);
+        let snap = e.snapshot();
+        assert_eq!(snap.total.count, 1);
+        assert_eq!(snap.total.sum, 1_300); // 2300 - 1000
+        let stage_sum: u64 = snap.stages.iter().map(|(_, s)| s.sum).sum();
+        assert_eq!(stage_sum, snap.total.sum, "stages telescope to e2e");
+        assert_eq!(snap.stages[0].1.sum, 400); // wire
+        assert_eq!(snap.stages[5].1.sum, 300); // render
+        assert_eq!(e.completed(), 1);
+    }
+
+    #[test]
+    fn negative_wire_clamp_is_bounded_by_clock_error() {
+        let e = fresh();
+        // Offset over-correction: send appears *after* recv by 50µs,
+        // within the quoted 90µs error bound.
+        e.mark_push(
+            "sig",
+            BatchMark {
+                send_us: 1_450,
+                recv_us: 1_400,
+                parse_us: 1_450,
+                route_us: 1_470,
+                push_us: 1_500,
+                clock_error_us: 90,
+            },
+        );
+        e.note_drain("sig", 1_600);
+        e.note_render("sig", 1_700);
+        let snap = e.snapshot();
+        let stage_sum: u64 = snap.stages.iter().map(|(_, s)| s.sum).sum();
+        let gap = stage_sum.abs_diff(snap.total.sum);
+        assert!(
+            gap <= snap.clock_error.max,
+            "clamp discrepancy {gap}µs exceeds clock error {}µs",
+            snap.clock_error.max
+        );
+    }
+
+    #[test]
+    fn render_without_drain_waits_and_newer_batch_overwrites() {
+        let e = fresh();
+        let mark = BatchMark {
+            send_us: 100,
+            recv_us: 110,
+            parse_us: 111,
+            route_us: 112,
+            push_us: 113,
+            clock_error_us: 5,
+        };
+        e.mark_push("a", mark);
+        e.note_render("a", 500); // no drain yet: not folded
+        assert_eq!(e.completed(), 0);
+        let newer = BatchMark {
+            send_us: 200,
+            ..mark
+        };
+        e.mark_push("a", newer); // watermark overwrite
+        e.note_drain("a", 300);
+        e.note_render("a", 400);
+        assert_eq!(e.completed(), 1);
+        assert_eq!(e.snapshot().total.sum, 200); // 400 - 200, newer chain
+    }
+
+    #[test]
+    fn inactive_collector_short_circuits() {
+        let e = fresh();
+        assert!(!e.is_active());
+        e.note_drain("x", 1);
+        e.note_render("x", 2);
+        assert_eq!(e.completed(), 0);
+    }
+
+    #[test]
+    fn keyed_histograms_cap_cardinality() {
+        let e = fresh();
+        for i in 0..(MAX_KEYS + 8) {
+            let name = format!("s{i}");
+            e.mark_push(
+                &name,
+                BatchMark {
+                    send_us: 0,
+                    recv_us: 1,
+                    parse_us: 2,
+                    route_us: 3,
+                    push_us: 4,
+                    clock_error_us: 0,
+                },
+            );
+            e.note_drain(&name, 5);
+            e.note_render(&name, 6);
+        }
+        let names = e.registry.names();
+        let keyed = names
+            .iter()
+            .filter(|n| n.starts_with("e2e.signal."))
+            .count();
+        assert!(keyed <= MAX_KEYS + 1, "got {keyed} keyed histograms");
+        assert!(names.iter().any(|n| n == "e2e.signal.~other_us"));
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod chrome;
 pub mod deadline;
+pub mod e2e;
 pub mod export;
 pub mod metrics;
 pub mod registry;
@@ -39,13 +40,14 @@ pub mod trace;
 
 pub use chrome::{aggregate_spans, chrome_trace_json, slowest_spans, span_tree, SpanAgg};
 pub use deadline::{DeadlineMiss, DeadlineMonitor, StageBudget};
+pub use e2e::{e2e, BatchMark, E2e, E2eSnapshot, Stage};
 pub use export::{
     format_ns, json_stats, prometheus_text, span_tuple_rows, stats_table, tuple_lines,
 };
 pub use metrics::{
     Counter, Gauge, HistogramSnapshot, HistogramStat, LatencyHistogram, HISTOGRAM_BUCKETS,
 };
-pub use registry::{global, Metric, MetricValue, Registry, Snapshot};
+pub use registry::{global, global_shared, Metric, MetricValue, Registry, Snapshot};
 pub use span::{fast_now_ns, monotonic_ns, SpanKind, SpanRecord, TraceCtx, MAX_SPAN_DEPTH};
 pub use trace::{
     complete_span, instant, set_thread_tracer, span, tracer, with_thread_tracer, SpanGuard,

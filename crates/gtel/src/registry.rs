@@ -184,10 +184,17 @@ impl Registry {
     }
 }
 
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
 /// The process-wide registry.
 pub fn global() -> &'static Registry {
-    static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+    GLOBAL.get_or_init(Registry::shared)
+}
+
+/// The process-wide registry as a shareable handle — the same map
+/// [`global`] returns, for components that store an `Arc<Registry>`.
+pub fn global_shared() -> Arc<Registry> {
+    Arc::clone(GLOBAL.get_or_init(Registry::shared))
 }
 
 #[cfg(test)]

@@ -1021,12 +1021,16 @@ USAGE:
                     [--max-bundles N] [--slow-tick N] [--slow-us U] [--no-net]
   gscope-tool trace export|tree [<bundle-dir>] [run flags]
   gscope-tool trace slowest [--top N] [run flags]
+  gscope-tool trace merge <bundle-dir> <bundle-dir>... [--out merged.json]
+                    (rebase fleet bundles onto one clock via their
+                     recorded wire offsets; flow arrows join producer
+                     flush spans to hub net.ingest spans)
   gscope-tool health [--budget-us N] [--window N] [--allow N] [run flags]
                     (exit code 1 when the deadline SLO window is breached)
   gscope-tool query '<expr>' --store <dir> [--limit N] [--tier N | --px-width W]
                     (expr: name=SIG dur>2ms thread=N severity=breach
                      from=MS to=MS within=GLOB — AND of predicates)
-  gscope-tool timeline --store <dir> [--window-ms W] [--anchor-ms T] [--within GLOB]
+  gscope-tool timeline --store <dir> [--window-ms W] [--anchor-ms T] [--within GLOB] [--node N]
   gscope-tool spectrum <file> [--signal NAME] [--size N] [--period MS]
   gscope-tool stack <a.ppm> <b.ppm> [...] --out <img.ppm> [--gap N]
   gscope-tool mxtraf [--flows N] [--seconds S] [--ecn] [--sack] [--loss P]

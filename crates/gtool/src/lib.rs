@@ -18,6 +18,7 @@
 
 mod args;
 mod commands;
+mod mergecmd;
 mod querycmd;
 mod tracecmd;
 

@@ -1,0 +1,438 @@
+//! `gscope-tool trace merge`: one fleet, one timeline.
+//!
+//! Each process's flight-recorder bundle freezes its own span ring in
+//! its own clock domain. This command rebases N bundles onto a single
+//! timeline using the wire-clock offsets recorded in each bundle's
+//! `clock.txt` (the same NTP-style estimates the hub used live), then
+//! emits one Chrome trace with per-node process lanes and flow arrows
+//! on the communication edges — a producer's flush span connects to
+//! the hub shard's `net.ingest` span because the producer's span id
+//! rode the wire in the batch origin header and the hub recorded it
+//! as the ingest span's `arg`.
+//!
+//! The merge parses only trace JSON this repo generates
+//! ([`gtel::chrome_trace_json`]), so the scanner handles exactly that
+//! grammar: a flat `traceEvents` array of objects whose only nested
+//! value is `args`.
+
+use std::path::Path;
+
+use gstore::BundleSummary;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+/// One event lifted out of a bundle's `trace.json`.
+#[derive(Debug, Clone)]
+struct Event {
+    name: String,
+    /// `"X"` for complete spans, `"i"` for instants.
+    ph: String,
+    /// Begin time, µs (fractional part carries nanoseconds).
+    ts: f64,
+    /// Duration, µs (0 for instants).
+    dur: f64,
+    tid: u64,
+    /// `args.arg` — for `net.ingest` spans this is the producer's
+    /// span id carried in the batch origin header.
+    arg: u64,
+    /// `args.span` — the event's own span id.
+    span: u64,
+    /// The `"args":{...}` object, verbatim.
+    args_raw: String,
+}
+
+/// Splits the `traceEvents` array into per-event object strings.
+/// Depth-scans braces outside string literals, so escaped quotes in
+/// span labels don't derail it.
+fn event_objects(json: &str) -> Result<Vec<&str>, String> {
+    let start = json
+        .find("\"traceEvents\":[")
+        .ok_or("trace.json has no traceEvents array")?
+        + "\"traceEvents\":[".len();
+    let body = &json[start..];
+    let mut objects = Vec::new();
+    let (mut depth, mut obj_start, mut in_str, mut escaped) = (0usize, 0usize, false, false);
+    for (i, c) in body.char_indices() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
+                if depth == 0 {
+                    objects.push(&body[obj_start..=i]);
+                }
+            }
+            ']' if depth == 0 => return Ok(objects),
+            _ => {}
+        }
+    }
+    Err("unterminated traceEvents array".into())
+}
+
+/// Pulls `"key":` value text out of one event object (value runs to
+/// the next top-level `,` or `}`). Returns `None` when absent.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    if rest.starts_with('{') {
+        // Only `args` nests, and it contains no strings or objects.
+        let end = rest.find('}')?;
+        return Some(&rest[..=end]);
+    }
+    if let Some(tail) = rest.strip_prefix('"') {
+        let end = tail.find('"')?;
+        return Some(&tail[..end]);
+    }
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn parse_events(json: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for obj in event_objects(json)? {
+        let args_raw = field(obj, "args").unwrap_or("{}").to_string();
+        let num = |key: &str| -> u64 {
+            field(&args_raw, key)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        events.push(Event {
+            name: field(obj, "name").ok_or("event without name")?.to_string(),
+            ph: field(obj, "ph").ok_or("event without ph")?.to_string(),
+            ts: field(obj, "ts")
+                .and_then(|v| v.parse().ok())
+                .ok_or("event without ts")?,
+            dur: field(obj, "dur")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0),
+            tid: field(obj, "tid").and_then(|v| v.parse().ok()).unwrap_or(0),
+            arg: num("arg"),
+            span: num("span"),
+            args_raw,
+        });
+    }
+    Ok(events)
+}
+
+/// One bundle prepared for merging.
+struct NodeTrace {
+    /// Process lane in the merged trace: the bundle's recorded node
+    /// id, or a synthetic one for unstamped bundles.
+    pid: u64,
+    label: String,
+    /// Added to every event timestamp to land it on the reference
+    /// bundle's clock, µs.
+    shift_us: f64,
+    events: Vec<Event>,
+}
+
+/// Picks the reference timeline: the bundle whose clock table names
+/// the most other nodes (the hub hears every producer; producers only
+/// hear the hub).
+fn reference_index(bundles: &[(BundleSummary, u64)]) -> usize {
+    bundles
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (b, _))| b.clock.iter().filter(|r| r.node_id.is_some()).count())
+        .map_or(0, |(i, _)| i)
+}
+
+/// Merges bundles into one Chrome trace string plus a text summary of
+/// the rebasing decisions.
+fn merge_bundles(paths: &[&str]) -> Result<(String, String), Box<dyn std::error::Error>> {
+    let mut loaded: Vec<(BundleSummary, u64)> = Vec::new();
+    for (i, path) in paths.iter().enumerate() {
+        let bundle = gstore::read_bundle(Path::new(path))?;
+        // Synthetic pids start at 1000 to stay clear of real node ids.
+        let pid = bundle.node_id.unwrap_or(1_000 + i as u64);
+        loaded.push((bundle, pid));
+    }
+    let reference = reference_index(&loaded);
+    let ref_clock = loaded[reference].0.clock.clone();
+
+    let mut summary = String::new();
+    let mut nodes = Vec::new();
+    for (i, (bundle, pid)) in loaded.iter().enumerate() {
+        let (shift_us, error_us) = if i == reference {
+            (0.0, 0.0)
+        } else {
+            // The reference's table maps peer → (peer − reference)
+            // offset; subtracting it lands the peer's timestamps on
+            // the reference clock.
+            match ref_clock.iter().find(|r| r.node_id == Some(*pid)) {
+                Some(row) => (-row.offset_us, row.error_us),
+                None => (0.0, f64::NAN),
+            }
+        };
+        let label = format!("node {pid} ({})", paths[i]);
+        let error_str = if error_us.is_nan() {
+            "unknown (no clock row)".to_owned()
+        } else {
+            format!("\u{b1}{error_us:.1}us")
+        };
+        summary.push_str(&format!(
+            "{label}: shift {shift_us:+.1}us, error {error_str}{}\n",
+            if i == reference { " [reference]" } else { "" }
+        ));
+        nodes.push(NodeTrace {
+            pid: *pid,
+            label,
+            shift_us,
+            events: parse_events(&bundle.trace_json)?,
+        });
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |ev: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+    for node in &nodes {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                node.pid,
+                node.label.replace('"', "'"),
+            ),
+            &mut first,
+        );
+        for ev in &node.events {
+            let ts = ev.ts + node.shift_us;
+            let mut obj = format!(
+                "{{\"name\":\"{}\",\"cat\":\"gscope\",\"ph\":\"{}\"",
+                ev.name, ev.ph
+            );
+            if ev.ph == "i" {
+                obj.push_str(",\"s\":\"t\"");
+            }
+            obj.push_str(&format!(",\"ts\":{ts:.3}"));
+            if ev.ph == "X" {
+                obj.push_str(&format!(",\"dur\":{:.3}", ev.dur));
+            }
+            obj.push_str(&format!(
+                ",\"pid\":{},\"tid\":{},\"args\":{}}}",
+                node.pid, ev.tid, ev.args_raw
+            ));
+            push(obj, &mut first);
+        }
+    }
+
+    // Communication edges: every `net.ingest` span's `arg` is a
+    // producer span id from the wire. Find that span in another
+    // node's trace and draw a flow arrow from its end to the ingest
+    // begin. Arrows survive rebasing because both ends shifted.
+    let mut edges = 0usize;
+    for hub in &nodes {
+        for ingest in hub
+            .events
+            .iter()
+            .filter(|e| e.name == "net.ingest" && e.arg != 0)
+        {
+            let Some((producer, span)) = nodes.iter().find_map(|n| {
+                if n.pid == hub.pid {
+                    return None;
+                }
+                n.events
+                    .iter()
+                    .find(|e| e.ph == "X" && e.span == ingest.arg)
+                    .map(|e| (n, e))
+            }) else {
+                continue;
+            };
+            edges += 1;
+            push(
+                format!(
+                    "{{\"name\":\"wire\",\"cat\":\"gscope\",\"ph\":\"s\",\"id\":{},\"ts\":{:.3},\"pid\":{},\"tid\":{}}}",
+                    ingest.arg,
+                    span.ts + span.dur + producer.shift_us,
+                    producer.pid,
+                    span.tid,
+                ),
+                &mut first,
+            );
+            push(
+                format!(
+                    "{{\"name\":\"wire\",\"cat\":\"gscope\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{:.3},\"pid\":{},\"tid\":{}}}",
+                    ingest.arg,
+                    ingest.ts + hub.shift_us,
+                    hub.pid,
+                    ingest.tid,
+                ),
+                &mut first,
+            );
+        }
+    }
+    out.push_str("]}");
+    summary.push_str(&format!(
+        "{} bundles, {} events, {} cross-process edges\n",
+        nodes.len(),
+        nodes.iter().map(|n| n.events.len()).sum::<usize>(),
+        edges,
+    ));
+    Ok((out, summary))
+}
+
+/// `trace merge <bundle>... [--out merged.json]` — rebase N bundles
+/// onto one timeline and emit a single Chrome trace with flow arrows
+/// on producer → hub communication edges.
+pub fn merge(args: &Args) -> CmdResult {
+    let mut paths = Vec::new();
+    // Positional 0 is the subcommand word "merge" itself.
+    for i in 1..args.positional_count() {
+        paths.push(args.positional(i, "bundle")?);
+    }
+    if paths.len() < 2 {
+        return Err("trace merge needs at least two bundle directories".into());
+    }
+    let (json, mut summary) = merge_bundles(&paths)?;
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, json)?;
+            summary.push_str(&format!(
+                "wrote {out} — load it at https://ui.perfetto.dev or chrome://tracing\n"
+            ));
+            Ok(summary)
+        }
+        None => Ok(json),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore::{ClockRow, FlightRecorder};
+    use gtel::TraceLog;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gtool-merge-{tag}-{}-{:x}",
+            std::process::id(),
+            gtel::monotonic_ns()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn producer_bundle(dir: &Path, node: u64) -> (PathBuf, u64) {
+        let mut fr = FlightRecorder::new(dir, 2);
+        fr.set_node_id(node);
+        let log = TraceLog::new(64);
+        // The producer's flush span: its id is what rode the wire.
+        let span_id = log.record_span_at("producer.flush", 1, 2_000_000, 5_000_000);
+        fr.trigger("merge test", &log).unwrap().unwrap();
+        (dir.join("postmortem-0000"), span_id)
+    }
+
+    fn hub_bundle(dir: &Path, producer_node: u64, producer_span: u64) -> PathBuf {
+        let mut fr = FlightRecorder::new(dir, 2);
+        fr.set_node_id(1);
+        fr.note_clock(ClockRow {
+            peer: "127.0.0.1:9".into(),
+            node_id: Some(producer_node),
+            offset_us: 500.0, // producer clock runs 500µs ahead
+            rtt_us: 120.0,
+            drift_ppm: 2.0,
+            error_us: 80.0,
+            samples: 12,
+        });
+        let log = TraceLog::new(64);
+        // Hub ingest span: arg = the producer span id from the wire.
+        log.record_span_at("net.ingest", producer_span, 5_100_000, 5_400_000);
+        fr.trigger("merge test", &log).unwrap().unwrap();
+        dir.join("postmortem-0000")
+    }
+
+    #[test]
+    fn parses_own_trace_grammar() {
+        let log = TraceLog::new(16);
+        let id = log.record_span_at("scope.tick", 3, 1_500, 9_500);
+        log.event_at(4_000, "mark", 2.5);
+        let json = gtel::chrome_trace_json(&log.records());
+        let events = parse_events(&json).unwrap();
+        assert_eq!(events.len(), 2);
+        let span = events.iter().find(|e| e.ph == "X").unwrap();
+        assert_eq!(span.name, "scope.tick");
+        assert_eq!(span.span, id);
+        assert_eq!(span.arg, 3);
+        assert!((span.ts - 1.5).abs() < 1e-9);
+        assert!((span.dur - 8.0).abs() < 1e-9);
+        let instant = events.iter().find(|e| e.ph == "i").unwrap();
+        assert_eq!(instant.name, "mark");
+        assert!((instant.ts - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_rebases_and_draws_edges() {
+        let (pdir, hdir) = (tmp("prod"), tmp("hub"));
+        let (producer, span_id) = producer_bundle(&pdir, 7);
+        let hub = hub_bundle(&hdir, 7, span_id);
+        let (json, summary) =
+            merge_bundles(&[producer.to_str().unwrap(), hub.to_str().unwrap()]).unwrap();
+        // The hub (most clock rows) is the reference.
+        assert!(summary.contains("[reference]"), "{summary}");
+        assert!(summary.contains("node 7"), "{summary}");
+        assert!(summary.contains("shift -500.0us"), "{summary}");
+        assert!(summary.contains("1 cross-process edges"), "{summary}");
+        // Producer flush began at 2000µs on its own clock → 1500µs
+        // after removing the +500µs offset; hub ingest stays put.
+        assert!(json.contains("\"name\":\"producer.flush\""), "{json}");
+        assert!(json.contains("\"pid\":7"), "{json}");
+        assert!(json.contains("\"ts\":1500.000"), "{json}");
+        assert!(json.contains("\"ts\":5100.000"), "{json}");
+        // Flow arrow from flush end (rebased) to ingest begin.
+        assert!(
+            json.contains(&format!("\"ph\":\"s\",\"id\":{span_id},\"ts\":4500.000")),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!(
+                "\"ph\":\"f\",\"bp\":\"e\",\"id\":{span_id},\"ts\":5100.000"
+            )),
+            "{json}"
+        );
+        // Process lanes are named.
+        assert!(json.contains("\"process_name\""), "{json}");
+        std::fs::remove_dir_all(pdir).ok();
+        std::fs::remove_dir_all(hdir).ok();
+    }
+
+    #[test]
+    fn merge_without_clock_rows_still_produces_a_trace() {
+        let (adir, bdir) = (tmp("a"), tmp("b"));
+        let (a, _) = producer_bundle(&adir, 2);
+        let (b, _) = producer_bundle(&bdir, 3);
+        let (json, summary) = merge_bundles(&[a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(summary.contains("0 cross-process edges"), "{summary}");
+        // Without a clock row the error bound is unknowable; the
+        // summary must say so rather than printing NaN.
+        assert!(
+            summary.contains("error unknown (no clock row)"),
+            "{summary}"
+        );
+        assert!(!summary.contains("NaN"), "{summary}");
+        std::fs::remove_dir_all(adir).ok();
+        std::fs::remove_dir_all(bdir).ok();
+    }
+}

@@ -97,11 +97,42 @@ pub fn query(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// Reads a bundle directory's `node:` stamp without decoding its
+/// stores (cheap enough to probe every bundle under a flight dir).
+fn bundle_node(dir: &std::path::Path) -> Option<u64> {
+    std::fs::read_to_string(dir.join("meta.txt"))
+        .ok()?
+        .lines()
+        .find_map(|l| l.strip_prefix("node: "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Source-label prefixes (`""` for a root bundle, `postmortem-NNNN/`
+/// for children) of bundles under `root` stamped with `node`.
+fn node_prefixes(root: &std::path::Path, node: u64) -> Vec<String> {
+    let mut prefixes = Vec::new();
+    if bundle_node(root) == Some(node) {
+        prefixes.push(String::new());
+    }
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("postmortem-") && bundle_node(&entry.path()) == Some(node) {
+                prefixes.push(format!("{name}/"));
+            }
+        }
+    }
+    prefixes
+}
+
 /// `timeline --store <dir> [--window-ms W] [--anchor-ms T]
-/// [--within GLOB]` — merge spans, tuples, and breaches from every
-/// source around an anchor (default: each source's last event).
+/// [--within GLOB] [--node N]` — merge spans, tuples, and breaches
+/// from every source around an anchor (default: each source's last
+/// event). `--node` keeps only bundles a specific fleet process wrote
+/// (matched against the `node:` stamp in each bundle's `meta.txt`).
 pub fn timeline(args: &Args) -> CmdResult {
-    args.check_known(&["store", "window-ms", "anchor-ms", "within"])?;
+    args.check_known(&["store", "window-ms", "anchor-ms", "within", "node"])?;
     let store = args.get("store").ok_or("timeline needs --store <dir>")?;
     let mut opts = TimelineOptions {
         window_ms: args.get_or("window-ms", 100.0f64)?,
@@ -114,9 +145,29 @@ pub fn timeline(args: &Args) -> CmdResult {
         );
     }
     opts.within = args.get("within").map(str::to_owned);
+    let node: Option<u64> = match args.get("node") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --node {v:?}"))?),
+        None => None,
+    };
 
     let engine = QueryEngine::open(store)?;
-    let events = build_timeline(&engine, &opts)?;
+    let mut events = build_timeline(&engine, &opts)?;
+    if let Some(node) = node {
+        let prefixes = node_prefixes(std::path::Path::new(store), node);
+        if prefixes.is_empty() {
+            return Ok(format!("no bundle stamped node {node} in {store}\n"));
+        }
+        events.retain(|e| {
+            prefixes.iter().any(|p| {
+                if p.is_empty() {
+                    // Root-bundle sources are bare `stats` / `spans`.
+                    !e.source.contains('/') && e.source != "store"
+                } else {
+                    e.source.starts_with(p.as_str())
+                }
+            })
+        });
+    }
     if events.is_empty() {
         return Ok(format!(
             "no events within ±{}ms of the anchor in {store}\n",
@@ -129,13 +180,17 @@ pub fn timeline(args: &Args) -> CmdResult {
         .filter(|e| e.kind == gquery::EventKind::Breach)
         .count();
     out.push_str(&format!(
-        "{} events from {} sources (±{}ms window, {}), {} breaches\n",
+        "{} events from {} sources (±{}ms window, {}){}, {} breaches\n",
         events.len(),
         engine.sources().len(),
         opts.window_ms,
         match opts.anchor_ms {
             Some(ms) => format!("anchor {ms}ms"),
             None => "tail-aligned".to_string(),
+        },
+        match node {
+            Some(n) => format!(", node {n}"),
+            None => String::new(),
         },
         breaches,
     ));
@@ -226,6 +281,29 @@ mod tests {
         assert!(query(&args(&format!("frob=1 --store {}", dir.display()))).is_err());
         assert!(query(&args("name=x")).is_err()); // no --store
         assert!(query(&args("name=x --store /nonexistent-path")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timeline_node_filter_selects_one_bundle() {
+        let dir = tmp("tl-node");
+        // Two bundles from different fleet nodes in one flight dir.
+        for node in [1u64, 2] {
+            let mut fr = FlightRecorder::new(&dir, 4);
+            fr.set_node_id(node);
+            let log = TraceLog::new(64);
+            log.record_span_at("gel.iteration", node, 0, 12_000_000);
+            fr.trigger("test", &log).unwrap().unwrap();
+        }
+        let all = timeline(&args(&format!("--store {}", dir.display()))).unwrap();
+        assert!(all.contains("postmortem-0000/"), "{all}");
+        assert!(all.contains("postmortem-0001/"), "{all}");
+        let one = timeline(&args(&format!("--store {} --node 2", dir.display()))).unwrap();
+        assert!(one.contains("postmortem-0001/"), "{one}");
+        assert!(!one.contains("postmortem-0000/"), "{one}");
+        assert!(one.contains(", node 2"), "{one}");
+        let none = timeline(&args(&format!("--store {} --node 9", dir.display()))).unwrap();
+        assert!(none.contains("no bundle stamped node 9"), "{none}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -148,12 +148,17 @@ fn traced_run(cfg: &RunConfig) -> Result<RunReport, Box<dyn std::error::Error>> 
     // on the same thread the bytes are already readable when this
     // iteration's I/O watch polls the server — net.server.poll lands
     // inside the same root span as the tick that consumes the data.
+    let mut net_server = None;
     if cfg.net {
         let mut server = ScopeServer::bind("127.0.0.1:0")?;
         server.add_scope(Arc::clone(&scope));
         let local = server.local_addr()?;
         let server = Arc::new(Mutex::new(server));
+        net_server = Some(Arc::clone(&server));
         let mut client = ScopeClient::connect(local)?;
+        // Origin-stamp the loopback producer so hub ingest spans and
+        // bundle clock rows carry its identity.
+        client.set_node_id(2);
         let mut n = 0u64;
         ml.add_timeout_with_priority(
             cfg.period,
@@ -197,6 +202,8 @@ fn traced_run(cfg: &RunConfig) -> Result<RunReport, Box<dyn std::error::Error>> 
     let flight = cfg.flight_dir.as_ref().map(|dir| {
         let mut fr = FlightRecorder::new(dir, 8);
         fr.set_max_bundles(cfg.max_bundles);
+        // The traced pipeline plays the hub role in its bundles.
+        fr.set_node_id(1);
         Arc::new(Mutex::new(fr))
     });
     let bundles: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
@@ -214,6 +221,23 @@ fn traced_run(cfg: &RunConfig) -> Result<RunReport, Box<dyn std::error::Error>> 
                 if let Some(flight) = &flight {
                     let mut flight = flight.lock();
                     flight.note_stats(tick.now, &registry);
+                    if let Some(server) = &net_server {
+                        // Freeze each peer's wire-clock model so the
+                        // bundle is mergeable by `trace merge`.
+                        for info in server.lock().client_stats() {
+                            if let Some(cs) = info.clock {
+                                flight.note_clock(gstore::ClockRow {
+                                    peer: info.peer,
+                                    node_id: info.node_id,
+                                    offset_us: cs.offset_us,
+                                    rtt_us: cs.rtt_us,
+                                    drift_ppm: cs.drift_ppm,
+                                    error_us: cs.error_us,
+                                    samples: cs.samples,
+                                });
+                            }
+                        }
+                    }
                     for miss in &misses {
                         // Every miss rides into the next bundle's
                         // `spans/` store as a `breach.<label>` tuple,
@@ -281,12 +305,14 @@ fn run_summary(report: &RunReport) -> String {
     out
 }
 
-/// `trace record|export|tree|slowest [flags]` — run the instrumented
-/// pipeline and export its spans.
+/// `trace record|export|tree|slowest|merge [flags]` — run the
+/// instrumented pipeline and export its spans, or merge frozen
+/// bundles from several processes onto one timeline.
 pub fn trace(args: &Args) -> CmdResult {
     args.check_known(TRACE_FLAGS)?;
-    let sub = args.positional(0, "record|export|tree|slowest")?;
+    let sub = args.positional(0, "record|export|tree|slowest|merge")?;
     match sub {
+        "merge" => crate::mergecmd::merge(args),
         "record" => {
             let cfg = RunConfig::from_args(args)?;
             let out = args.get("out").unwrap_or("trace.json");
@@ -337,9 +363,10 @@ pub fn trace(args: &Args) -> CmdResult {
                 gtel::slowest_spans(&report.log.records(), top)
             ))
         }
-        other => {
-            Err(format!("unknown trace subcommand {other:?} (record|export|tree|slowest)").into())
-        }
+        other => Err(format!(
+            "unknown trace subcommand {other:?} (record|export|tree|slowest|merge)"
+        )
+        .into()),
     }
 }
 

@@ -1,0 +1,381 @@
+//! Integration: cross-process causality over a shaped netsim link.
+//!
+//! Two "processes" share one test. The hub runs the real pipeline —
+//! `ScopeServer` → `Scope` → `FrameCache` — on the local wire clock.
+//! The producer is hand-rolled on top of a `SimConn` whose wire clock
+//! runs `SKEW_US` fast, so every timestamp it quotes (PONG legs,
+//! origin `send_us`, flush span bounds) is wrong by a known constant
+//! that the hub's estimator must recover through a link with real
+//! latency and jitter.
+//!
+//! Asserts the tentpole acceptance criteria end to end:
+//! - the negotiated PING/PONG exchange converges on the true skew
+//!   with an error bound at the link-delay scale, far below the skew
+//!   it corrects;
+//! - per-stage lateness deltas (Wire → Parse → Route → Push → Drain →
+//!   Render) telescope to the e2e total within the quoted clock
+//!   error;
+//! - the two flight-recorder bundles merge via `gtool trace merge`
+//!   into one Chrome trace whose producer→hub flow edges line up on
+//!   the common timeline within latency + jitter + error.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gel::{TickInfo, TimeDelta, TimeStamp, VirtualClock};
+use gnet::clock::wire_now_us;
+use gnet::wire::{self, BatchEncoder, Msg, Origin};
+use gnet::{HubConfig, ScopeServer};
+use gscope::{Scope, SigConfig, SigSource};
+use gstore::FlightRecorder;
+use gtel::TraceLog;
+use netsim::{LinkClock, LinkConfig, SimConn};
+
+/// How far ahead the producer's clock runs.
+const SKEW_US: u64 = 2_500;
+const LATENCY_US: u64 = 400;
+const JITTER_US: u64 = 300;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fleet-clock-{tag}-{}-{:x}",
+        std::process::id(),
+        gtel::monotonic_ns()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One origin-stamped flush the producer sent, for later alignment
+/// against the hub's `net.ingest` spans.
+struct Flush {
+    span_id: u64,
+    send_us: u64,
+}
+
+/// The remote half: a minimal v2 producer driven over a `SimConn`,
+/// living entirely on a clock `SKEW_US` ahead of the hub's.
+struct Producer {
+    conn: SimConn,
+    log: Arc<TraceLog>,
+    rx: Vec<u8>,
+    tx: Vec<u8>,
+    enc: BatchEncoder,
+    name: Arc<str>,
+    batches: u64,
+    next_t_us: u64,
+    flushes: Vec<Flush>,
+}
+
+impl Producer {
+    fn new(conn: SimConn, log: Arc<TraceLog>) -> Producer {
+        let mut p = Producer {
+            conn,
+            log,
+            rx: Vec::new(),
+            tx: Vec::new(),
+            enc: BatchEncoder::new(),
+            name: Arc::from("fleet.sig"),
+            batches: 0,
+            next_t_us: 1_000,
+            flushes: Vec::new(),
+        };
+        wire::frame_hello(&mut p.tx, wire::LOCAL_CAPS);
+        p
+    }
+
+    /// The producer's wall clock: the hub's, plus the skew under test.
+    fn now_us(&self) -> u64 {
+        wire_now_us() + SKEW_US
+    }
+
+    /// One scheduler slice: pump pending writes, then answer the
+    /// hub's clock probes — timestamped on the skewed clock.
+    fn step(&mut self) {
+        if !self.tx.is_empty() {
+            if let Ok(n) = self.conn.write_bytes(&self.tx) {
+                self.tx.drain(..n);
+            }
+        }
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = self.conn.read_bytes(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            self.rx.extend_from_slice(&buf[..n]);
+        }
+        let mut consumed = 0usize;
+        while let Ok(Some((msg, used))) = wire::split_message(&self.rx[consumed..]) {
+            if let Msg::Frame {
+                op: wire::OP_PING,
+                body,
+            } = msg
+            {
+                let t0 = wire::decode_arg(body).unwrap();
+                let now = self.now_us();
+                wire::frame_pong(&mut self.tx, t0, now, now);
+            }
+            consumed += used;
+        }
+        self.rx.drain(..consumed);
+    }
+
+    /// Flushes one origin-stamped batch, recording the flush span on
+    /// the producer's own (skewed) timebase — exactly the lie the
+    /// merge step must later undo.
+    fn flush_batch(&mut self) {
+        let begin_us = self.now_us();
+        for i in 0..8u64 {
+            self.enc.push(
+                self.next_t_us,
+                (self.batches * 8 + i) as f64,
+                Some(&self.name),
+            );
+            self.next_t_us += 125;
+        }
+        let end_us = self.now_us().max(begin_us + 1);
+        let span_id = self.log.record_span_at(
+            "producer.flush",
+            self.batches,
+            begin_us * 1_000,
+            end_us * 1_000,
+        );
+        let send_us = self.now_us();
+        let origin = Origin {
+            node_id: 2,
+            send_us,
+            span_id,
+        };
+        self.enc.frame_into_origin(&mut self.tx, &origin);
+        self.flushes.push(Flush { span_id, send_us });
+        self.batches += 1;
+    }
+}
+
+#[test]
+fn two_process_pipeline_syncs_clocks_attributes_lateness_and_merges() {
+    // Hub-side tracing: server poll + scope tick + ingest spans all
+    // land in this log, which becomes the hub's flight bundle.
+    let hub_log = Arc::new(TraceLog::with_shards(65_536, 1));
+    let _tracer = gtel::with_thread_tracer(Arc::clone(&hub_log));
+
+    let cfg = HubConfig {
+        shards: 1,
+        ping_interval_us: 2_000,
+        // Stamp every origin batch: each loop iteration below expects
+        // its one batch to start a fresh chain.
+        mark_interval_us: 0,
+        ..HubConfig::default()
+    };
+    let mut server = ScopeServer::with_config("127.0.0.1:0", cfg).unwrap();
+
+    // The hub's scope: one buffered signal fed over the wire. The
+    // virtual clock stays at 0 so buffered pushes are never "late";
+    // ticks advance via explicit TickInfo.
+    let clock = VirtualClock::new();
+    let mut scope = Scope::new("fleet", 240, 120, Arc::new(clock));
+    scope
+        .add_signal("fleet.sig", SigSource::Buffer, SigConfig::default())
+        .unwrap();
+    scope.set_polling_mode(TimeDelta::from_millis(10)).unwrap();
+    scope.start();
+    let scope = scope.into_shared();
+    server.add_scope(Arc::clone(&scope));
+
+    let link = LinkConfig {
+        latency: TimeDelta::from_micros(LATENCY_US),
+        jitter: TimeDelta::from_micros(JITTER_US),
+        seed: 7,
+        ..LinkConfig::default()
+    };
+    let (server_end, client_end) = SimConn::pair(link, LinkClock::real());
+    server.add_conn(Box::new(server_end));
+
+    let producer_log = Arc::new(TraceLog::with_shards(65_536, 1));
+    let mut producer = Producer::new(client_end, Arc::clone(&producer_log));
+    let mut frames = grender::FrameCache::new();
+
+    // Phase 1: clock handshake. PINGs go out every 2ms; run until the
+    // estimator's own error bound settles at the link-delay scale.
+    // Early probes can be inflated by test-scheduler noise, so gating
+    // on a bare sample count would race the EWMA's decay.
+    let delay_us = (LATENCY_US + JITTER_US) as f64;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        producer.step();
+        server.poll();
+        let infos = server.client_stats();
+        if infos.iter().any(|c| {
+            c.clock
+                .as_ref()
+                .is_some_and(|cs| cs.samples >= 8 && cs.error_us <= 2.0 * delay_us)
+        }) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "clock sync never converged: {infos:?}"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let cs = server
+        .client_stats()
+        .iter()
+        .find_map(|c| c.clock.clone())
+        .unwrap();
+    assert!(
+        (cs.offset_us - SKEW_US as f64).abs() <= delay_us,
+        "offset {:.1}µs did not converge on the true skew {SKEW_US}µs \
+         (link delay {delay_us}µs): {cs:?}",
+        cs.offset_us
+    );
+    assert!(
+        cs.error_us <= 2.0 * delay_us,
+        "error bound {:.1}µs above the link-delay scale: {cs:?}",
+        cs.error_us
+    );
+    assert!(
+        cs.error_us < SKEW_US as f64,
+        "error bound must stay below the skew it corrects: {cs:?}"
+    );
+
+    // Phase 2: origin-stamped data chains. Each iteration sends one
+    // batch, lets it cross the shaped link, then ticks and renders so
+    // the chain completes: Wire → Parse → Route → Push → Drain →
+    // Render.
+    let target = 12u64;
+    let mut tick_now = 1_000_000_000u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gtel::e2e().completed() < target && Instant::now() < deadline {
+        producer.flush_batch();
+        let io_deadline = Instant::now() + Duration::from_millis(5);
+        while Instant::now() < io_deadline {
+            producer.step();
+            server.poll();
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        tick_now += 20_000;
+        let info = TickInfo {
+            now: TimeStamp::from_micros(tick_now),
+            scheduled: TimeStamp::from_micros(tick_now),
+            missed: 0,
+        };
+        scope.lock().tick(&info);
+        frames.render(&scope.lock());
+    }
+    let completed = gtel::e2e().completed();
+    assert!(
+        completed >= target,
+        "only {completed} of {target} chains completed"
+    );
+
+    // The invariant: per-stage deltas telescope to the e2e total
+    // within the clock error quoted when the chains were rebased.
+    let snap = gtel::e2e().snapshot();
+    assert_eq!(snap.total.count, completed);
+    let stage_sum = snap.stage_sum_mean_us();
+    let total = snap.total.mean();
+    let budget = snap.clock_error.max as f64 + 1.0;
+    assert!(
+        (stage_sum - total).abs() <= budget,
+        "stage sum {stage_sum:.1}µs vs e2e total {total:.1}µs drifts \
+         past the clock error bound {budget:.1}µs: {snap:?}"
+    );
+
+    // The producer identified itself via the origin header.
+    let infos = server.client_stats();
+    let peer = infos
+        .iter()
+        .find(|c| c.node_id == Some(2))
+        .unwrap_or_else(|| panic!("no client learned node id 2 from origin frames: {infos:?}"));
+    let cs = peer.clock.clone().unwrap();
+
+    // Phase 3: one flight bundle per node, then `gtool trace merge`.
+    let hub_dir = tmp_dir("hub");
+    let prod_dir = tmp_dir("prod");
+    let mut hub_fr = FlightRecorder::new(&hub_dir, 8);
+    hub_fr.set_node_id(1);
+    for info in server.client_stats() {
+        if let Some(c) = info.clock {
+            hub_fr.note_clock(gstore::ClockRow {
+                peer: info.peer,
+                node_id: info.node_id,
+                offset_us: c.offset_us,
+                rtt_us: c.rtt_us,
+                drift_ppm: c.drift_ppm,
+                error_us: c.error_us,
+                samples: c.samples,
+            });
+        }
+    }
+    let hub_bundle = hub_fr.trigger("fleet smoke", &hub_log).unwrap().unwrap();
+    let mut prod_fr = FlightRecorder::new(&prod_dir, 8);
+    prod_fr.set_node_id(2);
+    let prod_bundle = prod_fr
+        .trigger("fleet smoke", &producer_log)
+        .unwrap()
+        .unwrap();
+
+    let out = hub_dir.join("merged.json");
+    let args = gtool::Args::parse(
+        [
+            "merge",
+            hub_bundle.path.to_str().unwrap(),
+            prod_bundle.path.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .map(String::from),
+        gtool::BOOLEAN_FLAGS,
+    )
+    .unwrap();
+    let summary = gtool::trace(&args).unwrap();
+    let edges: u64 = summary
+        .lines()
+        .find(|l| l.contains("cross-process edges"))
+        .and_then(|l| l.split(',').last())
+        .and_then(|part| part.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no edge count in merge summary:\n{summary}"));
+    assert!(edges >= 1, "merge found no cross-process edges:\n{summary}");
+    let merged = std::fs::read_to_string(&out).unwrap();
+    assert!(merged.contains("\"traceEvents\""));
+    assert!(merged.contains("producer.flush") && merged.contains("net.ingest"));
+    assert!(
+        merged.contains("\"ph\":\"s\"") && merged.contains("\"ph\":\"f\""),
+        "merged trace has no flow arrows"
+    );
+
+    // Alignment: rebasing a flush's skewed send time by the estimated
+    // offset must land just before its hub ingest span — early by no
+    // more than the error bound, late by no more than delay + error.
+    let ingests: Vec<_> = hub_log
+        .records()
+        .into_iter()
+        .filter(|r| r.label == "net.ingest")
+        .collect();
+    let mut matched = 0u64;
+    for f in &producer.flushes {
+        let Some(r) = ingests.iter().find(|r| r.arg == f.span_id) else {
+            continue;
+        };
+        let rebased = f.send_us as f64 - cs.offset_us;
+        let ingest_us = (r.begin_ns / 1_000) as f64;
+        let diff = ingest_us - rebased;
+        assert!(
+            diff >= -(cs.error_us + 1.0),
+            "ingest {ingest_us:.0}µs precedes rebased send {rebased:.0}µs \
+             by more than the error bound {:.1}µs",
+            cs.error_us
+        );
+        assert!(
+            diff <= delay_us + cs.error_us + 5_000.0,
+            "ingest lags rebased send by {diff:.0}µs — rebasing failed \
+             (skew not removed?)"
+        );
+        matched += 1;
+    }
+    assert!(matched >= 1, "no producer flush matched a hub ingest span");
+}

@@ -147,12 +147,14 @@ fn slow_subscriber_migrates_to_store_catch_up() {
     assert!(text.contains("!catchup-begin"), "missing begin marker");
     assert!(text.contains("!catchup-end"), "missing end marker");
     let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut delivered = 0u64;
     for line in text.lines() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let t = Tuple::parse_line(trimmed, 1).unwrap();
+        delivered += 1;
         seen.insert(t.time.as_micros());
     }
     let expected: BTreeSet<u64> = (0..total).map(|i| 1_000 + i * 10).collect();
@@ -162,6 +164,21 @@ fn slow_subscriber_migrates_to_store_catch_up() {
         "gaps in delivered sequence (first 10): {missing:?}; got {} of {}",
         seen.len(),
         expected.len()
+    );
+
+    // Reconciliation identity, exact across shed → catch-up → rejoin:
+    // every tuple ever queued toward the subscriber was either dropped
+    // by a shed or written to the wire, so with the queue drained,
+    // `tuples_out - tuples_shed` must equal the tuple lines the peer
+    // actually read — duplicates from the catch-up overlap included.
+    let infos = server.client_stats();
+    let sub = infos.iter().find(|c| c.subscribed).unwrap();
+    assert_eq!(sub.queue_tuples, 0, "queue not drained: {sub:?}");
+    assert!(sub.tuples_shed > 0, "shed happened but nothing counted");
+    assert_eq!(
+        sub.tuples_out - sub.tuples_shed,
+        delivered,
+        "per-client accounting does not reconcile: {sub:?}"
     );
 }
 
@@ -278,6 +295,19 @@ fn lossy_netsim_population_stays_protocol_clean() {
     assert_eq!(stats.tuples_received, tuples, "{stats:?}");
     assert!(max_queue <= outbuf_cap, "queue bound violated: {max_queue}");
     assert_eq!(stats.shed_events, 0, "unshaped load should never shed");
+
+    // With no sheds and every queue drained, each subscriber's books
+    // must balance exactly: queued == written == received.
+    for c in server.client_stats() {
+        if !c.subscribed {
+            continue; // the producer connection queues nothing out
+        }
+        assert_eq!(
+            c.tuples_out - c.tuples_shed - c.queue_tuples,
+            tuples,
+            "per-client accounting does not reconcile: {c:?}"
+        );
+    }
 
     // Every subscriber got every tuple, protocol-clean text.
     for (i, bytes) in received.iter().enumerate() {
